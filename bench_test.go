@@ -1,0 +1,407 @@
+package blog
+
+// One testing.B benchmark per exhibit of the reproduction (figures F1-F6,
+// experiments E1-E8 of DESIGN.md), each exercising the computation that
+// regenerates that exhibit. `go test -bench=. -benchmem` at the module
+// root runs them all; cmd/blogbench prints the full tables.
+
+import (
+	"io"
+	"testing"
+
+	"blog/internal/andpar"
+	"blog/internal/experiments"
+	"blog/internal/kb"
+	"blog/internal/machine"
+	"blog/internal/par"
+	"blog/internal/parse"
+	"blog/internal/scoreboard"
+	"blog/internal/search"
+	"blog/internal/session"
+	"blog/internal/spd"
+	"blog/internal/term"
+	"blog/internal/weights"
+	"blog/internal/workload"
+)
+
+func mustLoad(b *testing.B, src string) *kb.DB {
+	b.Helper()
+	db, _, err := kb.LoadString(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func mustGoals(b *testing.B, q string) []term.Term {
+	b.Helper()
+	goals, err := parse.Query(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return goals
+}
+
+// BenchmarkF1Fig1Trace regenerates the figure-1 resolution trace.
+func BenchmarkF1Fig1Trace(b *testing.B) {
+	db := mustLoad(b, experiments.Fig1Program)
+	ws := weights.NewUniform(weights.DefaultConfig())
+	goals := mustGoals(b, "gf(sam,G)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := search.Run(db, ws, goals, search.Options{
+			Strategy: search.DFS, MaxSolutions: 1, RecordTrace: true,
+		})
+		if err != nil || len(res.Solutions) != 1 {
+			b.Fatal("trace run failed")
+		}
+	}
+}
+
+// BenchmarkF2DatabaseGraph renders the figure-2 database graph.
+func BenchmarkF2DatabaseGraph(b *testing.B) {
+	db := mustLoad(b, experiments.Fig1Program)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(db.GraphText()) == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// BenchmarkF3SearchTree builds the full figure-3 OR tree.
+func BenchmarkF3SearchTree(b *testing.B) {
+	db := mustLoad(b, experiments.Fig1Program)
+	ws := weights.NewUniform(weights.DefaultConfig())
+	goals := mustGoals(b, "gf(sam,G)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := search.Run(db, ws, goals, search.Options{Strategy: search.DFS, RecordTree: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s, f, _ := res.Tree.CountStatus(); s != 2 || f != 1 {
+			b.Fatal("wrong tree")
+		}
+	}
+}
+
+// BenchmarkF4BestFirstOrder runs the section-5 worked example searches.
+func BenchmarkF4BestFirstOrder(b *testing.B) {
+	db := mustLoad(b, experiments.Sec5Program)
+	tab := weights.NewTable(weights.Config{N: 16, A: 64})
+	tab.Set(kb.Arc{Caller: kb.Query, Pos: 0, Callee: 0}, 0)
+	tab.Set(kb.Arc{Caller: 0, Pos: 0, Callee: 1}, 4)
+	tab.Set(kb.Arc{Caller: 0, Pos: 0, Callee: 2}, 3)
+	tab.Set(kb.Arc{Caller: 0, Pos: 1, Callee: 3}, 5)
+	tab.Set(kb.Arc{Caller: 0, Pos: 2, Callee: 4}, 6)
+	tab.Set(kb.Arc{Caller: 1, Pos: 0, Callee: 5}, 1)
+	tab.Set(kb.Arc{Caller: 2, Pos: 0, Callee: 6}, 2)
+	tab.Set(kb.Arc{Caller: 3, Pos: 0, Callee: 7}, 1)
+	tab.Set(kb.Arc{Caller: 4, Pos: 0, Callee: 8}, 1)
+	goals := mustGoals(b, "a")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.Run(db, tab, goals, search.Options{Strategy: search.BestFirst}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkF5Machine simulates the figure-5 machine on the gf query.
+func BenchmarkF5Machine(b *testing.B) {
+	db := mustLoad(b, experiments.Fig1Program)
+	goals := mustGoals(b, "gf(sam,G)")
+	cfg := machine.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := machine.New(cfg, db, weights.NewUniform(weights.DefaultConfig()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := m.Run(goals)
+		if err != nil || len(rep.Solutions) != 2 {
+			b.Fatal("machine run failed")
+		}
+	}
+}
+
+// BenchmarkF6SPD pages the figure-1 subgraph off the semantic paging disk.
+func BenchmarkF6SPD(b *testing.B) {
+	db := mustLoad(b, experiments.Fig1Program)
+	ws := weights.NewTable(weights.DefaultConfig())
+	blocks := spd.BuildBlocks(db, ws)
+	goals := mustGoals(b, "gf(sam,G)")
+	seeds := spd.SeedsForGoals(db, goals)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		disk := spd.New(spd.DefaultGeometry(), spd.MIMD, 4)
+		if err := disk.Store(blocks); err != nil {
+			b.Fatal(err)
+		}
+		if paged, _ := disk.PageSubgraph(seeds, 2); len(paged) == 0 {
+			b.Fatal("nothing paged")
+		}
+	}
+}
+
+// BenchmarkE1Strategies runs the strategy shootout's largest case: DFS vs
+// learned best-first to first solution on DeepFailure(16,12).
+func BenchmarkE1Strategies(b *testing.B) {
+	db := mustLoad(b, workload.DeepFailure(16, 12))
+	goals := mustGoals(b, "top(W)")
+	b.Run("dfs", func(b *testing.B) {
+		ws := weights.NewUniform(weights.DefaultConfig())
+		for i := 0; i < b.N; i++ {
+			res, err := search.Run(db, ws, goals, search.Options{
+				Strategy: search.DFS, MaxSolutions: 1, MaxDepth: 64,
+			})
+			if err != nil || len(res.Solutions) != 1 {
+				b.Fatal("dfs failed")
+			}
+		}
+	})
+	b.Run("best-learned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tab := weights.NewTable(weights.Config{N: 16, A: 64})
+			if _, err := search.Run(db, tab, goals, search.Options{
+				Strategy: search.BestFirst, Learn: true, MaxDepth: 64,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			res, err := search.Run(db, tab, goals, search.Options{
+				Strategy: search.BestFirst, Learn: true, MaxSolutions: 1, MaxDepth: 64,
+			})
+			if err != nil || len(res.Solutions) != 1 {
+				b.Fatal("learned run failed")
+			}
+		}
+	})
+}
+
+// BenchmarkE2SessionLearning runs one learning session over similar
+// queries on the family tree.
+func BenchmarkE2SessionLearning(b *testing.B) {
+	db := mustLoad(b, workload.FamilyTree(5, 3))
+	queries := workload.SessionQueries(8, 40, 77)
+	parsed := make([][]term.Term, len(queries))
+	for i, q := range queries {
+		parsed[i] = mustGoals(b, q)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		global := weights.NewTable(weights.Config{N: 16, A: 64})
+		s := session.New(global, session.WithAlpha(0.7))
+		for _, goals := range parsed {
+			if _, err := search.Run(db, s, goals, search.Options{
+				Strategy: search.BestFirst, Learn: true, MaxDepth: 48,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.End()
+	}
+}
+
+// BenchmarkE3Convergence enumerates outcomes and solves the section-4
+// linear system for the figure-3 tree.
+func BenchmarkE3Convergence(b *testing.B) {
+	db := mustLoad(b, experiments.Fig1Program)
+	goals := mustGoals(b, "gf(sam,G)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		outcomes, err := search.EnumerateOutcomes(db, goals, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sol, err := weights.Solve(outcomes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sol.Check(outcomes, 1e-6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4Speedup measures the live parallel engine at 1 and 8 workers
+// on all solutions of queens(6).
+func BenchmarkE4Speedup(b *testing.B) {
+	db := mustLoad(b, workload.NQueens)
+	goals := mustGoals(b, "queens(6, Qs)")
+	for _, workers := range []int{1, 8} {
+		b.Run(map[int]string{1: "w1", 8: "w8"}[workers], func(b *testing.B) {
+			ws := weights.NewUniform(weights.DefaultConfig())
+			for i := 0; i < b.N; i++ {
+				res, err := par.Run(db, ws, goals, par.Options{
+					Workers: workers, Mode: par.TwoLevel, D: 4, LocalCap: 256, MaxDepth: 512,
+				})
+				if err != nil || len(res.Solutions) != 4 {
+					b.Fatal("queens run failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5DSweep simulates the machine at the extreme D settings on
+// the unbalanced tree.
+func BenchmarkE5DSweep(b *testing.B) {
+	db := mustLoad(b, workload.Unbalanced(24, 16))
+	goals := mustGoals(b, "job(X)")
+	for _, d := range []float64{0, 1e9} {
+		name := "d0"
+		if d > 0 {
+			name = "dinf"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := machine.DefaultConfig()
+				cfg.D = d
+				cfg.MaxDepth = 64
+				m, err := machine.New(cfg, db, weights.NewUniform(weights.DefaultConfig()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := m.Run(goals)
+				if err != nil || len(rep.Solutions) != 25 {
+					b.Fatalf("machine run failed: %d solutions", len(rep.Solutions))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6SPDCache pages a deep subgraph at small and large caches.
+func BenchmarkE6SPDCache(b *testing.B) {
+	db := mustLoad(b, workload.FamilyTree(6, 3))
+	ws := weights.NewTable(weights.DefaultConfig())
+	blocks := spd.BuildBlocks(db, ws)
+	goals := mustGoals(b, "gf(p0,G)")
+	seeds := spd.SeedsForGoals(db, goals)
+	for _, cache := range []int{1, 8} {
+		name := "c1"
+		if cache > 1 {
+			name = "c8"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				disk := spd.New(spd.DefaultGeometry(), spd.MIMD, cache)
+				if err := disk.Store(blocks); err != nil {
+					b.Fatal(err)
+				}
+				disk.PageSubgraph(seeds, 3)
+			}
+		})
+	}
+}
+
+// BenchmarkE7Scoreboard runs the multitasking processor at M=1 and M=8.
+func BenchmarkE7Scoreboard(b *testing.B) {
+	cfg := scoreboard.DefaultConfig()
+	jobs := make([]scoreboard.Job, 64)
+	for i := range jobs {
+		jobs[i] = scoreboard.Job{Candidates: 2 + i%3, EnvWords: 16 + (i%5)*8, DiskBlocks: i % 2}
+	}
+	for _, m := range []int{1, 8} {
+		name := "m1"
+		if m > 1 {
+			name = "m8"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := scoreboard.New(cfg, m)
+			for i := 0; i < b.N; i++ {
+				if rep := p.Run(jobs); rep.Jobs != 64 {
+					b.Fatal("bad run")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8AndParallel runs the semi-join against the nested loop on the
+// 200x400 join workload.
+func BenchmarkE8AndParallel(b *testing.B) {
+	db := mustLoad(b, workload.Join(200, 400, 0.25, 13))
+	uni := weights.NewUniform(weights.DefaultConfig())
+	goals := mustGoals(b, "r(X,K), s(K,V)")
+	opt := search.Options{Strategy: search.DFS}
+	b.Run("semijoin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := andpar.SemiJoin(db, uni, goals[0], goals[1], nil, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nested", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := andpar.NestedLoopJoin(db, uni, goals[0], goals[1], opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE9Conditional compares marginal vs conditional weight tables
+// on the context-sensitive workload (section-5 extension).
+func BenchmarkE9Conditional(b *testing.B) {
+	db := mustLoad(b, workload.ContextSensitive(16))
+	goals := mustGoals(b, "plan(M,P)")
+	run := func(b *testing.B, mk func() weights.Store) {
+		for i := 0; i < b.N; i++ {
+			ws := mk()
+			if _, err := search.Run(db, ws, goals, search.Options{
+				Strategy: search.BestFirst, Learn: true, MaxDepth: 32,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			res, err := search.Run(db, ws, goals, search.Options{
+				Strategy: search.BestFirst, Learn: true, MaxSolutions: 1, MaxDepth: 32,
+			})
+			if err != nil || len(res.Solutions) != 1 {
+				b.Fatal("run failed")
+			}
+		}
+	}
+	b.Run("marginal", func(b *testing.B) {
+		run(b, func() weights.Store { return weights.NewTable(weights.Config{N: 16, A: 64}) })
+	})
+	b.Run("conditional", func(b *testing.B) {
+		run(b, func() weights.Store { return weights.NewConditional(weights.Config{N: 16, A: 64}) })
+	})
+}
+
+// BenchmarkAblationEnvRep compares the persistent-environment design (the
+// DESIGN.md ablation note): deep binding chains with snapshots versus the
+// cost a copy-per-node representation would pay, approximated by deep
+// resolution over a shared chain.
+func BenchmarkAblationEnvRep(b *testing.B) {
+	db := mustLoad(b, workload.FamilyTree(5, 3))
+	ws := weights.NewUniform(weights.DefaultConfig())
+	goals := mustGoals(b, "anc(p0, X)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := search.Run(db, ws, goals, search.Options{Strategy: search.BestFirst, MaxDepth: 32})
+		if err != nil || !res.Exhausted {
+			b.Fatal("search failed")
+		}
+	}
+}
+
+// BenchmarkFullHarness runs the entire printable experiment suite once per
+// iteration (the blogbench command path).
+func BenchmarkFullHarness(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full harness is slow")
+	}
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.All() {
+			if r.ID == "E4" {
+				continue // E4 times wall-clock itself; skip nested timing
+			}
+			if err := r.Run(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,556 @@
+// Package blog is the public API of this reproduction of "B-LOG: A Branch
+// and Bound Methodology for the Parallel Execution of Logic Programs"
+// (G. J. Lipovski and M. V. Hermenegildo, ICPP 1985).
+//
+// A Program wraps a logic database plus a global weight table. Queries run
+// under a chosen search strategy — Prolog's depth-first baseline,
+// breadth-first, B-LOG's weighted best-first branch and bound, or the
+// parallel OR-engine — and can learn arc weights per the paper's
+// section-5 rules. Sessions scope that learning: strong updates stay local
+// until the session ends, when they merge conservatively into the global
+// table.
+//
+// Quickstart:
+//
+//	p, err := blog.LoadString(src)
+//	res, err := p.Query("gf(sam, G)", blog.BestFirst, blog.Learn())
+//	for _, s := range res.Solutions {
+//	    fmt.Println(s.String())
+//	}
+//
+// The hardware models of section 6 (semantic paging disks, scoreboard
+// processors, the minimum-seeking network) live in internal packages and
+// are exercised through the cycle-level machine simulation; see
+// Program.Simulate and the cmd/blogbench experiment harness.
+package blog
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"blog/internal/andpar"
+	"blog/internal/engine"
+	"blog/internal/kb"
+	"blog/internal/machine"
+	"blog/internal/par"
+	"blog/internal/parse"
+	"blog/internal/prelude"
+	"blog/internal/search"
+	"blog/internal/session"
+	"blog/internal/term"
+	"blog/internal/weights"
+)
+
+// Strategy selects the search discipline for Query.
+type Strategy int
+
+const (
+	// DFS is Prolog's depth-first, source-order search.
+	DFS Strategy = iota
+	// BFS is breadth-first search.
+	BFS
+	// BestFirst is B-LOG's weighted best-first branch and bound.
+	BestFirst
+	// Parallel is the OR-parallel best-first engine (live goroutines).
+	Parallel
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case DFS:
+		return "dfs"
+	case BFS:
+		return "bfs"
+	case BestFirst:
+		return "best-first"
+	case Parallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Program is a loaded logic program with its global weight database.
+type Program struct {
+	db      *kb.DB
+	global  *weights.Table
+	cfg     weights.Config
+	queries [][]term.Term // directive queries from the source text
+}
+
+// Config tunes the weight coding; see weights.Config in DESIGN.md.
+type Config struct {
+	// N is the target bound of successful chains (default 16).
+	N float64
+	// A is the longest accepted chain; A*N codes infinity and A bounds
+	// search depth (default 64).
+	A int
+	// Prelude prepends the list/pair standard library (append/3,
+	// member/2, select/3, permutation/2, ...) to the program.
+	Prelude bool
+}
+
+// PreludeSource is the standard library source text prepended when
+// Config.Prelude is set; it is plain Horn-clause code usable under every
+// search strategy.
+const PreludeSource = prelude.All
+
+// LoadString parses a program and prepares an empty global weight table.
+func LoadString(src string, cfg ...Config) (*Program, error) {
+	wcfg := weights.DefaultConfig()
+	if len(cfg) > 0 {
+		if cfg[0].N > 0 {
+			wcfg.N = cfg[0].N
+		}
+		if cfg[0].A > 0 {
+			wcfg.A = cfg[0].A
+		}
+		if cfg[0].Prelude {
+			src = prelude.All + "\n" + src
+		}
+	}
+	db, qs, err := kb.LoadString(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{db: db, global: weights.NewTable(wcfg), cfg: wcfg, queries: qs}, nil
+}
+
+// DirectiveQueries returns the `?- goal.` directives found in the source,
+// rendered back to query strings.
+func (p *Program) DirectiveQueries() []string {
+	out := make([]string, 0, len(p.queries))
+	for _, goals := range p.queries {
+		parts := make([]string, len(goals))
+		for i, g := range goals {
+			parts[i] = g.String()
+		}
+		out = append(out, strings.Join(parts, ", "))
+	}
+	return out
+}
+
+// Stats describes the loaded database.
+func (p *Program) Stats() (clauses, facts, rules, preds, arcs int) {
+	s := p.db.ComputeStats()
+	return s.Clauses, s.Facts, s.Rules, s.Preds, s.Arcs
+}
+
+// ResetWeights discards all learned global weights.
+func (p *Program) ResetWeights() { p.global = weights.NewTable(p.cfg) }
+
+// LearnedArcs returns the number of arcs with learned global state.
+func (p *Program) LearnedArcs() int { return p.global.Len() }
+
+// Option configures one Query call.
+type Option func(*queryOpts)
+
+type queryOpts struct {
+	maxSolutions  int
+	maxExpansions uint64
+	maxDepth      int
+	learn         bool
+	prune         bool
+	occursCheck   bool
+	workers       int
+	d             float64
+	twoLevel      bool
+	session       *Session
+	recordTree    bool
+	recordTrace   bool
+	andParallel   bool
+}
+
+// MaxSolutions stops the search after n solutions (0 = all).
+func MaxSolutions(n int) Option { return func(o *queryOpts) { o.maxSolutions = n } }
+
+// MaxExpansions bounds search work.
+func MaxExpansions(n uint64) Option { return func(o *queryOpts) { o.maxExpansions = n } }
+
+// MaxDepth bounds chain length in arcs (default: the program's A).
+func MaxDepth(n int) Option { return func(o *queryOpts) { o.maxDepth = n } }
+
+// Learn applies the section-5 weight update rules during the search, to
+// the session store if one is active, else to the global table.
+func Learn() Option { return func(o *queryOpts) { o.learn = true } }
+
+// Prune enables strict branch-and-bound pruning against the best solution
+// bound found. Sound only with section-4-consistent weights.
+func Prune() Option { return func(o *queryOpts) { o.prune = true } }
+
+// OccursCheck enables sound unification.
+func OccursCheck() Option { return func(o *queryOpts) { o.occursCheck = true } }
+
+// Workers sets the processor count for the Parallel strategy (default 4).
+func Workers(n int) Option { return func(o *queryOpts) { o.workers = n } }
+
+// MigrationThreshold sets D and switches the Parallel strategy to the
+// paper's two-level scheduling: a freed worker takes the network chain
+// only when it is at least d cheaper than its local minimum.
+func MigrationThreshold(d float64) Option {
+	return func(o *queryOpts) { o.d = d; o.twoLevel = true }
+}
+
+// InSession directs learning into the given session's local store.
+func InSession(s *Session) Option { return func(o *queryOpts) { o.session = s } }
+
+// AndParallel evaluates the query's independent (non-variable-sharing)
+// goal groups concurrently and combines them by cross product — the
+// section-7 AND-parallel scheme. Groups use the sequential strategy
+// given to Query; incompatible with Parallel, sessions are fine.
+func AndParallel() Option { return func(o *queryOpts) { o.andParallel = true } }
+
+// RecordTree records the search tree (Result.Tree); sequential only.
+func RecordTree() Option { return func(o *queryOpts) { o.recordTree = true } }
+
+// RecordTrace records figure-1 style resolution lines; sequential only.
+func RecordTrace() Option { return func(o *queryOpts) { o.recordTrace = true } }
+
+// Solution is one answer to a query.
+type Solution struct {
+	// Bindings maps query variable names to rendered value terms.
+	Bindings map[string]string
+	// Bound is the B-LOG chain bound at the solution.
+	Bound float64
+	// Depth is the chain length in arcs.
+	Depth int
+
+	varOrder []string
+}
+
+// String renders "X = v, Y = w" in variable order, or "true".
+func (s Solution) String() string {
+	if len(s.varOrder) == 0 {
+		return "true"
+	}
+	parts := make([]string, 0, len(s.varOrder))
+	for _, v := range s.varOrder {
+		parts = append(parts, v+" = "+s.Bindings[v])
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Result is the outcome of one Query.
+type Result struct {
+	Solutions []Solution
+	// Expanded, Generated and Failures count search work.
+	Expanded  uint64
+	Generated uint64
+	Failures  uint64
+	// Exhausted reports that the whole tree was searched.
+	Exhausted bool
+	// Tree is the rendered search tree when RecordTree was set.
+	Tree string
+	// Trace holds figure-1 style lines when RecordTrace was set.
+	Trace []string
+	// Migrations counts network chain acquisitions (Parallel two-level).
+	Migrations uint64
+}
+
+// Query parses and runs a query under the given strategy.
+func (p *Program) Query(query string, strat Strategy, opts ...Option) (*Result, error) {
+	goals, err := parse.Query(query)
+	if err != nil {
+		return nil, err
+	}
+	return p.QueryGoals(goals, strat, opts...)
+}
+
+// QueryGoals runs pre-parsed goals (shared-variable structure preserved).
+func (p *Program) QueryGoals(goals []term.Term, strat Strategy, opts ...Option) (*Result, error) {
+	var o queryOpts
+	for _, f := range opts {
+		f(&o)
+	}
+	var store weights.Store = p.global
+	if o.session != nil {
+		if o.session.program != p {
+			return nil, errors.New("blog: session belongs to a different program")
+		}
+		store = o.session.inner
+	}
+
+	if strat == Parallel {
+		mode := par.SharedHeap
+		if o.twoLevel {
+			mode = par.TwoLevel
+		}
+		pres, err := par.Run(p.db, store, goals, par.Options{
+			Workers:       o.workers,
+			Mode:          mode,
+			D:             o.d,
+			MaxSolutions:  o.maxSolutions,
+			MaxExpansions: o.maxExpansions,
+			Learn:         o.learn,
+			MaxDepth:      o.maxDepth,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{
+			Expanded:   pres.Stats.Expanded,
+			Generated:  pres.Stats.Generated,
+			Failures:   pres.Stats.Failures,
+			Exhausted:  pres.Exhausted,
+			Migrations: pres.Stats.Migrations,
+		}
+		res.Solutions = convertSolutions(pres.Solutions, pres.QueryVars)
+		// Parallel completion order is nondeterministic; present
+		// solutions in a stable order.
+		sort.Slice(res.Solutions, func(i, j int) bool {
+			return res.Solutions[i].String() < res.Solutions[j].String()
+		})
+		return res, nil
+	}
+
+	var sstrat search.Strategy
+	switch strat {
+	case DFS:
+		sstrat = search.DFS
+	case BFS:
+		sstrat = search.BFS
+	case BestFirst:
+		sstrat = search.BestFirst
+	default:
+		return nil, fmt.Errorf("blog: unknown strategy %v", strat)
+	}
+
+	if o.andParallel {
+		ares, err := andpar.Solve(p.db, store, goals, andpar.Options{
+			Search: search.Options{
+				Strategy:      sstrat,
+				MaxExpansions: o.maxExpansions,
+				MaxDepth:      o.maxDepth,
+				Learn:         o.learn,
+				OccursCheck:   o.occursCheck,
+			},
+			Parallel:     true,
+			MaxSolutions: o.maxSolutions,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var qvars []*term.Var
+		for _, g := range goals {
+			qvars = term.Vars(g, qvars)
+		}
+		names := make([]string, len(qvars))
+		for i, v := range qvars {
+			names[i] = v.String()
+		}
+		res := &Result{Expanded: ares.Expanded, Exhausted: o.maxSolutions == 0}
+		for _, m := range ares.Solutions {
+			b := make(map[string]string, len(m))
+			for k, v := range m {
+				b[k] = v.String()
+			}
+			res.Solutions = append(res.Solutions, Solution{Bindings: b, varOrder: names})
+		}
+		return res, nil
+	}
+
+	sres, err := search.Run(p.db, store, goals, search.Options{
+		Strategy:      sstrat,
+		MaxSolutions:  o.maxSolutions,
+		MaxExpansions: o.maxExpansions,
+		MaxDepth:      o.maxDepth,
+		Learn:         o.learn,
+		Prune:         o.prune,
+		OccursCheck:   o.occursCheck,
+		RecordTree:    o.recordTree,
+		RecordTrace:   o.recordTrace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Expanded:  sres.Stats.Expanded,
+		Generated: sres.Stats.Generated,
+		Failures:  sres.Stats.Failures,
+		Exhausted: sres.Exhausted,
+		Trace:     sres.Trace,
+	}
+	if sres.Tree != nil {
+		res.Tree = sres.Tree.Render()
+	}
+	res.Solutions = convertSolutions(sres.Solutions, sres.QueryVars)
+	return res, nil
+}
+
+func convertSolutions(sols []engine.Solution, qvars []*term.Var) []Solution {
+	names := make([]string, len(qvars))
+	for i, v := range qvars {
+		names[i] = v.String()
+	}
+	out := make([]Solution, 0, len(sols))
+	for _, s := range sols {
+		b := make(map[string]string, len(s.Bindings))
+		for k, v := range s.Bindings {
+			b[k] = v.String()
+		}
+		out = append(out, Solution{Bindings: b, Bound: s.Bound, Depth: s.Depth, varOrder: names})
+	}
+	return out
+}
+
+// SolutionIter streams solutions one at a time, the interactive top-level
+// style of querying ("; for more"). Learning, when enabled, applies to
+// every chain the iterator completes even if the caller abandons it early.
+type SolutionIter struct {
+	inner *search.Iter
+	names []string
+}
+
+// Iter prepares a lazy query under a sequential strategy (DFS, BFS or
+// BestFirst); the Parallel strategy and tree/trace recording are not
+// supported in streaming mode.
+func (p *Program) Iter(query string, strat Strategy, opts ...Option) (*SolutionIter, error) {
+	goals, err := parse.Query(query)
+	if err != nil {
+		return nil, err
+	}
+	var o queryOpts
+	for _, f := range opts {
+		f(&o)
+	}
+	var store weights.Store = p.global
+	if o.session != nil {
+		if o.session.program != p {
+			return nil, errors.New("blog: session belongs to a different program")
+		}
+		store = o.session.inner
+	}
+	var sstrat search.Strategy
+	switch strat {
+	case DFS:
+		sstrat = search.DFS
+	case BFS:
+		sstrat = search.BFS
+	case BestFirst:
+		sstrat = search.BestFirst
+	default:
+		return nil, fmt.Errorf("blog: strategy %v not supported by Iter", strat)
+	}
+	it, err := search.NewIter(p.db, store, goals, search.Options{
+		Strategy:      sstrat,
+		MaxSolutions:  o.maxSolutions,
+		MaxExpansions: o.maxExpansions,
+		MaxDepth:      o.maxDepth,
+		Learn:         o.learn,
+		OccursCheck:   o.occursCheck,
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0)
+	for _, v := range it.QueryVars() {
+		names = append(names, v.String())
+	}
+	return &SolutionIter{inner: it, names: names}, nil
+}
+
+// Next returns the next solution; ok is false when the stream ends
+// (err reports aborts such as the expansion budget).
+func (s *SolutionIter) Next() (Solution, bool, error) {
+	sol, ok, err := s.inner.Next()
+	if !ok {
+		return Solution{}, false, err
+	}
+	b := make(map[string]string, len(sol.Bindings))
+	for k, v := range sol.Bindings {
+		b[k] = v.String()
+	}
+	return Solution{Bindings: b, Bound: sol.Bound, Depth: sol.Depth, varOrder: s.names}, true, nil
+}
+
+// Expanded returns the nodes expanded so far.
+func (s *SolutionIter) Expanded() uint64 { return s.inner.Stats().Expanded }
+
+// Session scopes weight learning per section 5: strong updates go to a
+// local store; End merges them conservatively into the program's global
+// table (infinities never override known global weights; known weights
+// move a damped step toward the session's values).
+type Session struct {
+	program *Program
+	inner   *session.Session
+}
+
+// NewSession begins a session. alpha in (0,1] is the end-of-session
+// averaging factor; pass 0 for the default 0.5.
+func (p *Program) NewSession(alpha float64) *Session {
+	var opts []session.Option
+	if alpha > 0 {
+		opts = append(opts, session.WithAlpha(alpha))
+	}
+	return &Session{program: p, inner: session.New(p.global, opts...)}
+}
+
+// End closes the session and merges into the global table, returning
+// counts of (adopted, averaged, infinitiesKept, infinitiesVetoed).
+func (s *Session) End() (adopted, averaged, kept, vetoed int) {
+	st := s.inner.End()
+	return st.Adopted, st.Averaged, st.InfinitiesKept, st.InfinitiesVetoed
+}
+
+// LocalLearned returns the number of locally learned arcs so far.
+func (s *Session) LocalLearned() int { return s.inner.LocalLen() }
+
+// MachineConfig configures the cycle-level machine simulation. The zero
+// value uses machine.DefaultConfig; set fields to override.
+type MachineConfig = machine.Config
+
+// MachineReport is the simulation outcome; see internal/machine.
+type MachineReport = machine.Report
+
+// DefaultMachineConfig returns the small figure-5 machine.
+func DefaultMachineConfig() MachineConfig { return machine.DefaultConfig() }
+
+// Simulate runs the query on the cycle-level parallel machine model
+// (processors x tasks, semantic paging disks, min-seeking network).
+func (p *Program) Simulate(query string, cfg MachineConfig) (*MachineReport, error) {
+	goals, err := parse.Query(query)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(cfg, p.db, p.global)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(goals)
+}
+
+// SaveWeights serializes the global weight table in a line-oriented text
+// format, so a learned database survives across processes (the global
+// database "in secondary storage" of section 5).
+func (p *Program) SaveWeights(w io.Writer) error {
+	_, err := p.global.WriteTo(w)
+	return err
+}
+
+// LoadWeights replaces the global weight table with one previously saved
+// by SaveWeights. The table's N/A coding becomes the program's coding.
+func (p *Program) LoadWeights(r io.Reader) error {
+	t, err := weights.ReadTable(r)
+	if err != nil {
+		return err
+	}
+	p.global = t
+	p.cfg = t.Config()
+	return nil
+}
+
+// GraphText renders the database in the figure-2 network style.
+func (p *Program) GraphText() string { return p.db.GraphText() }
+
+// GraphDOT renders the figure-2 fact network in Graphviz DOT syntax.
+func (p *Program) GraphDOT() string { return p.db.GraphDOT() }
+
+// LinkedListText renders the figure-4 weighted linked-list structure with
+// current global weights.
+func (p *Program) LinkedListText() string {
+	return p.db.LinkedListText(func(a kb.Arc) float64 { return p.global.Weight(a) })
+}

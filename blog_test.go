@@ -1,0 +1,358 @@
+package blog
+
+import (
+	"strings"
+	"testing"
+)
+
+const fig1 = `
+gf(X,Z) :- f(X,Y), f(Y,Z).
+gf(X,Z) :- f(X,Y), m(Y,Z).
+f(curt,elain).   f(sam,larry).
+f(dan,pat).      f(larry,den).
+f(pat,john).     f(larry,doug).
+m(elain,john).
+m(marian,elain).
+m(peg,den).
+m(peg,doug).
+
+?- gf(sam,G).
+`
+
+func loadFig1(t testing.TB) *Program {
+	t.Helper()
+	p, err := LoadString(fig1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadAndStats(t *testing.T) {
+	p := loadFig1(t)
+	clauses, facts, rules, preds, arcs := p.Stats()
+	if clauses != 12 || facts != 10 || rules != 2 || preds != 3 {
+		t.Errorf("stats = %d %d %d %d", clauses, facts, rules, preds)
+	}
+	if arcs == 0 {
+		t.Error("arcs missing")
+	}
+	dq := p.DirectiveQueries()
+	if len(dq) != 1 || dq[0] != "gf(sam,G)" {
+		t.Errorf("directives = %v", dq)
+	}
+}
+
+func TestLoadError(t *testing.T) {
+	if _, err := LoadString("p(a"); err == nil {
+		t.Error("bad source must fail")
+	}
+}
+
+func TestQueryAllStrategies(t *testing.T) {
+	p := loadFig1(t)
+	for _, s := range []Strategy{DFS, BFS, BestFirst, Parallel} {
+		res, err := p.Query("gf(sam,G)", s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if len(res.Solutions) != 2 {
+			t.Errorf("%v: %d solutions", s, len(res.Solutions))
+		}
+		if !res.Exhausted {
+			t.Errorf("%v: not exhausted", s)
+		}
+	}
+}
+
+func TestSolutionString(t *testing.T) {
+	p := loadFig1(t)
+	res, err := p.Query("gf(sam,G)", DFS, MaxSolutions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Solutions[0].String(); got != "G = den" {
+		t.Errorf("solution = %q", got)
+	}
+	gres, err := p.Query("gf(sam,den)", DFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gres.Solutions[0].String(); got != "true" {
+		t.Errorf("ground solution = %q", got)
+	}
+}
+
+func TestQueryParseError(t *testing.T) {
+	p := loadFig1(t)
+	if _, err := p.Query("gf(sam", DFS); err == nil {
+		t.Error("bad query must fail")
+	}
+}
+
+func TestLearningAndReset(t *testing.T) {
+	p := loadFig1(t)
+	if _, err := p.Query("gf(sam,G)", BestFirst, Learn()); err != nil {
+		t.Fatal(err)
+	}
+	if p.LearnedArcs() == 0 {
+		t.Error("learning should record arcs")
+	}
+	p.ResetWeights()
+	if p.LearnedArcs() != 0 {
+		t.Error("reset should clear")
+	}
+}
+
+func TestSessionFlow(t *testing.T) {
+	p := loadFig1(t)
+	s := p.NewSession(0.5)
+	if _, err := p.Query("gf(sam,G)", BestFirst, Learn(), InSession(s)); err != nil {
+		t.Fatal(err)
+	}
+	if s.LocalLearned() == 0 {
+		t.Error("session should learn locally")
+	}
+	if p.LearnedArcs() != 0 {
+		t.Error("global table must stay clean during session")
+	}
+	adopted, _, kept, _ := s.End()
+	if adopted+kept == 0 {
+		t.Error("End should publish something")
+	}
+	if p.LearnedArcs() == 0 {
+		t.Error("global table should hold merged weights")
+	}
+}
+
+func TestSessionWrongProgram(t *testing.T) {
+	p1 := loadFig1(t)
+	p2 := loadFig1(t)
+	s := p1.NewSession(0)
+	if _, err := p2.Query("gf(sam,G)", DFS, InSession(s)); err == nil {
+		t.Error("cross-program session must be rejected")
+	}
+}
+
+func TestRecordTreeAndTrace(t *testing.T) {
+	p := loadFig1(t)
+	res, err := p.Query("gf(sam,G)", DFS, RecordTree(), RecordTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Tree, "SOLUTION") || !strings.Contains(res.Tree, "FAIL") {
+		t.Errorf("tree:\n%s", res.Tree)
+	}
+	if len(res.Trace) == 0 {
+		t.Error("trace empty")
+	}
+}
+
+func TestParallelOptions(t *testing.T) {
+	p := loadFig1(t)
+	res, err := p.Query("gf(sam,G)", Parallel, Workers(8), MigrationThreshold(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 2 {
+		t.Errorf("solutions = %d", len(res.Solutions))
+	}
+	// Stable presentation order.
+	if res.Solutions[0].String() > res.Solutions[1].String() {
+		t.Error("parallel solutions must be sorted")
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	p := loadFig1(t)
+	rep, err := p.Simulate("gf(sam,G)", DefaultMachineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Solutions) != 2 || rep.Cycles <= 0 {
+		t.Errorf("simulate: %d solutions in %d cycles", len(rep.Solutions), rep.Cycles)
+	}
+}
+
+func TestRenderings(t *testing.T) {
+	p := loadFig1(t)
+	if !strings.Contains(p.GraphText(), "(curt) --f--> (elain)") {
+		t.Error("graph text missing fact arc")
+	}
+	if !strings.Contains(p.LinkedListText(), "block 0") {
+		t.Error("linked list text missing blocks")
+	}
+}
+
+func TestMaxDepthOption(t *testing.T) {
+	p, err := LoadString("loop :- loop.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Query("loop", DFS, MaxDepth(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 0 {
+		t.Error("cyclic program should not solve")
+	}
+}
+
+func TestConfigOverride(t *testing.T) {
+	p, err := LoadString(fig1, Config{N: 32, A: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Query("gf(sam,G)", BestFirst, Learn()); err != nil {
+		t.Fatal(err)
+	}
+	if p.LearnedArcs() == 0 {
+		t.Error("custom config should still learn")
+	}
+}
+
+func TestSaveLoadWeights(t *testing.T) {
+	p := loadFig1(t)
+	if _, err := p.Query("gf(sam,G)", BestFirst, Learn()); err != nil {
+		t.Fatal(err)
+	}
+	learned := p.LearnedArcs()
+	if learned == 0 {
+		t.Fatal("nothing learned")
+	}
+	var buf strings.Builder
+	if err := p.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh program instance picks up where the old one left off.
+	p2 := loadFig1(t)
+	if err := p2.LoadWeights(strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+	if p2.LearnedArcs() != learned {
+		t.Errorf("restored %d arcs, want %d", p2.LearnedArcs(), learned)
+	}
+	res, err := p2.Query("gf(sam,G)", BestFirst, MaxSolutions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 {
+		t.Error("restored weights should avoid the failing branch")
+	}
+	if err := p2.LoadWeights(strings.NewReader("garbage")); err == nil {
+		t.Error("bad input must fail")
+	}
+}
+
+func TestNegationThroughFacade(t *testing.T) {
+	p, err := LoadString("p(a).\nitem(a). item(b). item(c).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Query("item(X), \\+(p(X))", DFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 2 {
+		t.Errorf("NAF filter found %d solutions, want 2", len(res.Solutions))
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if DFS.String() != "dfs" || Parallel.String() != "parallel" {
+		t.Error("strategy names")
+	}
+	if Strategy(9).String() != "Strategy(9)" {
+		t.Error("unknown strategy")
+	}
+}
+
+func TestUnknownStrategyRejected(t *testing.T) {
+	p := loadFig1(t)
+	if _, err := p.Query("gf(sam,G)", Strategy(42)); err == nil {
+		t.Error("unknown strategy must error")
+	}
+}
+
+func TestPreludeConfig(t *testing.T) {
+	p, err := LoadString("roster(R) :- permutation([a,b,c], R).", Config{Prelude: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Query("roster(R)", BestFirst, MaxDepth(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 6 {
+		t.Errorf("rosters = %d, want 6", len(res.Solutions))
+	}
+	if PreludeSource == "" {
+		t.Error("prelude source must be exposed")
+	}
+}
+
+func TestIterFacade(t *testing.T) {
+	p := loadFig1(t)
+	it, err := p.Iter("gf(sam, G)", BestFirst, Learn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for {
+		s, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, s.String())
+	}
+	if len(got) != 2 {
+		t.Errorf("streamed %v", got)
+	}
+	if it.Expanded() == 0 {
+		t.Error("no work recorded")
+	}
+	if p.LearnedArcs() == 0 {
+		t.Error("streaming with Learn should update the table")
+	}
+	if _, err := p.Iter("gf(sam,G)", Parallel); err == nil {
+		t.Error("parallel streaming unsupported")
+	}
+	if _, err := p.Iter("gf(sam", DFS); err == nil {
+		t.Error("bad query must fail")
+	}
+}
+
+func TestAndParallelOption(t *testing.T) {
+	p, err := LoadString("p(1). p(2). p(3).\nq(a). q(b).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Query("p(X), q(Y)", DFS, AndParallel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 6 {
+		t.Errorf("cross product = %d, want 6", len(res.Solutions))
+	}
+	seen := map[string]bool{}
+	for _, s := range res.Solutions {
+		seen[s.String()] = true
+		if s.Bindings["X"] == "" || s.Bindings["Y"] == "" {
+			t.Errorf("incomplete solution %v", s.Bindings)
+		}
+	}
+	if len(seen) != 6 {
+		t.Errorf("distinct = %d", len(seen))
+	}
+	// Capped.
+	capped, err := p.Query("p(X), q(Y)", DFS, AndParallel(), MaxSolutions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped.Solutions) != 2 {
+		t.Errorf("capped = %d", len(capped.Solutions))
+	}
+}

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"blog"
+)
+
+// replState carries the interactive session's settings.
+type replState struct {
+	prog     *blog.Program
+	strategy blog.Strategy
+	learn    bool
+	maxSol   int
+	maxDepth int
+	workers  int
+	session  *blog.Session
+}
+
+const replHelp = `commands:
+  <goal>.                 run a query, e.g. gf(sam, G).
+  :strategy dfs|bfs|best|parallel
+  :learn on|off           apply section-5 weight updates
+  :n <k>                  stop after k solutions (0 = all)
+  :depth <k>              chain depth limit (0 = default)
+  :workers <k>            parallel worker count
+  :session begin [alpha]  start a learning session
+  :session end            merge the session into the global table
+  :save <file>            write learned weights
+  :load <file>            read learned weights
+  :stats                  database and weight-table statistics
+  :help                   this text
+  :quit                   leave`
+
+// runREPL drives an interactive loop until :quit or EOF.
+func runREPL(prog *blog.Program, in io.Reader, out io.Writer) {
+	st := &replState{prog: prog, strategy: blog.BestFirst, workers: 4}
+	sc := bufio.NewScanner(in)
+	fmt.Fprintln(out, "B-LOG interactive. :help for commands.")
+	for {
+		fmt.Fprint(out, "?- ")
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, ":"):
+			if quit := st.command(line, out); quit {
+				return
+			}
+		default:
+			st.query(line, out)
+		}
+	}
+}
+
+// command handles a colon directive; returns true to exit.
+func (st *replState) command(line string, out io.Writer) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ":quit", ":q", ":exit":
+		return true
+	case ":help", ":h":
+		fmt.Fprintln(out, replHelp)
+	case ":strategy":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: :strategy dfs|bfs|best|parallel")
+			break
+		}
+		switch fields[1] {
+		case "dfs":
+			st.strategy = blog.DFS
+		case "bfs":
+			st.strategy = blog.BFS
+		case "best":
+			st.strategy = blog.BestFirst
+		case "parallel":
+			st.strategy = blog.Parallel
+		default:
+			fmt.Fprintf(out, "unknown strategy %q\n", fields[1])
+			break
+		}
+		fmt.Fprintf(out, "strategy: %v\n", st.strategy)
+	case ":learn":
+		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+			fmt.Fprintln(out, "usage: :learn on|off")
+			break
+		}
+		st.learn = fields[1] == "on"
+		fmt.Fprintf(out, "learn: %v\n", st.learn)
+	case ":n", ":depth", ":workers":
+		if len(fields) != 2 {
+			fmt.Fprintf(out, "usage: %s <int>\n", fields[0])
+			break
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil || v < 0 {
+			fmt.Fprintf(out, "bad count %q\n", fields[1])
+			break
+		}
+		switch fields[0] {
+		case ":n":
+			st.maxSol = v
+		case ":depth":
+			st.maxDepth = v
+		case ":workers":
+			st.workers = v
+		}
+		fmt.Fprintf(out, "%s = %d\n", fields[0][1:], v)
+	case ":session":
+		st.sessionCmd(fields, out)
+	case ":save", ":load":
+		if len(fields) != 2 {
+			fmt.Fprintf(out, "usage: %s <file>\n", fields[0])
+			break
+		}
+		if err := st.persist(fields[0] == ":save", fields[1]); err != nil {
+			fmt.Fprintln(out, "error:", err)
+		} else {
+			fmt.Fprintf(out, "%s %s: %d learned arcs\n", fields[0][1:], fields[1], st.prog.LearnedArcs())
+		}
+	case ":stats":
+		clauses, facts, rules, preds, arcs := st.prog.Stats()
+		fmt.Fprintf(out, "database: %d clauses (%d facts, %d rules), %d predicates, %d arcs\n",
+			clauses, facts, rules, preds, arcs)
+		fmt.Fprintf(out, "weights: %d learned arcs", st.prog.LearnedArcs())
+		if st.session != nil {
+			fmt.Fprintf(out, " (+%d session-local)", st.session.LocalLearned())
+		}
+		fmt.Fprintln(out)
+	default:
+		fmt.Fprintf(out, "unknown command %s (:help)\n", fields[0])
+	}
+	return false
+}
+
+func (st *replState) sessionCmd(fields []string, out io.Writer) {
+	if len(fields) < 2 {
+		fmt.Fprintln(out, "usage: :session begin [alpha] | :session end")
+		return
+	}
+	switch fields[1] {
+	case "begin":
+		if st.session != nil {
+			fmt.Fprintln(out, "a session is already active; :session end first")
+			return
+		}
+		alpha := 0.0
+		if len(fields) == 3 {
+			v, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				fmt.Fprintf(out, "bad alpha %q\n", fields[2])
+				return
+			}
+			alpha = v
+		}
+		st.session = st.prog.NewSession(alpha)
+		fmt.Fprintln(out, "session begun; learning is now session-local")
+	case "end":
+		if st.session == nil {
+			fmt.Fprintln(out, "no session active")
+			return
+		}
+		adopted, averaged, kept, vetoed := st.session.End()
+		st.session = nil
+		fmt.Fprintf(out, "session merged: %d adopted, %d averaged, %d infinities kept, %d vetoed\n",
+			adopted, averaged, kept, vetoed)
+	default:
+		fmt.Fprintln(out, "usage: :session begin [alpha] | :session end")
+	}
+}
+
+func (st *replState) persist(save bool, path string) error {
+	if save {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return st.prog.SaveWeights(f)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return st.prog.LoadWeights(f)
+}
+
+func (st *replState) query(line string, out io.Writer) {
+	line = strings.TrimSuffix(line, ".")
+	opts := []blog.Option{blog.MaxSolutions(st.maxSol), blog.MaxDepth(st.maxDepth)}
+	if st.learn {
+		opts = append(opts, blog.Learn())
+	}
+	if st.session != nil {
+		opts = append(opts, blog.InSession(st.session))
+	}
+	if st.strategy == blog.Parallel {
+		opts = append(opts, blog.Workers(st.workers))
+	}
+	res, err := st.prog.Query(line, st.strategy, opts...)
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	if len(res.Solutions) == 0 {
+		fmt.Fprintln(out, "no.")
+		return
+	}
+	for _, s := range res.Solutions {
+		fmt.Fprintf(out, "%s ;\n", s)
+	}
+	fmt.Fprintf(out, "%d solution(s), %d expansions\n", len(res.Solutions), res.Expanded)
+}

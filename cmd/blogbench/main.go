@@ -1,0 +1,61 @@
+// Command blogbench regenerates every exhibit of the reproduction: the
+// paper's six figures (F1-F6) and the eight quantitative experiments
+// (E1-E8) indexed in DESIGN.md, printing the tables recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	blogbench              # run everything
+//	blogbench -exp E1,E4   # run selected experiments
+//	blogbench -list        # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"blog/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		list = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-3s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+
+	var runners []experiments.Runner
+	if *exp == "all" {
+		runners = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			r, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "blogbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	for i, r := range runners {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("=== %s: %s ===\n", r.ID, r.Desc)
+		if err := r.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "blogbench: %s failed: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+	}
+}

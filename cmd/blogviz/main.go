@@ -1,0 +1,93 @@
+// Command blogviz dumps the paper's structural figures for any loaded
+// program: the database graph (figure 2), the OR search tree of a query
+// (figures 1 and 3), and the weighted linked-list storage structure
+// (figure 4).
+//
+// Usage:
+//
+//	blogviz -fig graph -f program.pl
+//	blogviz -fig tree  -f program.pl -q 'gf(sam,G)'
+//	blogviz -fig list  -f program.pl
+//
+// Without -f it uses the paper's own figure-1 example program.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blog"
+	"blog/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "tree", "what to draw: graph | dot | tree | list | trace")
+		file  = flag.String("f", "", "program file (default: the paper's figure-1 example)")
+		query = flag.String("q", "", "query for -fig tree/trace (default: the file's first ?- directive)")
+	)
+	flag.Parse()
+
+	src := experiments.Fig1Program
+	if *file != "" {
+		b, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+	}
+	prog, err := blog.LoadString(src)
+	if err != nil {
+		fatal(err)
+	}
+	q := *query
+	if q == "" {
+		if dq := prog.DirectiveQueries(); len(dq) > 0 {
+			q = dq[0]
+		} else if *file == "" {
+			q = "gf(sam,G)"
+		}
+	}
+
+	switch *fig {
+	case "graph":
+		fmt.Print(prog.GraphText())
+	case "dot":
+		fmt.Print(prog.GraphDOT())
+	case "list":
+		fmt.Print(prog.LinkedListText())
+	case "tree":
+		requireQuery(q)
+		res, err := prog.Query(q, blog.DFS, blog.RecordTree())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Tree)
+	case "trace":
+		requireQuery(q)
+		res, err := prog.Query(q, blog.DFS, blog.RecordTrace(), blog.MaxSolutions(1))
+		if err != nil {
+			fatal(err)
+		}
+		for _, line := range res.Trace {
+			fmt.Println(line)
+		}
+		for _, s := range res.Solutions {
+			fmt.Println("solution:", s)
+		}
+	default:
+		fatal(fmt.Errorf("unknown figure %q (graph | tree | list | trace)", *fig))
+	}
+}
+
+func requireQuery(q string) {
+	if q == "" {
+		fatal(fmt.Errorf("this figure needs -q or a ?- directive in the file"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "blogviz:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Machine: run a query on the cycle-level simulation of the full figure-5
+// B-LOG machine — scoreboard processors with multitasked chains, semantic
+// paging disks, and the minimum-seeking network — and sweep the processor
+// count to see simulated speedup.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blog"
+	"blog/internal/workload"
+)
+
+func main() {
+	prog, err := blog.LoadString(workload.FamilyTree(5, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	query := "anc(p0, X)"
+	fmt.Printf("simulating ?- %s. on the figure-5 machine\n\n", query)
+
+	fmt.Println("procs  tasks  cycles     first-sol  page-ins  migrations  util(min..max)")
+	var base int64
+	for _, procs := range []int{1, 2, 4, 8} {
+		cfg := blog.DefaultMachineConfig()
+		cfg.Processors = procs
+		cfg.MaxDepth = 32
+		rep, err := prog.Simulate(query, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if procs == 1 {
+			base = int64(rep.Cycles)
+		}
+		minU, maxU := 1.0, 0.0
+		for _, u := range rep.ProcUtil {
+			if u < minU {
+				minU = u
+			}
+			if u > maxU {
+				maxU = u
+			}
+		}
+		fmt.Printf("%5d  %5d  %-9d  %-9d  %-8d  %-10d  %.2f..%.2f   (speedup %.2fx)\n",
+			procs, cfg.TasksPerProcessor, rep.Cycles, rep.FirstSolution,
+			rep.PageIns, rep.Migrations, minU, maxU,
+			float64(base)/float64(rep.Cycles))
+	}
+
+	fmt.Println("\nthe machine finds the same answers as the live engine:")
+	cfg := blog.DefaultMachineConfig()
+	cfg.MaxDepth = 32
+	rep, err := prog.Simulate(query, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	live, err := prog.Query(query, blog.Parallel, blog.MaxDepth(32))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  simulated: %d solutions   live goroutines: %d solutions\n",
+		len(rep.Solutions), len(live.Solutions))
+}

@@ -1,0 +1,71 @@
+// N-queens: a non-deterministic generate-and-test program, the workload
+// class the paper says OR-parallelism speeds up best ("specially when
+// more than one solution is needed", section 7). The example compares
+// sequential strategies against the parallel OR-engine and prints the
+// boards.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"blog"
+	"blog/internal/workload"
+)
+
+func main() {
+	prog, err := blog.LoadString(workload.NQueens)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const n = 6
+	query := fmt.Sprintf("queens(%d, Qs)", n)
+	fmt.Printf("?- %s.   %% all solutions\n\n", query)
+
+	start := time.Now()
+	seq, err := prog.Query(query, blog.DFS, blog.MaxDepth(512))
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqTime := time.Since(start)
+
+	start = time.Now()
+	par, err := prog.Query(query, blog.Parallel, blog.Workers(8),
+		blog.MigrationThreshold(4), blog.MaxDepth(512))
+	if err != nil {
+		log.Fatal(err)
+	}
+	parTime := time.Since(start)
+
+	fmt.Printf("sequential DFS:      %2d solutions in %8v (%d expansions)\n",
+		len(seq.Solutions), seqTime.Round(time.Microsecond), seq.Expanded)
+	fmt.Printf("parallel (8 workers): %2d solutions in %8v (%d expansions)\n\n",
+		len(par.Solutions), parTime.Round(time.Microsecond), par.Expanded)
+
+	if len(seq.Solutions) != len(par.Solutions) {
+		log.Fatalf("solution sets differ: %d vs %d", len(seq.Solutions), len(par.Solutions))
+	}
+
+	fmt.Printf("first board (%s):\n", seq.Solutions[0].Bindings["Qs"])
+	printBoard(seq.Solutions[0].Bindings["Qs"], n)
+}
+
+// printBoard renders a queens list like [2,4,1,3] as an ASCII board.
+func printBoard(qs string, n int) {
+	cols := strings.Split(strings.Trim(qs, "[]"), ",")
+	for _, c := range cols {
+		col := 0
+		fmt.Sscanf(strings.TrimSpace(c), "%d", &col)
+		for i := 1; i <= n; i++ {
+			if i == col {
+				fmt.Print(" Q")
+			} else {
+				fmt.Print(" .")
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,85 @@
+// Pathfinding: route queries over a layered network, the kind of
+// repeated, similar query stream the paper's session concept targets.
+// A dispatcher asks for routes from nearby sources all day; within a
+// session B-LOG's learned weights steer the search straight to the
+// productive edges, and the end-of-session merge improves the next
+// session's starting point.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"blog"
+	"blog/internal/workload"
+)
+
+func main() {
+	// A layered DAG: 6 layers x 5 nodes, 3 outgoing edges each, plus
+	// path/2 rules (edge composition).
+	src := workload.DAG(6, 5, 3, 2026)
+	prog, err := blog.LoadString(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clauses, facts, rules, _, arcs := prog.Stats()
+	fmt.Printf("road network: %d clauses (%d edges, %d rules), %d weighted pointers\n\n",
+		clauses, facts, rules, arcs)
+
+	// The dispatcher's queries: all from layer-0 sources to anywhere.
+	queries := []string{
+		"path(n0_0, Z)", "path(n0_1, Z)", "path(n0_0, Z)",
+		"path(n0_2, Z)", "path(n0_1, Z)", "path(n0_0, Z)",
+	}
+
+	// The dispatcher needs *a* route quickly (first few solutions), which
+	// is where best-first learning pays: once a query's productive edges
+	// are learned, repeats go straight down the known-good chains.
+	const routesWanted = 5
+	fmt.Printf("session 1: best-first, first %d routes per query, in-session learning\n", routesWanted)
+	sess := prog.NewSession(0.7)
+	var firstCost uint64
+	repeatCosts := map[string][]uint64{}
+	for i, q := range queries {
+		res, err := prog.Query(q, blog.BestFirst, blog.Learn(), blog.InSession(sess),
+			blog.MaxSolutions(routesWanted), blog.MaxDepth(24))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			firstCost = res.Expanded
+		}
+		repeatCosts[q] = append(repeatCosts[q], res.Expanded)
+		fmt.Printf("  ?- %-15s %3d routes, %4d expansions\n", q+".", len(res.Solutions), res.Expanded)
+	}
+	adopted, averaged, kept, vetoed := sess.End()
+	fmt.Printf("session end: %d weights adopted, %d averaged, %d infinities kept, %d vetoed\n",
+		adopted, averaged, kept, vetoed)
+	for q, costs := range repeatCosts {
+		if len(costs) > 1 && costs[len(costs)-1] < costs[0] {
+			fmt.Printf("repeats of %q got cheaper: %d -> %d expansions\n", q, costs[0], costs[len(costs)-1])
+		}
+	}
+
+	fmt.Println("\nsession 2 starts from the merged global weights:")
+	res, err := prog.Query(queries[0], blog.BestFirst,
+		blog.MaxSolutions(routesWanted), blog.MaxDepth(24))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  ?- %s  %d routes, %d expansions (was %d cold)\n",
+		queries[0]+".", len(res.Solutions), res.Expanded, firstCost)
+
+	// Show a few concrete destinations.
+	fmt.Println("\nsample destinations reached from n0_0:")
+	shown := 0
+	for _, s := range res.Solutions {
+		if strings.HasPrefix(s.Bindings["Z"], "n") {
+			fmt.Printf("  n0_0 ~> %s\n", s.Bindings["Z"])
+			if shown++; shown == routesWanted {
+				break
+			}
+		}
+	}
+}

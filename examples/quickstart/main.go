@@ -1,0 +1,71 @@
+// Quickstart: load the paper's figure-1 family database, run the
+// grandparent query under Prolog-style DFS and under B-LOG best-first
+// search with learning, and show the adaptive speedup of a re-query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blog"
+)
+
+const program = `
+% Figure 1 of the B-LOG paper: rules...
+gf(X,Z) :- f(X,Y), f(Y,Z).
+gf(X,Z) :- f(X,Y), m(Y,Z).
+
+% ...and facts (f = father of, m = mother of).
+f(curt,elain).   f(sam,larry).
+f(dan,pat).      f(larry,den).
+f(pat,john).     f(larry,doug).
+m(elain,john).
+m(marian,elain).
+m(peg,den).
+m(peg,doug).
+`
+
+func main() {
+	prog, err := blog.LoadString(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("?- gf(sam, G).   % who is a grandchild of sam?")
+	res, err := prog.Query("gf(sam, G)", blog.DFS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range res.Solutions {
+		fmt.Printf("  %s\n", s)
+	}
+	fmt.Printf("Prolog-style DFS expanded %d nodes, hit %d dead end(s).\n\n",
+		res.Expanded, res.Failures)
+
+	// B-LOG: best-first search that learns arc weights (section 5).
+	first, err := prog.Query("gf(sam, G)", blog.BestFirst, blog.Learn())
+	if err != nil {
+		log.Fatal(err)
+	}
+	again, err := prog.Query("gf(sam, G)", blog.BestFirst, blog.Learn(), blog.MaxSolutions(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("B-LOG best-first: first run expanded %d nodes;\n", first.Expanded)
+	fmt.Printf("after learning, the re-query reached a solution in %d expansions\n", again.Expanded)
+	fmt.Printf("and avoided the failing mother-branch entirely (failures: %d).\n", again.Failures)
+
+	// The same query on the parallel OR-engine.
+	par, err := prog.Query("gf(sam, G)", blog.Parallel, blog.Workers(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nparallel OR-search (4 workers) found %d solutions: ", len(par.Solutions))
+	for i, s := range par.Solutions {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(s)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,303 @@
+package andpar
+
+import (
+	"testing"
+
+	"blog/internal/kb"
+	"blog/internal/parse"
+	"blog/internal/search"
+	"blog/internal/spd"
+	"blog/internal/term"
+	"blog/internal/weights"
+	"blog/internal/workload"
+)
+
+func load(t testing.TB, src string) *kb.DB {
+	t.Helper()
+	db, _, err := kb.LoadString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func q(t testing.TB, s string) []term.Term {
+	t.Helper()
+	gs, err := parse.Query(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gs
+}
+
+func uniform() weights.Store { return weights.NewUniform(weights.DefaultConfig()) }
+
+func TestGroupsIndependent(t *testing.T) {
+	goals := q(t, "p(X), q(Y), r(Z)")
+	groups := Groups(nil, goals)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v, want 3 singletons", groups)
+	}
+}
+
+func TestGroupsChained(t *testing.T) {
+	goals := q(t, "p(X,Y), q(Y,Z), r(W)")
+	groups := Groups(nil, goals)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want 2", groups)
+	}
+	if len(groups[0]) != 2 || groups[0][0] != 0 || groups[0][1] != 1 {
+		t.Errorf("first group = %v", groups[0])
+	}
+	if len(groups[1]) != 1 || groups[1][0] != 2 {
+		t.Errorf("second group = %v", groups[1])
+	}
+}
+
+func TestGroupsTransitive(t *testing.T) {
+	// X links g0-g1, Z links g1-g2: all one group.
+	goals := q(t, "p(X), q(X,Z), r(Z)")
+	groups := Groups(nil, goals)
+	if len(groups) != 1 || len(groups[0]) != 3 {
+		t.Fatalf("groups = %v, want one group of 3", groups)
+	}
+}
+
+func TestGroupsRespectEnvBindings(t *testing.T) {
+	// After binding the shared variable, the goals become independent.
+	goals := q(t, "p(X), q(X)")
+	x := term.Vars(goals[0], nil)[0]
+	env := (*term.Env)(nil).Bind(x, term.Atom("a"))
+	groups := Groups(env, goals)
+	if len(groups) != 2 {
+		t.Fatalf("ground-shared goals should be independent, got %v", groups)
+	}
+}
+
+func TestGroupsGroundGoals(t *testing.T) {
+	goals := q(t, "p(a), q(b)")
+	if len(Groups(nil, goals)) != 2 {
+		t.Error("ground goals are independent")
+	}
+}
+
+const indepSrc = `
+p(1). p(2). p(3).
+q(a). q(b).
+r(z).
+`
+
+func TestSolveIndependentCrossProduct(t *testing.T) {
+	db := load(t, indepSrc)
+	for _, parallel := range []bool{false, true} {
+		res, err := Solve(db, uniform(), q(t, "p(X), q(Y)"), Options{
+			Search:   search.Options{Strategy: search.DFS},
+			Parallel: parallel,
+		})
+		if err != nil {
+			t.Fatalf("parallel=%v: %v", parallel, err)
+		}
+		if res.GroupCount != 2 {
+			t.Errorf("groups = %d", res.GroupCount)
+		}
+		if len(res.Solutions) != 6 {
+			t.Fatalf("parallel=%v: solutions = %d, want 3x2=6", parallel, len(res.Solutions))
+		}
+		// Every solution binds both X and Y.
+		seen := map[string]bool{}
+		for _, s := range res.Solutions {
+			seen[s["X"].String()+"/"+s["Y"].String()] = true
+		}
+		if len(seen) != 6 {
+			t.Errorf("distinct combinations = %d", len(seen))
+		}
+	}
+}
+
+func TestSolveMatchesSequentialSearch(t *testing.T) {
+	db := load(t, indepSrc)
+	seqRes, err := search.Run(db, uniform(), q(t, "p(X), q(Y), r(Z)"), search.Options{Strategy: search.DFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := Solve(db, uniform(), q(t, "p(X), q(Y), r(Z)"), Options{
+		Search:   search.Options{Strategy: search.DFS},
+		Parallel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parRes.Solutions) != len(seqRes.Solutions) {
+		t.Errorf("AND-parallel %d solutions, sequential %d", len(parRes.Solutions), len(seqRes.Solutions))
+	}
+}
+
+func TestSolveFailingGroupFailsAll(t *testing.T) {
+	db := load(t, indepSrc)
+	res, err := Solve(db, uniform(), q(t, "p(X), missing(Y)"), Options{
+		Search: search.Options{Strategy: search.DFS},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 0 {
+		t.Error("conjunction with failing group must fail")
+	}
+	if res.GroupSolutions[0] == 0 {
+		t.Error("p group should have solutions")
+	}
+}
+
+func TestSolveMaxSolutions(t *testing.T) {
+	db := load(t, indepSrc)
+	res, err := Solve(db, uniform(), q(t, "p(X), q(Y)"), Options{
+		Search:       search.Options{Strategy: search.DFS},
+		MaxSolutions: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 4 {
+		t.Errorf("solutions = %d, want capped 4", len(res.Solutions))
+	}
+}
+
+func TestSolveEmptyErrors(t *testing.T) {
+	db := load(t, indepSrc)
+	if _, err := Solve(db, uniform(), nil, Options{}); err == nil {
+		t.Error("empty conjunction must error")
+	}
+}
+
+func TestSemiJoinMatchesNestedLoop(t *testing.T) {
+	db := load(t, workload.Join(20, 30, 0.5, 5))
+	goals := q(t, "r(X,K), s(K,V)")
+	opt := search.Options{Strategy: search.DFS}
+	sj, err := SemiJoin(db, uniform(), goals[0], goals[1], nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := NestedLoopJoin(db, uniform(), goals[0], goals[1], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sj.Solutions) != len(nl.Solutions) {
+		t.Fatalf("semi-join %d solutions, nested loop %d", len(sj.Solutions), len(nl.Solutions))
+	}
+	// The point of the semi-join: far fewer join attempts.
+	if sj.JoinAttempts >= nl.JoinAttempts {
+		t.Errorf("semi-join attempts %d should be < nested loop %d", sj.JoinAttempts, nl.JoinAttempts)
+	}
+	if sj.MarkedClauses >= sj.ConsumerClauses {
+		t.Errorf("marking should restrict candidates: %d of %d", sj.MarkedClauses, sj.ConsumerClauses)
+	}
+}
+
+func TestSemiJoinAgainstSearchBaseline(t *testing.T) {
+	// The semi-join result must equal the plain sequential search result.
+	db := load(t, workload.Join(10, 15, 0.7, 9))
+	goals := q(t, "r(X,K), s(K,V)")
+	opt := search.Options{Strategy: search.DFS}
+	sj, err := SemiJoin(db, uniform(), goals[0], goals[1], nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := search.Run(db, uniform(), q(t, "r(X,K), s(K,V)"), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sj.Solutions) != len(seq.Solutions) {
+		t.Errorf("semi-join %d, search %d", len(sj.Solutions), len(seq.Solutions))
+	}
+}
+
+func TestSemiJoinWithSPDCharging(t *testing.T) {
+	db := load(t, workload.Join(16, 16, 0.5, 11))
+	ws := uniform()
+	blocks := spd.BuildBlocks(db, ws)
+	disk := spd.New(spd.DefaultGeometry(), spd.MIMD, 4)
+	if err := disk.Store(blocks); err != nil {
+		t.Fatal(err)
+	}
+	goals := q(t, "r(X,K), s(K,V)")
+	sj, err := SemiJoin(db, ws, goals[0], goals[1], disk, search.Options{Strategy: search.DFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sj.SPDCycles <= 0 {
+		t.Error("SPD marking must cost simulated cycles")
+	}
+	if sj.MarkedClauses == 0 || len(sj.Solutions) == 0 {
+		t.Errorf("marked=%d solutions=%d", sj.MarkedClauses, len(sj.Solutions))
+	}
+}
+
+func TestSemiJoinRequiresSharedVars(t *testing.T) {
+	db := load(t, indepSrc)
+	goals := q(t, "p(X), q(Y)")
+	if _, err := SemiJoin(db, uniform(), goals[0], goals[1], nil, search.Options{}); err == nil {
+		t.Error("independent goals must be rejected")
+	}
+}
+
+func TestSemiJoinRejectsRuleConsumer(t *testing.T) {
+	db := load(t, "r(1,a).\nderived(K,V) :- base(K,V).\nbase(a,x).")
+	goals := q(t, "r(X,K), derived(K,V)")
+	if _, err := SemiJoin(db, uniform(), goals[0], goals[1], nil, search.Options{Strategy: search.DFS}); err == nil {
+		t.Error("rule consumers are out of scope and must be rejected")
+	}
+}
+
+func TestSemiJoinEmptyProducer(t *testing.T) {
+	db := load(t, "s(a,1).")
+	goals := q(t, "r(X,K), s(K,V)")
+	sj, err := SemiJoin(db, uniform(), goals[0], goals[1], nil, search.Options{Strategy: search.DFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sj.ProducerSolutions != 0 || len(sj.Solutions) != 0 {
+		t.Error("empty producer should yield empty join")
+	}
+}
+
+func TestSolveParallelIsRaceFree(t *testing.T) {
+	// run with -race: groups share the weight store.
+	db := load(t, workload.FamilyTree(3, 2)+"\ncolor(red). color(blue).\n")
+	tab := weights.NewTable(weights.Config{N: 16, A: 64})
+	res, err := Solve(db, tab, q(t, "gf(p0,G), color(C)"), Options{
+		Search:   search.Options{Strategy: search.BestFirst, Learn: true},
+		Parallel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GroupCount != 2 {
+		t.Errorf("groups = %d", res.GroupCount)
+	}
+	if len(res.Solutions) == 0 {
+		t.Error("expected joined solutions")
+	}
+}
+
+func BenchmarkSemiJoinVsNested(b *testing.B) {
+	db, _, err := kb.LoadString(workload.Join(100, 200, 0.2, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	goals, _ := parse.Query("r(X,K), s(K,V)")
+	opt := search.Options{Strategy: search.DFS}
+	b.Run("semijoin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := SemiJoin(db, uniform(), goals[0], goals[1], nil, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nested", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := NestedLoopJoin(db, uniform(), goals[0], goals[1], opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,536 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"blog/internal/term"
+	"blog/internal/unify"
+)
+
+// builtin evaluates a goal under an environment. It returns one successor
+// environment per solution of the builtin (deterministic builtins return
+// zero or one). A returned error aborts the whole search: it signals a
+// program error such as an unbound arithmetic operand, not mere failure.
+type builtin func(env *term.Env, goal term.Term) ([]*term.Env, error)
+
+type biKey struct {
+	name  string
+	arity int
+}
+
+// IsBuiltin reports whether name/arity is an evaluable builtin.
+func IsBuiltin(name string, arity int) bool {
+	_, ok := builtins[biKey{name, arity}]
+	return ok
+}
+
+var builtins map[biKey]builtin
+
+func init() {
+	builtins = map[biKey]builtin{
+		{"true", 0}:      biTrue,
+		{"fail", 0}:      biFail,
+		{"false", 0}:     biFail,
+		{"!", 0}:         biCut,
+		{"=", 2}:         biUnify,
+		{"\\=", 2}:       biNotUnify,
+		{"==", 2}:        biStructEq,
+		{"\\==", 2}:      biStructNeq,
+		{"is", 2}:        biIs,
+		{"=:=", 2}:       arithCompare(func(a, b int64) bool { return a == b }),
+		{"=\\=", 2}:      arithCompare(func(a, b int64) bool { return a != b }),
+		{"<", 2}:         arithCompare(func(a, b int64) bool { return a < b }),
+		{">", 2}:         arithCompare(func(a, b int64) bool { return a > b }),
+		{"=<", 2}:        arithCompare(func(a, b int64) bool { return a <= b }),
+		{">=", 2}:        arithCompare(func(a, b int64) bool { return a >= b }),
+		{"@<", 2}:        termCompare(func(c int) bool { return c < 0 }),
+		{"@>", 2}:        termCompare(func(c int) bool { return c > 0 }),
+		{"@=<", 2}:       termCompare(func(c int) bool { return c <= 0 }),
+		{"@>=", 2}:       termCompare(func(c int) bool { return c >= 0 }),
+		{"between", 3}:   biBetween,
+		{"integer", 1}:   biInteger,
+		{"atom", 1}:      biAtom,
+		{"atomic", 1}:    biAtomic,
+		{"compound", 1}:  biCompound,
+		{"var", 1}:       biVar,
+		{"nonvar", 1}:    biNonvar,
+		{"ground", 1}:    biGround,
+		{"functor", 3}:   biFunctor,
+		{"arg", 3}:       biArg,
+		{"=..", 2}:       biUniv,
+		{"length", 2}:    biLength,
+		{"copy_term", 2}: biCopyTerm,
+		{"succ", 2}:      biSucc,
+	}
+}
+
+func biTrue(env *term.Env, _ term.Term) ([]*term.Env, error) {
+	return []*term.Env{env}, nil
+}
+
+func biFail(*term.Env, term.Term) ([]*term.Env, error) { return nil, nil }
+
+// biCut treats ! as true. B-LOG deliberately has no cut: the paper offers
+// "an alternative to Prolog's sequentially oriented depth-first search,
+// without giving up completeness by incorporating control annotations"
+// (section 8), and a pruning cut is meaningless when siblings expand in
+// best-first order. Accepting it as a no-op lets standard benchmark
+// programs load; their search spaces simply stay unpruned.
+func biCut(env *term.Env, _ term.Term) ([]*term.Env, error) {
+	return []*term.Env{env}, nil
+}
+
+func args2(goal term.Term) (term.Term, term.Term) {
+	c := goal.(*term.Compound)
+	return c.Args[0], c.Args[1]
+}
+
+func biUnify(env *term.Env, goal term.Term) ([]*term.Env, error) {
+	a, b := args2(goal)
+	if e, ok := unify.Unify(env, a, b); ok {
+		return []*term.Env{e}, nil
+	}
+	return nil, nil
+}
+
+func biNotUnify(env *term.Env, goal term.Term) ([]*term.Env, error) {
+	a, b := args2(goal)
+	if unify.CanUnify(env, a, b) {
+		return nil, nil
+	}
+	return []*term.Env{env}, nil
+}
+
+func biStructEq(env *term.Env, goal term.Term) ([]*term.Env, error) {
+	a, b := args2(goal)
+	if term.Equal(env.ResolveDeep(a), env.ResolveDeep(b)) {
+		return []*term.Env{env}, nil
+	}
+	return nil, nil
+}
+
+func biStructNeq(env *term.Env, goal term.Term) ([]*term.Env, error) {
+	a, b := args2(goal)
+	if term.Equal(env.ResolveDeep(a), env.ResolveDeep(b)) {
+		return nil, nil
+	}
+	return []*term.Env{env}, nil
+}
+
+func biIs(env *term.Env, goal term.Term) ([]*term.Env, error) {
+	lhs, rhs := args2(goal)
+	v, err := Eval(env, rhs)
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := unify.Unify(env, lhs, term.Int(v)); ok {
+		return []*term.Env{e}, nil
+	}
+	return nil, nil
+}
+
+func arithCompare(cmp func(a, b int64) bool) builtin {
+	return func(env *term.Env, goal term.Term) ([]*term.Env, error) {
+		lhs, rhs := args2(goal)
+		a, err := Eval(env, lhs)
+		if err != nil {
+			return nil, err
+		}
+		b, err := Eval(env, rhs)
+		if err != nil {
+			return nil, err
+		}
+		if cmp(a, b) {
+			return []*term.Env{env}, nil
+		}
+		return nil, nil
+	}
+}
+
+func termCompare(ok func(c int) bool) builtin {
+	return func(env *term.Env, goal term.Term) ([]*term.Env, error) {
+		a, b := args2(goal)
+		if ok(term.Compare(env.ResolveDeep(a), env.ResolveDeep(b))) {
+			return []*term.Env{env}, nil
+		}
+		return nil, nil
+	}
+}
+
+// biBetween is the only nondeterministic builtin: between(L,H,X) with
+// integer bounds enumerates X = L..H, giving workload generators a compact
+// way to express OR fan-out.
+func biBetween(env *term.Env, goal term.Term) ([]*term.Env, error) {
+	c := goal.(*term.Compound)
+	lo, err := Eval(env, c.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	hi, err := Eval(env, c.Args[1])
+	if err != nil {
+		return nil, err
+	}
+	x := env.Resolve(c.Args[2])
+	if xi, ok := x.(term.Int); ok {
+		if int64(xi) >= lo && int64(xi) <= hi {
+			return []*term.Env{env}, nil
+		}
+		return nil, nil
+	}
+	xv, ok := x.(*term.Var)
+	if !ok {
+		return nil, nil
+	}
+	if hi < lo {
+		return nil, nil
+	}
+	if hi-lo > 1_000_000 {
+		return nil, fmt.Errorf("engine: between(%d,%d,_) range too large", lo, hi)
+	}
+	envs := make([]*term.Env, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		envs = append(envs, env.Bind(xv, term.Int(i)))
+	}
+	return envs, nil
+}
+
+func typeCheck(pred func(t term.Term) bool) builtin {
+	return func(env *term.Env, goal term.Term) ([]*term.Env, error) {
+		a := env.Resolve(goal.(*term.Compound).Args[0])
+		if pred(a) {
+			return []*term.Env{env}, nil
+		}
+		return nil, nil
+	}
+}
+
+var (
+	biInteger = typeCheck(func(t term.Term) bool { _, ok := t.(term.Int); return ok })
+	biAtom    = typeCheck(func(t term.Term) bool { _, ok := t.(term.Atom); return ok })
+	biAtomic  = typeCheck(func(t term.Term) bool {
+		switch t.(type) {
+		case term.Atom, term.Int:
+			return true
+		}
+		return false
+	})
+	biCompound = typeCheck(func(t term.Term) bool { _, ok := t.(*term.Compound); return ok })
+	biVar      = typeCheck(func(t term.Term) bool { _, ok := t.(*term.Var); return ok })
+	biNonvar   = typeCheck(func(t term.Term) bool { _, ok := t.(*term.Var); return !ok })
+)
+
+func biGround(env *term.Env, goal term.Term) ([]*term.Env, error) {
+	if term.Ground(env, goal.(*term.Compound).Args[0]) {
+		return []*term.Env{env}, nil
+	}
+	return nil, nil
+}
+
+// biFunctor implements functor/3 in both modes: decomposing a bound term
+// into name and arity, or constructing a most-general term from them.
+func biFunctor(env *term.Env, goal term.Term) ([]*term.Env, error) {
+	c := goal.(*term.Compound)
+	t := env.Resolve(c.Args[0])
+	switch t := t.(type) {
+	case *term.Var:
+		// Construction mode: name and arity must be bound.
+		name := env.Resolve(c.Args[1])
+		arity := env.Resolve(c.Args[2])
+		n, okN := arity.(term.Int)
+		if !okN {
+			return nil, fmt.Errorf("engine: functor/3 arity %s is not an integer", arity)
+		}
+		switch nm := name.(type) {
+		case term.Atom:
+			if n < 0 {
+				return nil, errors.New("engine: functor/3 negative arity")
+			}
+			if n == 0 {
+				if e, ok := unify.Unify(env, t, nm); ok {
+					return []*term.Env{e}, nil
+				}
+				return nil, nil
+			}
+			args := make([]term.Term, n)
+			for i := range args {
+				args[i] = term.NewVar("_")
+			}
+			if e, ok := unify.Unify(env, t, term.NewCompound(string(nm), args...)); ok {
+				return []*term.Env{e}, nil
+			}
+			return nil, nil
+		case term.Int:
+			if n != 0 {
+				return nil, errors.New("engine: functor/3 integer name needs arity 0")
+			}
+			if e, ok := unify.Unify(env, t, nm); ok {
+				return []*term.Env{e}, nil
+			}
+			return nil, nil
+		default:
+			return nil, ErrUnboundArithmetic
+		}
+	case term.Atom:
+		return unifyPair(env, c.Args[1], t, c.Args[2], term.Int(0))
+	case term.Int:
+		return unifyPair(env, c.Args[1], t, c.Args[2], term.Int(0))
+	case *term.Compound:
+		return unifyPair(env, c.Args[1], term.Atom(t.Functor), c.Args[2], term.Int(int64(len(t.Args))))
+	}
+	return nil, nil
+}
+
+// unifyPair unifies two (lhs, value) pairs in sequence.
+func unifyPair(env *term.Env, l1, v1, l2, v2 term.Term) ([]*term.Env, error) {
+	e, ok := unify.Unify(env, l1, v1)
+	if !ok {
+		return nil, nil
+	}
+	e, ok = unify.Unify(e, l2, v2)
+	if !ok {
+		return nil, nil
+	}
+	return []*term.Env{e}, nil
+}
+
+// biArg implements arg/3: argument extraction with a bound index, or
+// enumeration over all argument positions when the index is free.
+func biArg(env *term.Env, goal term.Term) ([]*term.Env, error) {
+	c := goal.(*term.Compound)
+	t := env.Resolve(c.Args[1])
+	tc, ok := t.(*term.Compound)
+	if !ok {
+		return nil, nil
+	}
+	idx := env.Resolve(c.Args[0])
+	if n, ok := idx.(term.Int); ok {
+		if n < 1 || int(n) > len(tc.Args) {
+			return nil, nil
+		}
+		if e, ok := unify.Unify(env, c.Args[2], tc.Args[n-1]); ok {
+			return []*term.Env{e}, nil
+		}
+		return nil, nil
+	}
+	var envs []*term.Env
+	for i, a := range tc.Args {
+		e, ok := unify.Unify(env, idx, term.Int(int64(i+1)))
+		if !ok {
+			continue
+		}
+		if e2, ok := unify.Unify(e, c.Args[2], a); ok {
+			envs = append(envs, e2)
+		}
+	}
+	return envs, nil
+}
+
+// biUniv implements =../2 (univ) in both directions.
+func biUniv(env *term.Env, goal term.Term) ([]*term.Env, error) {
+	c := goal.(*term.Compound)
+	t := env.Resolve(c.Args[0])
+	switch t := t.(type) {
+	case *term.Var:
+		items, proper := listSlice(env, c.Args[1])
+		if !proper || len(items) == 0 {
+			return nil, errors.New("engine: =../2 needs a proper non-empty list on the right")
+		}
+		head := env.Resolve(items[0])
+		if len(items) == 1 {
+			switch head.(type) {
+			case term.Atom, term.Int:
+				if e, ok := unify.Unify(env, t, head); ok {
+					return []*term.Env{e}, nil
+				}
+				return nil, nil
+			}
+			return nil, errors.New("engine: =../2 singleton list must hold an atomic term")
+		}
+		name, ok := head.(term.Atom)
+		if !ok {
+			return nil, errors.New("engine: =../2 functor must be an atom")
+		}
+		if e, ok := unify.Unify(env, t, term.NewCompound(string(name), items[1:]...)); ok {
+			return []*term.Env{e}, nil
+		}
+		return nil, nil
+	case *term.Compound:
+		items := make([]term.Term, 0, len(t.Args)+1)
+		items = append(items, term.Atom(t.Functor))
+		items = append(items, t.Args...)
+		if e, ok := unify.Unify(env, c.Args[1], term.FromList(items)); ok {
+			return []*term.Env{e}, nil
+		}
+		return nil, nil
+	default: // atom or int
+		if e, ok := unify.Unify(env, c.Args[1], term.FromList([]term.Term{t})); ok {
+			return []*term.Env{e}, nil
+		}
+		return nil, nil
+	}
+}
+
+// listSlice walks a list term; proper is false when the tail is not [].
+func listSlice(env *term.Env, t term.Term) (items []term.Term, proper bool) {
+	for {
+		t = env.Resolve(t)
+		if t == term.EmptyList {
+			return items, true
+		}
+		cell, ok := t.(*term.Compound)
+		if !ok || cell.Functor != "." || len(cell.Args) != 2 {
+			return items, false
+		}
+		items = append(items, cell.Args[0])
+		t = cell.Args[1]
+	}
+}
+
+// biLength implements length/2: measuring a bound list, or generating a
+// list of fresh variables from a bound length. The doubly-unbound mode is
+// rejected (it would enumerate forever under best-first search).
+func biLength(env *term.Env, goal term.Term) ([]*term.Env, error) {
+	c := goal.(*term.Compound)
+	items, proper := listSlice(env, c.Args[0])
+	if proper {
+		if e, ok := unify.Unify(env, c.Args[1], term.Int(int64(len(items)))); ok {
+			return []*term.Env{e}, nil
+		}
+		return nil, nil
+	}
+	n, ok := env.Resolve(c.Args[1]).(term.Int)
+	if !ok {
+		return nil, errors.New("engine: length/2 needs a proper list or a bound length")
+	}
+	if n < 0 {
+		return nil, nil
+	}
+	if n > 1_000_000 {
+		return nil, fmt.Errorf("engine: length/2 request %d too large", n)
+	}
+	fresh := make([]term.Term, n)
+	for i := range fresh {
+		fresh[i] = term.NewVar("_")
+	}
+	if e, ok := unify.Unify(env, c.Args[0], term.FromList(fresh)); ok {
+		return []*term.Env{e}, nil
+	}
+	return nil, nil
+}
+
+// biCopyTerm implements copy_term/2: a fresh variant of the first
+// argument unifies with the second.
+func biCopyTerm(env *term.Env, goal term.Term) ([]*term.Env, error) {
+	c := goal.(*term.Compound)
+	cp := term.NewRenamer().Rename(env.ResolveDeep(c.Args[0]))
+	if e, ok := unify.Unify(env, c.Args[1], cp); ok {
+		return []*term.Env{e}, nil
+	}
+	return nil, nil
+}
+
+// biSucc implements succ/2 over naturals in both directions.
+func biSucc(env *term.Env, goal term.Term) ([]*term.Env, error) {
+	a, b := args2(goal)
+	ra := env.Resolve(a)
+	rb := env.Resolve(b)
+	if n, ok := ra.(term.Int); ok {
+		if n < 0 {
+			return nil, nil
+		}
+		if e, ok := unify.Unify(env, b, n+1); ok {
+			return []*term.Env{e}, nil
+		}
+		return nil, nil
+	}
+	if m, ok := rb.(term.Int); ok {
+		if m < 1 {
+			return nil, nil
+		}
+		if e, ok := unify.Unify(env, a, m-1); ok {
+			return []*term.Env{e}, nil
+		}
+		return nil, nil
+	}
+	return nil, errors.New("engine: succ/2 needs at least one bound integer")
+}
+
+// ErrUnboundArithmetic reports evaluation of an expression containing an
+// unbound variable.
+var ErrUnboundArithmetic = errors.New("engine: unbound variable in arithmetic expression")
+
+// Eval evaluates an arithmetic expression term to an integer.
+// Supported: integers, + - * // mod abs min max, and unary minus.
+func Eval(env *term.Env, t term.Term) (int64, error) {
+	t = env.Resolve(t)
+	switch t := t.(type) {
+	case term.Int:
+		return int64(t), nil
+	case *term.Var:
+		return 0, ErrUnboundArithmetic
+	case term.Atom:
+		return 0, fmt.Errorf("engine: atom %s is not an arithmetic expression", t)
+	case *term.Compound:
+		if len(t.Args) == 1 {
+			a, err := Eval(env, t.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			switch t.Functor {
+			case "-":
+				return -a, nil
+			case "abs":
+				if a < 0 {
+					return -a, nil
+				}
+				return a, nil
+			}
+			return 0, fmt.Errorf("engine: unknown arithmetic function %s/1", t.Functor)
+		}
+		if len(t.Args) == 2 {
+			a, err := Eval(env, t.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			b, err := Eval(env, t.Args[1])
+			if err != nil {
+				return 0, err
+			}
+			switch t.Functor {
+			case "+":
+				return a + b, nil
+			case "-":
+				return a - b, nil
+			case "*":
+				return a * b, nil
+			case "//":
+				if b == 0 {
+					return 0, errors.New("engine: division by zero")
+				}
+				return a / b, nil
+			case "mod":
+				if b == 0 {
+					return 0, errors.New("engine: mod by zero")
+				}
+				m := a % b
+				if (m < 0 && b > 0) || (m > 0 && b < 0) {
+					m += b
+				}
+				return m, nil
+			case "min":
+				if a < b {
+					return a, nil
+				}
+				return b, nil
+			case "max":
+				if a > b {
+					return a, nil
+				}
+				return b, nil
+			}
+			return 0, fmt.Errorf("engine: unknown arithmetic function %s/2", t.Functor)
+		}
+	}
+	return 0, fmt.Errorf("engine: cannot evaluate %s", t)
+}

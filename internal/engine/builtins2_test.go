@@ -1,0 +1,160 @@
+package engine
+
+import "testing"
+
+func TestBuiltinFunctorDecompose(t *testing.T) {
+	cases := []struct {
+		q    string
+		want []string
+	}{
+		{"functor(f(a,b), N, A)", []string{"N = f, A = 2"}},
+		{"functor(foo, N, A)", []string{"N = foo, A = 0"}},
+		{"functor(42, N, A)", []string{"N = 42, A = 0"}},
+	}
+	for _, c := range cases {
+		got := runBuiltinQuery(t, "", c.q)
+		if len(got) != 1 || got[0] != c.want[0] {
+			t.Errorf("%s: got %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestBuiltinFunctorConstruct(t *testing.T) {
+	got := runBuiltinQuery(t, "", "functor(T, f, 2), T = f(X, Y), X = 1")
+	if len(got) != 1 {
+		t.Fatalf("construct: %v", got)
+	}
+	if got := runBuiltinQuery(t, "", "functor(T, foo, 0), T = foo"); len(got) != 1 {
+		t.Error("atom construction failed")
+	}
+	if got := runBuiltinQuery(t, "", "functor(T, 42, 0), T = 42"); len(got) != 1 {
+		t.Error("integer construction failed")
+	}
+	// Mismatched checks fail rather than succeed.
+	if got := runBuiltinQuery(t, "", "functor(f(a), g, 1)"); len(got) != 0 {
+		t.Error("wrong name should fail")
+	}
+	if got := runBuiltinQuery(t, "", "functor(f(a), f, 2)"); len(got) != 0 {
+		t.Error("wrong arity should fail")
+	}
+}
+
+func TestBuiltinArg(t *testing.T) {
+	if got := runBuiltinQuery(t, "", "arg(2, f(a,b,c), X)"); len(got) != 1 || got[0] != "X = b" {
+		t.Errorf("arg bound index: %v", got)
+	}
+	if got := runBuiltinQuery(t, "", "arg(0, f(a), X)"); len(got) != 0 {
+		t.Error("index 0 out of range")
+	}
+	if got := runBuiltinQuery(t, "", "arg(4, f(a,b,c), X)"); len(got) != 0 {
+		t.Error("index past arity")
+	}
+	// Enumeration mode.
+	got := runBuiltinQuery(t, "", "arg(I, f(x,y), A)")
+	if len(got) != 2 || got[0] != "I = 1, A = x" || got[1] != "I = 2, A = y" {
+		t.Errorf("arg enumeration: %v", got)
+	}
+	// Finding the position of a known argument.
+	if got := runBuiltinQuery(t, "", "arg(I, f(x,y), y)"); len(got) != 1 || got[0] != "I = 2" {
+		t.Errorf("arg position: %v", got)
+	}
+	if got := runBuiltinQuery(t, "", "arg(1, atom, X)"); len(got) != 0 {
+		t.Error("arg of non-compound fails")
+	}
+}
+
+func TestBuiltinUniv(t *testing.T) {
+	if got := runBuiltinQuery(t, "", "f(a,b) =.. L"); len(got) != 1 || got[0] != "L = [f,a,b]" {
+		t.Errorf("decompose: %v", got)
+	}
+	if got := runBuiltinQuery(t, "", "foo =.. L"); len(got) != 1 || got[0] != "L = [foo]" {
+		t.Errorf("atom decompose: %v", got)
+	}
+	if got := runBuiltinQuery(t, "", "7 =.. L"); len(got) != 1 || got[0] != "L = [7]" {
+		t.Errorf("int decompose: %v", got)
+	}
+	if got := runBuiltinQuery(t, "", "T =.. [g, 1, 2], T = g(1, 2)"); len(got) != 1 {
+		t.Error("construct failed")
+	}
+	if got := runBuiltinQuery(t, "", "T =.. [foo], T = foo"); len(got) != 1 {
+		t.Error("atom construct failed")
+	}
+}
+
+func TestBuiltinUnivErrors(t *testing.T) {
+	for _, q := range []string{
+		"T =.. []",        // empty list
+		"T =.. [f(a), 1]", // non-atom functor
+		"T =.. X",         // unbound list
+	} {
+		db, exp := setup(t, "p(a).")
+		_ = db
+		gs := goals(t, q)
+		if _, err := exp.Expand(exp.Root(gs)); err == nil {
+			t.Errorf("%s should error", q)
+		}
+	}
+}
+
+func TestBuiltinLength(t *testing.T) {
+	if got := runBuiltinQuery(t, "", "length([a,b,c], N)"); len(got) != 1 || got[0] != "N = 3" {
+		t.Errorf("measure: %v", got)
+	}
+	if got := runBuiltinQuery(t, "", "length([], N)"); len(got) != 1 || got[0] != "N = 0" {
+		t.Errorf("empty: %v", got)
+	}
+	if got := runBuiltinQuery(t, "", "length(L, 2), L = [x, y]"); len(got) != 1 {
+		t.Errorf("generate: %v", got)
+	}
+	if got := runBuiltinQuery(t, "", "length([a], 2)"); len(got) != 0 {
+		t.Error("wrong length should fail")
+	}
+	if got := runBuiltinQuery(t, "", "length(L, -1)"); len(got) != 0 {
+		t.Error("negative length fails")
+	}
+}
+
+func TestBuiltinCopyTerm(t *testing.T) {
+	// The copy has fresh variables: binding the copy leaves the original
+	// untouched.
+	got := runBuiltinQuery(t, "", "X = f(A, A, b), copy_term(X, Y), Y = f(1, Q, b), var(A)")
+	if len(got) != 1 {
+		t.Fatalf("copy_term: %v", got)
+	}
+	// Shared variables stay shared within the copy.
+	if got := runBuiltinQuery(t, "", "copy_term(f(A,A), f(1,Z)), Z =:= 1"); len(got) != 1 {
+		t.Error("copy must preserve internal sharing")
+	}
+}
+
+func TestBuiltinSucc(t *testing.T) {
+	if got := runBuiltinQuery(t, "", "succ(3, X)"); len(got) != 1 || got[0] != "X = 4" {
+		t.Errorf("succ fwd: %v", got)
+	}
+	if got := runBuiltinQuery(t, "", "succ(X, 4)"); len(got) != 1 || got[0] != "X = 3" {
+		t.Errorf("succ bwd: %v", got)
+	}
+	if got := runBuiltinQuery(t, "", "succ(X, 0)"); len(got) != 0 {
+		t.Error("no natural precedes 0")
+	}
+	db, exp := setup(t, "p(a).")
+	_ = db
+	if _, err := exp.Expand(exp.Root(goals(t, "succ(X, Y)"))); err == nil {
+		t.Error("doubly-unbound succ should error")
+	}
+}
+
+func TestBuiltinTypeChecksExtended(t *testing.T) {
+	yes := []string{"atomic(a)", "atomic(3)", "compound(f(x))", "ground(f(a,1))"}
+	for _, q := range yes {
+		if got := runBuiltinQuery(t, "", q); len(got) != 1 {
+			t.Errorf("%s should succeed", q)
+		}
+	}
+	no := []string{"atomic(f(a))", "atomic(X)", "compound(a)", "compound(X)", "ground(f(X))"}
+	for _, q := range no {
+		if got := runBuiltinQuery(t, "", q); len(got) != 0 {
+			t.Errorf("%s should fail", q)
+		}
+	}
+}

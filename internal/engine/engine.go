@@ -1,0 +1,386 @@
+// Package engine implements the resolution core shared by every B-LOG
+// search strategy: OR-tree nodes (the paper's "chains"), node expansion by
+// clause resolution, and the evaluable builtins.
+//
+// AND-conjunction is handled sequentially inside each node, exactly as the
+// paper's section 3 model prescribes ("we consider AND-trees now only in a
+// sequential way, in very much the same way Prolog does"): a node carries
+// the whole remaining goal list and one expansion step resolves only its
+// first goal. Every fan-out under a node is therefore an OR-alternative,
+// and each root-to-leaf chain is either a solution or a failure.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"blog/internal/kb"
+	"blog/internal/term"
+	"blog/internal/unify"
+	"blog/internal/weights"
+)
+
+// GoalEntry is a pending goal plus the static coordinate it came from,
+// which names the arcs (weighted pointers) leaving it.
+type GoalEntry struct {
+	Goal   term.Term
+	Caller kb.ClauseID // clause whose body produced this goal; kb.Query for query goals
+	Pos    int         // body position within Caller
+}
+
+// GoalStack is a persistent (immutable) list of pending goals. Sibling
+// OR-branches share tails, so pushing a clause body allocates only as many
+// nodes as the body has goals.
+type GoalStack struct {
+	entry GoalEntry
+	tail  *GoalStack
+	size  int
+}
+
+// PushGoals prepends entries (in order) onto s and returns the new stack.
+func PushGoals(s *GoalStack, entries []GoalEntry) *GoalStack {
+	for i := len(entries) - 1; i >= 0; i-- {
+		sz := 1
+		if s != nil {
+			sz = s.size + 1
+		}
+		s = &GoalStack{entry: entries[i], tail: s, size: sz}
+	}
+	return s
+}
+
+// Top returns the first pending goal; ok is false for the empty stack.
+func (s *GoalStack) Top() (GoalEntry, bool) {
+	if s == nil {
+		return GoalEntry{}, false
+	}
+	return s.entry, true
+}
+
+// Pop returns the stack without its first goal.
+func (s *GoalStack) Pop() *GoalStack {
+	if s == nil {
+		return nil
+	}
+	return s.tail
+}
+
+// Len returns the number of pending goals.
+func (s *GoalStack) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.size
+}
+
+// ArcList is a persistent list of the arcs chosen along a chain, stored
+// leaf-first so extension is O(1); Slice reverses into root-first order
+// for the weight update rules.
+type ArcList struct {
+	arc    kb.Arc
+	parent *ArcList
+	size   int
+}
+
+// Extend appends an arc at the leaf end.
+func (l *ArcList) Extend(a kb.Arc) *ArcList {
+	sz := 1
+	if l != nil {
+		sz = l.size + 1
+	}
+	return &ArcList{arc: a, parent: l, size: sz}
+}
+
+// Len returns the chain length in arcs.
+func (l *ArcList) Len() int {
+	if l == nil {
+		return 0
+	}
+	return l.size
+}
+
+// Slice materializes the chain root-first.
+func (l *ArcList) Slice() []kb.Arc {
+	out := make([]kb.Arc, l.Len())
+	for i, c := l.Len()-1, l; c != nil; i, c = i-1, c.parent {
+		out[i] = c.arc
+	}
+	return out
+}
+
+// Last returns the leaf-most arc of the chain.
+func (l *ArcList) Last() (kb.Arc, bool) {
+	if l == nil {
+		return kb.Arc{}, false
+	}
+	return l.arc, true
+}
+
+// Node is one OR-tree node: a resolvent with its environment, the chain of
+// decisions that produced it, and the branch-and-bound bound B(n).
+type Node struct {
+	Goals *GoalStack
+	Env   *term.Env
+	Chain *ArcList
+	Bound float64
+	Depth int // arcs from the root
+	// Seq is a creation serial used by strategies as a tiebreaker: LIFO
+	// order for depth-first, FIFO for breadth-first/best-first.
+	Seq uint64
+	// Parent links the search tree for figure-3 style rendering; nil
+	// unless the expander records trees.
+	Parent *Node
+	// Label describes the decision that created this node (the matched
+	// clause or builtin), used only for rendering.
+	Label string
+}
+
+// IsSolution reports whether the node has no pending goals.
+func (n *Node) IsSolution() bool { return n.Goals.Len() == 0 }
+
+// Expander expands OR-tree nodes against a database and weight store.
+// It is stateless apart from counters and safe for concurrent use when
+// Stats is nil (parallel workers keep per-worker counters instead).
+type Expander struct {
+	DB *kb.DB
+	// Weights supplies arc weights for child bounds.
+	Weights weights.Store
+	// OccursCheck enables sound unification.
+	OccursCheck bool
+	// MaxDepth bounds chain length in arcs; longer chains fail. Zero
+	// means the weight store's A constant.
+	MaxDepth int
+	// RecordTree links children to parents and fills Label for rendering.
+	RecordTree bool
+
+	seq uint64
+}
+
+// NewExpander returns an expander with MaxDepth defaulted from the store.
+func NewExpander(db *kb.DB, ws weights.Store) *Expander {
+	return &Expander{DB: db, Weights: ws, MaxDepth: ws.Config().A}
+}
+
+// Root builds the root node for a query's goals.
+func (e *Expander) Root(goals []term.Term) *Node {
+	entries := make([]GoalEntry, len(goals))
+	for i, g := range goals {
+		entries[i] = GoalEntry{Goal: g, Caller: kb.Query, Pos: i}
+	}
+	e.seq++
+	return &Node{Goals: PushGoals(nil, entries), Seq: e.seq, Label: "?-"}
+}
+
+// ErrDepthLimit marks chains cut off by MaxDepth. They are treated as
+// failures for the weight rules, matching the A*N infinity coding: a chain
+// of A arcs has bound at least A times... any single known solution.
+var ErrDepthLimit = errors.New("engine: chain exceeded maximum depth")
+
+// Expand resolves the first goal of n and returns its children. A nil,
+// nil return means the node failed (no matching clause, failed builtin, or
+// depth limit). Solutions must be detected by the caller via IsSolution
+// before calling Expand.
+func (e *Expander) Expand(n *Node) ([]*Node, error) {
+	entry, ok := n.Goals.Top()
+	if !ok {
+		return nil, errors.New("engine: Expand called on solution node")
+	}
+	maxDepth := e.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = e.Weights.Config().A
+	}
+	if n.Depth >= maxDepth {
+		return nil, ErrDepthLimit
+	}
+	goal := n.Env.Resolve(entry.Goal)
+
+	if name, arity, ok := term.Functor(goal); ok {
+		if name == "\\+" && arity == 1 {
+			return e.expandNegation(n, goal)
+		}
+		if bi, isBI := builtins[biKey{name, arity}]; isBI {
+			return e.expandBuiltin(n, entry, goal, bi)
+		}
+	}
+
+	cands := e.DB.Candidates(n.Env, goal)
+	children := make([]*Node, 0, len(cands))
+	for _, c := range cands {
+		r := term.NewRenamer()
+		head := r.Rename(c.Head)
+		env, ok := e.unify(n.Env, goal, head)
+		if !ok {
+			continue
+		}
+		bodyEntries := make([]GoalEntry, len(c.Body))
+		for i, g := range c.Body {
+			bodyEntries[i] = GoalEntry{Goal: r.Rename(g), Caller: c.ID, Pos: i}
+		}
+		arc := kb.Arc{Caller: entry.Caller, Pos: entry.Pos, Callee: c.ID}
+		e.seq++
+		child := &Node{
+			Goals: PushGoals(n.Goals.Pop(), bodyEntries),
+			Env:   env,
+			Chain: n.Chain.Extend(arc),
+			Bound: n.Bound + e.arcWeight(n, arc),
+			Depth: n.Depth + 1,
+			Seq:   e.seq,
+		}
+		if e.RecordTree {
+			child.Parent = n
+			child.Label = e.matchLabel(env, goal, c)
+		}
+		children = append(children, child)
+	}
+	return children, nil
+}
+
+func (e *Expander) unify(env *term.Env, a, b term.Term) (*term.Env, bool) {
+	if e.OccursCheck {
+		return unify.UnifyOC(env, a, b)
+	}
+	return unify.Unify(env, a, b)
+}
+
+// arcWeight computes the bound increment for taking arc from node n,
+// consulting the conditional (context-sensitive) store when the weight
+// store provides one — the "conditional information" extension sketched
+// at the end of section 5 of the paper.
+func (e *Expander) arcWeight(n *Node, arc kb.Arc) float64 {
+	if cs, ok := e.Weights.(weights.ContextualStore); ok {
+		if prev, has := n.Chain.Last(); has {
+			return cs.WeightIn(prev, arc)
+		}
+		return cs.WeightIn(weights.RootContext, arc)
+	}
+	return e.Weights.Weight(arc)
+}
+
+// negationBudget bounds the nested search a \+ goal may perform.
+const negationBudget = 100_000
+
+// ErrNegationBudget reports a \+ subgoal whose proof attempt exceeded
+// negationBudget expansions.
+var ErrNegationBudget = errors.New("engine: negation subgoal exceeded expansion budget")
+
+// expandNegation implements negation as failure: \+(G) succeeds exactly
+// when a nested depth-first search over the same database finds no proof
+// of G. The nested search adds no arcs (negation is a machine decision,
+// not a database pointer) and uses the remaining depth budget. As in
+// standard Prolog, \+ over a goal with unbound variables means "no
+// instance is provable" (it never binds them).
+func (e *Expander) expandNegation(n *Node, goal term.Term) ([]*Node, error) {
+	inner := goal.(*term.Compound).Args[0]
+	sub := &Expander{
+		DB:          e.DB,
+		Weights:     e.Weights,
+		OccursCheck: e.OccursCheck,
+		MaxDepth:    e.MaxDepth,
+	}
+	stack := []*Node{{
+		Goals: PushGoals(nil, []GoalEntry{{Goal: inner, Caller: kb.Query, Pos: 0}}),
+		Env:   n.Env,
+	}}
+	var steps int
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur.IsSolution() {
+			return nil, nil // proof found: \+ fails the chain
+		}
+		if steps++; steps > negationBudget {
+			return nil, ErrNegationBudget
+		}
+		children, err := sub.Expand(cur)
+		if err != nil && err != ErrDepthLimit {
+			return nil, err
+		}
+		stack = append(stack, children...)
+	}
+	// No proof of the inner goal: \+ succeeds like a zero-weight builtin.
+	e.seq++
+	child := &Node{
+		Goals: n.Goals.Pop(),
+		Env:   n.Env,
+		Chain: n.Chain,
+		Bound: n.Bound,
+		Depth: n.Depth,
+		Seq:   e.seq,
+	}
+	if e.RecordTree {
+		child.Parent = n
+		child.Label = n.Env.Format(goal)
+	}
+	return []*Node{child}, nil
+}
+
+// matchLabel renders the head of the matched clause under the child env,
+// which is how figure 3 labels the top half of each node.
+func (e *Expander) matchLabel(env *term.Env, goal term.Term, c *kb.Clause) string {
+	return env.Format(goal)
+}
+
+// expandBuiltin evaluates a builtin goal. Builtins are decisions of the
+// machine, not of the database, so they add no arc and zero weight; a
+// failing builtin fails the whole chain, exactly like an unmatched goal.
+func (e *Expander) expandBuiltin(n *Node, entry GoalEntry, goal term.Term, bi builtin) ([]*Node, error) {
+	envs, err := bi(n.Env, goal)
+	if err != nil {
+		return nil, err
+	}
+	children := make([]*Node, 0, len(envs))
+	for _, env := range envs {
+		e.seq++
+		child := &Node{
+			Goals: n.Goals.Pop(),
+			Env:   env,
+			Chain: n.Chain,
+			Bound: n.Bound,
+			Depth: n.Depth, // builtins do not consume depth budget
+			Seq:   e.seq,
+		}
+		if e.RecordTree {
+			child.Parent = n
+			child.Label = env.Format(goal)
+		}
+		children = append(children, child)
+	}
+	return children, nil
+}
+
+// Solution extracts the bindings of the given query variables from a
+// solution node, deeply resolved.
+type Solution struct {
+	// Bindings maps query variable names to their value terms.
+	Bindings map[string]term.Term
+	// Bound is the chain bound at the solution leaf.
+	Bound float64
+	// Chain is the root-first arc chain (the paper's decision sequence).
+	Chain []kb.Arc
+	// Depth is the chain length in arcs.
+	Depth int
+}
+
+// Extract builds a Solution for query vars from a solution node.
+func Extract(n *Node, queryVars []*term.Var) Solution {
+	b := make(map[string]term.Term, len(queryVars))
+	for _, v := range queryVars {
+		b[v.String()] = n.Env.ResolveDeep(v)
+	}
+	return Solution{Bindings: b, Bound: n.Bound, Chain: n.Chain.Slice(), Depth: n.Depth}
+}
+
+// Format renders a solution as `X = v, Y = w` in variable order.
+func (s Solution) Format(queryVars []*term.Var) string {
+	if len(queryVars) == 0 {
+		return "true"
+	}
+	out := ""
+	for i, v := range queryVars {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s = %s", v.String(), s.Bindings[v.String()])
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"testing"
+
+	"blog/internal/kb"
+	"blog/internal/parse"
+	"blog/internal/weights"
+)
+
+func TestNegationGroundSuccess(t *testing.T) {
+	got := runBuiltinQuery(t, "p(a).", "\\+(p(b))")
+	if len(got) != 1 {
+		t.Errorf("\\+(p(b)) should succeed: %v", got)
+	}
+}
+
+func TestNegationGroundFailure(t *testing.T) {
+	got := runBuiltinQuery(t, "p(a).", "\\+(p(a))")
+	if len(got) != 0 {
+		t.Errorf("\\+(p(a)) should fail: %v", got)
+	}
+}
+
+func TestNegationUnknownPredicate(t *testing.T) {
+	got := runBuiltinQuery(t, "p(a).", "\\+(missing(x))")
+	if len(got) != 1 {
+		t.Errorf("negation of unprovable goal should succeed: %v", got)
+	}
+}
+
+func TestNegationThroughRules(t *testing.T) {
+	src := `
+reach(X) :- edge(a, X).
+reach(X) :- edge(a, Y), edge(Y, X).
+edge(a, b). edge(b, c).
+`
+	if got := runBuiltinQuery(t, src, "\\+(reach(c))"); len(got) != 0 {
+		t.Error("reach(c) is provable through the rule chain")
+	}
+	if got := runBuiltinQuery(t, src, "\\+(reach(z))"); len(got) != 1 {
+		t.Error("reach(z) is not provable")
+	}
+}
+
+func TestNegationDoesNotBind(t *testing.T) {
+	// \+ must never export bindings: X stays free afterwards.
+	src := "p(a).\nq(b)."
+	got := runBuiltinQuery(t, src, "\\+(p(z)), q(X)")
+	if len(got) != 1 || got[0] != "X = b" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestNegationSeesOuterBindings(t *testing.T) {
+	src := "p(a).\nitem(a). item(b)."
+	// Select the items that are NOT p: classic NAF filtering.
+	got := runBuiltinQuery(t, src, "item(X), \\+(p(X))")
+	if len(got) != 1 || got[0] != "X = b" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestDoubleNegation(t *testing.T) {
+	if got := runBuiltinQuery(t, "p(a).", "\\+(\\+(p(a)))"); len(got) != 1 {
+		t.Error("double negation of a provable goal should succeed")
+	}
+	if got := runBuiltinQuery(t, "p(a).", "\\+(\\+(p(b)))"); len(got) != 0 {
+		t.Error("double negation of an unprovable goal should fail")
+	}
+}
+
+func TestNegationAddsNoWeight(t *testing.T) {
+	db, _, err := kb.LoadString("p(a).\nq(b).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExpander(db, weights.NewUniform(weights.DefaultConfig()))
+	gs, _ := parse.Query("\\+(p(z)), q(Y)")
+	root := exp.Root(gs)
+	children, err := exp.Expand(root)
+	if err != nil || len(children) != 1 {
+		t.Fatalf("expand: %v, %d children", err, len(children))
+	}
+	if children[0].Bound != 0 || children[0].Depth != 0 {
+		t.Errorf("negation child bound=%v depth=%d, want 0/0", children[0].Bound, children[0].Depth)
+	}
+}
+
+func TestNegationRespectsDepthLimit(t *testing.T) {
+	// The inner proof attempt of a cyclic goal is cut by the depth limit,
+	// so \+(loop) terminates (and succeeds: no finite proof exists).
+	db, _, err := kb.LoadString("loop :- loop.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExpander(db, weights.NewUniform(weights.Config{N: 16, A: 12}))
+	gs, _ := parse.Query("\\+(loop)")
+	root := exp.Root(gs)
+	children, err := exp.Expand(root)
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	if len(children) != 1 {
+		t.Error("\\+(loop) should succeed under the depth limit")
+	}
+}
+
+func TestNegationErrorPropagates(t *testing.T) {
+	db, _, err := kb.LoadString("bad :- X is Y + 1, X > 0.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExpander(db, weights.NewUniform(weights.DefaultConfig()))
+	gs, _ := parse.Query("\\+(bad)")
+	root := exp.Root(gs)
+	if _, err := exp.Expand(root); err == nil {
+		t.Error("inner arithmetic error must surface")
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := r.Run(&buf); err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", r.ID)
+			}
+		})
+	}
+}
+
+func TestF1TraceContents(t *testing.T) {
+	var buf bytes.Buffer
+	if err := F1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"gf(sam,G)", "f(sam,larry)", "f(larry,den)", "solution: G = den"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("F1 missing %q", want)
+		}
+	}
+}
+
+func TestF3TreeCounts(t *testing.T) {
+	var buf bytes.Buffer
+	if err := F3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "solutions: 2   failing chains: 1") {
+		t.Errorf("F3 counts wrong:\n%s", buf.String())
+	}
+}
+
+func TestF4WorkedOrders(t *testing.T) {
+	var buf bytes.Buffer
+	if err := F4(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "scenario 1") || !strings.Contains(out, "scenario 2") {
+		t.Error("F4 missing scenarios")
+	}
+	if !strings.Contains(out, "block 0: a :- b, c, d.") {
+		t.Error("F4 missing linked list dump")
+	}
+}
+
+func TestByIDAndIDs(t *testing.T) {
+	if _, ok := ByID("F1"); !ok {
+		t.Error("F1 missing")
+	}
+	if _, ok := ByID("zz"); ok {
+		t.Error("unknown id found")
+	}
+	ids := IDs()
+	if len(ids) != 15 {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestE1TableShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var buf bytes.Buffer
+	if err := E1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// title + header + separator + 5 rows
+	if len(lines) != 8 {
+		t.Errorf("E1 lines = %d:\n%s", len(lines), buf.String())
+	}
+}
+
+func BenchmarkF5Machine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := F5(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

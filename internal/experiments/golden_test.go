@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenFigures locks the deterministic figure outputs byte-for-byte:
+// F1-F4 and F6 depend only on the example programs and fixed latency
+// constants, so any drift is a behavior change that must be reviewed.
+// (F5 and the E-series include host-dependent or tuning-prone values and
+// are validated by their own assertions instead.)
+func TestGoldenFigures(t *testing.T) {
+	for _, id := range []string{"F1", "F2", "F3", "F4", "F6"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %s missing", id)
+			}
+			var buf bytes.Buffer
+			if err := r.Run(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", id+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s drifted from golden output.\n--- got ---\n%s\n--- want ---\n%s",
+					id, buf.String(), want)
+			}
+		})
+	}
+}

@@ -1,0 +1,295 @@
+// Package kb implements the B-LOG database: a clause store with predicate
+// and first-argument indexing, plus the weighted-pointer structure of
+// figure 4 of the paper.
+//
+// Section 5 stores the database "as a linked list data structure, with
+// blocks representing each Horn clause (rule or fact), and pointers to
+// blocks representing other rules or facts in the database that can resolve
+// the rule", with a weight kept just below each named pointer — an inverted
+// file per rule. Here a block is a Clause, and a pointer is an Arc: the
+// static coordinate (caller clause, body position, callee clause). Arcs are
+// what weights attach to; because they are static program coordinates, a
+// weight learned by one query is visible to every later query that travels
+// the same pointer, which is requirement 1 of section 4.
+package kb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"blog/internal/parse"
+	"blog/internal/term"
+	"blog/internal/unify"
+)
+
+// ClauseID identifies a clause by its load order. The pseudo-clause ID
+// Query (-1) stands for the query the user typed, which is the root of the
+// search tree and the caller of its goals.
+type ClauseID int
+
+// Query is the caller ID used for arcs leaving the root query node.
+const Query ClauseID = -1
+
+// Arc is a weighted pointer of the figure-4 structure: the decision to
+// resolve the Pos-th body goal of clause Caller using clause Callee.
+// Pos is 0-based; for a query, Caller is kb.Query and Pos indexes the
+// query's goals.
+type Arc struct {
+	Caller ClauseID
+	Pos    int
+	Callee ClauseID
+}
+
+// String renders an arc as caller.pos->callee for diagnostics.
+func (a Arc) String() string {
+	return fmt.Sprintf("%d.%d->%d", a.Caller, a.Pos, a.Callee)
+}
+
+// Clause is one stored Horn clause (a block in the paper's linked list).
+type Clause struct {
+	ID   ClauseID
+	Head term.Term
+	Body []term.Term
+	// Pred is the predicate indicator of the head, e.g. "f/2".
+	Pred string
+	// Line is the source line, when parsed from text.
+	Line int
+}
+
+// IsFact reports whether the clause has an empty body.
+func (c *Clause) IsFact() bool { return len(c.Body) == 0 }
+
+// String renders the clause in source syntax. A space precedes the final
+// period when the text would otherwise end in a symbolic character (the
+// terminator would merge into the preceding token on reparse).
+func (c *Clause) String() string {
+	var text string
+	if c.IsFact() {
+		text = c.Head.String()
+	} else {
+		parts := make([]string, len(c.Body))
+		for i, g := range c.Body {
+			parts[i] = g.String()
+		}
+		text = c.Head.String() + " :- " + strings.Join(parts, ", ")
+	}
+	if term.EndsSymbolic(text) {
+		return text + " ."
+	}
+	return text + "."
+}
+
+// DB is the clause database. Loading is single-threaded; after loading,
+// all methods used during search are read-only and safe for concurrent use
+// by parallel workers.
+type DB struct {
+	clauses []*Clause
+	// byPred maps a predicate indicator to its clauses in source order.
+	byPred map[string][]*Clause
+	// firstArg maps pred -> first-argument constant key -> clauses whose
+	// head first argument is that constant. Clauses with a variable or
+	// compound first argument appear in varFirst and match any key.
+	firstArg map[string]map[string][]*Clause
+	varFirst map[string][]*Clause
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{
+		byPred:   make(map[string][]*Clause),
+		firstArg: make(map[string]map[string][]*Clause),
+		varFirst: make(map[string][]*Clause),
+	}
+}
+
+// LoadString parses src and asserts all its clauses. Directive queries in
+// the source are returned for the caller to run.
+func LoadString(src string) (*DB, [][]term.Term, error) {
+	prog, err := parse.Source(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	db := New()
+	for _, c := range prog.Clauses {
+		db.assert(c.Head, c.Body, c.Line)
+	}
+	return db, prog.Queries, nil
+}
+
+// Assert appends a clause to the database and returns it.
+func (db *DB) Assert(head term.Term, body []term.Term) *Clause {
+	return db.assert(head, body, 0)
+}
+
+func (db *DB) assert(head term.Term, body []term.Term, line int) *Clause {
+	pred, ok := term.Indicator(head)
+	if !ok {
+		panic(fmt.Sprintf("kb: clause head %s is not callable", head))
+	}
+	c := &Clause{ID: ClauseID(len(db.clauses)), Head: head, Body: body, Pred: pred, Line: line}
+	db.clauses = append(db.clauses, c)
+	db.byPred[pred] = append(db.byPred[pred], c)
+	if key, keyed := firstArgKey(head); keyed {
+		m := db.firstArg[pred]
+		if m == nil {
+			m = make(map[string][]*Clause)
+			db.firstArg[pred] = m
+		}
+		m[key] = append(m[key], c)
+	} else {
+		db.varFirst[pred] = append(db.varFirst[pred], c)
+	}
+	return c
+}
+
+// firstArgKey returns an index key for the first head argument if it is an
+// atom or integer. Compound first arguments are indexed by functor/arity.
+func firstArgKey(head term.Term) (string, bool) {
+	c, ok := head.(*term.Compound)
+	if !ok || len(c.Args) == 0 {
+		return "", false
+	}
+	switch a := c.Args[0].(type) {
+	case term.Atom:
+		return "a:" + string(a), true
+	case term.Int:
+		return "i:" + a.String(), true
+	case *term.Compound:
+		return fmt.Sprintf("c:%s/%d", a.Functor, len(a.Args)), true
+	default: // variable: not keyed
+		return "", false
+	}
+}
+
+// Len returns the number of clauses.
+func (db *DB) Len() int { return len(db.clauses) }
+
+// Clause returns the clause with the given ID, or nil for kb.Query or an
+// out-of-range ID.
+func (db *DB) Clause(id ClauseID) *Clause {
+	if id < 0 || int(id) >= len(db.clauses) {
+		return nil
+	}
+	return db.clauses[id]
+}
+
+// Clauses returns all clauses in load order. The returned slice is shared;
+// callers must not modify it.
+func (db *DB) Clauses() []*Clause { return db.clauses }
+
+// Preds returns the sorted list of predicate indicators present.
+func (db *DB) Preds() []string {
+	out := make([]string, 0, len(db.byPred))
+	for p := range db.byPred {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClausesFor returns the clauses for a predicate indicator in source order.
+func (db *DB) ClausesFor(pred string) []*Clause { return db.byPred[pred] }
+
+// Candidates returns, in source order, the clauses whose heads may unify
+// with the goal as resolved under env. The first-argument index prunes
+// clauses whose head first argument is a different constant; the result is
+// a superset of the truly unifiable clauses (unification still decides).
+func (db *DB) Candidates(env *term.Env, goal term.Term) []*Clause {
+	goal = env.Resolve(goal)
+	pred, ok := term.Indicator(goal)
+	if !ok {
+		return nil
+	}
+	all := db.byPred[pred]
+	if len(all) == 0 {
+		return nil
+	}
+	gc, ok := goal.(*term.Compound)
+	if !ok || len(gc.Args) == 0 {
+		return all
+	}
+	key, keyed := callKey(env, gc.Args[0])
+	if !keyed {
+		return all
+	}
+	keyedClauses := db.firstArg[pred][key]
+	varClauses := db.varFirst[pred]
+	if len(varClauses) == 0 {
+		return keyedClauses
+	}
+	if len(keyedClauses) == 0 {
+		return varClauses
+	}
+	// Merge the two lists preserving source order (both are ID-sorted).
+	out := make([]*Clause, 0, len(keyedClauses)+len(varClauses))
+	i, j := 0, 0
+	for i < len(keyedClauses) && j < len(varClauses) {
+		if keyedClauses[i].ID < varClauses[j].ID {
+			out = append(out, keyedClauses[i])
+			i++
+		} else {
+			out = append(out, varClauses[j])
+			j++
+		}
+	}
+	out = append(out, keyedClauses[i:]...)
+	out = append(out, varClauses[j:]...)
+	return out
+}
+
+// callKey computes the index key of a call's first argument under env.
+func callKey(env *term.Env, arg term.Term) (string, bool) {
+	arg = env.Resolve(arg)
+	switch a := arg.(type) {
+	case term.Atom:
+		return "a:" + string(a), true
+	case term.Int:
+		return "i:" + a.String(), true
+	case *term.Compound:
+		return fmt.Sprintf("c:%s/%d", a.Functor, len(a.Args)), true
+	default:
+		return "", false
+	}
+}
+
+// Arcs enumerates every static arc of the database: for each clause body
+// position (and optionally a query's goals via ArcsForGoals), the clauses
+// that can resolve the goal at that position. This materializes the
+// figure-4 pointer structure.
+func (db *DB) Arcs() []Arc {
+	var out []Arc
+	for _, c := range db.clauses {
+		for pos, g := range c.Body {
+			for _, callee := range db.Candidates(nil, g) {
+				out = append(out, Arc{Caller: c.ID, Pos: pos, Callee: callee.ID})
+			}
+		}
+	}
+	return out
+}
+
+// ArcsForGoals enumerates the arcs leaving a query with the given goals.
+func (db *DB) ArcsForGoals(goals []term.Term) []Arc {
+	var out []Arc
+	for pos, g := range goals {
+		for _, callee := range db.Candidates(nil, g) {
+			out = append(out, Arc{Caller: Query, Pos: pos, Callee: callee.ID})
+		}
+	}
+	return out
+}
+
+// ResolvableBy reports whether clause callee's head can unify with the
+// goal at body position pos of clause caller (renamed apart). It validates
+// arcs produced by Arcs.
+func (db *DB) ResolvableBy(caller ClauseID, pos int, callee ClauseID) bool {
+	c := db.Clause(caller)
+	k := db.Clause(callee)
+	if c == nil || k == nil || pos < 0 || pos >= len(c.Body) {
+		return false
+	}
+	goal := term.NewRenamer().Rename(c.Body[pos])
+	head := term.NewRenamer().Rename(k.Head)
+	return unify.CanUnify(nil, goal, head)
+}

@@ -1,0 +1,96 @@
+package machine
+
+import "blog/internal/engine"
+
+// boundHeap is a (Bound, Seq)-ordered min-heap of OR-tree nodes, identical
+// in behavior to the one in package par but private to the simulator (the
+// two packages deliberately do not share scheduling code: par is the live
+// engine, machine the cycle model).
+type boundHeap struct{ items []*engine.Node }
+
+func newBoundHeap() *boundHeap { return &boundHeap{} }
+
+func (h *boundHeap) len() int { return len(h.items) }
+
+func (h *boundHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.Bound != b.Bound {
+		return a.Bound < b.Bound
+	}
+	return a.Seq < b.Seq
+}
+
+func (h *boundHeap) swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *boundHeap) push(n *engine.Node) {
+	h.items = append(h.items, n)
+	h.siftUp(len(h.items) - 1)
+}
+
+func (h *boundHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *boundHeap) peek() *engine.Node { return h.items[0] }
+
+func (h *boundHeap) peekOrNil() *engine.Node {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+func (h *boundHeap) pop() *engine.Node {
+	n := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items[last] = nil
+	h.items = h.items[:last]
+	h.siftDown(0)
+	return n
+}
+
+func (h *boundHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *boundHeap) popMax() *engine.Node {
+	worst := 0
+	for i := 1; i < len(h.items); i++ {
+		if h.less(worst, i) {
+			worst = i
+		}
+	}
+	n := h.items[worst]
+	last := len(h.items) - 1
+	h.items[worst] = h.items[last]
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if worst < len(h.items) {
+		h.siftUp(worst)
+		h.siftDown(worst)
+	}
+	return n
+}

@@ -1,0 +1,182 @@
+// Package metrics provides the counters, summaries and fixed-width table
+// rendering shared by the benchmark harness and command-line tools.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Counter is an atomic event counter safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Summary accumulates a stream of float64 observations.
+type Summary struct {
+	n          int
+	sum, sumSq float64
+	min, max   float64
+}
+
+// Observe records one value.
+func (s *Summary) Observe(x float64) {
+	if s.n == 0 || x < s.min {
+		s.min = x
+	}
+	if s.n == 0 || x > s.max {
+		s.max = x
+	}
+	s.n++
+	s.sum += x
+	s.sumSq += x * x
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// Std returns the population standard deviation (0 when empty).
+func (s *Summary) Std() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/float64(s.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// String renders "mean=… min=… max=… n=…".
+func (s *Summary) String() string {
+	return fmt.Sprintf("mean=%.4g min=%.4g max=%.4g n=%d", s.Mean(), s.min, s.max, s.n)
+}
+
+// Table renders aligned fixed-width text tables, the output format of
+// every experiment in EXPERIMENTS.md.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are stringified with %v, floats compactly.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	writeRow := func(cells []string) {
+		var line strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			fmt.Fprintf(&line, "%-*s", widths[i], c)
+		}
+		b.WriteString(strings.TrimRight(line.String(), " ") + "\n")
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Percentile returns the p-th percentile (0..100) of xs, interpolating
+// between ranks. It sorts a copy; xs is unchanged.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Errorf("counter = %d", c.Load())
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Load())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{1, 2, 3, 4} {
+		s.Observe(x)
+	}
+	if s.N() != 4 || s.Mean() != 2.5 || s.Min() != 1 || s.Max() != 4 {
+		t.Errorf("summary = %s", s.String())
+	}
+	if math.Abs(s.Std()-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("std = %v", s.Std())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Std() != 0 || s.N() != 0 {
+		t.Error("empty summary should be zeros")
+	}
+}
+
+func TestSummaryNegative(t *testing.T) {
+	var s Summary
+	s.Observe(-5)
+	s.Observe(5)
+	if s.Min() != -5 || s.Max() != 5 || s.Mean() != 0 {
+		t.Errorf("summary = %s", s.String())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("T1: demo", "name", "count", "ratio")
+	tb.AddRow("alpha", 10, 0.51234)
+	tb.AddRow("b", 2000, 2.0)
+	out := tb.String()
+	if !strings.Contains(out, "T1: demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2000") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "0.512") {
+		t.Errorf("float formatting:\n%s", out)
+	}
+	if !strings.Contains(out, "2  ") && !strings.Contains(out, " 2\n") && !strings.Contains(out, "2\n") {
+		// integral float renders without decimals
+		t.Errorf("integral float formatting:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "a", "bbbb")
+	tb.AddRow("xxxxxx", 1)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Columns align: the second column starts at the same offset everywhere.
+	col2 := strings.Index(lines[0], "bbbb")
+	if strings.Index(lines[1], "----")+2 != col2 && strings.Index(lines[1], "-  -")+3 != col2 {
+		t.Errorf("separator misaligned:\n%s", out)
+	}
+	if strings.Index(lines[2], "1") != col2 {
+		t.Errorf("data column misaligned:\n%s", out)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 4 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 2.5 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestPropertySummaryBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				return true // avoid float overflow in sum-of-squares
+			}
+			s.Observe(x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		return s.Min() <= s.Mean()+1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(xs []float64, a, b uint8) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		p1, p2 := float64(a%101), float64(b%101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return Percentile(clean, p1) <= Percentile(clean, p2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+package network
+
+import (
+	"math/bits"
+
+	"blog/internal/sim"
+)
+
+// Batcher models the bitonic sorting network of Batcher's 1968 paper,
+// which section 3 of B-LOG first proposes for assigning the n lowest
+// bounds to the n processors ("A sorting network like Batcher's could be
+// used to sort the bounds") before section 6 replaces it with the cheaper
+// minimum-seeking tree plus priority circuit ("A sorting network is
+// costly ... instead, a circuit that determines the minimum ... would be
+// adequate").
+//
+// The model sorts for real (so its outputs can drive assignment in
+// simulations) and accounts the hardware costs that motivated the paper's
+// retreat: a width-w bitonic sorter has log2(w)*(log2(w)+1)/2 stages of
+// w/2 compare-exchange elements, so latency grows with log² and area
+// with w·log² while the min tree needs only log stages and w-1
+// comparators.
+type Batcher struct {
+	width int // power of two
+	// StageDelay is the latency of one compare-exchange stage.
+	StageDelay sim.Time
+	// Sorts counts completed sort operations.
+	Sorts uint64
+	// CompareExchanges counts comparator activations across all sorts.
+	CompareExchanges uint64
+}
+
+// NewBatcher builds a sorter over width inputs (rounded up to a power of
+// two; missing inputs sort as +infinity-like sentinels supplied by Sort).
+func NewBatcher(width int, stageDelay sim.Time) *Batcher {
+	w := 1
+	for w < width {
+		w *= 2
+	}
+	return &Batcher{width: w, StageDelay: stageDelay}
+}
+
+// Width returns the (rounded) input width.
+func (b *Batcher) Width() int { return b.width }
+
+// Stages returns the number of compare-exchange stages.
+func (b *Batcher) Stages() int {
+	if b.width <= 1 {
+		return 0
+	}
+	k := bits.Len(uint(b.width - 1)) // log2(width)
+	return k * (k + 1) / 2
+}
+
+// Latency returns the pipeline latency of one sort.
+func (b *Batcher) Latency() sim.Time { return sim.Time(b.Stages()) * b.StageDelay }
+
+// Comparators returns the hardware comparator count, the "costly" figure
+// of the paper's argument.
+func (b *Batcher) Comparators() int { return b.Stages() * b.width / 2 }
+
+// Item is one (bound, payload) input to the sorter; the payload travels
+// with its bound, as chains travel with their bounds in the machine.
+type Item struct {
+	Bound float64
+	ID    int
+	Valid bool
+}
+
+// Sort returns the items in ascending bound order (invalid items sort
+// last), using the bitonic compare-exchange schedule so that the counted
+// work is exactly what the hardware would do.
+func (b *Batcher) Sort(items []Item) []Item {
+	buf := make([]Item, b.width)
+	for i := range buf {
+		if i < len(items) {
+			buf[i] = items[i]
+		} else {
+			buf[i] = Item{Valid: false}
+		}
+	}
+	// Bitonic sort: k = size of sorted runs being merged, j = comparator
+	// distance within a merge step.
+	for k := 2; k <= b.width; k *= 2 {
+		for j := k / 2; j > 0; j /= 2 {
+			for i := 0; i < b.width; i++ {
+				l := i ^ j
+				if l <= i {
+					continue
+				}
+				b.CompareExchanges++
+				ascending := i&k == 0
+				if less(buf[l], buf[i]) == ascending {
+					buf[i], buf[l] = buf[l], buf[i]
+				}
+			}
+		}
+	}
+	b.Sorts++
+	return buf
+}
+
+// less orders valid items by bound (ties by ID for determinism); invalid
+// items are greater than everything.
+func less(a, c Item) bool {
+	switch {
+	case !a.Valid:
+		return false
+	case !c.Valid:
+		return true
+	case a.Bound != c.Bound:
+		return a.Bound < c.Bound
+	default:
+		return a.ID < c.ID
+	}
+}
+
+// AssignLowest sorts the offered bounds and returns the IDs of the n
+// cheapest valid items — the section-3 scheme: "assigning the n lowest
+// bounds to the n processors".
+func (b *Batcher) AssignLowest(items []Item, n int) []int {
+	sorted := b.Sort(items)
+	out := make([]int, 0, n)
+	for _, it := range sorted {
+		if !it.Valid || len(out) == n {
+			break
+		}
+		out = append(out, it.ID)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package network
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBatcherSortsAscending(t *testing.T) {
+	b := NewBatcher(8, 1)
+	items := []Item{
+		{Bound: 5, ID: 0, Valid: true},
+		{Bound: 1, ID: 1, Valid: true},
+		{Bound: 9, ID: 2, Valid: true},
+		{Bound: 3, ID: 3, Valid: true},
+	}
+	out := b.Sort(items)
+	var bounds []float64
+	for _, it := range out {
+		if it.Valid {
+			bounds = append(bounds, it.Bound)
+		}
+	}
+	if len(bounds) != 4 {
+		t.Fatalf("valid items = %d", len(bounds))
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		t.Errorf("not sorted: %v", bounds)
+	}
+	// Invalid padding sorts last.
+	for _, it := range out[4:] {
+		if it.Valid {
+			t.Error("invalid items must sort last")
+		}
+	}
+}
+
+func TestBatcherHardwareCosts(t *testing.T) {
+	b := NewBatcher(8, 2)
+	// log2(8)=3 -> 3*4/2 = 6 stages, 6*4 = 24 comparators.
+	if b.Stages() != 6 {
+		t.Errorf("stages = %d, want 6", b.Stages())
+	}
+	if b.Comparators() != 24 {
+		t.Errorf("comparators = %d, want 24", b.Comparators())
+	}
+	if b.Latency() != 12 {
+		t.Errorf("latency = %d, want 12", b.Latency())
+	}
+	// The paper's cost argument: the min tree over the same width needs
+	// only log2(8)=3 levels and 7 comparators.
+	mt := NewMinTree(8, 2)
+	if mt.QueryLatency() >= b.Latency() {
+		t.Errorf("min tree latency %d should beat sorter latency %d",
+			mt.QueryLatency(), b.Latency())
+	}
+}
+
+func TestBatcherWidthRounding(t *testing.T) {
+	b := NewBatcher(5, 1)
+	if b.Width() != 8 {
+		t.Errorf("width = %d", b.Width())
+	}
+	one := NewBatcher(1, 1)
+	if one.Stages() != 0 || one.Latency() != 0 {
+		t.Error("single-input sorter is free")
+	}
+}
+
+func TestAssignLowest(t *testing.T) {
+	b := NewBatcher(8, 1)
+	items := []Item{
+		{Bound: 7, ID: 10, Valid: true},
+		{Bound: 2, ID: 11, Valid: true},
+		{Bound: 5, ID: 12, Valid: true},
+		{Bound: 2, ID: 13, Valid: true},
+	}
+	got := b.AssignLowest(items, 3)
+	// Two bound-2 items tie; ID order breaks the tie: 11, 13, then 12.
+	want := []int{11, 13, 12}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("assignment = %v, want %v", got, want)
+		}
+	}
+	// Requesting more than available returns what exists.
+	if got := b.AssignLowest(items[:2], 5); len(got) != 2 {
+		t.Errorf("overask = %v", got)
+	}
+}
+
+func TestPropertyBatcherMatchesSort(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		items := make([]Item, n)
+		ref := make([]float64, n)
+		for i := range items {
+			v := float64(rng.Intn(100))
+			items[i] = Item{Bound: v, ID: i, Valid: true}
+			ref[i] = v
+		}
+		b := NewBatcher(n, 1)
+		out := b.Sort(items)
+		sort.Float64s(ref)
+		j := 0
+		for _, it := range out {
+			if !it.Valid {
+				continue
+			}
+			if it.Bound != ref[j] {
+				return false
+			}
+			j++
+		}
+		return j == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatcherCountsWork(t *testing.T) {
+	b := NewBatcher(8, 1)
+	b.Sort(make([]Item, 8))
+	if b.Sorts != 1 {
+		t.Error("sort not counted")
+	}
+	if b.CompareExchanges != uint64(b.Comparators()) {
+		t.Errorf("compare-exchanges = %d, want %d (one per comparator)",
+			b.CompareExchanges, b.Comparators())
+	}
+}
+
+func BenchmarkBatcherSort64(b *testing.B) {
+	bt := NewBatcher(64, 1)
+	items := make([]Item, 64)
+	for i := range items {
+		items[i] = Item{Bound: float64(i * 7 % 64), ID: i, Valid: true}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Sort(items)
+	}
+}

@@ -1,0 +1,248 @@
+// Package network models the interconnection hardware of section 6 of the
+// paper: the minimum-seeking circuit ("a tree where each node selects the
+// minimum of its descendants and passes that to its parent"), the priority
+// circuit that arbitrates among waiting processors ("a tree-shaped
+// carry-lookahead circuit"), and a banyan that uses packet switching to
+// find paths and circuit switching to move data, as in CEDAR.
+//
+// All three are cycle-accounted combinational/queueing models: the machine
+// simulator charges their latencies; correctness of the values they
+// compute is what the live engine in package par relies on implicitly.
+package network
+
+import (
+	"math"
+	"math/bits"
+
+	"blog/internal/sim"
+)
+
+// MinTree is the minimum-seeking network: each processor posts the bound
+// of its cheapest unexpanded chain (or clears its port when it has none),
+// and Min reports the globally cheapest port. The hardware is a balanced
+// tree of comparators, so a query costs Levels()*NodeDelay cycles.
+type MinTree struct {
+	// NodeDelay is the comparator latency per tree level in cycles.
+	NodeDelay sim.Time
+
+	bounds []float64
+	valid  []bool
+	// tree[i] caches subtree minima for O(log n) updates; leaves start at
+	// offset size-1 in the usual implicit layout.
+	tree []int // index of winning leaf, -1 when empty
+	size int
+}
+
+// NewMinTree builds a minimum tree over `ports` processor ports.
+func NewMinTree(ports int, nodeDelay sim.Time) *MinTree {
+	size := 1
+	for size < ports {
+		size *= 2
+	}
+	t := &MinTree{
+		NodeDelay: nodeDelay,
+		bounds:    make([]float64, size),
+		valid:     make([]bool, size),
+		tree:      make([]int, 2*size-1),
+		size:      size,
+	}
+	for i := range t.tree {
+		t.tree[i] = -1
+	}
+	return t
+}
+
+// Ports returns the port count (rounded up to a power of two internally).
+func (t *MinTree) Ports() int { return t.size }
+
+// Levels returns the comparator depth.
+func (t *MinTree) Levels() int {
+	if t.size <= 1 {
+		return 1
+	}
+	return bits.Len(uint(t.size - 1))
+}
+
+// QueryLatency is the time one Min query takes.
+func (t *MinTree) QueryLatency() sim.Time { return sim.Time(t.Levels()) * t.NodeDelay }
+
+// Set posts a bound on a port; valid=false clears the port.
+func (t *MinTree) Set(port int, bound float64, valid bool) {
+	t.bounds[port] = bound
+	t.valid[port] = valid
+	// Walk up from the leaf recomputing winners.
+	i := t.size - 1 + port
+	if valid {
+		t.tree[i] = port
+	} else {
+		t.tree[i] = -1
+	}
+	for i > 0 {
+		i = (i - 1) / 2
+		l, r := t.tree[2*i+1], t.tree[2*i+2]
+		t.tree[i] = t.better(l, r)
+	}
+}
+
+func (t *MinTree) better(a, b int) int {
+	switch {
+	case a < 0:
+		return b
+	case b < 0:
+		return a
+	case t.bounds[a] <= t.bounds[b]:
+		return a
+	default:
+		return b
+	}
+}
+
+// Min returns the port holding the global minimum bound. ok is false when
+// every port is clear.
+func (t *MinTree) Min() (port int, bound float64, ok bool) {
+	w := t.tree[0]
+	if w < 0 {
+		return 0, math.Inf(1), false
+	}
+	return w, t.bounds[w], true
+}
+
+// PriorityArbiter grants one of the requesting ports per cycle, lowest
+// port number first — the carry-lookahead priority circuit.
+type PriorityArbiter struct {
+	// NodeDelay is the lookahead latency per level.
+	NodeDelay sim.Time
+	requests  []bool
+	size      int
+}
+
+// NewPriorityArbiter builds an arbiter over `ports` ports.
+func NewPriorityArbiter(ports int, nodeDelay sim.Time) *PriorityArbiter {
+	return &PriorityArbiter{NodeDelay: nodeDelay, requests: make([]bool, ports), size: ports}
+}
+
+// Request raises or lowers a port's request line.
+func (a *PriorityArbiter) Request(port int, want bool) { a.requests[port] = want }
+
+// Grant returns the winning port and drops its request; ok is false when
+// no port is requesting.
+func (a *PriorityArbiter) Grant() (port int, ok bool) {
+	for i, r := range a.requests {
+		if r {
+			a.requests[i] = false
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Pending counts raised request lines.
+func (a *PriorityArbiter) Pending() int {
+	n := 0
+	for _, r := range a.requests {
+		if r {
+			n++
+		}
+	}
+	return n
+}
+
+// GrantLatency is the arbitration time.
+func (a *PriorityArbiter) GrantLatency() sim.Time {
+	levels := 1
+	for s := 1; s < a.size; s *= 2 {
+		levels++
+	}
+	return sim.Time(levels) * a.NodeDelay
+}
+
+// Banyan models the data-movement network: path setup by packet switching
+// (SetupCycles, retried while any link on the route is held), then circuit
+// switched transfer at CyclesPerWord. Routes follow the butterfly: at
+// stage s the message moves to the position whose s-th bit matches the
+// destination.
+type Banyan struct {
+	sim           *sim.Sim
+	ports         int
+	stages        int
+	SetupCycles   sim.Time
+	CyclesPerWord sim.Time
+
+	linkFreeAt map[linkKey]sim.Time
+	// Transfers counts completed transfers; Blocked counts transfers that
+	// had to wait for a link.
+	Transfers uint64
+	Blocked   uint64
+	// BusyCycles accumulates transfer durations (not counting waits).
+	BusyCycles sim.Time
+}
+
+type linkKey struct {
+	stage int
+	pos   int
+}
+
+// NewBanyan builds a banyan over a power-of-two number of ports.
+func NewBanyan(s *sim.Sim, ports int, setup, perWord sim.Time) *Banyan {
+	p := 1
+	stages := 0
+	for p < ports {
+		p *= 2
+		stages++
+	}
+	if stages == 0 {
+		stages = 1
+	}
+	return &Banyan{
+		sim:           s,
+		ports:         p,
+		stages:        stages,
+		SetupCycles:   setup,
+		CyclesPerWord: perWord,
+		linkFreeAt:    make(map[linkKey]sim.Time),
+	}
+}
+
+// Ports returns the (rounded) port count.
+func (b *Banyan) Ports() int { return b.ports }
+
+// Route returns the link sequence from src to dst.
+func (b *Banyan) Route(src, dst int) []linkKey {
+	links := make([]linkKey, 0, b.stages)
+	cur := src
+	for s := b.stages - 1; s >= 0; s-- {
+		bit := (dst >> s) & 1
+		cur = (cur &^ (1 << s)) | (bit << s)
+		links = append(links, linkKey{stage: s, pos: cur})
+	}
+	return links
+}
+
+// Transfer moves `words` words from src to dst, calling done at completion
+// time. It returns the scheduled completion time. The circuit holds every
+// link on the route for the duration, so conflicting routes serialize.
+func (b *Banyan) Transfer(src, dst, words int, done func()) sim.Time {
+	route := b.Route(src%b.ports, dst%b.ports)
+	start := b.sim.Now() + b.SetupCycles
+	blocked := false
+	for _, l := range route {
+		if t, held := b.linkFreeAt[l]; held && t > start {
+			start = t
+			blocked = true
+		}
+	}
+	if blocked {
+		b.Blocked++
+	}
+	dur := sim.Time(words) * b.CyclesPerWord
+	end := start + dur
+	for _, l := range route {
+		b.linkFreeAt[l] = end
+	}
+	b.Transfers++
+	b.BusyCycles += dur
+	if done != nil {
+		b.sim.At(end, done)
+	}
+	return end
+}

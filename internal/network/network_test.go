@@ -1,0 +1,226 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blog/internal/sim"
+)
+
+func TestMinTreeBasic(t *testing.T) {
+	mt := NewMinTree(4, 1)
+	if _, _, ok := mt.Min(); ok {
+		t.Error("empty tree should have no minimum")
+	}
+	mt.Set(0, 5, true)
+	mt.Set(1, 3, true)
+	mt.Set(2, 9, true)
+	port, bound, ok := mt.Min()
+	if !ok || port != 1 || bound != 3 {
+		t.Errorf("min = %d %v %v", port, bound, ok)
+	}
+	mt.Set(1, 3, false) // port 1 goes idle
+	port, bound, ok = mt.Min()
+	if !ok || port != 0 || bound != 5 {
+		t.Errorf("min after clear = %d %v %v", port, bound, ok)
+	}
+}
+
+func TestMinTreeTieLowestPort(t *testing.T) {
+	mt := NewMinTree(4, 1)
+	mt.Set(2, 7, true)
+	mt.Set(1, 7, true)
+	port, _, _ := mt.Min()
+	if port != 1 {
+		t.Errorf("tie should go to the lowest port, got %d", port)
+	}
+}
+
+func TestMinTreeNonPowerOfTwo(t *testing.T) {
+	mt := NewMinTree(5, 1)
+	if mt.Ports() != 8 {
+		t.Errorf("ports = %d, want rounded to 8", mt.Ports())
+	}
+	mt.Set(4, 2, true)
+	port, _, ok := mt.Min()
+	if !ok || port != 4 {
+		t.Errorf("min = %d", port)
+	}
+}
+
+func TestMinTreeLatency(t *testing.T) {
+	mt := NewMinTree(8, 2)
+	if mt.Levels() != 3 {
+		t.Errorf("levels = %d, want 3", mt.Levels())
+	}
+	if mt.QueryLatency() != 6 {
+		t.Errorf("latency = %d", mt.QueryLatency())
+	}
+	one := NewMinTree(1, 2)
+	if one.QueryLatency() <= 0 {
+		t.Error("single-port tree still has latency")
+	}
+}
+
+func TestPropertyMinTreeMatchesScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mt := NewMinTree(16, 1)
+		bounds := make([]float64, 16)
+		valid := make([]bool, 16)
+		for op := 0; op < 100; op++ {
+			p := rng.Intn(16)
+			if rng.Intn(4) == 0 {
+				valid[p] = false
+				mt.Set(p, 0, false)
+			} else {
+				bounds[p] = float64(rng.Intn(50))
+				valid[p] = true
+				mt.Set(p, bounds[p], true)
+			}
+			// Scan for expected minimum.
+			bestPort, bestBound, any := -1, 0.0, false
+			for i := 0; i < 16; i++ {
+				if valid[i] && (!any || bounds[i] < bestBound) {
+					bestPort, bestBound, any = i, bounds[i], true
+				}
+			}
+			port, bound, ok := mt.Min()
+			if ok != any {
+				return false
+			}
+			if any && (bound != bestBound || bounds[port] != bestBound) {
+				_ = bestPort
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPriorityArbiter(t *testing.T) {
+	a := NewPriorityArbiter(4, 1)
+	if _, ok := a.Grant(); ok {
+		t.Error("no requests should mean no grant")
+	}
+	a.Request(2, true)
+	a.Request(0, true)
+	a.Request(3, true)
+	if a.Pending() != 3 {
+		t.Errorf("pending = %d", a.Pending())
+	}
+	p, ok := a.Grant()
+	if !ok || p != 0 {
+		t.Errorf("first grant = %d", p)
+	}
+	p, _ = a.Grant()
+	if p != 2 {
+		t.Errorf("second grant = %d", p)
+	}
+	p, _ = a.Grant()
+	if p != 3 {
+		t.Errorf("third grant = %d", p)
+	}
+	if _, ok := a.Grant(); ok {
+		t.Error("requests should be consumed")
+	}
+	if a.GrantLatency() <= 0 {
+		t.Error("latency must be positive")
+	}
+}
+
+func TestBanyanRouteWellFormed(t *testing.T) {
+	var s sim.Sim
+	b := NewBanyan(&s, 8, 2, 1)
+	for src := 0; src < 8; src++ {
+		for dst := 0; dst < 8; dst++ {
+			route := b.Route(src, dst)
+			if len(route) != 3 {
+				t.Fatalf("route %d->%d has %d links", src, dst, len(route))
+			}
+			// Final position must be the destination.
+			if route[len(route)-1].pos != dst {
+				t.Errorf("route %d->%d ends at %d", src, dst, route[len(route)-1].pos)
+			}
+		}
+	}
+}
+
+func TestBanyanDisjointTransfersOverlap(t *testing.T) {
+	var s sim.Sim
+	b := NewBanyan(&s, 8, 0, 1)
+	// 0->0 and 7->7 share no links (identity routes on distinct rows).
+	end1 := b.Transfer(0, 0, 10, nil)
+	end2 := b.Transfer(7, 7, 10, nil)
+	if end1 != 10 || end2 != 10 {
+		t.Errorf("disjoint transfers should overlap: %d, %d", end1, end2)
+	}
+	if b.Blocked != 0 {
+		t.Errorf("blocked = %d", b.Blocked)
+	}
+}
+
+func TestBanyanConflictingTransfersSerialize(t *testing.T) {
+	var s sim.Sim
+	b := NewBanyan(&s, 8, 0, 1)
+	end1 := b.Transfer(0, 5, 10, nil)
+	end2 := b.Transfer(0, 5, 10, nil) // same route: must wait
+	if end2 <= end1 {
+		t.Errorf("conflicting transfers overlap: %d then %d", end1, end2)
+	}
+	if b.Blocked != 1 {
+		t.Errorf("blocked = %d", b.Blocked)
+	}
+	if b.Transfers != 2 {
+		t.Errorf("transfers = %d", b.Transfers)
+	}
+}
+
+func TestBanyanSetupCost(t *testing.T) {
+	var s sim.Sim
+	b := NewBanyan(&s, 4, 7, 2)
+	end := b.Transfer(1, 2, 5, nil)
+	if end != 7+10 {
+		t.Errorf("end = %d, want setup 7 + 5 words x 2", end)
+	}
+}
+
+func TestBanyanDoneCallback(t *testing.T) {
+	var s sim.Sim
+	b := NewBanyan(&s, 4, 1, 1)
+	fired := sim.Time(-1)
+	b.Transfer(0, 3, 4, func() { fired = s.Now() })
+	s.Run(0)
+	if fired != 5 {
+		t.Errorf("done fired at %d, want 5", fired)
+	}
+}
+
+func TestBanyanPortRounding(t *testing.T) {
+	var s sim.Sim
+	b := NewBanyan(&s, 5, 1, 1)
+	if b.Ports() != 8 {
+		t.Errorf("ports = %d", b.Ports())
+	}
+	// Out-of-range ports wrap safely.
+	b.Transfer(13, 9, 1, nil)
+}
+
+func BenchmarkMinTreeSet(b *testing.B) {
+	mt := NewMinTree(64, 1)
+	for i := 0; i < b.N; i++ {
+		mt.Set(i%64, float64(i%97), true)
+	}
+}
+
+func BenchmarkBanyanTransfer(b *testing.B) {
+	var s sim.Sim
+	net := NewBanyan(&s, 16, 2, 1)
+	for i := 0; i < b.N; i++ {
+		net.Transfer(i%16, (i*7)%16, 8, nil)
+	}
+}

@@ -1,0 +1,441 @@
+// Package par implements the parallel B-LOG machine of sections 3 and 6 as
+// a live goroutine engine: n workers (the paper's processors) expand
+// OR-tree chains concurrently, coordinated by a minimum-seeking network.
+//
+// Two scheduling modes are provided:
+//
+//   - SharedHeap: one global open list ordered by bound. This is the
+//     idealized zero-cost network — every free processor always receives
+//     the global minimum chain. It is the D=0 limit of the paper's design
+//     and the ablation baseline.
+//
+//   - TwoLevel: each worker keeps a local open list and the global list
+//     plays the role of the minimum-seeking network. Exactly as described
+//     at the end of section 6: when a task frees up, it acquires a chain
+//     through the network only if the network minimum is at least D lower
+//     than its local minimum, else it works on its own minimum chain. D
+//     reflects the communication cost of moving a chain. Workers spill
+//     their worst chains to the network when their local list grows past
+//     LocalCap — and whenever peers are starving — which also implements
+//     the initial breadth-first fill: the first worker's early children
+//     overflow to the network where idle processors pick them up.
+//
+// The network minimum is published in an atomic register (the minimum-
+// seeking circuit's output), so a worker holding local work applies the D
+// rule without locking; the global list's mutex is only taken to migrate,
+// spill, or wait.
+package par
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"blog/internal/engine"
+	"blog/internal/kb"
+	"blog/internal/search"
+	"blog/internal/term"
+	"blog/internal/weights"
+)
+
+// Mode selects the scheduling discipline.
+type Mode int
+
+const (
+	// SharedHeap uses a single global bound-ordered open list.
+	SharedHeap Mode = iota
+	// TwoLevel uses per-worker open lists plus the D-threshold network.
+	TwoLevel
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == TwoLevel {
+		return "two-level"
+	}
+	return "shared-heap"
+}
+
+// Options configures a parallel run.
+type Options struct {
+	// Workers is the number of simulated processors (default 4).
+	Workers int
+	Mode    Mode
+	// D is the migration threshold of section 6: a freed worker takes the
+	// network chain only if networkMin <= localMin - D. Ignored by
+	// SharedHeap.
+	D float64
+	// LocalCap bounds a worker's local open list in TwoLevel mode; excess
+	// chains spill to the network (default 64).
+	LocalCap int
+	// MaxSolutions stops the run after this many solutions; 0 finds all.
+	MaxSolutions int
+	// MaxExpansions bounds total work; 0 means search.DefaultMaxExpansions.
+	MaxExpansions uint64
+	// Learn applies the section-5 weight rules as chains complete.
+	Learn bool
+	// MaxDepth bounds chain length; 0 uses the store's A constant.
+	MaxDepth int
+}
+
+// Stats aggregates counters across workers.
+type Stats struct {
+	Expanded     uint64
+	Generated    uint64
+	Failures     uint64
+	DepthCutoffs uint64
+	Solutions    uint64
+	// Migrations counts chains acquired through the network by a worker
+	// that still had local work (true steals triggered by the D rule).
+	Migrations uint64
+	// NetworkAcquires counts every pop from the global list.
+	NetworkAcquires uint64
+	// LocalPops counts chains taken from a worker's own list.
+	LocalPops uint64
+	// Spills counts chains pushed to the network by overflowing workers.
+	Spills uint64
+	// PerWorkerExpanded records each worker's expansion count, the
+	// utilization-balance signal for experiment E5.
+	PerWorkerExpanded []uint64
+}
+
+// Result is the outcome of a parallel run.
+type Result struct {
+	Solutions []engine.Solution
+	Stats     Stats
+	QueryVars []*term.Var
+	// Exhausted means the whole tree was searched.
+	Exhausted bool
+}
+
+// Run searches goals over db with opt.Workers parallel workers.
+func Run(db *kb.DB, ws weights.Store, goals []term.Term, opt Options) (*Result, error) {
+	if len(goals) == 0 {
+		return nil, errors.New("par: empty query")
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = 4
+	}
+	if opt.LocalCap <= 0 {
+		opt.LocalCap = 64
+	}
+	maxExp := opt.MaxExpansions
+	if maxExp == 0 {
+		maxExp = search.DefaultMaxExpansions
+	}
+
+	var queryVars []*term.Var
+	for _, g := range goals {
+		queryVars = term.Vars(g, queryVars)
+	}
+
+	st := &state{opt: opt, maxExp: maxExp, global: newBoundHeap(), ws: ws, queryVars: queryVars}
+	st.cond = sync.NewCond(&st.mu)
+	st.globalMin.Store(math.Float64bits(math.Inf(1)))
+
+	exps := make([]*engine.Expander, opt.Workers)
+	for i := range exps {
+		e := engine.NewExpander(db, ws)
+		if opt.MaxDepth > 0 {
+			e.MaxDepth = opt.MaxDepth
+		}
+		exps[i] = e
+	}
+
+	root := exps[0].Root(goals)
+	st.outstanding.Store(1)
+	st.global.push(root)
+	st.publishMin()
+
+	var wg sync.WaitGroup
+	workers := make([]*workerState, opt.Workers)
+	for w := 0; w < opt.Workers; w++ {
+		workers[w] = &workerState{id: w, exp: exps[w]}
+		if opt.Mode == TwoLevel {
+			workers[w].local = newBoundHeap()
+		}
+		wg.Add(1)
+		go func(w *workerState) {
+			defer wg.Done()
+			st.worker(w)
+		}(workers[w])
+	}
+	wg.Wait()
+
+	res := &Result{QueryVars: queryVars, Solutions: st.solutions}
+	res.Stats.PerWorkerExpanded = make([]uint64, opt.Workers)
+	for i, w := range workers {
+		res.Stats.PerWorkerExpanded[i] = w.expanded
+		res.Stats.Expanded += w.expanded
+		res.Stats.Generated += w.generated
+		res.Stats.Failures += w.failures
+		res.Stats.DepthCutoffs += w.depthCutoffs
+		res.Stats.Migrations += w.migrations
+		res.Stats.NetworkAcquires += w.netAcquires
+		res.Stats.LocalPops += w.localPops
+		res.Stats.Spills += w.spills
+	}
+	res.Stats.Solutions = uint64(len(res.Solutions))
+	res.Exhausted = st.exhausted.Load()
+	if opt.MaxSolutions > 0 && len(res.Solutions) > opt.MaxSolutions {
+		res.Solutions = res.Solutions[:opt.MaxSolutions]
+	}
+	return res, st.err
+}
+
+// state is the shared coordination state of one run.
+type state struct {
+	opt       Options
+	maxExp    uint64
+	ws        weights.Store
+	queryVars []*term.Var
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	global *boundHeap // guarded by mu
+	// waiting counts workers blocked on the network; atomic so the spill
+	// heuristic can read it without the lock.
+	waiting atomic.Int32
+	err     error // guarded by mu
+	// solutions guarded by mu.
+	solutions []engine.Solution
+
+	// globalMin publishes the network's minimum bound (float64 bits,
+	// +Inf when the global list is empty): the min-seeking circuit.
+	globalMin atomic.Uint64
+	// outstanding counts chains alive anywhere; 0 means exhaustion.
+	outstanding atomic.Int64
+	// expandedTotal enforces the budget across workers.
+	expandedTotal atomic.Uint64
+	stop          atomic.Bool
+	exhausted     atomic.Bool
+}
+
+// workerState is one worker's private accounting.
+type workerState struct {
+	id    int
+	exp   *engine.Expander
+	local *boundHeap // nil in SharedHeap mode
+
+	expanded     uint64
+	generated    uint64
+	failures     uint64
+	depthCutoffs uint64
+	migrations   uint64
+	netAcquires  uint64
+	localPops    uint64
+	spills       uint64
+}
+
+// publishMin refreshes the atomic network-minimum register. Caller holds mu.
+func (s *state) publishMin() {
+	if n := s.global.peekOrNil(); n != nil {
+		s.globalMin.Store(math.Float64bits(n.Bound))
+	} else {
+		s.globalMin.Store(math.Float64bits(math.Inf(1)))
+	}
+}
+
+func (s *state) netMin() float64 {
+	return math.Float64frombits(s.globalMin.Load())
+}
+
+// setStop halts the run and wakes sleepers.
+func (s *state) setStop() {
+	s.stop.Store(true)
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// worker is the processor main loop.
+func (s *state) worker(w *workerState) {
+	for {
+		if s.stop.Load() {
+			s.abandonLocal(w)
+			return
+		}
+		// Fast path (TwoLevel): local work, and the network min does not
+		// beat it by D. No locks.
+		if w.local != nil && w.local.len() > 0 {
+			lm := w.local.peek().Bound
+			if !(s.netMin() <= lm-s.opt.D) {
+				n := w.local.pop()
+				w.localPops++
+				s.process(w, n)
+				continue
+			}
+		}
+		// Slow path: migrate, drain, wait, or finish.
+		n, ok := s.acquireSlow(w)
+		if !ok {
+			s.abandonLocal(w)
+			return
+		}
+		s.process(w, n)
+	}
+}
+
+// abandonLocal returns a stopping worker's local chains to the ledger.
+func (s *state) abandonLocal(w *workerState) {
+	if w.local == nil || w.local.len() == 0 {
+		return
+	}
+	n := int64(w.local.len())
+	w.local.clear()
+	if s.outstanding.Add(-n) == 0 {
+		s.declareExhausted()
+	}
+}
+
+// declareExhausted ends the run because no chains remain.
+func (s *state) declareExhausted() {
+	if !s.stop.Load() {
+		s.exhausted.Store(true)
+	}
+	s.setStop()
+}
+
+// acquireSlow takes the global lock to migrate a chain, fall back to local
+// work, or wait for someone to spill. ok=false ends the worker.
+func (s *state) acquireSlow(w *workerState) (*engine.Node, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.stop.Load() {
+			return nil, false
+		}
+		var localMin *engine.Node
+		if w.local != nil && w.local.len() > 0 {
+			localMin = w.local.peek()
+		}
+		globalMin := s.global.peekOrNil()
+		switch {
+		case globalMin != nil && (localMin == nil || globalMin.Bound <= localMin.Bound-s.opt.D):
+			n := s.global.pop()
+			s.publishMin()
+			w.netAcquires++
+			if localMin != nil {
+				w.migrations++
+			}
+			return n, true
+		case localMin != nil:
+			w.localPops++
+			return w.local.pop(), true
+		}
+		if s.outstanding.Load() == 0 {
+			s.exhausted.Store(true)
+			s.stop.Store(true)
+			s.cond.Broadcast()
+			return nil, false
+		}
+		s.waiting.Add(1)
+		s.cond.Wait()
+		s.waiting.Add(-1)
+	}
+}
+
+// process expands or finalizes one chain and distributes its children.
+func (s *state) process(w *workerState, n *engine.Node) {
+	if n.IsSolution() {
+		sol := engine.Extract(n, s.queryVars)
+		if s.opt.Learn {
+			s.ws.RecordSuccess(sol.Chain)
+		}
+		s.mu.Lock()
+		s.solutions = append(s.solutions, sol)
+		hitCap := s.opt.MaxSolutions > 0 && len(s.solutions) >= s.opt.MaxSolutions
+		s.mu.Unlock()
+		if hitCap {
+			s.setStop()
+			return
+		}
+		if s.outstanding.Add(-1) == 0 {
+			s.declareExhausted()
+		}
+		return
+	}
+
+	if s.expandedTotal.Add(1) > s.maxExp {
+		s.mu.Lock()
+		if s.err == nil {
+			s.err = search.ErrBudget
+		}
+		s.mu.Unlock()
+		s.setStop()
+		return
+	}
+	w.expanded++
+
+	children, err := s.exp(w, n)
+	if err != nil && err != engine.ErrDepthLimit {
+		s.mu.Lock()
+		if s.err == nil {
+			s.err = err
+		}
+		s.mu.Unlock()
+		s.setStop()
+		return
+	}
+	if err == engine.ErrDepthLimit {
+		w.depthCutoffs++
+	}
+
+	if len(children) == 0 {
+		w.failures++
+		if s.opt.Learn {
+			s.ws.RecordFailure(n.Chain.Slice())
+		}
+		if s.outstanding.Add(-1) == 0 {
+			s.declareExhausted()
+		}
+		return
+	}
+	w.generated += uint64(len(children))
+	s.outstanding.Add(int64(len(children) - 1))
+
+	if w.local == nil {
+		// SharedHeap: everything goes to the global list.
+		s.mu.Lock()
+		for _, c := range children {
+			s.global.push(c)
+		}
+		s.publishMin()
+		if s.waiting.Load() > 0 {
+			s.cond.Broadcast()
+		}
+		s.mu.Unlock()
+		return
+	}
+	// TwoLevel: keep children locally; spill overflow and feed starving
+	// peers. A stale starvation read only delays one spill by a step.
+	for _, c := range children {
+		w.local.push(c)
+	}
+	needSpill := w.local.len() > s.opt.LocalCap
+	starving := s.waiting.Load() > 0 && w.local.len() > 1
+	if !needSpill && !starving {
+		return
+	}
+	s.mu.Lock()
+	for w.local.len() > s.opt.LocalCap {
+		s.global.push(w.local.popMax())
+		w.spills++
+	}
+	// Feed one chain per starving worker so idle peers wake with work.
+	for i := s.waiting.Load(); i > 0 && w.local.len() > 1; i-- {
+		s.global.push(w.local.popMax())
+		w.spills++
+	}
+	s.publishMin()
+	if s.waiting.Load() > 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// exp runs the expander; split out so workerState owns its expander.
+func (s *state) exp(w *workerState, n *engine.Node) ([]*engine.Node, error) {
+	return w.exp.Expand(n)
+}

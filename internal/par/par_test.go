@@ -1,0 +1,374 @@
+package par
+
+import (
+	"sort"
+	"testing"
+
+	"blog/internal/engine"
+	"blog/internal/kb"
+	"blog/internal/parse"
+	"blog/internal/search"
+	"blog/internal/term"
+	"blog/internal/weights"
+	"blog/internal/workload"
+)
+
+const fig1 = `
+gf(X,Z) :- f(X,Y), f(Y,Z).
+gf(X,Z) :- f(X,Y), m(Y,Z).
+f(curt,elain).   f(sam,larry).
+f(dan,pat).      f(larry,den).
+f(pat,john).     f(larry,doug).
+m(elain,john).
+m(marian,elain).
+m(peg,den).
+m(peg,doug).
+`
+
+func load(t testing.TB, src string) *kb.DB {
+	t.Helper()
+	db, _, err := kb.LoadString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func q(t testing.TB, s string) []term.Term {
+	t.Helper()
+	gs, err := parse.Query(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gs
+}
+
+func uniform() weights.Store { return weights.NewUniform(weights.DefaultConfig()) }
+
+func sortedBindings(res *Result, v string) []string {
+	var out []string
+	for _, s := range res.Solutions {
+		out = append(out, s.Bindings[v].String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestSharedHeapFindsAllSolutions(t *testing.T) {
+	db := load(t, fig1)
+	for _, workers := range []int{1, 2, 4, 8} {
+		res, err := Run(db, uniform(), q(t, "gf(sam,G)"), Options{Workers: workers, Mode: SharedHeap})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := sortedBindings(res, "G")
+		if len(got) != 2 || got[0] != "den" || got[1] != "doug" {
+			t.Errorf("workers=%d solutions = %v", workers, got)
+		}
+		if !res.Exhausted {
+			t.Errorf("workers=%d should exhaust", workers)
+		}
+	}
+}
+
+func TestTwoLevelFindsAllSolutions(t *testing.T) {
+	db := load(t, fig1)
+	for _, d := range []float64{0, 1, 5, 100} {
+		res, err := Run(db, uniform(), q(t, "gf(sam,G)"), Options{
+			Workers: 4, Mode: TwoLevel, D: d, LocalCap: 4,
+		})
+		if err != nil {
+			t.Fatalf("D=%v: %v", d, err)
+		}
+		if got := sortedBindings(res, "G"); len(got) != 2 {
+			t.Errorf("D=%v solutions = %v", d, got)
+		}
+	}
+}
+
+func TestParallelMatchesSequentialOnLargerTree(t *testing.T) {
+	db := load(t, workload.FamilyTree(4, 3))
+	goals := q(t, "gf(p0, G)")
+	seq, err := search.Run(db, uniform(), goals, search.Options{Strategy: search.BestFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{SharedHeap, TwoLevel} {
+		res, err := Run(db, uniform(), q(t, "gf(p0, G)"), Options{Workers: 8, Mode: mode, D: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if len(res.Solutions) != len(seq.Solutions) {
+			t.Errorf("%v: %d solutions, sequential found %d", mode, len(res.Solutions), len(seq.Solutions))
+		}
+		// Same solution multiset.
+		want := map[string]int{}
+		for _, s := range seq.Solutions {
+			want[s.Bindings["G"].String()]++
+		}
+		got := map[string]int{}
+		for _, s := range res.Solutions {
+			got[s.Bindings["G"].String()]++
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Errorf("%v: binding %s count %d, want %d", mode, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestParallelNQueens(t *testing.T) {
+	db := load(t, workload.NQueens)
+	res, err := Run(db, uniform(), q(t, "queens(5, Qs)"), Options{
+		Workers: 8, Mode: SharedHeap, MaxDepth: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 10 {
+		t.Errorf("5-queens solutions = %d, want 10", len(res.Solutions))
+	}
+}
+
+func TestMaxSolutionsStopsEarly(t *testing.T) {
+	db := load(t, workload.FamilyTree(4, 3))
+	res, err := Run(db, uniform(), q(t, "gf(p0, G)"), Options{
+		Workers: 4, MaxSolutions: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 {
+		t.Errorf("got %d solutions, want exactly 1 after truncation", len(res.Solutions))
+	}
+	if res.Exhausted {
+		t.Error("early stop should not report exhaustion")
+	}
+}
+
+func TestBudgetStops(t *testing.T) {
+	db := load(t, "loop :- loop.")
+	_, err := Run(db, uniform(), q(t, "loop"), Options{
+		Workers: 4, MaxExpansions: 50, MaxDepth: 1 << 20,
+	})
+	if err != search.ErrBudget {
+		t.Errorf("got %v, want ErrBudget", err)
+	}
+}
+
+func TestDepthLimitTerminates(t *testing.T) {
+	db := load(t, "loop :- loop.")
+	res, err := Run(db, uniform(), q(t, "loop"), Options{Workers: 4, MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 0 || res.Stats.DepthCutoffs == 0 {
+		t.Errorf("solutions=%d cutoffs=%d", len(res.Solutions), res.Stats.DepthCutoffs)
+	}
+}
+
+func TestErrorPropagates(t *testing.T) {
+	db := load(t, "bad(X) :- Y is X + Z, Y > 0.")
+	_, err := Run(db, uniform(), q(t, "bad(1)"), Options{Workers: 4})
+	if err == nil {
+		t.Error("arithmetic error must propagate")
+	}
+}
+
+func TestEmptyQueryErrors(t *testing.T) {
+	db := load(t, fig1)
+	if _, err := Run(db, uniform(), nil, Options{}); err == nil {
+		t.Error("empty query must error")
+	}
+}
+
+func TestTwoLevelMigrationAccounting(t *testing.T) {
+	db := load(t, workload.Unbalanced(16, 12))
+	res, err := Run(db, uniform(), q(t, "job(X)"), Options{
+		Workers: 4, Mode: TwoLevel, D: 0, LocalCap: 2, MaxDepth: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 17 {
+		t.Fatalf("solutions = %d, want 17", len(res.Solutions))
+	}
+	if res.Stats.NetworkAcquires == 0 {
+		t.Error("two-level run should touch the network at least for the root")
+	}
+	if res.Stats.LocalPops == 0 {
+		t.Error("two-level run should also work locally")
+	}
+}
+
+func TestHigherDReducesMigrations(t *testing.T) {
+	// With a huge D, workers almost never take network chains while they
+	// have local work; migrations (excluding idle acquisitions) drop
+	// relative to D=0. Run a few times to smooth scheduling noise.
+	db := load(t, workload.FamilyTree(5, 3))
+	var lowD, highD uint64
+	for i := 0; i < 3; i++ {
+		r0, err := Run(db, uniform(), q(t, "anc(p0, X)"), Options{
+			Workers: 4, Mode: TwoLevel, D: 0, LocalCap: 8, MaxDepth: 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := Run(db, uniform(), q(t, "anc(p0, X)"), Options{
+			Workers: 4, Mode: TwoLevel, D: 1e6, LocalCap: 8, MaxDepth: 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r0.Solutions) != len(r1.Solutions) {
+			t.Fatalf("solution count differs: %d vs %d", len(r0.Solutions), len(r1.Solutions))
+		}
+		lowD += r0.Stats.Migrations
+		highD += r1.Stats.Migrations
+	}
+	if highD > lowD {
+		t.Errorf("migrations with D=inf (%d) exceed D=0 (%d)", highD, lowD)
+	}
+}
+
+func TestPerWorkerStatsSum(t *testing.T) {
+	db := load(t, workload.FamilyTree(4, 3))
+	res, err := Run(db, uniform(), q(t, "anc(p0, X)"), Options{
+		Workers: 4, Mode: SharedHeap, MaxDepth: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, e := range res.Stats.PerWorkerExpanded {
+		sum += e
+	}
+	if sum != res.Stats.Expanded {
+		t.Errorf("per-worker sum %d != total %d", sum, res.Stats.Expanded)
+	}
+	if len(res.Stats.PerWorkerExpanded) != 4 {
+		t.Errorf("per-worker slots = %d", len(res.Stats.PerWorkerExpanded))
+	}
+}
+
+func TestParallelLearningIsRaceFree(t *testing.T) {
+	// Learning from many workers concurrently; run under -race.
+	db := load(t, workload.DeepFailure(8, 5))
+	tab := weights.NewTable(weights.Config{N: 16, A: 64})
+	res, err := Run(db, tab, q(t, "top(W)"), Options{Workers: 8, Learn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 {
+		t.Fatalf("solutions = %d", len(res.Solutions))
+	}
+	if tab.Len() == 0 {
+		t.Error("learning should populate the table")
+	}
+}
+
+func TestDifferentialParallelVsSequentialRandomPrograms(t *testing.T) {
+	// The parallel engines must find exactly the sequential solution
+	// multiset on stratified random programs.
+	for seed := int64(1); seed <= 8; seed++ {
+		src := workload.RandomProgram(3, 3, 4, 4, seed)
+		db := load(t, src)
+		seqRes, err := search.Run(db, uniform(), q(t, "l2p0(Q,R)"),
+			search.Options{Strategy: search.DFS, MaxDepth: 24})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := map[string]int{}
+		for _, s := range seqRes.Solutions {
+			want[s.Format(seqRes.QueryVars)]++
+		}
+		for _, mode := range []Mode{SharedHeap, TwoLevel} {
+			res, err := Run(db, uniform(), q(t, "l2p0(Q,R)"), Options{
+				Workers: 6, Mode: mode, D: 2, LocalCap: 4, MaxDepth: 24,
+			})
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, mode, err)
+			}
+			got := map[string]int{}
+			for _, s := range res.Solutions {
+				got[s.Format(res.QueryVars)]++
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d %v: %d distinct solutions, want %d", seed, mode, len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("seed %d %v: %q count %d, want %d", seed, mode, k, got[k], v)
+				}
+			}
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if SharedHeap.String() != "shared-heap" || TwoLevel.String() != "two-level" {
+		t.Error("mode names")
+	}
+}
+
+func TestBoundHeapOrdering(t *testing.T) {
+	h := newBoundHeap()
+	bounds := []float64{5, 1, 4, 1, 9, 2, 6}
+	for i, b := range bounds {
+		h.push(&engine.Node{Bound: b, Seq: uint64(i)})
+	}
+	var got []float64
+	for h.len() > 0 {
+		got = append(got, h.pop().Bound)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("heap pops out of order: %v", got)
+		}
+	}
+}
+
+func TestBoundHeapPopMax(t *testing.T) {
+	h := newBoundHeap()
+	for i, b := range []float64{1, 8, 2, 9, 9, 3} {
+		h.push(&engine.Node{Bound: b, Seq: uint64(i)})
+	}
+	if got := h.popMax().Bound; got != 9 {
+		t.Fatalf("popMax = %v, want 9", got)
+	}
+	// Remaining pops must still be ordered (heap property preserved).
+	var got []float64
+	for h.len() > 0 {
+		got = append(got, h.pop().Bound)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("heap broken after popMax: %v", got)
+		}
+	}
+}
+
+func TestBoundHeapSeqTiebreak(t *testing.T) {
+	h := newBoundHeap()
+	h.push(&engine.Node{Bound: 1, Seq: 2})
+	h.push(&engine.Node{Bound: 1, Seq: 1})
+	if h.pop().Seq != 1 {
+		t.Error("equal bounds must pop in Seq order")
+	}
+}
+
+func BenchmarkParallelNQueens6(b *testing.B) {
+	db := load(b, workload.NQueens)
+	goals, _ := parse.Query("queens(6, Qs)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(db, uniform(), goals, Options{Workers: 8, MaxDepth: 512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Solutions) != 4 {
+			b.Fatalf("6-queens solutions = %d", len(res.Solutions))
+		}
+	}
+}

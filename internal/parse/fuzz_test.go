@@ -1,0 +1,108 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+
+	"blog/internal/term"
+)
+
+// FuzzSource checks the parser never panics and that whatever it accepts
+// round-trips: every parsed clause renders to text that reparses to the
+// same rendered form.
+func FuzzSource(f *testing.F) {
+	seeds := []string{
+		"p(a).",
+		"gf(X,Z) :- f(X,Y), f(Y,Z).",
+		"?- gf(sam,G).",
+		"p([a,b|T], 42, 'quoted atom').",
+		"x :- a, b, c.",
+		"n(-7).",
+		"q(X) :- X is 1 + 2 * 3, X =\\= 0.",
+		"% comment\np(a). /* block */",
+		"l([]). l([H|T]) :- l(T).",
+		"u(T) :- T =.. [f, 1].",
+		"w :- \\+(p(a)).",
+		"p(a",
+		":-:-",
+		"'unterminated",
+		"p(a)) .",
+		"\x00\xff",
+		strings.Repeat("(", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Source(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for _, c := range prog.Clauses {
+			rendered := renderClause(c)
+			prog2, err := Source(rendered)
+			if err != nil {
+				t.Fatalf("accepted clause %q does not reparse: %v", rendered, err)
+			}
+			if len(prog2.Clauses) != 1 {
+				t.Fatalf("clause %q reparsed to %d clauses", rendered, len(prog2.Clauses))
+			}
+			if got := renderClause(prog2.Clauses[0]); got != rendered {
+				t.Fatalf("round trip drift: %q -> %q", rendered, got)
+			}
+		}
+	})
+}
+
+func renderClause(c Clause) string {
+	var text string
+	if len(c.Body) == 0 {
+		text = c.Head.String()
+	} else {
+		parts := make([]string, len(c.Body))
+		for i, g := range c.Body {
+			parts[i] = g.String()
+		}
+		text = c.Head.String() + " :- " + strings.Join(parts, ", ")
+	}
+	if term.EndsSymbolic(text) {
+		return text + " ."
+	}
+	return text + "."
+}
+
+// FuzzQuery checks query parsing never panics and accepted queries
+// reparse.
+func FuzzQuery(f *testing.F) {
+	for _, s := range []string{"p(X)", "?- a, b.", "X = f(Y), Y \\= 3", "[H|T] = [1,2]"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		goals, err := Query(src)
+		if err != nil {
+			return
+		}
+		for _, g := range goals {
+			if _, err := OneTerm(g.String()); err != nil {
+				// Variables with generated names (_G42) still parse; any
+				// failure here is a printer/parser mismatch.
+				t.Fatalf("accepted goal %q does not reparse: %v", g.String(), err)
+			}
+		}
+		_ = goals
+	})
+}
+
+// FuzzOneTermPrinterTotal checks the printer itself is total over parsed
+// terms (no panics formatting unusual atoms).
+func FuzzOneTermPrinterTotal(f *testing.F) {
+	f.Add("f('a b', 'don''t', [x|Y])")
+	f.Fuzz(func(t *testing.T, src string) {
+		tm, err := OneTerm(src)
+		if err != nil {
+			return
+		}
+		_ = tm.String()
+		_ = term.Vars(tm, nil)
+	})
+}

@@ -1,0 +1,304 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+
+	"blog/internal/term"
+)
+
+// fig1 is the program of figure 1 of the paper, verbatim.
+const fig1 = `
+gf(X,Z) :- f(X,Y), f(Y,Z).
+gf(X,Z) :- f(X,Y), m(Y,Z).
+
+f(curt,elain).   f(sam,larry).
+f(dan,pat).      f(larry,den).
+f(pat,john).     f(larry,doug).
+
+m(elain,john).
+m(marian,elain).
+m(peg,den).
+m(peg,doug).
+
+?- gf(sam,G).
+`
+
+func TestParseFig1(t *testing.T) {
+	prog, err := Source(fig1)
+	if err != nil {
+		t.Fatalf("parse fig1: %v", err)
+	}
+	if len(prog.Clauses) != 12 {
+		t.Fatalf("got %d clauses, want 12", len(prog.Clauses))
+	}
+	if len(prog.Queries) != 1 {
+		t.Fatalf("got %d queries, want 1", len(prog.Queries))
+	}
+	r0 := prog.Clauses[0]
+	if got := r0.Head.String(); got != "gf(X,Z)" {
+		t.Errorf("rule 0 head = %s", got)
+	}
+	if len(r0.Body) != 2 || r0.Body[0].String() != "f(X,Y)" || r0.Body[1].String() != "f(Y,Z)" {
+		t.Errorf("rule 0 body = %v", r0.Body)
+	}
+	if got := prog.Queries[0][0].String(); got != "gf(sam,G)" {
+		t.Errorf("query = %s", got)
+	}
+	// Facts have empty bodies.
+	for _, c := range prog.Clauses[2:] {
+		if len(c.Body) != 0 {
+			t.Errorf("fact %s has body %v", c.Head, c.Body)
+		}
+	}
+}
+
+func TestVariableScopePerClause(t *testing.T) {
+	prog, err := Source("p(X,X).\nq(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := prog.Clauses[0].Head.(*term.Compound)
+	if p0.Args[0] != p0.Args[1] {
+		t.Error("X within one clause must be the same variable")
+	}
+	q0 := prog.Clauses[1].Head.(*term.Compound)
+	if q0.Args[0] == p0.Args[0] {
+		t.Error("X in different clauses must be distinct variables")
+	}
+}
+
+func TestVariableSharedHeadBody(t *testing.T) {
+	prog, err := Source("p(X) :- q(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := prog.Clauses[0].Head.(*term.Compound)
+	b := prog.Clauses[0].Body[0].(*term.Compound)
+	if h.Args[0] != b.Args[0] {
+		t.Error("X must be shared between head and body")
+	}
+}
+
+func TestAnonymousVarsDistinct(t *testing.T) {
+	prog, err := Source("p(_,_).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := prog.Clauses[0].Head.(*term.Compound)
+	if c.Args[0] == c.Args[1] {
+		t.Error("each _ must be a fresh variable")
+	}
+}
+
+func TestParseIntegersAndNegatives(t *testing.T) {
+	g, err := Query("p(42, -7)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g[0].(*term.Compound)
+	if c.Args[0] != term.Int(42) || c.Args[1] != term.Int(-7) {
+		t.Errorf("args = %v", c.Args)
+	}
+}
+
+func TestParseLists(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"p([])", "p([])"},
+		{"p([a,b,c])", "p([a,b,c])"},
+		{"p([H|T])", "p([H|T])"},
+		{"p([a,b|T])", "p([a,b|T])"},
+		{"p([[a],[b,c]])", "p([[a],[b,c]])"},
+	}
+	for _, c := range cases {
+		g, err := Query(c.in)
+		if err != nil {
+			t.Errorf("%s: %v", c.in, err)
+			continue
+		}
+		if got := g[0].String(); got != c.want {
+			t.Errorf("%s parsed as %s", c.in, got)
+		}
+	}
+}
+
+func TestParseArithmetic(t *testing.T) {
+	g, err := Query("X is 1 + 2 * 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// * binds tighter than +.
+	want := "is(X,+(1,*(2,3)))"
+	if got := g[0].String(); got != want {
+		t.Errorf("got %s, want %s", got, want)
+	}
+	g2, err := Query("X is (1 + 2) * 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g2[0].String(); got != "is(X,*(+(1,2),3))" {
+		t.Errorf("parenthesized: got %s", got)
+	}
+}
+
+func TestParseComparisons(t *testing.T) {
+	for _, op := range []string{"=", "\\=", "<", ">", "=<", ">=", "=:=", "=\\="} {
+		g, err := Query("X " + op + " Y")
+		if err != nil {
+			t.Errorf("op %s: %v", op, err)
+			continue
+		}
+		name, arity, _ := term.Functor(g[0])
+		if name != op || arity != 2 {
+			t.Errorf("op %s parsed as %s/%d", op, name, arity)
+		}
+	}
+}
+
+func TestParseQueryMultiGoal(t *testing.T) {
+	g, err := Query("?- f(sam,Y), f(Y,G).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 2 {
+		t.Fatalf("got %d goals", len(g))
+	}
+	// Y must be shared between the goals.
+	y1 := g[0].(*term.Compound).Args[1]
+	y2 := g[1].(*term.Compound).Args[0]
+	if y1 != y2 {
+		t.Error("Y must be shared across query goals")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+% line comment
+p(a). /* block
+comment */ p(b). % trailing
+`
+	prog, err := Source(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Clauses) != 2 {
+		t.Errorf("got %d clauses", len(prog.Clauses))
+	}
+}
+
+func TestParseQuotedAtoms(t *testing.T) {
+	g, err := Query("p('hello world', 'it''s', 'a\\nb')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g[0].(*term.Compound)
+	if c.Args[0] != term.Atom("hello world") {
+		t.Errorf("arg0 = %v", c.Args[0])
+	}
+	if c.Args[1] != term.Atom("it's") {
+		t.Errorf("arg1 = %v", c.Args[1])
+	}
+	if c.Args[2] != term.Atom("a\nb") {
+		t.Errorf("arg2 = %v", c.Args[2])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"p(a",     // unclosed paren
+		"p(a)",    // missing period (Source requires it)
+		"p(a)) .", // stray paren
+		"'unterminated",
+		"/* unclosed",
+		"p(a,).",  // missing arg
+		"3 :- p.", // non-callable head
+		"X :- p.", // variable head
+	}
+	for _, src := range cases {
+		if _, err := Source(src); err == nil {
+			t.Errorf("Source(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := Source("p(a).\nq(b")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	pe, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("error line = %d, want 2", pe.Line)
+	}
+	if !strings.Contains(err.Error(), "parse error") {
+		t.Errorf("error text %q", err)
+	}
+}
+
+func TestOneTerm(t *testing.T) {
+	tm, err := OneTerm("f(X, g(Y))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tm.String(); got != "f(X,g(Y))" {
+		t.Errorf("got %s", got)
+	}
+	if _, err := OneTerm("f(X) extra"); err == nil {
+		t.Error("trailing tokens should fail")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	// Terms print back to a form that reparses to an equal-shape term.
+	inputs := []string{
+		"f(a,b)", "f(X,g(X))", "[a,b,c]", "[H|T]", "p(1, -2, 'q r')",
+		"is(X,+(1,2))",
+	}
+	for _, in := range inputs {
+		t1, err := OneTerm(in)
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		t2, err := OneTerm(t1.String())
+		if err != nil {
+			t.Fatalf("reparse %s: %v", t1, err)
+		}
+		if t1.String() != t2.String() {
+			t.Errorf("round trip %s -> %s -> %s", in, t1, t2)
+		}
+	}
+}
+
+func TestSection5Example(t *testing.T) {
+	// The A :- B,C,D example from section 5 of the paper.
+	src := `
+a :- b, c, d.
+b :- e.
+b :- f.
+c :- g.
+d :- h.
+e. f. g. h.
+`
+	prog, err := Source(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Clauses) != 9 {
+		t.Errorf("got %d clauses, want 9", len(prog.Clauses))
+	}
+	if len(prog.Clauses[0].Body) != 3 {
+		t.Errorf("a/0 body len = %d", len(prog.Clauses[0].Body))
+	}
+}
+
+func BenchmarkParseFig1(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Source(fig1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Package prelude provides a small standard library of list and utility
+// predicates written in the object language itself, ready to prepend to
+// user programs. Everything here runs under any B-LOG search strategy —
+// there is no cut, so all definitions are pure Horn clauses whose
+// complete solution sets the strategies agree on.
+package prelude
+
+// Lists is the list-processing library.
+const Lists = `
+% append(Xs, Ys, Zs): Zs is Xs ++ Ys.
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+% member(X, Xs): X occurs in Xs.
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+% memberchk-like ground test without cut: use member/2 with MaxSolutions.
+
+% select(X, Xs, Rest): removing one occurrence of X from Xs leaves Rest.
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+% reverse(Xs, Ys) via an accumulator.
+reverse(L, R) :- reverse_(L, [], R).
+reverse_([], Acc, Acc).
+reverse_([H|T], Acc, R) :- reverse_(T, [H|Acc], R).
+
+% last(Xs, X): X is the final element.
+last([X], X).
+last([_|T], X) :- last(T, X).
+
+% nth1(N, Xs, X): X is the N-th element, 1-based.
+nth1(1, [X|_], X).
+nth1(N, [_|T], X) :- N > 1, M is N - 1, nth1(M, T, X).
+
+% sum_list / max_list / min_list over integer lists.
+sum_list([], 0).
+sum_list([H|T], S) :- sum_list(T, S1), S is S1 + H.
+max_list([X], X).
+max_list([H|T], M) :- max_list(T, M1), M is max(H, M1).
+min_list([X], X).
+min_list([H|T], M) :- min_list(T, M1), M is min(H, M1).
+
+% permutation(Xs, Ys): Ys is a permutation of Xs.
+permutation([], []).
+permutation(L, [H|T]) :- select(H, L, R), permutation(R, T).
+
+% prefix/suffix/sublist relations.
+prefix([], _).
+prefix([H|T], [H|R]) :- prefix(T, R).
+suffix(S, S).
+suffix(S, [_|T]) :- suffix(S, T).
+sublist(S, L) :- suffix(Suf, L), prefix(S, Suf).
+
+% delete_all(X, Xs, Ys): Ys is Xs with every X removed (ground X).
+delete_all(_, [], []).
+delete_all(X, [X|T], R) :- delete_all(X, T, R).
+delete_all(X, [H|T], [H|R]) :- X \= H, delete_all(X, T, R).
+
+% numlist(L, H, Xs): Xs = [L, L+1, ..., H].
+numlist(L, H, [L|T]) :- L < H, L1 is L + 1, numlist(L1, H, T).
+numlist(H, H, [H]).
+`
+
+// Pairs is a small association-pair library over k-v terms.
+const Pairs = `
+% pair access over kv(K, V) terms.
+pair_key(kv(K, _), K).
+pair_value(kv(_, V), V).
+pairs_keys([], []).
+pairs_keys([kv(K,_)|T], [K|KT]) :- pairs_keys(T, KT).
+pairs_values([], []).
+pairs_values([kv(_,V)|T], [V|VT]) :- pairs_values(T, VT).
+lookup(K, [kv(K,V)|_], V).
+lookup(K, [kv(K2,_)|T], V) :- K \= K2, lookup(K, T, V).
+`
+
+// All is every prelude module concatenated.
+const All = Lists + Pairs

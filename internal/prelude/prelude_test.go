@@ -1,0 +1,184 @@
+package prelude
+
+import (
+	"fmt"
+	"testing"
+
+	"blog/internal/kb"
+	"blog/internal/parse"
+	"blog/internal/search"
+	"blog/internal/weights"
+)
+
+// runAll runs a query over the prelude and returns formatted solutions.
+func runAll(t *testing.T, query string, strat search.Strategy) []string {
+	t.Helper()
+	db, _, err := kb.LoadString(All)
+	if err != nil {
+		t.Fatalf("prelude does not parse: %v", err)
+	}
+	goals, err := parse.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := search.Run(db, weights.NewUniform(weights.DefaultConfig()), goals, search.Options{
+		Strategy: strat, MaxDepth: 64,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", query, err)
+	}
+	out := make([]string, 0, len(res.Solutions))
+	for _, s := range res.Solutions {
+		out = append(out, s.Format(res.QueryVars))
+	}
+	return out
+}
+
+func TestAppend(t *testing.T) {
+	got := runAll(t, "append([1,2], [3], Z)", search.DFS)
+	if len(got) != 1 || got[0] != "Z = [1,2,3]" {
+		t.Errorf("append: %v", got)
+	}
+	splits := runAll(t, "append(X, Y, [a,b,c])", search.DFS)
+	if len(splits) != 4 {
+		t.Errorf("append splits: %v", splits)
+	}
+}
+
+func TestMemberAndSelect(t *testing.T) {
+	if got := runAll(t, "member(b, [a,b,c])", search.DFS); len(got) != 1 {
+		t.Errorf("member: %v", got)
+	}
+	got := runAll(t, "select(X, [1,2,3], R)", search.DFS)
+	if len(got) != 3 {
+		t.Errorf("select: %v", got)
+	}
+}
+
+func TestReverseLastNth(t *testing.T) {
+	if got := runAll(t, "reverse([1,2,3], R)", search.DFS); len(got) != 1 || got[0] != "R = [3,2,1]" {
+		t.Errorf("reverse: %v", got)
+	}
+	if got := runAll(t, "last([a,b,c], X)", search.DFS); len(got) != 1 || got[0] != "X = c" {
+		t.Errorf("last: %v", got)
+	}
+	if got := runAll(t, "nth1(2, [a,b,c], X)", search.DFS); len(got) != 1 || got[0] != "X = b" {
+		t.Errorf("nth1: %v", got)
+	}
+}
+
+func TestNumericFolds(t *testing.T) {
+	if got := runAll(t, "sum_list([1,2,3,4], S)", search.DFS); len(got) != 1 || got[0] != "S = 10" {
+		t.Errorf("sum_list: %v", got)
+	}
+	if got := runAll(t, "max_list([3,1,4,1,5], M)", search.DFS); len(got) != 1 || got[0] != "M = 5" {
+		t.Errorf("max_list: %v", got)
+	}
+	if got := runAll(t, "min_list([3,1,4], M)", search.DFS); len(got) != 1 || got[0] != "M = 1" {
+		t.Errorf("min_list: %v", got)
+	}
+}
+
+func TestPermutation(t *testing.T) {
+	got := runAll(t, "permutation([1,2,3], P)", search.DFS)
+	if len(got) != 6 {
+		t.Errorf("permutations: %d, want 3! = 6", len(got))
+	}
+	seen := map[string]bool{}
+	for _, s := range got {
+		seen[s] = true
+	}
+	if len(seen) != 6 {
+		t.Error("permutations must be distinct")
+	}
+}
+
+func TestSublist(t *testing.T) {
+	got := runAll(t, "sublist([b,c], [a,b,c,d])", search.DFS)
+	if len(got) != 1 {
+		t.Errorf("sublist: %v", got)
+	}
+	if got := runAll(t, "sublist([c,b], [a,b,c,d])", search.DFS); len(got) != 0 {
+		t.Errorf("non-contiguous sublist should fail: %v", got)
+	}
+}
+
+func TestNumlistAndDelete(t *testing.T) {
+	if got := runAll(t, "numlist(1, 4, L)", search.DFS); len(got) != 1 || got[0] != "L = [1,2,3,4]" {
+		t.Errorf("numlist: %v", got)
+	}
+	if got := runAll(t, "delete_all(a, [a,b,a,c], R)", search.DFS); len(got) != 1 || got[0] != "R = [b,c]" {
+		t.Errorf("delete_all: %v", got)
+	}
+}
+
+func TestPairs(t *testing.T) {
+	if got := runAll(t, "pairs_keys([kv(a,1), kv(b,2)], K)", search.DFS); len(got) != 1 || got[0] != "K = [a,b]" {
+		t.Errorf("pairs_keys: %v", got)
+	}
+	if got := runAll(t, "lookup(b, [kv(a,1), kv(b,2)], V)", search.DFS); len(got) != 1 || got[0] != "V = 2" {
+		t.Errorf("lookup: %v", got)
+	}
+	if got := runAll(t, "lookup(z, [kv(a,1)], V)", search.DFS); len(got) != 0 {
+		t.Errorf("missing key: %v", got)
+	}
+}
+
+func TestPreludeStrategyAgreement(t *testing.T) {
+	// All strategies agree on prelude predicates' solution counts.
+	queries := map[string]int{
+		"append(X, Y, [a,b])":   3,
+		"permutation([1,2], P)": 2,
+		"select(X, [p,q,r], R)": 3,
+		"sublist(S, [a,b])":     6, // [],[a],[b],[a,b] + [] appears per suffix
+	}
+	for q, want := range queries {
+		counts := map[search.Strategy]int{}
+		for _, s := range []search.Strategy{search.DFS, search.BFS, search.BestFirst} {
+			counts[s] = len(runAll(t, q, s))
+		}
+		for s, n := range counts {
+			if n != counts[search.DFS] {
+				t.Errorf("%s: %v finds %d, DFS finds %d", q, s, n, counts[search.DFS])
+			}
+		}
+		if want >= 0 && counts[search.DFS] != want {
+			t.Logf("%s: %d solutions (doc check: expected %d)", q, counts[search.DFS], want)
+		}
+	}
+}
+
+func TestPreludeComposesWithUserPrograms(t *testing.T) {
+	src := All + `
+team(alice). team(bob). team(carol).
+roster(R) :- permutation([alice,bob,carol], R).
+`
+	db, _, err := kb.LoadString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goals, _ := parse.Query("roster(R)")
+	res, err := search.Run(db, weights.NewUniform(weights.DefaultConfig()), goals,
+		search.Options{Strategy: search.BestFirst, MaxDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 6 {
+		t.Errorf("rosters = %d", len(res.Solutions))
+	}
+}
+
+func ExampleLists() {
+	db, _, err := kb.LoadString(Lists)
+	if err != nil {
+		panic(err)
+	}
+	goals, _ := parse.Query("append([1], [2,3], Z)")
+	res, err := search.Run(db, weights.NewUniform(weights.DefaultConfig()), goals,
+		search.Options{Strategy: search.DFS})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Solutions[0].Format(res.QueryVars))
+	// Output: Z = [1,2,3]
+}

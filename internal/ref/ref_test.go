@@ -1,0 +1,215 @@
+package ref
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"blog/internal/kb"
+	"blog/internal/par"
+	"blog/internal/parse"
+	"blog/internal/search"
+	"blog/internal/weights"
+	"blog/internal/workload"
+)
+
+func load(t testing.TB, src string) *kb.DB {
+	t.Helper()
+	db, _, err := kb.LoadString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestEvalTransitiveClosure(t *testing.T) {
+	db := load(t, `
+edge(a,b). edge(b,c). edge(c,d).
+path(X,Y) :- edge(X,Y).
+path(X,Z) :- edge(X,Y), path(Y,Z).
+`)
+	m, err := Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 edges + 6 path facts.
+	if m.Size() != 9 {
+		t.Errorf("model size = %d, want 9", m.Size())
+	}
+	if m.Derived != 6 {
+		t.Errorf("derived = %d, want 6", m.Derived)
+	}
+	goals, _ := parse.Query("path(a, X)")
+	got := m.Answers(goals)
+	sort.Strings(got)
+	want := []string{"X = b", "X = c", "X = d"}
+	if len(got) != 3 {
+		t.Fatalf("answers = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("answers = %v", got)
+		}
+	}
+}
+
+func TestEvalHolds(t *testing.T) {
+	db := load(t, "p(a). q(X) :- p(X).")
+	m, err := Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa, _ := parse.OneTerm("q(a)")
+	if !m.Holds(qa) {
+		t.Error("q(a) should hold")
+	}
+	qb, _ := parse.OneTerm("q(b)")
+	if m.Holds(qb) {
+		t.Error("q(b) should not hold")
+	}
+}
+
+func TestEvalGroundQueryAnswers(t *testing.T) {
+	db := load(t, "p(a).")
+	m, err := Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goals, _ := parse.Query("p(a)")
+	got := m.Answers(goals)
+	if len(got) != 1 || got[0] != "true" {
+		t.Errorf("ground answers = %v", got)
+	}
+	goals2, _ := parse.Query("p(b)")
+	if got := m.Answers(goals2); len(got) != 0 {
+		t.Errorf("p(b) answers = %v", got)
+	}
+}
+
+func TestEvalRejectsNonDatalog(t *testing.T) {
+	cases := []string{
+		"p(f(a)).",                  // compound argument
+		"p([a]).",                   // list argument
+		"p(X) :- X is 1 + 1.",       // builtin body
+		"p(X) :- q(Y).\nq(a).",      // not range-restricted
+		"p(X).",                     // non-ground fact
+		"p(X) :- \\+(q(X)).\nq(a).", // negation
+	}
+	for _, src := range cases {
+		db := load(t, src)
+		if _, err := Eval(db); !errors.Is(err, ErrNotDatalog) && err == nil {
+			t.Errorf("Eval(%q) should reject, got %v", src, err)
+		}
+	}
+}
+
+func TestEvalMutualRecursion(t *testing.T) {
+	db := load(t, `
+even(z).
+odd(X) :- succof(X, Y), even(Y).
+even(X) :- succof(X, Y), odd(Y).
+succof(one, z). succof(two, one). succof(three, two).
+`)
+	m, err := Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for atom, want := range map[string]bool{
+		"even(z)": true, "odd(one)": true, "even(two)": true,
+		"odd(three)": true, "even(one)": false, "odd(two)": false,
+	} {
+		tm, _ := parse.OneTerm(atom)
+		if m.Holds(tm) != want {
+			t.Errorf("%s = %v, want %v", atom, m.Holds(tm), want)
+		}
+	}
+}
+
+// TestDifferentialTopDownVsBottomUp is the oracle test: on random
+// stratified Datalog programs, every top-down strategy (sequential and
+// parallel) must produce exactly the fixpoint's answer set.
+func TestDifferentialTopDownVsBottomUp(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			src := workload.RandomProgram(3, 3, 4, 4, seed)
+			db := load(t, src)
+			m, err := Eval(db)
+			if err != nil {
+				t.Fatalf("not datalog: %v\n%s", err, src)
+			}
+			goals, _ := parse.Query("l2p0(Q,R)")
+			want := m.Answers(goals)
+			sort.Strings(want)
+
+			// Sequential strategies.
+			for _, strat := range []search.Strategy{search.DFS, search.BFS, search.BestFirst} {
+				goals, _ := parse.Query("l2p0(Q,R)")
+				res, err := search.Run(db, weights.NewUniform(weights.DefaultConfig()), goals,
+					search.Options{Strategy: strat, MaxDepth: 24})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := distinct(res)
+				if !equalStrings(got, want) {
+					t.Fatalf("%v answers %v != fixpoint %v", strat, got, want)
+				}
+			}
+			// Parallel engine.
+			goals2, _ := parse.Query("l2p0(Q,R)")
+			pres, err := par.Run(db, weights.NewUniform(weights.DefaultConfig()), goals2,
+				par.Options{Workers: 6, Mode: par.TwoLevel, D: 2, LocalCap: 8, MaxDepth: 24})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pgot := make(map[string]bool)
+			for _, s := range pres.Solutions {
+				pgot[s.Format(pres.QueryVars)] = true
+			}
+			var plist []string
+			for k := range pgot {
+				plist = append(plist, k)
+			}
+			sort.Strings(plist)
+			if !equalStrings(plist, want) {
+				t.Fatalf("parallel answers %v != fixpoint %v", plist, want)
+			}
+		})
+	}
+}
+
+func distinct(res *search.Result) []string {
+	set := make(map[string]bool)
+	for _, s := range res.Solutions {
+		set[s.Format(res.QueryVars)] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkFixpointClosure(b *testing.B) {
+	db := load(b, workload.DAG(6, 6, 3, 9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

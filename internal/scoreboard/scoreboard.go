@@ -1,0 +1,248 @@
+// Package scoreboard models the B-LOG processor of section 6: a CDC-6600
+// style scoreboard keeps a set of specialized functional units (search,
+// unify, copy, weight update, disk channel) busy across M concurrent
+// chain-development tasks, so that one processor "is multitasked, able to
+// develop several chains of the search tree at one time" and "the delays
+// due to disk access can be compensated for by developing other chains".
+//
+// The model also includes the multi-write (shift register) memory the
+// paper proposes for environment copying: with it, producing the k child
+// environments of an expansion costs one pass over the environment words;
+// without it, k passes. Experiment E7 measures both the latency-hiding and
+// the copy-cost claims.
+package scoreboard
+
+import (
+	"fmt"
+
+	"blog/internal/sim"
+)
+
+// UnitKind names a functional unit class.
+type UnitKind int
+
+const (
+	// Search finds candidate clauses through the index.
+	Search UnitKind = iota
+	// Unify runs one head unification.
+	Unify
+	// Copy produces child environments (multi-write memory applies here).
+	Copy
+	// Weight computes child bounds and applies update rules.
+	Weight
+	// Disk pages a clause block in from the SPD.
+	Disk
+	numUnits
+)
+
+// String implements fmt.Stringer.
+func (u UnitKind) String() string {
+	switch u {
+	case Search:
+		return "search"
+	case Unify:
+		return "unify"
+	case Copy:
+		return "copy"
+	case Weight:
+		return "weight"
+	case Disk:
+		return "disk"
+	default:
+		return fmt.Sprintf("UnitKind(%d)", int(u))
+	}
+}
+
+// Config sets unit latencies and memory behavior.
+type Config struct {
+	// SearchCycles is the index probe cost per expansion.
+	SearchCycles sim.Time
+	// UnifyCycles is the cost of one head unification.
+	UnifyCycles sim.Time
+	// CopySetupCycles is the fixed cost of starting an environment copy.
+	CopySetupCycles sim.Time
+	// CopyPerWord is the cost per environment word per pass.
+	CopyPerWord sim.Time
+	// WeightCycles is the bound computation cost per child.
+	WeightCycles sim.Time
+	// DiskCycles is the SPD page-in latency.
+	DiskCycles sim.Time
+	// MultiWrite enables the shift-register memory: one copy pass serves
+	// all children of an expansion.
+	MultiWrite bool
+	// Units gives the number of parallel units of each kind (default 1
+	// each; the disk channel is also 1).
+	Units map[UnitKind]int
+}
+
+// DefaultConfig uses latencies in the spirit of the paper's technology:
+// disk access orders of magnitude slower than register-level operations.
+func DefaultConfig() Config {
+	return Config{
+		SearchCycles:    4,
+		UnifyCycles:     6,
+		CopySetupCycles: 2,
+		CopyPerWord:     1,
+		WeightCycles:    1,
+		DiskCycles:      800,
+		MultiWrite:      true,
+	}
+}
+
+// Job is one chain expansion to execute: resolve a goal with Candidates
+// matching clauses over an environment of EnvWords words, needing
+// DiskBlocks block page-ins that miss the local memory.
+type Job struct {
+	Candidates int
+	EnvWords   int
+	DiskBlocks int
+}
+
+// Report summarizes a processor run.
+type Report struct {
+	Cycles       sim.Time
+	Jobs         int
+	Children     int
+	UnitBusy     map[UnitKind]sim.Time
+	UnitUtil     map[UnitKind]float64
+	DiskStalls   uint64
+	CopyPasses   uint64
+	WordsWritten uint64
+}
+
+// Processor is one scoreboard-driven B-LOG processor with M tasks.
+type Processor struct {
+	cfg   Config
+	tasks int
+}
+
+// New creates a processor with M concurrent tasks (minimum 1).
+func New(cfg Config, tasks int) *Processor {
+	if tasks < 1 {
+		tasks = 1
+	}
+	return &Processor{cfg: cfg, tasks: tasks}
+}
+
+// Run executes the job stream to completion and reports timing. Jobs are
+// claimed by tasks in order; each task runs its job's micro-program
+// (search; then per candidate: disk? copy, unify, weight), with every step
+// contending for its unit. Deterministic: ties resolve in task order.
+func (p *Processor) Run(jobs []Job) Report {
+	var s sim.Sim
+	units := make(map[UnitKind][]*sim.Resource)
+	unitCount := func(k UnitKind) int {
+		if p.cfg.Units != nil {
+			if n, ok := p.cfg.Units[k]; ok && n > 0 {
+				return n
+			}
+		}
+		return 1
+	}
+	for k := UnitKind(0); k < numUnits; k++ {
+		n := unitCount(k)
+		for i := 0; i < n; i++ {
+			units[k] = append(units[k], sim.NewResource(&s, k.String()))
+		}
+	}
+	// pick returns the unit of kind k that frees earliest (scoreboard
+	// structural-hazard resolution). With FIFO resources, acquiring the
+	// least-loaded unit approximates issue-when-free.
+	rep := Report{
+		UnitBusy: make(map[UnitKind]sim.Time),
+		UnitUtil: make(map[UnitKind]float64),
+	}
+	acquire := func(k UnitKind, cost sim.Time, done func()) {
+		rs := units[k]
+		best := rs[0]
+		for _, r := range rs[1:] {
+			if r.Busy < best.Busy {
+				best = r
+			}
+		}
+		best.Acquire(cost, done)
+	}
+
+	next := 0
+	var runTask func(id int)
+	runJob := func(id int, j Job, finished func()) {
+		// Micro-program: SEARCH, then per-candidate pipeline.
+		acquire(Search, p.cfg.SearchCycles, func() {
+			// Copy phase: one pass with multi-write, k passes without.
+			passes := j.Candidates
+			if p.cfg.MultiWrite {
+				passes = 1
+			}
+			if j.Candidates == 0 {
+				passes = 0
+			}
+			copyCost := sim.Time(0)
+			if passes > 0 {
+				copyCost = p.cfg.CopySetupCycles + sim.Time(passes)*sim.Time(j.EnvWords)*p.cfg.CopyPerWord
+				rep.CopyPasses += uint64(passes)
+				rep.WordsWritten += uint64(passes * j.EnvWords)
+			}
+			diskNeeded := j.DiskBlocks
+			afterDisk := func() {
+				if copyCost == 0 {
+					// Failure expansion: weight update only.
+					acquire(Weight, p.cfg.WeightCycles, finished)
+					return
+				}
+				acquire(Copy, copyCost, func() {
+					remaining := j.Candidates
+					for c := 0; c < j.Candidates; c++ {
+						acquire(Unify, p.cfg.UnifyCycles, func() {
+							acquire(Weight, p.cfg.WeightCycles, func() {
+								remaining--
+								if remaining == 0 {
+									finished()
+								}
+							})
+						})
+					}
+				})
+			}
+			if diskNeeded > 0 {
+				rep.DiskStalls += uint64(diskNeeded)
+				var pageIn func(left int)
+				pageIn = func(left int) {
+					if left == 0 {
+						afterDisk()
+						return
+					}
+					acquire(Disk, p.cfg.DiskCycles, func() { pageIn(left - 1) })
+				}
+				pageIn(diskNeeded)
+			} else {
+				afterDisk()
+			}
+		})
+	}
+	runTask = func(id int) {
+		if next >= len(jobs) {
+			return
+		}
+		j := jobs[next]
+		next++
+		rep.Jobs++
+		rep.Children += j.Candidates
+		runJob(id, j, func() { runTask(id) })
+	}
+	for t := 0; t < p.tasks && t < len(jobs); t++ {
+		t := t
+		s.At(0, func() { runTask(t) })
+	}
+	rep.Cycles = s.Run(0)
+	for k := UnitKind(0); k < numUnits; k++ {
+		var busy sim.Time
+		for _, r := range units[k] {
+			busy += r.Busy
+		}
+		rep.UnitBusy[k] = busy
+		if rep.Cycles > 0 {
+			rep.UnitUtil[k] = float64(busy) / float64(rep.Cycles) / float64(len(units[k]))
+		}
+	}
+	return rep
+}

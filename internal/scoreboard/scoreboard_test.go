@@ -1,0 +1,185 @@
+package scoreboard
+
+import (
+	"testing"
+
+	"blog/internal/sim"
+)
+
+func simpleJobs(n, candidates, envWords, disk int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Candidates: candidates, EnvWords: envWords, DiskBlocks: disk}
+	}
+	return jobs
+}
+
+func TestSingleTaskSingleJob(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DiskCycles = 100
+	p := New(cfg, 1)
+	rep := p.Run(simpleJobs(1, 2, 10, 0))
+	if rep.Jobs != 1 || rep.Children != 2 {
+		t.Errorf("jobs=%d children=%d", rep.Jobs, rep.Children)
+	}
+	// search(4) + copy(2+10) + unify/weight pipeline. Exact pipeline:
+	// both unifies queue on one unit (6+6), each followed by weight(1).
+	// End = 4 + 12 + 6 + 6 + 1 = 29.
+	if rep.Cycles != 29 {
+		t.Errorf("cycles = %d, want 29", rep.Cycles)
+	}
+}
+
+func TestMultiWriteReducesCopyCost(t *testing.T) {
+	base := DefaultConfig()
+	base.MultiWrite = true
+	single := base
+	single.MultiWrite = false
+	jobs := simpleJobs(50, 4, 32, 0)
+	mw := New(base, 1).Run(jobs)
+	sw := New(single, 1).Run(jobs)
+	if mw.Cycles >= sw.Cycles {
+		t.Errorf("multi-write (%d) should beat single-write (%d)", mw.Cycles, sw.Cycles)
+	}
+	if mw.CopyPasses != 50 || sw.CopyPasses != 200 {
+		t.Errorf("copy passes = %d / %d, want 50 / 200", mw.CopyPasses, sw.CopyPasses)
+	}
+	if mw.WordsWritten >= sw.WordsWritten {
+		t.Error("multi-write should write fewer words")
+	}
+}
+
+func TestMultitaskingHidesDiskLatency(t *testing.T) {
+	// Jobs that each need a disk page-in: with one task the processor
+	// idles during disk waits; with several tasks, compute overlaps disk.
+	cfg := DefaultConfig()
+	cfg.DiskCycles = 500
+	jobs := simpleJobs(16, 3, 16, 1)
+	t1 := New(cfg, 1).Run(jobs)
+	t4 := New(cfg, 4).Run(jobs)
+	if t4.Cycles >= t1.Cycles {
+		t.Errorf("4 tasks (%d cycles) should beat 1 task (%d)", t4.Cycles, t1.Cycles)
+	}
+	// Disk stays the bottleneck: its utilization should rise with tasks.
+	if t4.UnitUtil[Disk] <= t1.UnitUtil[Disk] {
+		t.Errorf("disk util with 4 tasks (%.2f) should exceed 1 task (%.2f)",
+			t4.UnitUtil[Disk], t1.UnitUtil[Disk])
+	}
+}
+
+func TestMoreTasksSaturate(t *testing.T) {
+	// Past saturation, extra tasks cannot help (single disk channel).
+	cfg := DefaultConfig()
+	cfg.DiskCycles = 300
+	jobs := simpleJobs(32, 2, 8, 1)
+	t8 := New(cfg, 8).Run(jobs)
+	t32 := New(cfg, 32).Run(jobs)
+	// Makespan is bounded below by total disk time: 32 jobs x 300.
+	if t8.Cycles < 32*300 || t32.Cycles < 32*300 {
+		t.Errorf("cycles below disk lower bound: %d, %d", t8.Cycles, t32.Cycles)
+	}
+	// And they should be within a small factor of it when saturated.
+	if t32.Cycles > 32*300+3000 {
+		t.Errorf("32 tasks far off disk bound: %d", t32.Cycles)
+	}
+}
+
+func TestFailureJobsWeightOnly(t *testing.T) {
+	cfg := DefaultConfig()
+	p := New(cfg, 1)
+	rep := p.Run([]Job{{Candidates: 0, EnvWords: 8, DiskBlocks: 0}})
+	// search(4) + weight(1) only.
+	if rep.Cycles != cfg.SearchCycles+cfg.WeightCycles {
+		t.Errorf("failure job cycles = %d", rep.Cycles)
+	}
+	if rep.CopyPasses != 0 {
+		t.Error("failure job must not copy")
+	}
+}
+
+func TestMultipleUnifyUnits(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Units = map[UnitKind]int{Unify: 4}
+	jobs := simpleJobs(20, 4, 4, 0)
+	one := New(DefaultConfig(), 4).Run(jobs)
+	four := New(cfg, 4).Run(jobs)
+	if four.Cycles >= one.Cycles {
+		t.Errorf("4 unify units (%d) should beat 1 (%d)", four.Cycles, one.Cycles)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	jobs := simpleJobs(40, 3, 12, 1)
+	a := New(cfg, 6).Run(jobs)
+	b := New(cfg, 6).Run(jobs)
+	if a.Cycles != b.Cycles || a.DiskStalls != b.DiskStalls {
+		t.Error("simulation must be deterministic")
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	rep := New(DefaultConfig(), 4).Run(simpleJobs(30, 3, 10, 1))
+	for k, u := range rep.UnitUtil {
+		if u < 0 || u > 1.0000001 {
+			t.Errorf("unit %v utilization %v out of range", k, u)
+		}
+	}
+	if rep.Cycles <= 0 {
+		t.Error("no cycles elapsed")
+	}
+}
+
+func TestEmptyJobStream(t *testing.T) {
+	rep := New(DefaultConfig(), 4).Run(nil)
+	if rep.Jobs != 0 || rep.Cycles != 0 {
+		t.Errorf("empty run: %+v", rep)
+	}
+}
+
+func TestTaskCountClamped(t *testing.T) {
+	p := New(DefaultConfig(), 0)
+	rep := p.Run(simpleJobs(2, 1, 1, 0))
+	if rep.Jobs != 2 {
+		t.Error("clamped task count should still run")
+	}
+}
+
+func TestUnitKindString(t *testing.T) {
+	names := map[UnitKind]string{Search: "search", Unify: "unify", Copy: "copy", Weight: "weight", Disk: "disk"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d prints %s", int(k), k.String())
+		}
+	}
+	if UnitKind(99).String() != "UnitKind(99)" {
+		t.Error("unknown kind")
+	}
+}
+
+func TestDiskSerialChannel(t *testing.T) {
+	// Two tasks, both needing disk: page-ins serialize on one channel.
+	cfg := DefaultConfig()
+	cfg.DiskCycles = 100
+	rep := New(cfg, 2).Run(simpleJobs(2, 1, 1, 1))
+	if rep.Cycles < 200 {
+		t.Errorf("cycles = %d; two page-ins on one channel need >= 200", rep.Cycles)
+	}
+	var total sim.Time
+	for _, b := range rep.UnitBusy {
+		total += b
+	}
+	if rep.UnitBusy[Disk] != 200 {
+		t.Errorf("disk busy = %d, want 200", rep.UnitBusy[Disk])
+	}
+}
+
+func BenchmarkScoreboard(b *testing.B) {
+	cfg := DefaultConfig()
+	jobs := simpleJobs(100, 3, 16, 1)
+	p := New(cfg, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(jobs)
+	}
+}

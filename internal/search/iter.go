@@ -1,0 +1,137 @@
+package search
+
+import (
+	"errors"
+
+	"blog/internal/engine"
+	"blog/internal/kb"
+	"blog/internal/term"
+	"blog/internal/weights"
+)
+
+// Iter is a pull-based search: each Next call runs the strategy's loop
+// just far enough to produce one more solution, which is how an
+// interactive Prolog top level behaves ("; for more"). The weight rules
+// still apply per completed chain when Learn is set, so an Iter that the
+// caller abandons after the first answer has still learned from every
+// chain it finished — the incremental setting the paper's sessions
+// target.
+type Iter struct {
+	exp       *engine.Expander
+	ws        weights.Store
+	frontier  frontier
+	opt       Options
+	queryVars []*term.Var
+	stats     Stats
+	maxExp    uint64
+	served    int
+	done      bool
+	err       error
+}
+
+// NewIter prepares a lazy search. Tree/trace recording is not supported
+// here; use Run for those.
+func NewIter(db *kb.DB, ws weights.Store, goals []term.Term, opt Options) (*Iter, error) {
+	if len(goals) == 0 {
+		return nil, errors.New("search: empty query")
+	}
+	if opt.RecordTree || opt.RecordTrace {
+		return nil, errors.New("search: Iter does not record trees or traces")
+	}
+	exp := engine.NewExpander(db, ws)
+	exp.OccursCheck = opt.OccursCheck
+	if opt.MaxDepth > 0 {
+		exp.MaxDepth = opt.MaxDepth
+	}
+	var queryVars []*term.Var
+	for _, g := range goals {
+		queryVars = term.Vars(g, queryVars)
+	}
+	it := &Iter{
+		exp:       exp,
+		ws:        ws,
+		frontier:  newFrontier(opt.Strategy),
+		opt:       opt,
+		queryVars: queryVars,
+		maxExp:    opt.MaxExpansions,
+	}
+	if it.maxExp == 0 {
+		it.maxExp = DefaultMaxExpansions
+	}
+	it.frontier.push(exp.Root(goals))
+	return it, nil
+}
+
+// QueryVars returns the query's variables in first-occurrence order.
+func (it *Iter) QueryVars() []*term.Var { return it.queryVars }
+
+// Stats returns the work counters accumulated so far.
+func (it *Iter) Stats() Stats { return it.stats }
+
+// Next produces the next solution. ok is false when the search is over:
+// either exhausted (err nil) or aborted (err non-nil, e.g. ErrBudget).
+// After ok=false, further calls return the same result.
+func (it *Iter) Next() (engine.Solution, bool, error) {
+	if it.done {
+		return engine.Solution{}, false, it.err
+	}
+	if it.opt.MaxSolutions > 0 && it.served >= it.opt.MaxSolutions {
+		it.done = true
+		return engine.Solution{}, false, nil
+	}
+	for it.frontier.len() > 0 {
+		if it.frontier.len() > it.stats.MaxFrontier {
+			it.stats.MaxFrontier = it.frontier.len()
+		}
+		n := it.frontier.pop()
+		if n.IsSolution() {
+			sol := engine.Extract(n, it.queryVars)
+			if it.opt.Learn {
+				it.ws.RecordSuccess(sol.Chain)
+			}
+			it.served++
+			return sol, true, nil
+		}
+		if it.stats.Expanded >= it.maxExp {
+			it.done = true
+			it.err = ErrBudget
+			return engine.Solution{}, false, it.err
+		}
+		it.stats.Expanded++
+		if n.Depth > it.stats.MaxDepth {
+			it.stats.MaxDepth = n.Depth
+		}
+		children, err := it.exp.Expand(n)
+		if err != nil && err != engine.ErrDepthLimit {
+			it.done = true
+			it.err = err
+			return engine.Solution{}, false, err
+		}
+		if err == engine.ErrDepthLimit {
+			it.stats.DepthCutoffs++
+		}
+		if len(children) == 0 {
+			it.stats.Failures++
+			if it.opt.Learn {
+				it.ws.RecordFailure(n.Chain.Slice())
+			}
+			continue
+		}
+		it.stats.Generated += uint64(len(children))
+		if it.opt.Strategy == DFS {
+			for i := len(children) - 1; i >= 0; i-- {
+				it.frontier.push(children[i])
+			}
+		} else {
+			for _, c := range children {
+				it.frontier.push(c)
+			}
+		}
+	}
+	it.done = true
+	return engine.Solution{}, false, nil
+}
+
+// Exhausted reports whether the whole tree was searched (meaningful after
+// Next returned ok=false with a nil error).
+func (it *Iter) Exhausted() bool { return it.done && it.err == nil }

@@ -1,0 +1,156 @@
+package search
+
+import (
+	"testing"
+
+	"blog/internal/kb"
+	"blog/internal/weights"
+	"blog/internal/workload"
+)
+
+func TestIterYieldsAllSolutionsLazily(t *testing.T) {
+	db := load(t, fig1)
+	it, err := NewIter(db, uniform(), q(t, "gf(sam,G)"), Options{Strategy: DFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for {
+		sol, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, sol.Format(it.QueryVars()))
+	}
+	if len(got) != 2 || got[0] != "G = den" || got[1] != "G = doug" {
+		t.Errorf("solutions = %v", got)
+	}
+	if !it.Exhausted() {
+		t.Error("iterator should be exhausted")
+	}
+	// Further calls keep returning done.
+	if _, ok, err := it.Next(); ok || err != nil {
+		t.Error("exhausted iterator must stay done")
+	}
+}
+
+func TestIterMatchesRun(t *testing.T) {
+	db := load(t, workload.FamilyTree(4, 3))
+	for _, strat := range []Strategy{DFS, BFS, BestFirst} {
+		run, err := Run(db, uniform(), q(t, "gf(p0,G)"), Options{Strategy: strat, MaxDepth: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, err := NewIter(db, uniform(), q(t, "gf(p0,G)"), Options{Strategy: strat, MaxDepth: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var n int
+		for {
+			_, ok, err := it.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+		if n != len(run.Solutions) {
+			t.Errorf("%v: iter %d solutions, run %d", strat, n, len(run.Solutions))
+		}
+		if it.Stats().Expanded != run.Stats.Expanded {
+			t.Errorf("%v: iter expanded %d, run %d", strat, it.Stats().Expanded, run.Stats.Expanded)
+		}
+	}
+}
+
+func TestIterEarlyAbandonmentDoesLessWork(t *testing.T) {
+	db := load(t, workload.FamilyTree(5, 3))
+	full, err := Run(db, uniform(), q(t, "anc(p0,X)"), Options{Strategy: DFS, MaxDepth: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := NewIter(db, uniform(), q(t, "anc(p0,X)"), Options{Strategy: DFS, MaxDepth: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := it.Next(); !ok || err != nil {
+		t.Fatal("first solution missing")
+	}
+	if it.Stats().Expanded >= full.Stats.Expanded {
+		t.Errorf("one-solution pull expanded %d, full run %d", it.Stats().Expanded, full.Stats.Expanded)
+	}
+}
+
+func TestIterMaxSolutions(t *testing.T) {
+	db := load(t, fig1)
+	it, err := NewIter(db, uniform(), q(t, "gf(sam,G)"), Options{Strategy: DFS, MaxSolutions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := it.Next(); !ok {
+		t.Fatal("first solution missing")
+	}
+	if _, ok, err := it.Next(); ok || err != nil {
+		t.Error("MaxSolutions must cap the stream")
+	}
+}
+
+func TestIterBudget(t *testing.T) {
+	db := load(t, "loop :- loop.")
+	it, err := NewIter(db, uniform(), q(t, "loop"), Options{Strategy: DFS, MaxExpansions: 10, MaxDepth: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := it.Next()
+	if ok || err != ErrBudget {
+		t.Errorf("got ok=%v err=%v, want budget error", ok, err)
+	}
+	if it.Exhausted() {
+		t.Error("budget abort is not exhaustion")
+	}
+}
+
+func TestIterLearnsFromAbandonedSearch(t *testing.T) {
+	// Pull one solution and abandon: the chains completed along the way
+	// (including failures) must have updated the table.
+	db := load(t, workload.DeepFailure(6, 4))
+	tab := weights.NewTable(weights.Config{N: 16, A: 64})
+	it, err := NewIter(db, tab, q(t, "top(W)"), Options{Strategy: BestFirst, Learn: true, MaxDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := it.Next(); !ok || err != nil {
+		t.Fatalf("no solution: %v", err)
+	}
+	if tab.Len() == 0 {
+		t.Error("abandoned iterator should still have learned")
+	}
+}
+
+func TestIterRejectsRecording(t *testing.T) {
+	db := load(t, fig1)
+	if _, err := NewIter(db, uniform(), q(t, "gf(sam,G)"), Options{RecordTree: true}); err == nil {
+		t.Error("tree recording unsupported in Iter")
+	}
+	if _, err := NewIter(db, uniform(), nil, Options{}); err == nil {
+		t.Error("empty query must fail")
+	}
+}
+
+func TestIterErrorPropagates(t *testing.T) {
+	db := load(t, "bad(X) :- Y is X + Z, Y > 0.")
+	it, err := NewIter(db, uniform(), q(t, "bad(1)"), Options{Strategy: DFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := it.Next(); ok || err == nil {
+		t.Error("arithmetic error must surface from Next")
+	}
+}
+
+var _ = kb.Query // keep kb import for the helper file

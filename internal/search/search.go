@@ -1,0 +1,352 @@
+// Package search implements the three search disciplines the paper
+// compares over the OR-tree: Prolog's depth-first search (the baseline of
+// section 2), breadth-first search, and B-LOG's weighted best-first
+// branch-and-bound search (sections 3-5), together with the driver that
+// applies the weight update rules as chains complete.
+package search
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"blog/internal/engine"
+	"blog/internal/kb"
+	"blog/internal/term"
+	"blog/internal/weights"
+)
+
+// Strategy selects the search discipline.
+type Strategy int
+
+const (
+	// DFS expands the most recently generated node first, taking clause
+	// alternatives in source order: Prolog's search.
+	DFS Strategy = iota
+	// BFS expands nodes in generation order.
+	BFS
+	// BestFirst expands the open node with the least bound, the B-LOG
+	// discipline.
+	BestFirst
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case DFS:
+		return "dfs"
+	case BFS:
+		return "bfs"
+	case BestFirst:
+		return "best-first"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options configures a search run.
+type Options struct {
+	Strategy Strategy
+	// MaxSolutions stops the search after this many solutions; 0 finds all.
+	MaxSolutions int
+	// MaxExpansions bounds work; 0 means DefaultMaxExpansions.
+	MaxExpansions uint64
+	// Learn applies the section-5 weight update rules to the store as
+	// chains complete.
+	Learn bool
+	// Prune cuts open nodes whose bound exceeds the best solution found
+	// so far (strict branch and bound). Sound only when weights satisfy
+	// the section-4 requirements; with heuristic weights it may lose
+	// solutions, which experiment E3 quantifies.
+	Prune bool
+	// PruneSlack widens the pruning threshold: a node survives while
+	// bound <= best + PruneSlack.
+	PruneSlack float64
+	// RecordTree builds a Tree of the entire search for rendering.
+	RecordTree bool
+	// RecordTrace collects figure-1 style resolution trace lines.
+	RecordTrace bool
+	// OccursCheck enables sound unification.
+	OccursCheck bool
+	// MaxDepth bounds chain length; 0 uses the store's A constant.
+	MaxDepth int
+}
+
+// DefaultMaxExpansions stops runaway searches on cyclic programs.
+const DefaultMaxExpansions = 5_000_000
+
+// Stats counts the work a search performed.
+type Stats struct {
+	Expanded     uint64 // nodes whose first goal was resolved
+	Generated    uint64 // children created
+	Failures     uint64 // chains that died (no children)
+	DepthCutoffs uint64 // chains cut by MaxDepth
+	Pruned       uint64 // chains cut by the bound
+	MaxFrontier  int    // peak open-list size
+	MaxDepth     int    // deepest chain expanded
+}
+
+// Result is the outcome of a search run.
+type Result struct {
+	Solutions []engine.Solution
+	Stats     Stats
+	// Exhausted is true when the frontier emptied: every chain was
+	// followed to a solution or failure, so the solution list is complete
+	// (for non-pruned runs).
+	Exhausted bool
+	// Tree is the recorded search tree when Options.RecordTree was set.
+	Tree *Tree
+	// Trace holds figure-1 style lines when Options.RecordTrace was set.
+	Trace []string
+	// QueryVars are the variables of the query in first-occurrence order.
+	QueryVars []*term.Var
+}
+
+// ErrBudget is reported when MaxExpansions was hit before exhaustion.
+var ErrBudget = errors.New("search: expansion budget exhausted")
+
+// Run searches for solutions to goals over db guided by ws.
+func Run(db *kb.DB, ws weights.Store, goals []term.Term, opt Options) (*Result, error) {
+	if len(goals) == 0 {
+		return nil, errors.New("search: empty query")
+	}
+	exp := engine.NewExpander(db, ws)
+	exp.OccursCheck = opt.OccursCheck
+	exp.RecordTree = opt.RecordTree || opt.RecordTrace
+	if opt.MaxDepth > 0 {
+		exp.MaxDepth = opt.MaxDepth
+	}
+
+	var queryVars []*term.Var
+	for _, g := range goals {
+		queryVars = term.Vars(g, queryVars)
+	}
+
+	res := &Result{QueryVars: queryVars}
+	var tb *treeBuilder
+	if opt.RecordTree {
+		tb = newTreeBuilder(goals)
+		res.Tree = tb.tree
+	}
+
+	f := newFrontier(opt.Strategy)
+	root := exp.Root(goals)
+	f.push(root)
+
+	maxExp := opt.MaxExpansions
+	if maxExp == 0 {
+		maxExp = DefaultMaxExpansions
+	}
+	bestBound := 0.0
+	haveBest := false
+
+	for f.len() > 0 {
+		if f.len() > res.Stats.MaxFrontier {
+			res.Stats.MaxFrontier = f.len()
+		}
+		n := f.pop()
+
+		if opt.Prune && haveBest && n.Bound > bestBound+opt.PruneSlack {
+			res.Stats.Pruned++
+			if tb != nil {
+				tb.status(n, "pruned")
+			}
+			continue
+		}
+
+		if n.IsSolution() {
+			sol := engine.Extract(n, queryVars)
+			res.Solutions = append(res.Solutions, sol)
+			if opt.Learn {
+				ws.RecordSuccess(sol.Chain)
+			}
+			if tb != nil {
+				tb.status(n, "solution")
+			}
+			if !haveBest || n.Bound < bestBound {
+				bestBound, haveBest = n.Bound, true
+			}
+			if opt.MaxSolutions > 0 && len(res.Solutions) >= opt.MaxSolutions {
+				return res, nil
+			}
+			continue
+		}
+
+		if res.Stats.Expanded >= maxExp {
+			return res, ErrBudget
+		}
+		res.Stats.Expanded++
+		if n.Depth > res.Stats.MaxDepth {
+			res.Stats.MaxDepth = n.Depth
+		}
+
+		children, err := exp.Expand(n)
+		if err != nil && err != engine.ErrDepthLimit {
+			return res, err
+		}
+		if err == engine.ErrDepthLimit {
+			res.Stats.DepthCutoffs++
+		}
+		if len(children) == 0 {
+			res.Stats.Failures++
+			if opt.Learn {
+				ws.RecordFailure(n.Chain.Slice())
+			}
+			if tb != nil {
+				tb.status(n, "fail")
+			}
+			continue
+		}
+		res.Stats.Generated += uint64(len(children))
+		if opt.RecordTrace {
+			res.Trace = append(res.Trace, traceLine(n, children))
+		}
+		if tb != nil {
+			tb.addChildren(n, children)
+		}
+		if opt.Strategy == DFS {
+			// Push in reverse so the first clause pops first: source order.
+			for i := len(children) - 1; i >= 0; i-- {
+				f.push(children[i])
+			}
+		} else {
+			for _, c := range children {
+				f.push(c)
+			}
+		}
+	}
+	res.Exhausted = true
+	return res, nil
+}
+
+// traceLine renders one resolution step in the style of figure 1:
+// the pending goals, then each match found for the first goal.
+func traceLine(n *engine.Node, children []*engine.Node) string {
+	goals := ""
+	for s, i := n.Goals, 0; s != nil && i < 4; i++ {
+		e, _ := s.Top()
+		if i > 0 {
+			goals += ","
+		}
+		goals += n.Env.Format(e.Goal)
+		s = s.Pop()
+	}
+	line := "?- " + goals + " -> " + children[0].Label
+	for _, c := range children[1:] {
+		line += " | " + c.Label
+	}
+	return line
+}
+
+// frontier abstracts the open list.
+type frontier interface {
+	push(*engine.Node)
+	pop() *engine.Node
+	len() int
+}
+
+func newFrontier(s Strategy) frontier {
+	switch s {
+	case BFS:
+		return &fifo{}
+	case BestFirst:
+		return &minHeap{}
+	default:
+		return &lifo{}
+	}
+}
+
+type lifo struct{ items []*engine.Node }
+
+func (s *lifo) push(n *engine.Node) { s.items = append(s.items, n) }
+func (s *lifo) pop() *engine.Node {
+	n := s.items[len(s.items)-1]
+	s.items = s.items[:len(s.items)-1]
+	return n
+}
+func (s *lifo) len() int { return len(s.items) }
+
+type fifo struct {
+	items []*engine.Node
+	head  int
+}
+
+func (q *fifo) push(n *engine.Node) { q.items = append(q.items, n) }
+func (q *fifo) pop() *engine.Node {
+	n := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head > 1024 && q.head*2 > len(q.items) {
+		q.items = append([]*engine.Node(nil), q.items[q.head:]...)
+		q.head = 0
+	}
+	return n
+}
+func (q *fifo) len() int { return len(q.items) - q.head }
+
+// minHeap orders by (Bound, Seq): equal bounds expand in generation order,
+// so a uniform store degenerates gracefully to breadth-first.
+type minHeap struct{ items []*engine.Node }
+
+func (h *minHeap) Len() int { return len(h.items) }
+func (h *minHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.Bound != b.Bound {
+		return a.Bound < b.Bound
+	}
+	return a.Seq < b.Seq
+}
+func (h *minHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *minHeap) Push(x any)    { h.items = append(h.items, x.(*engine.Node)) }
+func (h *minHeap) Pop() any {
+	old := h.items
+	n := old[len(old)-1]
+	old[len(old)-1] = nil
+	h.items = old[:len(old)-1]
+	return n
+}
+func (h *minHeap) push(n *engine.Node) { heap.Push(h, n) }
+func (h *minHeap) pop() *engine.Node   { return heap.Pop(h).(*engine.Node) }
+func (h *minHeap) len() int            { return len(h.items) }
+
+// EnumerateOutcomes exhaustively searches (DFS, no learning) and returns
+// every complete chain as a weights.Outcome — the input the section-4
+// theoretical solver needs.
+func EnumerateOutcomes(db *kb.DB, goals []term.Term, maxDepth int) ([]weights.Outcome, error) {
+	cfg := weights.DefaultConfig()
+	if maxDepth > 0 {
+		cfg.A = maxDepth
+	}
+	ws := weights.NewUniform(cfg)
+	exp := engine.NewExpander(db, ws)
+	exp.MaxDepth = cfg.A
+
+	var outcomes []weights.Outcome
+	stack := []*engine.Node{exp.Root(goals)}
+	var steps uint64
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.IsSolution() {
+			outcomes = append(outcomes, weights.Outcome{Chain: n.Chain.Slice(), Success: true})
+			continue
+		}
+		if steps++; steps > DefaultMaxExpansions {
+			return nil, ErrBudget
+		}
+		children, err := exp.Expand(n)
+		if err != nil && err != engine.ErrDepthLimit {
+			return nil, err
+		}
+		if len(children) == 0 {
+			if n.Chain.Len() > 0 {
+				outcomes = append(outcomes, weights.Outcome{Chain: n.Chain.Slice(), Success: false})
+			}
+			continue
+		}
+		for i := len(children) - 1; i >= 0; i-- {
+			stack = append(stack, children[i])
+		}
+	}
+	return outcomes, nil
+}

@@ -1,0 +1,160 @@
+package search
+
+import (
+	"fmt"
+	"strings"
+
+	"blog/internal/engine"
+	"blog/internal/term"
+)
+
+// Tree is a recorded search tree in the style of figure 3 of the paper:
+// the top half of each node is the match that created it, the bottom half
+// the goal searched next below it.
+type Tree struct {
+	Root *TreeNode
+}
+
+// TreeNode is one node of the recorded tree.
+type TreeNode struct {
+	// Match is the instantiated goal this node's creation matched (the
+	// top half of the node in figure 3); for the root it is the query.
+	Match string
+	// NextGoal is the goal searched below this node (the bottom half);
+	// empty for leaves.
+	NextGoal string
+	// Status is "", "solution", "fail", or "pruned".
+	Status string
+	// Bound is the chain bound at this node.
+	Bound float64
+	// Children are the OR-alternatives below this node.
+	Children []*TreeNode
+}
+
+type treeBuilder struct {
+	tree  *Tree
+	nodes map[*engine.Node]*TreeNode
+}
+
+func newTreeBuilder(goals []term.Term) *treeBuilder {
+	parts := make([]string, len(goals))
+	for i, g := range goals {
+		parts[i] = g.String()
+	}
+	root := &TreeNode{Match: "?- " + strings.Join(parts, ",")}
+	return &treeBuilder{
+		tree:  &Tree{Root: root},
+		nodes: map[*engine.Node]*TreeNode{},
+	}
+}
+
+// lookup finds or creates the TreeNode for n (the root engine node maps to
+// the tree root).
+func (b *treeBuilder) lookup(n *engine.Node) *TreeNode {
+	if n.Parent == nil {
+		return b.tree.Root
+	}
+	if tn, ok := b.nodes[n]; ok {
+		return tn
+	}
+	tn := &TreeNode{Match: n.Label, Bound: n.Bound}
+	b.nodes[n] = tn
+	return tn
+}
+
+func (b *treeBuilder) addChildren(parent *engine.Node, children []*engine.Node) {
+	pt := b.lookup(parent)
+	if e, ok := parent.Goals.Top(); ok {
+		pt.NextGoal = parent.Env.Format(e.Goal)
+	}
+	for _, c := range children {
+		ct := b.lookup(c)
+		pt.Children = append(pt.Children, ct)
+	}
+}
+
+func (b *treeBuilder) status(n *engine.Node, s string) {
+	tn := b.lookup(n)
+	tn.Status = s
+	if n.Parent != nil {
+		// Ensure orphaned status nodes (never expanded) still hang off
+		// their parent; addChildren normally did this already.
+		pt := b.lookup(n.Parent)
+		found := false
+		for _, c := range pt.Children {
+			if c == tn {
+				found = true
+				break
+			}
+		}
+		if !found {
+			pt.Children = append(pt.Children, tn)
+		}
+	}
+}
+
+// Render draws the tree with indentation, matching the layout information
+// of figure 3: each node shows match / next goal, with solution and
+// failure leaves flagged.
+func (t *Tree) Render() string {
+	var b strings.Builder
+	var walk func(n *TreeNode, depth int)
+	walk = func(n *TreeNode, depth int) {
+		indent := strings.Repeat("  ", depth)
+		line := indent + n.Match
+		if n.NextGoal != "" {
+			line += "  /next: " + n.NextGoal
+		}
+		switch n.Status {
+		case "solution":
+			line += "  => SOLUTION"
+		case "fail":
+			line += "  => FAIL"
+		case "pruned":
+			line += "  => PRUNED"
+		}
+		if depth > 0 {
+			line += fmt.Sprintf("  (bound %.3g)", n.Bound)
+		}
+		b.WriteString(line + "\n")
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	return b.String()
+}
+
+// CountStatus returns how many nodes carry each status.
+func (t *Tree) CountStatus() (solutions, failures, pruned int) {
+	var walk func(n *TreeNode)
+	walk = func(n *TreeNode) {
+		switch n.Status {
+		case "solution":
+			solutions++
+		case "fail":
+			failures++
+		case "pruned":
+			pruned++
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return
+}
+
+// Size returns the number of nodes in the tree.
+func (t *Tree) Size() int {
+	var n int
+	var walk func(tn *TreeNode)
+	walk = func(tn *TreeNode) {
+		n++
+		for _, c := range tn.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return n
+}

@@ -1,0 +1,245 @@
+// Package session implements the B-LOG session concept of section 5.
+//
+// A session is "a succession of queries during which no permanent updating
+// of weights is done in the global database". While the session runs, the
+// strong section-5 update rules apply to a local overlay store kept in
+// primary memory; the global table is read through but never written. When
+// the user declares the session over, the global database is updated
+// conservatively:
+//
+//   - no infinity overrides a previously non-infinite global weight,
+//   - other weights move a fraction Alpha towards the session's value,
+//     averaging modifications over sessions so the global table converges
+//     toward the theoretical model.
+package session
+
+import (
+	"sync"
+
+	"blog/internal/kb"
+	"blog/internal/weights"
+)
+
+// Session is a local weight overlay on top of a global table. It
+// implements weights.Store, so search engines use it exactly like a plain
+// table. A Session is safe for concurrent use by parallel workers.
+type Session struct {
+	global *weights.Table
+	// Alpha is the global-update damping factor in (0,1]: 1 adopts the
+	// session value outright, smaller values average across sessions.
+	alpha float64
+
+	mu    sync.RWMutex
+	local map[kb.Arc]weights.Learned
+	ended bool
+
+	// query counters for the learning-curve experiment
+	queries   int
+	successes int
+	failures  int
+}
+
+// Option configures a Session.
+type Option func(*Session)
+
+// WithAlpha sets the end-of-session averaging factor (default 0.5).
+func WithAlpha(a float64) Option {
+	return func(s *Session) {
+		if a > 0 && a <= 1 {
+			s.alpha = a
+		}
+	}
+}
+
+// New begins a session over the given global table.
+func New(global *weights.Table, opts ...Option) *Session {
+	s := &Session{
+		global: global,
+		alpha:  0.5,
+		local:  make(map[kb.Arc]weights.Learned),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Config implements weights.Store.
+func (s *Session) Config() weights.Config { return s.global.Config() }
+
+// Weight implements weights.Store: local knowledge shadows global.
+func (s *Session) Weight(a kb.Arc) float64 {
+	s.mu.RLock()
+	e, ok := s.local[a]
+	s.mu.RUnlock()
+	if !ok {
+		return s.global.Weight(a)
+	}
+	if e.Kind == weights.Infinite {
+		return s.Config().InfiniteWeight()
+	}
+	return e.W
+}
+
+// State implements weights.Store.
+func (s *Session) State(a kb.Arc) (weights.Kind, float64) {
+	s.mu.RLock()
+	e, ok := s.local[a]
+	s.mu.RUnlock()
+	if !ok {
+		return s.global.State(a)
+	}
+	return e.Kind, e.W
+}
+
+// RecordSuccess implements weights.Store with the section-5 success rule,
+// writing only the local overlay.
+func (s *Session) RecordSuccess(chain []kb.Arc) {
+	if len(chain) == 0 {
+		return
+	}
+	cfg := s.Config()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var m float64
+	var open []kb.Arc
+	seen := make(map[kb.Arc]bool, len(chain))
+	for _, a := range chain {
+		kind, w := s.stateLocked(a)
+		if kind == weights.Known {
+			m += w
+			continue
+		}
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		open = append(open, a)
+	}
+	if len(open) == 0 {
+		return
+	}
+	w := 0.0
+	if m < cfg.N {
+		w = (cfg.N - m) / float64(len(open))
+	}
+	for _, a := range open {
+		s.local[a] = weights.Learned{W: w, Kind: weights.Known}
+	}
+}
+
+// RecordFailure implements weights.Store with the section-5 failure rule,
+// writing only the local overlay.
+func (s *Session) RecordFailure(chain []kb.Arc) {
+	if len(chain) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range chain {
+		if kind, _ := s.stateLocked(a); kind == weights.Infinite {
+			return
+		}
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		a := chain[i]
+		if kind, _ := s.stateLocked(a); kind == weights.Unknown {
+			s.local[a] = weights.Learned{W: s.Config().InfiniteWeight(), Kind: weights.Infinite}
+			return
+		}
+	}
+}
+
+// stateLocked reads through local to global; caller holds s.mu.
+func (s *Session) stateLocked(a kb.Arc) (weights.Kind, float64) {
+	if e, ok := s.local[a]; ok {
+		return e.Kind, e.W
+	}
+	return s.global.State(a)
+}
+
+// NoteQuery records query outcome counts for reporting.
+func (s *Session) NoteQuery(succeeded bool) {
+	s.mu.Lock()
+	s.queries++
+	if succeeded {
+		s.successes++
+	} else {
+		s.failures++
+	}
+	s.mu.Unlock()
+}
+
+// Counts returns (queries, successes, failures) recorded with NoteQuery.
+func (s *Session) Counts() (queries, successes, failures int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.queries, s.successes, s.failures
+}
+
+// LocalLen returns the number of locally learned arcs.
+func (s *Session) LocalLen() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.local)
+}
+
+// MergeStats reports what End did to the global table.
+type MergeStats struct {
+	Adopted          int // unknown globals that took the session value
+	Averaged         int // known globals moved toward the session value
+	InfinitiesKept   int // session infinities written (global was unknown)
+	InfinitiesVetoed int // session infinities dropped (global was known)
+}
+
+// End closes the session and conservatively merges the local overlay into
+// the global table. After End the session may still be read but no longer
+// records updates. End is idempotent; the second and later calls are no-ops.
+func (s *Session) End() MergeStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st MergeStats
+	if s.ended {
+		return st
+	}
+	s.ended = true
+	for a, e := range s.local {
+		gk, gw := s.global.State(a)
+		switch e.Kind {
+		case weights.Infinite:
+			// "No infinities will override previous non-infinite weights."
+			switch gk {
+			case weights.Known:
+				st.InfinitiesVetoed++
+			case weights.Infinite:
+				// already infinite globally; nothing to do
+			default:
+				s.global.SetInfinite(a)
+				st.InfinitiesKept++
+			}
+		case weights.Known:
+			switch gk {
+			case weights.Known:
+				// Move a fraction alpha toward the session value.
+				s.global.Set(a, gw+s.alpha*(e.W-gw))
+				st.Averaged++
+			default:
+				// Unknown or previously infinite global: adopt. A session
+				// that proved a chain succeeds overrides a stale infinity
+				// (the success rule already reset it locally).
+				s.global.Set(a, e.W)
+				st.Adopted++
+			}
+		}
+	}
+	return st
+}
+
+// Ended reports whether End has been called.
+func (s *Session) Ended() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ended
+}
+
+var _ weights.Store = (*Session)(nil)

@@ -1,0 +1,279 @@
+package session
+
+import (
+	"sync"
+	"testing"
+
+	"blog/internal/kb"
+	"blog/internal/weights"
+)
+
+func arc(caller, pos, callee int) kb.Arc {
+	return kb.Arc{Caller: kb.ClauseID(caller), Pos: pos, Callee: kb.ClauseID(callee)}
+}
+
+func newPair() (*weights.Table, *Session) {
+	g := weights.NewTable(weights.Config{N: 16, A: 64})
+	return g, New(g)
+}
+
+func TestReadsThroughToGlobal(t *testing.T) {
+	g, s := newPair()
+	a := arc(0, 0, 1)
+	g.Set(a, 5)
+	if w := s.Weight(a); w != 5 {
+		t.Errorf("session should read global weight, got %v", w)
+	}
+	k, w := s.State(a)
+	if k != weights.Known || w != 5 {
+		t.Errorf("state = %v %v", k, w)
+	}
+}
+
+func TestLocalShadowsGlobal(t *testing.T) {
+	g, s := newPair()
+	a := arc(0, 0, 1)
+	g.Set(a, 5)
+	s.RecordFailure([]kb.Arc{arc(9, 0, 9), a}) // a known; the other arc gets inf
+	// Make a itself locally known via a success on a fresh chain.
+	b := arc(1, 0, 2)
+	s.RecordSuccess([]kb.Arc{b})
+	if w := s.Weight(b); w != 16 {
+		t.Errorf("local success weight = %v, want N = 16", w)
+	}
+	// Global is untouched during the session.
+	if gk, _ := g.State(b); gk != weights.Unknown {
+		t.Error("global table must not change before End")
+	}
+}
+
+func TestSessionFailureRuleNearestLeaf(t *testing.T) {
+	_, s := newPair()
+	chain := []kb.Arc{arc(0, 0, 1), arc(1, 0, 2), arc(2, 0, 3)}
+	s.RecordFailure(chain)
+	if k, _ := s.State(chain[2]); k != weights.Infinite {
+		t.Error("leaf-most arc should be locally infinite")
+	}
+	if k, _ := s.State(chain[0]); k != weights.Unknown {
+		t.Error("root-most arc should stay unknown")
+	}
+	// Second failure on same chain is already explained.
+	s.RecordFailure(chain)
+	if k, _ := s.State(chain[1]); k != weights.Unknown {
+		t.Error("already-explained failure must not add infinities")
+	}
+}
+
+func TestSessionSuccessRuleUsesGlobalKnowns(t *testing.T) {
+	g, s := newPair()
+	chain := []kb.Arc{arc(0, 0, 1), arc(1, 0, 2), arc(2, 0, 3)}
+	g.Set(chain[0], 4) // globally known M=4; two unknowns get 6 each
+	s.RecordSuccess(chain)
+	if _, w := s.State(chain[1]); w != 6 {
+		t.Errorf("share = %v, want (16-4)/2 = 6", w)
+	}
+	if w := weights.ChainBound(s, chain); w != 16 {
+		t.Errorf("chain bound = %v, want N", w)
+	}
+}
+
+func TestEndAdoptsIntoUnknownGlobal(t *testing.T) {
+	g, s := newPair()
+	a := arc(0, 0, 1)
+	s.RecordSuccess([]kb.Arc{a})
+	st := s.End()
+	if st.Adopted != 1 {
+		t.Errorf("adopted = %d, want 1", st.Adopted)
+	}
+	if k, w := g.State(a); k != weights.Known || w != 16 {
+		t.Errorf("global after End = %v %v", k, w)
+	}
+}
+
+func TestEndAveragesKnownGlobal(t *testing.T) {
+	g := weights.NewTable(weights.Config{N: 16, A: 64})
+	s := New(g, WithAlpha(0.5))
+	a := arc(0, 0, 1)
+	g.Set(a, 8)
+	// Locally the success rule treats a as known(8): use a forced local
+	// value instead by failing a different arc then succeeding on a fresh
+	// chain that includes a... simpler: session success on chain {a, b}
+	// treats a as known, so to get a local value for a we need it unknown
+	// globally. Test averaging via two sessions instead.
+	b := arc(1, 0, 2)
+	s.RecordSuccess([]kb.Arc{b}) // local b = 16
+	s.End()
+	if _, w := g.State(b); w != 16 {
+		t.Fatalf("b adopted = %v", w)
+	}
+	// Second session learns a different value for b's chain: b known(16)
+	// + c unknown. c gets 0 because M = 16 >= N.
+	s2 := New(g, WithAlpha(0.5))
+	c := arc(2, 0, 3)
+	s2.RecordSuccess([]kb.Arc{b, c})
+	s2.End()
+	if _, w := g.State(c); w != 0 {
+		t.Errorf("c = %v, want 0", w)
+	}
+	_ = a
+}
+
+func TestEndAveragingMovesHalfway(t *testing.T) {
+	g := weights.NewTable(weights.Config{N: 16, A: 64})
+	a := arc(0, 0, 1)
+	g.Set(a, 4)
+	s := New(g, WithAlpha(0.5))
+	// Force a local known value directly through the success rule: chain
+	// of only globally-unknown arcs; then override global to create a
+	// disagreement before End.
+	s.RecordSuccess([]kb.Arc{arc(5, 0, 6)})
+	// Manually ensure a has a local value: a is globally known, so the
+	// success rule won't touch it. Instead verify averaged stats on the
+	// (5,0,6) arc by pre-seeding global AFTER local learning.
+	g.Set(arc(5, 0, 6), 0)
+	st := s.End()
+	if st.Averaged != 1 {
+		t.Fatalf("averaged = %d, want 1", st.Averaged)
+	}
+	if _, w := g.State(arc(5, 0, 6)); w != 8 {
+		t.Errorf("global moved to %v, want halfway 8 (0 -> 16, alpha .5)", w)
+	}
+	_ = a
+}
+
+func TestEndInfinityNeverOverridesKnown(t *testing.T) {
+	g, s := newPair()
+	a := arc(0, 0, 1)
+	g.Set(a, 3) // globally known non-infinite
+	// Make the session believe a is infinite: global known blocks the
+	// failure rule, so seed the local entry via a chain where a is the
+	// only unknown... it is known, so RecordFailure would skip it. Force
+	// the semantics with an unknown arc and then check the veto path on
+	// an arc that is locally infinite and globally known.
+	b := arc(1, 0, 2)
+	s.RecordFailure([]kb.Arc{b}) // local infinite
+	g.Set(b, 7)                  // meanwhile another session published a known weight
+	st := s.End()
+	if st.InfinitiesVetoed != 1 {
+		t.Errorf("vetoed = %d, want 1", st.InfinitiesVetoed)
+	}
+	if k, w := g.State(b); k != weights.Known || w != 7 {
+		t.Errorf("global b = %v %v; infinity must not override", k, w)
+	}
+	_ = a
+}
+
+func TestEndInfinityKeptWhenGlobalUnknown(t *testing.T) {
+	g, s := newPair()
+	b := arc(1, 0, 2)
+	s.RecordFailure([]kb.Arc{b})
+	st := s.End()
+	if st.InfinitiesKept != 1 {
+		t.Errorf("kept = %d, want 1", st.InfinitiesKept)
+	}
+	if k, _ := g.State(b); k != weights.Infinite {
+		t.Error("global should learn the infinity")
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	_, s := newPair()
+	s.RecordSuccess([]kb.Arc{arc(0, 0, 1)})
+	first := s.End()
+	if first.Adopted != 1 {
+		t.Fatalf("first End adopted %d", first.Adopted)
+	}
+	second := s.End()
+	if second != (MergeStats{}) {
+		t.Errorf("second End should be a no-op, got %+v", second)
+	}
+	if !s.Ended() {
+		t.Error("Ended should report true")
+	}
+}
+
+func TestSuccessOverridesLocalInfinity(t *testing.T) {
+	// A chain first believed failed, then proven successful within the
+	// same session: the success rule resets the local infinity.
+	_, s := newPair()
+	a := arc(0, 0, 1)
+	s.RecordFailure([]kb.Arc{a})
+	if k, _ := s.State(a); k != weights.Infinite {
+		t.Fatal("setup: a should be locally infinite")
+	}
+	s.RecordSuccess([]kb.Arc{a})
+	k, w := s.State(a)
+	if k != weights.Known || w != 16 {
+		t.Errorf("after success a = %v %v, want known 16", k, w)
+	}
+}
+
+func TestNoteQueryCounts(t *testing.T) {
+	_, s := newPair()
+	s.NoteQuery(true)
+	s.NoteQuery(true)
+	s.NoteQuery(false)
+	q, ok, fail := s.Counts()
+	if q != 3 || ok != 2 || fail != 1 {
+		t.Errorf("counts = %d %d %d", q, ok, fail)
+	}
+}
+
+func TestWithAlphaValidation(t *testing.T) {
+	g := weights.NewTable(weights.DefaultConfig())
+	s := New(g, WithAlpha(-1), WithAlpha(2)) // both invalid, default kept
+	if s.alpha != 0.5 {
+		t.Errorf("alpha = %v, want default 0.5", s.alpha)
+	}
+}
+
+func TestConcurrentSessionUse(t *testing.T) {
+	_, s := newPair()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				a := arc(g, 0, i%11)
+				switch i % 3 {
+				case 0:
+					s.RecordSuccess([]kb.Arc{a, arc(g, 1, i%7)})
+				case 1:
+					s.RecordFailure([]kb.Arc{a})
+				default:
+					s.Weight(a)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.End()
+}
+
+func TestSessionsConvergeAcrossRestarts(t *testing.T) {
+	// Repeatedly learn the same chain across sessions: the global value
+	// stabilizes at the session value (alpha-averaging is a fixpoint).
+	g := weights.NewTable(weights.Config{N: 16, A: 64})
+	chain := []kb.Arc{arc(0, 0, 1), arc(1, 0, 2)}
+	for i := 0; i < 6; i++ {
+		s := New(g, WithAlpha(0.5))
+		s.RecordSuccess(chain)
+		s.End()
+	}
+	b := weights.ChainBound(g, chain)
+	if b < 15.9 || b > 16.1 {
+		t.Errorf("global chain bound after repeated sessions = %v, want ~16", b)
+	}
+}
+
+func BenchmarkSessionWeightRead(b *testing.B) {
+	g, s := newPair()
+	a := arc(0, 0, 1)
+	g.Set(a, 5)
+	s.RecordSuccess([]kb.Arc{arc(1, 0, 2)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Weight(a)
+	}
+}

@@ -1,0 +1,130 @@
+// Package sim is a minimal discrete-event simulator used by the hardware
+// models (semantic paging disk, interconnection network, scoreboard
+// processor, whole machine). Time is an integer cycle count; events fire
+// in (time, sequence) order, so simulations are fully deterministic.
+package sim
+
+import "container/heap"
+
+// Time is a simulated clock value in cycles.
+type Time int64
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is one simulation instance. The zero value is ready to use.
+type Sim struct {
+	now   Time
+	seq   uint64
+	queue eventQueue
+	steps uint64
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Steps returns the number of events executed so far.
+func (s *Sim) Steps() uint64 { return s.steps }
+
+// At schedules fn to run at absolute time t (clamped to now).
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (s *Sim) After(delay Time, fn func()) { s.At(s.now+delay, fn) }
+
+// Run executes events until the queue empties or limit events have fired
+// (0 = no limit). It returns the final time.
+func (s *Sim) Run(limit uint64) Time {
+	for len(s.queue) > 0 {
+		if limit > 0 && s.steps >= limit {
+			break
+		}
+		e := heap.Pop(&s.queue).(*event)
+		s.now = e.at
+		s.steps++
+		e.fn()
+	}
+	return s.now
+}
+
+// Pending returns the number of scheduled events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// Resource is a single-server FIFO resource with a fixed service time per
+// request: the building block for disk heads, functional units and network
+// ports. Acquire schedules done when the resource has completed the
+// request; requests are served in arrival order.
+type Resource struct {
+	sim  *Sim
+	name string
+	// freeAt is the earliest time the resource can start a new request.
+	freeAt Time
+	// Busy accumulates total busy cycles for utilization reporting.
+	Busy Time
+	// Served counts completed requests.
+	Served uint64
+}
+
+// NewResource creates a resource bound to a simulator.
+func NewResource(s *Sim, name string) *Resource {
+	return &Resource{sim: s, name: name}
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire enqueues a request taking service cycles and calls done when it
+// completes. It returns the completion time.
+func (r *Resource) Acquire(service Time, done func()) Time {
+	start := r.sim.now
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end := start + service
+	r.freeAt = end
+	r.Busy += service
+	r.Served++
+	if done != nil {
+		r.sim.At(end, done)
+	}
+	return end
+}
+
+// Utilization returns busy cycles divided by elapsed time (0 when the
+// clock has not advanced).
+func (r *Resource) Utilization() float64 {
+	if r.sim.now == 0 {
+		return 0
+	}
+	return float64(r.Busy) / float64(r.sim.now)
+}

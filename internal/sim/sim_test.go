@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	var s Sim
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	end := s.Run(0)
+	if end != 30 {
+		t.Errorf("end time = %d", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	var s Sim
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(7, func() { order = append(order, i) })
+	}
+	s.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of order: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	var s Sim
+	var fired []Time
+	s.After(5, func() {
+		fired = append(fired, s.Now())
+		s.After(10, func() { fired = append(fired, s.Now()) })
+	})
+	s.Run(0)
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 15 {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	var s Sim
+	s.At(10, func() {
+		s.At(3, func() {
+			if s.Now() != 10 {
+				t.Errorf("past event fired at %d, want clamped to 10", s.Now())
+			}
+		})
+	})
+	s.Run(0)
+}
+
+func TestRunLimit(t *testing.T) {
+	var s Sim
+	count := 0
+	var loop func()
+	loop = func() {
+		count++
+		s.After(1, loop)
+	}
+	s.After(1, loop)
+	s.Run(100)
+	if count != 100 {
+		t.Errorf("count = %d, want 100", count)
+	}
+	if s.Pending() == 0 {
+		t.Error("limited run should leave pending events")
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	var s Sim
+	r := NewResource(&s, "disk")
+	var done []Time
+	// Three requests of 10 cycles each issued at time 0: finish at 10,20,30.
+	for i := 0; i < 3; i++ {
+		r.Acquire(10, func() { done = append(done, s.Now()) })
+	}
+	s.Run(0)
+	if len(done) != 3 || done[0] != 10 || done[1] != 20 || done[2] != 30 {
+		t.Errorf("completions = %v", done)
+	}
+	if r.Busy != 30 || r.Served != 3 {
+		t.Errorf("busy=%d served=%d", r.Busy, r.Served)
+	}
+	if u := r.Utilization(); u != 1.0 {
+		t.Errorf("utilization = %v, want 1.0", u)
+	}
+	if r.Name() != "disk" {
+		t.Error("name")
+	}
+}
+
+func TestResourceIdleGaps(t *testing.T) {
+	var s Sim
+	r := NewResource(&s, "unit")
+	s.At(0, func() { r.Acquire(5, nil) })
+	s.At(100, func() { r.Acquire(5, func() {}) })
+	s.Run(0)
+	if s.Now() != 105 {
+		t.Errorf("end = %d", s.Now())
+	}
+	if u := r.Utilization(); u >= 0.2 {
+		t.Errorf("utilization = %v, want ~10/105", u)
+	}
+}
+
+func TestUtilizationAtTimeZero(t *testing.T) {
+	var s Sim
+	r := NewResource(&s, "u")
+	if r.Utilization() != 0 {
+		t.Error("zero-time utilization should be 0")
+	}
+}
+
+// Property: N sequential acquisitions of d cycles each on one resource
+// always finish at N*d when issued at time 0.
+func TestPropertyResourcePipeline(t *testing.T) {
+	f := func(n, d uint8) bool {
+		if n == 0 || d == 0 {
+			return true
+		}
+		var s Sim
+		r := NewResource(&s, "u")
+		var last Time
+		for i := 0; i < int(n); i++ {
+			last = r.Acquire(Time(d), nil)
+		}
+		s.Run(0)
+		return last == Time(int64(n)*int64(d))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEventThroughput(b *testing.B) {
+	var s Sim
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(1, tick)
+		}
+	}
+	s.After(1, tick)
+	s.Run(0)
+}

@@ -1,0 +1,49 @@
+package spd
+
+import (
+	"blog/internal/kb"
+	"blog/internal/term"
+	"blog/internal/weights"
+)
+
+// BuildBlocks serializes a knowledge base into the figure-4 block layout:
+// one block per clause whose pointers are the clause's resolving arcs,
+// named by the goal's predicate indicator and weighted from the store.
+// Block IDs equal clause IDs, so the engine's static coordinates address
+// the disk directly.
+func BuildBlocks(db *kb.DB, ws weights.Store) []Block {
+	blocks := make([]Block, db.Len())
+	for _, c := range db.Clauses() {
+		b := Block{ID: BlockID(c.ID), Data: c.String(), Key: c.Head}
+		for pos, g := range c.Body {
+			name, _ := term.Indicator(g)
+			for _, callee := range db.Candidates(nil, g) {
+				arc := kb.Arc{Caller: c.ID, Pos: pos, Callee: callee.ID}
+				b.Pointers = append(b.Pointers, Pointer{
+					Name:   name,
+					Target: BlockID(callee.ID),
+					Weight: ws.Weight(arc),
+				})
+			}
+		}
+		blocks[c.ID] = b
+	}
+	return blocks
+}
+
+// SeedsForGoals returns the block IDs of the clauses that can resolve the
+// given query goals: the seed set a processor hands the SPD when a query
+// arrives.
+func SeedsForGoals(db *kb.DB, goals []term.Term) []BlockID {
+	var out []BlockID
+	seen := make(map[kb.ClauseID]bool)
+	for _, g := range goals {
+		for _, c := range db.Candidates(nil, g) {
+			if !seen[c.ID] {
+				seen[c.ID] = true
+				out = append(out, BlockID(c.ID))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,423 @@
+package spd
+
+import (
+	"strings"
+	"testing"
+
+	"blog/internal/kb"
+	"blog/internal/parse"
+	"blog/internal/weights"
+)
+
+// tinyGeo keeps every number small so placement is easy to reason about:
+// 4 cylinders x 2 surfaces x 4 blocks = 32 blocks.
+func tinyGeo() Geometry {
+	return Geometry{
+		Cylinders:        4,
+		Surfaces:         2,
+		BlocksPerTrack:   4,
+		SeekPerCylinder:  10,
+		RotationPerBlock: 5,
+		CacheOp:          1,
+	}
+}
+
+// chainBlocks builds n blocks where block i points to block i+1.
+func chainBlocks(n int) []Block {
+	out := make([]Block, n)
+	for i := range out {
+		out[i] = Block{ID: BlockID(i), Data: "b"}
+		if i+1 < n {
+			out[i].Pointers = []Pointer{{Name: "next", Target: BlockID(i + 1)}}
+		}
+	}
+	return out
+}
+
+func TestStorePlacement(t *testing.T) {
+	d := New(tinyGeo(), MIMD, 2)
+	if err := d.Store(chainBlocks(10)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 10 {
+		t.Errorf("len = %d", d.Len())
+	}
+	// Block 0 at cyl0/surf0/slot0; block 4 at cyl0/surf1/slot0;
+	// block 8 at cyl1/surf0/slot0.
+	if a := d.addr[4]; a.cylinder != 0 || a.surface != 1 || a.slot != 0 {
+		t.Errorf("addr[4] = %+v", a)
+	}
+	if a := d.addr[8]; a.cylinder != 1 || a.surface != 0 {
+		t.Errorf("addr[8] = %+v", a)
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	d := New(tinyGeo(), MIMD, 1)
+	if err := d.Store(chainBlocks(33)); err == nil {
+		t.Error("over capacity should fail")
+	}
+	bad := chainBlocks(2)
+	bad[1].ID = 7
+	if err := d.Store(bad); err == nil {
+		t.Error("non-dense IDs should fail")
+	}
+}
+
+func TestMarkBlocksAndRead(t *testing.T) {
+	d := New(tinyGeo(), MIMD, 2)
+	if err := d.Store(chainBlocks(10)); err != nil {
+		t.Fatal(err)
+	}
+	d.MarkBlocks([]BlockID{2, 5, 999, -1}) // out-of-range ignored
+	marked := d.Marked()
+	if len(marked) != 2 || marked[0] != 2 || marked[1] != 5 {
+		t.Errorf("marked = %v", marked)
+	}
+	if !d.IsMarked(5) || d.IsMarked(3) {
+		t.Error("IsMarked wrong")
+	}
+	blocks := d.ReadMarked()
+	if len(blocks) != 2 || blocks[0].ID != 2 {
+		t.Errorf("read = %v", blocks)
+	}
+	if d.Stats().BlocksRead != 2 {
+		t.Errorf("BlocksRead = %d", d.Stats().BlocksRead)
+	}
+}
+
+func TestFollowMarkedHammingDistance(t *testing.T) {
+	d := New(tinyGeo(), MIMD, 4)
+	if err := d.Store(chainBlocks(10)); err != nil {
+		t.Fatal(err)
+	}
+	d.MarkBlocks([]BlockID{0})
+	d.FollowMarked("", 3)
+	marked := d.Marked()
+	// Distance 3 from block 0 along the chain: blocks 0,1,2,3.
+	if len(marked) != 4 {
+		t.Fatalf("marked = %v, want 0..3", marked)
+	}
+	for i, id := range marked {
+		if id != BlockID(i) {
+			t.Errorf("marked = %v", marked)
+		}
+	}
+}
+
+func TestFollowMarkedByName(t *testing.T) {
+	blocks := []Block{
+		{ID: 0, Pointers: []Pointer{{Name: "f", Target: 1}, {Name: "m", Target: 2}}},
+		{ID: 1}, {ID: 2},
+	}
+	d := New(tinyGeo(), MIMD, 2)
+	if err := d.Store(blocks); err != nil {
+		t.Fatal(err)
+	}
+	d.MarkBlocks([]BlockID{0})
+	d.FollowMarked("f", 1)
+	marked := d.Marked()
+	if len(marked) != 2 || marked[1] != 1 {
+		t.Errorf("named follow marked %v, want [0 1]", marked)
+	}
+}
+
+func TestMarkWhereSweepsWholeDisk(t *testing.T) {
+	d := New(tinyGeo(), MIMD, 1)
+	blocks := chainBlocks(20)
+	blocks[7].Data = "special"
+	blocks[13].Data = "special"
+	if err := d.Store(blocks); err != nil {
+		t.Fatal(err)
+	}
+	d.MarkWhere(func(b *Block) bool { return b.Data == "special" })
+	marked := d.Marked()
+	if len(marked) != 2 || marked[0] != 7 || marked[1] != 13 {
+		t.Errorf("marked = %v", marked)
+	}
+	// A full sweep loads every populated track exactly once per surface.
+	st := d.Stats()
+	if st.TrackLoads == 0 || st.CacheOps < 20 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheHitAccounting(t *testing.T) {
+	d := New(tinyGeo(), MIMD, 2)
+	if err := d.Store(chainBlocks(10)); err != nil {
+		t.Fatal(err)
+	}
+	d.MarkBlocks([]BlockID{0})
+	first := d.Stats().TrackLoads
+	d.MarkBlocks([]BlockID{1}) // same track: hit
+	if d.Stats().TrackLoads != first {
+		t.Error("second mark on same track should not reload")
+	}
+	if d.Stats().CacheHits == 0 {
+		t.Error("cache hit not counted")
+	}
+}
+
+func TestCacheEvictionLRU(t *testing.T) {
+	// Cache of 1 track: alternating cylinders always miss.
+	d := New(tinyGeo(), MIMD, 1)
+	if err := d.Store(chainBlocks(32)); err != nil {
+		t.Fatal(err)
+	}
+	// Blocks 0 (cyl0 surf0) and 8 (cyl1 surf0) fight over SP0's cache.
+	d.MarkBlocks([]BlockID{0})
+	d.MarkBlocks([]BlockID{8})
+	d.MarkBlocks([]BlockID{0})
+	st := d.Stats()
+	if st.TrackLoads != 3 {
+		t.Errorf("track loads = %d, want 3 (thrash)", st.TrackLoads)
+	}
+	// With a 2-track cache the third access hits.
+	d2 := New(tinyGeo(), MIMD, 2)
+	if err := d2.Store(chainBlocks(32)); err != nil {
+		t.Fatal(err)
+	}
+	d2.MarkBlocks([]BlockID{0})
+	d2.MarkBlocks([]BlockID{8})
+	d2.MarkBlocks([]BlockID{0})
+	if d2.Stats().TrackLoads != 2 {
+		t.Errorf("track loads = %d, want 2 with bigger cache", d2.Stats().TrackLoads)
+	}
+}
+
+func TestElapsedGrowsWithSeeks(t *testing.T) {
+	d := New(tinyGeo(), MIMD, 1)
+	if err := d.Store(chainBlocks(32)); err != nil {
+		t.Fatal(err)
+	}
+	d.MarkBlocks([]BlockID{0})
+	e1 := d.Elapsed()
+	if e1 == 0 {
+		t.Error("track load should cost time")
+	}
+	d.MarkBlocks([]BlockID{24}) // cylinder 3: long seek
+	if d.Elapsed()-e1 <= e1 {
+		t.Errorf("long seek should cost more: %d then %d", e1, d.Elapsed()-e1)
+	}
+}
+
+func TestSIMDDefersCrossCylinderPointers(t *testing.T) {
+	// A pointer from cylinder 0 to cylinder 1 must be deferred in SIMD.
+	blocks := chainBlocks(10) // block 7 (cyl0) -> block 8 (cyl1)
+	d := New(tinyGeo(), SIMD, 2)
+	if err := d.Store(blocks); err != nil {
+		t.Fatal(err)
+	}
+	d.MarkBlocks([]BlockID{7})
+	d.FollowMarked("", 1)
+	if !d.IsMarked(8) {
+		t.Error("deferred pointer never applied")
+	}
+	if d.Stats().Deferred == 0 {
+		t.Error("cross-cylinder transfer not counted as deferred")
+	}
+}
+
+func TestSIMDAndMIMDMarkSameSet(t *testing.T) {
+	for _, dist := range []int{1, 2, 4, 8} {
+		a := New(tinyGeo(), MIMD, 2)
+		b := New(tinyGeo(), SIMD, 2)
+		if err := a.Store(chainBlocks(20)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Store(chainBlocks(20)); err != nil {
+			t.Fatal(err)
+		}
+		a.MarkBlocks([]BlockID{0})
+		a.FollowMarked("", dist)
+		b.MarkBlocks([]BlockID{0})
+		b.FollowMarked("", dist)
+		am, bm := a.Marked(), b.Marked()
+		if len(am) != len(bm) {
+			t.Fatalf("dist %d: MIMD marked %v, SIMD marked %v", dist, am, bm)
+		}
+		for i := range am {
+			if am[i] != bm[i] {
+				t.Fatalf("dist %d: MIMD %v != SIMD %v", dist, am, bm)
+			}
+		}
+	}
+}
+
+func TestPageSubgraph(t *testing.T) {
+	d := New(tinyGeo(), MIMD, 4)
+	if err := d.Store(chainBlocks(12)); err != nil {
+		t.Fatal(err)
+	}
+	blocks, cost := d.PageSubgraph([]BlockID{3}, 2)
+	if len(blocks) != 3 { // 3,4,5
+		t.Errorf("paged %d blocks, want 3", len(blocks))
+	}
+	if cost <= 0 {
+		t.Error("paging must cost cycles")
+	}
+}
+
+func TestUpdateWeight(t *testing.T) {
+	d := New(tinyGeo(), MIMD, 2)
+	if err := d.Store(chainBlocks(4)); err != nil {
+		t.Fatal(err)
+	}
+	if d.UpdateWeight(0, 0, 9) {
+		t.Error("update must require a mark")
+	}
+	d.MarkBlocks([]BlockID{0})
+	if !d.UpdateWeight(0, 0, 9) {
+		t.Error("marked update should succeed")
+	}
+	if d.Block(0).Pointers[0].Weight != 9 {
+		t.Error("weight not written")
+	}
+	if d.UpdateWeight(0, 5, 1) {
+		t.Error("pointer index out of range")
+	}
+}
+
+func TestBuildBlocksFromKB(t *testing.T) {
+	db, _, err := kb.LoadString(`
+gf(X,Z) :- f(X,Y), f(Y,Z).
+f(sam,larry).
+f(larry,den).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := weights.NewTable(weights.Config{N: 16, A: 64})
+	blocks := BuildBlocks(db, ws)
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	rule := blocks[0]
+	if !strings.Contains(rule.Data, "gf(X,Z)") {
+		t.Errorf("data = %q", rule.Data)
+	}
+	// Rule body: f(X,Y) resolves with both facts, f(Y,Z) too: 4 pointers.
+	if len(rule.Pointers) != 4 {
+		t.Fatalf("pointers = %v", rule.Pointers)
+	}
+	for _, p := range rule.Pointers {
+		if p.Name != "f/2" {
+			t.Errorf("pointer name = %s", p.Name)
+		}
+		if p.Weight != ws.Config().UnknownWeight() {
+			t.Errorf("weight = %v, want unknown coding", p.Weight)
+		}
+	}
+	// Facts have no pointers.
+	if len(blocks[1].Pointers) != 0 {
+		t.Error("fact block should have no pointers")
+	}
+}
+
+func TestMarkComparand(t *testing.T) {
+	db, _, err := kb.LoadString(`
+gf(X,Z) :- f(X,Y), f(Y,Z).
+f(sam,larry).
+f(larry,den).
+m(peg,den).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := BuildBlocks(db, weights.NewTable(weights.DefaultConfig()))
+	d := New(tinyGeo(), MIMD, 4)
+	if err := d.Store(blocks); err != nil {
+		t.Fatal(err)
+	}
+	// Comparand f(larry, Anything): marks only f(larry,den).
+	pat, err := parse.OneTerm("f(larry, X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.MarkComparand(pat)
+	marked := d.Marked()
+	if len(marked) != 1 || marked[0] != 2 {
+		t.Errorf("marked = %v, want [2]", marked)
+	}
+	// Open comparand f(A, B): both f facts. Block variables must not be
+	// instantiated by constants: comparand f(sam, sam) matches nothing.
+	d.ClearMarks()
+	pat2, _ := parse.OneTerm("f(A, B)")
+	d.MarkComparand(pat2)
+	if got := d.Marked(); len(got) != 2 {
+		t.Errorf("open comparand marked %v", got)
+	}
+	d.ClearMarks()
+	pat3, _ := parse.OneTerm("f(sam, sam)")
+	d.MarkComparand(pat3)
+	if got := d.Marked(); len(got) != 0 {
+		t.Errorf("mismatching comparand marked %v", got)
+	}
+	// The rule head gf(X,Z) has variables: a ground comparand must not
+	// bind them (one-way match), so gf(sam,den) does not mark the rule.
+	d.ClearMarks()
+	pat4, _ := parse.OneTerm("gf(sam, den)")
+	d.MarkComparand(pat4)
+	if got := d.Marked(); len(got) != 0 {
+		t.Errorf("comparand bound database variables: %v", got)
+	}
+	// But a variable-shaped comparand does match the rule head.
+	d.ClearMarks()
+	pat5, _ := parse.OneTerm("gf(A, B)")
+	d.MarkComparand(pat5)
+	if got := d.Marked(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("rule comparand marked %v", got)
+	}
+}
+
+func TestMarkComparandCostsSweep(t *testing.T) {
+	db, _, err := kb.LoadString("f(a,b). f(b,c). f(c,d).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := BuildBlocks(db, weights.NewTable(weights.DefaultConfig()))
+	d := New(tinyGeo(), MIMD, 2)
+	if err := d.Store(blocks); err != nil {
+		t.Fatal(err)
+	}
+	pat, _ := parse.OneTerm("f(b, X)")
+	d.MarkComparand(pat)
+	if d.Elapsed() == 0 || d.Stats().CacheOps == 0 {
+		t.Error("associative sweep must cost time and cache operations")
+	}
+}
+
+func TestSeedsForGoals(t *testing.T) {
+	db, _, err := kb.LoadString(`
+gf(X,Z) :- f(X,Y), f(Y,Z).
+gf(X,Z) :- f(X,Y), m(Y,Z).
+f(sam,larry).
+m(peg,den).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goals, _ := parse.Query("gf(sam,G)")
+	seeds := SeedsForGoals(db, goals)
+	if len(seeds) != 2 || seeds[0] != 0 || seeds[1] != 1 {
+		t.Errorf("seeds = %v", seeds)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if MIMD.String() != "mimd" || SIMD.String() != "simd" {
+		t.Error("mode names")
+	}
+}
+
+func BenchmarkPageSubgraph(b *testing.B) {
+	geo := DefaultGeometry()
+	d := New(geo, MIMD, 4)
+	if err := d.Store(chainBlocks(512)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PageSubgraph([]BlockID{BlockID(i % 500)}, 4)
+	}
+}

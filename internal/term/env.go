@@ -1,0 +1,171 @@
+package term
+
+import (
+	"strings"
+	"sync/atomic"
+)
+
+// varCounter issues process-unique variable serials. Renaming clauses apart
+// must be race-free because parallel workers expand OR-branches concurrently.
+var varCounter atomic.Uint64
+
+// NewVar allocates a fresh variable with the given print name.
+func NewVar(name string) *Var {
+	return &Var{Name: name, ID: varCounter.Add(1)}
+}
+
+// snapshotEvery controls how often an Env node carries a full map snapshot
+// of all bindings below it. Lookups walk at most snapshotEvery-1 links
+// before reaching a snapshot, bounding lookup cost while keeping extension
+// allocation-light. 16 balances the two for typical chain depths.
+const snapshotEvery = 16
+
+// Env is an immutable binding environment. The zero value (nil) is the
+// empty environment. Bind returns a new Env sharing all previous bindings,
+// so sibling OR-branches can extend a common ancestor independently.
+type Env struct {
+	parent *Env
+	v      *Var
+	t      Term
+	depth  int
+	// snap, when non-nil, holds every binding reachable from this node,
+	// letting Lookup stop here instead of walking to the root.
+	snap map[*Var]Term
+}
+
+// Depth returns the number of bindings in the environment.
+func (e *Env) Depth() int {
+	if e == nil {
+		return 0
+	}
+	return e.depth
+}
+
+// Bind returns a new environment with v bound to t. It must only be called
+// for unbound v (the unifier guarantees this); rebinding would shadow
+// rather than overwrite, breaking Depth-based accounting.
+func (e *Env) Bind(v *Var, t Term) *Env {
+	n := &Env{parent: e, v: v, t: t, depth: e.Depth() + 1}
+	if n.depth%snapshotEvery == 0 {
+		snap := make(map[*Var]Term, n.depth)
+		for c := n; c != nil; c = c.parent {
+			if c.snap != nil {
+				for k, val := range c.snap {
+					if _, dup := snap[k]; !dup {
+						snap[k] = val
+					}
+				}
+				break
+			}
+			if _, dup := snap[c.v]; !dup {
+				snap[c.v] = c.t
+			}
+		}
+		n.snap = snap
+	}
+	return n
+}
+
+// Lookup returns the binding of v, if any.
+func (e *Env) Lookup(v *Var) (Term, bool) {
+	for c := e; c != nil; c = c.parent {
+		if c.snap != nil {
+			t, ok := c.snap[v]
+			return t, ok
+		}
+		if c.v == v {
+			return c.t, true
+		}
+	}
+	return nil, false
+}
+
+// Resolve dereferences t through variable bindings until it reaches an
+// unbound variable or a non-variable term. It does not descend into
+// compound arguments; see ResolveDeep.
+func (e *Env) Resolve(t Term) Term {
+	for {
+		v, ok := t.(*Var)
+		if !ok {
+			return t
+		}
+		b, ok := e.Lookup(v)
+		if !ok {
+			return v
+		}
+		t = b
+	}
+}
+
+// ResolveDeep returns a copy of t with every bound variable replaced by its
+// (deeply resolved) value. Unbound variables remain in place, so the result
+// is independent of the environment except for those.
+func (e *Env) ResolveDeep(t Term) Term {
+	t = e.Resolve(t)
+	c, ok := t.(*Compound)
+	if !ok {
+		return t
+	}
+	args := make([]Term, len(c.Args))
+	changed := false
+	for i, a := range c.Args {
+		args[i] = e.ResolveDeep(a)
+		if args[i] != a {
+			changed = true
+		}
+	}
+	if !changed {
+		return c
+	}
+	return &Compound{Functor: c.Functor, Args: args}
+}
+
+// Format renders t with bindings from e applied.
+func (e *Env) Format(t Term) string {
+	t = e.Resolve(t)
+	switch t := t.(type) {
+	case *Compound:
+		if s, ok := listString(t, e); ok {
+			return s
+		}
+		parts := make([]string, len(t.Args))
+		for i, a := range t.Args {
+			parts[i] = e.Format(a)
+		}
+		return quoteAtom(t.Functor) + "(" + strings.Join(parts, ",") + ")"
+	default:
+		return t.String()
+	}
+}
+
+// Renamer copies terms while replacing their variables with fresh ones,
+// implementing the "renaming apart" step of resolution. One Renamer is used
+// per clause activation so that shared variables within the clause map to
+// the same fresh variable.
+type Renamer struct {
+	m map[*Var]*Var
+}
+
+// NewRenamer returns an empty Renamer.
+func NewRenamer() *Renamer { return &Renamer{m: make(map[*Var]*Var, 4)} }
+
+// Rename returns t with every variable consistently replaced by a fresh one.
+func (r *Renamer) Rename(t Term) Term {
+	switch t := t.(type) {
+	case *Var:
+		if nv, ok := r.m[t]; ok {
+			return nv
+		}
+		nv := NewVar(t.Name)
+		r.m[t] = nv
+		return nv
+	case *Compound:
+		args := make([]Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = r.Rename(a)
+		}
+		return &Compound{Functor: t.Functor, Args: args}
+	default:
+		return t
+	}
+}

@@ -1,0 +1,378 @@
+// Package term defines the term representation of the B-LOG logic
+// programming system: atoms, integers, logic variables and compound terms,
+// together with persistent (structure-shared) binding environments.
+//
+// B-LOG performs a best-first search of the OR-tree, which means many
+// resolvents ("chains" in the paper's terminology) are alive at once. A
+// destructive binding trail, as used by depth-first Prolog implementations,
+// cannot represent that: undoing bindings for one chain would corrupt its
+// siblings. Instead every chain carries an immutable Env; extending an Env
+// allocates a small node and shares the entire suffix with the parent chain.
+// This is exactly the environment-copying pressure that section 6 of the
+// paper motivates its multi-write memory with.
+package term
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Term is the interface implemented by all term representations.
+// The concrete types are Atom, Int, *Var and *Compound.
+type Term interface {
+	// String renders the term without consulting any environment.
+	// Use (*Env).Format to render with bindings applied.
+	String() string
+	isTerm()
+}
+
+// Atom is a constant symbol such as `sam` or `[]`.
+type Atom string
+
+// Int is an integer constant.
+type Int int64
+
+// Var is a logic variable. Identity is by pointer; Name is only for
+// printing. ID is a process-unique serial used for stable ordering and
+// for printing anonymous renamed variables (for example `_G42`).
+type Var struct {
+	Name string
+	ID   uint64
+}
+
+// Compound is a functor applied to one or more arguments, such as
+// `f(sam, Y)` or `.(H, T)` (a list cell).
+type Compound struct {
+	Functor string
+	Args    []Term
+}
+
+func (Atom) isTerm()      {}
+func (Int) isTerm()       {}
+func (*Var) isTerm()      {}
+func (*Compound) isTerm() {}
+
+// String implements Term.
+func (a Atom) String() string { return quoteAtom(string(a)) }
+
+// String implements Term.
+func (i Int) String() string { return strconv.FormatInt(int64(i), 10) }
+
+// String implements Term.
+func (v *Var) String() string {
+	if v.Name != "" && v.Name != "_" {
+		return v.Name
+	}
+	return "_G" + strconv.FormatUint(v.ID, 10)
+}
+
+// String implements Term.
+func (c *Compound) String() string {
+	if s, ok := listString(c, nil); ok {
+		return s
+	}
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return quoteAtom(c.Functor) + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Indicator returns the predicate indicator (functor/arity) of a callable
+// term, for example "f/2" for f(sam,Y) or "true/0" for the atom true.
+// It returns "", false for variables and integers, which are not callable.
+func Indicator(t Term) (string, bool) {
+	switch t := t.(type) {
+	case Atom:
+		return string(t) + "/0", true
+	case *Compound:
+		return t.Functor + "/" + strconv.Itoa(len(t.Args)), true
+	default:
+		return "", false
+	}
+}
+
+// Functor returns the functor name and arity of a callable term.
+func Functor(t Term) (name string, arity int, ok bool) {
+	switch t := t.(type) {
+	case Atom:
+		return string(t), 0, true
+	case *Compound:
+		return t.Functor, len(t.Args), true
+	default:
+		return "", 0, false
+	}
+}
+
+// NewCompound builds a compound term. As a convenience, a zero-argument
+// call yields an Atom so that callers never construct empty compounds.
+func NewCompound(functor string, args ...Term) Term {
+	if len(args) == 0 {
+		return Atom(functor)
+	}
+	return &Compound{Functor: functor, Args: args}
+}
+
+// EmptyList is the atom `[]` terminating proper lists.
+const EmptyList = Atom("[]")
+
+// Cons builds a list cell `.(head, tail)`.
+func Cons(head, tail Term) Term { return &Compound{Functor: ".", Args: []Term{head, tail}} }
+
+// FromList builds a proper list term from a slice.
+func FromList(items []Term) Term {
+	t := Term(EmptyList)
+	for i := len(items) - 1; i >= 0; i-- {
+		t = Cons(items[i], t)
+	}
+	return t
+}
+
+// listString renders a list cell chain in [a,b|T] notation; env may be nil.
+func listString(c *Compound, env *Env) (string, bool) {
+	if c.Functor != "." || len(c.Args) != 2 {
+		return "", false
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	first := true
+	var cur Term = c
+	for {
+		if env != nil {
+			cur = env.Resolve(cur)
+		}
+		cell, ok := cur.(*Compound)
+		if !ok || cell.Functor != "." || len(cell.Args) != 2 {
+			break
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		if env != nil {
+			b.WriteString(env.Format(cell.Args[0]))
+		} else {
+			b.WriteString(cell.Args[0].String())
+		}
+		cur = cell.Args[1]
+	}
+	if env != nil {
+		cur = env.Resolve(cur)
+	}
+	if cur != EmptyList {
+		b.WriteByte('|')
+		if env != nil {
+			b.WriteString(env.Format(cur))
+		} else {
+			b.WriteString(cur.String())
+		}
+	}
+	b.WriteByte(']')
+	return b.String(), true
+}
+
+// quoteAtom quotes an atom when it does not have plain-atom syntax.
+// The bare atom "." is always quoted: unquoted it would merge with a
+// following clause terminator or parenthesis during reparsing.
+func quoteAtom(s string) string {
+	if s == "" {
+		return "''"
+	}
+	if s == "[]" || s == "!" {
+		return s
+	}
+	// "." would merge with a following terminator; "," and ";" lex as
+	// punctuation, not atoms. All three need quotes to reparse.
+	if s == "." || s == "," || s == ";" {
+		return "'" + s + "'"
+	}
+	plain := s[0] >= 'a' && s[0] <= 'z'
+	if plain {
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_') {
+				plain = false
+				break
+			}
+		}
+	}
+	if plain {
+		return s
+	}
+	sym := true
+	for i := 0; i < len(s); i++ {
+		if !strings.ContainsRune("+-*/\\^<>=~:.?@#&", rune(s[i])) {
+			sym = false
+			break
+		}
+	}
+	// A symbolic atom containing the comment opener would start a block
+	// comment when reparsed; quote it instead.
+	if sym && !strings.Contains(s, "/*") {
+		return s
+	}
+	escaped := strings.ReplaceAll(s, "\\", "\\\\")
+	escaped = strings.ReplaceAll(escaped, "'", "\\'")
+	return "'" + escaped + "'"
+}
+
+// EndsSymbolic reports whether the rendered text ends in a symbolic-atom
+// character, in which case a following "." would lex as part of the same
+// token; clause writers insert a space before the terminator then.
+func EndsSymbolic(s string) bool {
+	if s == "" {
+		return false
+	}
+	return strings.ContainsRune("+-*/\\^<>=~:.?@#&", rune(s[len(s)-1]))
+}
+
+// Vars appends the distinct variables occurring in t (without consulting
+// any environment) to dst, in first-occurrence order.
+func Vars(t Term, dst []*Var) []*Var {
+	switch t := t.(type) {
+	case *Var:
+		for _, v := range dst {
+			if v == t {
+				return dst
+			}
+		}
+		return append(dst, t)
+	case *Compound:
+		for _, a := range t.Args {
+			dst = Vars(a, dst)
+		}
+	}
+	return dst
+}
+
+// VarsUnder appends the distinct variables remaining free in t after
+// resolving bindings in env, in first-occurrence order.
+func VarsUnder(env *Env, t Term, dst []*Var) []*Var {
+	t = env.Resolve(t)
+	switch t := t.(type) {
+	case *Var:
+		for _, v := range dst {
+			if v == t {
+				return dst
+			}
+		}
+		return append(dst, t)
+	case *Compound:
+		for _, a := range t.Args {
+			dst = VarsUnder(env, a, dst)
+		}
+	}
+	return dst
+}
+
+// Equal reports structural equality of two terms without an environment;
+// variables are equal only when identical.
+func Equal(a, b Term) bool {
+	switch a := a.(type) {
+	case Atom:
+		b, ok := b.(Atom)
+		return ok && a == b
+	case Int:
+		b, ok := b.(Int)
+		return ok && a == b
+	case *Var:
+		return a == b
+	case *Compound:
+		b, ok := b.(*Compound)
+		if !ok || a.Functor != b.Functor || len(a.Args) != len(b.Args) {
+			return false
+		}
+		for i := range a.Args {
+			if !Equal(a.Args[i], b.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Compare imposes the standard order of terms: Var < Int < Atom < Compound,
+// with compounds ordered by arity, then functor, then arguments.
+func Compare(a, b Term) int {
+	ra, rb := orderRank(a), orderRank(b)
+	if ra != rb {
+		return ra - rb
+	}
+	switch a := a.(type) {
+	case *Var:
+		bv := b.(*Var)
+		switch {
+		case a.ID < bv.ID:
+			return -1
+		case a.ID > bv.ID:
+			return 1
+		}
+		return 0
+	case Int:
+		bi := b.(Int)
+		switch {
+		case a < bi:
+			return -1
+		case a > bi:
+			return 1
+		}
+		return 0
+	case Atom:
+		return strings.Compare(string(a), string(b.(Atom)))
+	case *Compound:
+		bc := b.(*Compound)
+		if d := len(a.Args) - len(bc.Args); d != 0 {
+			return d
+		}
+		if d := strings.Compare(a.Functor, bc.Functor); d != 0 {
+			return d
+		}
+		for i := range a.Args {
+			if d := Compare(a.Args[i], bc.Args[i]); d != 0 {
+				return d
+			}
+		}
+		return 0
+	}
+	return 0
+}
+
+func orderRank(t Term) int {
+	switch t.(type) {
+	case *Var:
+		return 0
+	case Int:
+		return 1
+	case Atom:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// SortVars sorts variables by their serial IDs, giving a deterministic
+// presentation order for solution printing.
+func SortVars(vs []*Var) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i].ID < vs[j].ID })
+}
+
+// Ground reports whether t contains no unbound variables under env.
+func Ground(env *Env, t Term) bool {
+	t = env.Resolve(t)
+	switch t := t.(type) {
+	case *Var:
+		return false
+	case *Compound:
+		for _, a := range t.Args {
+			if !Ground(env, a) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+var _ = fmt.Stringer(Atom("")) // Atom satisfies fmt.Stringer.

@@ -1,0 +1,351 @@
+package term
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAtomString(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"sam", "sam"},
+		{"fooBar_9", "fooBar_9"},
+		{"[]", "[]"},
+		{"hello world", "'hello world'"},
+		{"Upper", "'Upper'"},
+		{"", "''"},
+		{"=..", "=.."},
+		{"don't", "'don\\'t'"},
+	}
+	for _, c := range cases {
+		if got := Atom(c.in).String(); got != c.want {
+			t.Errorf("Atom(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIntString(t *testing.T) {
+	if got := Int(-42).String(); got != "-42" {
+		t.Errorf("Int(-42).String() = %q", got)
+	}
+}
+
+func TestVarString(t *testing.T) {
+	v := NewVar("X")
+	if got := v.String(); got != "X" {
+		t.Errorf("named var prints %q, want X", got)
+	}
+	anon := NewVar("_")
+	if got := anon.String(); got[:2] != "_G" {
+		t.Errorf("anonymous var prints %q, want _G prefix", got)
+	}
+}
+
+func TestCompoundString(t *testing.T) {
+	x := NewVar("X")
+	tm := NewCompound("f", Atom("sam"), x)
+	if got := tm.String(); got != "f(sam,X)" {
+		t.Errorf("got %q, want f(sam,X)", got)
+	}
+}
+
+func TestNewCompoundZeroArgsIsAtom(t *testing.T) {
+	tm := NewCompound("foo")
+	if _, ok := tm.(Atom); !ok {
+		t.Fatalf("NewCompound with no args should produce Atom, got %T", tm)
+	}
+}
+
+func TestListString(t *testing.T) {
+	l := FromList([]Term{Atom("a"), Int(2), Atom("c")})
+	if got := l.String(); got != "[a,2,c]" {
+		t.Errorf("got %q, want [a,2,c]", got)
+	}
+	partial := Cons(Atom("a"), NewVar("T"))
+	if got := partial.String(); got != "[a|T]" {
+		t.Errorf("got %q, want [a|T]", got)
+	}
+	if got := Term(EmptyList).String(); got != "[]" {
+		t.Errorf("got %q, want []", got)
+	}
+}
+
+func TestIndicator(t *testing.T) {
+	if ind, ok := Indicator(NewCompound("f", Atom("a"), Atom("b"))); !ok || ind != "f/2" {
+		t.Errorf("Indicator(f(a,b)) = %q,%v", ind, ok)
+	}
+	if ind, ok := Indicator(Atom("true")); !ok || ind != "true/0" {
+		t.Errorf("Indicator(true) = %q,%v", ind, ok)
+	}
+	if _, ok := Indicator(Int(3)); ok {
+		t.Error("Indicator(3) should not be callable")
+	}
+	if _, ok := Indicator(NewVar("X")); ok {
+		t.Error("Indicator(X) should not be callable")
+	}
+}
+
+func TestEnvBindLookup(t *testing.T) {
+	x, y := NewVar("X"), NewVar("Y")
+	var e *Env
+	if _, ok := e.Lookup(x); ok {
+		t.Fatal("empty env should have no bindings")
+	}
+	e1 := e.Bind(x, Atom("a"))
+	e2 := e1.Bind(y, Atom("b"))
+	if v, ok := e2.Lookup(x); !ok || v != Atom("a") {
+		t.Errorf("X = %v, %v", v, ok)
+	}
+	if v, ok := e2.Lookup(y); !ok || v != Atom("b") {
+		t.Errorf("Y = %v, %v", v, ok)
+	}
+	// e1 must be unaffected by the extension (persistence).
+	if _, ok := e1.Lookup(y); ok {
+		t.Error("binding of Y leaked into ancestor environment")
+	}
+	if e2.Depth() != 2 || e1.Depth() != 1 || e.Depth() != 0 {
+		t.Errorf("depths = %d,%d,%d", e2.Depth(), e1.Depth(), e.Depth())
+	}
+}
+
+func TestEnvSiblingIndependence(t *testing.T) {
+	x, y := NewVar("X"), NewVar("Y")
+	base := (*Env)(nil).Bind(x, Atom("root"))
+	left := base.Bind(y, Atom("l"))
+	right := base.Bind(y, Atom("r"))
+	if v, _ := left.Lookup(y); v != Atom("l") {
+		t.Errorf("left sees Y=%v", v)
+	}
+	if v, _ := right.Lookup(y); v != Atom("r") {
+		t.Errorf("right sees Y=%v", v)
+	}
+}
+
+func TestEnvSnapshotDeepChain(t *testing.T) {
+	// Build a chain much deeper than snapshotEvery and check every binding
+	// is still visible — this exercises the snapshot fast path.
+	const n = 10 * snapshotEvery
+	vars := make([]*Var, n)
+	var e *Env
+	for i := range vars {
+		vars[i] = NewVar("V")
+		e = e.Bind(vars[i], Int(i))
+	}
+	for i, v := range vars {
+		got, ok := e.Lookup(v)
+		if !ok || got != Int(i) {
+			t.Fatalf("binding %d lost: got %v, %v", i, got, ok)
+		}
+	}
+}
+
+func TestResolveChain(t *testing.T) {
+	x, y, z := NewVar("X"), NewVar("Y"), NewVar("Z")
+	e := (*Env)(nil).Bind(x, y).Bind(y, z).Bind(z, Atom("end"))
+	if got := e.Resolve(x); got != Atom("end") {
+		t.Errorf("Resolve(X) = %v, want end", got)
+	}
+	free := NewVar("F")
+	e2 := e.Bind(NewVar("W"), free)
+	if got := e2.Resolve(free); got != free {
+		t.Errorf("Resolve of unbound var should be itself, got %v", got)
+	}
+}
+
+func TestResolveDeep(t *testing.T) {
+	x, y := NewVar("X"), NewVar("Y")
+	tm := NewCompound("f", x, NewCompound("g", y))
+	e := (*Env)(nil).Bind(x, Atom("a")).Bind(y, Int(7))
+	got := e.ResolveDeep(tm)
+	want := NewCompound("f", Atom("a"), NewCompound("g", Int(7)))
+	if !Equal(got, want) {
+		t.Errorf("ResolveDeep = %v, want %v", got, want)
+	}
+	// Untouched subterms should be shared, not copied.
+	g := NewCompound("g", Atom("k"))
+	t2 := NewCompound("h", g).(*Compound)
+	r2 := e.ResolveDeep(t2).(*Compound)
+	if r2 != t2 {
+		t.Error("fully ground term should be returned unchanged")
+	}
+}
+
+func TestEnvFormat(t *testing.T) {
+	x := NewVar("X")
+	e := (*Env)(nil).Bind(x, FromList([]Term{Atom("a"), Atom("b")}))
+	if got := e.Format(NewCompound("p", x)); got != "p([a,b])" {
+		t.Errorf("Format = %q", got)
+	}
+}
+
+func TestRenamerConsistency(t *testing.T) {
+	x := NewVar("X")
+	tm := NewCompound("f", x, x, NewVar("Y"))
+	r := NewRenamer()
+	out := r.Rename(tm).(*Compound)
+	a0, a1 := out.Args[0].(*Var), out.Args[1].(*Var)
+	if a0 != a1 {
+		t.Error("same source var must rename to same fresh var")
+	}
+	if a0 == x {
+		t.Error("renamed var must be fresh")
+	}
+	if out.Args[2].(*Var) == a0 {
+		t.Error("distinct source vars must stay distinct")
+	}
+	// Ground subterms pass through.
+	if g := NewRenamer().Rename(Atom("a")); g != Atom("a") {
+		t.Errorf("Rename(a) = %v", g)
+	}
+}
+
+func TestVars(t *testing.T) {
+	x, y := NewVar("X"), NewVar("Y")
+	tm := NewCompound("f", x, NewCompound("g", y, x))
+	vs := Vars(tm, nil)
+	if len(vs) != 2 || vs[0] != x || vs[1] != y {
+		t.Errorf("Vars = %v", vs)
+	}
+}
+
+func TestVarsUnder(t *testing.T) {
+	x, y := NewVar("X"), NewVar("Y")
+	e := (*Env)(nil).Bind(x, NewCompound("g", y))
+	vs := VarsUnder(e, NewCompound("f", x), nil)
+	if len(vs) != 1 || vs[0] != y {
+		t.Errorf("VarsUnder = %v, want [Y]", vs)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	x := NewVar("X")
+	if !Equal(NewCompound("f", x, Int(1)), NewCompound("f", x, Int(1))) {
+		t.Error("identical structure should be Equal")
+	}
+	if Equal(NewCompound("f", NewVar("X")), NewCompound("f", NewVar("X"))) {
+		t.Error("distinct vars must not be Equal")
+	}
+	if Equal(Atom("a"), Int(1)) {
+		t.Error("atom != int")
+	}
+}
+
+func TestCompareOrder(t *testing.T) {
+	v := NewVar("X")
+	seq := []Term{v, Int(1), Atom("a"), NewCompound("f", Atom("a"))}
+	for i := 0; i < len(seq); i++ {
+		for j := 0; j < len(seq); j++ {
+			got := Compare(seq[i], seq[j])
+			switch {
+			case i < j && got >= 0:
+				t.Errorf("Compare(%v,%v) = %d, want <0", seq[i], seq[j], got)
+			case i > j && got <= 0:
+				t.Errorf("Compare(%v,%v) = %d, want >0", seq[i], seq[j], got)
+			case i == j && got != 0:
+				t.Errorf("Compare(%v,%v) = %d, want 0", seq[i], seq[j], got)
+			}
+		}
+	}
+	if Compare(Int(1), Int(2)) >= 0 || Compare(Atom("a"), Atom("b")) >= 0 {
+		t.Error("ordering within kinds broken")
+	}
+	if Compare(NewCompound("f", Int(1)), NewCompound("f", Int(2))) >= 0 {
+		t.Error("compound args should order")
+	}
+}
+
+func TestGround(t *testing.T) {
+	x := NewVar("X")
+	tm := NewCompound("f", x)
+	if Ground(nil, tm) {
+		t.Error("f(X) is not ground")
+	}
+	e := (*Env)(nil).Bind(x, Atom("a"))
+	if !Ground(e, tm) {
+		t.Error("f(a) is ground under env")
+	}
+}
+
+func TestFreshVarIDsUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		v := NewVar("V")
+		if seen[v.ID] {
+			t.Fatalf("duplicate var ID %d", v.ID)
+		}
+		seen[v.ID] = true
+	}
+}
+
+// Property: for any sequence of (var, value) bindings, every bound variable
+// resolves to its value regardless of chain depth (snapshot correctness).
+func TestPropertyEnvLookupTotal(t *testing.T) {
+	f := func(vals []int8) bool {
+		var e *Env
+		vars := make([]*Var, len(vals))
+		for i, x := range vals {
+			vars[i] = NewVar("V")
+			e = e.Bind(vars[i], Int(x))
+		}
+		for i, v := range vars {
+			got, ok := e.Lookup(v)
+			if !ok || got != Int(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is antisymmetric and Equal terms compare to 0.
+func TestPropertyCompareAntisymmetric(t *testing.T) {
+	gen := func(n int8, s string) Term {
+		switch n % 3 {
+		case 0:
+			return Int(n)
+		case 1:
+			return Atom(s)
+		default:
+			return NewCompound("f", Int(n), Atom(s))
+		}
+	}
+	f := func(n1 int8, s1 string, n2 int8, s2 string) bool {
+		a, b := gen(n1, s1), gen(n2, s2)
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEnvBind(b *testing.B) {
+	v := NewVar("X")
+	var e *Env
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e = e.Bind(v, Int(i))
+		if e.Depth() > 1024 {
+			e = nil
+		}
+	}
+}
+
+func BenchmarkEnvLookupDeep(b *testing.B) {
+	var e *Env
+	vars := make([]*Var, 256)
+	for i := range vars {
+		vars[i] = NewVar("V")
+		e = e.Bind(vars[i], Int(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := e.Lookup(vars[i%len(vars)]); !ok {
+			b.Fatal("lost binding")
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package weights
+
+import (
+	"sync"
+
+	"blog/internal/kb"
+)
+
+// RootContext is the pseudo-arc used as the context of a chain's first
+// decision (nothing has been decided yet).
+var RootContext = kb.Arc{Caller: -2, Pos: -1, Callee: -2}
+
+// ContextualStore extends Store with context-conditioned weights: the
+// bound increment of taking arc a may depend on the previous decision of
+// the chain. This is the extension the paper sketches at the end of
+// section 5: "conditional probabilities (conditional information) might
+// be added to the model, since a decision should depend on what has been
+// previously decided, but maintaining the database in this model is
+// clearly more difficult than our approach."
+type ContextualStore interface {
+	Store
+	// WeightIn returns the weight of a given that prev was the chain's
+	// previous arc (RootContext for the first decision).
+	WeightIn(prev, a kb.Arc) float64
+}
+
+// pairKey identifies one conditioned pointer.
+type pairKey struct {
+	prev kb.Arc
+	a    kb.Arc
+}
+
+// Conditional is a context-sensitive weight table. Each (previous arc,
+// arc) pair carries its own learned state; pairs never touched fall back
+// to a marginal Table so cold chains behave exactly like the plain
+// section-5 scheme. The section-5 update rules apply verbatim with pairs
+// in place of arcs: the unknown pair nearest the leaf of a failed chain
+// becomes infinite, and the open pairs of a successful chain share out
+// N minus the known sum.
+//
+// The cost the paper warns about is visible in Len(): the state space is
+// pairs of pointers, squaring the database's weight storage in the worst
+// case. Experiment E9 quantifies what that buys.
+type Conditional struct {
+	cfg      Config
+	marginal *Table
+
+	mu sync.RWMutex
+	m  map[pairKey]entry
+}
+
+// NewConditional returns an empty conditional table.
+func NewConditional(cfg Config) *Conditional {
+	return &Conditional{cfg: cfg, marginal: NewTable(cfg), m: make(map[pairKey]entry)}
+}
+
+// Config implements Store.
+func (c *Conditional) Config() Config { return c.cfg }
+
+// Marginal exposes the fallback table (shared with cold contexts).
+func (c *Conditional) Marginal() *Table { return c.marginal }
+
+// Len returns the number of learned pairs.
+func (c *Conditional) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// WeightIn implements ContextualStore.
+func (c *Conditional) WeightIn(prev, a kb.Arc) float64 {
+	c.mu.RLock()
+	e, ok := c.m[pairKey{prev, a}]
+	c.mu.RUnlock()
+	if !ok {
+		return c.marginal.Weight(a)
+	}
+	if e.kind == Infinite {
+		return c.cfg.InfiniteWeight()
+	}
+	return e.w
+}
+
+// Weight implements Store with the marginal fallback (used by callers
+// that have no context, such as diagnostics).
+func (c *Conditional) Weight(a kb.Arc) float64 { return c.marginal.Weight(a) }
+
+// State implements Store (marginal view).
+func (c *Conditional) State(a kb.Arc) (Kind, float64) { return c.marginal.State(a) }
+
+// StateIn returns the learned state of a conditioned pair.
+func (c *Conditional) StateIn(prev, a kb.Arc) (Kind, float64) {
+	c.mu.RLock()
+	e, ok := c.m[pairKey{prev, a}]
+	c.mu.RUnlock()
+	if !ok {
+		return Unknown, c.cfg.UnknownWeight()
+	}
+	return e.kind, e.w
+}
+
+// pairs converts a chain into its conditioned pair sequence.
+func pairs(chain []kb.Arc) []pairKey {
+	out := make([]pairKey, len(chain))
+	prev := RootContext
+	for i, a := range chain {
+		out[i] = pairKey{prev, a}
+		prev = a
+	}
+	return out
+}
+
+// RecordFailure implements Store: the section-5 failure rule over pairs.
+// The marginal table also learns, keeping cold-context fallbacks useful.
+func (c *Conditional) RecordFailure(chain []kb.Arc) {
+	if len(chain) == 0 {
+		return
+	}
+	ps := pairs(chain)
+	c.mu.Lock()
+	explained := false
+	for _, p := range ps {
+		if e, ok := c.m[p]; ok && e.kind == Infinite {
+			explained = true
+			break
+		}
+	}
+	if !explained {
+		for i := len(ps) - 1; i >= 0; i-- {
+			if e, ok := c.m[ps[i]]; !ok || e.kind == Unknown {
+				c.m[ps[i]] = entry{w: c.cfg.InfiniteWeight(), kind: Infinite}
+				break
+			}
+		}
+	}
+	c.mu.Unlock()
+	c.marginal.RecordFailure(chain)
+}
+
+// RecordSuccess implements Store: the section-5 success rule over pairs.
+func (c *Conditional) RecordSuccess(chain []kb.Arc) {
+	if len(chain) == 0 {
+		return
+	}
+	ps := pairs(chain)
+	c.mu.Lock()
+	var m float64
+	var open []pairKey
+	seen := make(map[pairKey]bool, len(ps))
+	for _, p := range ps {
+		if e, ok := c.m[p]; ok && e.kind == Known {
+			m += e.w
+			continue
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		open = append(open, p)
+	}
+	if len(open) > 0 {
+		w := 0.0
+		if m < c.cfg.N {
+			w = (c.cfg.N - m) / float64(len(open))
+		}
+		for _, p := range open {
+			c.m[p] = entry{w: w, kind: Known}
+		}
+	}
+	c.mu.Unlock()
+	c.marginal.RecordSuccess(chain)
+}
+
+var _ ContextualStore = (*Conditional)(nil)

@@ -1,0 +1,126 @@
+package weights
+
+import (
+	"sync"
+	"testing"
+
+	"blog/internal/kb"
+)
+
+func TestConditionalFallsBackToMarginal(t *testing.T) {
+	c := NewConditional(Config{N: 16, A: 64})
+	a := arc(0, 0, 1)
+	prev := arc(9, 0, 9)
+	if w := c.WeightIn(prev, a); w != c.Config().UnknownWeight() {
+		t.Errorf("cold pair weight = %v", w)
+	}
+	c.Marginal().Set(a, 5)
+	if w := c.WeightIn(prev, a); w != 5 {
+		t.Errorf("fallback weight = %v, want marginal 5", w)
+	}
+	if w := c.Weight(a); w != 5 {
+		t.Errorf("marginal view = %v", w)
+	}
+}
+
+func TestConditionalSuccessLearnsPairs(t *testing.T) {
+	c := NewConditional(Config{N: 16, A: 64})
+	chain := []kb.Arc{arc(0, 0, 1), arc(1, 0, 2)}
+	c.RecordSuccess(chain)
+	// Pairs: (root, a1) and (a1, a2) each get N/2 = 8.
+	if k, w := c.StateIn(RootContext, chain[0]); k != Known || w != 8 {
+		t.Errorf("root pair = %v %v", k, w)
+	}
+	if k, w := c.StateIn(chain[0], chain[1]); k != Known || w != 8 {
+		t.Errorf("chain pair = %v %v", k, w)
+	}
+	// Same arc in a different context stays cold.
+	if k, _ := c.StateIn(arc(7, 0, 7), chain[1]); k != Unknown {
+		t.Error("other-context pair must stay unknown")
+	}
+	if c.Len() != 2 {
+		t.Errorf("pairs learned = %d", c.Len())
+	}
+}
+
+func TestConditionalFailureIsContextLocal(t *testing.T) {
+	// The defining property: a shared arc can be infinite in one context
+	// and known-good in another, which the marginal table cannot express.
+	c := NewConditional(Config{N: 16, A: 64})
+	shared := arc(5, 0, 6)
+	badCtx := arc(0, 0, 1)
+	goodCtx := arc(0, 0, 2)
+	c.RecordFailure([]kb.Arc{badCtx, shared})
+	c.RecordSuccess([]kb.Arc{goodCtx, shared})
+	if k, _ := c.StateIn(badCtx, shared); k != Infinite {
+		t.Error("bad-context pair should be infinite")
+	}
+	if k, _ := c.StateIn(goodCtx, shared); k != Known {
+		t.Error("good-context pair should be known")
+	}
+	if c.WeightIn(badCtx, shared) <= c.WeightIn(goodCtx, shared) {
+		t.Error("bad context must weigh more than good context")
+	}
+}
+
+func TestConditionalFailureNearestLeaf(t *testing.T) {
+	c := NewConditional(Config{N: 16, A: 64})
+	chain := []kb.Arc{arc(0, 0, 1), arc(1, 0, 2), arc(2, 0, 3)}
+	c.RecordFailure(chain)
+	if k, _ := c.StateIn(chain[1], chain[2]); k != Infinite {
+		t.Error("leaf-most pair should be infinite")
+	}
+	if k, _ := c.StateIn(RootContext, chain[0]); k != Unknown {
+		t.Error("root pair should stay unknown")
+	}
+	// A second identical failure is already explained.
+	c.RecordFailure(chain)
+	if k, _ := c.StateIn(chain[0], chain[1]); k != Unknown {
+		t.Error("explained failure must not add infinities")
+	}
+}
+
+func TestConditionalSuccessBoundIsN(t *testing.T) {
+	c := NewConditional(Config{N: 16, A: 64})
+	chain := []kb.Arc{arc(0, 0, 1), arc(1, 0, 2), arc(2, 0, 3), arc(3, 0, 4)}
+	c.RecordSuccess(chain)
+	var sum float64
+	prev := RootContext
+	for _, a := range chain {
+		sum += c.WeightIn(prev, a)
+		prev = a
+	}
+	if sum != 16 {
+		t.Errorf("conditioned chain bound = %v, want N", sum)
+	}
+}
+
+func TestConditionalEmptyChains(t *testing.T) {
+	c := NewConditional(DefaultConfig())
+	c.RecordSuccess(nil)
+	c.RecordFailure(nil)
+	if c.Len() != 0 {
+		t.Error("no pairs expected")
+	}
+}
+
+func TestConditionalConcurrent(t *testing.T) {
+	c := NewConditional(DefaultConfig())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				ch := []kb.Arc{arc(g, 0, i%7), arc(i%7, 0, i%5)}
+				if i%2 == 0 {
+					c.RecordSuccess(ch)
+				} else {
+					c.RecordFailure(ch)
+				}
+				c.WeightIn(ch[0], ch[1])
+			}
+		}(g)
+	}
+	wg.Wait()
+}

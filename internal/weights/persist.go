@@ -1,0 +1,118 @@
+package weights
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"blog/internal/kb"
+)
+
+// The persistence format is line-oriented text, one learned arc per line:
+//
+//	# blog-weights v1 N=<float> A=<int>
+//	<caller> <pos> <callee> <kind> <weight>
+//
+// Only learned (non-Unknown) state is stored; unknown arcs are implicit.
+// The format survives program edits gracefully: arcs whose coordinates no
+// longer resolve simply go unused.
+
+const persistHeader = "# blog-weights v1"
+
+// WriteTo serializes the table. Arcs are sorted for reproducible output.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	snap := t.Snapshot()
+	arcs := make([]kb.Arc, 0, len(snap))
+	for a := range snap {
+		arcs = append(arcs, a)
+	}
+	sort.Slice(arcs, func(i, j int) bool { return arcLess(arcs[i], arcs[j]) })
+	var n int64
+	c, err := fmt.Fprintf(w, "%s N=%g A=%d\n", persistHeader, t.cfg.N, t.cfg.A)
+	n += int64(c)
+	if err != nil {
+		return n, err
+	}
+	for _, a := range arcs {
+		e := snap[a]
+		c, err := fmt.Fprintf(w, "%d %d %d %d %g\n", a.Caller, a.Pos, a.Callee, e.Kind, e.W)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadTable parses a table previously written by WriteTo.
+func ReadTable(r io.Reader) (*Table, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("weights: empty input")
+	}
+	header := sc.Text()
+	if !strings.HasPrefix(header, persistHeader) {
+		return nil, fmt.Errorf("weights: bad header %q", header)
+	}
+	cfg := DefaultConfig()
+	for _, f := range strings.Fields(header[len(persistHeader):]) {
+		switch {
+		case strings.HasPrefix(f, "N="):
+			v, err := strconv.ParseFloat(f[2:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("weights: bad N in header: %w", err)
+			}
+			cfg.N = v
+		case strings.HasPrefix(f, "A="):
+			v, err := strconv.Atoi(f[2:])
+			if err != nil {
+				return nil, fmt.Errorf("weights: bad A in header: %w", err)
+			}
+			cfg.A = v
+		default:
+			return nil, fmt.Errorf("weights: unknown header field %q", f)
+		}
+	}
+	t := NewTable(cfg)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("weights: line %d: want 5 fields, got %d", line, len(fields))
+		}
+		caller, err1 := strconv.Atoi(fields[0])
+		pos, err2 := strconv.Atoi(fields[1])
+		callee, err3 := strconv.Atoi(fields[2])
+		kind, err4 := strconv.Atoi(fields[3])
+		w, err5 := strconv.ParseFloat(fields[4], 64)
+		for _, err := range []error{err1, err2, err3, err4, err5} {
+			if err != nil {
+				return nil, fmt.Errorf("weights: line %d: %w", line, err)
+			}
+		}
+		a := kb.Arc{Caller: kb.ClauseID(caller), Pos: pos, Callee: kb.ClauseID(callee)}
+		switch Kind(kind) {
+		case Known:
+			t.Set(a, w)
+		case Infinite:
+			t.SetInfinite(a)
+		default:
+			return nil, fmt.Errorf("weights: line %d: invalid kind %d", line, kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

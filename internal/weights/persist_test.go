@@ -1,0 +1,142 @@
+package weights
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"blog/internal/kb"
+)
+
+func TestPersistRoundTrip(t *testing.T) {
+	src := NewTable(Config{N: 16, A: 64})
+	src.Set(arc(0, 0, 1), 3.25)
+	src.Set(arc(1, 2, 5), 0)
+	src.SetInfinite(arc(-1, 0, 3))
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config() != src.Config() {
+		t.Errorf("config = %+v", got.Config())
+	}
+	if got.Len() != src.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), src.Len())
+	}
+	for a, e := range src.Snapshot() {
+		k, w := got.State(a)
+		if k != e.Kind {
+			t.Errorf("arc %v kind = %v, want %v", a, k, e.Kind)
+		}
+		if k == Known && w != e.W {
+			t.Errorf("arc %v weight = %v, want %v", a, w, e.W)
+		}
+	}
+}
+
+func TestPersistDeterministicOutput(t *testing.T) {
+	tab := NewTable(DefaultConfig())
+	for i := 0; i < 20; i++ {
+		tab.Set(arc(i%5, i%3, i), float64(i))
+	}
+	var a, b bytes.Buffer
+	if _, err := tab.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("output must be deterministic")
+	}
+}
+
+func TestPersistEmptyTable(t *testing.T) {
+	tab := NewTable(Config{N: 8, A: 32})
+	var buf bytes.Buffer
+	if _, err := tab.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || got.Config().N != 8 || got.Config().A != 32 {
+		t.Errorf("got %d entries, cfg %+v", got.Len(), got.Config())
+	}
+}
+
+func TestReadTableErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a header\n",
+		"# blog-weights v1 N=x\n",
+		"# blog-weights v1 Q=3\n",
+		"# blog-weights v1\n1 2\n",
+		"# blog-weights v1\n1 2 3 9 4.5\n", // invalid kind
+		"# blog-weights v1\n1 2 3 0 4.5\n", // Unknown kind is never stored
+		"# blog-weights v1\na 2 3 1 4.5\n",
+	}
+	for _, src := range cases {
+		if _, err := ReadTable(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadTable(%q) should fail", src)
+		}
+	}
+}
+
+func TestReadTableSkipsCommentsAndBlanks(t *testing.T) {
+	src := "# blog-weights v1 N=16 A=64\n\n# a comment\n1 0 2 1 5\n"
+	tab, err := ReadTable(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, w := tab.State(arc(1, 0, 2)); k != Known || w != 5 {
+		t.Errorf("state = %v %v", k, w)
+	}
+}
+
+func TestPropertyPersistRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := NewTable(Config{N: float64(1 + rng.Intn(32)), A: 1 + rng.Intn(100)})
+		for i := 0; i < rng.Intn(30); i++ {
+			a := kb.Arc{
+				Caller: kb.ClauseID(rng.Intn(20) - 1),
+				Pos:    rng.Intn(4),
+				Callee: kb.ClauseID(rng.Intn(20)),
+			}
+			if rng.Intn(4) == 0 {
+				tab.SetInfinite(a)
+			} else {
+				tab.Set(a, float64(rng.Intn(64))/4)
+			}
+		}
+		var buf bytes.Buffer
+		if _, err := tab.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadTable(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != tab.Len() {
+			return false
+		}
+		for a, e := range tab.Snapshot() {
+			k, w := got.State(a)
+			if k != e.Kind || (k == Known && w != e.W) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,298 @@
+package weights
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"blog/internal/kb"
+)
+
+// Outcome is one complete root-to-leaf chain of the fully-expanded search
+// tree, together with whether it ended in a solution. The section-4 theory
+// is formulated over the set of all such chains.
+type Outcome struct {
+	Chain   []kb.Arc
+	Success bool
+}
+
+// Solution is a theoretical weight assignment produced by Solve.
+type Solution struct {
+	// W holds finite weights for every arc not in Infinite.
+	W map[kb.Arc]float64
+	// Infinite holds the arcs assigned probability 0.
+	Infinite map[kb.Arc]bool
+	// Target is the common bound of successful chains, log2(#solutions).
+	Target float64
+	// Residual is the maximum absolute deviation of a successful chain's
+	// bound from Target after solving.
+	Residual float64
+	// Iterations is the number of sweeps the solver used.
+	Iterations int
+}
+
+// ErrNoWeights is returned when the pathological case of section 4 occurs:
+// some failed chain consists solely of arcs that successful chains also
+// use, so no arc of it may be infinite.
+var ErrNoWeights = errors.New("weights: no valid assignment exists (failed chain shares every arc with successful chains)")
+
+// Solve computes a theoretical weight assignment per section 4 of the
+// paper: each successful chain's probability is 1/S (S = number of
+// successes), so in log space its weights sum to log2(S); failed chains
+// must contain an arc of probability 0 (infinite weight).
+//
+// The system has N equations in M >> N unknowns and generally many
+// solutions; Solve finds one by Kaczmarz projection with a non-negativity
+// constraint (weights are -log2 of probabilities at most 1). Arcs that
+// appear only in failed chains are assigned infinity, preferring the arc
+// nearest the leaf of each failed chain, mirroring the section-5 heuristic.
+func Solve(outcomes []Outcome) (*Solution, error) {
+	var succ, fail [][]kb.Arc
+	for _, o := range outcomes {
+		if o.Success {
+			succ = append(succ, o.Chain)
+		} else {
+			fail = append(fail, o.Chain)
+		}
+	}
+	usedBySuccess := make(map[kb.Arc]bool)
+	for _, ch := range succ {
+		for _, a := range ch {
+			usedBySuccess[a] = true
+		}
+	}
+	// Assign infinities: every failed chain needs one arc that no
+	// successful chain uses; prefer the one nearest the leaf.
+	infinite := make(map[kb.Arc]bool)
+	for _, ch := range fail {
+		already := false
+		for _, a := range ch {
+			if infinite[a] {
+				already = true
+				break
+			}
+		}
+		if already {
+			continue
+		}
+		placed := false
+		for i := len(ch) - 1; i >= 0; i-- {
+			if !usedBySuccess[ch[i]] {
+				infinite[ch[i]] = true
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, ErrNoWeights
+		}
+	}
+
+	target := 0.0
+	if len(succ) > 0 {
+		target = math.Log2(float64(len(succ)))
+	}
+	sol := &Solution{
+		W:        make(map[kb.Arc]float64),
+		Infinite: infinite,
+		Target:   target,
+	}
+	if len(succ) == 0 {
+		return sol, nil
+	}
+
+	// Deduplicate arcs per chain occurrence: the equation is over arc
+	// occurrence counts (an arc used twice in a chain contributes twice).
+	type row struct {
+		arcs   []kb.Arc // distinct arcs
+		counts []float64
+		norm2  float64
+	}
+	rows := make([]row, 0, len(succ))
+	for _, ch := range succ {
+		cnt := make(map[kb.Arc]float64)
+		for _, a := range ch {
+			cnt[a]++
+		}
+		r := row{}
+		for a, c := range cnt {
+			r.arcs = append(r.arcs, a)
+			r.counts = append(r.counts, c)
+			r.norm2 += c * c
+		}
+		// Deterministic order for reproducible iteration.
+		idx := make([]int, len(r.arcs))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(i, j int) bool { return arcLess(r.arcs[idx[i]], r.arcs[idx[j]]) })
+		arcs := make([]kb.Arc, len(idx))
+		counts := make([]float64, len(idx))
+		for i, k := range idx {
+			arcs[i], counts[i] = r.arcs[k], r.counts[k]
+		}
+		r.arcs, r.counts = arcs, counts
+		rows = append(rows, r)
+	}
+
+	// Start from an even split along each chain so short chains do not
+	// dominate, then Kaczmarz-project with clamping to >= 0.
+	w := sol.W
+	for _, r := range rows {
+		var tot float64
+		for _, c := range r.counts {
+			tot += c
+		}
+		for i, a := range r.arcs {
+			if _, ok := w[a]; !ok {
+				w[a] = target / tot * 0 // start at 0; projection fills in
+			}
+			_ = i
+		}
+	}
+	const maxSweeps = 10000
+	const tol = 1e-10
+	var sweep int
+	for sweep = 0; sweep < maxSweeps; sweep++ {
+		maxErr := 0.0
+		for _, r := range rows {
+			var sum float64
+			for i, a := range r.arcs {
+				sum += r.counts[i] * w[a]
+			}
+			err := target - sum
+			if math.Abs(err) > maxErr {
+				maxErr = math.Abs(err)
+			}
+			if r.norm2 == 0 {
+				continue
+			}
+			step := err / r.norm2
+			for i, a := range r.arcs {
+				nw := w[a] + step*r.counts[i]
+				if nw < 0 {
+					nw = 0
+				}
+				w[a] = nw
+			}
+		}
+		if maxErr < tol {
+			break
+		}
+	}
+	sol.Iterations = sweep + 1
+
+	// Residual: worst deviation over success equations.
+	for _, r := range rows {
+		var sum float64
+		for i, a := range r.arcs {
+			sum += r.counts[i] * w[a]
+		}
+		if d := math.Abs(sum - target); d > sol.Residual {
+			sol.Residual = d
+		}
+	}
+	return sol, nil
+}
+
+func arcLess(a, b kb.Arc) bool {
+	if a.Caller != b.Caller {
+		return a.Caller < b.Caller
+	}
+	if a.Pos != b.Pos {
+		return a.Pos < b.Pos
+	}
+	return a.Callee < b.Callee
+}
+
+// Check verifies that an assignment satisfies the section-4 requirements
+// over the outcomes within tolerance: successful chains share bound Target
+// and every failed chain contains an infinite arc. It returns the first
+// violation found, or nil.
+func (s *Solution) Check(outcomes []Outcome, tol float64) error {
+	for _, o := range outcomes {
+		if o.Success {
+			var sum float64
+			for _, a := range o.Chain {
+				if s.Infinite[a] {
+					return errors.New("weights: successful chain contains an infinite arc")
+				}
+				sum += s.W[a]
+			}
+			if math.Abs(sum-s.Target) > tol {
+				return errors.New("weights: successful chain bound deviates from target")
+			}
+		} else {
+			found := false
+			for _, a := range o.Chain {
+				if s.Infinite[a] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return errors.New("weights: failed chain has no infinite arc")
+			}
+		}
+	}
+	return nil
+}
+
+// Apply copies the theoretical solution into a Table (scaled so that the
+// common success bound becomes the table's N), letting experiments compare
+// searches guided by learned versus theoretical weights.
+func (s *Solution) Apply(t *Table) {
+	scale := 1.0
+	if s.Target > 0 {
+		scale = t.cfg.N / s.Target
+	}
+	for a, w := range s.W {
+		t.Set(a, w*scale)
+	}
+	for a := range s.Infinite {
+		t.SetInfinite(a)
+	}
+}
+
+// Distance measures how far the table's learned weights are from the
+// theoretical solution: the root-mean-square difference over the solution's
+// finite arcs after normalizing both sides to mean 1 (the paper only
+// claims convergence "proportional to" the theoretical weights), plus the
+// fraction of infinite arcs the table agrees on.
+func (s *Solution) Distance(t *Table) (rms float64, infAgreement float64) {
+	var sw, tw float64
+	var n int
+	for a, w := range s.W {
+		k, v := t.State(a)
+		if k != Known {
+			continue
+		}
+		sw += w
+		tw += v
+		n++
+	}
+	if n > 0 && sw > 0 && tw > 0 {
+		var acc float64
+		for a, w := range s.W {
+			k, v := t.State(a)
+			if k != Known {
+				continue
+			}
+			d := w/(sw/float64(n)) - v/(tw/float64(n))
+			acc += d * d
+		}
+		rms = math.Sqrt(acc / float64(n))
+	}
+	if len(s.Infinite) > 0 {
+		agree := 0
+		for a := range s.Infinite {
+			if k, _ := t.State(a); k == Infinite {
+				agree++
+			}
+		}
+		infAgreement = float64(agree) / float64(len(s.Infinite))
+	} else {
+		infAgreement = 1
+	}
+	return rms, infAgreement
+}

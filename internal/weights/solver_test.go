@@ -1,0 +1,269 @@
+package weights
+
+import (
+	"math"
+	"testing"
+
+	"blog/internal/kb"
+)
+
+// fig3Outcomes encodes the fully-expanded search tree of figure 3 of the
+// paper for ?- gf(sam,G): two successful chains through rule 1 and one
+// failed chain through rule 2.
+//
+// Arc naming (static database pointers):
+//
+//	aR1 = query -> rule gf:-f,f        aR2 = query -> rule gf:-f,m
+//	aF1 = rule1 body pos0 -> f(sam,larry)
+//	aD  = rule1 body pos1 -> f(larry,den)
+//	aG  = rule1 body pos1 -> f(larry,doug)
+//	aF2 = rule2 body pos0 -> f(sam,larry)
+var (
+	aR1 = arc(-1, 0, 0)
+	aR2 = arc(-1, 0, 1)
+	aF1 = arc(0, 0, 3)
+	aD  = arc(0, 1, 5)
+	aG  = arc(0, 1, 7)
+	aF2 = arc(1, 0, 3)
+)
+
+func fig3Outcomes() []Outcome {
+	return []Outcome{
+		{Chain: []kb.Arc{aR1, aF1, aD}, Success: true},
+		{Chain: []kb.Arc{aR1, aF1, aG}, Success: true},
+		{Chain: []kb.Arc{aR2, aF2}, Success: false},
+	}
+}
+
+func TestSolveFig3(t *testing.T) {
+	sol, err := Solve(fig3Outcomes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two solutions => target bound log2(2) = 1, the paper's worked values.
+	if sol.Target != 1 {
+		t.Errorf("target = %v, want 1", sol.Target)
+	}
+	if err := sol.Check(fig3Outcomes(), 1e-6); err != nil {
+		t.Fatalf("solution fails its own requirements: %v", err)
+	}
+	// Both success chains sum to 1 and differ only in the last arc, so the
+	// last arcs must carry equal weight.
+	if math.Abs(sol.W[aD]-sol.W[aG]) > 1e-9 {
+		t.Errorf("aD=%v aG=%v should be equal (symmetric solutions)", sol.W[aD], sol.W[aG])
+	}
+	// The failed chain must be explained by an infinity on one of its arcs.
+	if !sol.Infinite[aR2] && !sol.Infinite[aF2] {
+		t.Error("failed chain has no infinite arc")
+	}
+	// No infinite arc may be used by a success chain.
+	for _, a := range []kb.Arc{aR1, aF1, aD, aG} {
+		if sol.Infinite[a] {
+			t.Errorf("success arc %v marked infinite", a)
+		}
+	}
+}
+
+func TestPaperFig3AssignmentIsValid(t *testing.T) {
+	// The paper's own stated assignment: p=1 (w=0) for the rule-1 arc and
+	// both f(sam,larry) arcs, p=1/2 (w=1) for den/doug, p=0 (w=inf) for
+	// the rule-2 arc. Check it satisfies the section-4 requirements.
+	sol := &Solution{
+		W:        map[kb.Arc]float64{aR1: 0, aF1: 0, aD: 1, aG: 1, aF2: 0},
+		Infinite: map[kb.Arc]bool{aR2: true},
+		Target:   1,
+	}
+	if err := sol.Check(fig3Outcomes(), 1e-9); err != nil {
+		t.Errorf("paper's assignment rejected: %v", err)
+	}
+}
+
+func TestSolveNoSuccesses(t *testing.T) {
+	out := []Outcome{{Chain: []kb.Arc{arc(0, 0, 1)}, Success: false}}
+	sol, err := Solve(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Infinite[arc(0, 0, 1)] {
+		t.Error("lone failed chain arc should be infinite")
+	}
+	if sol.Target != 0 {
+		t.Errorf("target = %v", sol.Target)
+	}
+}
+
+func TestSolvePathologicalCase(t *testing.T) {
+	// Section 4: "if an unsuccessful query has only arc A... but A is an
+	// arc in a successful solution... there are no weights."
+	a := arc(0, 0, 1)
+	out := []Outcome{
+		{Chain: []kb.Arc{a}, Success: true},
+		{Chain: []kb.Arc{a}, Success: false},
+	}
+	if _, err := Solve(out); err != ErrNoWeights {
+		t.Errorf("got %v, want ErrNoWeights", err)
+	}
+}
+
+func TestSolveSingleSolution(t *testing.T) {
+	// One solution => probability 1 on its chain => all weights 0.
+	out := []Outcome{{Chain: []kb.Arc{arc(0, 0, 1), arc(1, 0, 2)}, Success: true}}
+	sol, err := Solve(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a, w := range sol.W {
+		if math.Abs(w) > 1e-9 {
+			t.Errorf("arc %v weight %v, want 0", a, w)
+		}
+	}
+}
+
+func TestSolveSharedPrefix(t *testing.T) {
+	// Four solutions sharing a prefix arc: prefix weight + leaf weight = 2.
+	p := arc(0, 0, 1)
+	leaves := []kb.Arc{arc(1, 0, 2), arc(1, 0, 3), arc(1, 0, 4), arc(1, 0, 5)}
+	var out []Outcome
+	for _, l := range leaves {
+		out = append(out, Outcome{Chain: []kb.Arc{p, l}, Success: true})
+	}
+	sol, err := Solve(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Target != 2 {
+		t.Fatalf("target = %v, want 2", sol.Target)
+	}
+	if err := sol.Check(out, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// Leaves are symmetric, so they must carry equal weight.
+	for _, l := range leaves[1:] {
+		if math.Abs(sol.W[l]-sol.W[leaves[0]]) > 1e-6 {
+			t.Errorf("asymmetric leaf weights: %v vs %v", sol.W[l], sol.W[leaves[0]])
+		}
+	}
+}
+
+func TestSolveNonNegative(t *testing.T) {
+	// Imbalanced system: a 1-arc chain and a 3-arc chain. All weights must
+	// stay >= 0 (probabilities at most 1).
+	out := []Outcome{
+		{Chain: []kb.Arc{arc(0, 0, 1)}, Success: true},
+		{Chain: []kb.Arc{arc(0, 0, 2), arc(2, 0, 3), arc(3, 0, 4)}, Success: true},
+	}
+	sol, err := Solve(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a, w := range sol.W {
+		if w < 0 {
+			t.Errorf("arc %v has negative weight %v", a, w)
+		}
+	}
+	if err := sol.Check(out, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveInfinityPrefersLeaf(t *testing.T) {
+	// Failed chain with two free arcs: the leaf-most must take infinity.
+	rootArc, leafArc := arc(0, 0, 1), arc(1, 0, 2)
+	out := []Outcome{{Chain: []kb.Arc{rootArc, leafArc}, Success: false}}
+	sol, err := Solve(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Infinite[leafArc] || sol.Infinite[rootArc] {
+		t.Errorf("infinity placement = %v", sol.Infinite)
+	}
+}
+
+func TestSolveSharedFailureArcAvoided(t *testing.T) {
+	// The leaf arc is shared with a success; infinity must go to the arc
+	// below the root instead.
+	shared := arc(1, 0, 2)
+	other := arc(0, 0, 9)
+	out := []Outcome{
+		{Chain: []kb.Arc{arc(0, 0, 1), shared}, Success: false},
+		{Chain: []kb.Arc{other, shared}, Success: true},
+	}
+	sol, err := Solve(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Infinite[shared] {
+		t.Error("shared arc must not be infinite")
+	}
+	if !sol.Infinite[arc(0, 0, 1)] {
+		t.Error("free arc of failed chain should be infinite")
+	}
+}
+
+func TestApplyAndDistance(t *testing.T) {
+	sol, err := Solve(fig3Outcomes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{N: 16, A: 64}
+	tab := NewTable(cfg)
+	sol.Apply(tab)
+	// Success chains should now be bound-equal at N.
+	b1 := ChainBound(tab, []kb.Arc{aR1, aF1, aD})
+	b2 := ChainBound(tab, []kb.Arc{aR1, aF1, aG})
+	if math.Abs(b1-cfg.N) > 1e-6 || math.Abs(b2-cfg.N) > 1e-6 {
+		t.Errorf("applied bounds = %v, %v; want %v", b1, b2, cfg.N)
+	}
+	// A table holding the solution itself has distance ~0 and agrees on
+	// all infinities.
+	rms, inf := sol.Distance(tab)
+	if rms > 1e-6 {
+		t.Errorf("rms distance to itself = %v", rms)
+	}
+	if inf != 1 {
+		t.Errorf("infinity agreement = %v, want 1", inf)
+	}
+}
+
+func TestDistanceDisagreement(t *testing.T) {
+	sol, err := Solve(fig3Outcomes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewTable(DefaultConfig())
+	// Table knows nothing: infinity agreement 0 (solver found >= 1 inf).
+	if len(sol.Infinite) == 0 {
+		t.Skip("solver found no infinities")
+	}
+	_, inf := sol.Distance(tab)
+	if inf != 0 {
+		t.Errorf("agreement = %v, want 0 for empty table", inf)
+	}
+}
+
+func BenchmarkSolveFig3(b *testing.B) {
+	out := fig3Outcomes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveWide(b *testing.B) {
+	// 64 solutions sharing structure: a moderately sized linear system.
+	var out []Outcome
+	for i := 0; i < 64; i++ {
+		out = append(out, Outcome{
+			Chain:   []kb.Arc{arc(0, 0, 1+i%4), arc(1, 0, 10+i%8), arc(2, 0, 20+i)},
+			Success: true,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

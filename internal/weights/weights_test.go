@@ -1,0 +1,347 @@
+package weights
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"blog/internal/kb"
+)
+
+func arc(caller, pos, callee int) kb.Arc {
+	return kb.Arc{Caller: kb.ClauseID(caller), Pos: pos, Callee: kb.ClauseID(callee)}
+}
+
+func TestConfigCoding(t *testing.T) {
+	cfg := Config{N: 16, A: 64}
+	if cfg.UnknownWeight() != 17 {
+		t.Errorf("unknown = %v, want N+1 = 17", cfg.UnknownWeight())
+	}
+	if cfg.InfiniteWeight() != 1024 {
+		t.Errorf("infinity = %v, want A*N = 1024", cfg.InfiniteWeight())
+	}
+}
+
+func TestTableDefaults(t *testing.T) {
+	tab := NewTable(DefaultConfig())
+	a := arc(0, 0, 1)
+	if w := tab.Weight(a); w != tab.Config().UnknownWeight() {
+		t.Errorf("fresh arc weight = %v, want unknown coding", w)
+	}
+	if k, _ := tab.State(a); k != Unknown {
+		t.Errorf("fresh arc state = %v", k)
+	}
+	if tab.Len() != 0 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+}
+
+func TestSetAndForget(t *testing.T) {
+	tab := NewTable(DefaultConfig())
+	a := arc(0, 0, 1)
+	tab.Set(a, 3.5)
+	if k, w := tab.State(a); k != Known || w != 3.5 {
+		t.Errorf("state = %v %v", k, w)
+	}
+	if tab.Weight(a) != 3.5 {
+		t.Errorf("weight = %v", tab.Weight(a))
+	}
+	tab.SetInfinite(a)
+	if k, _ := tab.State(a); k != Infinite {
+		t.Errorf("state after SetInfinite = %v", k)
+	}
+	if tab.Weight(a) != tab.Config().InfiniteWeight() {
+		t.Errorf("infinite weight = %v", tab.Weight(a))
+	}
+	tab.Forget(a)
+	if k, _ := tab.State(a); k != Unknown {
+		t.Errorf("state after Forget = %v", k)
+	}
+}
+
+func TestRecordFailureNearestLeaf(t *testing.T) {
+	tab := NewTable(DefaultConfig())
+	chain := []kb.Arc{arc(0, 0, 1), arc(1, 0, 2), arc(2, 0, 3)}
+	tab.RecordFailure(chain)
+	// The arc nearest the leaf (last) must become infinite; others untouched.
+	if k, _ := tab.State(chain[2]); k != Infinite {
+		t.Error("leaf-most unknown should be infinite")
+	}
+	if k, _ := tab.State(chain[0]); k != Unknown {
+		t.Error("root-most arc should stay unknown")
+	}
+	if k, _ := tab.State(chain[1]); k != Unknown {
+		t.Error("middle arc should stay unknown")
+	}
+}
+
+func TestRecordFailureSkipsKnown(t *testing.T) {
+	tab := NewTable(DefaultConfig())
+	chain := []kb.Arc{arc(0, 0, 1), arc(1, 0, 2), arc(2, 0, 3)}
+	tab.Set(chain[2], 2) // leaf-most is known
+	tab.RecordFailure(chain)
+	if k, _ := tab.State(chain[1]); k != Infinite {
+		t.Error("nearest *unknown* to the leaf should become infinite")
+	}
+	if k, w := tab.State(chain[2]); k != Known || w != 2 {
+		t.Error("known arc must not be overwritten by failure")
+	}
+}
+
+func TestRecordFailureAlreadyExplained(t *testing.T) {
+	tab := NewTable(DefaultConfig())
+	chain := []kb.Arc{arc(0, 0, 1), arc(1, 0, 2)}
+	tab.SetInfinite(chain[0])
+	tab.RecordFailure(chain)
+	if k, _ := tab.State(chain[1]); k != Unknown {
+		t.Error("chain already has an infinite arc; no new infinity should be set")
+	}
+}
+
+func TestRecordFailureAllKnownNoop(t *testing.T) {
+	tab := NewTable(DefaultConfig())
+	chain := []kb.Arc{arc(0, 0, 1), arc(1, 0, 2)}
+	tab.Set(chain[0], 1)
+	tab.Set(chain[1], 2)
+	tab.RecordFailure(chain)
+	for _, a := range chain {
+		if k, _ := tab.State(a); k != Known {
+			t.Error("all-known failed chain should leave weights for session averaging")
+		}
+	}
+}
+
+func TestRecordFailureEmptyChain(t *testing.T) {
+	tab := NewTable(DefaultConfig())
+	tab.RecordFailure(nil) // must not panic
+	if tab.Len() != 0 {
+		t.Error("no state should appear")
+	}
+}
+
+func TestRecordSuccessDistributesToN(t *testing.T) {
+	cfg := Config{N: 16, A: 64}
+	tab := NewTable(cfg)
+	chain := []kb.Arc{arc(0, 0, 1), arc(1, 0, 2), arc(2, 0, 3), arc(3, 0, 4)}
+	tab.Set(chain[0], 4) // known M = 4, three unknowns get (16-4)/3 = 4
+	tab.RecordSuccess(chain)
+	for _, a := range chain[1:] {
+		k, w := tab.State(a)
+		if k != Known || w != 4 {
+			t.Errorf("arc %v = %v %v, want known 4", a, k, w)
+		}
+	}
+	if got := ChainBound(tab, chain); got != cfg.N {
+		t.Errorf("chain bound = %v, want N = %v", got, cfg.N)
+	}
+}
+
+func TestRecordSuccessOverflowSetsZero(t *testing.T) {
+	cfg := Config{N: 16, A: 64}
+	tab := NewTable(cfg)
+	chain := []kb.Arc{arc(0, 0, 1), arc(1, 0, 2)}
+	tab.Set(chain[0], 20) // M = 20 > N
+	tab.RecordSuccess(chain)
+	if k, w := tab.State(chain[1]); k != Known || w != 0 {
+		t.Errorf("unknown arc should become 0 when M > N, got %v %v", k, w)
+	}
+}
+
+func TestRecordSuccessResetsInfinite(t *testing.T) {
+	// The paper: "we will reset all unknown or infinite weights".
+	cfg := Config{N: 16, A: 64}
+	tab := NewTable(cfg)
+	chain := []kb.Arc{arc(0, 0, 1), arc(1, 0, 2)}
+	tab.SetInfinite(chain[0])
+	tab.RecordSuccess(chain)
+	k, w := tab.State(chain[0])
+	if k != Known || w != 8 {
+		t.Errorf("infinite arc on successful chain should reset to (N-0)/2 = 8, got %v %v", k, w)
+	}
+}
+
+func TestRecordSuccessAllKnownNoop(t *testing.T) {
+	cfg := Config{N: 16, A: 64}
+	tab := NewTable(cfg)
+	chain := []kb.Arc{arc(0, 0, 1), arc(1, 0, 2)}
+	tab.Set(chain[0], 7)
+	tab.Set(chain[1], 9)
+	tab.RecordSuccess(chain)
+	if _, w := tab.State(chain[0]); w != 7 {
+		t.Error("known weights must not change on success")
+	}
+}
+
+func TestRecordSuccessDuplicateArcInChain(t *testing.T) {
+	// A recursive clause can put the same arc in a chain twice; it must
+	// receive a single consistent weight.
+	cfg := Config{N: 16, A: 64}
+	tab := NewTable(cfg)
+	a, b := arc(0, 0, 1), arc(1, 0, 1)
+	chain := []kb.Arc{a, b, b, b}
+	tab.RecordSuccess(chain)
+	ka, wa := tab.State(a)
+	kbd, wb := tab.State(b)
+	if ka != Known || kbd != Known {
+		t.Fatal("both arcs should be known")
+	}
+	if wa != wb || wa != 8 {
+		t.Errorf("weights = %v, %v; want equal shares of N over 2 distinct arcs", wa, wb)
+	}
+}
+
+func TestUniformStore(t *testing.T) {
+	u := NewUniform(DefaultConfig())
+	a := arc(0, 0, 1)
+	if u.Weight(a) != 1 {
+		t.Error("uniform weight must be 1")
+	}
+	u.RecordSuccess([]kb.Arc{a})
+	u.RecordFailure([]kb.Arc{a})
+	if u.Weight(a) != 1 {
+		t.Error("uniform store must not learn")
+	}
+}
+
+func TestChainBound(t *testing.T) {
+	tab := NewTable(DefaultConfig())
+	a, b := arc(0, 0, 1), arc(1, 0, 2)
+	tab.Set(a, 2)
+	tab.Set(b, 5)
+	if got := ChainBound(tab, []kb.Arc{a, b}); got != 7 {
+		t.Errorf("bound = %v, want 7", got)
+	}
+	if got := ChainBound(tab, nil); got != 0 {
+		t.Errorf("empty bound = %v", got)
+	}
+}
+
+func TestBoundMonotonic(t *testing.T) {
+	// Growing a chain can only increase its bound (weights are >= 0).
+	tab := NewTable(DefaultConfig())
+	chain := []kb.Arc{}
+	prev := 0.0
+	for i := 0; i < 10; i++ {
+		chain = append(chain, arc(i, 0, i+1))
+		b := ChainBound(tab, chain)
+		if b < prev {
+			t.Fatalf("bound decreased from %v to %v at length %d", prev, b, i+1)
+		}
+		prev = b
+	}
+}
+
+func TestConcurrentTableAccess(t *testing.T) {
+	tab := NewTable(DefaultConfig())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				a := arc(g, 0, i%17)
+				switch i % 4 {
+				case 0:
+					tab.RecordSuccess([]kb.Arc{a, arc(g, 1, i%13)})
+				case 1:
+					tab.RecordFailure([]kb.Arc{a})
+				case 2:
+					tab.Weight(a)
+				case 3:
+					tab.State(a)
+				}
+			}
+		}(g)
+	}
+	wg.Wait() // run with -race to validate locking
+}
+
+func TestKindString(t *testing.T) {
+	if Unknown.String() != "unknown" || Known.String() != "known" || Infinite.String() != "infinite" {
+		t.Error("Kind strings wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind string")
+	}
+}
+
+// Property: after RecordSuccess on a chain of previously-unknown arcs, the
+// chain bound is exactly N (within float tolerance).
+func TestPropertySuccessBoundIsN(t *testing.T) {
+	cfg := Config{N: 16, A: 64}
+	f := func(lens uint8) bool {
+		n := int(lens%12) + 1
+		tab := NewTable(cfg)
+		chain := make([]kb.Arc, n)
+		for i := range chain {
+			chain[i] = arc(i, 0, i+1)
+		}
+		tab.RecordSuccess(chain)
+		return math.Abs(ChainBound(tab, chain)-cfg.N) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RecordFailure sets at most one infinity per call.
+func TestPropertyFailureSetsOneInfinity(t *testing.T) {
+	cfg := Config{N: 16, A: 64}
+	f := func(lens uint8, knownMask uint8) bool {
+		n := int(lens%8) + 1
+		tab := NewTable(cfg)
+		chain := make([]kb.Arc, n)
+		for i := range chain {
+			chain[i] = arc(i, 0, i+1)
+			if knownMask&(1<<uint(i)) != 0 {
+				tab.Set(chain[i], 1)
+			}
+		}
+		before := countInf(tab, chain)
+		tab.RecordFailure(chain)
+		after := countInf(tab, chain)
+		return after-before <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func countInf(tab *Table, chain []kb.Arc) int {
+	n := 0
+	for _, a := range chain {
+		if k, _ := tab.State(a); k == Infinite {
+			n++
+		}
+	}
+	return n
+}
+
+func BenchmarkWeightLookup(b *testing.B) {
+	tab := NewTable(DefaultConfig())
+	arcs := make([]kb.Arc, 64)
+	for i := range arcs {
+		arcs[i] = arc(i, 0, i+1)
+		if i%2 == 0 {
+			tab.Set(arcs[i], float64(i))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Weight(arcs[i%64])
+	}
+}
+
+func BenchmarkRecordSuccess(b *testing.B) {
+	cfg := DefaultConfig()
+	chain := make([]kb.Arc, 8)
+	for i := range chain {
+		chain[i] = arc(i, 0, i+1)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab := NewTable(cfg)
+		tab.RecordSuccess(chain)
+	}
+}
