@@ -6,6 +6,7 @@ package blog
 // root runs them all; cmd/blogbench prints the full tables.
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -49,7 +50,7 @@ func BenchmarkF1Fig1Trace(b *testing.B) {
 	goals := mustGoals(b, "gf(sam,G)")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := search.Run(db, ws, goals, search.Options{
+		res, err := search.Run(context.Background(), db, ws, goals, search.Options{
 			Strategy: search.DFS, MaxSolutions: 1, RecordTrace: true,
 		})
 		if err != nil || len(res.Solutions) != 1 {
@@ -76,7 +77,7 @@ func BenchmarkF3SearchTree(b *testing.B) {
 	goals := mustGoals(b, "gf(sam,G)")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := search.Run(db, ws, goals, search.Options{Strategy: search.DFS, RecordTree: true})
+		res, err := search.Run(context.Background(), db, ws, goals, search.Options{Strategy: search.DFS, RecordTree: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -102,7 +103,7 @@ func BenchmarkF4BestFirstOrder(b *testing.B) {
 	goals := mustGoals(b, "a")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := search.Run(db, tab, goals, search.Options{Strategy: search.BestFirst}); err != nil {
+		if _, err := search.Run(context.Background(), db, tab, goals, search.Options{Strategy: search.BestFirst}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -153,7 +154,7 @@ func BenchmarkE1Strategies(b *testing.B) {
 	b.Run("dfs", func(b *testing.B) {
 		ws := weights.NewUniform(weights.DefaultConfig())
 		for i := 0; i < b.N; i++ {
-			res, err := search.Run(db, ws, goals, search.Options{
+			res, err := search.Run(context.Background(), db, ws, goals, search.Options{
 				Strategy: search.DFS, MaxSolutions: 1, MaxDepth: 64,
 			})
 			if err != nil || len(res.Solutions) != 1 {
@@ -164,12 +165,12 @@ func BenchmarkE1Strategies(b *testing.B) {
 	b.Run("best-learned", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			tab := weights.NewTable(weights.Config{N: 16, A: 64})
-			if _, err := search.Run(db, tab, goals, search.Options{
+			if _, err := search.Run(context.Background(), db, tab, goals, search.Options{
 				Strategy: search.BestFirst, Learn: true, MaxDepth: 64,
 			}); err != nil {
 				b.Fatal(err)
 			}
-			res, err := search.Run(db, tab, goals, search.Options{
+			res, err := search.Run(context.Background(), db, tab, goals, search.Options{
 				Strategy: search.BestFirst, Learn: true, MaxSolutions: 1, MaxDepth: 64,
 			})
 			if err != nil || len(res.Solutions) != 1 {
@@ -193,7 +194,7 @@ func BenchmarkE2SessionLearning(b *testing.B) {
 		global := weights.NewTable(weights.Config{N: 16, A: 64})
 		s := session.New(global, session.WithAlpha(0.7))
 		for _, goals := range parsed {
-			if _, err := search.Run(db, s, goals, search.Options{
+			if _, err := search.Run(context.Background(), db, s, goals, search.Options{
 				Strategy: search.BestFirst, Learn: true, MaxDepth: 48,
 			}); err != nil {
 				b.Fatal(err)
@@ -210,7 +211,7 @@ func BenchmarkE3Convergence(b *testing.B) {
 	goals := mustGoals(b, "gf(sam,G)")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		outcomes, err := search.EnumerateOutcomes(db, goals, 16)
+		outcomes, err := search.EnumerateOutcomes(context.Background(), db, goals, 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -233,7 +234,7 @@ func BenchmarkE4Speedup(b *testing.B) {
 		b.Run(map[int]string{1: "w1", 8: "w8"}[workers], func(b *testing.B) {
 			ws := weights.NewUniform(weights.DefaultConfig())
 			for i := 0; i < b.N; i++ {
-				res, err := par.Run(db, ws, goals, par.Options{
+				res, err := par.Run(context.Background(), db, ws, goals, par.Options{
 					Workers: workers, Mode: par.TwoLevel, D: 4, LocalCap: 256, MaxDepth: 512,
 				})
 				if err != nil || len(res.Solutions) != 4 {
@@ -328,14 +329,14 @@ func BenchmarkE8AndParallel(b *testing.B) {
 	opt := search.Options{Strategy: search.DFS}
 	b.Run("semijoin", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := andpar.SemiJoin(db, uni, goals[0], goals[1], nil, opt); err != nil {
+			if _, err := andpar.SemiJoin(context.Background(), db, uni, goals[0], goals[1], nil, opt); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("nested", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := andpar.NestedLoopJoin(db, uni, goals[0], goals[1], opt); err != nil {
+			if _, err := andpar.NestedLoopJoin(context.Background(), db, uni, goals[0], goals[1], opt); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -350,12 +351,12 @@ func BenchmarkE9Conditional(b *testing.B) {
 	run := func(b *testing.B, mk func() weights.Store) {
 		for i := 0; i < b.N; i++ {
 			ws := mk()
-			if _, err := search.Run(db, ws, goals, search.Options{
+			if _, err := search.Run(context.Background(), db, ws, goals, search.Options{
 				Strategy: search.BestFirst, Learn: true, MaxDepth: 32,
 			}); err != nil {
 				b.Fatal(err)
 			}
-			res, err := search.Run(db, ws, goals, search.Options{
+			res, err := search.Run(context.Background(), db, ws, goals, search.Options{
 				Strategy: search.BestFirst, Learn: true, MaxSolutions: 1, MaxDepth: 32,
 			})
 			if err != nil || len(res.Solutions) != 1 {
@@ -381,7 +382,7 @@ func BenchmarkAblationEnvRep(b *testing.B) {
 	goals := mustGoals(b, "anc(p0, X)")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := search.Run(db, ws, goals, search.Options{Strategy: search.BestFirst, MaxDepth: 32})
+		res, err := search.Run(context.Background(), db, ws, goals, search.Options{Strategy: search.BestFirst, MaxDepth: 32})
 		if err != nil || !res.Exhausted {
 			b.Fatal("search failed")
 		}

@@ -10,6 +10,11 @@
 // until the session ends, when they merge conservatively into the global
 // table.
 //
+// Every strategy dispatches through the unified solver runtime of
+// internal/solve, so queries uniformly support context cancellation and
+// deadlines (QueryContext, IterContext) and a Program is safe for
+// concurrent Query calls.
+//
 // Quickstart:
 //
 //	p, err := blog.LoadString(src)
@@ -25,61 +30,54 @@
 package blog
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"io"
-	"sort"
 	"strings"
+	"sync"
 
-	"blog/internal/andpar"
 	"blog/internal/engine"
 	"blog/internal/kb"
 	"blog/internal/machine"
-	"blog/internal/par"
 	"blog/internal/parse"
 	"blog/internal/prelude"
 	"blog/internal/search"
 	"blog/internal/session"
+	"blog/internal/solve"
 	"blog/internal/term"
 	"blog/internal/weights"
 )
 
-// Strategy selects the search discipline for Query.
-type Strategy int
+// Strategy selects the search discipline for Query. It aliases the
+// canonical enum of the solver runtime, so the facade adds no mapping of
+// its own.
+type Strategy = solve.Strategy
 
 const (
 	// DFS is Prolog's depth-first, source-order search.
-	DFS Strategy = iota
+	DFS = solve.DFS
 	// BFS is breadth-first search.
-	BFS
+	BFS = solve.BFS
 	// BestFirst is B-LOG's weighted best-first branch and bound.
-	BestFirst
+	BestFirst = solve.BestFirst
 	// Parallel is the OR-parallel best-first engine (live goroutines).
-	Parallel
+	Parallel = solve.Parallel
 )
 
-// String implements fmt.Stringer.
-func (s Strategy) String() string {
-	switch s {
-	case DFS:
-		return "dfs"
-	case BFS:
-		return "bfs"
-	case BestFirst:
-		return "best-first"
-	case Parallel:
-		return "parallel"
-	default:
-		return fmt.Sprintf("Strategy(%d)", int(s))
-	}
-}
+// ParseStrategy resolves the textual strategy names used by the CLI and
+// REPL: dfs, bfs, best (or best-first), parallel.
+func ParseStrategy(name string) (Strategy, error) { return solve.ParseStrategy(name) }
 
-// Program is a loaded logic program with its global weight database.
+// Program is a loaded logic program with its global weight database. It is
+// safe for concurrent use: queries may run in parallel with each other and
+// with weight-table maintenance (ResetWeights, LoadWeights).
 type Program struct {
 	db      *kb.DB
-	global  *weights.Table
-	cfg     weights.Config
 	queries [][]term.Term // directive queries from the source text
+
+	mu     sync.RWMutex // guards global and cfg
+	global *weights.Table
+	cfg    weights.Config
 }
 
 // Config tunes the weight coding; see weights.Config in DESIGN.md.
@@ -141,10 +139,22 @@ func (p *Program) Stats() (clauses, facts, rules, preds, arcs int) {
 }
 
 // ResetWeights discards all learned global weights.
-func (p *Program) ResetWeights() { p.global = weights.NewTable(p.cfg) }
+func (p *Program) ResetWeights() {
+	p.mu.Lock()
+	p.global = weights.NewTable(p.cfg)
+	p.mu.Unlock()
+}
 
 // LearnedArcs returns the number of arcs with learned global state.
-func (p *Program) LearnedArcs() int { return p.global.Len() }
+func (p *Program) LearnedArcs() int { return p.globalStore().Len() }
+
+// globalStore snapshots the current global table under the read lock, so
+// in-flight queries keep a consistent store across ResetWeights/LoadWeights.
+func (p *Program) globalStore() *weights.Table {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.global
+}
 
 // Option configures one Query call.
 type Option func(*queryOpts)
@@ -241,7 +251,8 @@ type Result struct {
 	Expanded  uint64
 	Generated uint64
 	Failures  uint64
-	// Exhausted reports that the whole tree was searched.
+	// Exhausted reports that the whole tree was searched. It is reported
+	// by the engine that ran the query, for every strategy.
 	Exhausted bool
 	// Tree is the rendered search tree when RecordTree was set.
 	Tree string
@@ -249,136 +260,101 @@ type Result struct {
 	Trace []string
 	// Migrations counts network chain acquisitions (Parallel two-level).
 	Migrations uint64
+	// Groups is the independent-group count of an AndParallel run.
+	Groups int
 }
 
 // Query parses and runs a query under the given strategy.
 func (p *Program) Query(query string, strat Strategy, opts ...Option) (*Result, error) {
+	return p.QueryContext(context.Background(), query, strat, opts...)
+}
+
+// QueryContext is Query with cancellation: a cancelled or deadlined ctx
+// aborts the search promptly — under every strategy — and returns the
+// context's error.
+func (p *Program) QueryContext(ctx context.Context, query string, strat Strategy, opts ...Option) (*Result, error) {
 	goals, err := parse.Query(query)
 	if err != nil {
 		return nil, err
 	}
-	return p.QueryGoals(goals, strat, opts...)
+	return p.QueryGoalsContext(ctx, goals, strat, opts...)
 }
 
 // QueryGoals runs pre-parsed goals (shared-variable structure preserved).
 func (p *Program) QueryGoals(goals []term.Term, strat Strategy, opts ...Option) (*Result, error) {
+	return p.QueryGoalsContext(context.Background(), goals, strat, opts...)
+}
+
+// QueryGoalsContext runs pre-parsed goals under ctx. All strategies go
+// through the same solver runtime: the facade only assembles the Request
+// and converts the unified Response.
+func (p *Program) QueryGoalsContext(ctx context.Context, goals []term.Term, strat Strategy, opts ...Option) (*Result, error) {
+	o, store, err := p.applyOpts(opts)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := solve.Do(ctx, p.request(goals, strat, o, store))
+	if err != nil {
+		return nil, err
+	}
+	return resultFrom(resp), nil
+}
+
+// applyOpts folds the options and resolves the weight store (session-local
+// when InSession is active, else the global table).
+func (p *Program) applyOpts(opts []Option) (queryOpts, weights.Store, error) {
 	var o queryOpts
 	for _, f := range opts {
 		f(&o)
 	}
-	var store weights.Store = p.global
 	if o.session != nil {
 		if o.session.program != p {
-			return nil, errors.New("blog: session belongs to a different program")
+			return o, nil, errors.New("blog: session belongs to a different program")
 		}
-		store = o.session.inner
+		return o, o.session.inner, nil
 	}
+	return o, p.globalStore(), nil
+}
 
-	if strat == Parallel {
-		mode := par.SharedHeap
-		if o.twoLevel {
-			mode = par.TwoLevel
-		}
-		pres, err := par.Run(p.db, store, goals, par.Options{
-			Workers:       o.workers,
-			Mode:          mode,
-			D:             o.d,
-			MaxSolutions:  o.maxSolutions,
-			MaxExpansions: o.maxExpansions,
-			Learn:         o.learn,
-			MaxDepth:      o.maxDepth,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res := &Result{
-			Expanded:   pres.Stats.Expanded,
-			Generated:  pres.Stats.Generated,
-			Failures:   pres.Stats.Failures,
-			Exhausted:  pres.Exhausted,
-			Migrations: pres.Stats.Migrations,
-		}
-		res.Solutions = convertSolutions(pres.Solutions, pres.QueryVars)
-		// Parallel completion order is nondeterministic; present
-		// solutions in a stable order.
-		sort.Slice(res.Solutions, func(i, j int) bool {
-			return res.Solutions[i].String() < res.Solutions[j].String()
-		})
-		return res, nil
-	}
-
-	var sstrat search.Strategy
-	switch strat {
-	case DFS:
-		sstrat = search.DFS
-	case BFS:
-		sstrat = search.BFS
-	case BestFirst:
-		sstrat = search.BestFirst
-	default:
-		return nil, fmt.Errorf("blog: unknown strategy %v", strat)
-	}
-
-	if o.andParallel {
-		ares, err := andpar.Solve(p.db, store, goals, andpar.Options{
-			Search: search.Options{
-				Strategy:      sstrat,
-				MaxExpansions: o.maxExpansions,
-				MaxDepth:      o.maxDepth,
-				Learn:         o.learn,
-				OccursCheck:   o.occursCheck,
-			},
-			Parallel:     true,
-			MaxSolutions: o.maxSolutions,
-		})
-		if err != nil {
-			return nil, err
-		}
-		var qvars []*term.Var
-		for _, g := range goals {
-			qvars = term.Vars(g, qvars)
-		}
-		names := make([]string, len(qvars))
-		for i, v := range qvars {
-			names[i] = v.String()
-		}
-		res := &Result{Expanded: ares.Expanded, Exhausted: o.maxSolutions == 0}
-		for _, m := range ares.Solutions {
-			b := make(map[string]string, len(m))
-			for k, v := range m {
-				b[k] = v.String()
-			}
-			res.Solutions = append(res.Solutions, Solution{Bindings: b, varOrder: names})
-		}
-		return res, nil
-	}
-
-	sres, err := search.Run(p.db, store, goals, search.Options{
-		Strategy:      sstrat,
+// request assembles the solver-runtime request for one query run.
+func (p *Program) request(goals []term.Term, strat Strategy, o queryOpts, store weights.Store) *solve.Request {
+	return &solve.Request{
+		DB:            p.db,
+		Store:         store,
+		Goals:         goals,
+		Strategy:      strat,
+		AndParallel:   o.andParallel,
 		MaxSolutions:  o.maxSolutions,
 		MaxExpansions: o.maxExpansions,
 		MaxDepth:      o.maxDepth,
 		Learn:         o.learn,
 		Prune:         o.prune,
 		OccursCheck:   o.occursCheck,
+		Workers:       o.workers,
+		TwoLevel:      o.twoLevel,
+		D:             o.d,
 		RecordTree:    o.recordTree,
 		RecordTrace:   o.recordTrace,
-	})
-	if err != nil {
-		return nil, err
 	}
+}
+
+// resultFrom converts the unified solver Response — the same way for every
+// strategy.
+func resultFrom(resp *solve.Response) *Result {
 	res := &Result{
-		Expanded:  sres.Stats.Expanded,
-		Generated: sres.Stats.Generated,
-		Failures:  sres.Stats.Failures,
-		Exhausted: sres.Exhausted,
-		Trace:     sres.Trace,
+		Expanded:   resp.Stats.Expanded,
+		Generated:  resp.Stats.Generated,
+		Failures:   resp.Stats.Failures,
+		Exhausted:  resp.Exhausted,
+		Trace:      resp.Trace,
+		Migrations: resp.Stats.Migrations,
+		Groups:     resp.Stats.Groups,
 	}
-	if sres.Tree != nil {
-		res.Tree = sres.Tree.Render()
+	if resp.Tree != nil {
+		res.Tree = resp.Tree.Render()
 	}
-	res.Solutions = convertSolutions(sres.Solutions, sres.QueryVars)
-	return res, nil
+	res.Solutions = convertSolutions(resp.Solutions, resp.QueryVars)
+	return res
 }
 
 func convertSolutions(sols []engine.Solution, qvars []*term.Var) []Solution {
@@ -409,40 +385,21 @@ type SolutionIter struct {
 // BestFirst); the Parallel strategy and tree/trace recording are not
 // supported in streaming mode.
 func (p *Program) Iter(query string, strat Strategy, opts ...Option) (*SolutionIter, error) {
+	return p.IterContext(context.Background(), query, strat, opts...)
+}
+
+// IterContext is Iter with cancellation: once ctx is done, Next returns
+// the context's error.
+func (p *Program) IterContext(ctx context.Context, query string, strat Strategy, opts ...Option) (*SolutionIter, error) {
 	goals, err := parse.Query(query)
 	if err != nil {
 		return nil, err
 	}
-	var o queryOpts
-	for _, f := range opts {
-		f(&o)
+	o, store, err := p.applyOpts(opts)
+	if err != nil {
+		return nil, err
 	}
-	var store weights.Store = p.global
-	if o.session != nil {
-		if o.session.program != p {
-			return nil, errors.New("blog: session belongs to a different program")
-		}
-		store = o.session.inner
-	}
-	var sstrat search.Strategy
-	switch strat {
-	case DFS:
-		sstrat = search.DFS
-	case BFS:
-		sstrat = search.BFS
-	case BestFirst:
-		sstrat = search.BestFirst
-	default:
-		return nil, fmt.Errorf("blog: strategy %v not supported by Iter", strat)
-	}
-	it, err := search.NewIter(p.db, store, goals, search.Options{
-		Strategy:      sstrat,
-		MaxSolutions:  o.maxSolutions,
-		MaxExpansions: o.maxExpansions,
-		MaxDepth:      o.maxDepth,
-		Learn:         o.learn,
-		OccursCheck:   o.occursCheck,
-	})
+	it, err := solve.NewIter(ctx, p.request(goals, strat, o, store))
 	if err != nil {
 		return nil, err
 	}
@@ -454,7 +411,7 @@ func (p *Program) Iter(query string, strat Strategy, opts ...Option) (*SolutionI
 }
 
 // Next returns the next solution; ok is false when the stream ends
-// (err reports aborts such as the expansion budget).
+// (err reports aborts such as the expansion budget or a done context).
 func (s *SolutionIter) Next() (Solution, bool, error) {
 	sol, ok, err := s.inner.Next()
 	if !ok {
@@ -486,7 +443,7 @@ func (p *Program) NewSession(alpha float64) *Session {
 	if alpha > 0 {
 		opts = append(opts, session.WithAlpha(alpha))
 	}
-	return &Session{program: p, inner: session.New(p.global, opts...)}
+	return &Session{program: p, inner: session.New(p.globalStore(), opts...)}
 }
 
 // End closes the session and merges into the global table, returning
@@ -516,7 +473,7 @@ func (p *Program) Simulate(query string, cfg MachineConfig) (*MachineReport, err
 	if err != nil {
 		return nil, err
 	}
-	m, err := machine.New(cfg, p.db, p.global)
+	m, err := machine.New(cfg, p.db, p.globalStore())
 	if err != nil {
 		return nil, err
 	}
@@ -527,7 +484,7 @@ func (p *Program) Simulate(query string, cfg MachineConfig) (*MachineReport, err
 // format, so a learned database survives across processes (the global
 // database "in secondary storage" of section 5).
 func (p *Program) SaveWeights(w io.Writer) error {
-	_, err := p.global.WriteTo(w)
+	_, err := p.globalStore().WriteTo(w)
 	return err
 }
 
@@ -538,8 +495,10 @@ func (p *Program) LoadWeights(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	p.mu.Lock()
 	p.global = t
 	p.cfg = t.Config()
+	p.mu.Unlock()
 	return nil
 }
 
@@ -552,5 +511,6 @@ func (p *Program) GraphDOT() string { return p.db.GraphDOT() }
 // LinkedListText renders the figure-4 weighted linked-list structure with
 // current global weights.
 func (p *Program) LinkedListText() string {
-	return p.db.LinkedListText(func(a kb.Arc) float64 { return p.global.Weight(a) })
+	g := p.globalStore()
+	return p.db.LinkedListText(func(a kb.Arc) float64 { return g.Weight(a) })
 }

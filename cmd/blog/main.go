@@ -13,9 +13,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"blog"
 )
@@ -60,17 +63,8 @@ func main() {
 		return
 	}
 
-	var strat blog.Strategy
-	switch *strategy {
-	case "dfs":
-		strat = blog.DFS
-	case "bfs":
-		strat = blog.BFS
-	case "best":
-		strat = blog.BestFirst
-	case "parallel":
-		strat = blog.Parallel
-	default:
+	strat, err := blog.ParseStrategy(*strategy)
+	if err != nil {
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 
@@ -82,6 +76,11 @@ func main() {
 		fmt.Println("no query given and no ?- directives in the file")
 		return
 	}
+
+	// Ctrl-C cancels the in-flight query cleanly instead of killing the
+	// process mid-search.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
 
 	for _, q := range queries {
 		for rep := 0; rep < *repeat; rep++ {
@@ -105,7 +104,11 @@ func main() {
 					opts = append(opts, blog.RecordTrace())
 				}
 			}
-			res, err := prog.Query(q, strat, opts...)
+			res, err := prog.QueryContext(ctx, q, strat, opts...)
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "blog: interrupted")
+				os.Exit(130)
+			}
 			if err != nil {
 				fatal(err)
 			}

@@ -2,9 +2,12 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -75,19 +78,12 @@ func (st *replState) command(line string, out io.Writer) bool {
 			fmt.Fprintln(out, "usage: :strategy dfs|bfs|best|parallel")
 			break
 		}
-		switch fields[1] {
-		case "dfs":
-			st.strategy = blog.DFS
-		case "bfs":
-			st.strategy = blog.BFS
-		case "best":
-			st.strategy = blog.BestFirst
-		case "parallel":
-			st.strategy = blog.Parallel
-		default:
+		strat, err := blog.ParseStrategy(fields[1])
+		if err != nil {
 			fmt.Fprintf(out, "unknown strategy %q\n", fields[1])
 			break
 		}
+		st.strategy = strat
 		fmt.Fprintf(out, "strategy: %v\n", st.strategy)
 	case ":learn":
 		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
@@ -207,7 +203,15 @@ func (st *replState) query(line string, out io.Writer) {
 	if st.strategy == blog.Parallel {
 		opts = append(opts, blog.Workers(st.workers))
 	}
-	res, err := st.prog.Query(line, st.strategy, opts...)
+	// Ctrl-C interrupts the running query (every strategy honors the
+	// context) instead of killing the REPL.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	res, err := st.prog.QueryContext(ctx, line, st.strategy, opts...)
+	stop()
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(out, "interrupted.")
+		return
+	}
 	if err != nil {
 		fmt.Fprintln(out, "error:", err)
 		return

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"blog/internal/experiments"
@@ -48,7 +50,21 @@ func main() {
 		}
 	}
 
+	// Ctrl-C stops the suite at the next experiment boundary. Once the
+	// first interrupt lands, restore default signal handling so a second
+	// Ctrl-C kills the process even mid-experiment.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
 	for i, r := range runners {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "blogbench: interrupted")
+			os.Exit(130)
+		}
 		if i > 0 {
 			fmt.Println()
 		}

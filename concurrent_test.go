@@ -1,0 +1,257 @@
+package blog
+
+// Tests for the unified solver runtime's concurrency contract: one Program
+// serving many simultaneous queries (run with -race), and context
+// cancellation that returns promptly without leaking goroutines.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentQueriesAllStrategies hammers one Program from every
+// strategy at once, with global learning and a learning session active.
+// The -race run of the suite is the assertion that the facade, the weight
+// table, the session overlay, and all three engines share state safely.
+func TestConcurrentQueriesAllStrategies(t *testing.T) {
+	p, err := LoadString(fig1 + "\ncolor(red). color(blue).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := p.NewSession(0.5)
+
+	type job struct {
+		name string
+		run  func() (*Result, error)
+	}
+	jobs := []job{
+		{"dfs", func() (*Result, error) {
+			return p.Query("gf(sam,G)", DFS, Learn())
+		}},
+		{"best", func() (*Result, error) {
+			return p.Query("gf(sam,G)", BestFirst, Learn(), InSession(sess))
+		}},
+		{"parallel", func() (*Result, error) {
+			return p.Query("gf(sam,G)", Parallel, Workers(4), Learn())
+		}},
+		{"andpar", func() (*Result, error) {
+			return p.Query("gf(sam,G), color(C)", BestFirst, AndParallel(), Learn(), InSession(sess))
+		}},
+		{"maintenance", func() (*Result, error) {
+			_ = p.LearnedArcs()
+			_ = p.LinkedListText()
+			return p.Query("gf(sam,G)", BFS)
+		}},
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(jobs)*8)
+	for round := 0; round < 8; round++ {
+		for _, j := range jobs {
+			wg.Add(1)
+			go func(j job) {
+				defer wg.Done()
+				res, err := j.run()
+				if err != nil {
+					errCh <- fmt.Errorf("%s: %w", j.name, err)
+					return
+				}
+				if len(res.Solutions) == 0 {
+					errCh <- fmt.Errorf("%s: no solutions", j.name)
+				}
+			}(j)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	sess.End()
+}
+
+// TestConcurrentQueriesWithWeightMaintenance interleaves queries with
+// ResetWeights, the other writer of the Program's global table.
+func TestConcurrentQueriesWithWeightMaintenance(t *testing.T) {
+	p, err := LoadString(fig1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 10; k++ {
+				if _, err := p.Query("gf(sam,G)", BestFirst, Learn()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 10; k++ {
+			p.ResetWeights()
+		}
+	}()
+	wg.Wait()
+}
+
+// TestCancelledParallelQueryLeaksNoGoroutines cancels an unbounded
+// Parallel query mid-flight and verifies (a) the prompt context.Canceled
+// return and (b) that every worker and watcher goroutine has exited.
+func TestCancelledParallelQueryLeaksNoGoroutines(t *testing.T) {
+	p, err := LoadString("loop :- loop.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := p.QueryContext(ctx, "loop", Parallel,
+				Workers(8), MaxDepth(1<<20), MaxExpansions(1<<62))
+			done <- err
+		}()
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("run %d: err = %v, want context.Canceled", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("run %d: query did not return within 5s of cancellation", i)
+		}
+	}
+
+	// Give exiting goroutines a moment to unwind, then compare.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCancelledQueryEveryStrategy: prompt context.Canceled from each
+// discipline on an unbounded search.
+func TestCancelledQueryEveryStrategy(t *testing.T) {
+	p, err := LoadString("loop :- loop.\nloop2 :- loop2.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		query string
+		strat Strategy
+		opts  []Option
+	}{
+		{"dfs", "loop", DFS, nil},
+		{"bfs", "loop", BFS, nil},
+		{"best", "loop", BestFirst, nil},
+		{"parallel", "loop", Parallel, []Option{Workers(4)}},
+		{"andpar", "loop, loop2", DFS, []Option{AndParallel()}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			opts := append([]Option{MaxDepth(1 << 20), MaxExpansions(1 << 62)}, c.opts...)
+			done := make(chan error, 1)
+			go func() {
+				_, err := p.QueryContext(ctx, c.query, c.strat, opts...)
+				done <- err
+			}()
+			time.Sleep(10 * time.Millisecond)
+			cancel()
+			select {
+			case err := <-done:
+				if !errors.Is(err, context.Canceled) {
+					t.Errorf("err = %v, want context.Canceled", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("no return within 5s of cancellation")
+			}
+		})
+	}
+}
+
+// TestAndParallelReportsRealExhaustion locks in the fix for the old
+// facade's guess (`Exhausted: maxSolutions == 0`): exhaustion now comes
+// from the engine, and solutions carry bound and depth like every other
+// strategy.
+func TestAndParallelReportsRealExhaustion(t *testing.T) {
+	p, err := LoadString("p(1). p(2). p(3).\nq(a). q(b).")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := p.Query("p(X), q(Y)", DFS, AndParallel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Solutions) != 6 {
+		t.Fatalf("solutions = %d, want 6", len(full.Solutions))
+	}
+	if !full.Exhausted {
+		t.Error("complete cross product must report Exhausted")
+	}
+	if full.Groups != 2 {
+		t.Errorf("groups = %d, want 2", full.Groups)
+	}
+	for _, s := range full.Solutions {
+		if s.Depth != 2 {
+			t.Errorf("solution %v: depth = %d, want 2 (one arc per group)", s, s.Depth)
+		}
+		if s.Bound <= 0 {
+			t.Errorf("solution %v: bound = %v, want > 0", s, s.Bound)
+		}
+	}
+
+	capped, err := p.Query("p(X), q(Y)", DFS, AndParallel(), MaxSolutions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped.Solutions) != 4 {
+		t.Fatalf("capped solutions = %d, want 4", len(capped.Solutions))
+	}
+	if capped.Exhausted {
+		t.Error("a MaxSolutions-truncated run must not claim exhaustion")
+	}
+
+	// A cap at (or above) the full product is not a truncation.
+	exact, err := p.Query("p(X), q(Y)", DFS, AndParallel(), MaxSolutions(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Exhausted {
+		t.Error("cap equal to the full product still exhausts the tree")
+	}
+
+	// A proven failure is complete too.
+	fail, err := p.Query("p(X), missing(Y)", DFS, AndParallel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fail.Solutions) != 0 || !fail.Exhausted {
+		t.Errorf("failed conjunction: %d solutions exhausted=%v, want 0/true",
+			len(fail.Solutions), fail.Exhausted)
+	}
+}

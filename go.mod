@@ -1,0 +1,3 @@
+module blog
+
+go 1.24

@@ -18,10 +18,12 @@
 package andpar
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 
+	"blog/internal/engine"
 	"blog/internal/kb"
 	"blog/internal/search"
 	"blog/internal/sim"
@@ -83,14 +85,25 @@ func Groups(env *term.Env, goals []term.Term) [][]int {
 
 // Result is the outcome of an AND-parallel conjunction evaluation.
 type Result struct {
-	// Solutions maps query variable names to values, one map per solution.
-	Solutions []map[string]term.Term
+	// Solutions are the combined conjunction answers. Bindings merge the
+	// groups' (variable-disjoint) maps; Bound and Depth sum across the
+	// combined groups' chains and Chain concatenates them in group order,
+	// so a combined solution reports the same cost accounting a sequential
+	// search of the whole conjunction would.
+	Solutions []engine.Solution
+	// QueryVars are the conjunction's variables in first-occurrence order.
+	QueryVars []*term.Var
 	// GroupCount is the number of independent groups found.
 	GroupCount int
 	// GroupSolutions records each group's own solution count.
 	GroupSolutions []int
-	// Stats aggregates search work across groups.
-	Expanded uint64
+	// Stats aggregates search work across groups (counters sum; the
+	// frontier and depth peaks take the maximum over groups).
+	Stats search.Stats
+	// Exhausted reports that every group searched its whole tree and the
+	// cross product was not truncated by MaxSolutions: the solution list
+	// is complete.
+	Exhausted bool
 }
 
 // Options configures parallel conjunction evaluation.
@@ -106,39 +119,30 @@ type Options struct {
 
 // Solve evaluates a conjunction by independent-group decomposition. Groups
 // run concurrently when opt.Parallel is set, then combine by cross
-// product. Any group with zero solutions makes the conjunction fail.
-func Solve(db *kb.DB, ws weights.Store, goals []term.Term, opt Options) (*Result, error) {
+// product. Any group with zero solutions makes the conjunction fail. A
+// cancelled ctx aborts every group's search and returns the context error.
+func Solve(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(goals) == 0 {
 		return nil, errors.New("andpar: empty conjunction")
 	}
 	groups := Groups(nil, goals)
 	res := &Result{GroupCount: len(groups)}
-
-	type groupOut struct {
-		sols []map[string]term.Term
-		exp  uint64
-		err  error
+	for _, g := range goals {
+		res.QueryVars = term.Vars(g, res.QueryVars)
 	}
-	outs := make([]groupOut, len(groups))
+
+	outs := make([]*search.Result, len(groups))
+	errs := make([]error, len(groups))
 	runGroup := func(gi int) {
 		idx := groups[gi]
 		sub := make([]term.Term, len(idx))
 		for j, i := range idx {
 			sub[j] = goals[i]
 		}
-		r, err := search.Run(db, ws, sub, opt.Search)
-		if err != nil {
-			outs[gi].err = err
-			return
-		}
-		outs[gi].exp = r.Stats.Expanded
-		for _, s := range r.Solutions {
-			m := make(map[string]term.Term, len(s.Bindings))
-			for k, v := range s.Bindings {
-				m[k] = v
-			}
-			outs[gi].sols = append(outs[gi].sols, m)
-		}
+		outs[gi], errs[gi] = search.Run(ctx, db, ws, sub, opt.Search)
 	}
 	if opt.Parallel {
 		var wg sync.WaitGroup
@@ -155,32 +159,55 @@ func Solve(db *kb.DB, ws weights.Store, goals []term.Term, opt Options) (*Result
 			runGroup(gi)
 		}
 	}
-	for gi := range groups {
-		if outs[gi].err != nil {
-			return nil, outs[gi].err
+	exhausted := true
+	for gi, r := range outs {
+		if errs[gi] != nil {
+			return nil, errs[gi]
 		}
-		res.GroupSolutions = append(res.GroupSolutions, len(outs[gi].sols))
-		res.Expanded += outs[gi].exp
+		res.GroupSolutions = append(res.GroupSolutions, len(r.Solutions))
+		res.Stats.Expanded += r.Stats.Expanded
+		res.Stats.Generated += r.Stats.Generated
+		res.Stats.Failures += r.Stats.Failures
+		res.Stats.DepthCutoffs += r.Stats.DepthCutoffs
+		res.Stats.Pruned += r.Stats.Pruned
+		if r.Stats.MaxFrontier > res.Stats.MaxFrontier {
+			res.Stats.MaxFrontier = r.Stats.MaxFrontier
+		}
+		if r.Stats.MaxDepth > res.Stats.MaxDepth {
+			res.Stats.MaxDepth = r.Stats.MaxDepth
+		}
+		if !r.Exhausted {
+			exhausted = false
+		}
 	}
 
-	// Cross product. Groups are variable-disjoint, so maps merge cleanly.
-	combined := []map[string]term.Term{{}}
-	for gi := range groups {
-		if len(outs[gi].sols) == 0 {
-			return res, nil // conjunction fails
+	// Cross product. Groups are variable-disjoint, so bindings merge
+	// cleanly; bounds/depths add and chains concatenate.
+	combined := []engine.Solution{{Bindings: map[string]term.Term{}}}
+	for gi, r := range outs {
+		if len(r.Solutions) == 0 {
+			res.Exhausted = exhausted // a proven failure is still complete
+			return res, nil           // conjunction fails
 		}
-		next := make([]map[string]term.Term, 0, len(combined)*len(outs[gi].sols))
+		next := make([]engine.Solution, 0, len(combined)*len(r.Solutions))
 	cross:
 		for _, base := range combined {
-			for _, add := range outs[gi].sols {
-				m := make(map[string]term.Term, len(base)+len(add))
-				for k, v := range base {
+			for _, add := range r.Solutions {
+				m := make(map[string]term.Term, len(base.Bindings)+len(add.Bindings))
+				for k, v := range base.Bindings {
 					m[k] = v
 				}
-				for k, v := range add {
+				for k, v := range add.Bindings {
 					m[k] = v
 				}
-				next = append(next, m)
+				chain := make([]kb.Arc, 0, len(base.Chain)+len(add.Chain))
+				chain = append(append(chain, base.Chain...), add.Chain...)
+				next = append(next, engine.Solution{
+					Bindings: m,
+					Bound:    base.Bound + add.Bound,
+					Depth:    base.Depth + add.Depth,
+					Chain:    chain,
+				})
 				if opt.MaxSolutions > 0 && len(next) >= opt.MaxSolutions && gi == len(groups)-1 {
 					break cross
 				}
@@ -189,9 +216,21 @@ func Solve(db *kb.DB, ws weights.Store, goals []term.Term, opt Options) (*Result
 		combined = next
 	}
 	res.Solutions = combined
-	if opt.MaxSolutions > 0 && len(res.Solutions) > opt.MaxSolutions {
-		res.Solutions = res.Solutions[:opt.MaxSolutions]
+	truncated := false
+	if opt.MaxSolutions > 0 {
+		full := 1
+		for _, n := range res.GroupSolutions {
+			if full > opt.MaxSolutions {
+				break // saturated: already past the cap
+			}
+			full *= n
+		}
+		truncated = full > opt.MaxSolutions
+		if len(res.Solutions) > opt.MaxSolutions {
+			res.Solutions = res.Solutions[:opt.MaxSolutions]
+		}
 	}
+	res.Exhausted = exhausted && !truncated
 	return res, nil
 }
 
@@ -216,7 +255,7 @@ type SemiJoinReport struct {
 // facts. It runs the producer with the given search options, projects the
 // shared-variable bindings, marks matching consumer facts on the SPD
 // (charging simulated disk time), and joins only against marked facts.
-func SemiJoin(db *kb.DB, ws weights.Store, producer, consumer term.Term, disk *spd.SPD, opt search.Options) (*SemiJoinReport, error) {
+func SemiJoin(ctx context.Context, db *kb.DB, ws weights.Store, producer, consumer term.Term, disk *spd.SPD, opt search.Options) (*SemiJoinReport, error) {
 	shared := sharedVars(producer, consumer)
 	if len(shared) == 0 {
 		return nil, errors.New("andpar: semi-join requires shared variables; use Solve for independent goals")
@@ -235,7 +274,7 @@ func SemiJoin(db *kb.DB, ws weights.Store, producer, consumer term.Term, disk *s
 	rep := &SemiJoinReport{ConsumerClauses: len(consClauses)}
 
 	// Phase 1: evaluate the producer.
-	prodRes, err := search.Run(db, ws, []term.Term{producer}, opt)
+	prodRes, err := search.Run(ctx, db, ws, []term.Term{producer}, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -360,14 +399,14 @@ func sharedVars(a, b term.Term) []*term.Var {
 // NestedLoopJoin is the naive baseline: join every producer solution
 // against every consumer fact with no restriction. It returns the same
 // solutions as SemiJoin plus the attempt count for comparison.
-func NestedLoopJoin(db *kb.DB, ws weights.Store, producer, consumer term.Term, opt search.Options) (*SemiJoinReport, error) {
+func NestedLoopJoin(ctx context.Context, db *kb.DB, ws weights.Store, producer, consumer term.Term, opt search.Options) (*SemiJoinReport, error) {
 	consPred, ok := term.Indicator(consumer)
 	if !ok {
 		return nil, fmt.Errorf("andpar: consumer %s is not callable", consumer)
 	}
 	consClauses := db.ClausesFor(consPred)
 	rep := &SemiJoinReport{ConsumerClauses: len(consClauses), MarkedClauses: len(consClauses)}
-	prodRes, err := search.Run(db, ws, []term.Term{producer}, opt)
+	prodRes, err := search.Run(ctx, db, ws, []term.Term{producer}, opt)
 	if err != nil {
 		return nil, err
 	}

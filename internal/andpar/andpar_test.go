@@ -1,6 +1,7 @@
 package andpar
 
 import (
+	"context"
 	"testing"
 
 	"blog/internal/kb"
@@ -90,7 +91,7 @@ r(z).
 func TestSolveIndependentCrossProduct(t *testing.T) {
 	db := load(t, indepSrc)
 	for _, parallel := range []bool{false, true} {
-		res, err := Solve(db, uniform(), q(t, "p(X), q(Y)"), Options{
+		res, err := Solve(context.Background(), db, uniform(), q(t, "p(X), q(Y)"), Options{
 			Search:   search.Options{Strategy: search.DFS},
 			Parallel: parallel,
 		})
@@ -106,7 +107,7 @@ func TestSolveIndependentCrossProduct(t *testing.T) {
 		// Every solution binds both X and Y.
 		seen := map[string]bool{}
 		for _, s := range res.Solutions {
-			seen[s["X"].String()+"/"+s["Y"].String()] = true
+			seen[s.Bindings["X"].String()+"/"+s.Bindings["Y"].String()] = true
 		}
 		if len(seen) != 6 {
 			t.Errorf("distinct combinations = %d", len(seen))
@@ -116,11 +117,11 @@ func TestSolveIndependentCrossProduct(t *testing.T) {
 
 func TestSolveMatchesSequentialSearch(t *testing.T) {
 	db := load(t, indepSrc)
-	seqRes, err := search.Run(db, uniform(), q(t, "p(X), q(Y), r(Z)"), search.Options{Strategy: search.DFS})
+	seqRes, err := search.Run(context.Background(), db, uniform(), q(t, "p(X), q(Y), r(Z)"), search.Options{Strategy: search.DFS})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parRes, err := Solve(db, uniform(), q(t, "p(X), q(Y), r(Z)"), Options{
+	parRes, err := Solve(context.Background(), db, uniform(), q(t, "p(X), q(Y), r(Z)"), Options{
 		Search:   search.Options{Strategy: search.DFS},
 		Parallel: true,
 	})
@@ -134,7 +135,7 @@ func TestSolveMatchesSequentialSearch(t *testing.T) {
 
 func TestSolveFailingGroupFailsAll(t *testing.T) {
 	db := load(t, indepSrc)
-	res, err := Solve(db, uniform(), q(t, "p(X), missing(Y)"), Options{
+	res, err := Solve(context.Background(), db, uniform(), q(t, "p(X), missing(Y)"), Options{
 		Search: search.Options{Strategy: search.DFS},
 	})
 	if err != nil {
@@ -150,7 +151,7 @@ func TestSolveFailingGroupFailsAll(t *testing.T) {
 
 func TestSolveMaxSolutions(t *testing.T) {
 	db := load(t, indepSrc)
-	res, err := Solve(db, uniform(), q(t, "p(X), q(Y)"), Options{
+	res, err := Solve(context.Background(), db, uniform(), q(t, "p(X), q(Y)"), Options{
 		Search:       search.Options{Strategy: search.DFS},
 		MaxSolutions: 4,
 	})
@@ -164,7 +165,7 @@ func TestSolveMaxSolutions(t *testing.T) {
 
 func TestSolveEmptyErrors(t *testing.T) {
 	db := load(t, indepSrc)
-	if _, err := Solve(db, uniform(), nil, Options{}); err == nil {
+	if _, err := Solve(context.Background(), db, uniform(), nil, Options{}); err == nil {
 		t.Error("empty conjunction must error")
 	}
 }
@@ -173,11 +174,11 @@ func TestSemiJoinMatchesNestedLoop(t *testing.T) {
 	db := load(t, workload.Join(20, 30, 0.5, 5))
 	goals := q(t, "r(X,K), s(K,V)")
 	opt := search.Options{Strategy: search.DFS}
-	sj, err := SemiJoin(db, uniform(), goals[0], goals[1], nil, opt)
+	sj, err := SemiJoin(context.Background(), db, uniform(), goals[0], goals[1], nil, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nl, err := NestedLoopJoin(db, uniform(), goals[0], goals[1], opt)
+	nl, err := NestedLoopJoin(context.Background(), db, uniform(), goals[0], goals[1], opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,11 +199,11 @@ func TestSemiJoinAgainstSearchBaseline(t *testing.T) {
 	db := load(t, workload.Join(10, 15, 0.7, 9))
 	goals := q(t, "r(X,K), s(K,V)")
 	opt := search.Options{Strategy: search.DFS}
-	sj, err := SemiJoin(db, uniform(), goals[0], goals[1], nil, opt)
+	sj, err := SemiJoin(context.Background(), db, uniform(), goals[0], goals[1], nil, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := search.Run(db, uniform(), q(t, "r(X,K), s(K,V)"), opt)
+	seq, err := search.Run(context.Background(), db, uniform(), q(t, "r(X,K), s(K,V)"), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestSemiJoinWithSPDCharging(t *testing.T) {
 		t.Fatal(err)
 	}
 	goals := q(t, "r(X,K), s(K,V)")
-	sj, err := SemiJoin(db, ws, goals[0], goals[1], disk, search.Options{Strategy: search.DFS})
+	sj, err := SemiJoin(context.Background(), db, ws, goals[0], goals[1], disk, search.Options{Strategy: search.DFS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestSemiJoinWithSPDCharging(t *testing.T) {
 func TestSemiJoinRequiresSharedVars(t *testing.T) {
 	db := load(t, indepSrc)
 	goals := q(t, "p(X), q(Y)")
-	if _, err := SemiJoin(db, uniform(), goals[0], goals[1], nil, search.Options{}); err == nil {
+	if _, err := SemiJoin(context.Background(), db, uniform(), goals[0], goals[1], nil, search.Options{}); err == nil {
 		t.Error("independent goals must be rejected")
 	}
 }
@@ -243,7 +244,7 @@ func TestSemiJoinRequiresSharedVars(t *testing.T) {
 func TestSemiJoinRejectsRuleConsumer(t *testing.T) {
 	db := load(t, "r(1,a).\nderived(K,V) :- base(K,V).\nbase(a,x).")
 	goals := q(t, "r(X,K), derived(K,V)")
-	if _, err := SemiJoin(db, uniform(), goals[0], goals[1], nil, search.Options{Strategy: search.DFS}); err == nil {
+	if _, err := SemiJoin(context.Background(), db, uniform(), goals[0], goals[1], nil, search.Options{Strategy: search.DFS}); err == nil {
 		t.Error("rule consumers are out of scope and must be rejected")
 	}
 }
@@ -251,7 +252,7 @@ func TestSemiJoinRejectsRuleConsumer(t *testing.T) {
 func TestSemiJoinEmptyProducer(t *testing.T) {
 	db := load(t, "s(a,1).")
 	goals := q(t, "r(X,K), s(K,V)")
-	sj, err := SemiJoin(db, uniform(), goals[0], goals[1], nil, search.Options{Strategy: search.DFS})
+	sj, err := SemiJoin(context.Background(), db, uniform(), goals[0], goals[1], nil, search.Options{Strategy: search.DFS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestSolveParallelIsRaceFree(t *testing.T) {
 	// run with -race: groups share the weight store.
 	db := load(t, workload.FamilyTree(3, 2)+"\ncolor(red). color(blue).\n")
 	tab := weights.NewTable(weights.Config{N: 16, A: 64})
-	res, err := Solve(db, tab, q(t, "gf(p0,G), color(C)"), Options{
+	res, err := Solve(context.Background(), db, tab, q(t, "gf(p0,G), color(C)"), Options{
 		Search:   search.Options{Strategy: search.BestFirst, Learn: true},
 		Parallel: true,
 	})
@@ -288,14 +289,14 @@ func BenchmarkSemiJoinVsNested(b *testing.B) {
 	opt := search.Options{Strategy: search.DFS}
 	b.Run("semijoin", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := SemiJoin(db, uniform(), goals[0], goals[1], nil, opt); err != nil {
+			if _, err := SemiJoin(context.Background(), db, uniform(), goals[0], goals[1], nil, opt); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("nested", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := NestedLoopJoin(db, uniform(), goals[0], goals[1], opt); err != nil {
+			if _, err := NestedLoopJoin(context.Background(), db, uniform(), goals[0], goals[1], opt); err != nil {
 				b.Fatal(err)
 			}
 		}

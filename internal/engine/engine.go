@@ -11,6 +11,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -152,6 +153,11 @@ type Expander struct {
 	MaxDepth int
 	// RecordTree links children to parents and fills Label for rendering.
 	RecordTree bool
+	// Ctx cancels work inside a single Expand call (today: the nested
+	// negation-as-failure search, which may run up to negationBudget
+	// expansions). The per-node loops of the search drivers check the
+	// context themselves between Expand calls; nil means no cancellation.
+	Ctx context.Context
 
 	seq uint64
 }
@@ -276,6 +282,7 @@ func (e *Expander) expandNegation(n *Node, goal term.Term) ([]*Node, error) {
 		Weights:     e.Weights,
 		OccursCheck: e.OccursCheck,
 		MaxDepth:    e.MaxDepth,
+		Ctx:         e.Ctx,
 	}
 	stack := []*Node{{
 		Goals: PushGoals(nil, []GoalEntry{{Goal: inner, Caller: kb.Query, Pos: 0}}),
@@ -290,6 +297,11 @@ func (e *Expander) expandNegation(n *Node, goal term.Term) ([]*Node, error) {
 		}
 		if steps++; steps > negationBudget {
 			return nil, ErrNegationBudget
+		}
+		if e.Ctx != nil && steps%256 == 0 {
+			if err := e.Ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
 		children, err := sub.Expand(cur)
 		if err != nil && err != ErrDepthLimit {

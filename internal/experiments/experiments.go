@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -49,7 +50,7 @@ func E1(w io.Writer) error {
 		uni := weights.NewUniform(weights.DefaultConfig())
 		row := []any{shape.width, shape.depth}
 		for _, strat := range []search.Strategy{search.DFS, search.BFS, search.BestFirst} {
-			res, err := search.Run(db, uni, mustQuery("top(W)"), search.Options{
+			res, err := search.Run(context.Background(), db, uni, mustQuery("top(W)"), search.Options{
 				Strategy: strat, MaxSolutions: 1, MaxDepth: 64,
 			})
 			if err != nil {
@@ -59,12 +60,12 @@ func E1(w io.Writer) error {
 		}
 		// Learned: one full pass with learning, then re-query.
 		tab := weights.NewTable(weights.Config{N: 16, A: 64})
-		if _, err := search.Run(db, tab, mustQuery("top(W)"), search.Options{
+		if _, err := search.Run(context.Background(), db, tab, mustQuery("top(W)"), search.Options{
 			Strategy: search.BestFirst, Learn: true, MaxDepth: 64,
 		}); err != nil {
 			return err
 		}
-		res, err := search.Run(db, tab, mustQuery("top(W)"), search.Options{
+		res, err := search.Run(context.Background(), db, tab, mustQuery("top(W)"), search.Options{
 			Strategy: search.BestFirst, Learn: true, MaxSolutions: 1, MaxDepth: 64,
 		})
 		if err != nil {
@@ -103,7 +104,7 @@ func E2(w io.Writer) error {
 		s := session.New(global, session.WithAlpha(0.7))
 		var c curve
 		for i := 0; i < queriesPerSession; i++ {
-			res, err := search.Run(db, s, mustQuery("top(W)"), search.Options{
+			res, err := search.Run(context.Background(), db, s, mustQuery("top(W)"), search.Options{
 				Strategy: search.BestFirst, Learn: true, MaxSolutions: 1, MaxDepth: 48,
 			})
 			if err != nil {
@@ -152,7 +153,7 @@ func E3(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		outcomes, err := search.EnumerateOutcomes(db, mustQuery(c.query), 48)
+		outcomes, err := search.EnumerateOutcomes(context.Background(), db, mustQuery(c.query), 48)
 		if err != nil {
 			return err
 		}
@@ -166,7 +167,7 @@ func E3(w io.Writer) error {
 		dist := func(passes int) (float64, float64) {
 			tab := weights.NewTable(weights.Config{N: 16, A: 64})
 			for i := 0; i < passes; i++ {
-				if _, err := search.Run(db, tab, mustQuery(c.query), search.Options{
+				if _, err := search.Run(context.Background(), db, tab, mustQuery(c.query), search.Options{
 					Strategy: search.BestFirst, Learn: true, MaxDepth: 48,
 				}); err != nil {
 					panic(err)
@@ -198,7 +199,7 @@ func E4(w io.Writer) error {
 	var base float64
 	for _, workers := range []int{1, 2, 4, 8} {
 		start := time.Now()
-		res, err := par.Run(db, uni, mustQuery("queens(7, Qs)"), par.Options{
+		res, err := par.Run(context.Background(), db, uni, mustQuery("queens(7, Qs)"), par.Options{
 			Workers: workers, Mode: par.TwoLevel, D: 4, LocalCap: 256, MaxDepth: 1024,
 		})
 		if err != nil {
@@ -392,13 +393,13 @@ func E8(w io.Writer) error {
 	// coloring subtree once per size, the decomposition derives it once.
 	conj := "size(S), coloring(A,B,C,D,E,F,G,H,I)"
 	seqStart := time.Now()
-	seqRes, err := search.Run(db, uni, mustQuery(conj), search.Options{Strategy: search.DFS, MaxDepth: 64})
+	seqRes, err := search.Run(context.Background(), db, uni, mustQuery(conj), search.Options{Strategy: search.DFS, MaxDepth: 64})
 	if err != nil {
 		return err
 	}
 	seqMs := float64(time.Since(seqStart).Microseconds()) / 1000
 	parStart := time.Now()
-	parRes, err := andpar.Solve(db, uni, mustQuery(conj), andpar.Options{
+	parRes, err := andpar.Solve(context.Background(), db, uni, mustQuery(conj), andpar.Options{
 		Search:   search.Options{Strategy: search.DFS, MaxDepth: 64},
 		Parallel: true,
 	})
@@ -410,7 +411,7 @@ func E8(w io.Writer) error {
 		"E8a independent AND-parallelism: coloring(9 regions) x size(S)",
 		"method", "solutions", "groups", "expansions", "wall ms")
 	t.AddRow("sequential (Prolog scheme)", len(seqRes.Solutions), 1, seqRes.Stats.Expanded, seqMs)
-	t.AddRow("independent AND-parallel", len(parRes.Solutions), parRes.GroupCount, parRes.Expanded, parMs)
+	t.AddRow("independent AND-parallel", len(parRes.Solutions), parRes.GroupCount, parRes.Stats.Expanded, parMs)
 	fmt.Fprint(w, t.String())
 
 	// Part 2: shared-variable join via semi-join.
@@ -423,7 +424,7 @@ func E8(w io.Writer) error {
 			return err
 		}
 		jgoals := mustQuery("r(X,K), s(K,V)")
-		nl, err := andpar.NestedLoopJoin(jdb, uni, jgoals[0], jgoals[1], search.Options{Strategy: search.DFS})
+		nl, err := andpar.NestedLoopJoin(context.Background(), jdb, uni, jgoals[0], jgoals[1], search.Options{Strategy: search.DFS})
 		if err != nil {
 			return err
 		}
@@ -433,7 +434,7 @@ func E8(w io.Writer) error {
 			return err
 		}
 		jgoals2 := mustQuery("r(X,K), s(K,V)")
-		sj, err := andpar.SemiJoin(jdb, uni, jgoals2[0], jgoals2[1], disk, search.Options{Strategy: search.DFS})
+		sj, err := andpar.SemiJoin(context.Background(), jdb, uni, jgoals2[0], jgoals2[1], disk, search.Options{Strategy: search.DFS})
 		if err != nil {
 			return err
 		}
@@ -466,7 +467,7 @@ func E9(w io.Writer) error {
 			return err
 		}
 		run := func(ws weights.Store, maxSol int) (uint64, error) {
-			res, err := search.Run(db, ws, mustQuery("plan(M,P)"), search.Options{
+			res, err := search.Run(context.Background(), db, ws, mustQuery("plan(M,P)"), search.Options{
 				Strategy: search.BestFirst, Learn: true, MaxSolutions: maxSol, MaxDepth: 32,
 			})
 			if err != nil {

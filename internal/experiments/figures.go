@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -59,7 +60,7 @@ func F1(w io.Writer) error {
 	}
 	fmt.Fprintln(w, "F1  Figure 1: Prolog program and resolution trace for ?- gf(sam,G)")
 	fmt.Fprint(w, Fig1Program)
-	res, err := search.Run(db, weights.NewUniform(weights.DefaultConfig()), goals, search.Options{
+	res, err := search.Run(context.Background(), db, weights.NewUniform(weights.DefaultConfig()), goals, search.Options{
 		Strategy: search.DFS, MaxSolutions: 1, RecordTrace: true,
 	})
 	if err != nil {
@@ -98,7 +99,7 @@ func F3(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := search.Run(db, weights.NewUniform(weights.DefaultConfig()), goals, search.Options{
+	res, err := search.Run(context.Background(), db, weights.NewUniform(weights.DefaultConfig()), goals, search.Options{
 		Strategy: search.DFS, RecordTree: true,
 	})
 	if err != nil {
@@ -153,7 +154,7 @@ func F4(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		res, err := search.Run(db, tab, goals, search.Options{Strategy: search.BestFirst, RecordTrace: true})
+		res, err := search.Run(context.Background(), db, tab, goals, search.Options{Strategy: search.BestFirst, RecordTrace: true})
 		if err != nil {
 			return err
 		}

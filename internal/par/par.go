@@ -27,6 +27,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync"
@@ -109,8 +110,17 @@ type Result struct {
 	Exhausted bool
 }
 
-// Run searches goals over db with opt.Workers parallel workers.
-func Run(db *kb.DB, ws weights.Store, goals []term.Term, opt Options) (*Result, error) {
+// Run searches goals over db with opt.Workers parallel workers. When ctx
+// is cancelled, every worker stops promptly — including workers blocked on
+// the network condvar, which a watcher goroutine wakes — and Run returns
+// the context's error alongside the partial result.
+func Run(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(goals) == 0 {
 		return nil, errors.New("par: empty query")
 	}
@@ -137,6 +147,7 @@ func Run(db *kb.DB, ws weights.Store, goals []term.Term, opt Options) (*Result, 
 	exps := make([]*engine.Expander, opt.Workers)
 	for i := range exps {
 		e := engine.NewExpander(db, ws)
+		e.Ctx = ctx
 		if opt.MaxDepth > 0 {
 			e.MaxDepth = opt.MaxDepth
 		}
@@ -161,7 +172,27 @@ func Run(db *kb.DB, ws weights.Store, goals []term.Term, opt Options) (*Result, 
 			st.worker(w)
 		}(workers[w])
 	}
+	// The cancellation watcher: a worker blocked in cond.Wait cannot select
+	// on ctx.Done(), so this goroutine converts cancellation into the
+	// engine's own stop-and-broadcast protocol. Run joins it before reading
+	// shared state so it never writes st.err after the return.
+	watcherQuit := make(chan struct{})
+	watcherExited := make(chan struct{})
+	if ctx.Done() != nil {
+		go func() {
+			defer close(watcherExited)
+			select {
+			case <-ctx.Done():
+				st.fail(ctx.Err())
+			case <-watcherQuit:
+			}
+		}()
+	} else {
+		close(watcherExited)
+	}
 	wg.Wait()
+	close(watcherQuit)
+	<-watcherExited
 
 	res := &Result{QueryVars: queryVars, Solutions: st.solutions}
 	res.Stats.PerWorkerExpanded = make([]uint64, opt.Workers)
@@ -247,6 +278,16 @@ func (s *state) setStop() {
 	s.mu.Lock()
 	s.cond.Broadcast()
 	s.mu.Unlock()
+}
+
+// fail records err (first writer wins) and halts the run.
+func (s *state) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.setStop()
 }
 
 // worker is the processor main loop.
@@ -358,24 +399,14 @@ func (s *state) process(w *workerState, n *engine.Node) {
 	}
 
 	if s.expandedTotal.Add(1) > s.maxExp {
-		s.mu.Lock()
-		if s.err == nil {
-			s.err = search.ErrBudget
-		}
-		s.mu.Unlock()
-		s.setStop()
+		s.fail(search.ErrBudget)
 		return
 	}
 	w.expanded++
 
 	children, err := s.exp(w, n)
 	if err != nil && err != engine.ErrDepthLimit {
-		s.mu.Lock()
-		if s.err == nil {
-			s.err = err
-		}
-		s.mu.Unlock()
-		s.setStop()
+		s.fail(err)
 		return
 	}
 	if err == engine.ErrDepthLimit {

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -57,7 +58,7 @@ func sortedBindings(res *Result, v string) []string {
 func TestSharedHeapFindsAllSolutions(t *testing.T) {
 	db := load(t, fig1)
 	for _, workers := range []int{1, 2, 4, 8} {
-		res, err := Run(db, uniform(), q(t, "gf(sam,G)"), Options{Workers: workers, Mode: SharedHeap})
+		res, err := Run(context.Background(), db, uniform(), q(t, "gf(sam,G)"), Options{Workers: workers, Mode: SharedHeap})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -74,7 +75,7 @@ func TestSharedHeapFindsAllSolutions(t *testing.T) {
 func TestTwoLevelFindsAllSolutions(t *testing.T) {
 	db := load(t, fig1)
 	for _, d := range []float64{0, 1, 5, 100} {
-		res, err := Run(db, uniform(), q(t, "gf(sam,G)"), Options{
+		res, err := Run(context.Background(), db, uniform(), q(t, "gf(sam,G)"), Options{
 			Workers: 4, Mode: TwoLevel, D: d, LocalCap: 4,
 		})
 		if err != nil {
@@ -89,12 +90,12 @@ func TestTwoLevelFindsAllSolutions(t *testing.T) {
 func TestParallelMatchesSequentialOnLargerTree(t *testing.T) {
 	db := load(t, workload.FamilyTree(4, 3))
 	goals := q(t, "gf(p0, G)")
-	seq, err := search.Run(db, uniform(), goals, search.Options{Strategy: search.BestFirst})
+	seq, err := search.Run(context.Background(), db, uniform(), goals, search.Options{Strategy: search.BestFirst})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, mode := range []Mode{SharedHeap, TwoLevel} {
-		res, err := Run(db, uniform(), q(t, "gf(p0, G)"), Options{Workers: 8, Mode: mode, D: 2})
+		res, err := Run(context.Background(), db, uniform(), q(t, "gf(p0, G)"), Options{Workers: 8, Mode: mode, D: 2})
 		if err != nil {
 			t.Fatalf("%v: %v", mode, err)
 		}
@@ -120,7 +121,7 @@ func TestParallelMatchesSequentialOnLargerTree(t *testing.T) {
 
 func TestParallelNQueens(t *testing.T) {
 	db := load(t, workload.NQueens)
-	res, err := Run(db, uniform(), q(t, "queens(5, Qs)"), Options{
+	res, err := Run(context.Background(), db, uniform(), q(t, "queens(5, Qs)"), Options{
 		Workers: 8, Mode: SharedHeap, MaxDepth: 256,
 	})
 	if err != nil {
@@ -133,7 +134,7 @@ func TestParallelNQueens(t *testing.T) {
 
 func TestMaxSolutionsStopsEarly(t *testing.T) {
 	db := load(t, workload.FamilyTree(4, 3))
-	res, err := Run(db, uniform(), q(t, "gf(p0, G)"), Options{
+	res, err := Run(context.Background(), db, uniform(), q(t, "gf(p0, G)"), Options{
 		Workers: 4, MaxSolutions: 1,
 	})
 	if err != nil {
@@ -149,7 +150,7 @@ func TestMaxSolutionsStopsEarly(t *testing.T) {
 
 func TestBudgetStops(t *testing.T) {
 	db := load(t, "loop :- loop.")
-	_, err := Run(db, uniform(), q(t, "loop"), Options{
+	_, err := Run(context.Background(), db, uniform(), q(t, "loop"), Options{
 		Workers: 4, MaxExpansions: 50, MaxDepth: 1 << 20,
 	})
 	if err != search.ErrBudget {
@@ -159,7 +160,7 @@ func TestBudgetStops(t *testing.T) {
 
 func TestDepthLimitTerminates(t *testing.T) {
 	db := load(t, "loop :- loop.")
-	res, err := Run(db, uniform(), q(t, "loop"), Options{Workers: 4, MaxDepth: 10})
+	res, err := Run(context.Background(), db, uniform(), q(t, "loop"), Options{Workers: 4, MaxDepth: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestDepthLimitTerminates(t *testing.T) {
 
 func TestErrorPropagates(t *testing.T) {
 	db := load(t, "bad(X) :- Y is X + Z, Y > 0.")
-	_, err := Run(db, uniform(), q(t, "bad(1)"), Options{Workers: 4})
+	_, err := Run(context.Background(), db, uniform(), q(t, "bad(1)"), Options{Workers: 4})
 	if err == nil {
 		t.Error("arithmetic error must propagate")
 	}
@@ -178,14 +179,14 @@ func TestErrorPropagates(t *testing.T) {
 
 func TestEmptyQueryErrors(t *testing.T) {
 	db := load(t, fig1)
-	if _, err := Run(db, uniform(), nil, Options{}); err == nil {
+	if _, err := Run(context.Background(), db, uniform(), nil, Options{}); err == nil {
 		t.Error("empty query must error")
 	}
 }
 
 func TestTwoLevelMigrationAccounting(t *testing.T) {
 	db := load(t, workload.Unbalanced(16, 12))
-	res, err := Run(db, uniform(), q(t, "job(X)"), Options{
+	res, err := Run(context.Background(), db, uniform(), q(t, "job(X)"), Options{
 		Workers: 4, Mode: TwoLevel, D: 0, LocalCap: 2, MaxDepth: 64,
 	})
 	if err != nil {
@@ -209,13 +210,13 @@ func TestHigherDReducesMigrations(t *testing.T) {
 	db := load(t, workload.FamilyTree(5, 3))
 	var lowD, highD uint64
 	for i := 0; i < 3; i++ {
-		r0, err := Run(db, uniform(), q(t, "anc(p0, X)"), Options{
+		r0, err := Run(context.Background(), db, uniform(), q(t, "anc(p0, X)"), Options{
 			Workers: 4, Mode: TwoLevel, D: 0, LocalCap: 8, MaxDepth: 32,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		r1, err := Run(db, uniform(), q(t, "anc(p0, X)"), Options{
+		r1, err := Run(context.Background(), db, uniform(), q(t, "anc(p0, X)"), Options{
 			Workers: 4, Mode: TwoLevel, D: 1e6, LocalCap: 8, MaxDepth: 32,
 		})
 		if err != nil {
@@ -234,7 +235,7 @@ func TestHigherDReducesMigrations(t *testing.T) {
 
 func TestPerWorkerStatsSum(t *testing.T) {
 	db := load(t, workload.FamilyTree(4, 3))
-	res, err := Run(db, uniform(), q(t, "anc(p0, X)"), Options{
+	res, err := Run(context.Background(), db, uniform(), q(t, "anc(p0, X)"), Options{
 		Workers: 4, Mode: SharedHeap, MaxDepth: 32,
 	})
 	if err != nil {
@@ -256,7 +257,7 @@ func TestParallelLearningIsRaceFree(t *testing.T) {
 	// Learning from many workers concurrently; run under -race.
 	db := load(t, workload.DeepFailure(8, 5))
 	tab := weights.NewTable(weights.Config{N: 16, A: 64})
-	res, err := Run(db, tab, q(t, "top(W)"), Options{Workers: 8, Learn: true})
+	res, err := Run(context.Background(), db, tab, q(t, "top(W)"), Options{Workers: 8, Learn: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +275,7 @@ func TestDifferentialParallelVsSequentialRandomPrograms(t *testing.T) {
 	for seed := int64(1); seed <= 8; seed++ {
 		src := workload.RandomProgram(3, 3, 4, 4, seed)
 		db := load(t, src)
-		seqRes, err := search.Run(db, uniform(), q(t, "l2p0(Q,R)"),
+		seqRes, err := search.Run(context.Background(), db, uniform(), q(t, "l2p0(Q,R)"),
 			search.Options{Strategy: search.DFS, MaxDepth: 24})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
@@ -284,7 +285,7 @@ func TestDifferentialParallelVsSequentialRandomPrograms(t *testing.T) {
 			want[s.Format(seqRes.QueryVars)]++
 		}
 		for _, mode := range []Mode{SharedHeap, TwoLevel} {
-			res, err := Run(db, uniform(), q(t, "l2p0(Q,R)"), Options{
+			res, err := Run(context.Background(), db, uniform(), q(t, "l2p0(Q,R)"), Options{
 				Workers: 6, Mode: mode, D: 2, LocalCap: 4, MaxDepth: 24,
 			})
 			if err != nil {
@@ -363,7 +364,7 @@ func BenchmarkParallelNQueens6(b *testing.B) {
 	goals, _ := parse.Query("queens(6, Qs)")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := Run(db, uniform(), goals, Options{Workers: 8, MaxDepth: 512})
+		res, err := Run(context.Background(), db, uniform(), goals, Options{Workers: 8, MaxDepth: 512})
 		if err != nil {
 			b.Fatal(err)
 		}

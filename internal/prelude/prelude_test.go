@@ -1,6 +1,7 @@
 package prelude
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -21,7 +22,7 @@ func runAll(t *testing.T, query string, strat search.Strategy) []string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := search.Run(db, weights.NewUniform(weights.DefaultConfig()), goals, search.Options{
+	res, err := search.Run(context.Background(), db, weights.NewUniform(weights.DefaultConfig()), goals, search.Options{
 		Strategy: strat, MaxDepth: 64,
 	})
 	if err != nil {
@@ -158,7 +159,7 @@ roster(R) :- permutation([alice,bob,carol], R).
 		t.Fatal(err)
 	}
 	goals, _ := parse.Query("roster(R)")
-	res, err := search.Run(db, weights.NewUniform(weights.DefaultConfig()), goals,
+	res, err := search.Run(context.Background(), db, weights.NewUniform(weights.DefaultConfig()), goals,
 		search.Options{Strategy: search.BestFirst, MaxDepth: 64})
 	if err != nil {
 		t.Fatal(err)
@@ -174,7 +175,7 @@ func ExampleLists() {
 		panic(err)
 	}
 	goals, _ := parse.Query("append([1], [2,3], Z)")
-	res, err := search.Run(db, weights.NewUniform(weights.DefaultConfig()), goals,
+	res, err := search.Run(context.Background(), db, weights.NewUniform(weights.DefaultConfig()), goals,
 		search.Options{Strategy: search.DFS})
 	if err != nil {
 		panic(err)

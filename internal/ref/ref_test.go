@@ -1,6 +1,7 @@
 package ref
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -146,7 +147,7 @@ func TestDifferentialTopDownVsBottomUp(t *testing.T) {
 			// Sequential strategies.
 			for _, strat := range []search.Strategy{search.DFS, search.BFS, search.BestFirst} {
 				goals, _ := parse.Query("l2p0(Q,R)")
-				res, err := search.Run(db, weights.NewUniform(weights.DefaultConfig()), goals,
+				res, err := search.Run(context.Background(), db, weights.NewUniform(weights.DefaultConfig()), goals,
 					search.Options{Strategy: strat, MaxDepth: 24})
 				if err != nil {
 					t.Fatal(err)
@@ -158,7 +159,7 @@ func TestDifferentialTopDownVsBottomUp(t *testing.T) {
 			}
 			// Parallel engine.
 			goals2, _ := parse.Query("l2p0(Q,R)")
-			pres, err := par.Run(db, weights.NewUniform(weights.DefaultConfig()), goals2,
+			pres, err := par.Run(context.Background(), db, weights.NewUniform(weights.DefaultConfig()), goals2,
 				par.Options{Workers: 6, Mode: par.TwoLevel, D: 2, LocalCap: 8, MaxDepth: 24})
 			if err != nil {
 				t.Fatal(err)

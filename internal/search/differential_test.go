@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -50,7 +51,7 @@ func TestDifferentialStrategiesOnRandomPrograms(t *testing.T) {
 				{"best-conditional", weights.NewConditional(weights.Config{N: 16, A: 24}), Options{Strategy: BestFirst, Learn: true, MaxDepth: 24}},
 			}
 			for _, c := range cases {
-				res, err := Run(db, c.ws, q(t, query), c.opt)
+				res, err := Run(context.Background(), db, c.ws, q(t, query), c.opt)
 				if err != nil {
 					t.Fatalf("%s: %v", c.name, err)
 				}
@@ -72,10 +73,10 @@ func TestDifferentialStrategiesOnRandomPrograms(t *testing.T) {
 			// A learned best-first re-run must also agree: learning only
 			// reorders.
 			tab := weights.NewTable(weights.Config{N: 16, A: 24})
-			if _, err := Run(db, tab, q(t, query), Options{Strategy: BestFirst, Learn: true, MaxDepth: 24}); err != nil {
+			if _, err := Run(context.Background(), db, tab, q(t, query), Options{Strategy: BestFirst, Learn: true, MaxDepth: 24}); err != nil {
 				t.Fatal(err)
 			}
-			res, err := Run(db, tab, q(t, query), Options{Strategy: BestFirst, Learn: true, MaxDepth: 24})
+			res, err := Run(context.Background(), db, tab, q(t, query), Options{Strategy: BestFirst, Learn: true, MaxDepth: 24})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -98,7 +99,7 @@ func TestDifferentialLearnedSearchNeverLosesSolutions(t *testing.T) {
 	}
 	tab := weights.NewTable(weights.Config{N: 16, A: 64})
 	for round := 0; round < 5; round++ {
-		res, err := Run(db, tab, q(t, "top(W)"), Options{Strategy: BestFirst, Learn: true, MaxDepth: 64})
+		res, err := Run(context.Background(), db, tab, q(t, "top(W)"), Options{Strategy: BestFirst, Learn: true, MaxDepth: 64})
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 
 	"blog/internal/engine"
@@ -17,6 +18,7 @@ import (
 // chain it finished — the incremental setting the paper's sessions
 // target.
 type Iter struct {
+	ctx       context.Context
 	exp       *engine.Expander
 	ws        weights.Store
 	frontier  frontier
@@ -29,9 +31,12 @@ type Iter struct {
 	err       error
 }
 
-// NewIter prepares a lazy search. Tree/trace recording is not supported
-// here; use Run for those.
-func NewIter(db *kb.DB, ws weights.Store, goals []term.Term, opt Options) (*Iter, error) {
+// NewIter prepares a lazy search; ctx cancels future Next calls. Tree and
+// trace recording are not supported here; use Run for those.
+func NewIter(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term, opt Options) (*Iter, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(goals) == 0 {
 		return nil, errors.New("search: empty query")
 	}
@@ -40,6 +45,7 @@ func NewIter(db *kb.DB, ws weights.Store, goals []term.Term, opt Options) (*Iter
 	}
 	exp := engine.NewExpander(db, ws)
 	exp.OccursCheck = opt.OccursCheck
+	exp.Ctx = ctx
 	if opt.MaxDepth > 0 {
 		exp.MaxDepth = opt.MaxDepth
 	}
@@ -48,6 +54,7 @@ func NewIter(db *kb.DB, ws weights.Store, goals []term.Term, opt Options) (*Iter
 		queryVars = term.Vars(g, queryVars)
 	}
 	it := &Iter{
+		ctx:       ctx,
 		exp:       exp,
 		ws:        ws,
 		frontier:  newFrontier(opt.Strategy),
@@ -80,6 +87,11 @@ func (it *Iter) Next() (engine.Solution, bool, error) {
 		return engine.Solution{}, false, nil
 	}
 	for it.frontier.len() > 0 {
+		if err := it.ctx.Err(); err != nil {
+			it.done = true
+			it.err = err
+			return engine.Solution{}, false, err
+		}
 		if it.frontier.len() > it.stats.MaxFrontier {
 			it.stats.MaxFrontier = it.frontier.len()
 		}

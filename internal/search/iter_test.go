@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"testing"
 
 	"blog/internal/kb"
@@ -10,7 +11,7 @@ import (
 
 func TestIterYieldsAllSolutionsLazily(t *testing.T) {
 	db := load(t, fig1)
-	it, err := NewIter(db, uniform(), q(t, "gf(sam,G)"), Options{Strategy: DFS})
+	it, err := NewIter(context.Background(), db, uniform(), q(t, "gf(sam,G)"), Options{Strategy: DFS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,11 +41,11 @@ func TestIterYieldsAllSolutionsLazily(t *testing.T) {
 func TestIterMatchesRun(t *testing.T) {
 	db := load(t, workload.FamilyTree(4, 3))
 	for _, strat := range []Strategy{DFS, BFS, BestFirst} {
-		run, err := Run(db, uniform(), q(t, "gf(p0,G)"), Options{Strategy: strat, MaxDepth: 24})
+		run, err := Run(context.Background(), db, uniform(), q(t, "gf(p0,G)"), Options{Strategy: strat, MaxDepth: 24})
 		if err != nil {
 			t.Fatal(err)
 		}
-		it, err := NewIter(db, uniform(), q(t, "gf(p0,G)"), Options{Strategy: strat, MaxDepth: 24})
+		it, err := NewIter(context.Background(), db, uniform(), q(t, "gf(p0,G)"), Options{Strategy: strat, MaxDepth: 24})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -70,11 +71,11 @@ func TestIterMatchesRun(t *testing.T) {
 
 func TestIterEarlyAbandonmentDoesLessWork(t *testing.T) {
 	db := load(t, workload.FamilyTree(5, 3))
-	full, err := Run(db, uniform(), q(t, "anc(p0,X)"), Options{Strategy: DFS, MaxDepth: 24})
+	full, err := Run(context.Background(), db, uniform(), q(t, "anc(p0,X)"), Options{Strategy: DFS, MaxDepth: 24})
 	if err != nil {
 		t.Fatal(err)
 	}
-	it, err := NewIter(db, uniform(), q(t, "anc(p0,X)"), Options{Strategy: DFS, MaxDepth: 24})
+	it, err := NewIter(context.Background(), db, uniform(), q(t, "anc(p0,X)"), Options{Strategy: DFS, MaxDepth: 24})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestIterEarlyAbandonmentDoesLessWork(t *testing.T) {
 
 func TestIterMaxSolutions(t *testing.T) {
 	db := load(t, fig1)
-	it, err := NewIter(db, uniform(), q(t, "gf(sam,G)"), Options{Strategy: DFS, MaxSolutions: 1})
+	it, err := NewIter(context.Background(), db, uniform(), q(t, "gf(sam,G)"), Options{Strategy: DFS, MaxSolutions: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestIterMaxSolutions(t *testing.T) {
 
 func TestIterBudget(t *testing.T) {
 	db := load(t, "loop :- loop.")
-	it, err := NewIter(db, uniform(), q(t, "loop"), Options{Strategy: DFS, MaxExpansions: 10, MaxDepth: 1 << 20})
+	it, err := NewIter(context.Background(), db, uniform(), q(t, "loop"), Options{Strategy: DFS, MaxExpansions: 10, MaxDepth: 1 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestIterLearnsFromAbandonedSearch(t *testing.T) {
 	// (including failures) must have updated the table.
 	db := load(t, workload.DeepFailure(6, 4))
 	tab := weights.NewTable(weights.Config{N: 16, A: 64})
-	it, err := NewIter(db, tab, q(t, "top(W)"), Options{Strategy: BestFirst, Learn: true, MaxDepth: 64})
+	it, err := NewIter(context.Background(), db, tab, q(t, "top(W)"), Options{Strategy: BestFirst, Learn: true, MaxDepth: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,17 +135,17 @@ func TestIterLearnsFromAbandonedSearch(t *testing.T) {
 
 func TestIterRejectsRecording(t *testing.T) {
 	db := load(t, fig1)
-	if _, err := NewIter(db, uniform(), q(t, "gf(sam,G)"), Options{RecordTree: true}); err == nil {
+	if _, err := NewIter(context.Background(), db, uniform(), q(t, "gf(sam,G)"), Options{RecordTree: true}); err == nil {
 		t.Error("tree recording unsupported in Iter")
 	}
-	if _, err := NewIter(db, uniform(), nil, Options{}); err == nil {
+	if _, err := NewIter(context.Background(), db, uniform(), nil, Options{}); err == nil {
 		t.Error("empty query must fail")
 	}
 }
 
 func TestIterErrorPropagates(t *testing.T) {
 	db := load(t, "bad(X) :- Y is X + Z, Y > 0.")
-	it, err := NewIter(db, uniform(), q(t, "bad(1)"), Options{Strategy: DFS})
+	it, err := NewIter(context.Background(), db, uniform(), q(t, "bad(1)"), Options{Strategy: DFS})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ package search
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 
@@ -105,13 +106,19 @@ type Result struct {
 // ErrBudget is reported when MaxExpansions was hit before exhaustion.
 var ErrBudget = errors.New("search: expansion budget exhausted")
 
-// Run searches for solutions to goals over db guided by ws.
-func Run(db *kb.DB, ws weights.Store, goals []term.Term, opt Options) (*Result, error) {
+// Run searches for solutions to goals over db guided by ws. A cancelled
+// or deadlined ctx aborts the search between node expansions and returns
+// the context's error with the work done so far.
+func Run(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(goals) == 0 {
 		return nil, errors.New("search: empty query")
 	}
 	exp := engine.NewExpander(db, ws)
 	exp.OccursCheck = opt.OccursCheck
+	exp.Ctx = ctx
 	exp.RecordTree = opt.RecordTree || opt.RecordTrace
 	if opt.MaxDepth > 0 {
 		exp.MaxDepth = opt.MaxDepth
@@ -141,6 +148,9 @@ func Run(db *kb.DB, ws weights.Store, goals []term.Term, opt Options) (*Result, 
 	haveBest := false
 
 	for f.len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		if f.len() > res.Stats.MaxFrontier {
 			res.Stats.MaxFrontier = f.len()
 		}
@@ -312,7 +322,10 @@ func (h *minHeap) len() int            { return len(h.items) }
 // EnumerateOutcomes exhaustively searches (DFS, no learning) and returns
 // every complete chain as a weights.Outcome — the input the section-4
 // theoretical solver needs.
-func EnumerateOutcomes(db *kb.DB, goals []term.Term, maxDepth int) ([]weights.Outcome, error) {
+func EnumerateOutcomes(ctx context.Context, db *kb.DB, goals []term.Term, maxDepth int) ([]weights.Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg := weights.DefaultConfig()
 	if maxDepth > 0 {
 		cfg.A = maxDepth
@@ -320,11 +333,15 @@ func EnumerateOutcomes(db *kb.DB, goals []term.Term, maxDepth int) ([]weights.Ou
 	ws := weights.NewUniform(cfg)
 	exp := engine.NewExpander(db, ws)
 	exp.MaxDepth = cfg.A
+	exp.Ctx = ctx
 
 	var outcomes []weights.Outcome
 	stack := []*engine.Node{exp.Root(goals)}
 	var steps uint64
 	for len(stack) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if n.IsSolution() {

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -64,7 +65,7 @@ func solutionsOf(res *Result, v string) []string {
 
 func TestDFSFig1AllSolutions(t *testing.T) {
 	db := load(t, fig1)
-	res, err := Run(db, uniform(), q(t, "gf(sam,G)"), Options{Strategy: DFS})
+	res, err := Run(context.Background(), db, uniform(), q(t, "gf(sam,G)"), Options{Strategy: DFS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestDFSFig1AllSolutions(t *testing.T) {
 
 func TestDFSFirstSolutionIsProlog(t *testing.T) {
 	db := load(t, fig1)
-	res, err := Run(db, uniform(), q(t, "gf(sam,G)"), Options{Strategy: DFS, MaxSolutions: 1})
+	res, err := Run(context.Background(), db, uniform(), q(t, "gf(sam,G)"), Options{Strategy: DFS, MaxSolutions: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestDFSFirstSolutionIsProlog(t *testing.T) {
 
 func TestBFSSameSolutionSet(t *testing.T) {
 	db := load(t, fig1)
-	res, err := Run(db, uniform(), q(t, "gf(sam,G)"), Options{Strategy: BFS})
+	res, err := Run(context.Background(), db, uniform(), q(t, "gf(sam,G)"), Options{Strategy: BFS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestBFSSameSolutionSet(t *testing.T) {
 
 func TestBestFirstUniformSameSolutionSet(t *testing.T) {
 	db := load(t, fig1)
-	res, err := Run(db, uniform(), q(t, "gf(sam,G)"), Options{Strategy: BestFirst})
+	res, err := Run(context.Background(), db, uniform(), q(t, "gf(sam,G)"), Options{Strategy: BestFirst})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestAllStrategiesAgreeOnConjunctions(t *testing.T) {
 	db := load(t, fig1)
 	goals := q(t, "f(sam,Y), f(Y,G)")
 	for _, s := range []Strategy{DFS, BFS, BestFirst} {
-		res, err := Run(db, uniform(), goals, Options{Strategy: s})
+		res, err := Run(context.Background(), db, uniform(), goals, Options{Strategy: s})
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
 		}
@@ -134,14 +135,14 @@ func TestAllStrategiesAgreeOnConjunctions(t *testing.T) {
 
 func TestGroundQuerySucceedsOnce(t *testing.T) {
 	db := load(t, fig1)
-	res, err := Run(db, uniform(), q(t, "gf(sam,den)"), Options{Strategy: DFS})
+	res, err := Run(context.Background(), db, uniform(), q(t, "gf(sam,den)"), Options{Strategy: DFS})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Solutions) != 1 {
 		t.Errorf("gf(sam,den): %d solutions", len(res.Solutions))
 	}
-	res2, err := Run(db, uniform(), q(t, "gf(sam,peg)"), Options{Strategy: DFS})
+	res2, err := Run(context.Background(), db, uniform(), q(t, "gf(sam,peg)"), Options{Strategy: DFS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,14 +153,14 @@ func TestGroundQuerySucceedsOnce(t *testing.T) {
 
 func TestEmptyQueryErrors(t *testing.T) {
 	db := load(t, fig1)
-	if _, err := Run(db, uniform(), nil, Options{}); err == nil {
+	if _, err := Run(context.Background(), db, uniform(), nil, Options{}); err == nil {
 		t.Error("empty query must error")
 	}
 }
 
 func TestMaxExpansionsBudget(t *testing.T) {
 	db := load(t, "loop :- loop.")
-	_, err := Run(db, uniform(), q(t, "loop"), Options{Strategy: DFS, MaxExpansions: 10, MaxDepth: 1 << 20})
+	_, err := Run(context.Background(), db, uniform(), q(t, "loop"), Options{Strategy: DFS, MaxExpansions: 10, MaxDepth: 1 << 20})
 	if err != ErrBudget {
 		t.Errorf("got %v, want ErrBudget", err)
 	}
@@ -167,7 +168,7 @@ func TestMaxExpansionsBudget(t *testing.T) {
 
 func TestDepthLimitTerminatesCyclicProgram(t *testing.T) {
 	db := load(t, "loop :- loop.")
-	res, err := Run(db, uniform(), q(t, "loop"), Options{Strategy: DFS, MaxDepth: 8})
+	res, err := Run(context.Background(), db, uniform(), q(t, "loop"), Options{Strategy: DFS, MaxDepth: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestDepthLimitTerminatesCyclicProgram(t *testing.T) {
 
 func TestFig1Trace(t *testing.T) {
 	db := load(t, fig1)
-	res, err := Run(db, uniform(), q(t, "gf(sam,G)"), Options{
+	res, err := Run(context.Background(), db, uniform(), q(t, "gf(sam,G)"), Options{
 		Strategy: DFS, MaxSolutions: 1, RecordTrace: true,
 	})
 	if err != nil {
@@ -196,7 +197,7 @@ func TestFig1Trace(t *testing.T) {
 
 func TestFig3TreeShape(t *testing.T) {
 	db := load(t, fig1)
-	res, err := Run(db, uniform(), q(t, "gf(sam,G)"), Options{
+	res, err := Run(context.Background(), db, uniform(), q(t, "gf(sam,G)"), Options{
 		Strategy: DFS, RecordTree: true,
 	})
 	if err != nil {
@@ -244,7 +245,7 @@ func sec5Weights(b1 float64) *weights.Table {
 // each expansion, via the trace.
 func expansionOrder(t *testing.T, tab *weights.Table) []string {
 	db := load(t, sec5)
-	res, err := Run(db, tab, q(t, "a"), Options{Strategy: BestFirst, RecordTrace: true})
+	res, err := Run(context.Background(), db, tab, q(t, "a"), Options{Strategy: BestFirst, RecordTrace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +303,7 @@ func TestSection5WorkedExampleScenario2(t *testing.T) {
 func TestLearningRecordsSuccessAndFailure(t *testing.T) {
 	db := load(t, fig1)
 	tab := weights.NewTable(weights.Config{N: 16, A: 64})
-	_, err := Run(db, tab, q(t, "gf(sam,G)"), Options{Strategy: DFS, Learn: true})
+	_, err := Run(context.Background(), db, tab, q(t, "gf(sam,G)"), Options{Strategy: DFS, Learn: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,11 +343,11 @@ func TestLearningSpeedsUpRequery(t *testing.T) {
 	db := load(t, fig1)
 	tab := weights.NewTable(weights.Config{N: 16, A: 64})
 	goals := q(t, "gf(sam,G)")
-	first, err := Run(db, tab, goals, Options{Strategy: BestFirst, Learn: true})
+	first, err := Run(context.Background(), db, tab, goals, Options{Strategy: BestFirst, Learn: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := Run(db, tab, q(t, "gf(sam,G)"), Options{
+	second, err := Run(context.Background(), db, tab, q(t, "gf(sam,G)"), Options{
 		Strategy: BestFirst, Learn: true, MaxSolutions: 1,
 	})
 	if err != nil {
@@ -368,7 +369,7 @@ func TestPruningWithExactWeights(t *testing.T) {
 	// solutions (their bounds are equal-minimal).
 	db := load(t, fig1)
 	goals := q(t, "gf(sam,G)")
-	outcomes, err := EnumerateOutcomes(db, goals, 16)
+	outcomes, err := EnumerateOutcomes(context.Background(), db, goals, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +379,7 @@ func TestPruningWithExactWeights(t *testing.T) {
 	}
 	tab := weights.NewTable(weights.Config{N: 16, A: 64})
 	sol.Apply(tab)
-	res, err := Run(db, tab, goals, Options{Strategy: BestFirst, Prune: true, PruneSlack: 1e-6})
+	res, err := Run(context.Background(), db, tab, goals, Options{Strategy: BestFirst, Prune: true, PruneSlack: 1e-6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,7 +390,7 @@ func TestPruningWithExactWeights(t *testing.T) {
 
 func TestEnumerateOutcomesFig1(t *testing.T) {
 	db := load(t, fig1)
-	outcomes, err := EnumerateOutcomes(db, q(t, "gf(sam,G)"), 16)
+	outcomes, err := EnumerateOutcomes(context.Background(), db, q(t, "gf(sam,G)"), 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -420,10 +421,10 @@ good(x).
 	db := load(t, src)
 	tab := weights.NewTable(weights.Config{N: 16, A: 64})
 	goals := q(t, "top(x)")
-	if _, err := Run(db, tab, goals, Options{Strategy: BestFirst, Learn: true}); err != nil {
+	if _, err := Run(context.Background(), db, tab, goals, Options{Strategy: BestFirst, Learn: true}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(db, tab, q(t, "top(x)"), Options{Strategy: BestFirst, Learn: true, MaxSolutions: 1})
+	res, err := Run(context.Background(), db, tab, q(t, "top(x)"), Options{Strategy: BestFirst, Learn: true, MaxSolutions: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -450,7 +451,7 @@ func TestBestFirstSolutionsInBoundOrder(t *testing.T) {
 	}
 	for _, c := range cases {
 		db := load(t, c.src)
-		res, err := Run(db, c.ws, q(t, c.query), Options{Strategy: BestFirst, MaxDepth: 32})
+		res, err := Run(context.Background(), db, c.ws, q(t, c.query), Options{Strategy: BestFirst, MaxDepth: 32})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -479,7 +480,7 @@ sumto(N, S) :- N > 0, M is N - 1, sumto(M, T), S is T + N.
 `
 	db := load(t, src)
 	for _, s := range []Strategy{DFS, BFS, BestFirst} {
-		res, err := Run(db, uniform(), q(t, "sumto(10, S)"), Options{Strategy: s, MaxDepth: 64})
+		res, err := Run(context.Background(), db, uniform(), q(t, "sumto(10, S)"), Options{Strategy: s, MaxDepth: 64})
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
 		}
@@ -497,14 +498,14 @@ member(X, [X|_]).
 member(X, [_|T]) :- member(X, T).
 `
 	db := load(t, src)
-	res, err := Run(db, uniform(), q(t, "append(X, Y, [1,2,3])"), Options{Strategy: DFS})
+	res, err := Run(context.Background(), db, uniform(), q(t, "append(X, Y, [1,2,3])"), Options{Strategy: DFS})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Solutions) != 4 {
 		t.Errorf("append splits = %d, want 4", len(res.Solutions))
 	}
-	res2, err := Run(db, uniform(), q(t, "member(M, [a,b,c])"), Options{Strategy: BestFirst})
+	res2, err := Run(context.Background(), db, uniform(), q(t, "member(M, [a,b,c])"), Options{Strategy: BestFirst})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -520,7 +521,7 @@ func BenchmarkDFSFig1(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(db, ws, goals, Options{Strategy: DFS}); err != nil {
+		if _, err := Run(context.Background(), db, ws, goals, Options{Strategy: DFS}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -533,7 +534,7 @@ func BenchmarkBestFirstFig1(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(db, ws, goals, Options{Strategy: BestFirst}); err != nil {
+		if _, err := Run(context.Background(), db, ws, goals, Options{Strategy: BestFirst}); err != nil {
 			b.Fatal(err)
 		}
 	}

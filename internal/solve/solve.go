@@ -1,0 +1,403 @@
+// Package solve is the unified, context-aware solver runtime behind every
+// search discipline of the reproduction. The paper's central claim is that
+// one OR-tree chain model can be driven by interchangeable scheduling
+// disciplines — Prolog's depth-first baseline, breadth-first, B-LOG's
+// weighted best-first branch and bound, the OR-parallel processor network,
+// and the section-7 AND-parallel decomposition. This package makes that
+// interchangeability literal: a single Request describes a query run
+// (goals, weight store, strategy, budgets, learning, recording), a single
+// Response carries solutions and unified Stats back, and each engine is a
+// Solver behind the same interface. Every run takes a context.Context and
+// honors cancellation and deadlines, which is what lets callers multiplex
+// heavy concurrent query traffic over one Program.
+package solve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"blog/internal/andpar"
+	"blog/internal/engine"
+	"blog/internal/kb"
+	"blog/internal/par"
+	"blog/internal/search"
+	"blog/internal/term"
+	"blog/internal/weights"
+)
+
+// Strategy selects the search discipline. This is the canonical strategy
+// enum of the system; the blog facade aliases it and the mapping onto the
+// sequential engine's internal enum lives only here (searchStrategy).
+type Strategy int
+
+const (
+	// DFS is Prolog's depth-first, source-order search.
+	DFS Strategy = iota
+	// BFS is breadth-first search.
+	BFS
+	// BestFirst is B-LOG's weighted best-first branch and bound.
+	BestFirst
+	// Parallel is the OR-parallel best-first engine (live goroutines).
+	Parallel
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case DFS:
+		return "dfs"
+	case BFS:
+		return "bfs"
+	case BestFirst:
+		return "best-first"
+	case Parallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy resolves the command-line/REPL spellings of a strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "dfs":
+		return DFS, nil
+	case "bfs":
+		return BFS, nil
+	case "best", "best-first":
+		return BestFirst, nil
+	case "parallel":
+		return Parallel, nil
+	}
+	return 0, fmt.Errorf("solve: unknown strategy %q", name)
+}
+
+// searchStrategy maps the canonical enum onto the sequential engine's; ok
+// is false for strategies the sequential engine does not implement.
+func (s Strategy) searchStrategy() (search.Strategy, bool) {
+	switch s {
+	case DFS:
+		return search.DFS, true
+	case BFS:
+		return search.BFS, true
+	case BestFirst:
+		return search.BestFirst, true
+	}
+	return 0, false
+}
+
+// Request describes one query run: what to solve, over which database and
+// weight store, under which discipline, and within which budgets.
+type Request struct {
+	// DB is the clause database; Store supplies (and, with Learn, absorbs)
+	// arc weights — a weights.Table, a session overlay, or a conditional
+	// store.
+	DB    *kb.DB
+	Store weights.Store
+	// Goals is the parsed conjunction, shared-variable structure intact.
+	Goals []term.Term
+	// Strategy picks the discipline; AndParallel composes with the three
+	// sequential strategies, which then drive each independent goal group.
+	Strategy    Strategy
+	AndParallel bool
+
+	// Budgets and limits. Zero values mean: all solutions, the engine
+	// default expansion cap, and the store's A depth constant.
+	MaxSolutions  int
+	MaxExpansions uint64
+	MaxDepth      int
+
+	// Learning and soundness switches.
+	Learn       bool
+	Prune       bool
+	PruneSlack  float64
+	OccursCheck bool
+
+	// OR-parallel scheduling (Strategy == Parallel). Workers defaults to
+	// 4; TwoLevel selects the paper's D-threshold network scheduling.
+	Workers  int
+	TwoLevel bool
+	D        float64
+	LocalCap int
+
+	// Recording (sequential, non-AND-parallel runs only).
+	RecordTree  bool
+	RecordTrace bool
+}
+
+// Stats is the unified work accounting across every engine. Counters not
+// produced by a given engine are zero (e.g. Migrations outside Parallel,
+// Groups outside AND-parallel).
+type Stats struct {
+	Expanded     uint64
+	Generated    uint64
+	Failures     uint64
+	DepthCutoffs uint64
+	Pruned       uint64
+	MaxFrontier  int
+	MaxDepth     int
+
+	// OR-parallel network counters.
+	Migrations        uint64
+	NetworkAcquires   uint64
+	LocalPops         uint64
+	Spills            uint64
+	PerWorkerExpanded []uint64
+
+	// AND-parallel decomposition counters.
+	Groups         int
+	GroupSolutions []int
+}
+
+// Response is the unified outcome of a Request.
+type Response struct {
+	// Solutions carry bindings, bound, depth and the decision chain.
+	Solutions []engine.Solution
+	// QueryVars are the query's variables in first-occurrence order (the
+	// rendering order for bindings).
+	QueryVars []*term.Var
+	Stats     Stats
+	// Exhausted reports that the engine searched the whole tree: the
+	// solution list is complete, not an artifact of MaxSolutions or
+	// cancellation. It is engine-reported, never inferred from options.
+	Exhausted bool
+	// Tree is the recorded search tree when Request.RecordTree was set.
+	Tree *search.Tree
+	// Trace holds figure-1 style lines when Request.RecordTrace was set.
+	Trace []string
+}
+
+// Solver runs one Request to completion (or cancellation). Implementations
+// must return promptly with ctx.Err() once ctx is done, leaking no
+// goroutines.
+type Solver interface {
+	Solve(ctx context.Context, req *Request) (*Response, error)
+}
+
+// SolverFor returns the engine that handles req: Sequential for DFS, BFS
+// and BestFirst, ORParallel for Parallel, ANDParallel when AndParallel is
+// set on a sequential strategy.
+func SolverFor(req *Request) (Solver, error) {
+	if req.Strategy == Parallel {
+		if req.AndParallel {
+			return nil, errors.New("solve: AndParallel is incompatible with the Parallel strategy")
+		}
+		return ORParallel{}, nil
+	}
+	if _, ok := req.Strategy.searchStrategy(); !ok {
+		return nil, fmt.Errorf("solve: unknown strategy %v", req.Strategy)
+	}
+	if req.AndParallel {
+		return ANDParallel{}, nil
+	}
+	return Sequential{}, nil
+}
+
+// Do validates req, dispatches to the implementing Solver and returns its
+// Response. It is the single entry point the blog facade uses for every
+// strategy.
+func Do(ctx context.Context, req *Request) (*Response, error) {
+	if err := validate(req); err != nil {
+		return nil, err
+	}
+	s, err := SolverFor(req)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return s.Solve(ctx, req)
+}
+
+// NewIter prepares a lazy, pull-based run for req — the interactive
+// top-level's "; for more" model. Streaming runs on the sequential engine
+// only; Parallel, AndParallel, and tree/trace recording are rejected.
+func NewIter(ctx context.Context, req *Request) (*search.Iter, error) {
+	if err := validate(req); err != nil {
+		return nil, err
+	}
+	sstrat, ok := req.Strategy.searchStrategy()
+	if !ok {
+		return nil, fmt.Errorf("solve: streaming requires a sequential strategy, got %v", req.Strategy)
+	}
+	if req.AndParallel {
+		return nil, errors.New("solve: streaming does not support AndParallel")
+	}
+	return search.NewIter(ctx, req.DB, req.Store, req.Goals, search.Options{
+		Strategy:      sstrat,
+		MaxSolutions:  req.MaxSolutions,
+		MaxExpansions: req.MaxExpansions,
+		MaxDepth:      req.MaxDepth,
+		Learn:         req.Learn,
+		OccursCheck:   req.OccursCheck,
+	})
+}
+
+func validate(req *Request) error {
+	if req.DB == nil {
+		return errors.New("solve: nil database")
+	}
+	if req.Store == nil {
+		return errors.New("solve: nil weight store")
+	}
+	if len(req.Goals) == 0 {
+		return errors.New("solve: empty query")
+	}
+	if (req.RecordTree || req.RecordTrace) && (req.Strategy == Parallel || req.AndParallel) {
+		return errors.New("solve: tree/trace recording requires a sequential, non-AND-parallel run")
+	}
+	return nil
+}
+
+// Sequential is the single-threaded engine: DFS, BFS and BestFirst over
+// one open list, driven by package search.
+type Sequential struct{}
+
+// Solve implements Solver.
+func (Sequential) Solve(ctx context.Context, req *Request) (*Response, error) {
+	sstrat, ok := req.Strategy.searchStrategy()
+	if !ok {
+		return nil, fmt.Errorf("solve: strategy %v is not sequential", req.Strategy)
+	}
+	sres, err := search.Run(ctx, req.DB, req.Store, req.Goals, search.Options{
+		Strategy:      sstrat,
+		MaxSolutions:  req.MaxSolutions,
+		MaxExpansions: req.MaxExpansions,
+		MaxDepth:      req.MaxDepth,
+		Learn:         req.Learn,
+		Prune:         req.Prune,
+		PruneSlack:    req.PruneSlack,
+		OccursCheck:   req.OccursCheck,
+		RecordTree:    req.RecordTree,
+		RecordTrace:   req.RecordTrace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Response{
+		Solutions: sres.Solutions,
+		QueryVars: sres.QueryVars,
+		Stats: Stats{
+			Expanded:     sres.Stats.Expanded,
+			Generated:    sres.Stats.Generated,
+			Failures:     sres.Stats.Failures,
+			DepthCutoffs: sres.Stats.DepthCutoffs,
+			Pruned:       sres.Stats.Pruned,
+			MaxFrontier:  sres.Stats.MaxFrontier,
+			MaxDepth:     sres.Stats.MaxDepth,
+		},
+		Exhausted: sres.Exhausted,
+		Tree:      sres.Tree,
+		Trace:     sres.Trace,
+	}, nil
+}
+
+// ORParallel is the OR-parallel engine of sections 3 and 6: n goroutine
+// workers over a shared or two-level open list, driven by package par.
+type ORParallel struct{}
+
+// Solve implements Solver.
+func (ORParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
+	mode := par.SharedHeap
+	if req.TwoLevel {
+		mode = par.TwoLevel
+	}
+	pres, err := par.Run(ctx, req.DB, req.Store, req.Goals, par.Options{
+		Workers:       req.Workers,
+		Mode:          mode,
+		D:             req.D,
+		LocalCap:      req.LocalCap,
+		MaxSolutions:  req.MaxSolutions,
+		MaxExpansions: req.MaxExpansions,
+		Learn:         req.Learn,
+		MaxDepth:      req.MaxDepth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Parallel completion order is nondeterministic; present solutions in
+	// a stable order so every engine's Response reads the same way.
+	sortSolutions(pres.Solutions, pres.QueryVars)
+	return &Response{
+		Solutions: pres.Solutions,
+		QueryVars: pres.QueryVars,
+		Stats: Stats{
+			Expanded:          pres.Stats.Expanded,
+			Generated:         pres.Stats.Generated,
+			Failures:          pres.Stats.Failures,
+			DepthCutoffs:      pres.Stats.DepthCutoffs,
+			Migrations:        pres.Stats.Migrations,
+			NetworkAcquires:   pres.Stats.NetworkAcquires,
+			LocalPops:         pres.Stats.LocalPops,
+			Spills:            pres.Stats.Spills,
+			PerWorkerExpanded: pres.Stats.PerWorkerExpanded,
+		},
+		Exhausted: pres.Exhausted,
+	}, nil
+}
+
+// ANDParallel is the section-7 engine: independent (non-variable-sharing)
+// goal groups evaluated concurrently under a sequential strategy and
+// combined by cross product, driven by package andpar.
+type ANDParallel struct{}
+
+// Solve implements Solver.
+func (ANDParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
+	sstrat, ok := req.Strategy.searchStrategy()
+	if !ok {
+		return nil, fmt.Errorf("solve: strategy %v is not sequential", req.Strategy)
+	}
+	ares, err := andpar.Solve(ctx, req.DB, req.Store, req.Goals, andpar.Options{
+		Search: search.Options{
+			Strategy:      sstrat,
+			MaxExpansions: req.MaxExpansions,
+			MaxDepth:      req.MaxDepth,
+			Learn:         req.Learn,
+			Prune:         req.Prune,
+			PruneSlack:    req.PruneSlack,
+			OccursCheck:   req.OccursCheck,
+		},
+		Parallel:     true,
+		MaxSolutions: req.MaxSolutions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Response{
+		Solutions: ares.Solutions,
+		QueryVars: ares.QueryVars,
+		Stats: Stats{
+			Expanded:       ares.Stats.Expanded,
+			Generated:      ares.Stats.Generated,
+			Failures:       ares.Stats.Failures,
+			DepthCutoffs:   ares.Stats.DepthCutoffs,
+			Pruned:         ares.Stats.Pruned,
+			MaxFrontier:    ares.Stats.MaxFrontier,
+			MaxDepth:       ares.Stats.MaxDepth,
+			Groups:         ares.GroupCount,
+			GroupSolutions: ares.GroupSolutions,
+		},
+		Exhausted: ares.Exhausted,
+	}, nil
+}
+
+// sortSolutions orders solutions by rendered bindings, then bound, giving
+// nondeterministic engines a stable presentation order.
+func sortSolutions(sols []engine.Solution, qvars []*term.Var) {
+	sort.Slice(sols, func(i, j int) bool {
+		a, b := sols[i].Format(qvars), sols[j].Format(qvars)
+		if a != b {
+			return a < b
+		}
+		return sols[i].Bound < sols[j].Bound
+	})
+}
+
+var (
+	_ Solver = Sequential{}
+	_ Solver = ORParallel{}
+	_ Solver = ANDParallel{}
+)

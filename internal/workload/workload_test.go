@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -20,7 +21,7 @@ func loadAndRun(t *testing.T, src, query string, opt search.Options) *search.Res
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := search.Run(db, weights.NewUniform(weights.DefaultConfig()), goals, opt)
+	res, err := search.Run(context.Background(), db, weights.NewUniform(weights.DefaultConfig()), goals, opt)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -70,12 +71,12 @@ func TestDeepFailureLearnedSearchSkipsFailures(t *testing.T) {
 	}
 	tab := weights.NewTable(weights.Config{N: 16, A: 64})
 	goals, _ := parse.Query("top(W)")
-	first, err := search.Run(db, tab, goals, search.Options{Strategy: search.BestFirst, Learn: true})
+	first, err := search.Run(context.Background(), db, tab, goals, search.Options{Strategy: search.BestFirst, Learn: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	goals2, _ := parse.Query("top(W)")
-	second, err := search.Run(db, tab, goals2, search.Options{
+	second, err := search.Run(context.Background(), db, tab, goals2, search.Options{
 		Strategy: search.BestFirst, Learn: true, MaxSolutions: 1,
 	})
 	if err != nil {
@@ -111,7 +112,7 @@ func TestNQueens4(t *testing.T) {
 		t.Fatal(err)
 	}
 	goals, _ := parse.Query("queens(4, Qs)")
-	res, err := search.Run(db, weights.NewUniform(weights.DefaultConfig()), goals,
+	res, err := search.Run(context.Background(), db, weights.NewUniform(weights.DefaultConfig()), goals,
 		search.Options{Strategy: search.DFS, MaxDepth: 256})
 	if err != nil {
 		t.Fatal(err)
