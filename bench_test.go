@@ -10,7 +10,6 @@ import (
 	"io"
 	"testing"
 
-	"blog/internal/andpar"
 	"blog/internal/experiments"
 	"blog/internal/kb"
 	"blog/internal/machine"
@@ -43,19 +42,12 @@ func mustGoals(b *testing.B, q string) []term.Term {
 	return goals
 }
 
-// BenchmarkF1Fig1Trace regenerates the figure-1 resolution trace.
-func BenchmarkF1Fig1Trace(b *testing.B) {
-	db := mustLoad(b, experiments.Fig1Program)
-	ws := weights.NewUniform(weights.DefaultConfig())
-	goals := mustGoals(b, "gf(sam,G)")
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		res, err := search.Run(context.Background(), db, ws, goals, search.Options{
-			Strategy: search.DFS, MaxSolutions: 1, RecordTrace: true,
-		})
-		if err != nil || len(res.Solutions) != 1 {
-			b.Fatal("trace run failed")
-		}
+// BenchmarkExhibits runs the shared resolution-heavy exhibit cases
+// (experiments.BenchCases) — the same list `blogbench -bench-json`
+// measures into BENCH.json, so the two can never drift apart.
+func BenchmarkExhibits(b *testing.B) {
+	for _, c := range experiments.BenchCases() {
+		b.Run(c.Name, c.Fn)
 	}
 }
 
@@ -66,45 +58,6 @@ func BenchmarkF2DatabaseGraph(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if len(db.GraphText()) == 0 {
 			b.Fatal("empty graph")
-		}
-	}
-}
-
-// BenchmarkF3SearchTree builds the full figure-3 OR tree.
-func BenchmarkF3SearchTree(b *testing.B) {
-	db := mustLoad(b, experiments.Fig1Program)
-	ws := weights.NewUniform(weights.DefaultConfig())
-	goals := mustGoals(b, "gf(sam,G)")
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		res, err := search.Run(context.Background(), db, ws, goals, search.Options{Strategy: search.DFS, RecordTree: true})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if s, f, _ := res.Tree.CountStatus(); s != 2 || f != 1 {
-			b.Fatal("wrong tree")
-		}
-	}
-}
-
-// BenchmarkF4BestFirstOrder runs the section-5 worked example searches.
-func BenchmarkF4BestFirstOrder(b *testing.B) {
-	db := mustLoad(b, experiments.Sec5Program)
-	tab := weights.NewTable(weights.Config{N: 16, A: 64})
-	tab.Set(kb.Arc{Caller: kb.Query, Pos: 0, Callee: 0}, 0)
-	tab.Set(kb.Arc{Caller: 0, Pos: 0, Callee: 1}, 4)
-	tab.Set(kb.Arc{Caller: 0, Pos: 0, Callee: 2}, 3)
-	tab.Set(kb.Arc{Caller: 0, Pos: 1, Callee: 3}, 5)
-	tab.Set(kb.Arc{Caller: 0, Pos: 2, Callee: 4}, 6)
-	tab.Set(kb.Arc{Caller: 1, Pos: 0, Callee: 5}, 1)
-	tab.Set(kb.Arc{Caller: 2, Pos: 0, Callee: 6}, 2)
-	tab.Set(kb.Arc{Caller: 3, Pos: 0, Callee: 7}, 1)
-	tab.Set(kb.Arc{Caller: 4, Pos: 0, Callee: 8}, 1)
-	goals := mustGoals(b, "a")
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := search.Run(context.Background(), db, tab, goals, search.Options{Strategy: search.BestFirst}); err != nil {
-			b.Fatal(err)
 		}
 	}
 }
@@ -144,40 +97,6 @@ func BenchmarkF6SPD(b *testing.B) {
 			b.Fatal("nothing paged")
 		}
 	}
-}
-
-// BenchmarkE1Strategies runs the strategy shootout's largest case: DFS vs
-// learned best-first to first solution on DeepFailure(16,12).
-func BenchmarkE1Strategies(b *testing.B) {
-	db := mustLoad(b, workload.DeepFailure(16, 12))
-	goals := mustGoals(b, "top(W)")
-	b.Run("dfs", func(b *testing.B) {
-		ws := weights.NewUniform(weights.DefaultConfig())
-		for i := 0; i < b.N; i++ {
-			res, err := search.Run(context.Background(), db, ws, goals, search.Options{
-				Strategy: search.DFS, MaxSolutions: 1, MaxDepth: 64,
-			})
-			if err != nil || len(res.Solutions) != 1 {
-				b.Fatal("dfs failed")
-			}
-		}
-	})
-	b.Run("best-learned", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			tab := weights.NewTable(weights.Config{N: 16, A: 64})
-			if _, err := search.Run(context.Background(), db, tab, goals, search.Options{
-				Strategy: search.BestFirst, Learn: true, MaxDepth: 64,
-			}); err != nil {
-				b.Fatal(err)
-			}
-			res, err := search.Run(context.Background(), db, tab, goals, search.Options{
-				Strategy: search.BestFirst, Learn: true, MaxSolutions: 1, MaxDepth: 64,
-			})
-			if err != nil || len(res.Solutions) != 1 {
-				b.Fatal("learned run failed")
-			}
-		}
-	})
 }
 
 // BenchmarkE2SessionLearning runs one learning session over similar
@@ -320,29 +239,6 @@ func BenchmarkE7Scoreboard(b *testing.B) {
 	}
 }
 
-// BenchmarkE8AndParallel runs the semi-join against the nested loop on the
-// 200x400 join workload.
-func BenchmarkE8AndParallel(b *testing.B) {
-	db := mustLoad(b, workload.Join(200, 400, 0.25, 13))
-	uni := weights.NewUniform(weights.DefaultConfig())
-	goals := mustGoals(b, "r(X,K), s(K,V)")
-	opt := search.Options{Strategy: search.DFS}
-	b.Run("semijoin", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := andpar.SemiJoin(context.Background(), db, uni, goals[0], goals[1], nil, opt); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	b.Run("nested", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := andpar.NestedLoopJoin(context.Background(), db, uni, goals[0], goals[1], opt); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-}
-
 // BenchmarkE9Conditional compares marginal vs conditional weight tables
 // on the context-sensitive workload (section-5 extension).
 func BenchmarkE9Conditional(b *testing.B) {
@@ -370,23 +266,6 @@ func BenchmarkE9Conditional(b *testing.B) {
 	b.Run("conditional", func(b *testing.B) {
 		run(b, func() weights.Store { return weights.NewConditional(weights.Config{N: 16, A: 64}) })
 	})
-}
-
-// BenchmarkAblationEnvRep compares the persistent-environment design (the
-// DESIGN.md ablation note): deep binding chains with snapshots versus the
-// cost a copy-per-node representation would pay, approximated by deep
-// resolution over a shared chain.
-func BenchmarkAblationEnvRep(b *testing.B) {
-	db := mustLoad(b, workload.FamilyTree(5, 3))
-	ws := weights.NewUniform(weights.DefaultConfig())
-	goals := mustGoals(b, "anc(p0, X)")
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		res, err := search.Run(context.Background(), db, ws, goals, search.Options{Strategy: search.BestFirst, MaxDepth: 32})
-		if err != nil || !res.Exhausted {
-			b.Fatal("search failed")
-		}
-	}
 }
 
 // BenchmarkFullHarness runs the entire printable experiment suite once per

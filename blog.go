@@ -15,6 +15,13 @@
 // deadlines (QueryContext, IterContext) and a Program is safe for
 // concurrent Query calls.
 //
+// Loading compiles the program for cheap resolution: functor and atom
+// names are interned to integer symbols, and every clause becomes a
+// slot-numbered skeleton that is activated per resolution step with one
+// fresh-variable frame instead of a deep copy (see internal/term and
+// internal/kb). Loading is therefore the expensive step and querying the
+// cheap one — load a Program once and share it across goroutines.
+//
 // Quickstart:
 //
 //	p, err := blog.LoadString(src)

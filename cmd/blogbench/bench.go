@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"blog/internal/experiments"
+)
+
+// benchResult is one benchmark's machine-readable outcome.
+type benchResult struct {
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp int64   `json:"allocs_op"`
+	BytesOp  int64   `json:"bytes_op"`
+}
+
+// benchRun is one labelled set of results.
+type benchRun struct {
+	Label      string                 `json:"label"`
+	Go         string                 `json:"go,omitempty"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+// benchFile is the BENCH.json schema. The baseline section is written once
+// (or curated by hand from a known commit) and preserved on later runs, so
+// the current section can always be compared against the same reference.
+type benchFile struct {
+	Note     string    `json:"note"`
+	Baseline *benchRun `json:"baseline,omitempty"`
+	Current  *benchRun `json:"current"`
+}
+
+// runBenchJSON runs the shared exhibit benchmarks
+// (experiments.BenchCases, the same list bench_test.go runs) and writes
+// BENCH.json. An existing baseline section in the output file is
+// preserved; on a first run the current results also become the baseline.
+func runBenchJSON(path, label string) error {
+	cur := &benchRun{
+		Label:      label,
+		Go:         runtime.Version(),
+		Benchmarks: make(map[string]benchResult),
+	}
+	for _, c := range experiments.BenchCases() {
+		fmt.Fprintf(os.Stderr, "bench %-26s ", c.Name)
+		r := testing.Benchmark(c.Fn)
+		res := benchResult{
+			NsOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsOp: r.AllocsPerOp(),
+			BytesOp:  r.AllocedBytesPerOp(),
+		}
+		cur.Benchmarks[c.Name] = res
+		fmt.Fprintf(os.Stderr, "%12.0f ns/op %10d B/op %8d allocs/op\n",
+			res.NsOp, res.BytesOp, res.AllocsOp)
+	}
+
+	out := &benchFile{
+		Note:    "Per-exhibit benchmark results written by `blogbench -bench-json`. The baseline section is preserved across runs; compare current against it.",
+		Current: cur,
+	}
+	if prev, err := os.ReadFile(path); err == nil {
+		var old benchFile
+		// Refuse to overwrite a file we cannot parse: silently replacing
+		// a curated baseline with post-change numbers would corrupt every
+		// future comparison.
+		if err := json.Unmarshal(prev, &old); err != nil {
+			return fmt.Errorf("existing %s is not valid BENCH json (fix or remove it): %w", path, err)
+		}
+		if old.Baseline != nil {
+			out.Baseline = old.Baseline
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	if out.Baseline == nil {
+		out.Baseline = cur
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

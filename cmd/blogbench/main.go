@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	blogbench              # run everything
-//	blogbench -exp E1,E4   # run selected experiments
-//	blogbench -list        # list experiment ids
+//	blogbench                    # run everything
+//	blogbench -exp E1,E4         # run selected experiments
+//	blogbench -list              # list experiment ids
+//	blogbench -bench-json FILE   # run exhibit benchmarks, write FILE (e.g. BENCH.json)
 package main
 
 import (
@@ -23,10 +24,20 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		list = flag.Bool("list", false, "list experiments and exit")
+		exp        = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		benchJSON  = flag.String("bench-json", "", "run the exhibit benchmarks and write machine-readable results to this file")
+		benchLabel = flag.String("bench-label", "working tree", "label recorded with -bench-json results")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *benchLabel); err != nil {
+			fmt.Fprintf(os.Stderr, "blogbench: bench-json failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, r := range experiments.All() {

@@ -311,7 +311,7 @@ func SemiJoin(ctx context.Context, db *kb.DB, ws weights.Store, producer, consum
 			if !okAll {
 				continue
 			}
-			head := term.NewRenamer().Rename(c.Head)
+			head := c.ActivateHead()
 			if unify.CanUnify(env, consumer, head) {
 				return true
 			}
@@ -365,7 +365,7 @@ func SemiJoin(ctx context.Context, db *kb.DB, ws weights.Store, producer, consum
 				continue
 			}
 			rep.JoinAttempts++
-			head := term.NewRenamer().Rename(c.Head)
+			head := c.ActivateHead()
 			e2, ok := unify.Unify(env, consumer, head)
 			if !ok {
 				continue
@@ -431,7 +431,7 @@ func NestedLoopJoin(ctx context.Context, db *kb.DB, ws weights.Store, producer, 
 				return nil, fmt.Errorf("andpar: consumer %s resolves against rule %s", consPred, c)
 			}
 			rep.JoinAttempts++
-			head := term.NewRenamer().Rename(c.Head)
+			head := c.ActivateHead()
 			e2, ok := unify.Unify(env, consumer, head)
 			if !ok {
 				continue

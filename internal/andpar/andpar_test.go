@@ -68,7 +68,7 @@ func TestGroupsRespectEnvBindings(t *testing.T) {
 	// After binding the shared variable, the goals become independent.
 	goals := q(t, "p(X), q(X)")
 	x := term.Vars(goals[0], nil)[0]
-	env := (*term.Env)(nil).Bind(x, term.Atom("a"))
+	env := (*term.Env)(nil).Bind(x, term.NewAtom("a"))
 	groups := Groups(env, goals)
 	if len(groups) != 2 {
 		t.Fatalf("ground-shared goals should be independent, got %v", groups)

@@ -14,54 +14,64 @@ import (
 // program error such as an unbound arithmetic operand, not mere failure.
 type builtin func(env *term.Env, goal term.Term) ([]*term.Env, error)
 
+// biKey dispatches builtins on the goal's interned functor symbol and
+// arity — an integer map probe, with no string hashing on the hot path.
 type biKey struct {
-	name  string
+	fn    term.Sym
 	arity int
 }
 
 // IsBuiltin reports whether name/arity is an evaluable builtin.
 func IsBuiltin(name string, arity int) bool {
-	_, ok := builtins[biKey{name, arity}]
+	_, ok := builtins[biKey{term.Intern(name), arity}]
 	return ok
 }
 
 var builtins map[biKey]builtin
 
 func init() {
-	builtins = map[biKey]builtin{
-		{"true", 0}:      biTrue,
-		{"fail", 0}:      biFail,
-		{"false", 0}:     biFail,
-		{"!", 0}:         biCut,
-		{"=", 2}:         biUnify,
-		{"\\=", 2}:       biNotUnify,
-		{"==", 2}:        biStructEq,
-		{"\\==", 2}:      biStructNeq,
-		{"is", 2}:        biIs,
-		{"=:=", 2}:       arithCompare(func(a, b int64) bool { return a == b }),
-		{"=\\=", 2}:      arithCompare(func(a, b int64) bool { return a != b }),
-		{"<", 2}:         arithCompare(func(a, b int64) bool { return a < b }),
-		{">", 2}:         arithCompare(func(a, b int64) bool { return a > b }),
-		{"=<", 2}:        arithCompare(func(a, b int64) bool { return a <= b }),
-		{">=", 2}:        arithCompare(func(a, b int64) bool { return a >= b }),
-		{"@<", 2}:        termCompare(func(c int) bool { return c < 0 }),
-		{"@>", 2}:        termCompare(func(c int) bool { return c > 0 }),
-		{"@=<", 2}:       termCompare(func(c int) bool { return c <= 0 }),
-		{"@>=", 2}:       termCompare(func(c int) bool { return c >= 0 }),
-		{"between", 3}:   biBetween,
-		{"integer", 1}:   biInteger,
-		{"atom", 1}:      biAtom,
-		{"atomic", 1}:    biAtomic,
-		{"compound", 1}:  biCompound,
-		{"var", 1}:       biVar,
-		{"nonvar", 1}:    biNonvar,
-		{"ground", 1}:    biGround,
-		{"functor", 3}:   biFunctor,
-		{"arg", 3}:       biArg,
-		{"=..", 2}:       biUniv,
-		{"length", 2}:    biLength,
-		{"copy_term", 2}: biCopyTerm,
-		{"succ", 2}:      biSucc,
+	entries := []struct {
+		name  string
+		arity int
+		fn    builtin
+	}{
+		{"true", 0, biTrue},
+		{"fail", 0, biFail},
+		{"false", 0, biFail},
+		{"!", 0, biCut},
+		{"=", 2, biUnify},
+		{"\\=", 2, biNotUnify},
+		{"==", 2, biStructEq},
+		{"\\==", 2, biStructNeq},
+		{"is", 2, biIs},
+		{"=:=", 2, arithCompare(func(a, b int64) bool { return a == b })},
+		{"=\\=", 2, arithCompare(func(a, b int64) bool { return a != b })},
+		{"<", 2, arithCompare(func(a, b int64) bool { return a < b })},
+		{">", 2, arithCompare(func(a, b int64) bool { return a > b })},
+		{"=<", 2, arithCompare(func(a, b int64) bool { return a <= b })},
+		{">=", 2, arithCompare(func(a, b int64) bool { return a >= b })},
+		{"@<", 2, termCompare(func(c int) bool { return c < 0 })},
+		{"@>", 2, termCompare(func(c int) bool { return c > 0 })},
+		{"@=<", 2, termCompare(func(c int) bool { return c <= 0 })},
+		{"@>=", 2, termCompare(func(c int) bool { return c >= 0 })},
+		{"between", 3, biBetween},
+		{"integer", 1, biInteger},
+		{"atom", 1, biAtom},
+		{"atomic", 1, biAtomic},
+		{"compound", 1, biCompound},
+		{"var", 1, biVar},
+		{"nonvar", 1, biNonvar},
+		{"ground", 1, biGround},
+		{"functor", 3, biFunctor},
+		{"arg", 3, biArg},
+		{"=..", 2, biUniv},
+		{"length", 2, biLength},
+		{"copy_term", 2, biCopyTerm},
+		{"succ", 2, biSucc},
+	}
+	builtins = make(map[biKey]builtin, len(entries))
+	for _, e := range entries {
+		builtins[biKey{term.Intern(e.name), e.arity}] = e.fn
 	}
 }
 
@@ -102,17 +112,23 @@ func biNotUnify(env *term.Env, goal term.Term) ([]*term.Env, error) {
 	return []*term.Env{env}, nil
 }
 
-func biStructEq(env *term.Env, goal term.Term) ([]*term.Env, error) {
+// structEq is the shared core of ==/2 and \==/2: structural equality with
+// bindings applied on the fly, resolving each argument position exactly
+// once and allocating no deep-resolved copies.
+func structEq(env *term.Env, goal term.Term) bool {
 	a, b := args2(goal)
-	if term.Equal(env.ResolveDeep(a), env.ResolveDeep(b)) {
+	return term.EqualUnder(env, a, b)
+}
+
+func biStructEq(env *term.Env, goal term.Term) ([]*term.Env, error) {
+	if structEq(env, goal) {
 		return []*term.Env{env}, nil
 	}
 	return nil, nil
 }
 
 func biStructNeq(env *term.Env, goal term.Term) ([]*term.Env, error) {
-	a, b := args2(goal)
-	if term.Equal(env.ResolveDeep(a), env.ResolveDeep(b)) {
+	if structEq(env, goal) {
 		return nil, nil
 	}
 	return []*term.Env{env}, nil
@@ -151,7 +167,7 @@ func arithCompare(cmp func(a, b int64) bool) builtin {
 func termCompare(ok func(c int) bool) builtin {
 	return func(env *term.Env, goal term.Term) ([]*term.Env, error) {
 		a, b := args2(goal)
-		if ok(term.Compare(env.ResolveDeep(a), env.ResolveDeep(b))) {
+		if ok(term.CompareUnder(env, a, b)) {
 			return []*term.Env{env}, nil
 		}
 		return nil, nil
@@ -256,7 +272,7 @@ func biFunctor(env *term.Env, goal term.Term) ([]*term.Env, error) {
 			for i := range args {
 				args[i] = term.NewVar("_")
 			}
-			if e, ok := unify.Unify(env, t, term.NewCompound(string(nm), args...)); ok {
+			if e, ok := unify.Unify(env, t, term.NewCompound(nm.Name(), args...)); ok {
 				return []*term.Env{e}, nil
 			}
 			return nil, nil
@@ -276,7 +292,7 @@ func biFunctor(env *term.Env, goal term.Term) ([]*term.Env, error) {
 	case term.Int:
 		return unifyPair(env, c.Args[1], t, c.Args[2], term.Int(0))
 	case *term.Compound:
-		return unifyPair(env, c.Args[1], term.Atom(t.Functor), c.Args[2], term.Int(int64(len(t.Args))))
+		return unifyPair(env, c.Args[1], term.AtomOf(t.Functor), c.Args[2], term.Int(int64(len(t.Args))))
 	}
 	return nil, nil
 }
@@ -351,13 +367,13 @@ func biUniv(env *term.Env, goal term.Term) ([]*term.Env, error) {
 		if !ok {
 			return nil, errors.New("engine: =../2 functor must be an atom")
 		}
-		if e, ok := unify.Unify(env, t, term.NewCompound(string(name), items[1:]...)); ok {
+		if e, ok := unify.Unify(env, t, term.NewCompound(name.Name(), items[1:]...)); ok {
 			return []*term.Env{e}, nil
 		}
 		return nil, nil
 	case *term.Compound:
 		items := make([]term.Term, 0, len(t.Args)+1)
-		items = append(items, term.Atom(t.Functor))
+		items = append(items, term.AtomOf(t.Functor))
 		items = append(items, t.Args...)
 		if e, ok := unify.Unify(env, c.Args[1], term.FromList(items)); ok {
 			return []*term.Env{e}, nil
@@ -379,7 +395,7 @@ func listSlice(env *term.Env, t term.Term) (items []term.Term, proper bool) {
 			return items, true
 		}
 		cell, ok := t.(*term.Compound)
-		if !ok || cell.Functor != "." || len(cell.Args) != 2 {
+		if !ok || cell.Functor != term.SymDot || len(cell.Args) != 2 {
 			return items, false
 		}
 		items = append(items, cell.Args[0])
@@ -423,7 +439,7 @@ func biLength(env *term.Env, goal term.Term) ([]*term.Env, error) {
 // argument unifies with the second.
 func biCopyTerm(env *term.Env, goal term.Term) ([]*term.Env, error) {
 	c := goal.(*term.Compound)
-	cp := term.NewRenamer().Rename(env.ResolveDeep(c.Args[0]))
+	cp := term.Refresh(env.ResolveDeep(c.Args[0]))
 	if e, ok := unify.Unify(env, c.Args[1], cp); ok {
 		return []*term.Env{e}, nil
 	}
@@ -460,6 +476,19 @@ func biSucc(env *term.Env, goal term.Term) ([]*term.Env, error) {
 // unbound variable.
 var ErrUnboundArithmetic = errors.New("engine: unbound variable in arithmetic expression")
 
+// Pre-interned arithmetic function symbols, so Eval dispatches on integer
+// compares instead of functor strings.
+var (
+	symAdd    = term.Intern("+")
+	symSub    = term.Intern("-")
+	symMul    = term.Intern("*")
+	symIntDiv = term.Intern("//")
+	symMod    = term.Intern("mod")
+	symAbs    = term.Intern("abs")
+	symMin    = term.Intern("min")
+	symMax    = term.Intern("max")
+)
+
 // Eval evaluates an arithmetic expression term to an integer.
 // Supported: integers, + - * // mod abs min max, and unary minus.
 func Eval(env *term.Env, t term.Term) (int64, error) {
@@ -478,9 +507,9 @@ func Eval(env *term.Env, t term.Term) (int64, error) {
 				return 0, err
 			}
 			switch t.Functor {
-			case "-":
+			case symSub:
 				return -a, nil
-			case "abs":
+			case symAbs:
 				if a < 0 {
 					return -a, nil
 				}
@@ -498,18 +527,18 @@ func Eval(env *term.Env, t term.Term) (int64, error) {
 				return 0, err
 			}
 			switch t.Functor {
-			case "+":
+			case symAdd:
 				return a + b, nil
-			case "-":
+			case symSub:
 				return a - b, nil
-			case "*":
+			case symMul:
 				return a * b, nil
-			case "//":
+			case symIntDiv:
 				if b == 0 {
 					return 0, errors.New("engine: division by zero")
 				}
 				return a / b, nil
-			case "mod":
+			case symMod:
 				if b == 0 {
 					return 0, errors.New("engine: mod by zero")
 				}
@@ -518,12 +547,12 @@ func Eval(env *term.Env, t term.Term) (int64, error) {
 					m += b
 				}
 				return m, nil
-			case "min":
+			case symMin:
 				if a < b {
 					return a, nil
 				}
 				return b, nil
-			case "max":
+			case symMax:
 				if a > b {
 					return a, nil
 				}

@@ -226,7 +226,7 @@ func TestEvalErrors(t *testing.T) {
 	if _, err := Eval(nil, term.NewVar("X")); err != ErrUnboundArithmetic {
 		t.Errorf("unbound eval: %v", err)
 	}
-	if _, err := Eval(nil, term.Atom("a")); err == nil {
+	if _, err := Eval(nil, term.NewAtom("a")); err == nil {
 		t.Error("atom eval should error")
 	}
 	div, _ := parse.OneTerm("//(1,0)")

@@ -200,11 +200,11 @@ func (e *Expander) Expand(n *Node) ([]*Node, error) {
 	}
 	goal := n.Env.Resolve(entry.Goal)
 
-	if name, arity, ok := term.Functor(goal); ok {
-		if name == "\\+" && arity == 1 {
+	if fn, arity, ok := term.PredOf(goal); ok {
+		if fn == term.SymNeg && arity == 1 {
 			return e.expandNegation(n, goal)
 		}
-		if bi, isBI := builtins[biKey{name, arity}]; isBI {
+		if bi, isBI := builtins[biKey{fn, arity}]; isBI {
 			return e.expandBuiltin(n, entry, goal, bi)
 		}
 	}
@@ -212,15 +212,21 @@ func (e *Expander) Expand(n *Node) ([]*Node, error) {
 	cands := e.DB.Candidates(n.Env, goal)
 	children := make([]*Node, 0, len(cands))
 	for _, c := range cands {
-		r := term.NewRenamer()
-		head := r.Rename(c.Head)
+		// Two-phase activation of the compiled clause: instantiate the
+		// head (slot lookups over a fresh frame, ground subterms shared —
+		// no map-backed deep rename), and build the body only if the head
+		// actually unifies.
+		head, frame := c.HeadForUnify()
 		env, ok := e.unify(n.Env, goal, head)
 		if !ok {
 			continue
 		}
 		bodyEntries := make([]GoalEntry, len(c.Body))
-		for i, g := range c.Body {
-			bodyEntries[i] = GoalEntry{Goal: r.Rename(g), Caller: c.ID, Pos: i}
+		if len(bodyEntries) > 0 {
+			frame = c.EnsureFrame(frame)
+			for i := range bodyEntries {
+				bodyEntries[i] = GoalEntry{Goal: c.InstantiateGoal(i, frame), Caller: c.ID, Pos: i}
+			}
 		}
 		arc := kb.Arc{Caller: entry.Caller, Pos: entry.Pos, Callee: c.ID}
 		e.seq++

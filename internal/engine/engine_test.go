@@ -47,25 +47,25 @@ func TestGoalStack(t *testing.T) {
 	if _, ok := s.Top(); ok {
 		t.Error("empty stack should have no top")
 	}
-	g1 := GoalEntry{Goal: term.Atom("a")}
-	g2 := GoalEntry{Goal: term.Atom("b")}
+	g1 := GoalEntry{Goal: term.NewAtom("a")}
+	g2 := GoalEntry{Goal: term.NewAtom("b")}
 	s2 := PushGoals(s, []GoalEntry{g1, g2})
 	if s2.Len() != 2 {
 		t.Errorf("len = %d", s2.Len())
 	}
 	top, _ := s2.Top()
-	if top.Goal != term.Atom("a") {
+	if top.Goal != term.NewAtom("a") {
 		t.Error("push order wrong: first entry must be on top")
 	}
 	if s2.Pop().Len() != 1 {
 		t.Error("pop should drop one")
 	}
 	// Persistence: s2 unchanged after further pushes.
-	s3 := PushGoals(s2.Pop(), []GoalEntry{{Goal: term.Atom("c")}})
-	if top2, _ := s2.Top(); top2.Goal != term.Atom("a") {
+	s3 := PushGoals(s2.Pop(), []GoalEntry{{Goal: term.NewAtom("c")}})
+	if top2, _ := s2.Top(); top2.Goal != term.NewAtom("a") {
 		t.Error("s2 mutated")
 	}
-	if top3, _ := s3.Top(); top3.Goal != term.Atom("c") {
+	if top3, _ := s3.Top(); top3.Goal != term.NewAtom("c") {
 		t.Error("s3 top wrong")
 	}
 }

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"blog/internal/andpar"
+	"blog/internal/kb"
+	"blog/internal/parse"
+	"blog/internal/search"
+	"blog/internal/term"
+	"blog/internal/weights"
+	"blog/internal/workload"
+)
+
+// BenchCase is one resolution-heavy exhibit benchmark. The module-root
+// bench_test.go and `blogbench -bench-json` both run exactly this list,
+// so the CI-smoked benchmarks and the BENCH.json perf trajectory can
+// never measure different workloads under the same name.
+type BenchCase struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+func benchLoad(src string) *kb.DB {
+	db, _, err := kb.LoadString(src)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+func benchGoals(q string) []term.Term {
+	goals, err := parse.Query(q)
+	if err != nil {
+		panic(err)
+	}
+	return goals
+}
+
+// BenchCases returns the shared exhibit benchmark list.
+func BenchCases() []BenchCase {
+	return []BenchCase{
+		{"F1Fig1Trace", func(b *testing.B) {
+			db := benchLoad(Fig1Program)
+			ws := weights.NewUniform(weights.DefaultConfig())
+			goals := benchGoals("gf(sam,G)")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := search.Run(context.Background(), db, ws, goals, search.Options{
+					Strategy: search.DFS, MaxSolutions: 1, RecordTrace: true,
+				})
+				if err != nil || len(res.Solutions) != 1 {
+					b.Fatal("trace run failed")
+				}
+			}
+		}},
+		{"F3SearchTree", func(b *testing.B) {
+			db := benchLoad(Fig1Program)
+			ws := weights.NewUniform(weights.DefaultConfig())
+			goals := benchGoals("gf(sam,G)")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := search.Run(context.Background(), db, ws, goals, search.Options{
+					Strategy: search.DFS, RecordTree: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s, f, _ := res.Tree.CountStatus(); s != 2 || f != 1 {
+					b.Fatal("wrong tree")
+				}
+			}
+		}},
+		{"F4BestFirstOrder", func(b *testing.B) {
+			db := benchLoad(Sec5Program)
+			tab := weights.NewTable(weights.Config{N: 16, A: 64})
+			tab.Set(kb.Arc{Caller: kb.Query, Pos: 0, Callee: 0}, 0)
+			tab.Set(kb.Arc{Caller: 0, Pos: 0, Callee: 1}, 4)
+			tab.Set(kb.Arc{Caller: 0, Pos: 0, Callee: 2}, 3)
+			tab.Set(kb.Arc{Caller: 0, Pos: 1, Callee: 3}, 5)
+			tab.Set(kb.Arc{Caller: 0, Pos: 2, Callee: 4}, 6)
+			tab.Set(kb.Arc{Caller: 1, Pos: 0, Callee: 5}, 1)
+			tab.Set(kb.Arc{Caller: 2, Pos: 0, Callee: 6}, 2)
+			tab.Set(kb.Arc{Caller: 3, Pos: 0, Callee: 7}, 1)
+			tab.Set(kb.Arc{Caller: 4, Pos: 0, Callee: 8}, 1)
+			goals := benchGoals("a")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := search.Run(context.Background(), db, tab, goals, search.Options{
+					Strategy: search.BestFirst,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"E1Strategies/dfs", func(b *testing.B) {
+			db := benchLoad(workload.DeepFailure(16, 12))
+			goals := benchGoals("top(W)")
+			ws := weights.NewUniform(weights.DefaultConfig())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := search.Run(context.Background(), db, ws, goals, search.Options{
+					Strategy: search.DFS, MaxSolutions: 1, MaxDepth: 64,
+				})
+				if err != nil || len(res.Solutions) != 1 {
+					b.Fatal("dfs failed")
+				}
+			}
+		}},
+		{"E1Strategies/best-learned", func(b *testing.B) {
+			db := benchLoad(workload.DeepFailure(16, 12))
+			goals := benchGoals("top(W)")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tab := weights.NewTable(weights.Config{N: 16, A: 64})
+				if _, err := search.Run(context.Background(), db, tab, goals, search.Options{
+					Strategy: search.BestFirst, Learn: true, MaxDepth: 64,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				res, err := search.Run(context.Background(), db, tab, goals, search.Options{
+					Strategy: search.BestFirst, Learn: true, MaxSolutions: 1, MaxDepth: 64,
+				})
+				if err != nil || len(res.Solutions) != 1 {
+					b.Fatal("learned run failed")
+				}
+			}
+		}},
+		{"E8AndParallel/semijoin", func(b *testing.B) {
+			db := benchLoad(workload.Join(200, 400, 0.25, 13))
+			uni := weights.NewUniform(weights.DefaultConfig())
+			goals := benchGoals("r(X,K), s(K,V)")
+			opt := search.Options{Strategy: search.DFS}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := andpar.SemiJoin(context.Background(), db, uni, goals[0], goals[1], nil, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"E8AndParallel/nested", func(b *testing.B) {
+			db := benchLoad(workload.Join(200, 400, 0.25, 13))
+			uni := weights.NewUniform(weights.DefaultConfig())
+			goals := benchGoals("r(X,K), s(K,V)")
+			opt := search.Options{Strategy: search.DFS}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := andpar.NestedLoopJoin(context.Background(), db, uni, goals[0], goals[1], opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"AblationEnvRep", func(b *testing.B) {
+			db := benchLoad(workload.FamilyTree(5, 3))
+			ws := weights.NewUniform(weights.DefaultConfig())
+			goals := benchGoals("anc(p0, X)")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := search.Run(context.Background(), db, ws, goals, search.Options{
+					Strategy: search.BestFirst, MaxDepth: 32,
+				})
+				if err != nil || !res.Exhausted {
+					b.Fatal("search failed")
+				}
+			}
+		}},
+	}
+}

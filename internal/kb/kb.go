@@ -11,11 +11,18 @@
 // what weights attach to; because they are static program coordinates, a
 // weight learned by one query is visible to every later query that travels
 // the same pointer, which is requirement 1 of section 4.
+//
+// Clauses are compiled at load time: their terms become slot-numbered
+// skeletons (term.Skeleton), so resolution activates a clause with one
+// fresh-variable frame instead of a map-backed deep rename, and the
+// predicate and first-argument indexes key on interned symbols (term.Sym)
+// instead of formatted strings.
 package kb
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"blog/internal/parse"
@@ -47,6 +54,8 @@ func (a Arc) String() string {
 }
 
 // Clause is one stored Horn clause (a block in the paper's linked list).
+// Head and Body keep the loaded terms for rendering and static analysis;
+// resolution uses the compiled skeleton via Activate.
 type Clause struct {
 	ID   ClauseID
 	Head term.Term
@@ -55,10 +64,82 @@ type Clause struct {
 	Pred string
 	// Line is the source line, when parsed from text.
 	Line int
+
+	// Compiled form: head and body skeletons over one shared slot
+	// numbering, plus the print names of the slots (in slot order).
+	headSkel term.Skeleton
+	bodySkel []term.Skeleton
+	varNames []string
 }
 
 // IsFact reports whether the clause has an empty body.
 func (c *Clause) IsFact() bool { return len(c.Body) == 0 }
+
+// NumVars returns the number of variable slots in the compiled clause.
+func (c *Clause) NumVars() int { return len(c.varNames) }
+
+// Activate instantiates the clause for one resolution step: a fresh
+// activation frame is allocated and the head and body are rebuilt by slot
+// lookup, sharing all ground subterms. It replaces the per-resolution deep
+// rename of the uncompiled representation.
+func (c *Clause) Activate() (head term.Term, body []term.Term) {
+	frame := term.NewFrame(c.varNames)
+	head = c.headSkel.Instantiate(frame)
+	if len(c.bodySkel) == 0 {
+		return head, nil
+	}
+	body = make([]term.Term, len(c.bodySkel))
+	for i := range c.bodySkel {
+		body[i] = c.bodySkel[i].Instantiate(frame)
+	}
+	return head, body
+}
+
+// ActivateHead instantiates only the clause head, renamed apart. Fact
+// joins use this; a ground head comes back shared with zero allocation.
+func (c *Clause) ActivateHead() term.Term {
+	if c.headSkel.IsGround() {
+		return c.Head
+	}
+	return c.headSkel.Instantiate(term.NewFrame(c.varNames))
+}
+
+// HeadForUnify begins a two-phase activation: it instantiates the head for
+// a resolution attempt, minting a frame only when the head has variables.
+// If the head unifies, BodyAfter completes the activation with the same
+// frame; if not, the body (often the bulk of the clause) was never built.
+func (c *Clause) HeadForUnify() (term.Term, *term.Frame) {
+	if c.headSkel.IsGround() {
+		return c.Head, nil
+	}
+	f := term.NewFrame(c.varNames)
+	return c.headSkel.Instantiate(f), f
+}
+
+// EnsureFrame completes a two-phase activation's frame: a nil frame from
+// HeadForUnify (ground head) is minted here when the clause has variables
+// elsewhere. Callers then instantiate body goals via InstantiateGoal.
+func (c *Clause) EnsureFrame(f *term.Frame) *term.Frame {
+	if f == nil && len(c.varNames) > 0 {
+		f = term.NewFrame(c.varNames)
+	}
+	return f
+}
+
+// InstantiateGoal instantiates the body goal at pos against an activation
+// frame, letting callers build their own goal records without an
+// intermediate body slice.
+func (c *Clause) InstantiateGoal(pos int, f *term.Frame) term.Term {
+	return c.bodySkel[pos].Instantiate(f)
+}
+
+// ActivateGoal instantiates the body goal at pos, renamed apart.
+func (c *Clause) ActivateGoal(pos int) term.Term {
+	if c.bodySkel[pos].IsGround() {
+		return c.Body[pos]
+	}
+	return c.bodySkel[pos].Instantiate(term.NewFrame(c.varNames))
+}
 
 // String renders the clause in source syntax. A space precedes the final
 // period when the text would otherwise end in a symbolic character (the
@@ -80,26 +161,42 @@ func (c *Clause) String() string {
 	return text + "."
 }
 
+// predKey identifies a predicate by interned functor symbol and arity —
+// the allocation-free analogue of the "f/2" indicator string.
+type predKey struct {
+	fn    term.Sym
+	arity int
+}
+
+// argKey is the first-argument index key: the shape of a constant (atom,
+// integer, or compound principal functor) as a comparable struct, so index
+// probes never format strings.
+type argKey struct {
+	kind byte // 'a' atom, 'i' integer, 'c' compound
+	sym  term.Sym
+	num  int64 // integer value, or compound arity
+}
+
 // DB is the clause database. Loading is single-threaded; after loading,
 // all methods used during search are read-only and safe for concurrent use
 // by parallel workers.
 type DB struct {
 	clauses []*Clause
-	// byPred maps a predicate indicator to its clauses in source order.
-	byPred map[string][]*Clause
+	// byPred maps a predicate key to its clauses in source order.
+	byPred map[predKey][]*Clause
 	// firstArg maps pred -> first-argument constant key -> clauses whose
-	// head first argument is that constant. Clauses with a variable or
-	// compound first argument appear in varFirst and match any key.
-	firstArg map[string]map[string][]*Clause
-	varFirst map[string][]*Clause
+	// head first argument is that constant. Clauses with a variable first
+	// argument appear in varFirst and match any key.
+	firstArg map[predKey]map[argKey][]*Clause
+	varFirst map[predKey][]*Clause
 }
 
 // New returns an empty database.
 func New() *DB {
 	return &DB{
-		byPred:   make(map[string][]*Clause),
-		firstArg: make(map[string]map[string][]*Clause),
-		varFirst: make(map[string][]*Clause),
+		byPred:   make(map[predKey][]*Clause),
+		firstArg: make(map[predKey]map[argKey][]*Clause),
+		varFirst: make(map[predKey][]*Clause),
 	}
 }
 
@@ -127,38 +224,53 @@ func (db *DB) assert(head term.Term, body []term.Term, line int) *Clause {
 	if !ok {
 		panic(fmt.Sprintf("kb: clause head %s is not callable", head))
 	}
+	fn, arity, _ := term.PredOf(head)
+	key := predKey{fn, arity}
 	c := &Clause{ID: ClauseID(len(db.clauses)), Head: head, Body: body, Pred: pred, Line: line}
+	// Compile once: head and body share one slot numbering.
+	terms := make([]term.Term, 0, len(body)+1)
+	terms = append(terms, head)
+	terms = append(terms, body...)
+	sks, names := term.CompileTerms(terms)
+	c.headSkel, c.bodySkel, c.varNames = sks[0], sks[1:], names
+
 	db.clauses = append(db.clauses, c)
-	db.byPred[pred] = append(db.byPred[pred], c)
-	if key, keyed := firstArgKey(head); keyed {
-		m := db.firstArg[pred]
+	db.byPred[key] = append(db.byPred[key], c)
+	if ak, keyed := firstArgKey(head); keyed {
+		m := db.firstArg[key]
 		if m == nil {
-			m = make(map[string][]*Clause)
-			db.firstArg[pred] = m
+			m = make(map[argKey][]*Clause)
+			db.firstArg[key] = m
 		}
-		m[key] = append(m[key], c)
+		m[ak] = append(m[ak], c)
 	} else {
-		db.varFirst[pred] = append(db.varFirst[pred], c)
+		db.varFirst[key] = append(db.varFirst[key], c)
 	}
 	return c
 }
 
 // firstArgKey returns an index key for the first head argument if it is an
 // atom or integer. Compound first arguments are indexed by functor/arity.
-func firstArgKey(head term.Term) (string, bool) {
+func firstArgKey(head term.Term) (argKey, bool) {
 	c, ok := head.(*term.Compound)
 	if !ok || len(c.Args) == 0 {
-		return "", false
+		return argKey{}, false
 	}
-	switch a := c.Args[0].(type) {
+	return constKey(c.Args[0])
+}
+
+// constKey computes the index key of a constant term; variables (and any
+// other unindexable term) report false.
+func constKey(arg term.Term) (argKey, bool) {
+	switch a := arg.(type) {
 	case term.Atom:
-		return "a:" + string(a), true
+		return argKey{kind: 'a', sym: a.Sym()}, true
 	case term.Int:
-		return "i:" + a.String(), true
+		return argKey{kind: 'i', num: int64(a)}, true
 	case *term.Compound:
-		return fmt.Sprintf("c:%s/%d", a.Functor, len(a.Args)), true
+		return argKey{kind: 'c', sym: a.Functor, num: int64(len(a.Args))}, true
 	default: // variable: not keyed
-		return "", false
+		return argKey{}, false
 	}
 }
 
@@ -181,27 +293,41 @@ func (db *DB) Clauses() []*Clause { return db.clauses }
 // Preds returns the sorted list of predicate indicators present.
 func (db *DB) Preds() []string {
 	out := make([]string, 0, len(db.byPred))
-	for p := range db.byPred {
-		out = append(out, p)
+	for k := range db.byPred {
+		out = append(out, k.fn.Name()+"/"+strconv.Itoa(k.arity))
 	}
 	sort.Strings(out)
 	return out
 }
 
-// ClausesFor returns the clauses for a predicate indicator in source order.
-func (db *DB) ClausesFor(pred string) []*Clause { return db.byPred[pred] }
+// ClausesFor returns the clauses for a predicate indicator ("name/arity",
+// as produced by term.Indicator or Preds) in source order.
+func (db *DB) ClausesFor(pred string) []*Clause {
+	i := strings.LastIndexByte(pred, '/')
+	if i < 0 {
+		return nil
+	}
+	arity, err := strconv.Atoi(pred[i+1:])
+	if err != nil {
+		return nil
+	}
+	return db.byPred[predKey{term.Intern(pred[:i]), arity}]
+}
 
 // Candidates returns, in source order, the clauses whose heads may unify
 // with the goal as resolved under env. The first-argument index prunes
 // clauses whose head first argument is a different constant; the result is
 // a superset of the truly unifiable clauses (unification still decides).
+// The probe is allocation-free: predicate and argument keys are interned
+// symbols, not formatted strings.
 func (db *DB) Candidates(env *term.Env, goal term.Term) []*Clause {
 	goal = env.Resolve(goal)
-	pred, ok := term.Indicator(goal)
+	fn, arity, ok := term.PredOf(goal)
 	if !ok {
 		return nil
 	}
-	all := db.byPred[pred]
+	key := predKey{fn, arity}
+	all := db.byPred[key]
 	if len(all) == 0 {
 		return nil
 	}
@@ -209,12 +335,12 @@ func (db *DB) Candidates(env *term.Env, goal term.Term) []*Clause {
 	if !ok || len(gc.Args) == 0 {
 		return all
 	}
-	key, keyed := callKey(env, gc.Args[0])
+	ak, keyed := constKey(env.Resolve(gc.Args[0]))
 	if !keyed {
 		return all
 	}
-	keyedClauses := db.firstArg[pred][key]
-	varClauses := db.varFirst[pred]
+	keyedClauses := db.firstArg[key][ak]
+	varClauses := db.varFirst[key]
 	if len(varClauses) == 0 {
 		return keyedClauses
 	}
@@ -236,21 +362,6 @@ func (db *DB) Candidates(env *term.Env, goal term.Term) []*Clause {
 	out = append(out, keyedClauses[i:]...)
 	out = append(out, varClauses[j:]...)
 	return out
-}
-
-// callKey computes the index key of a call's first argument under env.
-func callKey(env *term.Env, arg term.Term) (string, bool) {
-	arg = env.Resolve(arg)
-	switch a := arg.(type) {
-	case term.Atom:
-		return "a:" + string(a), true
-	case term.Int:
-		return "i:" + a.String(), true
-	case *term.Compound:
-		return fmt.Sprintf("c:%s/%d", a.Functor, len(a.Args)), true
-	default:
-		return "", false
-	}
 }
 
 // Arcs enumerates every static arc of the database: for each clause body
@@ -289,7 +400,5 @@ func (db *DB) ResolvableBy(caller ClauseID, pos int, callee ClauseID) bool {
 	if c == nil || k == nil || pos < 0 || pos >= len(c.Body) {
 		return false
 	}
-	goal := term.NewRenamer().Rename(c.Body[pos])
-	head := term.NewRenamer().Rename(k.Head)
-	return unify.CanUnify(nil, goal, head)
+	return unify.CanUnify(nil, c.ActivateGoal(pos), k.ActivateHead())
 }

@@ -116,7 +116,7 @@ func TestCandidatesIndexUsesEnv(t *testing.T) {
 	db := load(t, fig1)
 	x := term.NewVar("X")
 	goal := term.NewCompound("f", x, term.NewVar("Y"))
-	env := (*term.Env)(nil).Bind(x, term.Atom("larry"))
+	env := (*term.Env)(nil).Bind(x, term.NewAtom("larry"))
 	cands := db.Candidates(env, goal)
 	if len(cands) != 2 {
 		t.Fatalf("f(larry,Y) under env: %d candidates, want 2", len(cands))
@@ -276,6 +276,52 @@ func TestAssertPanicsOnNonCallable(t *testing.T) {
 		}
 	}()
 	db.Assert(term.Int(1), nil)
+}
+
+func TestClauseActivation(t *testing.T) {
+	db, _, err := LoadString("p(X,Y) :- q(X,Z), r(Z,Y).\nq(a,b).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := db.Clause(0)
+	if rule.NumVars() != 3 {
+		t.Fatalf("rule has %d slots, want 3 (X,Y,Z)", rule.NumVars())
+	}
+	h1, b1 := rule.Activate()
+	h2, b2 := rule.Activate()
+	// Structure preserved, variables renamed apart across activations.
+	if h1.String() != "p(X,Y)" || len(b1) != 2 {
+		t.Fatalf("activation produced %s / %v", h1, b1)
+	}
+	x1 := h1.(*term.Compound).Args[0].(*term.Var)
+	x2 := h2.(*term.Compound).Args[0].(*term.Var)
+	if x1 == x2 {
+		t.Error("two activations must not share variables")
+	}
+	// Shared variables map to the same fresh var within one activation.
+	z1 := b1[0].(*term.Compound).Args[1].(*term.Var)
+	z1b := b1[1].(*term.Compound).Args[0].(*term.Var)
+	if z1 != z1b {
+		t.Error("Z must be the same fresh variable in both body goals")
+	}
+	if x2 == z1 || b2[0].(*term.Compound).Args[1].(*term.Var) == z1 {
+		t.Error("activations leaked variables into each other")
+	}
+	// Ground fact heads activate as the stored term itself.
+	fact := db.Clause(1)
+	if fact.ActivateHead() != fact.Head {
+		t.Error("ground fact head must be shared, not copied")
+	}
+	// Two-phase activation defers the body until the head unified.
+	head, frame := rule.HeadForUnify()
+	if head == nil || frame == nil {
+		t.Fatal("rule head activation needs a frame")
+	}
+	frame = rule.EnsureFrame(frame)
+	g0 := rule.InstantiateGoal(0, frame)
+	if g0.(*term.Compound).Args[0] != head.(*term.Compound).Args[0] {
+		t.Error("body goal must reuse the head's activation frame")
+	}
 }
 
 func BenchmarkCandidatesIndexed(b *testing.B) {

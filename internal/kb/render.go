@@ -110,7 +110,7 @@ func (db *DB) GraphDOT() string {
 			from, to := f.Args[0].String(), f.Args[1].String()
 			node(from)
 			node(to)
-			fmt.Fprintf(&b, "  %s -> %s [label=%s];\n", quote(from), quote(to), quote(f.Functor))
+			fmt.Fprintf(&b, "  %s -> %s [label=%s];\n", quote(from), quote(to), quote(f.FunctorName()))
 			continue
 		}
 		node(c.Head.String())

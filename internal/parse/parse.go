@@ -275,7 +275,7 @@ func (p *parser) primary() (term.Term, error) {
 			}
 			return term.NewCompound(name, args...), nil
 		}
-		return term.Atom(name), nil
+		return term.NewAtom(name), nil
 
 	case tokPunct:
 		switch p.tok.text {
@@ -291,7 +291,7 @@ func (p *parser) primary() (term.Term, error) {
 		case "[":
 			return p.list()
 		case "!":
-			return term.Atom("!"), p.advance()
+			return term.NewAtom("!"), p.advance()
 		}
 	}
 	return nil, p.lx.errorf(p.tok.line, p.tok.col, "unexpected %s", p.tok)

@@ -192,13 +192,13 @@ func TestParseQuotedAtoms(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := g[0].(*term.Compound)
-	if c.Args[0] != term.Atom("hello world") {
+	if c.Args[0] != term.NewAtom("hello world") {
 		t.Errorf("arg0 = %v", c.Args[0])
 	}
-	if c.Args[1] != term.Atom("it's") {
+	if c.Args[1] != term.NewAtom("it's") {
 		t.Errorf("arg1 = %v", c.Args[1])
 	}
-	if c.Args[2] != term.Atom("a\nb") {
+	if c.Args[2] != term.NewAtom("a\nb") {
 		t.Errorf("arg2 = %v", c.Args[2])
 	}
 }

@@ -36,7 +36,7 @@ func datalogCheck(t term.Term) error {
 	case term.Atom:
 		return nil
 	case *term.Compound:
-		if t.Functor == "." && len(t.Args) == 2 {
+		if t.Functor == term.SymDot && len(t.Args) == 2 {
 			return fmt.Errorf("%w: list argument %s", ErrNotDatalog, t)
 		}
 		for _, a := range t.Args {
@@ -104,12 +104,7 @@ func Eval(db *kb.DB) (*Model, error) {
 		changed = false
 		m.Iterations++
 		for _, r := range rules {
-			ren := term.NewRenamer()
-			head := ren.Rename(r.Head)
-			body := make([]term.Term, len(r.Body))
-			for i, g := range r.Body {
-				body[i] = ren.Rename(g)
-			}
+			head, body := r.Activate()
 			for _, env := range m.joinAll(nil, body) {
 				ground := env.ResolveDeep(head)
 				if !term.Ground(nil, ground) {

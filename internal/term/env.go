@@ -9,16 +9,63 @@ import (
 // must be race-free because parallel workers expand OR-branches concurrently.
 var varCounter atomic.Uint64
 
-// NewVar allocates a fresh variable with the given print name.
-func NewVar(name string) *Var {
-	return &Var{Name: name, ID: varCounter.Add(1)}
+// Frame is one activation record: the fresh variables minted together by a
+// clause activation (or a single NewVar call), backed by one allocation.
+// Variables carry their frame and slot index, which lets Env snapshots
+// store one binding array per frame — shared unchanged between snapshots —
+// instead of copying a flat map of every binding.
+type Frame struct {
+	vars []Var
 }
 
-// snapshotEvery controls how often an Env node carries a full map snapshot
-// of all bindings below it. Lookups walk at most snapshotEvery-1 links
-// before reaching a snapshot, bounding lookup cost while keeping extension
-// allocation-light. 16 balances the two for typical chain depths.
-const snapshotEvery = 16
+// Size returns the number of variable slots in the frame.
+func (f *Frame) Size() int { return len(f.vars) }
+
+// Var returns the variable at slot i.
+func (f *Frame) Var(i int) *Var { return &f.vars[i] }
+
+// NewVar allocates a fresh variable with the given print name, in a
+// one-slot frame of its own.
+func NewVar(name string) *Var {
+	f := &Frame{vars: make([]Var, 1)}
+	f.vars[0] = Var{Name: name, ID: varCounter.Add(1), frame: f}
+	return &f.vars[0]
+}
+
+// NewFrame mints len(names) fresh variables sharing one activation frame.
+// The variables are backed by a single allocation and receive consecutive
+// serials, so activating a clause skeleton costs O(1) allocations
+// regardless of how many variables the clause has. A nil frame is returned
+// for an empty name list (ground activation).
+func NewFrame(names []string) *Frame {
+	n := len(names)
+	if n == 0 {
+		return nil
+	}
+	f := &Frame{vars: make([]Var, n)}
+	base := varCounter.Add(uint64(n)) - uint64(n)
+	for i := range f.vars {
+		f.vars[i] = Var{Name: names[i], ID: base + uint64(i) + 1, frame: f, idx: int32(i)}
+	}
+	return f
+}
+
+// snapshotEvery controls how often an Env node carries a snapshot of all
+// bindings below it. Lookups walk at most snapshotEvery-1 links before
+// reaching a snapshot. Fresh-variable lookups never walk at all (the birth
+// cutoff answers them in O(1)), so the window can be wider — trading a
+// longer bounded walk for far fewer snapshot allocations — than it could
+// be when every miss paid the full walk.
+const snapshotEvery = 64
+
+// snapshot indexes every binding reachable from its Env node. Frame-backed
+// variables live in per-frame binding arrays keyed by frame identity; a
+// frame untouched since the previous snapshot shares its array with it, so
+// building a snapshot copies only the arrays of recently-bound frames plus
+// a key map that is much smaller than the binding count.
+type snapshot struct {
+	frames map[*Frame][]Term
+}
 
 // Env is an immutable binding environment. The zero value (nil) is the
 // empty environment. Bind returns a new Env sharing all previous bindings,
@@ -28,9 +75,12 @@ type Env struct {
 	v      *Var
 	t      Term
 	depth  int
-	// snap, when non-nil, holds every binding reachable from this node,
-	// letting Lookup stop here instead of walking to the root.
-	snap map[*Var]Term
+	// born is the variable serial high-water mark when this node was
+	// created. A variable with a larger ID was minted after the node and
+	// so cannot be bound here or in any ancestor — Lookup uses this to
+	// answer fresh-variable misses without walking the spine.
+	born uint64
+	snap *snapshot
 }
 
 // Depth returns the number of bindings in the environment.
@@ -45,36 +95,86 @@ func (e *Env) Depth() int {
 // for unbound v (the unifier guarantees this); rebinding would shadow
 // rather than overwrite, breaking Depth-based accounting.
 func (e *Env) Bind(v *Var, t Term) *Env {
-	n := &Env{parent: e, v: v, t: t, depth: e.Depth() + 1}
+	n := &Env{parent: e, v: v, t: t, depth: e.Depth() + 1, born: varCounter.Load()}
 	if n.depth%snapshotEvery == 0 {
-		snap := make(map[*Var]Term, n.depth)
-		for c := n; c != nil; c = c.parent {
-			if c.snap != nil {
-				for k, val := range c.snap {
-					if _, dup := snap[k]; !dup {
-						snap[k] = val
-					}
-				}
-				break
-			}
-			if _, dup := snap[c.v]; !dup {
-				snap[c.v] = c.t
-			}
-		}
-		n.snap = snap
+		n.snap = n.buildSnapshot()
 	}
 	return n
 }
 
-// Lookup returns the binding of v, if any.
-func (e *Env) Lookup(v *Var) (Term, bool) {
-	for c := e; c != nil; c = c.parent {
+// buildSnapshot merges the bindings since the previous snapshot into it,
+// copying only the binding arrays of frames touched in that window.
+func (n *Env) buildSnapshot() *snapshot {
+	// Collect the spine nodes since the previous snapshot (at most
+	// snapshotEvery of them).
+	var recent [snapshotEvery]*Env
+	cnt := 0
+	var prev *snapshot
+	for c := n; c != nil; c = c.parent {
 		if c.snap != nil {
-			t, ok := c.snap[v]
-			return t, ok
+			prev = c.snap
+			break
 		}
+		recent[cnt] = c
+		cnt++
+	}
+	s := &snapshot{}
+	if prev != nil {
+		s.frames = make(map[*Frame][]Term, len(prev.frames)+8)
+		for k, vals := range prev.frames {
+			s.frames[k] = vals
+		}
+	} else {
+		s.frames = make(map[*Frame][]Term, cnt)
+	}
+	// Frames whose arrays were already copied for this snapshot; each
+	// window touches at most snapshotEvery frames, so a linear scan wins
+	// over a map.
+	var cloned [snapshotEvery]*Frame
+	nCloned := 0
+	for i := cnt - 1; i >= 0; i-- { // order is immaterial: one bind per var
+		c := recent[i]
+		v := c.v
+		vals := s.frames[v.frame]
+		fresh := false
+		for j := 0; j < nCloned; j++ {
+			if cloned[j] == v.frame {
+				fresh = true
+				break
+			}
+		}
+		if !fresh {
+			nv := make([]Term, len(v.frame.vars))
+			copy(nv, vals)
+			vals = nv
+			s.frames[v.frame] = vals
+			cloned[nCloned] = v.frame
+			nCloned++
+		}
+		vals[v.idx] = c.t
+	}
+	return s
+}
+
+// Lookup returns the binding of v, if any. Fresh variables (minted after
+// the newest binding) answer in O(1) via the birth cutoff; older variables
+// walk at most snapshotEvery-1 spine links, then answer from the nearest
+// snapshot's per-frame binding array.
+func (e *Env) Lookup(v *Var) (Term, bool) {
+	if e == nil || v.ID > e.born {
+		return nil, false
+	}
+	for c := e; c != nil; c = c.parent {
 		if c.v == v {
 			return c.t, true
+		}
+		if c.snap != nil {
+			vals, ok := c.snap.frames[v.frame]
+			if !ok {
+				return nil, false
+			}
+			t := vals[v.idx]
+			return t, t != nil
 		}
 	}
 	return nil, false
@@ -132,37 +232,41 @@ func (e *Env) Format(t Term) string {
 		for i, a := range t.Args {
 			parts[i] = e.Format(a)
 		}
-		return quoteAtom(t.Functor) + "(" + strings.Join(parts, ",") + ")"
+		return quoteAtom(t.FunctorName()) + "(" + strings.Join(parts, ",") + ")"
 	default:
 		return t.String()
 	}
 }
 
-// Renamer copies terms while replacing their variables with fresh ones,
-// implementing the "renaming apart" step of resolution. One Renamer is used
-// per clause activation so that shared variables within the clause map to
-// the same fresh variable.
-type Renamer struct {
-	m map[*Var]*Var
+// Refresh returns t with every variable consistently replaced by a fresh
+// one (the "renaming apart" operation for terms that were not compiled at
+// load time, such as copy_term/2 arguments). It is a one-shot map-based
+// copy: arbitrary runtime terms can have many variables, so the skeleton
+// compiler's small-clause slot numbering does not apply. Clause activation
+// does not go through here — stored clauses are compiled once into
+// Skeletons and activated via frames; see skeleton.go.
+func Refresh(t Term) Term {
+	switch t.(type) {
+	case *Var, *Compound:
+		return refresh(t, make(map[*Var]*Var, 4))
+	default:
+		return t
+	}
 }
 
-// NewRenamer returns an empty Renamer.
-func NewRenamer() *Renamer { return &Renamer{m: make(map[*Var]*Var, 4)} }
-
-// Rename returns t with every variable consistently replaced by a fresh one.
-func (r *Renamer) Rename(t Term) Term {
+func refresh(t Term, m map[*Var]*Var) Term {
 	switch t := t.(type) {
 	case *Var:
-		if nv, ok := r.m[t]; ok {
+		if nv, ok := m[t]; ok {
 			return nv
 		}
 		nv := NewVar(t.Name)
-		r.m[t] = nv
+		m[t] = nv
 		return nv
 	case *Compound:
 		args := make([]Term, len(t.Args))
 		for i, a := range t.Args {
-			args[i] = r.Rename(a)
+			args[i] = refresh(a, m)
 		}
 		return &Compound{Functor: t.Functor, Args: args}
 	default:

@@ -1,0 +1,110 @@
+package term
+
+// Skeleton is the compile-once form of a term, built at clause-load time so
+// that "renaming apart" — which a map-based deep copy previously paid on
+// every resolution step — becomes a cheap activation: allocate one frame of
+// fresh variables (NewFrame) and instantiate by slot lookup. Ground
+// subterms are captured verbatim and shared by every activation, so a fact
+// with a ground head activates with zero allocation.
+//
+// This is the software analogue of the paper's claim (section 6) that
+// clause activation should be a constant-time hardware operation rather
+// than a structure copy.
+type Skeleton struct {
+	kind    skKind
+	slot    int32 // skSlot: frame index of the variable
+	functor Sym   // skCompound: interned functor
+	ground  Term  // skGround: the shared, variable-free subterm
+	args    []Skeleton
+}
+
+type skKind uint8
+
+const (
+	skGround skKind = iota
+	skSlot
+	skCompound
+)
+
+// slotAlloc numbers the distinct variables of one or more terms 0..n-1 in
+// first-occurrence order. Clause variable counts are small, so a linear
+// scan beats a map.
+type slotAlloc struct {
+	vars  []*Var
+	names []string
+}
+
+func (sa *slotAlloc) slotOf(v *Var) int32 {
+	for i, w := range sa.vars {
+		if w == v {
+			return int32(i)
+		}
+	}
+	sa.vars = append(sa.vars, v)
+	sa.names = append(sa.names, v.Name)
+	return int32(len(sa.vars) - 1)
+}
+
+func (sa *slotAlloc) compile(t Term) Skeleton {
+	switch t := t.(type) {
+	case *Var:
+		return Skeleton{kind: skSlot, slot: sa.slotOf(t)}
+	case *Compound:
+		args := make([]Skeleton, len(t.Args))
+		allGround := true
+		for i, a := range t.Args {
+			args[i] = sa.compile(a)
+			if args[i].kind != skGround {
+				allGround = false
+			}
+		}
+		if allGround {
+			return Skeleton{kind: skGround, ground: t}
+		}
+		return Skeleton{kind: skCompound, functor: t.Functor, args: args}
+	default:
+		return Skeleton{kind: skGround, ground: t}
+	}
+}
+
+// Compile compiles a single term. The returned names (one per slot, in
+// slot order) parameterize NewFrame at each activation.
+func Compile(t Term) (Skeleton, []string) {
+	var sa slotAlloc
+	sk := sa.compile(t)
+	return sk, sa.names
+}
+
+// CompileTerms compiles several terms against one shared slot numbering,
+// so a variable occurring in multiple terms (a clause head and its body
+// goals) maps to the same slot in all of them.
+func CompileTerms(ts []Term) ([]Skeleton, []string) {
+	var sa slotAlloc
+	sks := make([]Skeleton, len(ts))
+	for i, t := range ts {
+		sks[i] = sa.compile(t)
+	}
+	return sks, sa.names
+}
+
+// Instantiate builds the term for one activation: slots index into frame,
+// ground subterms are shared, and only the variable-containing spine is
+// copied. A nil frame is fine for ground skeletons.
+func (s *Skeleton) Instantiate(frame *Frame) Term {
+	switch s.kind {
+	case skSlot:
+		return frame.Var(int(s.slot))
+	case skCompound:
+		args := make([]Term, len(s.args))
+		for i := range s.args {
+			args[i] = s.args[i].Instantiate(frame)
+		}
+		return &Compound{Functor: s.functor, Args: args}
+	default:
+		return s.ground
+	}
+}
+
+// IsGround reports whether the skeleton has no variable slots anywhere
+// (instantiation returns the stored term itself).
+func (s *Skeleton) IsGround() bool { return s.kind == skGround }

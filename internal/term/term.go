@@ -2,6 +2,20 @@
 // programming system: atoms, integers, logic variables and compound terms,
 // together with persistent (structure-shared) binding environments.
 //
+// The representation is compiled for cheap resolution, mirroring the
+// hardware operations section 6 of the paper argues for:
+//
+//   - Functor and atom names are interned to integer Syms in a
+//     process-wide symbol table (sym.go), so unification, clause indexing
+//     and builtin dispatch compare integers, never strings.
+//   - Clause terms are compiled once into Skeletons (skeleton.go) whose
+//     variables are numbered slots; "renaming apart" a clause is then one
+//     activation frame allocation plus a slot-indexed copy that shares all
+//     ground subterms verbatim.
+//   - Variables carry their activation Frame, letting binding environments
+//     snapshot per-frame binding arrays instead of copying one flat map
+//     (env.go).
+//
 // B-LOG performs a best-first search of the OR-tree, which means many
 // resolvents ("chains" in the paper's terminology) are alive at once. A
 // destructive binding trail, as used by depth-first Prolog implementations,
@@ -28,8 +42,22 @@ type Term interface {
 	isTerm()
 }
 
-// Atom is a constant symbol such as `sam` or `[]`.
-type Atom string
+// Atom is a constant symbol such as `sam` or `[]`, represented by its
+// interned Sym. Atoms are comparable with == (one integer compare) and
+// usable as map keys.
+type Atom struct{ sym Sym }
+
+// NewAtom interns name and returns the atom for it.
+func NewAtom(name string) Atom { return Atom{Intern(name)} }
+
+// AtomOf wraps an already-interned Sym as an atom.
+func AtomOf(s Sym) Atom { return Atom{s} }
+
+// Sym returns the atom's interned symbol.
+func (a Atom) Sym() Sym { return a.sym }
+
+// Name returns the atom's text without quoting.
+func (a Atom) Name() string { return a.sym.Name() }
 
 // Int is an integer constant.
 type Int int64
@@ -37,17 +65,24 @@ type Int int64
 // Var is a logic variable. Identity is by pointer; Name is only for
 // printing. ID is a process-unique serial used for stable ordering and
 // for printing anonymous renamed variables (for example `_G42`).
+// Every Var belongs to an activation Frame (see env.go); variables created
+// singly via NewVar get a one-slot frame of their own.
 type Var struct {
-	Name string
-	ID   uint64
+	Name  string
+	ID    uint64
+	frame *Frame
+	idx   int32
 }
 
 // Compound is a functor applied to one or more arguments, such as
-// `f(sam, Y)` or `.(H, T)` (a list cell).
+// `f(sam, Y)` or `.(H, T)` (a list cell). The functor is interned.
 type Compound struct {
-	Functor string
+	Functor Sym
 	Args    []Term
 }
+
+// FunctorName returns the functor's text.
+func (c *Compound) FunctorName() string { return c.Functor.Name() }
 
 func (Atom) isTerm()      {}
 func (Int) isTerm()       {}
@@ -55,7 +90,7 @@ func (*Var) isTerm()      {}
 func (*Compound) isTerm() {}
 
 // String implements Term.
-func (a Atom) String() string { return quoteAtom(string(a)) }
+func (a Atom) String() string { return quoteAtom(a.Name()) }
 
 // String implements Term.
 func (i Int) String() string { return strconv.FormatInt(int64(i), 10) }
@@ -77,7 +112,7 @@ func (c *Compound) String() string {
 	for i, a := range c.Args {
 		parts[i] = a.String()
 	}
-	return quoteAtom(c.Functor) + "(" + strings.Join(parts, ",") + ")"
+	return quoteAtom(c.FunctorName()) + "(" + strings.Join(parts, ",") + ")"
 }
 
 // Indicator returns the predicate indicator (functor/arity) of a callable
@@ -86,11 +121,25 @@ func (c *Compound) String() string {
 func Indicator(t Term) (string, bool) {
 	switch t := t.(type) {
 	case Atom:
-		return string(t) + "/0", true
+		return t.Name() + "/0", true
 	case *Compound:
-		return t.Functor + "/" + strconv.Itoa(len(t.Args)), true
+		return t.FunctorName() + "/" + strconv.Itoa(len(t.Args)), true
 	default:
 		return "", false
+	}
+}
+
+// PredOf returns the interned functor symbol and arity of a callable term.
+// It is the allocation-free form of Indicator used by clause indexing and
+// builtin dispatch.
+func PredOf(t Term) (fn Sym, arity int, ok bool) {
+	switch t := t.(type) {
+	case Atom:
+		return t.sym, 0, true
+	case *Compound:
+		return t.Functor, len(t.Args), true
+	default:
+		return 0, 0, false
 	}
 }
 
@@ -98,28 +147,29 @@ func Indicator(t Term) (string, bool) {
 func Functor(t Term) (name string, arity int, ok bool) {
 	switch t := t.(type) {
 	case Atom:
-		return string(t), 0, true
+		return t.Name(), 0, true
 	case *Compound:
-		return t.Functor, len(t.Args), true
+		return t.FunctorName(), len(t.Args), true
 	default:
 		return "", 0, false
 	}
 }
 
-// NewCompound builds a compound term. As a convenience, a zero-argument
-// call yields an Atom so that callers never construct empty compounds.
+// NewCompound builds a compound term, interning the functor. As a
+// convenience, a zero-argument call yields an Atom so that callers never
+// construct empty compounds.
 func NewCompound(functor string, args ...Term) Term {
 	if len(args) == 0 {
-		return Atom(functor)
+		return NewAtom(functor)
 	}
-	return &Compound{Functor: functor, Args: args}
+	return &Compound{Functor: Intern(functor), Args: args}
 }
 
 // EmptyList is the atom `[]` terminating proper lists.
-const EmptyList = Atom("[]")
+var EmptyList = Atom{SymNil}
 
 // Cons builds a list cell `.(head, tail)`.
-func Cons(head, tail Term) Term { return &Compound{Functor: ".", Args: []Term{head, tail}} }
+func Cons(head, tail Term) Term { return &Compound{Functor: SymDot, Args: []Term{head, tail}} }
 
 // FromList builds a proper list term from a slice.
 func FromList(items []Term) Term {
@@ -132,7 +182,7 @@ func FromList(items []Term) Term {
 
 // listString renders a list cell chain in [a,b|T] notation; env may be nil.
 func listString(c *Compound, env *Env) (string, bool) {
-	if c.Functor != "." || len(c.Args) != 2 {
+	if c.Functor != SymDot || len(c.Args) != 2 {
 		return "", false
 	}
 	var b strings.Builder
@@ -144,7 +194,7 @@ func listString(c *Compound, env *Env) (string, bool) {
 			cur = env.Resolve(cur)
 		}
 		cell, ok := cur.(*Compound)
-		if !ok || cell.Functor != "." || len(cell.Args) != 2 {
+		if !ok || cell.Functor != SymDot || len(cell.Args) != 2 {
 			break
 		}
 		if !first {
@@ -161,7 +211,7 @@ func listString(c *Compound, env *Env) (string, bool) {
 	if env != nil {
 		cur = env.Resolve(cur)
 	}
-	if cur != EmptyList {
+	if cur != Term(EmptyList) {
 		b.WriteByte('|')
 		if env != nil {
 			b.WriteString(env.Format(cur))
@@ -294,9 +344,44 @@ func Equal(a, b Term) bool {
 	return false
 }
 
+// EqualUnder reports structural equality of a and b with bindings from env
+// applied on the fly, without materializing deeply-resolved copies. It
+// backs ==/2 and \==/2: each argument position is resolved exactly once.
+func EqualUnder(env *Env, a, b Term) bool {
+	a, b = env.Resolve(a), env.Resolve(b)
+	switch a := a.(type) {
+	case Atom:
+		b, ok := b.(Atom)
+		return ok && a == b
+	case Int:
+		b, ok := b.(Int)
+		return ok && a == b
+	case *Var:
+		return a == b
+	case *Compound:
+		b, ok := b.(*Compound)
+		if !ok || a.Functor != b.Functor || len(a.Args) != len(b.Args) {
+			return false
+		}
+		for i := range a.Args {
+			if !EqualUnder(env, a.Args[i], b.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
 // Compare imposes the standard order of terms: Var < Int < Atom < Compound,
 // with compounds ordered by arity, then functor, then arguments.
-func Compare(a, b Term) int {
+// Atoms and functors order by their interned text, not their Sym serials.
+func Compare(a, b Term) int { return CompareUnder(nil, a, b) }
+
+// CompareUnder is Compare with bindings from env applied on the fly; each
+// argument position is resolved exactly once. It backs the @</2 family.
+func CompareUnder(env *Env, a, b Term) int {
+	a, b = env.Resolve(a), env.Resolve(b)
 	ra, rb := orderRank(a), orderRank(b)
 	if ra != rb {
 		return ra - rb
@@ -321,17 +406,19 @@ func Compare(a, b Term) int {
 		}
 		return 0
 	case Atom:
-		return strings.Compare(string(a), string(b.(Atom)))
+		return strings.Compare(a.Name(), b.(Atom).Name())
 	case *Compound:
 		bc := b.(*Compound)
 		if d := len(a.Args) - len(bc.Args); d != 0 {
 			return d
 		}
-		if d := strings.Compare(a.Functor, bc.Functor); d != 0 {
-			return d
+		if a.Functor != bc.Functor {
+			if d := strings.Compare(a.Functor.Name(), bc.Functor.Name()); d != 0 {
+				return d
+			}
 		}
 		for i := range a.Args {
-			if d := Compare(a.Args[i], bc.Args[i]); d != 0 {
+			if d := CompareUnder(env, a.Args[i], bc.Args[i]); d != 0 {
 				return d
 			}
 		}
@@ -375,4 +462,4 @@ func Ground(env *Env, t Term) bool {
 	return true
 }
 
-var _ = fmt.Stringer(Atom("")) // Atom satisfies fmt.Stringer.
+var _ = fmt.Stringer(Atom{}) // Atom satisfies fmt.Stringer.

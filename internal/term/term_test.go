@@ -20,8 +20,8 @@ func TestAtomString(t *testing.T) {
 		{"don't", "'don\\'t'"},
 	}
 	for _, c := range cases {
-		if got := Atom(c.in).String(); got != c.want {
-			t.Errorf("Atom(%q).String() = %q, want %q", c.in, got, c.want)
+		if got := NewAtom(c.in).String(); got != c.want {
+			t.Errorf("NewAtom(%q).String() = %q, want %q", c.in, got, c.want)
 		}
 	}
 }
@@ -45,7 +45,7 @@ func TestVarString(t *testing.T) {
 
 func TestCompoundString(t *testing.T) {
 	x := NewVar("X")
-	tm := NewCompound("f", Atom("sam"), x)
+	tm := NewCompound("f", NewAtom("sam"), x)
 	if got := tm.String(); got != "f(sam,X)" {
 		t.Errorf("got %q, want f(sam,X)", got)
 	}
@@ -59,11 +59,11 @@ func TestNewCompoundZeroArgsIsAtom(t *testing.T) {
 }
 
 func TestListString(t *testing.T) {
-	l := FromList([]Term{Atom("a"), Int(2), Atom("c")})
+	l := FromList([]Term{NewAtom("a"), Int(2), NewAtom("c")})
 	if got := l.String(); got != "[a,2,c]" {
 		t.Errorf("got %q, want [a,2,c]", got)
 	}
-	partial := Cons(Atom("a"), NewVar("T"))
+	partial := Cons(NewAtom("a"), NewVar("T"))
 	if got := partial.String(); got != "[a|T]" {
 		t.Errorf("got %q, want [a|T]", got)
 	}
@@ -73,10 +73,10 @@ func TestListString(t *testing.T) {
 }
 
 func TestIndicator(t *testing.T) {
-	if ind, ok := Indicator(NewCompound("f", Atom("a"), Atom("b"))); !ok || ind != "f/2" {
+	if ind, ok := Indicator(NewCompound("f", NewAtom("a"), NewAtom("b"))); !ok || ind != "f/2" {
 		t.Errorf("Indicator(f(a,b)) = %q,%v", ind, ok)
 	}
-	if ind, ok := Indicator(Atom("true")); !ok || ind != "true/0" {
+	if ind, ok := Indicator(NewAtom("true")); !ok || ind != "true/0" {
 		t.Errorf("Indicator(true) = %q,%v", ind, ok)
 	}
 	if _, ok := Indicator(Int(3)); ok {
@@ -93,12 +93,12 @@ func TestEnvBindLookup(t *testing.T) {
 	if _, ok := e.Lookup(x); ok {
 		t.Fatal("empty env should have no bindings")
 	}
-	e1 := e.Bind(x, Atom("a"))
-	e2 := e1.Bind(y, Atom("b"))
-	if v, ok := e2.Lookup(x); !ok || v != Atom("a") {
+	e1 := e.Bind(x, NewAtom("a"))
+	e2 := e1.Bind(y, NewAtom("b"))
+	if v, ok := e2.Lookup(x); !ok || v != NewAtom("a") {
 		t.Errorf("X = %v, %v", v, ok)
 	}
-	if v, ok := e2.Lookup(y); !ok || v != Atom("b") {
+	if v, ok := e2.Lookup(y); !ok || v != NewAtom("b") {
 		t.Errorf("Y = %v, %v", v, ok)
 	}
 	// e1 must be unaffected by the extension (persistence).
@@ -112,13 +112,13 @@ func TestEnvBindLookup(t *testing.T) {
 
 func TestEnvSiblingIndependence(t *testing.T) {
 	x, y := NewVar("X"), NewVar("Y")
-	base := (*Env)(nil).Bind(x, Atom("root"))
-	left := base.Bind(y, Atom("l"))
-	right := base.Bind(y, Atom("r"))
-	if v, _ := left.Lookup(y); v != Atom("l") {
+	base := (*Env)(nil).Bind(x, NewAtom("root"))
+	left := base.Bind(y, NewAtom("l"))
+	right := base.Bind(y, NewAtom("r"))
+	if v, _ := left.Lookup(y); v != NewAtom("l") {
 		t.Errorf("left sees Y=%v", v)
 	}
-	if v, _ := right.Lookup(y); v != Atom("r") {
+	if v, _ := right.Lookup(y); v != NewAtom("r") {
 		t.Errorf("right sees Y=%v", v)
 	}
 }
@@ -143,8 +143,8 @@ func TestEnvSnapshotDeepChain(t *testing.T) {
 
 func TestResolveChain(t *testing.T) {
 	x, y, z := NewVar("X"), NewVar("Y"), NewVar("Z")
-	e := (*Env)(nil).Bind(x, y).Bind(y, z).Bind(z, Atom("end"))
-	if got := e.Resolve(x); got != Atom("end") {
+	e := (*Env)(nil).Bind(x, y).Bind(y, z).Bind(z, NewAtom("end"))
+	if got := e.Resolve(x); got != NewAtom("end") {
 		t.Errorf("Resolve(X) = %v, want end", got)
 	}
 	free := NewVar("F")
@@ -157,14 +157,14 @@ func TestResolveChain(t *testing.T) {
 func TestResolveDeep(t *testing.T) {
 	x, y := NewVar("X"), NewVar("Y")
 	tm := NewCompound("f", x, NewCompound("g", y))
-	e := (*Env)(nil).Bind(x, Atom("a")).Bind(y, Int(7))
+	e := (*Env)(nil).Bind(x, NewAtom("a")).Bind(y, Int(7))
 	got := e.ResolveDeep(tm)
-	want := NewCompound("f", Atom("a"), NewCompound("g", Int(7)))
+	want := NewCompound("f", NewAtom("a"), NewCompound("g", Int(7)))
 	if !Equal(got, want) {
 		t.Errorf("ResolveDeep = %v, want %v", got, want)
 	}
 	// Untouched subterms should be shared, not copied.
-	g := NewCompound("g", Atom("k"))
+	g := NewCompound("g", NewAtom("k"))
 	t2 := NewCompound("h", g).(*Compound)
 	r2 := e.ResolveDeep(t2).(*Compound)
 	if r2 != t2 {
@@ -174,30 +174,103 @@ func TestResolveDeep(t *testing.T) {
 
 func TestEnvFormat(t *testing.T) {
 	x := NewVar("X")
-	e := (*Env)(nil).Bind(x, FromList([]Term{Atom("a"), Atom("b")}))
+	e := (*Env)(nil).Bind(x, FromList([]Term{NewAtom("a"), NewAtom("b")}))
 	if got := e.Format(NewCompound("p", x)); got != "p([a,b])" {
 		t.Errorf("Format = %q", got)
 	}
 }
 
-func TestRenamerConsistency(t *testing.T) {
+func TestRefreshConsistency(t *testing.T) {
 	x := NewVar("X")
 	tm := NewCompound("f", x, x, NewVar("Y"))
-	r := NewRenamer()
-	out := r.Rename(tm).(*Compound)
+	out := Refresh(tm).(*Compound)
 	a0, a1 := out.Args[0].(*Var), out.Args[1].(*Var)
 	if a0 != a1 {
-		t.Error("same source var must rename to same fresh var")
+		t.Error("same source var must refresh to same fresh var")
 	}
 	if a0 == x {
-		t.Error("renamed var must be fresh")
+		t.Error("refreshed var must be fresh")
 	}
 	if out.Args[2].(*Var) == a0 {
 		t.Error("distinct source vars must stay distinct")
 	}
 	// Ground subterms pass through.
-	if g := NewRenamer().Rename(Atom("a")); g != Atom("a") {
-		t.Errorf("Rename(a) = %v", g)
+	if g := Refresh(NewAtom("a")); g != NewAtom("a") {
+		t.Errorf("Refresh(a) = %v", g)
+	}
+}
+
+func TestInternStable(t *testing.T) {
+	a, b := Intern("zebra_functor"), Intern("zebra_functor")
+	if a != b {
+		t.Fatalf("Intern not stable: %d vs %d", a, b)
+	}
+	if a.Name() != "zebra_functor" {
+		t.Fatalf("Name round-trip = %q", a.Name())
+	}
+	if NewAtom("zebra_functor") != NewAtom("zebra_functor") {
+		t.Fatal("atoms of same name must be ==")
+	}
+	if NewAtom("zebra_functor") == NewAtom("other_functor") {
+		t.Fatal("atoms of different names must differ")
+	}
+}
+
+func TestSkeletonActivation(t *testing.T) {
+	x, y := NewVar("X"), NewVar("Y")
+	g := NewCompound("g", NewAtom("k"), Int(3)) // ground subterm
+	tm := NewCompound("f", x, g, NewCompound("h", y, x))
+	sks, names := CompileTerms([]Term{tm, NewCompound("p", y)})
+	if len(names) != 2 {
+		t.Fatalf("slots = %v, want 2", names)
+	}
+	frame := NewFrame(names)
+	out := sks[0].Instantiate(frame).(*Compound)
+	if out.Args[0] != Term(frame.Var(0)) {
+		t.Error("slot 0 should instantiate to frame var 0")
+	}
+	if out.Args[1] != Term(g) {
+		t.Error("ground subterm must be shared, not copied")
+	}
+	h := out.Args[2].(*Compound)
+	if h.Args[0] != Term(frame.Var(1)) || h.Args[1] != Term(frame.Var(0)) {
+		t.Error("shared variables must map to the same frame slots")
+	}
+	p := sks[1].Instantiate(frame).(*Compound)
+	if p.Args[0] != Term(frame.Var(1)) {
+		t.Error("second term must share slot numbering with the first")
+	}
+	// Two activations must be renamed apart from each other.
+	out2 := sks[0].Instantiate(NewFrame(names)).(*Compound)
+	if out2.Args[0] == out.Args[0] {
+		t.Error("activations must mint fresh variables")
+	}
+	// A fully ground term activates as itself with a nil frame.
+	gc := g.(*Compound)
+	gsk, gnames := Compile(gc)
+	if len(gnames) != 0 || !gsk.IsGround() {
+		t.Fatalf("ground compile: names=%v ground=%v", gnames, gsk.IsGround())
+	}
+	if gsk.Instantiate(nil) != Term(gc) {
+		t.Error("ground skeleton must instantiate to the shared term")
+	}
+}
+
+func TestNewFrameUniqueIDs(t *testing.T) {
+	f1 := NewFrame([]string{"A", "B", "C"})
+	f2 := NewFrame([]string{"A"})
+	seen := map[uint64]bool{}
+	for _, f := range []*Frame{f1, f2} {
+		for i := 0; i < f.Size(); i++ {
+			v := f.Var(i)
+			if seen[v.ID] {
+				t.Fatalf("duplicate frame var ID %d", v.ID)
+			}
+			seen[v.ID] = true
+		}
+	}
+	if f1.Var(0).Name != "A" || f1.Var(2).Name != "C" {
+		t.Error("frame vars must keep their print names")
 	}
 }
 
@@ -227,14 +300,14 @@ func TestEqual(t *testing.T) {
 	if Equal(NewCompound("f", NewVar("X")), NewCompound("f", NewVar("X"))) {
 		t.Error("distinct vars must not be Equal")
 	}
-	if Equal(Atom("a"), Int(1)) {
+	if Equal(NewAtom("a"), Int(1)) {
 		t.Error("atom != int")
 	}
 }
 
 func TestCompareOrder(t *testing.T) {
 	v := NewVar("X")
-	seq := []Term{v, Int(1), Atom("a"), NewCompound("f", Atom("a"))}
+	seq := []Term{v, Int(1), NewAtom("a"), NewCompound("f", NewAtom("a"))}
 	for i := 0; i < len(seq); i++ {
 		for j := 0; j < len(seq); j++ {
 			got := Compare(seq[i], seq[j])
@@ -248,7 +321,7 @@ func TestCompareOrder(t *testing.T) {
 			}
 		}
 	}
-	if Compare(Int(1), Int(2)) >= 0 || Compare(Atom("a"), Atom("b")) >= 0 {
+	if Compare(Int(1), Int(2)) >= 0 || Compare(NewAtom("a"), NewAtom("b")) >= 0 {
 		t.Error("ordering within kinds broken")
 	}
 	if Compare(NewCompound("f", Int(1)), NewCompound("f", Int(2))) >= 0 {
@@ -262,7 +335,7 @@ func TestGround(t *testing.T) {
 	if Ground(nil, tm) {
 		t.Error("f(X) is not ground")
 	}
-	e := (*Env)(nil).Bind(x, Atom("a"))
+	e := (*Env)(nil).Bind(x, NewAtom("a"))
 	if !Ground(e, tm) {
 		t.Error("f(a) is ground under env")
 	}
@@ -309,9 +382,9 @@ func TestPropertyCompareAntisymmetric(t *testing.T) {
 		case 0:
 			return Int(n)
 		case 1:
-			return Atom(s)
+			return NewAtom(s)
 		default:
-			return NewCompound("f", Int(n), Atom(s))
+			return NewCompound("f", Int(n), NewAtom(s))
 		}
 	}
 	f := func(n1 int8, s1 string, n2 int8, s2 string) bool {

@@ -7,7 +7,7 @@ import (
 	"blog/internal/term"
 )
 
-func atom(s string) term.Term { return term.Atom(s) }
+func atom(s string) term.Term { return term.NewAtom(s) }
 func num(i int64) term.Term   { return term.Int(i) }
 func v(name string) *term.Var { return term.NewVar(name) }
 func f(n string, a ...term.Term) term.Term {
