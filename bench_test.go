@@ -1,9 +1,10 @@
-package blog
-
-// One testing.B benchmark per exhibit of the reproduction (figures F1-F6,
-// experiments E1-E8 of DESIGN.md), each exercising the computation that
-// regenerates that exhibit. `go test -bench=. -benchmem` at the module
-// root runs them all; cmd/blogbench prints the full tables.
+// Package blog_test (external, so experiments → server → blog forms no
+// test import cycle) carries one testing.B benchmark per exhibit of the
+// reproduction (figures F1-F6, experiments E1-E8 of DESIGN.md), each
+// exercising the computation that regenerates that exhibit. `go test
+// -bench=. -benchmem` at the module root runs them all; cmd/blogbench
+// prints the full tables.
+package blog_test
 
 import (
 	"context"

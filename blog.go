@@ -75,6 +75,18 @@ const (
 // REPL: dfs, bfs, best (or best-first), parallel.
 func ParseStrategy(name string) (Strategy, error) { return solve.ParseStrategy(name) }
 
+// ErrBudget reports that a query hit its expansion budget before the tree
+// was exhausted; callers such as the query server map it to a distinct
+// failure class.
+var ErrBudget = search.ErrBudget
+
+// ValidateQuery parses a query string without running it, so servers can
+// reject malformed goals before spending a worker slot.
+func ValidateQuery(query string) error {
+	_, err := parse.Query(query)
+	return err
+}
+
 // Program is a loaded logic program with its global weight database. It is
 // safe for concurrent use: queries may run in parallel with each other and
 // with weight-table maintenance (ResetWeights, LoadWeights).
@@ -172,6 +184,7 @@ type queryOpts struct {
 	maxDepth      int
 	learn         bool
 	prune         bool
+	pruneSlack    float64
 	occursCheck   bool
 	workers       int
 	d             float64
@@ -198,6 +211,12 @@ func Learn() Option { return func(o *queryOpts) { o.learn = true } }
 // Prune enables strict branch-and-bound pruning against the best solution
 // bound found. Sound only with section-4-consistent weights.
 func Prune() Option { return func(o *queryOpts) { o.prune = true } }
+
+// PruneSlack widens the pruning threshold: a chain survives while its
+// bound is at most best+slack. Implies Prune.
+func PruneSlack(slack float64) Option {
+	return func(o *queryOpts) { o.prune = true; o.pruneSlack = slack }
+}
 
 // OccursCheck enables sound unification.
 func OccursCheck() Option { return func(o *queryOpts) { o.occursCheck = true } }
@@ -336,6 +355,7 @@ func (p *Program) request(goals []term.Term, strat Strategy, o queryOpts, store 
 		MaxDepth:      o.maxDepth,
 		Learn:         o.learn,
 		Prune:         o.prune,
+		PruneSlack:    o.pruneSlack,
 		OccursCheck:   o.occursCheck,
 		Workers:       o.workers,
 		TwoLevel:      o.twoLevel,
@@ -434,6 +454,24 @@ func (s *SolutionIter) Next() (Solution, bool, error) {
 // Expanded returns the nodes expanded so far.
 func (s *SolutionIter) Expanded() uint64 { return s.inner.Stats().Expanded }
 
+// IterStats are the work counters of a streaming query so far.
+type IterStats struct {
+	Expanded  uint64
+	Generated uint64
+	Failures  uint64
+	Pruned    uint64
+}
+
+// Stats returns the counters accumulated by the iterator so far.
+func (s *SolutionIter) Stats() IterStats {
+	st := s.inner.Stats()
+	return IterStats{Expanded: st.Expanded, Generated: st.Generated, Failures: st.Failures, Pruned: st.Pruned}
+}
+
+// Exhausted reports whether the stream ended because the whole tree was
+// searched (meaningful after Next returned ok=false with a nil error).
+func (s *SolutionIter) Exhausted() bool { return s.inner.Exhausted() }
+
 // Session scopes weight learning per section 5: strong updates go to a
 // local store; End merges them conservatively into the program's global
 // table (infinities never override known global weights; known weights
@@ -462,6 +500,15 @@ func (s *Session) End() (adopted, averaged, kept, vetoed int) {
 
 // LocalLearned returns the number of locally learned arcs so far.
 func (s *Session) LocalLearned() int { return s.inner.LocalLen() }
+
+// NoteQuery records one query outcome for session reporting.
+func (s *Session) NoteQuery(succeeded bool) { s.inner.NoteQuery(succeeded) }
+
+// Counts returns (queries, successes, failures) recorded with NoteQuery.
+func (s *Session) Counts() (queries, successes, failures int) { return s.inner.Counts() }
+
+// Ended reports whether End has been called.
+func (s *Session) Ended() bool { return s.inner.Ended() }
 
 // MachineConfig configures the cycle-level machine simulation. The zero
 // value uses machine.DefaultConfig; set fields to override.

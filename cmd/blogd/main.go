@@ -1,0 +1,165 @@
+// Command blogd serves a loaded logic program as a concurrent query
+// service over HTTP/JSON — the "shared logic database driven by many
+// query sessions" deployment the paper assumes. One blog.Program is
+// shared by every request; a bounded worker pool with admission control
+// keeps overload flat (429s), and per-request deadlines cancel abandoned
+// searches.
+//
+// Usage:
+//
+//	blogd -f program.pl [-addr :8331] [-pool 8] [-queue 64] [-timeout 10s]
+//
+// Endpoints:
+//
+//	POST   /query                one-shot query (JSON in, JSON out)
+//	POST   /query/stream         streaming query (NDJSON solutions)
+//	POST   /sessions             create a learning session
+//	GET    /sessions             list live sessions
+//	POST   /sessions/{id}/query  query with session-scoped learning
+//	DELETE /sessions/{id}        end the session (conservative merge)
+//	GET    /healthz              liveness + pool gauges
+//	GET    /metrics              Prometheus-style counters and latency
+//	GET    /stats                loaded program shape
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"blog"
+	"blog/internal/server"
+)
+
+func main() {
+	var (
+		file       = flag.String("f", "", "program file to load (required)")
+		addr       = flag.String("addr", ":8331", "listen address (host:port; port 0 picks a free port)")
+		pool       = flag.Int("pool", 0, "max concurrent queries (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 64, "max queued queries before 429 (0 = reject when all workers busy)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "default per-query deadline")
+		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "hard cap on client-requested deadlines")
+		solCap     = flag.Int("solution-cap", 1024, "max solutions returned per query")
+		maxWorkers = flag.Int("max-workers", 16, "cap on client-requested parallel workers per query")
+		sessions   = flag.Int("sessions", 1024, "max live learning sessions")
+		sessionTTL = flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle this long (merging their weights)")
+		strategy   = flag.String("strategy", "best", "default strategy: dfs | bfs | best | parallel")
+		usePrelude = flag.Bool("prelude", false, "prepend the list/pair standard library")
+		weightsIn  = flag.String("weights", "", "load a saved global weight table at startup")
+		weightsOut = flag.String("weights-out", "", "save the global weight table on shutdown")
+	)
+	flag.Parse()
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "blogd: -f program file is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*file)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := blog.LoadString(string(src), blog.Config{Prelude: *usePrelude})
+	if err != nil {
+		fatal(err)
+	}
+	if *weightsIn != "" {
+		f, err := os.Open(*weightsIn)
+		if err != nil {
+			fatal(err)
+		}
+		err = prog.LoadWeights(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if _, err := blog.ParseStrategy(*strategy); err != nil {
+		fatal(err)
+	}
+	clauses, facts, rules, preds, arcs := prog.Stats()
+	fmt.Printf("blogd: loaded %s: %d clauses (%d facts, %d rules), %d predicates, %d arcs\n",
+		*file, clauses, facts, rules, preds, arcs)
+
+	queueLen := *queue
+	if queueLen == 0 {
+		queueLen = -1 // the operator's 0 means "no waiting", not the default
+	}
+	srv := server.New(server.Config{
+		Program:         prog,
+		MaxConcurrent:   *pool,
+		QueueLen:        queueLen,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		SolutionCap:     *solCap,
+		MaxWorkers:      *maxWorkers,
+		MaxSessions:     *sessions,
+		SessionTTL:      *sessionTTL,
+		DefaultStrategy: *strategy,
+	})
+	workers, queueLen := srv.Pool().Capacity()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		// A response (including a full NDJSON stream, which is bounded by
+		// the query deadline) must finish within the query cap plus write
+		// slack, so a client that never reads cannot pin a worker slot.
+		WriteTimeout: *maxTimeout + time.Minute,
+	}
+	fmt.Printf("blogd: listening on %s (pool %d, queue %d)\n", ln.Addr(), workers, queueLen)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Println("blogd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "blogd: shutdown: %v\n", err)
+		}
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+
+	// Merge every live session before persisting, so learning from
+	// clients that never sent DELETE survives the restart.
+	if n := srv.EndAllSessions(); n > 0 {
+		fmt.Printf("blogd: merged %d live session(s)\n", n)
+	}
+	if *weightsOut != "" {
+		f, err := os.Create(*weightsOut)
+		if err != nil {
+			fatal(err)
+		}
+		err = prog.SaveWeights(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("blogd: saved weights to %s (%d learned arcs)\n", *weightsOut, prog.LearnedArcs())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "blogd: %v\n", err)
+	os.Exit(1)
+}

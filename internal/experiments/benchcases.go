@@ -1,13 +1,19 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
+	"blog"
 	"blog/internal/andpar"
 	"blog/internal/kb"
 	"blog/internal/parse"
 	"blog/internal/search"
+	"blog/internal/server"
 	"blog/internal/term"
 	"blog/internal/weights"
 	"blog/internal/workload"
@@ -150,6 +156,36 @@ func BenchCases() []BenchCase {
 					b.Fatal(err)
 				}
 			}
+		}},
+		{"ServerThroughput", func(b *testing.B) {
+			// End-to-end query service: concurrent HTTP clients against one
+			// shared Program through blogd's handler, pool and wire types.
+			prog, err := blog.LoadString(workload.FamilyTree(4, 3))
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := server.New(server.Config{Program: prog, QueueLen: 4096})
+			ts := httptest.NewServer(srv)
+			defer ts.Close()
+			client := ts.Client()
+			body := []byte(`{"goal":"gf(p0,G)","strategy":"dfs"}`)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					resp, err := client.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						b.Errorf("status %d", resp.StatusCode)
+						return
+					}
+				}
+			})
 		}},
 		{"AblationEnvRep", func(b *testing.B) {
 			db := benchLoad(workload.FamilyTree(5, 3))

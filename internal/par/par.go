@@ -78,6 +78,8 @@ type Options struct {
 	Learn bool
 	// MaxDepth bounds chain length; 0 uses the store's A constant.
 	MaxDepth int
+	// OccursCheck enables sound unification in every worker's expander.
+	OccursCheck bool
 }
 
 // Stats aggregates counters across workers.
@@ -148,6 +150,7 @@ func Run(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term, op
 	for i := range exps {
 		e := engine.NewExpander(db, ws)
 		e.Ctx = ctx
+		e.OccursCheck = opt.OccursCheck
 		if opt.MaxDepth > 0 {
 			e.MaxDepth = opt.MaxDepth
 		}

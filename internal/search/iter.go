@@ -29,6 +29,11 @@ type Iter struct {
 	served    int
 	done      bool
 	err       error
+
+	// Branch-and-bound state when Options.Prune is set: open nodes whose
+	// bound exceeds bestBound+PruneSlack are cut, exactly as in Run.
+	bestBound float64
+	haveBest  bool
 }
 
 // NewIter prepares a lazy search; ctx cancels future Next calls. Tree and
@@ -96,10 +101,17 @@ func (it *Iter) Next() (engine.Solution, bool, error) {
 			it.stats.MaxFrontier = it.frontier.len()
 		}
 		n := it.frontier.pop()
+		if it.opt.Prune && it.haveBest && n.Bound > it.bestBound+it.opt.PruneSlack {
+			it.stats.Pruned++
+			continue
+		}
 		if n.IsSolution() {
 			sol := engine.Extract(n, it.queryVars)
 			if it.opt.Learn {
 				it.ws.RecordSuccess(sol.Chain)
+			}
+			if !it.haveBest || n.Bound < it.bestBound {
+				it.bestBound, it.haveBest = n.Bound, true
 			}
 			it.served++
 			return sol, true, nil
@@ -145,5 +157,7 @@ func (it *Iter) Next() (engine.Solution, bool, error) {
 }
 
 // Exhausted reports whether the whole tree was searched (meaningful after
-// Next returned ok=false with a nil error).
-func (it *Iter) Exhausted() bool { return it.done && it.err == nil }
+// Next returned ok=false with a nil error). A stream stopped by the
+// MaxSolutions cap with open chains left is not exhausted, matching
+// Run's Result.Exhausted.
+func (it *Iter) Exhausted() bool { return it.done && it.err == nil && it.frontier.len() == 0 }

@@ -155,3 +155,106 @@ func TestIterErrorPropagates(t *testing.T) {
 }
 
 var _ = kb.Query // keep kb import for the helper file
+
+// TestIterPrunes: the streaming engine applies the same branch-and-bound
+// rule as Run — once a solution bound is known, costlier open nodes are
+// cut instead of served.
+func TestIterPrunes(t *testing.T) {
+	// DFS reaches `a` through the short clause first (bound 2 with uniform
+	// weights); the deep branch's solution sits at bound 4 and must be
+	// pruned against it.
+	src := `
+top(X) :- cheap(X).
+top(X) :- d1(X).
+cheap(a).
+d1(X) :- d2(X).
+d2(X) :- d3(X).
+d3(b).
+`
+	db := load(t, src)
+	opts := Options{Strategy: DFS, Prune: true}
+	run, err := Run(context.Background(), db, uniform(), q(t, "top(X)"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := NewIter(context.Background(), db, uniform(), q(t, "top(X)"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for {
+		sol, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, sol.Format(it.QueryVars()))
+	}
+	if len(got) != 1 || got[0] != "X = a" {
+		t.Errorf("pruned stream served %v, want only X = a", got)
+	}
+	if len(run.Solutions) != len(got) {
+		t.Errorf("Run found %d solutions, Iter served %d", len(run.Solutions), len(got))
+	}
+	if it.Stats().Pruned == 0 {
+		t.Error("stream should have pruned the deep branch")
+	}
+	if it.Stats().Pruned != run.Stats.Pruned {
+		t.Errorf("Iter pruned %d, Run pruned %d", it.Stats().Pruned, run.Stats.Pruned)
+	}
+	// With slack covering the bound gap, the deep solution survives.
+	it2, err := NewIter(context.Background(), db, uniform(), q(t, "top(X)"), Options{Strategy: DFS, Prune: true, PruneSlack: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for {
+		_, ok, err := it2.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Errorf("slack stream served %d solutions, want 2", n)
+	}
+}
+
+// TestIterCappedStreamNotExhausted: stopping at the MaxSolutions cap with
+// open chains left must not claim the tree was searched (Run semantics).
+func TestIterCappedStreamNotExhausted(t *testing.T) {
+	db := load(t, "f(a).\nf(b).\n")
+	it, err := NewIter(context.Background(), db, uniform(), q(t, "f(X)"), Options{Strategy: DFS, MaxSolutions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := it.Next(); !ok || err != nil {
+		t.Fatalf("first solution: ok=%v err=%v", ok, err)
+	}
+	if _, ok, _ := it.Next(); ok {
+		t.Fatal("cap of 1 should end the stream")
+	}
+	if it.Exhausted() {
+		t.Error("capped stream with open chains reported Exhausted")
+	}
+	// An uncapped run over the same tree does exhaust.
+	it2, err := NewIter(context.Background(), db, uniform(), q(t, "f(X)"), Options{Strategy: DFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok, err := it2.Next(); err != nil {
+			t.Fatal(err)
+		} else if !ok {
+			break
+		}
+	}
+	if !it2.Exhausted() {
+		t.Error("fully drained stream should report Exhausted")
+	}
+}

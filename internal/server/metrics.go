@@ -1,0 +1,91 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"blog/internal/metrics"
+)
+
+// serverMetrics aggregates the service's operational counters. Counters
+// are atomic (internal/metrics.Counter); the latency distribution keeps a
+// bounded ring of recent query latencies plus a running Summary, from
+// which /metrics derives mean and p50/p95.
+type serverMetrics struct {
+	queries       metrics.Counter // queries admitted to a worker slot
+	solutions     metrics.Counter // solutions returned (one-shot bodies)
+	streamed      metrics.Counter // solutions streamed over NDJSON
+	rejected      metrics.Counter // 429s from the admission controller
+	badRequests   metrics.Counter // 4xx validation failures
+	timeouts      metrics.Counter // queries ended by their deadline
+	cancelled     metrics.Counter // queries ended by client disconnect
+	budgetStops   metrics.Counter // queries ended by their expansion budget
+	errors        metrics.Counter // engine/internal failures (5xx)
+	sessionsOpen  metrics.Counter // sessions created
+	sessionsEnded metrics.Counter // sessions merged and closed
+
+	mu      sync.Mutex
+	summary metrics.Summary
+	ring    []float64 // last ringCap latencies, ms
+	next    int
+	full    bool
+}
+
+const ringCap = 2048
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{ring: make([]float64, ringCap)}
+}
+
+// observeLatency records one completed query's wall time in ms.
+func (m *serverMetrics) observeLatency(ms float64) {
+	m.mu.Lock()
+	m.summary.Observe(ms)
+	m.ring[m.next] = ms
+	m.next++
+	if m.next == len(m.ring) {
+		m.next, m.full = 0, true
+	}
+	m.mu.Unlock()
+}
+
+// latencySnapshot returns (mean, p50, p95, n) over the retained window.
+func (m *serverMetrics) latencySnapshot() (mean, p50, p95 float64, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	window := m.ring[:m.next]
+	if m.full {
+		window = m.ring
+	}
+	xs := append([]float64(nil), window...)
+	return m.summary.Mean(), metrics.Percentile(xs, 50), metrics.Percentile(xs, 95), m.summary.N()
+}
+
+// expose renders the Prometheus-style text exposition of GET /metrics.
+func (m *serverMetrics) expose(inFlight, queued, workers, queueLen, sessions int) string {
+	mean, p50, p95, n := m.latencySnapshot()
+	var b strings.Builder
+	line := func(name string, v any) { fmt.Fprintf(&b, "blogd_%s %v\n", name, v) }
+	line("queries_total", m.queries.Load())
+	line("solutions_total", m.solutions.Load())
+	line("stream_solutions_total", m.streamed.Load())
+	line("rejected_total", m.rejected.Load())
+	line("bad_requests_total", m.badRequests.Load())
+	line("timeouts_total", m.timeouts.Load())
+	line("cancelled_total", m.cancelled.Load())
+	line("budget_stops_total", m.budgetStops.Load())
+	line("errors_total", m.errors.Load())
+	line("sessions_created_total", m.sessionsOpen.Load())
+	line("sessions_ended_total", m.sessionsEnded.Load())
+	line("sessions_active", sessions)
+	line("in_flight", inFlight)
+	line("queue_depth", queued)
+	line("pool_workers", workers)
+	line("pool_queue_capacity", queueLen)
+	line("latency_ms_count", n)
+	fmt.Fprintf(&b, "blogd_latency_ms_mean %.3f\n", mean)
+	fmt.Fprintf(&b, "blogd_latency_ms{quantile=\"0.5\"} %.3f\n", p50)
+	fmt.Fprintf(&b, "blogd_latency_ms{quantile=\"0.95\"} %.3f\n", p95)
+	return b.String()
+}

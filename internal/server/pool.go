@@ -1,0 +1,76 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrSaturated is returned by Pool.Acquire when the concurrency limit is
+// reached and the admission queue is full. The handler maps it to 429 so
+// overload produces fast rejections instead of unbounded queueing.
+var ErrSaturated = errors.New("server: query pool saturated")
+
+// Pool is the admission controller in front of the solver runtime: at
+// most workers queries run concurrently, at most queueLen more may wait
+// for a slot, and everything beyond that fails fast. A waiter whose
+// context ends (client gone, deadline passed) leaves the queue
+// immediately, so abandoned requests cost nothing.
+type Pool struct {
+	sem      chan struct{}
+	queueCap int64
+	waiting  atomic.Int64
+}
+
+// NewPool sizes the admission controller. workers <= 0 defaults to 4;
+// queueLen < 0 means no waiting (admit-or-reject).
+func NewPool(workers, queueLen int) *Pool {
+	if workers <= 0 {
+		workers = 4
+	}
+	if queueLen < 0 {
+		queueLen = 0
+	}
+	return &Pool{sem: make(chan struct{}, workers), queueCap: int64(queueLen)}
+}
+
+// Acquire claims a worker slot, waiting in the bounded queue if all slots
+// are busy. It returns ErrSaturated when the queue is full and ctx's
+// error if the caller gives up first. Every nil return must be paired
+// with exactly one Release.
+func (p *Pool) Acquire(ctx context.Context) error {
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	// No free slot: claim a queue place or fail fast.
+	for {
+		w := p.waiting.Load()
+		if w >= p.queueCap {
+			return ErrSaturated
+		}
+		if p.waiting.CompareAndSwap(w, w+1) {
+			break
+		}
+	}
+	defer p.waiting.Add(-1)
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot claimed by a successful Acquire.
+func (p *Pool) Release() { <-p.sem }
+
+// InFlight returns the number of slots currently claimed.
+func (p *Pool) InFlight() int { return len(p.sem) }
+
+// Queued returns the number of requests waiting for a slot.
+func (p *Pool) Queued() int { return int(p.waiting.Load()) }
+
+// Capacity returns (workers, queueLen).
+func (p *Pool) Capacity() (workers, queueLen int) { return cap(p.sem), int(p.queueCap) }

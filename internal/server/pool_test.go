@@ -1,0 +1,107 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPoolAdmitsUpToWorkers(t *testing.T) {
+	p := NewPool(2, 0)
+	ctx := context.Background()
+	if err := p.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Queue length 0: the third caller must fail fast, not block.
+	if err := p.Acquire(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	p.Release()
+	if err := p.Acquire(ctx); err != nil {
+		t.Fatalf("slot was released but Acquire failed: %v", err)
+	}
+	p.Release()
+	p.Release()
+}
+
+func TestPoolQueueBoundsWaiters(t *testing.T) {
+	p := NewPool(1, 1)
+	if err := p.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue.
+	waiterErr := make(chan error, 1)
+	go func() { waiterErr <- p.Acquire(context.Background()) }()
+	waitFor(t, func() bool { return p.Queued() == 1 })
+	// The queue is now full: the next caller is rejected immediately.
+	if err := p.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	p.Release()
+	if err := <-waiterErr; err != nil {
+		t.Fatalf("queued waiter should get the freed slot: %v", err)
+	}
+	p.Release()
+}
+
+func TestPoolWaiterLeavesOnCancel(t *testing.T) {
+	p := NewPool(1, 4)
+	if err := p.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() { waiterErr <- p.Acquire(ctx) }()
+	waitFor(t, func() bool { return p.Queued() == 1 })
+	cancel()
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	waitFor(t, func() bool { return p.Queued() == 0 })
+	p.Release()
+}
+
+func TestPoolConcurrentChurn(t *testing.T) {
+	p := NewPool(4, 8)
+	var wg sync.WaitGroup
+	var admitted, rejected sync.Map
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := p.Acquire(context.Background())
+			if errors.Is(err, ErrSaturated) {
+				rejected.Store(i, true)
+				return
+			}
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			admitted.Store(i, true)
+			time.Sleep(time.Millisecond)
+			p.Release()
+		}(i)
+	}
+	wg.Wait()
+	if p.InFlight() != 0 || p.Queued() != 0 {
+		t.Errorf("pool not drained: in-flight %d, queued %d", p.InFlight(), p.Queued())
+	}
+}
+
+// waitFor polls cond for up to 5s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,521 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"blog"
+)
+
+// Config sizes the service around one shared Program.
+type Config struct {
+	// Program is the loaded knowledge base every request queries.
+	Program *blog.Program
+
+	// MaxConcurrent bounds queries running at once (default GOMAXPROCS).
+	MaxConcurrent int
+	// QueueLen bounds requests waiting for a slot; beyond it requests
+	// fail fast with 429. 0 means the default (64); negative disables
+	// waiting entirely (admit-or-reject).
+	QueueLen int
+	// MaxWorkers clamps the client-requested OR-parallel worker count, so
+	// one admitted request cannot spawn unbounded goroutines (default 16).
+	MaxWorkers int
+	// DefaultTimeout bounds a query that asked for no deadline
+	// (default 10s); MaxTimeout clamps client-requested deadlines
+	// (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// SolutionCap clamps per-query answer counts (default 1024).
+	SolutionCap int
+	// MaxSessions bounds live learning sessions (default 1024).
+	MaxSessions int
+	// SessionTTL evicts sessions idle for this long — their local weights
+	// merge conservatively, exactly as an explicit end would — so
+	// abandoned clients cannot exhaust MaxSessions forever (default 30m;
+	// negative disables eviction).
+	SessionTTL time.Duration
+	// DefaultStrategy names the discipline used when a request leaves
+	// strategy empty (default "best").
+	DefaultStrategy string
+}
+
+func (c *Config) fill() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueLen == 0 {
+		c.QueueLen = 64
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = 16
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 30 * time.Minute
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.SolutionCap <= 0 {
+		c.SolutionCap = 1024
+	}
+	if c.DefaultStrategy == "" {
+		c.DefaultStrategy = "best"
+	}
+}
+
+// streamWriteGrace bounds how long one NDJSON line may sit in a stalled
+// client's socket before the stream is abandoned and its slot freed.
+const streamWriteGrace = 30 * time.Second
+
+// Server is the query service. It implements http.Handler.
+type Server struct {
+	cfg      Config
+	program  *blog.Program
+	pool     *Pool
+	sessions *registry
+	metrics  *serverMetrics
+	mux      *http.ServeMux
+	start    time.Time
+
+	// evictions tracks background idle-eviction merges so EndAllSessions
+	// can join them before the caller persists the global table.
+	evictions sync.WaitGroup
+}
+
+// New builds a Server over cfg.Program. cfg.Program must be non-nil.
+func New(cfg Config) *Server {
+	if cfg.Program == nil {
+		panic("server: Config.Program is nil")
+	}
+	cfg.fill()
+	s := &Server{
+		cfg:      cfg,
+		program:  cfg.Program,
+		pool:     NewPool(cfg.MaxConcurrent, cfg.QueueLen),
+		sessions: newRegistry(cfg.MaxSessions, cfg.SessionTTL),
+		metrics:  newServerMetrics(),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+	}
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /query/stream", s.handleStream)
+	s.mux.HandleFunc("POST /sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /sessions", s.handleSessionList)
+	s.mux.HandleFunc("POST /sessions/{id}/query", s.handleSessionQuery)
+	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleSessionEnd)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Pool exposes the admission controller (tests and the daemon's logs).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	// Only genuine validation failures count as bad requests; 404s, 422
+	// budget stops and 429s have their own accounting.
+	if status == http.StatusBadRequest {
+		s.metrics.badRequests.Inc()
+	}
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// decodeQuery parses and validates the request body into a QueryRequest
+// plus resolved strategy, solution cap and timeout. A nil return means an
+// error response was already written.
+func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) (*QueryRequest, blog.Strategy, int, time.Duration, bool) {
+	var q QueryRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&q); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return nil, 0, 0, 0, false
+	}
+	if q.Goal == "" {
+		s.writeError(w, http.StatusBadRequest, "missing goal")
+		return nil, 0, 0, 0, false
+	}
+	if err := blog.ValidateQuery(q.Goal); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad goal: "+err.Error())
+		return nil, 0, 0, 0, false
+	}
+	name := q.Strategy
+	if name == "" {
+		name = s.cfg.DefaultStrategy
+	}
+	strat, err := blog.ParseStrategy(name)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return nil, 0, 0, 0, false
+	}
+	maxSol := s.cfg.SolutionCap
+	if q.MaxSolutions > 0 && q.MaxSolutions < maxSol {
+		maxSol = q.MaxSolutions
+	}
+	timeout := s.cfg.DefaultTimeout
+	if q.TimeoutMs > 0 {
+		// Compare in milliseconds before multiplying: a huge timeout_ms
+		// must clamp to MaxTimeout, not overflow into the past.
+		if int64(q.TimeoutMs) >= int64(s.cfg.MaxTimeout/time.Millisecond) {
+			timeout = s.cfg.MaxTimeout
+		} else {
+			timeout = time.Duration(q.TimeoutMs) * time.Millisecond
+		}
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	// Clamp the OR-parallel worker count: the pool bounds admitted
+	// requests, this bounds the goroutines one admitted request can cost.
+	if q.Workers > s.cfg.MaxWorkers {
+		q.Workers = s.cfg.MaxWorkers
+	}
+	if q.Workers < 0 {
+		q.Workers = 0
+	}
+	return &q, strat, maxSol, timeout, true
+}
+
+// admit claims a worker slot for the request, mapping saturation to 429
+// and client abandonment to a silent drop. ok=false means a response was
+// written (or the client is gone).
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	err := s.pool.Acquire(r.Context())
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, ErrSaturated):
+		s.metrics.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: err.Error()})
+	default:
+		// Client gave up while queued; nothing useful to write.
+		s.metrics.cancelled.Inc()
+	}
+	return false
+}
+
+// finishQueryError maps a query error onto a response and counters.
+func (s *Server) finishQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.timeouts.Inc()
+		s.writeError(w, http.StatusGatewayTimeout, "query timed out")
+	case errors.Is(err, context.Canceled):
+		s.metrics.cancelled.Inc() // client gone; response is moot
+	case errors.Is(err, blog.ErrBudget):
+		s.metrics.budgetStops.Inc()
+		s.writeError(w, http.StatusUnprocessableEntity, "expansion budget exhausted before completion")
+	default:
+		s.metrics.errors.Inc()
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// handleQuery serves POST /query: one-shot query over the shared Program.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.runQuery(w, r, nil)
+}
+
+// runQuery executes a one-shot query, optionally inside a session.
+func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, entry *sessionEntry) {
+	q, strat, maxSol, timeout, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.pool.Release()
+	s.metrics.queries.Inc()
+
+	opts := q.options(maxSol)
+	sessionID := ""
+	if entry != nil {
+		opts = append(opts, blog.InSession(entry.s))
+		sessionID = entry.id
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	start := time.Now()
+	res, err := s.program.QueryContext(ctx, q.Goal, strat, opts...)
+	s.metrics.observeLatency(elapsedMs(start))
+	if err != nil {
+		s.finishQueryError(w, err)
+		return
+	}
+	if entry != nil {
+		entry.s.NoteQuery(len(res.Solutions) > 0)
+	}
+	resp := QueryResponse{
+		Solutions: make([]Solution, 0, len(res.Solutions)),
+		Exhausted: res.Exhausted,
+		Expanded:  res.Expanded,
+		Generated: res.Generated,
+		Failures:  res.Failures,
+		Strategy:  strat.String(),
+		ElapsedMs: elapsedMs(start),
+		Session:   sessionID,
+	}
+	for _, sol := range res.Solutions {
+		resp.Solutions = append(resp.Solutions, wireSolution(sol))
+	}
+	s.metrics.solutions.Add(uint64(len(resp.Solutions)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStream serves POST /query/stream: solutions as NDJSON lines the
+// moment the engine finds them, ending with one terminal line. Sequential
+// strategies only (the streaming engine's constraint).
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	q, strat, maxSol, timeout, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.pool.Release()
+	s.metrics.queries.Inc()
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	start := time.Now()
+	it, err := s.program.IterContext(ctx, q.Goal, strat, q.options(maxSol)...)
+	if err != nil {
+		// Everything rejected here is a request shape problem (parallel
+		// strategy, AND-parallel, recording) — the goal already parsed.
+		s.metrics.observeLatency(elapsedMs(start))
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	// A client that stops reading must not pin the worker slot: every
+	// line gets a fresh write deadline set just before the write (never
+	// earlier — the engine may legitimately search longer than the grace
+	// between solutions), so a stalled connection errors out of Encode
+	// and the deferred Release frees the slot. The deadline is cleared on
+	// return so a keep-alive connection is not poisoned for its next
+	// request when the embedding http.Server has no WriteTimeout.
+	rc := http.NewResponseController(w)
+	defer func() { _ = rc.SetWriteDeadline(time.Time{}) }()
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	served := 0
+	for {
+		sol, more, err := it.Next()
+		if !more {
+			final := StreamEvent{
+				Done:      true,
+				Exhausted: it.Exhausted(),
+				Solutions: served,
+				Expanded:  it.Stats().Expanded,
+			}
+			if err != nil {
+				final.Error = err.Error()
+				switch {
+				case errors.Is(err, context.DeadlineExceeded):
+					s.metrics.timeouts.Inc()
+				case errors.Is(err, context.Canceled):
+					s.metrics.cancelled.Inc()
+				case errors.Is(err, blog.ErrBudget):
+					s.metrics.budgetStops.Inc()
+				default:
+					s.metrics.errors.Inc()
+				}
+			}
+			_ = rc.SetWriteDeadline(time.Now().Add(streamWriteGrace))
+			_ = enc.Encode(final)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			s.metrics.observeLatency(elapsedMs(start))
+			return
+		}
+		ws := wireSolution(sol)
+		_ = rc.SetWriteDeadline(time.Now().Add(streamWriteGrace))
+		if encErr := enc.Encode(StreamEvent{Solution: &ws}); encErr != nil {
+			// Client went away mid-stream; the deferred Release frees the
+			// slot and ctx cancellation stops the engine on the next pull.
+			s.metrics.cancelled.Inc()
+			s.metrics.observeLatency(elapsedMs(start))
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		served++
+		s.metrics.streamed.Inc()
+	}
+}
+
+// handleSessionCreate serves POST /sessions. An empty body means
+// defaults.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Alpha float64 `json:"alpha"`
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<16))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(bytes.TrimSpace(raw)) > 0 {
+		if err := json.Unmarshal(raw, &body); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+	}
+	e, evicted, err := s.sessions.create(s.program, body.Alpha)
+	s.mergeEvicted(evicted)
+	if err != nil {
+		if errors.Is(err, ErrSessionLimit) {
+			writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: err.Error()})
+			return
+		}
+		s.metrics.errors.Inc()
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.metrics.sessionsOpen.Inc()
+	writeJSON(w, http.StatusCreated, e.info())
+}
+
+// mergeEvicted performs the conservative merge for idle-evicted sessions
+// in the background, once any straggler query has released them.
+func (s *Server) mergeEvicted(evicted []*sessionEntry) {
+	for _, old := range evicted {
+		s.evictions.Add(1)
+		go func(old *sessionEntry) {
+			defer s.evictions.Done()
+			s.sessions.waitIdle(old)
+			old.s.End()
+			s.metrics.sessionsEnded.Inc()
+		}(old)
+	}
+}
+
+// EndAllSessions drains the registry and merges every live session, then
+// joins any in-flight idle-eviction merges — the daemon calls this on
+// shutdown so learned weights are never lost before persisting. It
+// returns the number of registry sessions merged.
+func (s *Server) EndAllSessions() int {
+	drained := s.sessions.drain()
+	for _, e := range drained {
+		s.sessions.waitIdle(e)
+		e.s.End()
+		s.metrics.sessionsEnded.Inc()
+	}
+	s.evictions.Wait()
+	return len(drained)
+}
+
+// handleSessionList serves GET /sessions, sweeping idle sessions first
+// so the listing and gauges stay honest on a create-quiet server.
+func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	s.mergeEvicted(s.sessions.sweep())
+	entries := s.sessions.list()
+	out := make([]SessionInfo, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.info())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSessionQuery serves POST /sessions/{id}/query: the query's weight
+// learning goes to the session's local store, so a client's session
+// behaves exactly as section 5 prescribes. The acquired reference keeps a
+// concurrent DELETE from merging mid-query.
+func (s *Server) handleSessionQuery(w http.ResponseWriter, r *http.Request) {
+	e, err := s.sessions.acquire(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	defer s.sessions.release(e)
+	s.runQuery(w, r, e)
+}
+
+// handleSessionEnd serves DELETE /sessions/{id}: the conservative
+// end-of-session merge into the global table, after in-flight queries on
+// the session finish (bounded by the per-query timeout).
+func (s *Server) handleSessionEnd(w http.ResponseWriter, r *http.Request) {
+	e, err := s.sessions.remove(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	s.sessions.waitIdle(e)
+	adopted, averaged, kept, vetoed := e.s.End()
+	qn, succ, fail := e.s.Counts()
+	s.metrics.sessionsEnded.Inc()
+	writeJSON(w, http.StatusOK, SessionEndResponse{
+		ID:               e.id,
+		Adopted:          adopted,
+		Averaged:         averaged,
+		InfinitiesKept:   kept,
+		InfinitiesVetoed: vetoed,
+		Queries:          qn,
+		Successes:        succ,
+		Failures:         fail,
+	})
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Healthz{
+		Status:   "ok",
+		UptimeS:  time.Since(s.start).Seconds(),
+		InFlight: s.pool.InFlight(),
+		Queued:   s.pool.Queued(),
+	})
+}
+
+// handleMetrics serves GET /metrics in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	workers, queueLen := s.pool.Capacity()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(s.metrics.expose(s.pool.InFlight(), s.pool.Queued(), workers, queueLen, s.sessions.len())))
+}
+
+// handleStats serves GET /stats: the loaded program's shape.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	clauses, facts, rules, preds, arcs := s.program.Stats()
+	writeJSON(w, http.StatusOK, ProgramStats{
+		Clauses:     clauses,
+		Facts:       facts,
+		Rules:       rules,
+		Preds:       preds,
+		Arcs:        arcs,
+		LearnedArcs: s.program.LearnedArcs(),
+		Sessions:    s.sessions.len(),
+	})
+}

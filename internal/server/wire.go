@@ -1,0 +1,172 @@
+// Package server exposes a loaded blog.Program as a concurrent query
+// service: HTTP/JSON endpoints for one-shot and streaming (NDJSON)
+// queries, first-class learning sessions, and operational endpoints
+// (/healthz, /metrics). One shared Program serves every request; a
+// bounded worker pool with a bounded admission queue keeps overload
+// behavior flat (fast 429s) and per-request deadlines are wired to
+// context cancellation, so an abandoned client releases its worker slot
+// at the next expansion step.
+package server
+
+import (
+	"time"
+
+	"blog"
+)
+
+// QueryRequest is the JSON body of POST /query, POST /query/stream and
+// POST /sessions/{id}/query. Zero fields take the server's defaults.
+type QueryRequest struct {
+	// Goal is the query text, e.g. "gf(sam, G)".
+	Goal string `json:"goal"`
+	// Strategy is dfs, bfs, best (or best-first) or parallel; empty means
+	// the server default (best-first).
+	Strategy string `json:"strategy,omitempty"`
+
+	// MaxSolutions caps answers; 0 means the server's solution cap.
+	MaxSolutions int `json:"max_solutions,omitempty"`
+	// MaxExpansions bounds search work; 0 uses the engine default.
+	MaxExpansions uint64 `json:"max_expansions,omitempty"`
+	// MaxDepth bounds chain length in arcs; 0 uses the program's A.
+	MaxDepth int `json:"max_depth,omitempty"`
+	// TimeoutMs bounds wall time; 0 uses the server default and values
+	// above the server maximum are clamped.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+
+	// Learn applies the section-5 weight rules (to the session store on
+	// the session endpoints, else the global table).
+	Learn bool `json:"learn,omitempty"`
+	// Prune enables branch-and-bound pruning; PruneSlack widens it.
+	Prune      bool    `json:"prune,omitempty"`
+	PruneSlack float64 `json:"prune_slack,omitempty"`
+	// OccursCheck enables sound unification (honored by every strategy).
+	OccursCheck bool `json:"occurs_check,omitempty"`
+	// AndParallel evaluates independent goal groups concurrently
+	// (sequential strategies only).
+	AndParallel bool `json:"and_parallel,omitempty"`
+	// Workers sets the OR-parallel worker count (parallel strategy only).
+	Workers int `json:"workers,omitempty"`
+}
+
+// options translates the request into blog query options.
+func (q *QueryRequest) options(maxSolutions int) []blog.Option {
+	opts := []blog.Option{blog.MaxSolutions(maxSolutions)}
+	if q.MaxExpansions > 0 {
+		opts = append(opts, blog.MaxExpansions(q.MaxExpansions))
+	}
+	if q.MaxDepth > 0 {
+		opts = append(opts, blog.MaxDepth(q.MaxDepth))
+	}
+	if q.Learn {
+		opts = append(opts, blog.Learn())
+	}
+	if q.Prune {
+		opts = append(opts, blog.Prune())
+	}
+	if q.PruneSlack > 0 {
+		opts = append(opts, blog.PruneSlack(q.PruneSlack))
+	}
+	if q.OccursCheck {
+		opts = append(opts, blog.OccursCheck())
+	}
+	if q.AndParallel {
+		opts = append(opts, blog.AndParallel())
+	}
+	if q.Workers > 0 {
+		opts = append(opts, blog.Workers(q.Workers))
+	}
+	return opts
+}
+
+// Solution is one answer on the wire.
+type Solution struct {
+	// Bindings maps query variable names to rendered terms.
+	Bindings map[string]string `json:"bindings,omitempty"`
+	// Text is the "X = v, Y = w" rendering ("true" for ground queries).
+	Text  string  `json:"text"`
+	Bound float64 `json:"bound"`
+	Depth int     `json:"depth"`
+}
+
+func wireSolution(s blog.Solution) Solution {
+	return Solution{Bindings: s.Bindings, Text: s.String(), Bound: s.Bound, Depth: s.Depth}
+}
+
+// QueryResponse is the JSON body of a successful one-shot query.
+type QueryResponse struct {
+	Solutions []Solution `json:"solutions"`
+	// Exhausted reports the engine searched the whole tree.
+	Exhausted bool    `json:"exhausted"`
+	Expanded  uint64  `json:"expanded"`
+	Generated uint64  `json:"generated"`
+	Failures  uint64  `json:"failures"`
+	Strategy  string  `json:"strategy"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// Session echoes the session id on session-scoped queries.
+	Session string `json:"session,omitempty"`
+}
+
+// StreamEvent is one NDJSON line of POST /query/stream: solution lines
+// first, then exactly one terminal line with Done set (carrying the final
+// counters, or Error when the stream aborted).
+type StreamEvent struct {
+	Solution  *Solution `json:"solution,omitempty"`
+	Done      bool      `json:"done,omitempty"`
+	Exhausted bool      `json:"exhausted,omitempty"`
+	Solutions int       `json:"solutions,omitempty"`
+	Expanded  uint64    `json:"expanded,omitempty"`
+	Error     string    `json:"error,omitempty"`
+}
+
+// SessionInfo describes one live session (POST /sessions response and
+// GET /sessions elements).
+type SessionInfo struct {
+	ID           string  `json:"id"`
+	Alpha        float64 `json:"alpha"`
+	CreatedAt    string  `json:"created_at"`
+	Queries      int     `json:"queries"`
+	Successes    int     `json:"successes"`
+	Failures     int     `json:"failures"`
+	LocalLearned int     `json:"local_learned"`
+}
+
+// SessionEndResponse reports the conservative merge performed by
+// DELETE /sessions/{id} (section 5's end-of-session global update).
+type SessionEndResponse struct {
+	ID               string `json:"id"`
+	Adopted          int    `json:"adopted"`
+	Averaged         int    `json:"averaged"`
+	InfinitiesKept   int    `json:"infinities_kept"`
+	InfinitiesVetoed int    `json:"infinities_vetoed"`
+	Queries          int    `json:"queries"`
+	Successes        int    `json:"successes"`
+	Failures         int    `json:"failures"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Healthz is the GET /healthz body.
+type Healthz struct {
+	Status   string  `json:"status"`
+	UptimeS  float64 `json:"uptime_s"`
+	InFlight int     `json:"in_flight"`
+	Queued   int     `json:"queued"`
+}
+
+// ProgramStats is the GET /stats body.
+type ProgramStats struct {
+	Clauses     int `json:"clauses"`
+	Facts       int `json:"facts"`
+	Rules       int `json:"rules"`
+	Preds       int `json:"preds"`
+	Arcs        int `json:"arcs"`
+	LearnedArcs int `json:"learned_arcs"`
+	Sessions    int `json:"sessions"`
+}
+
+func elapsedMs(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}

@@ -215,6 +215,8 @@ func Do(ctx context.Context, req *Request) (*Response, error) {
 // NewIter prepares a lazy, pull-based run for req — the interactive
 // top-level's "; for more" model. Streaming runs on the sequential engine
 // only; Parallel, AndParallel, and tree/trace recording are rejected.
+// Prune/PruneSlack are honored: the iterator cuts open nodes against the
+// best solution bound served so far, exactly as the batch engine does.
 func NewIter(ctx context.Context, req *Request) (*search.Iter, error) {
 	if err := validate(req); err != nil {
 		return nil, err
@@ -226,12 +228,17 @@ func NewIter(ctx context.Context, req *Request) (*search.Iter, error) {
 	if req.AndParallel {
 		return nil, errors.New("solve: streaming does not support AndParallel")
 	}
+	if req.RecordTree || req.RecordTrace {
+		return nil, errors.New("solve: streaming does not record trees or traces; use Do for recorded runs")
+	}
 	return search.NewIter(ctx, req.DB, req.Store, req.Goals, search.Options{
 		Strategy:      sstrat,
 		MaxSolutions:  req.MaxSolutions,
 		MaxExpansions: req.MaxExpansions,
 		MaxDepth:      req.MaxDepth,
 		Learn:         req.Learn,
+		Prune:         req.Prune,
+		PruneSlack:    req.PruneSlack,
 		OccursCheck:   req.OccursCheck,
 	})
 }
@@ -314,6 +321,7 @@ func (ORParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 		MaxExpansions: req.MaxExpansions,
 		Learn:         req.Learn,
 		MaxDepth:      req.MaxDepth,
+		OccursCheck:   req.OccursCheck,
 	})
 	if err != nil {
 		return nil, err

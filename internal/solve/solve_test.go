@@ -314,3 +314,84 @@ func TestAndParallelRespectsSearchStrategy(t *testing.T) {
 		}
 	}
 }
+
+// TestNewIterHonorsPrune: streaming requests no longer silently drop the
+// branch-and-bound switches (ROADMAP item from PR 2 review).
+func TestNewIterHonorsPrune(t *testing.T) {
+	src := `
+top(X) :- cheap(X).
+top(X) :- d1(X).
+cheap(a).
+d1(X) :- d2(X).
+d2(X) :- d3(X).
+d3(b).
+`
+	db := load(t, src)
+	r := req(t, db, "top(X)", DFS)
+	r.Prune = true
+	it, err := NewIter(context.Background(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 1 {
+		t.Errorf("pruned stream served %d solutions, want 1", n)
+	}
+	if it.Stats().Pruned == 0 {
+		t.Error("streaming run should report pruned chains")
+	}
+}
+
+// TestNewIterRejectsRecording: tree/trace recording on a streaming request
+// is a clear error, not a silent drop (ROADMAP item from PR 2 review).
+func TestNewIterRejectsRecording(t *testing.T) {
+	db := load(t, familySrc)
+	r := req(t, db, "gf(sam,G)", DFS)
+	r.RecordTree = true
+	if _, err := NewIter(context.Background(), r); err == nil {
+		t.Error("RecordTree on a streaming request must error")
+	}
+	r = req(t, db, "gf(sam,G)", BFS)
+	r.RecordTrace = true
+	if _, err := NewIter(context.Background(), r); err == nil {
+		t.Error("RecordTrace on a streaming request must error")
+	}
+}
+
+// TestOccursCheckEveryStrategy: the soundness switch reaches all four
+// engines — notably Parallel, which used to discard it (ROADMAP item from
+// PR 2 review). p only succeeds through the unsound cyclic binding
+// Y = f(Y).
+func TestOccursCheckEveryStrategy(t *testing.T) {
+	db := load(t, "p :- eq(Y, f(Y)).\neq(X, X).\n")
+	for name, r := range everyStrategy(t, db, "p") {
+		r.OccursCheck = true
+		resp, err := Do(context.Background(), r)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(resp.Solutions) != 0 {
+			t.Errorf("%s: occurs check admitted %d unsound solutions", name, len(resp.Solutions))
+		}
+	}
+	// Sanity: without the check the cyclic unification succeeds.
+	r := req(t, db, "p", Parallel)
+	r.Workers = 4
+	resp, err := Do(context.Background(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Solutions) != 1 {
+		t.Errorf("unsound run found %d solutions, want 1", len(resp.Solutions))
+	}
+}
