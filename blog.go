@@ -51,6 +51,7 @@ import (
 	"blog/internal/search"
 	"blog/internal/session"
 	"blog/internal/solve"
+	"blog/internal/table"
 	"blog/internal/term"
 	"blog/internal/weights"
 )
@@ -93,6 +94,10 @@ func ValidateQuery(query string) error {
 type Program struct {
 	db      *kb.DB
 	queries [][]term.Term // directive queries from the source text
+	// tables is the program's answer-table space for tabled resolution
+	// (predicates declared `:- table name/arity`, queried with Tabled()).
+	// Shared by every query; weight maintenance invalidates it.
+	tables *table.Space
 
 	mu     sync.RWMutex // guards global and cfg
 	global *weights.Table
@@ -134,7 +139,13 @@ func LoadString(src string, cfg ...Config) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Program{db: db, global: weights.NewTable(wcfg), cfg: wcfg, queries: qs}, nil
+	return &Program{
+		db:      db,
+		tables:  table.NewSpace(db, table.Config{MaxDepth: wcfg.A}),
+		global:  weights.NewTable(wcfg),
+		cfg:     wcfg,
+		queries: qs,
+	}, nil
 }
 
 // DirectiveQueries returns the `?- goal.` directives found in the source,
@@ -157,11 +168,34 @@ func (p *Program) Stats() (clauses, facts, rules, preds, arcs int) {
 	return s.Clauses, s.Facts, s.Rules, s.Preds, s.Arcs
 }
 
-// ResetWeights discards all learned global weights.
+// TabledPreds returns the sorted indicators of predicates declared
+// `:- table name/arity` in the source.
+func (p *Program) TabledPreds() []string { return p.db.TabledPreds() }
+
+// TableInfo describes one memoized answer table; see Program.Tables.
+type TableInfo = table.Info
+
+// Tables lists the program's live answer tables (call-pattern variants
+// materialized by Tabled() queries so far), sorted by predicate and call.
+func (p *Program) Tables() []TableInfo { return p.tables.Tables() }
+
+// TableStats reports the answer-table space: live table count and the
+// cumulative (monotonic, surviving invalidation) counters of tables
+// created, answers memoized, complete-table hits, and answers replayed
+// from complete tables (re-derivations avoided).
+func (p *Program) TableStats() (tables int, created, answers, hits, rederivationsAvoided uint64) {
+	created, answers, hits, rederivationsAvoided = p.tables.Totals()
+	return p.tables.Len(), created, answers, hits, rederivationsAvoided
+}
+
+// ResetWeights discards all learned global weights. Memoized answer
+// tables are invalidated with them: the tables were produced under the
+// old weight coding, and the next tabled query rebuilds them.
 func (p *Program) ResetWeights() {
 	p.mu.Lock()
 	p.global = weights.NewTable(p.cfg)
 	p.mu.Unlock()
+	p.tables.Invalidate()
 }
 
 // LearnedArcs returns the number of arcs with learned global state.
@@ -193,6 +227,7 @@ type queryOpts struct {
 	recordTree    bool
 	recordTrace   bool
 	andParallel   bool
+	tabled        bool
 }
 
 // MaxSolutions stops the search after n solutions (0 = all).
@@ -233,6 +268,17 @@ func MigrationThreshold(d float64) Option {
 
 // InSession directs learning into the given session's local store.
 func InSession(s *Session) Option { return func(o *queryOpts) { o.session = s } }
+
+// Tabled resolves predicates declared `:- table name/arity` through the
+// program's answer-table space: each tabled subgoal variant is derived
+// once to its complete, duplicate-free answer set (a bottom-up fixpoint
+// for recursive definitions), and every later call — in this query or a
+// later one — replays the memoized answers. This makes left-recursive
+// programs terminate with complete answers under every strategy, where
+// the plain OR-tree search only stops at the depth cutoff. Programs with
+// no table declarations run unchanged. Tabled evaluation uses standard
+// (non-occurs-check) unification inside the tables.
+func Tabled() Option { return func(o *queryOpts) { o.tabled = true } }
 
 // AndParallel evaluates the query's independent (non-variable-sharing)
 // goal groups concurrently and combines them by cross product — the
@@ -288,6 +334,18 @@ type Result struct {
 	Migrations uint64
 	// Groups is the independent-group count of an AndParallel run.
 	Groups int
+	// Tabled-resolution counters (Tabled() runs only): tables this query
+	// materialized, distinct answers it derived, calls served from an
+	// already-complete table, and answers replayed from complete tables
+	// (each one a subgoal re-derivation the untabled engine would redo).
+	TablesCreated        uint64
+	TableAnswers         uint64
+	TableHits            uint64
+	RederivationsAvoided uint64
+	// TablesTruncated counts consumptions of depth-truncated tables: the
+	// answer sets served were cut by the depth bound, so Exhausted=true
+	// carries the same caveat it does for untabled depth cutoffs.
+	TablesTruncated uint64
 }
 
 // Query parses and runs a query under the given strategy.
@@ -344,7 +402,14 @@ func (p *Program) applyOpts(opts []Option) (queryOpts, weights.Store, error) {
 
 // request assembles the solver-runtime request for one query run.
 func (p *Program) request(goals []term.Term, strat Strategy, o queryOpts, store weights.Store) *solve.Request {
+	// Programs with no `:- table` declarations run with the hook absent
+	// entirely — Tabled() costs nothing on the per-goal path then.
+	var tables *table.Space
+	if o.tabled && p.db.HasTabled() {
+		tables = p.tables
+	}
 	return &solve.Request{
+		Tables:        tables,
 		DB:            p.db,
 		Store:         store,
 		Goals:         goals,
@@ -369,13 +434,18 @@ func (p *Program) request(goals []term.Term, strat Strategy, o queryOpts, store 
 // strategy.
 func resultFrom(resp *solve.Response) *Result {
 	res := &Result{
-		Expanded:   resp.Stats.Expanded,
-		Generated:  resp.Stats.Generated,
-		Failures:   resp.Stats.Failures,
-		Exhausted:  resp.Exhausted,
-		Trace:      resp.Trace,
-		Migrations: resp.Stats.Migrations,
-		Groups:     resp.Stats.Groups,
+		Expanded:             resp.Stats.Expanded,
+		Generated:            resp.Stats.Generated,
+		Failures:             resp.Stats.Failures,
+		Exhausted:            resp.Exhausted,
+		Trace:                resp.Trace,
+		Migrations:           resp.Stats.Migrations,
+		Groups:               resp.Stats.Groups,
+		TablesCreated:        resp.Stats.TablesCreated,
+		TableAnswers:         resp.Stats.TableAnswers,
+		TableHits:            resp.Stats.TableHits,
+		RederivationsAvoided: resp.Stats.RederivationsAvoided,
+		TablesTruncated:      resp.Stats.TablesTruncated,
 	}
 	if resp.Tree != nil {
 		res.Tree = resp.Tree.Render()
@@ -404,8 +474,9 @@ func convertSolutions(sols []engine.Solution, qvars []*term.Var) []Solution {
 // style of querying ("; for more"). Learning, when enabled, applies to
 // every chain the iterator completes even if the caller abandons it early.
 type SolutionIter struct {
-	inner *search.Iter
-	names []string
+	inner  *search.Iter
+	tables *table.Handle // nil for untabled streams
+	names  []string
 }
 
 // Iter prepares a lazy query under a sequential strategy (DFS, BFS or
@@ -426,7 +497,7 @@ func (p *Program) IterContext(ctx context.Context, query string, strat Strategy,
 	if err != nil {
 		return nil, err
 	}
-	it, err := solve.NewIter(ctx, p.request(goals, strat, o, store))
+	it, th, err := solve.NewIter(ctx, p.request(goals, strat, o, store))
 	if err != nil {
 		return nil, err
 	}
@@ -434,7 +505,7 @@ func (p *Program) IterContext(ctx context.Context, query string, strat Strategy,
 	for _, v := range it.QueryVars() {
 		names = append(names, v.String())
 	}
-	return &SolutionIter{inner: it, names: names}, nil
+	return &SolutionIter{inner: it, tables: th, names: names}, nil
 }
 
 // Next returns the next solution; ok is false when the stream ends
@@ -460,12 +531,27 @@ type IterStats struct {
 	Generated uint64
 	Failures  uint64
 	Pruned    uint64
+	// Tabled-resolution counters (Tabled() streams only); see Result.
+	TablesCreated        uint64
+	TableAnswers         uint64
+	TableHits            uint64
+	RederivationsAvoided uint64
+	TablesTruncated      uint64
 }
 
 // Stats returns the counters accumulated by the iterator so far.
 func (s *SolutionIter) Stats() IterStats {
 	st := s.inner.Stats()
-	return IterStats{Expanded: st.Expanded, Generated: st.Generated, Failures: st.Failures, Pruned: st.Pruned}
+	out := IterStats{Expanded: st.Expanded, Generated: st.Generated, Failures: st.Failures, Pruned: st.Pruned}
+	if s.tables != nil {
+		ts := s.tables.Stats()
+		out.TablesCreated = ts.Created
+		out.TableAnswers = ts.Answers
+		out.TableHits = ts.Hits
+		out.RederivationsAvoided = ts.RederivationsAvoided
+		out.TablesTruncated = ts.TablesTruncated
+	}
+	return out
 }
 
 // Exhausted reports whether the stream ended because the whole tree was
@@ -492,9 +578,17 @@ func (p *Program) NewSession(alpha float64) *Session {
 }
 
 // End closes the session and merges into the global table, returning
-// counts of (adopted, averaged, infinitiesKept, infinitiesVetoed).
+// counts of (adopted, averaged, infinitiesKept, infinitiesVetoed). A
+// merge that actually changed the global weight database invalidates the
+// program's memoized answer tables with it; a no-op merge (nothing
+// learned, or every infinity vetoed) leaves them standing, so routine
+// session churn — server idle evictions, shutdown — does not throw away
+// expensive fixpoints for nothing.
 func (s *Session) End() (adopted, averaged, kept, vetoed int) {
 	st := s.inner.End()
+	if st.Adopted+st.Averaged+st.InfinitiesKept > 0 {
+		s.program.tables.Invalidate()
+	}
 	return st.Adopted, st.Averaged, st.InfinitiesKept, st.InfinitiesVetoed
 }
 
@@ -553,6 +647,10 @@ func (p *Program) LoadWeights(r io.Reader) error {
 	p.global = t
 	p.cfg = t.Config()
 	p.mu.Unlock()
+	// The loaded table's A becomes the program's depth coding, so the
+	// answer-table space must rebuild under the same bound — not just
+	// drop its tables.
+	p.tables.Reconfigure(table.Config{MaxDepth: t.Config().A})
 	return nil
 }
 

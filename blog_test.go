@@ -356,3 +356,146 @@ func TestAndParallelOption(t *testing.T) {
 		t.Errorf("capped = %d", len(capped.Solutions))
 	}
 }
+
+const leftRecSrc = `
+:- table path/2.
+path(X, Z) :- path(X, Y), edge(Y, Z).
+path(X, Y) :- edge(X, Y).
+edge(a, b). edge(b, c). edge(c, a). edge(c, d).
+`
+
+func TestTabledQueryAllStrategies(t *testing.T) {
+	p, err := LoadString(leftRecSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.TabledPreds(); len(got) != 1 || got[0] != "path/2" {
+		t.Fatalf("TabledPreds = %v, want [path/2]", got)
+	}
+	want := map[string]bool{"a": true, "b": true, "c": true, "d": true}
+	for _, strat := range []Strategy{DFS, BFS, BestFirst, Parallel} {
+		res, err := p.Query("path(a, R)", strat, Tabled())
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if !res.Exhausted {
+			t.Fatalf("%v: not exhausted", strat)
+		}
+		if len(res.Solutions) != len(want) {
+			t.Fatalf("%v: %d solutions, want %d", strat, len(res.Solutions), len(want))
+		}
+		for _, s := range res.Solutions {
+			if !want[s.Bindings["R"]] {
+				t.Fatalf("%v: unexpected answer %q", strat, s.Bindings["R"])
+			}
+		}
+	}
+	// Table counters surfaced on Result: later queries hit the table.
+	res, err := p.Query("path(a, R)", DFS, Tabled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TableHits == 0 || res.RederivationsAvoided != 4 {
+		t.Fatalf("hits=%d avoided=%d, want a table hit replaying 4 answers", res.TableHits, res.RederivationsAvoided)
+	}
+	tables, created, answers, hits, _ := p.TableStats()
+	if tables == 0 || created == 0 || answers == 0 || hits == 0 {
+		t.Fatalf("TableStats = (%d,%d,%d,%d), want all non-zero", tables, created, answers, hits)
+	}
+}
+
+func TestUntabledLeftRecursionIsIncomplete(t *testing.T) {
+	p, err := LoadString(leftRecSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without Tabled() the left recursion only stops at the depth cutoff:
+	// the proof enumeration never exhausts and duplicates abound.
+	res, err := p.Query("path(a, R)", DFS, MaxDepth(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exhausted && len(res.Solutions) == 4 {
+		t.Fatal("untabled left recursion unexpectedly behaved like the tabled run")
+	}
+}
+
+func TestTabledInvalidation(t *testing.T) {
+	p, err := LoadString(leftRecSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustTables := func(want int) {
+		t.Helper()
+		if got := len(p.Tables()); got != want {
+			t.Fatalf("live tables = %d, want %d", got, want)
+		}
+	}
+	if _, err := p.Query("path(a, R)", DFS, Tabled()); err != nil {
+		t.Fatal(err)
+	}
+	mustTables(1)
+	p.ResetWeights()
+	mustTables(0)
+
+	if _, err := p.Query("path(a, R)", DFS, Tabled()); err != nil {
+		t.Fatal(err)
+	}
+	mustTables(1)
+	// A session that learned nothing merges as a no-op and leaves the
+	// memoized tables standing.
+	noop := p.NewSession(0)
+	if _, err := p.Query("path(a, R)", DFS, Tabled(), InSession(noop)); err != nil {
+		t.Fatal(err)
+	}
+	noop.End()
+	mustTables(1)
+	// A session whose merge changed the weight database invalidates them.
+	// The learning query runs untabled so chains actually carry arcs.
+	sess := p.NewSession(0)
+	if _, err := p.Query("path(b, R)", BestFirst, Learn(), InSession(sess), MaxDepth(6)); err != nil {
+		t.Fatal(err)
+	}
+	if sess.LocalLearned() == 0 {
+		t.Fatal("learning query recorded no arcs; invalidation test is vacuous")
+	}
+	sess.End()
+	mustTables(0) // the session merge changed the weight database
+
+	if _, err := p.Query("path(a, R)", DFS, Tabled()); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := p.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LoadWeights(strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+	mustTables(0)
+}
+
+func TestTabledStreaming(t *testing.T) {
+	p, err := LoadString(leftRecSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := p.Iter("path(a, R)", DFS, Tabled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 4 || !it.Exhausted() {
+		t.Fatalf("streamed %d answers (exhausted=%v), want 4 exhausted", n, it.Exhausted())
+	}
+}

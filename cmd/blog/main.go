@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 
 	"blog"
 )
@@ -39,6 +40,7 @@ func main() {
 		repeat      = flag.Int("repeat", 1, "run the query this many times (shows learning)")
 		interactive = flag.Bool("i", false, "interactive REPL after loading")
 		usePrelude  = flag.Bool("prelude", false, "prepend the list/pair standard library")
+		tabled      = flag.Bool("tabled", true, "honor :- table declarations (answer memoization)")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -57,6 +59,9 @@ func main() {
 	clauses, facts, rules, preds, arcs := prog.Stats()
 	fmt.Printf("loaded %s: %d clauses (%d facts, %d rules), %d predicates, %d arcs\n",
 		*file, clauses, facts, rules, preds, arcs)
+	if tabled := prog.TabledPreds(); len(tabled) > 0 {
+		fmt.Printf("tabled: %s\n", strings.Join(tabled, ", "))
+	}
 
 	if *interactive {
 		runREPL(prog, os.Stdin, os.Stdout)
@@ -88,6 +93,10 @@ func main() {
 				fmt.Printf("--- run %d ---\n", rep+1)
 			}
 			opts := []blog.Option{blog.MaxSolutions(*n), blog.MaxDepth(*depth)}
+			if *tabled {
+				// A no-op for programs with no `:- table` declarations.
+				opts = append(opts, blog.Tabled())
+			}
 			if *learn {
 				opts = append(opts, blog.Learn())
 			}

@@ -19,6 +19,7 @@ type replState struct {
 	prog     *blog.Program
 	strategy blog.Strategy
 	learn    bool
+	tabled   bool
 	maxSol   int
 	maxDepth int
 	workers  int
@@ -37,12 +38,17 @@ const replHelp = `commands:
   :save <file>            write learned weights
   :load <file>            read learned weights
   :stats                  database and weight-table statistics
+  :tables                 tabled predicates and memoized answer tables
+  :tabled on|off          honor :- table declarations (default on)
   :help                   this text
-  :quit                   leave`
+  :quit                   leave
+
+predicates declared ':- table name/arity' in the loaded file resolve
+through memoized answer tables (left recursion terminates complete).`
 
 // runREPL drives an interactive loop until :quit or EOF.
 func runREPL(prog *blog.Program, in io.Reader, out io.Writer) {
-	st := &replState{prog: prog, strategy: blog.BestFirst, workers: 4}
+	st := &replState{prog: prog, strategy: blog.BestFirst, workers: 4, tabled: true}
 	sc := bufio.NewScanner(in)
 	fmt.Fprintln(out, "B-LOG interactive. :help for commands.")
 	for {
@@ -92,6 +98,13 @@ func (st *replState) command(line string, out io.Writer) bool {
 		}
 		st.learn = fields[1] == "on"
 		fmt.Fprintf(out, "learn: %v\n", st.learn)
+	case ":tabled":
+		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+			fmt.Fprintln(out, "usage: :tabled on|off")
+			break
+		}
+		st.tabled = fields[1] == "on"
+		fmt.Fprintf(out, "tabled: %v\n", st.tabled)
 	case ":n", ":depth", ":workers":
 		if len(fields) != 2 {
 			fmt.Fprintf(out, "usage: %s <int>\n", fields[0])
@@ -132,6 +145,8 @@ func (st *replState) command(line string, out io.Writer) bool {
 			fmt.Fprintf(out, " (+%d session-local)", st.session.LocalLearned())
 		}
 		fmt.Fprintln(out)
+	case ":tables":
+		st.tablesCmd(out)
 	default:
 		fmt.Fprintf(out, "unknown command %s (:help)\n", fields[0])
 	}
@@ -174,6 +189,39 @@ func (st *replState) sessionCmd(fields []string, out io.Writer) {
 	}
 }
 
+// tablesCmd lists the tabled predicates and their live answer tables.
+func (st *replState) tablesCmd(out io.Writer) {
+	preds := st.prog.TabledPreds()
+	if len(preds) == 0 {
+		fmt.Fprintln(out, "no tabled predicates (declare with ':- table name/arity.' in the program)")
+		return
+	}
+	fmt.Fprintf(out, "tabled predicates: %s\n", strings.Join(preds, ", "))
+	infos := st.prog.Tables()
+	if len(infos) == 0 {
+		fmt.Fprintln(out, "no answer tables yet (tables materialize as tabled goals are queried)")
+		return
+	}
+	for _, ti := range infos {
+		state := "complete"
+		if !ti.Complete {
+			state = "incomplete"
+		}
+		if ti.Truncated {
+			state += " (depth-truncated)"
+		}
+		fmt.Fprintf(out, "  %-24s %4d answers  %s\n", ti.Call, ti.Answers, state)
+	}
+	_, _, hits, avoided := tableTotals(st.prog)
+	fmt.Fprintf(out, "%d tables; %d hits, %d re-derivations avoided\n", len(infos), hits, avoided)
+}
+
+// tableTotals unpacks the cumulative space counters.
+func tableTotals(p *blog.Program) (created, answers, hits, avoided uint64) {
+	_, created, answers, hits, avoided = p.TableStats()
+	return
+}
+
 func (st *replState) persist(save bool, path string) error {
 	if save {
 		f, err := os.Create(path)
@@ -194,6 +242,10 @@ func (st *replState) persist(save bool, path string) error {
 func (st *replState) query(line string, out io.Writer) {
 	line = strings.TrimSuffix(line, ".")
 	opts := []blog.Option{blog.MaxSolutions(st.maxSol), blog.MaxDepth(st.maxDepth)}
+	if st.tabled {
+		// A no-op for programs with no `:- table` declarations.
+		opts = append(opts, blog.Tabled())
+	}
 	if st.learn {
 		opts = append(opts, blog.Learn())
 	}

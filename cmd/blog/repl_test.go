@@ -127,3 +127,43 @@ func TestREPLEOFExits(t *testing.T) {
 		t.Errorf("query before EOF should run:\n%s", out)
 	}
 }
+
+const leftRecScript = `
+:- table path/2.
+path(X, Z) :- path(X, Y), edge(Y, Z).
+path(X, Y) :- edge(X, Y).
+edge(a, b). edge(b, c). edge(c, a). edge(c, d).
+`
+
+// TestREPLTabled loads a left-recursive tabled program: queries terminate
+// with the complete answer set and :tables lists the memoized tables.
+func TestREPLTabled(t *testing.T) {
+	prog, err := blog.LoadString(leftRecScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	runREPL(prog, strings.NewReader(":tables\npath(a, R).\n:tables\n:quit\n"), &out)
+	s := out.String()
+	if !strings.Contains(s, "tabled predicates: path/2") {
+		t.Errorf("missing tabled predicate listing:\n%s", s)
+	}
+	if !strings.Contains(s, "no answer tables yet") {
+		t.Errorf("missing empty-table notice before first query:\n%s", s)
+	}
+	for _, want := range []string{"R = a", "R = b", "R = c", "R = d", "4 solution(s)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in query output:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, "4 answers  complete") {
+		t.Errorf("missing table listing after query:\n%s", s)
+	}
+}
+
+func TestREPLTablesWithoutDeclarations(t *testing.T) {
+	out := runScript(t, ":tables\n:quit\n")
+	if !strings.Contains(out, "no tabled predicates") {
+		t.Errorf("missing notice:\n%s", out)
+	}
+}

@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 	"strings"
 
 	"blog"
@@ -82,4 +83,60 @@ func main() {
 			}
 		}
 	}
+
+	out, err := leftRecursiveDemo()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+}
+
+// leftRecursiveSrc is the road network rewritten the natural way: the
+// transitive-closure rule is left-recursive and the map has cycles
+// (two-way streets). The plain OR-tree search re-derives path/2 around
+// the loop until the depth cutoff and never completes; declared tabled,
+// the same program terminates with the exact reachable set.
+const leftRecursiveSrc = `
+:- table path/2.
+path(X, Z) :- path(X, Y), edge(Y, Z).
+path(X, Y) :- edge(X, Y).
+
+% A small city block: a one-way loop plus a spur.
+edge(depot, market).
+edge(market, plaza).
+edge(plaza, depot).
+edge(plaza, harbor).
+`
+
+// leftRecursiveDemo runs the cyclic, left-recursive network under tabled
+// resolution and reports the complete reachability set; it returns the
+// printable report so tests can assert the output.
+func leftRecursiveDemo() (string, error) {
+	prog, err := blog.LoadString(leftRecursiveSrc)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nleft-recursive variant (cyclic map, tabled %s):\n", strings.Join(prog.TabledPreds(), ", "))
+
+	// Untabled, the query only stops at the depth cutoff — and at depth 4
+	// it has found just the 1- and 2-hop destinations.
+	capped, err := prog.Query("path(depot, Z)", blog.DFS, blog.MaxDepth(4))
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "  untabled (depth capped at 4): %d destinations, incomplete\n", len(capped.Solutions))
+
+	res, err := prog.Query("path(depot, Z)", blog.DFS, blog.Tabled())
+	if err != nil {
+		return "", err
+	}
+	dests := make([]string, 0, len(res.Solutions))
+	for _, s := range res.Solutions {
+		dests = append(dests, s.Bindings["Z"])
+	}
+	sort.Strings(dests)
+	fmt.Fprintf(&b, "  tabled: %d destinations, complete: %s\n", len(dests), strings.Join(dests, ", "))
+	fmt.Fprintf(&b, "  (%d expansions, %d answers memoized)\n", res.Expanded, res.TableAnswers)
+	return b.String(), nil
 }

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLeftRecursiveDemo asserts the example's tabled output: the cyclic,
+// left-recursive network terminates only under blog.Tabled(), with the
+// complete reachable set from the depot.
+func TestLeftRecursiveDemo(t *testing.T) {
+	out, err := leftRecursiveDemo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"tabled path/2",
+		"untabled (depth capped at 4): 2 destinations, incomplete",
+		"tabled: 4 destinations, complete: depot, harbor, market, plaza",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -139,6 +139,33 @@ type Node struct {
 // IsSolution reports whether the node has no pending goals.
 func (n *Node) IsSolution() bool { return n.Goals.Len() == 0 }
 
+// Tabler resolves calls to tabled predicates by answer-clause resolution:
+// instead of expanding a tabled goal against program clauses, the engine
+// asks the Tabler for the environments that unify the goal with each
+// memoized answer. internal/table implements it; the interface lives here
+// so the engine never imports the table subsystem. Implementations must be
+// safe for concurrent use (parallel workers share one Tabler per query).
+type Tabler interface {
+	// IsTabled reports whether the predicate is under tabled evaluation.
+	IsTabled(fn term.Sym, arity int) bool
+	// Resolve returns one extended environment per table answer that
+	// unifies with goal (resolved under env), computing the table to
+	// completion first if needed. ctx bounds that computation.
+	Resolve(ctx context.Context, env *term.Env, goal term.Term) ([]*term.Env, error)
+}
+
+// NegationTabler is implemented by Tablers that need a restricted view
+// inside negation-as-failure sub-searches. Negation over a tabled goal is
+// only sound against a final answer set; a Tabler in the middle of
+// producing a recursive component returns a view that enforces that
+// (rejecting non-stratified programs) instead of silently consuming a
+// growing table.
+type NegationTabler interface {
+	Tabler
+	// ForNegation returns the Tabler to use inside a \+ sub-search.
+	ForNegation() Tabler
+}
+
 // Expander expands OR-tree nodes against a database and weight store.
 // It is stateless apart from counters and safe for concurrent use when
 // Stats is nil (parallel workers keep per-worker counters instead).
@@ -153,10 +180,14 @@ type Expander struct {
 	MaxDepth int
 	// RecordTree links children to parents and fills Label for rendering.
 	RecordTree bool
+	// Tabler, when non-nil, intercepts calls to tabled predicates and
+	// resolves them against memoized answers instead of program clauses.
+	Tabler Tabler
 	// Ctx cancels work inside a single Expand call (today: the nested
 	// negation-as-failure search, which may run up to negationBudget
-	// expansions). The per-node loops of the search drivers check the
-	// context themselves between Expand calls; nil means no cancellation.
+	// expansions, and tabled answer production). The per-node loops of the
+	// search drivers check the context themselves between Expand calls;
+	// nil means no cancellation.
 	Ctx context.Context
 
 	seq uint64
@@ -206,6 +237,9 @@ func (e *Expander) Expand(n *Node) ([]*Node, error) {
 		}
 		if bi, isBI := builtins[biKey{fn, arity}]; isBI {
 			return e.expandBuiltin(n, entry, goal, bi)
+		}
+		if e.Tabler != nil && e.Tabler.IsTabled(fn, arity) {
+			return e.expandTabled(n, goal)
 		}
 	}
 
@@ -288,7 +322,11 @@ func (e *Expander) expandNegation(n *Node, goal term.Term) ([]*Node, error) {
 		Weights:     e.Weights,
 		OccursCheck: e.OccursCheck,
 		MaxDepth:    e.MaxDepth,
+		Tabler:      e.Tabler,
 		Ctx:         e.Ctx,
+	}
+	if nt, ok := e.Tabler.(NegationTabler); ok {
+		sub.Tabler = nt.ForNegation()
 	}
 	stack := []*Node{{
 		Goals: PushGoals(nil, []GoalEntry{{Goal: inner, Caller: kb.Query, Pos: 0}}),
@@ -336,6 +374,42 @@ func (e *Expander) expandNegation(n *Node, goal term.Term) ([]*Node, error) {
 // which is how figure 3 labels the top half of each node.
 func (e *Expander) matchLabel(env *term.Env, goal term.Term, c *kb.Clause) string {
 	return env.Format(goal)
+}
+
+// expandTabled resolves a tabled goal against its answer table: one child
+// per memoized answer that unifies. Like a builtin, answer consumption is
+// a machine decision, not a database pointer — it adds no arc, no weight
+// and no depth; the sub-derivation the answer stands for was accounted
+// when the table was produced. Termination on left-recursive programs
+// follows: recursive calls consume finite answer sets instead of opening
+// ever-deeper program-clause resolvents.
+func (e *Expander) expandTabled(n *Node, goal term.Term) ([]*Node, error) {
+	ctx := e.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	envs, err := e.Tabler.Resolve(ctx, n.Env, goal)
+	if err != nil {
+		return nil, err
+	}
+	children := make([]*Node, 0, len(envs))
+	for _, env := range envs {
+		e.seq++
+		child := &Node{
+			Goals: n.Goals.Pop(),
+			Env:   env,
+			Chain: n.Chain,
+			Bound: n.Bound,
+			Depth: n.Depth,
+			Seq:   e.seq,
+		}
+		if e.RecordTree {
+			child.Parent = n
+			child.Label = env.Format(goal)
+		}
+		children = append(children, child)
+	}
+	return children, nil
 }
 
 // expandBuiltin evaluates a builtin goal. Builtins are decisions of the

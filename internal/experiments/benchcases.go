@@ -14,6 +14,7 @@ import (
 	"blog/internal/parse"
 	"blog/internal/search"
 	"blog/internal/server"
+	"blog/internal/table"
 	"blog/internal/term"
 	"blog/internal/weights"
 	"blog/internal/workload"
@@ -153,6 +154,61 @@ func BenchCases() []BenchCase {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := andpar.NestedLoopJoin(context.Background(), db, uni, goals[0], goals[1], opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"E10Tabling/tabled", func(b *testing.B) {
+			// Full fixpoint each iteration: a fresh space, so the cost of
+			// building the transitive-closure table is what is measured.
+			db := benchLoad(workload.Cyclic(24, 12, 7))
+			uni := weights.NewUniform(weights.DefaultConfig())
+			goals := benchGoals("path(v0,Z)")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sp := table.NewSpace(db, table.Config{})
+				res, err := search.Run(context.Background(), db, uni, goals, search.Options{
+					Strategy: search.DFS, Tabler: sp.NewHandle(),
+				})
+				if err != nil || len(res.Solutions) != 24 || !res.Exhausted {
+					b.Fatal("tabled run incomplete")
+				}
+			}
+		}},
+		{"E10Tabling/replay", func(b *testing.B) {
+			// Warm table: every iteration is pure answer replay — the
+			// steady-state cost tabling buys for repeated subgoals.
+			db := benchLoad(workload.Cyclic(24, 12, 7))
+			uni := weights.NewUniform(weights.DefaultConfig())
+			goals := benchGoals("path(v0,Z)")
+			sp := table.NewSpace(db, table.Config{})
+			if _, err := search.Run(context.Background(), db, uni, goals, search.Options{
+				Strategy: search.DFS, Tabler: sp.NewHandle(),
+			}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := search.Run(context.Background(), db, uni, goals, search.Options{
+					Strategy: search.DFS, Tabler: sp.NewHandle(),
+				})
+				if err != nil || len(res.Solutions) != 24 {
+					b.Fatal("replay run failed")
+				}
+			}
+		}},
+		{"E10Tabling/untabled-capped", func(b *testing.B) {
+			// The incomplete baseline: the same goal depth-capped without
+			// tables (completion is impossible for the untabled engine).
+			db := benchLoad(workload.Cyclic(24, 12, 7))
+			uni := weights.NewUniform(weights.DefaultConfig())
+			goals := benchGoals("path(v0,Z)")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := search.Run(context.Background(), db, uni, goals, search.Options{
+					Strategy: search.DFS, MaxDepth: 12,
+				}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -70,7 +70,7 @@ func TestByIDAndIDs(t *testing.T) {
 		t.Error("unknown id found")
 	}
 	ids := IDs()
-	if len(ids) != 15 {
+	if len(ids) != 16 {
 		t.Errorf("ids = %v", ids)
 	}
 }

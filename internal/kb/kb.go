@@ -189,6 +189,9 @@ type DB struct {
 	// argument appear in varFirst and match any key.
 	firstArg map[predKey]map[argKey][]*Clause
 	varFirst map[predKey][]*Clause
+	// tabled marks predicates declared `:- table name/arity` for answer
+	// memoization (consumed by internal/table through IsTabled).
+	tabled map[predKey]bool
 }
 
 // New returns an empty database.
@@ -197,11 +200,13 @@ func New() *DB {
 		byPred:   make(map[predKey][]*Clause),
 		firstArg: make(map[predKey]map[argKey][]*Clause),
 		varFirst: make(map[predKey][]*Clause),
+		tabled:   make(map[predKey]bool),
 	}
 }
 
 // LoadString parses src and asserts all its clauses. Directive queries in
-// the source are returned for the caller to run.
+// the source are returned for the caller to run. `:- table name/arity`
+// directives mark their predicates for tabled evaluation.
 func LoadString(src string) (*DB, [][]term.Term, error) {
 	prog, err := parse.Source(src)
 	if err != nil {
@@ -211,7 +216,56 @@ func LoadString(src string) (*DB, [][]term.Term, error) {
 	for _, c := range prog.Clauses {
 		db.assert(c.Head, c.Body, c.Line)
 	}
+	for _, d := range prog.Tabled {
+		if reservedForTabling(d.Name) {
+			return nil, nil, fmt.Errorf("kb: line %d: cannot table %s/%d: %q is an evaluable builtin, which the engine dispatches before tabling", d.Line, d.Name, d.Arity, d.Name)
+		}
+		db.MarkTabled(d.Name, d.Arity)
+	}
 	return db, prog.Queries, nil
+}
+
+// reservedForTabling lists predicate names a `:- table` directive must
+// reject: the engine resolves negation and the evaluable builtins before
+// consulting the answer tables, so a declaration naming one would load as
+// a silent no-op. The list mirrors the engine's builtin table by name
+// (like internal/ref's copy, kb deliberately does not import the engine).
+func reservedForTabling(name string) bool {
+	switch name {
+	case "true", "fail", "false", "!", "=", "\\=", "==", "\\==", "is",
+		"=:=", "=\\=", "<", ">", "=<", ">=", "@<", "@>", "@=<", "@>=",
+		"between", "integer", "atom", "atomic", "compound", "var",
+		"nonvar", "ground", "functor", "arg", "=..", "length",
+		"copy_term", "succ", "\\+":
+		return true
+	}
+	return false
+}
+
+// MarkTabled declares a predicate tabled, as the `:- table name/arity`
+// directive does. Marking is a load-time operation; after loading the
+// tabled set, like the clause store, is read-only.
+func (db *DB) MarkTabled(name string, arity int) {
+	db.tabled[predKey{term.Intern(name), arity}] = true
+}
+
+// IsTabled reports whether the predicate was declared tabled.
+func (db *DB) IsTabled(fn term.Sym, arity int) bool {
+	return db.tabled[predKey{fn, arity}]
+}
+
+// HasTabled reports whether any predicate is declared tabled, so callers
+// can skip the tabling hook entirely for programs that declare none.
+func (db *DB) HasTabled() bool { return len(db.tabled) > 0 }
+
+// TabledPreds returns the sorted indicators of the tabled predicates.
+func (db *DB) TabledPreds() []string {
+	out := make([]string, 0, len(db.tabled))
+	for k := range db.tabled {
+		out = append(out, k.fn.Name()+"/"+strconv.Itoa(k.arity))
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Assert appends a clause to the database and returns it.

@@ -334,3 +334,23 @@ func BenchmarkCandidatesIndexed(b *testing.B) {
 		}
 	}
 }
+
+func TestTableDirectiveRejectsBuiltins(t *testing.T) {
+	for _, src := range []string{
+		":- table is/2.\nf(a).\n",
+		":- table '\\\\+'/1.\nf(a).\n",
+		":- table '='/2.\nf(a).\n",
+	} {
+		if _, _, err := LoadString(src); err == nil {
+			t.Errorf("LoadString(%q) loaded; want builtin-tabling rejection", src)
+		}
+	}
+	// Ordinary declarations still load.
+	db, _, err := LoadString(":- table path/2.\npath(X,Y) :- edge(X,Y).\nedge(a,b).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.HasTabled() {
+		t.Fatal("HasTabled = false after a table directive")
+	}
+}

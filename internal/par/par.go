@@ -80,6 +80,11 @@ type Options struct {
 	MaxDepth int
 	// OccursCheck enables sound unification in every worker's expander.
 	OccursCheck bool
+	// Tabler, when non-nil, resolves declared tabled predicates against
+	// memoized answer tables shared by all workers; the implementation
+	// (internal/table) serializes production and lets workers consume
+	// completed tables lock-free.
+	Tabler engine.Tabler
 }
 
 // Stats aggregates counters across workers.
@@ -151,6 +156,7 @@ func Run(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term, op
 		e := engine.NewExpander(db, ws)
 		e.Ctx = ctx
 		e.OccursCheck = opt.OccursCheck
+		e.Tabler = opt.Tabler
 		if opt.MaxDepth > 0 {
 			e.MaxDepth = opt.MaxDepth
 		}

@@ -12,11 +12,20 @@ type Clause struct {
 	Line int
 }
 
-// Program is the result of parsing a source text: its clauses in order plus
-// any directive queries (`?- goal, ... .`) embedded in the text.
+// TabledDecl is one predicate named by a `:- table name/arity` directive.
+type TabledDecl struct {
+	Name  string
+	Arity int
+	Line  int
+}
+
+// Program is the result of parsing a source text: its clauses in order,
+// any directive queries (`?- goal, ... .`) embedded in the text, and the
+// predicates declared tabled (`:- table name/arity, ... .`).
 type Program struct {
 	Clauses []Clause
 	Queries [][]term.Term
+	Tabled  []TabledDecl
 }
 
 // parser is a single-token-lookahead recursive descent parser.
@@ -47,6 +56,15 @@ func Source(src string) (*Program, error) {
 				return nil, err
 			}
 			prog.Queries = append(prog.Queries, goals)
+			continue
+		}
+		if p.tok.kind == tokNeck {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.directive(prog); err != nil {
+				return nil, err
+			}
 			continue
 		}
 		line := p.tok.line
@@ -115,6 +133,49 @@ func OneTerm(src string) (term.Term, error) {
 		return nil, p.lx.errorf(p.tok.line, p.tok.col, "unexpected %s after term", p.tok)
 	}
 	return t, nil
+}
+
+// directive parses the body of a leading `:- ...` directive. Only
+// `table name/arity, ... .` is recognized; anything else is an error so a
+// typo does not silently load as nothing.
+func (p *parser) directive(prog *Program) error {
+	if p.tok.kind != tokAtom || p.tok.text != "table" {
+		return p.lx.errorf(p.tok.line, p.tok.col,
+			"unsupported directive %s (only `:- table name/arity.` is recognized)", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	for {
+		line := p.tok.line
+		if p.tok.kind != tokAtom || p.tok.text == "/" {
+			return p.lx.errorf(p.tok.line, p.tok.col, "expected predicate name in table directive, found %s", p.tok)
+		}
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind != tokAtom || p.tok.text != "/" {
+			return p.lx.errorf(p.tok.line, p.tok.col, "expected / after predicate name %q, found %s", name, p.tok)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind != tokInt || p.tok.val < 0 {
+			return p.lx.errorf(p.tok.line, p.tok.col, "expected non-negative arity after %s/, found %s", name, p.tok)
+		}
+		prog.Tabled = append(prog.Tabled, TabledDecl{Name: name, Arity: int(p.tok.val), Line: line})
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind == tokPunct && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		return p.expectPunct(".")
+	}
 }
 
 func (p *parser) advance() error {

@@ -294,6 +294,44 @@ e. f. g. h.
 	}
 }
 
+func TestTableDirective(t *testing.T) {
+	prog, err := Source(`
+:- table path/2.
+:- table even/1, odd/1.
+path(X, Y) :- edge(X, Y).
+edge(a, b).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TabledDecl{{Name: "path", Arity: 2, Line: 2}, {Name: "even", Arity: 1, Line: 3}, {Name: "odd", Arity: 1, Line: 3}}
+	if len(prog.Tabled) != len(want) {
+		t.Fatalf("got %d tabled decls, want %d: %v", len(prog.Tabled), len(want), prog.Tabled)
+	}
+	for i, d := range prog.Tabled {
+		if d != want[i] {
+			t.Errorf("decl %d = %+v, want %+v", i, d, want[i])
+		}
+	}
+	if len(prog.Clauses) != 2 {
+		t.Errorf("got %d clauses, want 2", len(prog.Clauses))
+	}
+}
+
+func TestTableDirectiveErrors(t *testing.T) {
+	for _, src := range []string{
+		":- tabulate path/2.", // unknown directive
+		":- table path.",      // missing arity
+		":- table path/X.",    // non-integer arity
+		":- table /2.",        // missing name
+		":- table path/2",     // missing terminator
+	} {
+		if _, err := Source(src); err == nil {
+			t.Errorf("Source(%q) parsed, want error", src)
+		}
+	}
+}
+
 func BenchmarkParseFig1(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -76,5 +76,19 @@ lookup(K, [kv(K,V)|_], V).
 lookup(K, [kv(K2,_)|T], V) :- K \= K2, lookup(K, T, V).
 `
 
+// Graphs is a small graph library over a user-supplied edge/2 relation.
+// reachable/2 is deliberately written left-recursive — the natural
+// transitive-closure formulation — and declared tabled, so it terminates
+// with the complete answer set when queried under tabled evaluation
+// (blog.Tabled(), the server's tabled flag, or the CLI, which honors the
+// directive); the declaration is inert for untabled queries and for
+// programs that never call it.
+const Graphs = `
+% reachable(X, Y): Y is reachable from X over edge/2 (transitive closure).
+:- table reachable/2.
+reachable(X, Z) :- reachable(X, Y), edge(Y, Z).
+reachable(X, Y) :- edge(X, Y).
+`
+
 // All is every prelude module concatenated.
-const All = Lists + Pairs
+const All = Lists + Pairs + Graphs

@@ -3,11 +3,14 @@ package prelude
 import (
 	"context"
 	"fmt"
+	"sort"
 	"testing"
 
 	"blog/internal/kb"
 	"blog/internal/parse"
 	"blog/internal/search"
+	"blog/internal/table"
+	"blog/internal/term"
 	"blog/internal/weights"
 )
 
@@ -182,4 +185,41 @@ func ExampleLists() {
 	}
 	fmt.Println(res.Solutions[0].Format(res.QueryVars))
 	// Output: Z = [1,2,3]
+}
+
+// TestGraphsReachable: the prelude's tabled, left-recursive transitive
+// closure terminates complete over a cyclic edge relation — and proves
+// the prelude pipeline accepts `:- table` directives.
+func TestGraphsReachable(t *testing.T) {
+	src := All + "\nedge(a, b). edge(b, c). edge(c, a).\n"
+	db, _, err := kb.LoadString(src)
+	if err != nil {
+		t.Fatalf("prelude with table directive does not parse: %v", err)
+	}
+	if !db.IsTabled(term.Intern("reachable"), 2) {
+		t.Fatal("reachable/2 not marked tabled")
+	}
+	sp := table.NewSpace(db, table.Config{})
+	goals, err := parse.Query("reachable(a, R)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := search.Run(context.Background(), db, weights.NewUniform(weights.DefaultConfig()), goals, search.Options{
+		Strategy: search.DFS, Tabler: sp.NewHandle(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, 0, len(res.Solutions))
+	for _, s := range res.Solutions {
+		got = append(got, s.Format(res.QueryVars))
+	}
+	sort.Strings(got)
+	want := []string{"R = a", "R = b", "R = c"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("reachable = %v, want %v", got, want)
+	}
+	if !res.Exhausted {
+		t.Fatal("not exhausted")
+	}
 }

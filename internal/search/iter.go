@@ -51,6 +51,7 @@ func NewIter(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term
 	exp := engine.NewExpander(db, ws)
 	exp.OccursCheck = opt.OccursCheck
 	exp.Ctx = ctx
+	exp.Tabler = opt.Tabler
 	if opt.MaxDepth > 0 {
 		exp.MaxDepth = opt.MaxDepth
 	}

@@ -71,6 +71,10 @@ type Options struct {
 	OccursCheck bool
 	// MaxDepth bounds chain length; 0 uses the store's A constant.
 	MaxDepth int
+	// Tabler, when non-nil, resolves declared tabled predicates against
+	// memoized answer tables (see internal/table) instead of program
+	// clauses.
+	Tabler engine.Tabler
 }
 
 // DefaultMaxExpansions stops runaway searches on cyclic programs.
@@ -119,6 +123,7 @@ func Run(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term, op
 	exp := engine.NewExpander(db, ws)
 	exp.OccursCheck = opt.OccursCheck
 	exp.Ctx = ctx
+	exp.Tabler = opt.Tabler
 	exp.RecordTree = opt.RecordTree || opt.RecordTrace
 	if opt.MaxDepth > 0 {
 		exp.MaxDepth = opt.MaxDepth

@@ -25,6 +25,12 @@ type serverMetrics struct {
 	sessionsOpen  metrics.Counter // sessions created
 	sessionsEnded metrics.Counter // sessions merged and closed
 
+	// tabledQueries counts queries (one-shot and streaming) run with
+	// tabled:true; the cumulative table counters themselves come from the
+	// program's table space at exposition time, so the streaming path and
+	// session queries are covered without duplicating counter state.
+	tabledQueries metrics.Counter
+
 	mu      sync.Mutex
 	summary metrics.Summary
 	ring    []float64 // last ringCap latencies, ms
@@ -62,8 +68,15 @@ func (m *serverMetrics) latencySnapshot() (mean, p50, p95 float64, n int) {
 	return m.summary.Mean(), metrics.Percentile(xs, 50), metrics.Percentile(xs, 95), m.summary.N()
 }
 
+// tableTotals carries the program table space's cumulative counters into
+// the exposition.
+type tableTotals struct {
+	active                        int
+	created, answers, hits, reuse uint64
+}
+
 // expose renders the Prometheus-style text exposition of GET /metrics.
-func (m *serverMetrics) expose(inFlight, queued, workers, queueLen, sessions int) string {
+func (m *serverMetrics) expose(inFlight, queued, workers, queueLen, sessions int, tt tableTotals) string {
 	mean, p50, p95, n := m.latencySnapshot()
 	var b strings.Builder
 	line := func(name string, v any) { fmt.Fprintf(&b, "blogd_%s %v\n", name, v) }
@@ -79,6 +92,12 @@ func (m *serverMetrics) expose(inFlight, queued, workers, queueLen, sessions int
 	line("sessions_created_total", m.sessionsOpen.Load())
 	line("sessions_ended_total", m.sessionsEnded.Load())
 	line("sessions_active", sessions)
+	line("tabled_queries_total", m.tabledQueries.Load())
+	line("tables_created_total", tt.created)
+	line("table_answers_total", tt.answers)
+	line("table_hits_total", tt.hits)
+	line("rederivations_avoided_total", tt.reuse)
+	line("tables_active", tt.active)
 	line("in_flight", inFlight)
 	line("queue_depth", queued)
 	line("pool_workers", workers)

@@ -253,6 +253,12 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, entry *session
 	}
 	defer s.pool.Release()
 	s.metrics.queries.Inc()
+	// Counted at admission like queries_total (and like the streaming
+	// endpoint), so the tabled/untabled split means the same thing on
+	// every endpoint regardless of how the query ends.
+	if q.Tabled {
+		s.metrics.tabledQueries.Inc()
+	}
 
 	opts := q.options(maxSol)
 	sessionID := ""
@@ -273,14 +279,19 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, entry *session
 		entry.s.NoteQuery(len(res.Solutions) > 0)
 	}
 	resp := QueryResponse{
-		Solutions: make([]Solution, 0, len(res.Solutions)),
-		Exhausted: res.Exhausted,
-		Expanded:  res.Expanded,
-		Generated: res.Generated,
-		Failures:  res.Failures,
-		Strategy:  strat.String(),
-		ElapsedMs: elapsedMs(start),
-		Session:   sessionID,
+		Solutions:            make([]Solution, 0, len(res.Solutions)),
+		Exhausted:            res.Exhausted,
+		Expanded:             res.Expanded,
+		Generated:            res.Generated,
+		Failures:             res.Failures,
+		Strategy:             strat.String(),
+		ElapsedMs:            elapsedMs(start),
+		Session:              sessionID,
+		TablesCreated:        res.TablesCreated,
+		TableAnswers:         res.TableAnswers,
+		TableHits:            res.TableHits,
+		RederivationsAvoided: res.RederivationsAvoided,
+		TablesTruncated:      res.TablesTruncated,
 	}
 	for _, sol := range res.Solutions {
 		resp.Solutions = append(resp.Solutions, wireSolution(sol))
@@ -302,6 +313,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.pool.Release()
 	s.metrics.queries.Inc()
+	if q.Tabled {
+		s.metrics.tabledQueries.Inc()
+	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
@@ -333,11 +347,17 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	for {
 		sol, more, err := it.Next()
 		if !more {
+			st := it.Stats()
 			final := StreamEvent{
-				Done:      true,
-				Exhausted: it.Exhausted(),
-				Solutions: served,
-				Expanded:  it.Stats().Expanded,
+				Done:                 true,
+				Exhausted:            it.Exhausted(),
+				Solutions:            served,
+				Expanded:             st.Expanded,
+				TablesCreated:        st.TablesCreated,
+				TableAnswers:         st.TableAnswers,
+				TableHits:            st.TableHits,
+				RederivationsAvoided: st.RederivationsAvoided,
+				TablesTruncated:      st.TablesTruncated,
 			}
 			if err != nil {
 				final.Error = err.Error()
@@ -502,20 +522,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves GET /metrics in Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	workers, queueLen := s.pool.Capacity()
+	var tt tableTotals
+	tt.active, tt.created, tt.answers, tt.hits, tt.reuse = s.program.TableStats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_, _ = w.Write([]byte(s.metrics.expose(s.pool.InFlight(), s.pool.Queued(), workers, queueLen, s.sessions.len())))
+	_, _ = w.Write([]byte(s.metrics.expose(s.pool.InFlight(), s.pool.Queued(), workers, queueLen, s.sessions.len(), tt)))
 }
 
 // handleStats serves GET /stats: the loaded program's shape.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	clauses, facts, rules, preds, arcs := s.program.Stats()
+	tableInfos := s.program.Tables()
+	answers := uint64(0)
+	for _, ti := range tableInfos {
+		answers += uint64(ti.Answers)
+	}
+	tables := len(tableInfos)
 	writeJSON(w, http.StatusOK, ProgramStats{
-		Clauses:     clauses,
-		Facts:       facts,
-		Rules:       rules,
-		Preds:       preds,
-		Arcs:        arcs,
-		LearnedArcs: s.program.LearnedArcs(),
-		Sessions:    s.sessions.len(),
+		Clauses:      clauses,
+		Facts:        facts,
+		Rules:        rules,
+		Preds:        preds,
+		Arcs:         arcs,
+		LearnedArcs:  s.program.LearnedArcs(),
+		Sessions:     s.sessions.len(),
+		TabledPreds:  s.program.TabledPreds(),
+		Tables:       tables,
+		TableAnswers: answers,
 	})
 }

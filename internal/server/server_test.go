@@ -687,3 +687,94 @@ func TestEndAllSessionsMergesOnShutdown(t *testing.T) {
 		t.Error("registry not drained")
 	}
 }
+
+const tabledSrc = `
+:- table path/2.
+path(X, Z) :- path(X, Y), edge(Y, Z).
+path(X, Y) :- edge(X, Y).
+edge(a, b). edge(b, c). edge(c, a). edge(c, d).
+`
+
+// TestTabledQueries drives the tabled request flag end to end: a
+// left-recursive program only the tabled engine can finish, per-response
+// counters, the /metrics exposition and the /stats table inventory.
+func TestTabledQueries(t *testing.T) {
+	_, ts := newTestServer(t, tabledSrc, Config{})
+	client := ts.Client()
+
+	for _, strategy := range []string{"dfs", "bfs", "best", "parallel"} {
+		got := queryResp(t, client, ts.URL+"/query", QueryRequest{Goal: "path(a,R)", Strategy: strategy, Tabled: true})
+		if len(got.Solutions) != 4 || !got.Exhausted {
+			t.Fatalf("%s: %d solutions (exhausted=%v), want complete 4", strategy, len(got.Solutions), got.Exhausted)
+		}
+	}
+	// The first run created the table; later ones hit it.
+	got := queryResp(t, client, ts.URL+"/query", QueryRequest{Goal: "path(a,R)", Tabled: true})
+	if got.TableHits != 1 || got.RederivationsAvoided != 4 {
+		t.Fatalf("counters = %+v, want one hit replaying 4 answers", got)
+	}
+
+	resp, data := postJSON(t, client, ts.URL+"/query", QueryRequest{Goal: "path(a,R)", Strategy: "dfs", Tabled: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	_ = data
+
+	// The streaming path serves tabled queries too, reports the table
+	// counters on its terminal line, and counts toward the metrics.
+	sresp0, sdata := postJSON(t, client, ts.URL+"/query/stream", QueryRequest{Goal: "path(a,R)", Strategy: "dfs", Tabled: true})
+	if sresp0.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", sresp0.StatusCode)
+	}
+	lines := strings.Split(strings.TrimSpace(string(sdata)), "\n")
+	var terminal StreamEvent
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &terminal); err != nil {
+		t.Fatalf("bad terminal line %q: %v", lines[len(lines)-1], err)
+	}
+	if !terminal.Done || !terminal.Exhausted || terminal.Solutions != 4 {
+		t.Fatalf("terminal = %+v, want done, exhausted, 4 solutions", terminal)
+	}
+	if terminal.TableHits != 1 || terminal.RederivationsAvoided != 4 {
+		t.Fatalf("terminal table counters = %+v, want one hit replaying 4 answers", terminal)
+	}
+
+	mresp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"blogd_tabled_queries_total 7",
+		"blogd_tables_created_total 1",
+		"blogd_table_answers_total 4",
+		"blogd_tables_active 1",
+	} {
+		if !strings.Contains(string(mbody), want+"\n") {
+			t.Errorf("metrics missing %q:\n%s", want, mbody)
+		}
+	}
+
+	sresp, err := client.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats ProgramStats
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if len(stats.TabledPreds) != 1 || stats.TabledPreds[0] != "path/2" {
+		t.Errorf("tabled_preds = %v", stats.TabledPreds)
+	}
+	if stats.Tables != 1 || stats.TableAnswers != 4 {
+		t.Errorf("tables = %d answers = %d, want 1 and 4", stats.Tables, stats.TableAnswers)
+	}
+
+	// Without the flag the same goal is the depth-capped, incomplete run:
+	// at depth 4 only the 1- and 2-edge paths have proofs.
+	untabled := queryResp(t, client, ts.URL+"/query", QueryRequest{Goal: "path(a,R)", Strategy: "dfs", MaxDepth: 4})
+	if len(untabled.Solutions) >= 4 {
+		t.Errorf("untabled depth-capped run found %d solutions, want an incomplete set", len(untabled.Solutions))
+	}
+}

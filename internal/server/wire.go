@@ -46,6 +46,11 @@ type QueryRequest struct {
 	AndParallel bool `json:"and_parallel,omitempty"`
 	// Workers sets the OR-parallel worker count (parallel strategy only).
 	Workers int `json:"workers,omitempty"`
+	// Tabled resolves predicates declared `:- table name/arity` in the
+	// loaded program through the shared answer-table space (memoized,
+	// complete answer sets; terminates left-recursive definitions).
+	// Programs without table declarations run unchanged.
+	Tabled bool `json:"tabled,omitempty"`
 }
 
 // options translates the request into blog query options.
@@ -74,6 +79,9 @@ func (q *QueryRequest) options(maxSolutions int) []blog.Option {
 	}
 	if q.Workers > 0 {
 		opts = append(opts, blog.Workers(q.Workers))
+	}
+	if q.Tabled {
+		opts = append(opts, blog.Tabled())
 	}
 	return opts
 }
@@ -104,6 +112,16 @@ type QueryResponse struct {
 	ElapsedMs float64 `json:"elapsed_ms"`
 	// Session echoes the session id on session-scoped queries.
 	Session string `json:"session,omitempty"`
+	// Tabled-resolution counters, present on tabled:true queries: tables
+	// materialized, answers derived, calls served from complete tables,
+	// answers replayed from them (re-derivations avoided), and — rare —
+	// consumptions of depth-truncated tables, which carry the same
+	// completeness caveat as untabled depth cutoffs.
+	TablesCreated        uint64 `json:"tables_created,omitempty"`
+	TableAnswers         uint64 `json:"table_answers,omitempty"`
+	TableHits            uint64 `json:"table_hits,omitempty"`
+	RederivationsAvoided uint64 `json:"rederivations_avoided,omitempty"`
+	TablesTruncated      uint64 `json:"tables_truncated,omitempty"`
 }
 
 // StreamEvent is one NDJSON line of POST /query/stream: solution lines
@@ -116,6 +134,13 @@ type StreamEvent struct {
 	Solutions int       `json:"solutions,omitempty"`
 	Expanded  uint64    `json:"expanded,omitempty"`
 	Error     string    `json:"error,omitempty"`
+	// Tabled-resolution counters on the terminal line of tabled:true
+	// streams; see QueryResponse.
+	TablesCreated        uint64 `json:"tables_created,omitempty"`
+	TableAnswers         uint64 `json:"table_answers,omitempty"`
+	TableHits            uint64 `json:"table_hits,omitempty"`
+	RederivationsAvoided uint64 `json:"rederivations_avoided,omitempty"`
+	TablesTruncated      uint64 `json:"tables_truncated,omitempty"`
 }
 
 // SessionInfo describes one live session (POST /sessions response and
@@ -165,6 +190,12 @@ type ProgramStats struct {
 	Arcs        int `json:"arcs"`
 	LearnedArcs int `json:"learned_arcs"`
 	Sessions    int `json:"sessions"`
+	// TabledPreds lists the predicates declared `:- table name/arity`;
+	// Tables and TableAnswers describe the live answer-table space
+	// (cumulative counters are on /metrics).
+	TabledPreds  []string `json:"tabled_preds,omitempty"`
+	Tables       int      `json:"tables"`
+	TableAnswers uint64   `json:"table_answers"`
 }
 
 func elapsedMs(start time.Time) float64 {

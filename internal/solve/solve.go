@@ -23,6 +23,7 @@ import (
 	"blog/internal/kb"
 	"blog/internal/par"
 	"blog/internal/search"
+	"blog/internal/table"
 	"blog/internal/term"
 	"blog/internal/weights"
 )
@@ -115,6 +116,13 @@ type Request struct {
 	PruneSlack  float64
 	OccursCheck bool
 
+	// Tables switches on tabled resolution: predicates declared
+	// `:- table name/arity` resolve against this answer-table space
+	// (memoized, deduplicated, complete answer sets) instead of program
+	// clauses. nil runs untabled. The space is shared — across the
+	// workers of one run and across runs — and is safe for all of them.
+	Tables *table.Space
+
 	// OR-parallel scheduling (Strategy == Parallel). Workers defaults to
 	// 4; TwoLevel selects the paper's D-threshold network scheduling.
 	Workers  int
@@ -149,6 +157,31 @@ type Stats struct {
 	// AND-parallel decomposition counters.
 	Groups         int
 	GroupSolutions []int
+
+	// Tabled-resolution counters (Request.Tables runs only): tables this
+	// query materialized, distinct answers it derived into them, calls
+	// served from an already-complete table, answers replayed from
+	// complete tables — each replay a subgoal re-derivation avoided —
+	// and consumptions of depth-truncated tables (answer sets cut by the
+	// depth bound, the tabled analogue of DepthCutoffs).
+	TablesCreated        uint64
+	TableAnswers         uint64
+	TableHits            uint64
+	RederivationsAvoided uint64
+	TablesTruncated      uint64
+}
+
+// addTable folds a table handle's per-query counters into the stats.
+func (s *Stats) addTable(h *table.Handle) {
+	if h == nil {
+		return
+	}
+	ts := h.Stats()
+	s.TablesCreated = ts.Created
+	s.TableAnswers = ts.Answers
+	s.TableHits = ts.Hits
+	s.RederivationsAvoided = ts.RederivationsAvoided
+	s.TablesTruncated = ts.TablesTruncated
 }
 
 // Response is the unified outcome of a Request.
@@ -217,21 +250,24 @@ func Do(ctx context.Context, req *Request) (*Response, error) {
 // only; Parallel, AndParallel, and tree/trace recording are rejected.
 // Prune/PruneSlack are honored: the iterator cuts open nodes against the
 // best solution bound served so far, exactly as the batch engine does.
-func NewIter(ctx context.Context, req *Request) (*search.Iter, error) {
+// The returned table.Handle carries the stream's tabled-resolution
+// counters (nil for untabled requests).
+func NewIter(ctx context.Context, req *Request) (*search.Iter, *table.Handle, error) {
 	if err := validate(req); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sstrat, ok := req.Strategy.searchStrategy()
 	if !ok {
-		return nil, fmt.Errorf("solve: streaming requires a sequential strategy, got %v", req.Strategy)
+		return nil, nil, fmt.Errorf("solve: streaming requires a sequential strategy, got %v", req.Strategy)
 	}
 	if req.AndParallel {
-		return nil, errors.New("solve: streaming does not support AndParallel")
+		return nil, nil, errors.New("solve: streaming does not support AndParallel")
 	}
 	if req.RecordTree || req.RecordTrace {
-		return nil, errors.New("solve: streaming does not record trees or traces; use Do for recorded runs")
+		return nil, nil, errors.New("solve: streaming does not record trees or traces; use Do for recorded runs")
 	}
-	return search.NewIter(ctx, req.DB, req.Store, req.Goals, search.Options{
+	th, tb := tabler(req)
+	it, err := search.NewIter(ctx, req.DB, req.Store, req.Goals, search.Options{
 		Strategy:      sstrat,
 		MaxSolutions:  req.MaxSolutions,
 		MaxExpansions: req.MaxExpansions,
@@ -240,7 +276,26 @@ func NewIter(ctx context.Context, req *Request) (*search.Iter, error) {
 		Prune:         req.Prune,
 		PruneSlack:    req.PruneSlack,
 		OccursCheck:   req.OccursCheck,
+		Tabler:        tb,
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return it, th, nil
+}
+
+// tabler returns the per-run table handle for req, as both the concrete
+// handle (for stats extraction) and the engine interface (nil interface —
+// not a typed nil — when tabling is off).
+func tabler(req *Request) (*table.Handle, engine.Tabler) {
+	if req.Tables == nil {
+		return nil, nil
+	}
+	h := req.Tables.NewHandle()
+	// Production honors the query's depth bound when it exceeds the
+	// space default, so MaxDepth means the same thing tabled or not.
+	h.SetMaxDepth(req.MaxDepth)
+	return h, h
 }
 
 func validate(req *Request) error {
@@ -269,6 +324,7 @@ func (Sequential) Solve(ctx context.Context, req *Request) (*Response, error) {
 	if !ok {
 		return nil, fmt.Errorf("solve: strategy %v is not sequential", req.Strategy)
 	}
+	th, tb := tabler(req)
 	sres, err := search.Run(ctx, req.DB, req.Store, req.Goals, search.Options{
 		Strategy:      sstrat,
 		MaxSolutions:  req.MaxSolutions,
@@ -278,13 +334,14 @@ func (Sequential) Solve(ctx context.Context, req *Request) (*Response, error) {
 		Prune:         req.Prune,
 		PruneSlack:    req.PruneSlack,
 		OccursCheck:   req.OccursCheck,
+		Tabler:        tb,
 		RecordTree:    req.RecordTree,
 		RecordTrace:   req.RecordTrace,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Response{
+	resp := &Response{
 		Solutions: sres.Solutions,
 		QueryVars: sres.QueryVars,
 		Stats: Stats{
@@ -299,7 +356,9 @@ func (Sequential) Solve(ctx context.Context, req *Request) (*Response, error) {
 		Exhausted: sres.Exhausted,
 		Tree:      sres.Tree,
 		Trace:     sres.Trace,
-	}, nil
+	}
+	resp.Stats.addTable(th)
+	return resp, nil
 }
 
 // ORParallel is the OR-parallel engine of sections 3 and 6: n goroutine
@@ -312,6 +371,7 @@ func (ORParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 	if req.TwoLevel {
 		mode = par.TwoLevel
 	}
+	th, tb := tabler(req)
 	pres, err := par.Run(ctx, req.DB, req.Store, req.Goals, par.Options{
 		Workers:       req.Workers,
 		Mode:          mode,
@@ -322,6 +382,7 @@ func (ORParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 		Learn:         req.Learn,
 		MaxDepth:      req.MaxDepth,
 		OccursCheck:   req.OccursCheck,
+		Tabler:        tb,
 	})
 	if err != nil {
 		return nil, err
@@ -329,7 +390,7 @@ func (ORParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 	// Parallel completion order is nondeterministic; present solutions in
 	// a stable order so every engine's Response reads the same way.
 	sortSolutions(pres.Solutions, pres.QueryVars)
-	return &Response{
+	resp := &Response{
 		Solutions: pres.Solutions,
 		QueryVars: pres.QueryVars,
 		Stats: Stats{
@@ -344,7 +405,9 @@ func (ORParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 			PerWorkerExpanded: pres.Stats.PerWorkerExpanded,
 		},
 		Exhausted: pres.Exhausted,
-	}, nil
+	}
+	resp.Stats.addTable(th)
+	return resp, nil
 }
 
 // ANDParallel is the section-7 engine: independent (non-variable-sharing)
@@ -358,6 +421,7 @@ func (ANDParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 	if !ok {
 		return nil, fmt.Errorf("solve: strategy %v is not sequential", req.Strategy)
 	}
+	th, tb := tabler(req)
 	ares, err := andpar.Solve(ctx, req.DB, req.Store, req.Goals, andpar.Options{
 		Search: search.Options{
 			Strategy:      sstrat,
@@ -367,6 +431,7 @@ func (ANDParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 			Prune:         req.Prune,
 			PruneSlack:    req.PruneSlack,
 			OccursCheck:   req.OccursCheck,
+			Tabler:        tb,
 		},
 		Parallel:     true,
 		MaxSolutions: req.MaxSolutions,
@@ -374,7 +439,7 @@ func (ANDParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Response{
+	resp := &Response{
 		Solutions: ares.Solutions,
 		QueryVars: ares.QueryVars,
 		Stats: Stats{
@@ -389,7 +454,9 @@ func (ANDParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 			GroupSolutions: ares.GroupSolutions,
 		},
 		Exhausted: ares.Exhausted,
-	}, nil
+	}
+	resp.Stats.addTable(th)
+	return resp, nil
 }
 
 // sortSolutions orders solutions by rendered bindings, then bound, giving

@@ -230,7 +230,7 @@ func TestParallelSolutionsStableOrder(t *testing.T) {
 
 func TestNewIterStreams(t *testing.T) {
 	db := load(t, familySrc)
-	it, err := NewIter(context.Background(), req(t, db, "gf(sam,G)", DFS))
+	it, _, err := NewIter(context.Background(), req(t, db, "gf(sam,G)", DFS))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestNewIterStreams(t *testing.T) {
 	if n == 0 {
 		t.Error("iterator produced no solutions")
 	}
-	if _, err := NewIter(context.Background(), req(t, db, "gf(sam,G)", Parallel)); err == nil {
+	if _, _, err := NewIter(context.Background(), req(t, db, "gf(sam,G)", Parallel)); err == nil {
 		t.Error("parallel streaming must be rejected")
 	}
 }
@@ -259,7 +259,7 @@ func TestNewIterCancelled(t *testing.T) {
 	r.MaxDepth = 1 << 20
 	r.MaxExpansions = 1 << 62
 	ctx, cancel := context.WithCancel(context.Background())
-	it, err := NewIter(ctx, r)
+	it, _, err := NewIter(ctx, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +329,7 @@ d3(b).
 	db := load(t, src)
 	r := req(t, db, "top(X)", DFS)
 	r.Prune = true
-	it, err := NewIter(context.Background(), r)
+	it, _, err := NewIter(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,12 +358,12 @@ func TestNewIterRejectsRecording(t *testing.T) {
 	db := load(t, familySrc)
 	r := req(t, db, "gf(sam,G)", DFS)
 	r.RecordTree = true
-	if _, err := NewIter(context.Background(), r); err == nil {
+	if _, _, err := NewIter(context.Background(), r); err == nil {
 		t.Error("RecordTree on a streaming request must error")
 	}
 	r = req(t, db, "gf(sam,G)", BFS)
 	r.RecordTrace = true
-	if _, err := NewIter(context.Background(), r); err == nil {
+	if _, _, err := NewIter(context.Background(), r); err == nil {
 		t.Error("RecordTrace on a streaming request must error")
 	}
 }

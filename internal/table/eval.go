@@ -1,0 +1,413 @@
+package table
+
+import (
+	"context"
+	"errors"
+	"math"
+
+	"blog/internal/engine"
+	"blog/internal/term"
+	"blog/internal/weights"
+)
+
+// eval is one production run: the single goroutine holding the space's
+// producer slot, computing the dependency group of the table it entered
+// on. It implements engine.Tabler so that generator searches route nested
+// tabled calls back here — the producer/consumer scheduling:
+//
+//   - a call to a complete table consumes its answers (consumer);
+//   - the first call to an incomplete table becomes its generator and
+//     iterates rounds until stable (producer);
+//   - a recursive call to a table already being generated higher in the
+//     evaluation stack consumes the answers known so far (follower).
+//
+// Completion detection is the linear-tabling rule: the leader — the
+// outermost in-progress table — keeps re-running its generator (which
+// transitively re-runs the generators of every incomplete table it
+// depends on) until one full round derives no new answer anywhere in the
+// group; at that point the group has reached its fixpoint and every table
+// in it is marked complete at once.
+//
+// Productions are stamped with increasing frame numbers, and every
+// consumption of a not-yet-complete table records the frame of the oldest
+// in-progress production it (transitively) reached. That one number
+// answers both scheduling questions: a generator round that reached no
+// in-progress production (lowFrame stays at maxFrame) is deterministic
+// and needs no re-run, and a production whose rounds never reached a
+// frame older than its own is final — safe to consult under negation even
+// before the leader marks it complete.
+type eval struct {
+	space *Space
+	h     *Handle
+	ctx   context.Context
+
+	// inProg holds tables whose generator is on the evaluation stack
+	// (calls to them are followers); frames holds their production frame.
+	inProg map[string]*Table
+	frames map[string]int
+	// group accumulates every table touched while incomplete; the leader
+	// marks them all complete when the fixpoint is reached.
+	group map[string]*Table
+	// stable memoizes, per table, the group answer count at which its
+	// generator last stabilized: re-entering it is a no-op until some
+	// table in the group has since grown.
+	stable map[string]uint64
+	// active is set while the leader's require is on the stack.
+	active bool
+	// nextFrame stamps productions in stack order; curFrame is the frame
+	// of the innermost require in progress.
+	nextFrame int
+	curFrame  int
+	// lowFrame accumulates, per generator round, the oldest in-progress
+	// frame the round's consumptions reached (maxFrame = none).
+	lowFrame int
+	// truncConsumed records that this production consumed a previously
+	// completed table that was depth-truncated, so the group built on it
+	// inherits the truncation.
+	truncConsumed bool
+	// added counts answers added anywhere during this eval.
+	added uint64
+	// steps counts generator expansions and answer consumptions against
+	// the budget.
+	steps uint64
+
+	// Limits snapshotted from the space at creation, so a concurrent
+	// Reconfigure cannot change them mid-production.
+	ws       weights.Store
+	maxDepth int
+	budget   uint64
+}
+
+// maxFrame means "reached no in-progress production".
+const maxFrame = math.MaxInt
+
+func newEval(s *Space, h *Handle, ctx context.Context) *eval {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ev := &eval{
+		space:    s,
+		h:        h,
+		ctx:      ctx,
+		inProg:   make(map[string]*Table),
+		frames:   make(map[string]int),
+		group:    make(map[string]*Table),
+		stable:   make(map[string]uint64),
+		lowFrame: maxFrame,
+	}
+	ev.ws, ev.maxDepth, ev.budget = s.limits()
+	// A query with a deeper bound than the space default raises the
+	// generator bound with it, so tabled evaluation honors MaxDepth the
+	// way the untabled engine does.
+	if h != nil && h.maxDepth > ev.maxDepth {
+		ev.maxDepth = h.maxDepth
+	}
+	return ev
+}
+
+// require ensures t is usable by its caller: complete, in progress higher
+// up the stack (follower consumption), or — here — generated to local
+// stability, with the leader additionally detecting group completion.
+func (ev *eval) require(t *Table) error {
+	if t.complete.Load() || ev.inProg[t.key] != nil {
+		return nil
+	}
+	if n, ok := ev.stable[t.key]; ok && n == ev.added {
+		return nil // nothing in the group changed since it stabilized
+	}
+	myFrame := ev.nextFrame
+	ev.nextFrame++
+	ev.inProg[t.key] = t
+	ev.frames[t.key] = myFrame
+	if _, seen := ev.group[t.key]; !seen {
+		// First entry this production: clear truncation state left by an
+		// earlier, possibly shallower or interrupted production; the
+		// rounds below re-derive it at the current bound.
+		t.truncated = false
+		ev.group[t.key] = t
+	}
+	leader := !ev.active
+	if leader {
+		ev.active = true
+	}
+	parentFrame := ev.curFrame
+	ev.curFrame = myFrame
+	prodLow := maxFrame
+	var err error
+	for {
+		before := ev.added
+		outerLow := ev.lowFrame
+		ev.lowFrame = maxFrame
+		err = ev.runGenerator(t)
+		roundLow := ev.lowFrame
+		// Propagate conservatively to the enclosing round: it treats
+		// nested reach as its own (extra rounds are safe; a wrong early
+		// exit would not be).
+		ev.lowFrame = min(outerLow, roundLow)
+		prodLow = min(prodLow, roundLow)
+		if err != nil {
+			break
+		}
+		if ev.added == before {
+			break // a full round changed nothing anywhere: stable
+		}
+		if roundLow == maxFrame {
+			// New answers, but the round reached no in-progress
+			// production: it was deterministic and exhaustive, so a
+			// re-run cannot add more. Non-recursive tables finish in one
+			// pass.
+			break
+		}
+	}
+	ev.curFrame = parentFrame
+	if leader {
+		// The final leader round re-ran every reachable incomplete
+		// generator and derived nothing new: the group is at fixpoint.
+		if err == nil {
+			// Truncation anywhere in the group (or in a truncated
+			// complete table it consumed) infects every member: their
+			// answers were derived through the cut derivations, so all
+			// of them may be missing answers and all must be re-produced
+			// for a deeper query.
+			trunc := ev.truncConsumed
+			for _, g := range ev.group {
+				trunc = trunc || g.truncated
+			}
+			for _, g := range ev.group {
+				g.truncated = trunc
+				g.depth = ev.maxDepth
+			}
+			ev.space.markComplete(ev.group)
+		}
+		ev.active = false
+	} else {
+		// Allow a later leader round to re-enter and re-derive.
+		delete(ev.inProg, t.key)
+		delete(ev.frames, t.key)
+		if err == nil {
+			ev.stable[t.key] = ev.added
+			// A production that never reached below its own frame is
+			// final — its self-recursion converged within the rounds
+			// above — which negation may rely on.
+			t.independent = prodLow >= myFrame
+		}
+	}
+	return err
+}
+
+// noteConsumption records that the current generator round consumed t's
+// (not yet complete) answers, for the scheduling bookkeeping above.
+func (ev *eval) noteConsumption(t *Table) {
+	if f, ok := ev.frames[t.key]; ok {
+		ev.lowFrame = min(ev.lowFrame, f) // follower: actively in progress
+		return
+	}
+	// Pending table. An independent one is final — consuming it reaches
+	// nothing in progress. A dependent one reached some in-progress
+	// ancestor; its recorded frame numbers are stale across productions,
+	// so treat it as reaching the outermost frame (conservative: forces
+	// iteration and blocks finality, never the reverse).
+	if !t.independent {
+		ev.lowFrame = 0
+	}
+}
+
+// runGenerator exhausts one depth-first derivation of t's call pattern,
+// adding every solution to the table. The generator call itself resolves
+// against program clauses — that is what produces answers — while calls
+// inside those derivations (including the recursive variant calls that
+// would otherwise loop) dispatch through ev (Resolve below) and consume
+// tables instead.
+func (ev *eval) runGenerator(t *Table) error {
+	goal := term.Refresh(t.pattern)
+	exp := &engine.Expander{
+		DB:       ev.space.db,
+		Weights:  ev.ws,
+		MaxDepth: ev.maxDepth,
+		Tabler:   ev,
+		Ctx:      ev.ctx,
+	}
+	progExp := &engine.Expander{
+		DB:       ev.space.db,
+		Weights:  ev.ws,
+		MaxDepth: ev.maxDepth,
+		Ctx:      ev.ctx,
+	}
+	if ev.steps++; ev.steps > ev.budget {
+		return ErrBudget
+	}
+	roots, err := progExp.Expand(progExp.Root([]term.Term{goal}))
+	if err != nil && err != engine.ErrDepthLimit {
+		return err
+	}
+	stack := make([]*engine.Node, 0, len(roots))
+	for i := len(roots) - 1; i >= 0; i-- {
+		stack = append(stack, roots[i])
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.IsSolution() {
+			ev.addAnswer(t, n.Env.ResolveDeep(goal))
+			continue
+		}
+		if ev.steps++; ev.steps > ev.budget {
+			return ErrBudget
+		}
+		if ev.steps%256 == 0 {
+			if err := ev.ctx.Err(); err != nil {
+				return err
+			}
+		}
+		children, err := exp.Expand(n)
+		if err == engine.ErrDepthLimit {
+			// A derivation inside the generator (a non-tabled chain in a
+			// clause body) hit the depth bound; answers past it are not
+			// derived. Flag the table so the truncation is visible
+			// (Info.Truncated) instead of silently memoized — exactly the
+			// honesty the untabled engine's DepthCutoffs counter gives.
+			t.truncated = true
+		} else if err != nil {
+			return err
+		}
+		for i := len(children) - 1; i >= 0; i-- {
+			stack = append(stack, children[i])
+		}
+	}
+	return nil
+}
+
+// addAnswer stores one derived answer, deduplicated by variant form.
+func (ev *eval) addAnswer(t *Table, ans term.Term) {
+	key, canon := Canonicalize(nil, ans)
+	if _, dup := t.answerSet[key]; dup {
+		return
+	}
+	t.answerSet[key] = struct{}{}
+	t.answers = append(t.answers, canon)
+	ev.added++
+	ev.space.answers.Add(1)
+	if ev.h != nil {
+		ev.h.answers.Add(1)
+	}
+}
+
+// charge counts answer consumptions against the derivation budget, so a
+// runaway fixpoint (infinitely many answers) whose per-round expansion
+// count is tiny still hits the budget instead of re-replaying ever-larger
+// tables forever.
+func (ev *eval) charge(consumed int) error {
+	ev.steps += uint64(consumed)
+	if ev.steps > ev.budget {
+		return ErrBudget
+	}
+	return nil
+}
+
+// IsTabled implements engine.Tabler for generator expanders.
+func (ev *eval) IsTabled(fn term.Sym, arity int) bool { return ev.space.db.IsTabled(fn, arity) }
+
+// ForNegation implements engine.NegationTabler: negation sub-searches
+// inside a production get the restricted negEval view.
+func (ev *eval) ForNegation() engine.Tabler { return negEval{ev} }
+
+// serveComplete replays a table completed before this production began.
+func (ev *eval) serveComplete(env *term.Env, goal term.Term, t *Table) ([]*term.Env, error) {
+	if t.truncated {
+		ev.truncConsumed = true
+	}
+	if ev.h != nil {
+		ev.h.hits.Add(1)
+		ev.h.noteTruncated(t)
+	}
+	ev.space.hits.Add(1)
+	envs := bindAnswers(env, goal, t.answers)
+	if ev.h != nil {
+		ev.h.reuse.Add(uint64(len(envs)))
+	}
+	ev.space.reuse.Add(uint64(len(envs)))
+	return envs, ev.charge(len(envs))
+}
+
+// Resolve implements engine.Tabler for calls made inside generators.
+func (ev *eval) Resolve(_ context.Context, env *term.Env, goal term.Term) ([]*term.Env, error) {
+	key, pattern := Canonicalize(env, goal)
+	// Tables this eval is already producing resolve by identity through
+	// the group, never through the live map: a concurrent Invalidate
+	// swaps the map mid-production, and a fresh (empty) table under the
+	// same key would silently truncate the fixpoint.
+	if t := ev.group[key]; t != nil {
+		if err := ev.require(t); err != nil {
+			return nil, err
+		}
+		if !t.complete.Load() {
+			ev.noteConsumption(t)
+		}
+		envs := bindAnswers(env, goal, t.answers)
+		return envs, ev.charge(len(envs))
+	}
+	if t, ok := ev.space.lookup(key, ev.maxDepth); ok {
+		return ev.serveComplete(env, goal, t)
+	}
+	t := ev.space.getOrCreate(key, pattern, ev.h, ev.maxDepth)
+	if err := ev.require(t); err != nil {
+		return nil, err
+	}
+	// Producer or follower consumption of the answers known so far; for
+	// followers the enclosing rounds guarantee late answers are seen.
+	if !t.complete.Load() {
+		ev.noteConsumption(t)
+	}
+	envs := bindAnswers(env, goal, t.answers)
+	return envs, ev.charge(len(envs))
+}
+
+// ErrNonStratified rejects negation over a tabled predicate whose answer
+// set is still growing — a negative loop through the recursive component
+// being produced. Memoizing such a negation would freeze an unsound model
+// into the shared table space, so the program is refused instead (the
+// stratification restriction of standard tabling systems).
+var ErrNonStratified = errors.New("table: negation over a tabled predicate in its own recursive component (non-stratified program)")
+
+// negEval is the Tabler view used inside negation-as-failure sub-searches
+// during a production. A \+ decision is only sound against a final answer
+// set, so it serves complete tables and final (independently converged)
+// pending tables, and rejects anything still growing.
+type negEval struct{ ev *eval }
+
+// IsTabled implements engine.Tabler.
+func (n negEval) IsTabled(fn term.Sym, arity int) bool { return n.ev.IsTabled(fn, arity) }
+
+// ForNegation implements engine.NegationTabler (negation within negation
+// keeps the restriction).
+func (n negEval) ForNegation() engine.Tabler { return n }
+
+// Resolve implements engine.Tabler under the finality restriction.
+func (n negEval) Resolve(_ context.Context, env *term.Env, goal term.Term) ([]*term.Env, error) {
+	ev := n.ev
+	key, pattern := Canonicalize(env, goal)
+	t := ev.group[key]
+	if t == nil {
+		if ct, ok := ev.space.lookup(key, ev.maxDepth); ok {
+			return ev.serveComplete(env, goal, ct)
+		}
+		t = ev.space.getOrCreate(key, pattern, ev.h, ev.maxDepth)
+	}
+	if ev.inProg[t.key] != nil {
+		return nil, ErrNonStratified
+	}
+	if err := ev.require(t); err != nil {
+		return nil, err
+	}
+	if !t.complete.Load() && !t.independent {
+		return nil, ErrNonStratified
+	}
+	envs := bindAnswers(env, goal, t.answers)
+	return envs, ev.charge(len(envs))
+}
+
+var (
+	_ engine.Tabler         = (*eval)(nil)
+	_ engine.NegationTabler = (*eval)(nil)
+	_ engine.NegationTabler = negEval{}
+)

@@ -1,0 +1,479 @@
+// Package table implements tabled resolution (answer memoization) for the
+// B-LOG engine: an answer-table subsystem keyed by call patterns, with
+// producer/consumer scheduling and completion detection, so recursive
+// subgoals are derived once and every later occurrence — in the same query
+// or a later one — resolves against the memoized answer set instead of
+// re-opening the OR-subtree.
+//
+// The paper's OR-tree search (section 3) re-derives a subgoal every time a
+// chain reaches it and diverges on left-recursive programs; tabling is the
+// canonical fix in modern logic programming systems. The scheme here is
+// linear tabling with iterative re-execution: the first call to a tabled
+// variant (the producer) runs its program clauses to exhaustion in rounds,
+// recursive variant calls inside those rounds consuming the answers known
+// so far, until a full round adds no answer anywhere in the dependency
+// group; then the whole group is marked complete. Callers of a complete
+// table (consumers) never touch program clauses — the engine turns each
+// answer into one child node (answer-clause resolution, engine.Tabler).
+//
+// A Space is the table store shared by every query against one database.
+// Variant call patterns are canonicalized over interned term.Syms, answer
+// lists are deduplicated by the same canonical form, and concurrent
+// consumption is safe under every strategy: complete tables are read
+// lock-free behind an atomic completion flag, and production is serialized
+// by a context-aware producer slot, so one table is never computed twice
+// concurrently and consumers of a table being produced wait for completion
+// rather than observing partial answer sets.
+//
+// Weight maintenance invalidates the space (Invalidate): learned weights
+// feed the depth coding A that bounds generator derivations, so a weight
+// reset, load, or session merge drops the memoized tables and lets the
+// next tabled query rebuild them under the current store.
+package table
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"blog/internal/engine"
+	"blog/internal/kb"
+	"blog/internal/search"
+	"blog/internal/term"
+	"blog/internal/unify"
+	"blog/internal/weights"
+)
+
+// ErrBudget reports that computing a table's answer set exceeded the
+// space's derivation budget — the tabled analogue of a runaway search
+// (for example a tabled predicate with infinitely many answers). It wraps
+// search.ErrBudget so callers classify it like any other budget stop.
+var ErrBudget = fmt.Errorf("table: answer derivation exceeded the table space budget: %w", search.ErrBudget)
+
+// Config sizes a Space.
+type Config struct {
+	// MaxDepth bounds one generator derivation in arcs; 0 uses the
+	// weights default A. Tabled recursion does not consume depth (answer
+	// consumption is flat), so this only cuts runaway non-tabled chains
+	// inside generators.
+	MaxDepth int
+	// Budget bounds the total generator expansions of one production
+	// (the whole dependency group); 0 means DefaultBudget.
+	Budget uint64
+}
+
+// DefaultBudget bounds one production run; generous, because a production
+// covers the full fixpoint of a dependency group.
+const DefaultBudget = 2_000_000
+
+// Space is an answer-table store over one database. It is safe for
+// concurrent use by any number of queries and workers.
+type Space struct {
+	db *kb.DB
+
+	// prod is the producer slot: at most one goroutine computes tables at
+	// a time, acquired with the caller's context so a cancelled consumer
+	// never blocks indefinitely behind a long production.
+	prod chan struct{}
+
+	mu       sync.RWMutex
+	ws       weights.Store // generator weight store (guarded by mu)
+	maxDepth int           // guarded by mu; see Reconfigure
+	budget   uint64        // guarded by mu
+	tables   map[string]*Table
+
+	// Cumulative, monotonic counters (survive Invalidate) for /metrics.
+	created atomic.Uint64
+	answers atomic.Uint64
+	hits    atomic.Uint64
+	reuse   atomic.Uint64
+}
+
+// NewSpace returns an empty table space over db.
+func NewSpace(db *kb.DB, cfg Config) *Space {
+	s := &Space{
+		db:     db,
+		prod:   make(chan struct{}, 1),
+		tables: make(map[string]*Table),
+	}
+	s.Reconfigure(cfg)
+	return s
+}
+
+// Reconfigure applies new limits — in particular a new depth coding A
+// after a weight-table load — and drops every memoized table, since they
+// were produced under the old limits. In-flight productions finish
+// against their orphaned tables (their answers stay sound) with the
+// limits they started under.
+func (s *Space) Reconfigure(cfg Config) {
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = weights.DefaultConfig().A
+	}
+	if cfg.Budget == 0 {
+		cfg.Budget = DefaultBudget
+	}
+	s.mu.Lock()
+	s.ws = weights.NewUniform(weights.Config{N: weights.DefaultConfig().N, A: cfg.MaxDepth})
+	s.maxDepth = cfg.MaxDepth
+	s.budget = cfg.Budget
+	s.tables = make(map[string]*Table)
+	s.mu.Unlock()
+}
+
+// limits snapshots the generator limits for one production run.
+func (s *Space) limits() (ws weights.Store, maxDepth int, budget uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ws, s.maxDepth, s.budget
+}
+
+// Table is the memoized answer set of one call-pattern variant. Answers
+// are appended by the (single) producer and become immutable once the
+// completion flag is set; consumers read them only after observing
+// complete, so the slice is never read and written concurrently.
+type Table struct {
+	key     string
+	pattern term.Term // canonical call with fresh variables
+	pred    string    // predicate indicator, for listings
+
+	complete  atomic.Bool
+	answers   []term.Term
+	answerSet map[string]struct{} // producer-only dedup index
+	// truncated records that a generator derivation hit the depth bound,
+	// so answers past it may be missing; depth is the generator bound the
+	// table was produced under. An untruncated table is depth-independent
+	// (no derivation was cut), so it serves queries of any depth; a
+	// truncated one serves only queries whose depth bound it covers and
+	// is re-produced when a deeper query arrives. Both are written by the
+	// producer before complete is published and read only after.
+	truncated bool
+	depth     int
+	// independent marks a pending (not yet leader-completed) table whose
+	// last production never reached an in-progress production below its
+	// own frame: its answer set is final, which is what negation inside a
+	// production may rely on. Producer-goroutine only; see eval.require.
+	independent bool
+}
+
+// Info describes one table for listings (REPL :tables, server /stats).
+type Info struct {
+	// Pred is the predicate indicator, e.g. "path/2".
+	Pred string
+	// Call renders the canonical call pattern, e.g. "path(v0,_T1)".
+	Call string
+	// Answers is the number of distinct memoized answers.
+	Answers int
+	// Complete reports whether the fixpoint finished (an incomplete
+	// table was interrupted and will be recomputed on next use).
+	Complete bool
+	// Truncated reports that a generator derivation hit the depth bound
+	// while this table was produced: the memoized set is the depth-capped
+	// one, the tabled analogue of the untabled engine's DepthCutoffs.
+	Truncated bool
+}
+
+// Invalidate drops every table. Called when the weight database changes
+// (reset, load, session merge); in-flight productions finish against the
+// orphaned tables — their answers remain sound — and the next tabled call
+// rebuilds from the current program state.
+func (s *Space) Invalidate() {
+	s.mu.Lock()
+	s.tables = make(map[string]*Table)
+	s.mu.Unlock()
+}
+
+// Len returns the number of live tables.
+func (s *Space) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tables)
+}
+
+// Tables lists the live tables sorted by call pattern.
+func (s *Space) Tables() []Info {
+	s.mu.RLock()
+	list := make([]*Table, 0, len(s.tables))
+	for _, t := range s.tables {
+		list = append(list, t)
+	}
+	s.mu.RUnlock()
+	out := make([]Info, 0, len(list))
+	for _, t := range list {
+		info := Info{Pred: t.pred, Call: t.pattern.String()}
+		if t.complete.Load() {
+			info.Answers = len(t.answers)
+			info.Complete = true
+			info.Truncated = t.truncated
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pred != out[j].Pred {
+			return out[i].Pred < out[j].Pred
+		}
+		return out[i].Call < out[j].Call
+	})
+	return out
+}
+
+// Totals returns the cumulative (monotonic) space counters: tables
+// created, answers memoized, complete-table hits, and answers replayed
+// from complete tables (each a re-derivation avoided).
+func (s *Space) Totals() (created, answers, hits, rederivationsAvoided uint64) {
+	return s.created.Load(), s.answers.Load(), s.hits.Load(), s.reuse.Load()
+}
+
+// lookup returns the table for key if it is complete and serves queries
+// with the given depth bound: untruncated tables serve any depth, while a
+// depth-truncated table only covers bounds up to the one it was produced
+// under.
+func (s *Space) lookup(key string, depth int) (*Table, bool) {
+	s.mu.RLock()
+	t := s.tables[key]
+	s.mu.RUnlock()
+	if t != nil && t.complete.Load() && (!t.truncated || t.depth >= depth) {
+		return t, true
+	}
+	return nil, false
+}
+
+// getOrCreate returns the table for key, materializing it if needed. A
+// complete table that lookup rejected for the caller's depth (truncated,
+// produced under a shallower bound) is replaced by a fresh one — the old
+// object stays valid for consumers already holding it.
+func (s *Space) getOrCreate(key string, pattern term.Term, h *Handle, depth int) *Table {
+	s.mu.Lock()
+	t := s.tables[key]
+	if t != nil && t.complete.Load() && t.truncated && t.depth < depth {
+		t = nil
+	}
+	if t == nil {
+		pred, _ := term.Indicator(pattern)
+		t = &Table{key: key, pattern: pattern, pred: pred, answerSet: make(map[string]struct{})}
+		s.tables[key] = t
+		s.created.Add(1)
+		if h != nil {
+			h.created.Add(1)
+		}
+	}
+	s.mu.Unlock()
+	return t
+}
+
+// acquireProducer claims the producer slot, or fails with ctx's error.
+func (s *Space) acquireProducer(ctx context.Context) error {
+	select {
+	case s.prod <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case s.prod <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Space) releaseProducer() { <-s.prod }
+
+// markComplete publishes a produced group: answers appended before the
+// flag store are visible to any consumer that loads the flag.
+func (s *Space) markComplete(group map[string]*Table) {
+	for _, t := range group {
+		t.complete.Store(true)
+	}
+}
+
+// Stats are the per-query tabled-resolution counters of one Handle.
+type Stats struct {
+	// Created counts tables this query materialized.
+	Created uint64
+	// Answers counts distinct answers this query derived into tables.
+	Answers uint64
+	// Hits counts tabled calls served from an already-complete table.
+	Hits uint64
+	// RederivationsAvoided counts answers replayed from complete tables —
+	// each one a subgoal derivation the untabled engine would have redone.
+	RederivationsAvoided uint64
+	// TablesTruncated counts consumptions of depth-truncated tables: the
+	// served answer set was cut by the depth bound (the tabled analogue
+	// of the untabled engine's DepthCutoffs counter).
+	TablesTruncated uint64
+}
+
+// Handle is one query run's view of a Space: it implements engine.Tabler
+// and keeps per-request counters. A Handle is shared by all workers of a
+// parallel run, so its counters are atomic.
+type Handle struct {
+	space *Space
+	// maxDepth is the query's depth bound (SetMaxDepth); productions run
+	// at the larger of it and the space default, so raising a query's
+	// MaxDepth raises the generator bound too.
+	maxDepth int
+
+	created   atomic.Uint64
+	answers   atomic.Uint64
+	hits      atomic.Uint64
+	reuse     atomic.Uint64
+	truncated atomic.Uint64
+}
+
+// NewHandle returns a per-query handle on the space.
+func (s *Space) NewHandle() *Handle { return &Handle{space: s} }
+
+// SetMaxDepth passes the query's depth bound to table production. It must
+// be called before the handle's first Resolve.
+func (h *Handle) SetMaxDepth(d int) { h.maxDepth = d }
+
+// Stats returns the counters this handle accumulated.
+func (h *Handle) Stats() Stats {
+	return Stats{
+		Created:              h.created.Load(),
+		Answers:              h.answers.Load(),
+		Hits:                 h.hits.Load(),
+		RederivationsAvoided: h.reuse.Load(),
+		TablesTruncated:      h.truncated.Load(),
+	}
+}
+
+// noteTruncated counts a consumption of a depth-truncated table.
+func (h *Handle) noteTruncated(t *Table) {
+	if t.truncated {
+		h.truncated.Add(1)
+	}
+}
+
+// IsTabled implements engine.Tabler.
+func (h *Handle) IsTabled(fn term.Sym, arity int) bool { return h.space.db.IsTabled(fn, arity) }
+
+// ForNegation implements engine.NegationTabler. The handle itself is safe
+// under negation: it serves only complete tables, producing first when
+// needed, so a \+ sub-search never observes a growing answer set.
+func (h *Handle) ForNegation() engine.Tabler { return h }
+
+// Resolve implements engine.Tabler for top-level (consumer) calls: serve
+// a complete table's answers, or claim the producer slot and compute the
+// table's dependency group to completion first.
+func (h *Handle) Resolve(ctx context.Context, env *term.Env, goal term.Term) ([]*term.Env, error) {
+	key, pattern := Canonicalize(env, goal)
+	if t, ok := h.space.lookup(key, h.maxDepth); ok {
+		return h.serveHit(env, goal, t), nil
+	}
+	if err := h.space.acquireProducer(ctx); err != nil {
+		return nil, err
+	}
+	defer h.space.releaseProducer()
+	// Another producer may have completed the table while we waited.
+	if t, ok := h.space.lookup(key, h.maxDepth); ok {
+		return h.serveHit(env, goal, t), nil
+	}
+	t := h.space.getOrCreate(key, pattern, h, h.maxDepth)
+	ev := newEval(h.space, h, ctx)
+	if err := ev.require(t); err != nil {
+		return nil, err
+	}
+	h.noteTruncated(t)
+	return bindAnswers(env, goal, t.answers), nil
+}
+
+// serveHit replays a complete table into env and counts the reuse.
+func (h *Handle) serveHit(env *term.Env, goal term.Term, t *Table) []*term.Env {
+	h.hits.Add(1)
+	h.space.hits.Add(1)
+	h.noteTruncated(t)
+	envs := bindAnswers(env, goal, t.answers)
+	h.reuse.Add(uint64(len(envs)))
+	h.space.reuse.Add(uint64(len(envs)))
+	return envs
+}
+
+// bindAnswers unifies goal (under env) with a renamed-apart copy of each
+// answer, returning the extended environments. Unification can only fail
+// for goals more specific than the call pattern would suggest; for the
+// producing call itself every answer matches by construction.
+func bindAnswers(env *term.Env, goal term.Term, answers []term.Term) []*term.Env {
+	out := make([]*term.Env, 0, len(answers))
+	for _, a := range answers {
+		if e, ok := unify.Unify(env, goal, term.Refresh(a)); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Canonicalize resolves goal under env and rewrites it to its variant
+// canonical form: distinct free variables become numbered placeholders in
+// first-occurrence order (sharing preserved), and the returned key encodes
+// the structure over interned Syms, so two goals are variants of each
+// other exactly when their keys are equal. The returned pattern is a fresh
+// copy detached from env, reusable as the generator's root goal and as the
+// stored form of an answer (Canonicalize with a nil env).
+func Canonicalize(env *term.Env, goal term.Term) (string, term.Term) {
+	var b strings.Builder
+	var seen []*term.Var
+	var fresh []*term.Var
+	var walk func(t term.Term) term.Term
+	walk = func(t term.Term) term.Term {
+		t = env.Resolve(t)
+		switch t := t.(type) {
+		case term.Atom:
+			b.WriteByte('a')
+			b.WriteString(strconv.FormatInt(int64(t.Sym()), 10))
+			return t
+		case term.Int:
+			b.WriteByte('i')
+			b.WriteString(strconv.FormatInt(int64(t), 10))
+			return t
+		case *term.Var:
+			idx := -1
+			for i, v := range seen {
+				if v == t {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				idx = len(seen)
+				seen = append(seen, t)
+				fresh = append(fresh, term.NewVar("_T"+strconv.Itoa(idx)))
+			}
+			b.WriteByte('_')
+			b.WriteString(strconv.Itoa(idx))
+			return fresh[idx]
+		case *term.Compound:
+			b.WriteByte('c')
+			b.WriteString(strconv.FormatInt(int64(t.Functor), 10))
+			b.WriteByte('/')
+			b.WriteString(strconv.Itoa(len(t.Args)))
+			b.WriteByte('(')
+			args := make([]term.Term, len(t.Args))
+			changed := false
+			for i, a := range t.Args {
+				args[i] = walk(a)
+				if args[i] != a {
+					changed = true
+				}
+				b.WriteByte(',')
+			}
+			b.WriteByte(')')
+			if !changed {
+				return t
+			}
+			return &term.Compound{Functor: t.Functor, Args: args}
+		default:
+			return t
+		}
+	}
+	pattern := walk(goal)
+	return b.String(), pattern
+}
+
+var (
+	_ engine.Tabler         = (*Handle)(nil)
+	_ engine.NegationTabler = (*Handle)(nil)
+)

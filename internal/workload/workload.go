@@ -99,6 +99,39 @@ func DAG(layers, width, outDeg int, seed int64) string {
 	return b.String()
 }
 
+// Cyclic generates a strongly cyclic directed graph — a ring over all
+// nodes plus `chords` random shortcut edges — together with the
+// left-recursive transitive-closure program, declared tabled:
+//
+//	:- table path/2.
+//	path(X,Z) :- path(X,Y), edge(Y,Z).
+//	path(X,Y) :- edge(X,Y).
+//
+// The left recursion over a cyclic edge relation is the canonical
+// workload the plain OR-tree search cannot finish (every cycle re-derives
+// forever until the depth cutoff) and tabled resolution computes as a
+// linear fixpoint with the complete answer set. Node names are v0..vN-1.
+func Cyclic(nodes, chords int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString(":- table path/2.\n")
+	b.WriteString("path(X,Z) :- path(X,Y), edge(Y,Z).\n")
+	b.WriteString("path(X,Y) :- edge(X,Y).\n")
+	for i := 0; i < nodes; i++ {
+		fmt.Fprintf(&b, "edge(v%d,v%d).\n", i, (i+1)%nodes)
+	}
+	seen := map[[2]int]bool{}
+	for k := 0; k < chords; k++ {
+		i, j := rng.Intn(nodes), rng.Intn(nodes)
+		if i == j || j == (i+1)%nodes || seen[[2]int{i, j}] {
+			continue
+		}
+		seen[[2]int{i, j}] = true
+		fmt.Fprintf(&b, "edge(v%d,v%d).\n", i, j)
+	}
+	return b.String()
+}
+
 // NQueens is the classic pure-logic N-queens program: queens(N, Qs) holds
 // when Qs is a safe permutation of 1..N. It exercises arithmetic builtins
 // and produces a deep OR-tree with heavy failure — the non-deterministic
