@@ -179,13 +179,16 @@ type TableInfo = table.Info
 // materialized by Tabled() queries so far), sorted by predicate and call.
 func (p *Program) Tables() []TableInfo { return p.tables.Tables() }
 
+// TableTotals are the cumulative (monotonic, surviving invalidation)
+// answer-table counters; see table.Totals.
+type TableTotals = table.Totals
+
 // TableStats reports the answer-table space: live table count and the
-// cumulative (monotonic, surviving invalidation) counters of tables
-// created, answers memoized, complete-table hits, and answers replayed
-// from complete tables (re-derivations avoided).
-func (p *Program) TableStats() (tables int, created, answers, hits, rederivationsAvoided uint64) {
-	created, answers, hits, rederivationsAvoided = p.tables.Totals()
-	return p.tables.Len(), created, answers, hits, rederivationsAvoided
+// cumulative counters of tables created, answers memoized, complete-table
+// hits, answers replayed from complete tables (re-derivations avoided),
+// and the answer-subsumption pair (answers subsumed / improved).
+func (p *Program) TableStats() (tables int, totals TableTotals) {
+	return p.tables.Len(), p.tables.Totals()
 }
 
 // ResetWeights discards all learned global weights. Memoized answer
@@ -278,6 +281,15 @@ func InSession(s *Session) Option { return func(o *queryOpts) { o.session = s } 
 // the plain OR-tree search only stops at the depth cutoff. Programs with
 // no table declarations run unchanged. Tabled evaluation uses standard
 // (non-occurs-check) unification inside the tables.
+//
+// Predicates declared `:- table name/arity min(N)` additionally apply
+// answer subsumption: argument N is a cost position, and each table keeps
+// only the least-cost answer per binding of the remaining arguments,
+// replacing it whenever a strictly cheaper derivation arrives. Weighted
+// left-recursive definitions (shortest/3 over a cyclic graph) then
+// terminate with the true minimal cost per reachable pair; the
+// Result.AnswersSubsumed / AnswersImproved counters report the lattice
+// work done.
 func Tabled() Option { return func(o *queryOpts) { o.tabled = true } }
 
 // AndParallel evaluates the query's independent (non-variable-sharing)
@@ -346,6 +358,12 @@ type Result struct {
 	// answer sets served were cut by the depth bound, so Exhausted=true
 	// carries the same caveat it does for untabled depth cutoffs.
 	TablesTruncated uint64
+	// AnswersSubsumed and AnswersImproved are the answer-subsumption
+	// counters of min(N) tables: derivations dropped because a cheaper
+	// answer was already memoized, and memoized answers replaced by a
+	// strictly cheaper derivation.
+	AnswersSubsumed uint64
+	AnswersImproved uint64
 }
 
 // Query parses and runs a query under the given strategy.
@@ -446,6 +464,8 @@ func resultFrom(resp *solve.Response) *Result {
 		TableHits:            resp.Stats.TableHits,
 		RederivationsAvoided: resp.Stats.RederivationsAvoided,
 		TablesTruncated:      resp.Stats.TablesTruncated,
+		AnswersSubsumed:      resp.Stats.AnswersSubsumed,
+		AnswersImproved:      resp.Stats.AnswersImproved,
 	}
 	if resp.Tree != nil {
 		res.Tree = resp.Tree.Render()
@@ -537,6 +557,8 @@ type IterStats struct {
 	TableHits            uint64
 	RederivationsAvoided uint64
 	TablesTruncated      uint64
+	AnswersSubsumed      uint64
+	AnswersImproved      uint64
 }
 
 // Stats returns the counters accumulated by the iterator so far.
@@ -550,6 +572,8 @@ func (s *SolutionIter) Stats() IterStats {
 		out.TableHits = ts.Hits
 		out.RederivationsAvoided = ts.RederivationsAvoided
 		out.TablesTruncated = ts.TablesTruncated
+		out.AnswersSubsumed = ts.AnswersSubsumed
+		out.AnswersImproved = ts.AnswersImproved
 	}
 	return out
 }

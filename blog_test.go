@@ -398,9 +398,9 @@ func TestTabledQueryAllStrategies(t *testing.T) {
 	if res.TableHits == 0 || res.RederivationsAvoided != 4 {
 		t.Fatalf("hits=%d avoided=%d, want a table hit replaying 4 answers", res.TableHits, res.RederivationsAvoided)
 	}
-	tables, created, answers, hits, _ := p.TableStats()
-	if tables == 0 || created == 0 || answers == 0 || hits == 0 {
-		t.Fatalf("TableStats = (%d,%d,%d,%d), want all non-zero", tables, created, answers, hits)
+	tables, tot := p.TableStats()
+	if tables == 0 || tot.Created == 0 || tot.Answers == 0 || tot.Hits == 0 {
+		t.Fatalf("TableStats = (%d,%+v), want all non-zero", tables, tot)
 	}
 }
 
@@ -497,5 +497,94 @@ func TestTabledStreaming(t *testing.T) {
 	}
 	if n != 4 || !it.Exhausted() {
 		t.Fatalf("streamed %d answers (exhausted=%v), want 4 exhausted", n, it.Exhausted())
+	}
+}
+
+// weightedCycleSrc is a small weighted cyclic graph under the min(3)
+// subsumption directive: the direct a->b edge (cost 4) is dominated by
+// the a->c->b chain (cost 2), so production both subsumes and improves.
+const weightedCycleSrc = `
+:- table shortest/3 min(3).
+shortest(X,Z,C) :- shortest(X,Y,A), edge(Y,Z,B), C is A + B.
+shortest(X,Y,C) :- edge(X,Y,C).
+edge(a,b,4).
+edge(a,c,1).
+edge(c,b,1).
+edge(b,a,1).
+`
+
+// TestSubsumedTabledQueryAllStrategies is the facade end of the
+// acceptance criterion: left-recursive weighted shortest/3 over a cyclic
+// graph returns the minimal cost per reachable pair under all four
+// strategies, with the subsumption counters surfaced on Result.
+func TestSubsumedTabledQueryAllStrategies(t *testing.T) {
+	want := map[string]string{"a": "3", "b": "2", "c": "1"}
+	for _, strat := range []Strategy{DFS, BFS, BestFirst, Parallel} {
+		p, err := LoadString(weightedCycleSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.TabledPreds(); len(got) != 1 || got[0] != "shortest/3 min(3)" {
+			t.Fatalf("TabledPreds = %v, want the annotated min directive", got)
+		}
+		res, err := p.Query("shortest(a, Y, C)", strat, Tabled())
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if !res.Exhausted {
+			t.Fatalf("%v: not exhausted", strat)
+		}
+		if len(res.Solutions) != len(want) {
+			t.Fatalf("%v: %d solutions, want one minimum per reachable node", strat, len(res.Solutions))
+		}
+		for _, s := range res.Solutions {
+			if want[s.Bindings["Y"]] != s.Bindings["C"] {
+				t.Fatalf("%v: %s, want cost %s for %s", strat, s, want[s.Bindings["Y"]], s.Bindings["Y"])
+			}
+		}
+		if res.AnswersSubsumed == 0 || res.AnswersImproved == 0 {
+			t.Fatalf("%v: subsumed=%d improved=%d, want both > 0 on the producing run",
+				strat, res.AnswersSubsumed, res.AnswersImproved)
+		}
+		// The table listing carries the min slot, and the space totals the
+		// lattice counters.
+		if infos := p.Tables(); len(infos) == 0 || infos[0].Min != 3 {
+			t.Fatalf("%v: Tables() = %+v, want a min(3) table", strat, infos)
+		}
+		if _, tot := p.TableStats(); tot.Subsumed == 0 || tot.Improved == 0 {
+			t.Fatalf("%v: totals = %+v, want subsumption counted", strat, tot)
+		}
+	}
+}
+
+// TestSubsumedTabledStreaming: the streaming path serves the same minima
+// and reports the subsumption counters on IterStats — what blogd's stream
+// terminal line carries.
+func TestSubsumedTabledStreaming(t *testing.T) {
+	p, err := LoadString(weightedCycleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := p.Iter("shortest(a, Y, C)", DFS, Tabled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 || !it.Exhausted() {
+		t.Fatalf("streamed %d answers (exhausted=%v), want 3 exhausted", n, it.Exhausted())
+	}
+	st := it.Stats()
+	if st.AnswersSubsumed == 0 || st.AnswersImproved == 0 {
+		t.Fatalf("stream stats = %+v, want subsumption counters on the terminal stats", st)
 	}
 }

@@ -44,7 +44,10 @@ const replHelp = `commands:
   :quit                   leave
 
 predicates declared ':- table name/arity' in the loaded file resolve
-through memoized answer tables (left recursion terminates complete).`
+through memoized answer tables (left recursion terminates complete);
+':- table name/arity min(N)' adds answer subsumption: argument N is a
+cost slot and each table keeps only the least-cost answer per binding
+of the remaining arguments (weighted shortest-path workloads).`
 
 // runREPL drives an interactive loop until :quit or EOF.
 func runREPL(prog *blog.Program, in io.Reader, out io.Writer) {
@@ -210,16 +213,17 @@ func (st *replState) tablesCmd(out io.Writer) {
 		if ti.Truncated {
 			state += " (depth-truncated)"
 		}
+		if ti.Min > 0 {
+			state += fmt.Sprintf("  min(%d)", ti.Min)
+		}
 		fmt.Fprintf(out, "  %-24s %4d answers  %s\n", ti.Call, ti.Answers, state)
 	}
-	_, _, hits, avoided := tableTotals(st.prog)
-	fmt.Fprintf(out, "%d tables; %d hits, %d re-derivations avoided\n", len(infos), hits, avoided)
-}
-
-// tableTotals unpacks the cumulative space counters.
-func tableTotals(p *blog.Program) (created, answers, hits, avoided uint64) {
-	_, created, answers, hits, avoided = p.TableStats()
-	return
+	_, tot := st.prog.TableStats()
+	fmt.Fprintf(out, "%d tables; %d hits, %d re-derivations avoided", len(infos), tot.Hits, tot.RederivationsAvoided)
+	if tot.Subsumed+tot.Improved > 0 {
+		fmt.Fprintf(out, "; %d answers subsumed, %d improved", tot.Subsumed, tot.Improved)
+	}
+	fmt.Fprintln(out)
 }
 
 func (st *replState) persist(save bool, path string) error {

@@ -10,11 +10,15 @@ import (
 	"blog/internal/experiments"
 )
 
-// benchResult is one benchmark's machine-readable outcome.
+// benchResult is one benchmark's machine-readable outcome. Extra carries
+// custom b.ReportMetric values (e.g. the E11 subsumption cases record
+// "answers", the memoized answer count, so BENCH.json shows the
+// tabled-min vs plain-tabled table sizes next to the timings).
 type benchResult struct {
-	NsOp     float64 `json:"ns_op"`
-	AllocsOp int64   `json:"allocs_op"`
-	BytesOp  int64   `json:"bytes_op"`
+	NsOp     float64            `json:"ns_op"`
+	AllocsOp int64              `json:"allocs_op"`
+	BytesOp  int64              `json:"bytes_op"`
+	Extra    map[string]float64 `json:"extra,omitempty"`
 }
 
 // benchRun is one labelled set of results.
@@ -50,6 +54,12 @@ func runBenchJSON(path, label string) error {
 			NsOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsOp: r.AllocsPerOp(),
 			BytesOp:  r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Extra[k] = v
+			}
 		}
 		cur.Benchmarks[c.Name] = res
 		fmt.Fprintf(os.Stderr, "%12.0f ns/op %10d B/op %8d allocs/op\n",

@@ -9,9 +9,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 	"time"
+
+	"blog/internal/workload"
 )
 
 // TestConcurrentQueriesAllStrategies hammers one Program from every
@@ -253,5 +256,87 @@ func TestAndParallelReportsRealExhaustion(t *testing.T) {
 	if len(fail.Solutions) != 0 || !fail.Exhausted {
 		t.Errorf("failed conjunction: %d solutions exhausted=%v, want 0/true",
 			len(fail.Solutions), fail.Exhausted)
+	}
+}
+
+// sortedSolutionStrings renders a result's solutions as a sorted string
+// set, the comparison form of the subsumption convergence test below.
+func sortedSolutionStrings(res *Result) []string {
+	out := make([]string, 0, len(res.Solutions))
+	for _, s := range res.Solutions {
+		out = append(out, s.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestConcurrentSubsumptionConverges races answer improvements on one
+// shared table space (run with -race): many goroutines — OR-parallel
+// workers among them — produce and consume the min(3) shortest-path
+// fixpoint of a cyclic weighted graph concurrently, while another
+// goroutine invalidates the space (ResetWeights) to force re-productions
+// to race live consumptions. Every run, under every strategy, must
+// converge to exactly the minimal-cost answer set of an isolated
+// sequential run.
+func TestConcurrentSubsumptionConverges(t *testing.T) {
+	const nodes, chords, seed = 12, 6, 9
+	p, err := LoadString(workload.WeightedCyclic(nodes, chords, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reference comes from a second, isolated Program so its table
+	// space never races the concurrent runs.
+	refProg, err := LoadString(workload.WeightedCyclic(nodes, chords, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := refProg.Query("shortest(v0, Z, C)", DFS, Tabled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sortedSolutionStrings(refRes)
+	if len(want) != nodes {
+		t.Fatalf("reference run found %d minima, want one per node", len(want))
+	}
+
+	strategies := []Strategy{Parallel, Parallel, DFS, BFS, BestFirst}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for i := 0; i < 12; i++ {
+		strat := strategies[i%len(strategies)]
+		wg.Add(1)
+		go func(strat Strategy) {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				opts := []Option{Tabled()}
+				if strat == Parallel {
+					opts = append(opts, Workers(4))
+				}
+				res, err := p.Query("shortest(v0, Z, C)", strat, opts...)
+				if err != nil {
+					errCh <- fmt.Errorf("%v: %w", strat, err)
+					return
+				}
+				if got := sortedSolutionStrings(res); fmt.Sprint(got) != fmt.Sprint(want) {
+					errCh <- fmt.Errorf("%v: answers diverged\n got: %v\nwant: %v", strat, got, want)
+					return
+				}
+			}
+		}(strat)
+	}
+	// Invalidation racing production and consumption: dropped tables must
+	// be rebuilt with identical minima, never observed half-built.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 6; k++ {
+			p.ResetWeights()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
 	}
 }

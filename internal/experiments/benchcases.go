@@ -213,6 +213,97 @@ func BenchCases() []BenchCase {
 				}
 			}
 		}},
+		{"E11Subsumption/min-cyclic", func(b *testing.B) {
+			// Answer subsumption on the workload class nothing else
+			// finishes: left-recursive weighted reachability over a cyclic
+			// graph. A fresh space per iteration measures the full
+			// cost-minimal fixpoint; the answers metric records the
+			// O(node pairs) table the min(3) mode converges to.
+			db := benchLoad(workload.WeightedCyclic(24, 12, 7))
+			uni := weights.NewUniform(weights.DefaultConfig())
+			goals := benchGoals("shortest(v0,Z,C)")
+			b.ReportAllocs()
+			var answers int
+			for i := 0; i < b.N; i++ {
+				sp := table.NewSpace(db, table.Config{})
+				res, err := search.Run(context.Background(), db, uni, goals, search.Options{
+					Strategy: search.DFS, Tabler: sp.NewHandle(),
+				})
+				if err != nil || len(res.Solutions) != 24 || !res.Exhausted {
+					b.Fatal("min-tabled run incomplete")
+				}
+				answers = len(res.Solutions)
+			}
+			b.ReportMetric(float64(answers), "answers")
+		}},
+		{"E11Subsumption/min-dag", func(b *testing.B) {
+			// The same weighted DAG as plain-dag below, min(3)-tabled: the
+			// table keeps one minimal answer per node pair, so the answers
+			// metric here against plain-dag's is the O(node pairs) vs
+			// O(path costs) memory claim in numbers.
+			edges := workload.WeightedDAGEdges(6, 4, 3, 21)
+			db := benchLoad(workload.ShortestProgram(edges, true))
+			uni := weights.NewUniform(weights.DefaultConfig())
+			goals := benchGoals("shortest(n0_0,Z,C)")
+			b.ReportAllocs()
+			var answers int
+			for i := 0; i < b.N; i++ {
+				sp := table.NewSpace(db, table.Config{})
+				res, err := search.Run(context.Background(), db, uni, goals, search.Options{
+					Strategy: search.DFS, Tabler: sp.NewHandle(),
+				})
+				if err != nil || !res.Exhausted {
+					b.Fatal("min-tabled dag run incomplete")
+				}
+				answers = len(res.Solutions)
+			}
+			b.ReportMetric(float64(answers), "answers")
+		}},
+		{"E11Subsumption/plain-dag", func(b *testing.B) {
+			// The plain-tabled baseline on the same DAG: every distinct
+			// cost tuple is memoized and replayed, the dominated-answer
+			// flood subsumption exists to cut (on a cyclic graph this
+			// baseline would not terminate at all).
+			edges := workload.WeightedDAGEdges(6, 4, 3, 21)
+			db := benchLoad(workload.ShortestProgram(edges, false))
+			uni := weights.NewUniform(weights.DefaultConfig())
+			goals := benchGoals("shortest(n0_0,Z,C)")
+			b.ReportAllocs()
+			var answers int
+			for i := 0; i < b.N; i++ {
+				sp := table.NewSpace(db, table.Config{})
+				res, err := search.Run(context.Background(), db, uni, goals, search.Options{
+					Strategy: search.DFS, Tabler: sp.NewHandle(),
+				})
+				if err != nil || !res.Exhausted {
+					b.Fatal("plain-tabled dag run incomplete")
+				}
+				answers = len(res.Solutions)
+			}
+			b.ReportMetric(float64(answers), "answers")
+		}},
+		{"E11Subsumption/replay", func(b *testing.B) {
+			// Warm min table: steady-state replay of the memoized minima.
+			db := benchLoad(workload.WeightedCyclic(24, 12, 7))
+			uni := weights.NewUniform(weights.DefaultConfig())
+			goals := benchGoals("shortest(v0,Z,C)")
+			sp := table.NewSpace(db, table.Config{})
+			if _, err := search.Run(context.Background(), db, uni, goals, search.Options{
+				Strategy: search.DFS, Tabler: sp.NewHandle(),
+			}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := search.Run(context.Background(), db, uni, goals, search.Options{
+					Strategy: search.DFS, Tabler: sp.NewHandle(),
+				})
+				if err != nil || len(res.Solutions) != 24 {
+					b.Fatal("replay run failed")
+				}
+			}
+		}},
 		{"ServerThroughput", func(b *testing.B) {
 			// End-to-end query service: concurrent HTTP clients against one
 			// shared Program through blogd's handler, pool and wire types.

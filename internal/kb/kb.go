@@ -190,8 +190,10 @@ type DB struct {
 	firstArg map[predKey]map[argKey][]*Clause
 	varFirst map[predKey][]*Clause
 	// tabled marks predicates declared `:- table name/arity` for answer
-	// memoization (consumed by internal/table through IsTabled).
-	tabled map[predKey]bool
+	// memoization (consumed by internal/table through IsTabled). The value
+	// is the 1-based cost-argument position of a `min(N)` answer-subsumption
+	// declaration, or 0 for plain variant tabling.
+	tabled map[predKey]int
 }
 
 // New returns an empty database.
@@ -200,7 +202,7 @@ func New() *DB {
 		byPred:   make(map[predKey][]*Clause),
 		firstArg: make(map[predKey]map[argKey][]*Clause),
 		varFirst: make(map[predKey][]*Clause),
-		tabled:   make(map[predKey]bool),
+		tabled:   make(map[predKey]int),
 	}
 }
 
@@ -216,11 +218,26 @@ func LoadString(src string) (*DB, [][]term.Term, error) {
 	for _, c := range prog.Clauses {
 		db.assert(c.Head, c.Body, c.Line)
 	}
+	declared := make(map[string]parse.TabledDecl)
 	for _, d := range prog.Tabled {
 		if reservedForTabling(d.Name) {
 			return nil, nil, fmt.Errorf("kb: line %d: cannot table %s/%d: %q is an evaluable builtin, which the engine dispatches before tabling", d.Line, d.Name, d.Arity, d.Name)
 		}
-		db.MarkTabled(d.Name, d.Arity)
+		// Idempotent redeclaration is fine; a conflicting mode is not —
+		// last-wins would silently flip a predicate between plain and
+		// cost-minimal evaluation.
+		ind := d.Name + "/" + strconv.Itoa(d.Arity)
+		if prev, ok := declared[ind]; ok && prev.Min != d.Min {
+			return nil, nil, fmt.Errorf("kb: line %d: conflicting table directives for %s: min(%d) on line %d vs min(%d) here (0 = plain tabling)", d.Line, ind, prev.Min, prev.Line, d.Min)
+		}
+		declared[ind] = d
+		if d.Min == 0 {
+			db.MarkTabled(d.Name, d.Arity)
+			continue
+		}
+		if err := db.MarkTabledMin(d.Name, d.Arity, d.Min); err != nil {
+			return nil, nil, fmt.Errorf("kb: line %d: %w", d.Line, err)
+		}
 	}
 	return db, prog.Queries, nil
 }
@@ -246,11 +263,31 @@ func reservedForTabling(name string) bool {
 // directive does. Marking is a load-time operation; after loading the
 // tabled set, like the clause store, is read-only.
 func (db *DB) MarkTabled(name string, arity int) {
-	db.tabled[predKey{term.Intern(name), arity}] = true
+	db.tabled[predKey{term.Intern(name), arity}] = 0
+}
+
+// MarkTabledMin declares a predicate tabled with answer subsumption, as
+// the `:- table name/arity min(pos)` directive does: pos (1-based) is the
+// cost argument, and the answer table keeps only the least-cost answer per
+// binding of the remaining arguments. pos must name a real argument slot.
+func (db *DB) MarkTabledMin(name string, arity, pos int) error {
+	if pos < 1 || pos > arity {
+		return fmt.Errorf("cannot table %s/%d min(%d): the cost position must name an argument (1..%d)", name, arity, pos, arity)
+	}
+	db.tabled[predKey{term.Intern(name), arity}] = pos
+	return nil
 }
 
 // IsTabled reports whether the predicate was declared tabled.
 func (db *DB) IsTabled(fn term.Sym, arity int) bool {
+	_, ok := db.tabled[predKey{fn, arity}]
+	return ok
+}
+
+// TabledMin returns the 1-based cost-argument position of a predicate
+// declared `:- table name/arity min(pos)`, or 0 for plain variant tabling
+// (and for predicates not tabled at all).
+func (db *DB) TabledMin(fn term.Sym, arity int) int {
 	return db.tabled[predKey{fn, arity}]
 }
 
@@ -259,10 +296,16 @@ func (db *DB) IsTabled(fn term.Sym, arity int) bool {
 func (db *DB) HasTabled() bool { return len(db.tabled) > 0 }
 
 // TabledPreds returns the sorted indicators of the tabled predicates.
+// Subsumption-tabled predicates carry their declared mode, e.g.
+// "shortest/3 min(3)".
 func (db *DB) TabledPreds() []string {
 	out := make([]string, 0, len(db.tabled))
-	for k := range db.tabled {
-		out = append(out, k.fn.Name()+"/"+strconv.Itoa(k.arity))
+	for k, min := range db.tabled {
+		ind := k.fn.Name() + "/" + strconv.Itoa(k.arity)
+		if min > 0 {
+			ind += " min(" + strconv.Itoa(min) + ")"
+		}
+		out = append(out, ind)
 	}
 	sort.Strings(out)
 	return out

@@ -1,6 +1,7 @@
 package kb
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -352,5 +353,54 @@ func TestTableDirectiveRejectsBuiltins(t *testing.T) {
 	}
 	if !db.HasTabled() {
 		t.Fatal("HasTabled = false after a table directive")
+	}
+}
+
+func TestTableDirectiveMinMode(t *testing.T) {
+	db, _, err := LoadString(":- table shortest/3 min(3), path/2.\nshortest(X,Y,C) :- edge(X,Y,C).\npath(X,Y) :- edge(X,Y,_).\nedge(a,b,1).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.TabledMin(term.Intern("shortest"), 3); got != 3 {
+		t.Errorf("TabledMin(shortest/3) = %d, want 3", got)
+	}
+	if got := db.TabledMin(term.Intern("path"), 2); got != 0 {
+		t.Errorf("TabledMin(path/2) = %d, want 0 (plain tabling)", got)
+	}
+	if got := db.TabledMin(term.Intern("edge"), 3); got != 0 {
+		t.Errorf("TabledMin(edge/3) = %d, want 0 (not tabled)", got)
+	}
+	if !db.IsTabled(term.Intern("shortest"), 3) {
+		t.Error("IsTabled(shortest/3) = false, want true")
+	}
+	want := []string{"path/2", "shortest/3 min(3)"}
+	if got := db.TabledPreds(); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("TabledPreds = %v, want %v", got, want)
+	}
+
+	// The cost position must name a real argument slot.
+	for _, src := range []string{
+		":- table shortest/3 min(4).\nf(a).\n",
+		":- table flag/0 min(1).\nf(a).\n",
+	} {
+		if _, _, err := LoadString(src); err == nil {
+			t.Errorf("LoadString(%q) loaded; want out-of-range min rejection", src)
+		}
+	}
+
+	// Conflicting redeclarations must be rejected — last-wins would
+	// silently flip the predicate between plain and cost-minimal
+	// evaluation. Idempotent repeats stay legal.
+	for _, src := range []string{
+		":- table shortest/3 min(3).\n:- table shortest/3.\nf(a).\n",
+		":- table shortest/3.\n:- table shortest/3 min(3).\nf(a).\n",
+		":- table shortest/3 min(3), shortest/3 min(2).\nf(a).\n",
+	} {
+		if _, _, err := LoadString(src); err == nil {
+			t.Errorf("LoadString(%q) loaded; want conflicting-mode rejection", src)
+		}
+	}
+	if _, _, err := LoadString(":- table path/2.\n:- table path/2.\npath(a,b).\n"); err != nil {
+		t.Errorf("idempotent redeclaration rejected: %v", err)
 	}
 }

@@ -13,9 +13,13 @@ type Clause struct {
 }
 
 // TabledDecl is one predicate named by a `:- table name/arity` directive.
+// Min, when nonzero, is the 1-based argument position declared as the cost
+// slot by the `min(N)` answer-subsumption form: the table keeps only the
+// least-cost answer per binding of the remaining arguments.
 type TabledDecl struct {
 	Name  string
 	Arity int
+	Min   int
 	Line  int
 }
 
@@ -136,8 +140,8 @@ func OneTerm(src string) (term.Term, error) {
 }
 
 // directive parses the body of a leading `:- ...` directive. Only
-// `table name/arity, ... .` is recognized; anything else is an error so a
-// typo does not silently load as nothing.
+// `table name/arity[ min(N)], ... .` is recognized; anything else is an
+// error so a typo does not silently load as nothing.
 func (p *parser) directive(prog *Program) error {
 	if p.tok.kind != tokAtom || p.tok.text != "table" {
 		return p.lx.errorf(p.tok.line, p.tok.col,
@@ -164,10 +168,15 @@ func (p *parser) directive(prog *Program) error {
 		if p.tok.kind != tokInt || p.tok.val < 0 {
 			return p.lx.errorf(p.tok.line, p.tok.col, "expected non-negative arity after %s/, found %s", name, p.tok)
 		}
-		prog.Tabled = append(prog.Tabled, TabledDecl{Name: name, Arity: int(p.tok.val), Line: line})
+		arity := int(p.tok.val)
 		if err := p.advance(); err != nil {
 			return err
 		}
+		min, err := p.tableMode(name)
+		if err != nil {
+			return err
+		}
+		prog.Tabled = append(prog.Tabled, TabledDecl{Name: name, Arity: arity, Min: min, Line: line})
 		if p.tok.kind == tokPunct && p.tok.text == "," {
 			if err := p.advance(); err != nil {
 				return err
@@ -176,6 +185,29 @@ func (p *parser) directive(prog *Program) error {
 		}
 		return p.expectPunct(".")
 	}
+}
+
+// tableMode parses the optional answer-subsumption mode after a
+// `name/arity` in a table directive. `min(N)` declares argument N (1-based)
+// as the cost slot; absence returns 0 (plain variant tabling).
+func (p *parser) tableMode(name string) (int, error) {
+	if p.tok.kind != tokAtom || p.tok.text != "min" {
+		return 0, nil
+	}
+	if err := p.advance(); err != nil {
+		return 0, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return 0, err
+	}
+	if p.tok.kind != tokInt || p.tok.val < 1 {
+		return 0, p.lx.errorf(p.tok.line, p.tok.col, "expected positive argument position in min(...) after %s, found %s", name, p.tok)
+	}
+	min := int(p.tok.val)
+	if err := p.advance(); err != nil {
+		return 0, err
+	}
+	return min, p.expectPunct(")")
 }
 
 func (p *parser) advance() error {

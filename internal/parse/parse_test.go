@@ -318,13 +318,44 @@ edge(a, b).
 	}
 }
 
+func TestTableDirectiveMin(t *testing.T) {
+	prog, err := Source(`
+:- table shortest/3 min(3).
+:- table path/2, best/4 min(2).
+shortest(X, Y, C) :- edge(X, Y, C).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TabledDecl{
+		{Name: "shortest", Arity: 3, Min: 3, Line: 2},
+		{Name: "path", Arity: 2, Line: 3},
+		{Name: "best", Arity: 4, Min: 2, Line: 3},
+	}
+	if len(prog.Tabled) != len(want) {
+		t.Fatalf("got %d tabled decls, want %d: %v", len(prog.Tabled), len(want), prog.Tabled)
+	}
+	for i, d := range prog.Tabled {
+		if d != want[i] {
+			t.Errorf("decl %d = %+v, want %+v", i, d, want[i])
+		}
+	}
+}
+
 func TestTableDirectiveErrors(t *testing.T) {
 	for _, src := range []string{
-		":- tabulate path/2.", // unknown directive
-		":- table path.",      // missing arity
-		":- table path/X.",    // non-integer arity
-		":- table /2.",        // missing name
-		":- table path/2",     // missing terminator
+		":- tabulate path/2.",         // unknown directive
+		":- table path.",              // missing arity
+		":- table path/X.",            // non-integer arity
+		":- table /2.",                // missing name
+		":- table path/2",             // missing terminator
+		":- table path/2 min.",        // min without position
+		":- table path/2 min().",      // empty min
+		":- table path/2 min(X).",     // non-integer position
+		":- table path/2 min(0).",     // zero position
+		":- table shortest/3 min(3)",  // missing terminator after mode
+		":- table shortest/3 max(3).", // unknown mode
+		":- table shortest/3 min(3",   // unclosed mode
 	} {
 		if _, err := Source(src); err == nil {
 			t.Errorf("Source(%q) parsed, want error", src)

@@ -1,0 +1,61 @@
+package ref
+
+import (
+	"errors"
+	"fmt"
+)
+
+// WeightedEdge is one arc of a weighted directed graph, the input of the
+// MinCosts oracle. Parallel edges (same endpoints, different costs) are
+// allowed; relaxation keeps the cheapest.
+type WeightedEdge struct {
+	From, To string
+	Cost     int64
+}
+
+// MinCosts is the answer-subsumption oracle: a Bellman–Ford-style
+// relaxation fixpoint that computes, for every ordered pair of nodes
+// connected by a path of at least one edge, the least total path cost.
+// It shares no code with the resolution engine or the table subsystem —
+// dist starts as the pointwise-minimal direct-edge costs and is relaxed
+// through every edge until nothing improves — so the tabled `min(N)`
+// evaluation of the left-recursive shortest/3 program can be tested
+// differentially against it.
+//
+// Edges must be negative-free (the precondition of cost-minimal tabling
+// over cyclic graphs); a negative cost is rejected.
+func MinCosts(edges []WeightedEdge) (map[[2]string]int64, error) {
+	dist := make(map[[2]string]int64)
+	for _, e := range edges {
+		if e.Cost < 0 {
+			return nil, fmt.Errorf("ref: negative edge cost %d on %s->%s", e.Cost, e.From, e.To)
+		}
+		k := [2]string{e.From, e.To}
+		if d, ok := dist[k]; !ok || e.Cost < d {
+			dist[k] = e.Cost
+		}
+	}
+	// Relax to fixpoint. Negative-free costs converge within one round
+	// per node; the cap is a safety net, like Eval's round bound.
+	for rounds := 0; ; rounds++ {
+		if rounds > 10_000 {
+			return nil, errors.New("ref: min-cost fixpoint did not converge in 10000 rounds")
+		}
+		changed := false
+		for pair, d := range dist {
+			for _, e := range edges {
+				if e.From != pair[1] {
+					continue
+				}
+				k := [2]string{pair[0], e.To}
+				if cur, ok := dist[k]; !ok || d+e.Cost < cur {
+					dist[k] = d + e.Cost
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return dist, nil
+		}
+	}
+}

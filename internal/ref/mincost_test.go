@@ -1,0 +1,35 @@
+package ref
+
+import "testing"
+
+func TestMinCostsRelaxesThroughCycles(t *testing.T) {
+	dist, err := MinCosts([]WeightedEdge{
+		{"a", "b", 4},
+		{"a", "c", 1},
+		{"c", "b", 1},
+		{"b", "a", 1},
+		{"a", "b", 7}, // dominated parallel edge
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[[2]string]int64{
+		{"a", "a"}: 3, {"a", "b"}: 2, {"a", "c"}: 1,
+		{"b", "a"}: 1, {"b", "b"}: 3, {"b", "c"}: 2,
+		{"c", "a"}: 2, {"c", "b"}: 1, {"c", "c"}: 3,
+	}
+	if len(dist) != len(want) {
+		t.Fatalf("dist = %v, want %v", dist, want)
+	}
+	for k, d := range want {
+		if dist[k] != d {
+			t.Errorf("dist[%v] = %d, want %d", k, dist[k], d)
+		}
+	}
+}
+
+func TestMinCostsRejectsNegativeEdges(t *testing.T) {
+	if _, err := MinCosts([]WeightedEdge{{"a", "b", -1}}); err == nil {
+		t.Fatal("negative edge accepted; the fixpoint would not terminate on negative cycles")
+	}
+}

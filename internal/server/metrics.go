@@ -73,6 +73,7 @@ func (m *serverMetrics) latencySnapshot() (mean, p50, p95 float64, n int) {
 type tableTotals struct {
 	active                        int
 	created, answers, hits, reuse uint64
+	subsumed, improved            uint64
 }
 
 // expose renders the Prometheus-style text exposition of GET /metrics.
@@ -97,6 +98,8 @@ func (m *serverMetrics) expose(inFlight, queued, workers, queueLen, sessions int
 	line("table_answers_total", tt.answers)
 	line("table_hits_total", tt.hits)
 	line("rederivations_avoided_total", tt.reuse)
+	line("table_answers_subsumed_total", tt.subsumed)
+	line("table_answers_improved_total", tt.improved)
 	line("tables_active", tt.active)
 	line("in_flight", inFlight)
 	line("queue_depth", queued)

@@ -292,6 +292,8 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, entry *session
 		TableHits:            res.TableHits,
 		RederivationsAvoided: res.RederivationsAvoided,
 		TablesTruncated:      res.TablesTruncated,
+		AnswersSubsumed:      res.AnswersSubsumed,
+		AnswersImproved:      res.AnswersImproved,
 	}
 	for _, sol := range res.Solutions {
 		resp.Solutions = append(resp.Solutions, wireSolution(sol))
@@ -358,6 +360,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				TableHits:            st.TableHits,
 				RederivationsAvoided: st.RederivationsAvoided,
 				TablesTruncated:      st.TablesTruncated,
+				AnswersSubsumed:      st.AnswersSubsumed,
+				AnswersImproved:      st.AnswersImproved,
 			}
 			if err != nil {
 				final.Error = err.Error()
@@ -523,7 +527,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	workers, queueLen := s.pool.Capacity()
 	var tt tableTotals
-	tt.active, tt.created, tt.answers, tt.hits, tt.reuse = s.program.TableStats()
+	var tot blog.TableTotals
+	tt.active, tot = s.program.TableStats()
+	tt.created, tt.answers, tt.hits, tt.reuse = tot.Created, tot.Answers, tot.Hits, tot.RederivationsAvoided
+	tt.subsumed, tt.improved = tot.Subsumed, tot.Improved
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = w.Write([]byte(s.metrics.expose(s.pool.InFlight(), s.pool.Queued(), workers, queueLen, s.sessions.len(), tt)))
 }

@@ -778,3 +778,88 @@ func TestTabledQueries(t *testing.T) {
 		t.Errorf("untabled depth-capped run found %d solutions, want an incomplete set", len(untabled.Solutions))
 	}
 }
+
+const minTabledSrc = `
+:- table shortest/3 min(3).
+shortest(X,Z,C) :- shortest(X,Y,A), edge(Y,Z,B), C is A + B.
+shortest(X,Y,C) :- edge(X,Y,C).
+edge(a,b,4).
+edge(a,c,1).
+edge(c,b,1).
+edge(b,a,1).
+`
+
+// TestSubsumedTabledQueries drives the min(N) answer-subsumption mode end
+// to end over HTTP: minimal costs per reachable pair under every
+// strategy, the answers_subsumed / answers_improved response counters,
+// the stream terminal line, the /metrics exposition and the annotated
+// /stats directive listing.
+func TestSubsumedTabledQueries(t *testing.T) {
+	_, ts := newTestServer(t, minTabledSrc, Config{})
+	client := ts.Client()
+
+	want := []string{"Y = a, C = 3", "Y = b, C = 2", "Y = c, C = 1"}
+	first := true
+	for _, strategy := range []string{"dfs", "bfs", "best", "parallel"} {
+		got := queryResp(t, client, ts.URL+"/query", QueryRequest{Goal: "shortest(a,Y,C)", Strategy: strategy, Tabled: true})
+		if fmt.Sprint(solutionTexts(got.Solutions)) != fmt.Sprint(want) || !got.Exhausted {
+			t.Fatalf("%s: solutions = %v (exhausted=%v), want the minima %v", strategy, solutionTexts(got.Solutions), got.Exhausted, want)
+		}
+		if first && (got.AnswersSubsumed == 0 || got.AnswersImproved == 0) {
+			t.Fatalf("%s: producing response = %+v, want answers_subsumed and answers_improved > 0", strategy, got)
+		}
+		first = false
+	}
+
+	// The streaming terminal line carries the subsumption counters; a
+	// fresh server so the stream is the producing run.
+	_, ts2 := newTestServer(t, minTabledSrc, Config{})
+	sresp, sdata := postJSON(t, ts2.Client(), ts2.URL+"/query/stream", QueryRequest{Goal: "shortest(a,Y,C)", Strategy: "dfs", Tabled: true})
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", sresp.StatusCode)
+	}
+	lines := strings.Split(strings.TrimSpace(string(sdata)), "\n")
+	var terminal StreamEvent
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &terminal); err != nil {
+		t.Fatalf("bad terminal line %q: %v", lines[len(lines)-1], err)
+	}
+	if !terminal.Done || terminal.Solutions != 3 {
+		t.Fatalf("terminal = %+v, want done with 3 minima", terminal)
+	}
+	if terminal.AnswersSubsumed == 0 || terminal.AnswersImproved == 0 {
+		t.Fatalf("terminal = %+v, want subsumption counters on the producing stream", terminal)
+	}
+
+	mresp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, counter := range []string{"blogd_table_answers_subsumed_total", "blogd_table_answers_improved_total"} {
+		found := false
+		for _, line := range strings.Split(string(mbody), "\n") {
+			var v int
+			if n, _ := fmt.Sscanf(line, counter+" %d", &v); n == 1 && v > 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("metrics missing a positive %s:\n%s", counter, mbody)
+		}
+	}
+
+	statsResp, err := client.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats ProgramStats
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	statsResp.Body.Close()
+	if len(stats.TabledPreds) != 1 || stats.TabledPreds[0] != "shortest/3 min(3)" {
+		t.Errorf("tabled_preds = %v, want the annotated min directive", stats.TabledPreds)
+	}
+}

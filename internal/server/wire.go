@@ -49,7 +49,11 @@ type QueryRequest struct {
 	// Tabled resolves predicates declared `:- table name/arity` in the
 	// loaded program through the shared answer-table space (memoized,
 	// complete answer sets; terminates left-recursive definitions).
-	// Programs without table declarations run unchanged.
+	// Predicates declared with the `min(N)` mode additionally apply answer
+	// subsumption: their tables keep only the least-cost answer per
+	// binding of the non-cost arguments (weighted shortest-path queries
+	// terminate with the true minimum). Programs without table
+	// declarations run unchanged.
 	Tabled bool `json:"tabled,omitempty"`
 }
 
@@ -116,12 +120,16 @@ type QueryResponse struct {
 	// materialized, answers derived, calls served from complete tables,
 	// answers replayed from them (re-derivations avoided), and — rare —
 	// consumptions of depth-truncated tables, which carry the same
-	// completeness caveat as untabled depth cutoffs.
+	// completeness caveat as untabled depth cutoffs. The subsumption pair
+	// (min(N) tables only) counts derivations dominated by a cheaper
+	// memoized answer and memoized answers replaced by a cheaper one.
 	TablesCreated        uint64 `json:"tables_created,omitempty"`
 	TableAnswers         uint64 `json:"table_answers,omitempty"`
 	TableHits            uint64 `json:"table_hits,omitempty"`
 	RederivationsAvoided uint64 `json:"rederivations_avoided,omitempty"`
 	TablesTruncated      uint64 `json:"tables_truncated,omitempty"`
+	AnswersSubsumed      uint64 `json:"answers_subsumed,omitempty"`
+	AnswersImproved      uint64 `json:"answers_improved,omitempty"`
 }
 
 // StreamEvent is one NDJSON line of POST /query/stream: solution lines
@@ -141,6 +149,8 @@ type StreamEvent struct {
 	TableHits            uint64 `json:"table_hits,omitempty"`
 	RederivationsAvoided uint64 `json:"rederivations_avoided,omitempty"`
 	TablesTruncated      uint64 `json:"tables_truncated,omitempty"`
+	AnswersSubsumed      uint64 `json:"answers_subsumed,omitempty"`
+	AnswersImproved      uint64 `json:"answers_improved,omitempty"`
 }
 
 // SessionInfo describes one live session (POST /sessions response and
@@ -190,7 +200,8 @@ type ProgramStats struct {
 	Arcs        int `json:"arcs"`
 	LearnedArcs int `json:"learned_arcs"`
 	Sessions    int `json:"sessions"`
-	// TabledPreds lists the predicates declared `:- table name/arity`;
+	// TabledPreds lists the predicates declared `:- table name/arity`,
+	// with subsumption modes rendered inline (e.g. "shortest/3 min(3)");
 	// Tables and TableAnswers describe the live answer-table space
 	// (cumulative counters are on /metrics).
 	TabledPreds  []string `json:"tabled_preds,omitempty"`

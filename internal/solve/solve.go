@@ -169,6 +169,11 @@ type Stats struct {
 	TableHits            uint64
 	RederivationsAvoided uint64
 	TablesTruncated      uint64
+	// Answer-subsumption counters (min(N) tables only): derivations
+	// dominated by a cheaper memoized answer, and memoized answers
+	// replaced by a strictly cheaper derivation.
+	AnswersSubsumed uint64
+	AnswersImproved uint64
 }
 
 // addTable folds a table handle's per-query counters into the stats.
@@ -182,6 +187,8 @@ func (s *Stats) addTable(h *table.Handle) {
 	s.TableHits = ts.Hits
 	s.RederivationsAvoided = ts.RederivationsAvoided
 	s.TablesTruncated = ts.TablesTruncated
+	s.AnswersSubsumed = ts.AnswersSubsumed
+	s.AnswersImproved = ts.AnswersImproved
 }
 
 // Response is the unified outcome of a Request.

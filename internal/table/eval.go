@@ -3,6 +3,7 @@ package table
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"blog/internal/engine"
@@ -24,9 +25,10 @@ import (
 // Completion detection is the linear-tabling rule: the leader — the
 // outermost in-progress table — keeps re-running its generator (which
 // transitively re-runs the generators of every incomplete table it
-// depends on) until one full round derives no new answer anywhere in the
-// group; at that point the group has reached its fixpoint and every table
-// in it is marked complete at once.
+// depends on) until one full round changes no answer set anywhere in the
+// group — no new answer and, for min(N) tables, no cost improvement; at
+// that point the group has reached its fixpoint and every table in it is
+// marked complete at once.
 //
 // Productions are stamped with increasing frame numbers, and every
 // consumption of a not-yet-complete table records the frame of the oldest
@@ -65,7 +67,11 @@ type eval struct {
 	// completed table that was depth-truncated, so the group built on it
 	// inherits the truncation.
 	truncConsumed bool
-	// added counts answers added anywhere during this eval.
+	// added counts answer-set *changes* anywhere during this eval: new
+	// answers and, for min(N) tables, cost improvements that replaced a
+	// memoized answer. Counting value changes — not just answer counts —
+	// is what keeps the leader iterating while a round only lowers
+	// existing costs; see addMinAnswer.
 	added uint64
 	// steps counts generator expansions and answer consumptions against
 	// the budget.
@@ -248,7 +254,9 @@ func (ev *eval) runGenerator(t *Table) error {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if n.IsSolution() {
-			ev.addAnswer(t, n.Env.ResolveDeep(goal))
+			if err := ev.addAnswer(t, n.Env.ResolveDeep(goal)); err != nil {
+				return err
+			}
 			continue
 		}
 		if ev.steps++; ev.steps > ev.budget {
@@ -277,14 +285,88 @@ func (ev *eval) runGenerator(t *Table) error {
 	return nil
 }
 
-// addAnswer stores one derived answer, deduplicated by variant form.
-func (ev *eval) addAnswer(t *Table, ans term.Term) {
+// ErrCost reports a derivation into a min(N) table whose cost argument
+// did not resolve to an integer — the subsumption lattice is defined over
+// integer costs, so a non-integer (or unbound) cost has no place in it.
+var ErrCost = errors.New("table: min(N) answer cost is not an integer")
+
+// addAnswer stores one derived answer: deduplicated by variant form for
+// plain tables, folded into the cost lattice for min(N) tables.
+func (ev *eval) addAnswer(t *Table, ans term.Term) error {
+	if t.min > 0 {
+		return ev.addMinAnswer(t, ans)
+	}
 	key, canon := Canonicalize(nil, ans)
 	if _, dup := t.answerSet[key]; dup {
-		return
+		return nil
 	}
 	t.answerSet[key] = struct{}{}
 	t.answers = append(t.answers, canon)
+	ev.noteAdded()
+	return nil
+}
+
+// addMinAnswer folds one derived answer into a min(N) table: the first
+// answer for a projection of the non-cost arguments is memoized, a
+// derivation dominated by the memoized cost is subsumed (dropped), and a
+// strictly cheaper derivation replaces the memoized answer in place.
+func (ev *eval) addMinAnswer(t *Table, ans term.Term) error {
+	c, ok := ans.(*term.Compound)
+	if !ok || t.min > len(c.Args) {
+		return fmt.Errorf("%w: %s answer %s has no argument %d", ErrCost, t.pred, ans, t.min)
+	}
+	costArg, ok := c.Args[t.min-1].(term.Int)
+	if !ok {
+		return fmt.Errorf("%w: %s answer %s carries %s at cost position %d", ErrCost, t.pred, ans, c.Args[t.min-1], t.min)
+	}
+	cost := int64(costArg)
+	// The projection key is the answer with its cost slot neutralized, so
+	// two answers compete exactly when they agree on every other argument.
+	// One canonicalization serves both forms: the cost slot is a ground
+	// Int either way, so the canonical answer is the canonical projection
+	// with the real cost restored.
+	proj := make([]term.Term, len(c.Args))
+	copy(proj, c.Args)
+	proj[t.min-1] = term.Int(0)
+	key, canonProj := Canonicalize(nil, &term.Compound{Functor: c.Functor, Args: proj})
+	idx, seen := t.projIdx[key]
+	if seen && cost >= t.costs[idx] {
+		ev.space.subsumed.Add(1)
+		if ev.h != nil {
+			ev.h.subsumed.Add(1)
+		}
+		return nil
+	}
+	pc := canonProj.(*term.Compound)
+	args := make([]term.Term, len(pc.Args))
+	copy(args, pc.Args)
+	args[t.min-1] = costArg
+	canon := &term.Compound{Functor: pc.Functor, Args: args}
+	if !seen {
+		t.projIdx[key] = len(t.answers)
+		t.answers = append(t.answers, canon)
+		t.costs = append(t.costs, cost)
+		ev.noteAdded()
+		return nil
+	}
+	// Strictly cheaper: replace in place. The replacement is a value
+	// change, so it counts toward ev.added — a generator round that only
+	// improves costs must keep the dependency group open (the improved
+	// answer can lower costs derived through it in the next round), even
+	// though the answer *count* did not move.
+	t.answers[idx] = canon
+	t.costs[idx] = cost
+	ev.added++
+	ev.space.improved.Add(1)
+	if ev.h != nil {
+		ev.h.improved.Add(1)
+	}
+	return nil
+}
+
+// noteAdded counts one new memoized answer on the eval, the space and the
+// query handle.
+func (ev *eval) noteAdded() {
 	ev.added++
 	ev.space.answers.Add(1)
 	if ev.h != nil {

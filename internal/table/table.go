@@ -16,6 +16,18 @@
 // table (consumers) never touch program clauses — the engine turns each
 // answer into one child node (answer-clause resolution, engine.Tabler).
 //
+// Answer subsumption extends the scheme to weighted workloads: a
+// predicate declared `:- table name/arity min(N)` marks argument N as a
+// cost position, and its tables keep at most one answer per projection of
+// the remaining arguments — the least-cost derivation seen so far. A
+// derivation dominated by the memoized answer is subsumed (dropped); a
+// strictly cheaper one replaces it, and the replacement counts as a value
+// change that keeps the fixpoint's dependency group open, so generator
+// rounds re-run until the costs themselves stabilize. That is what lets a
+// left-recursive weighted reachability (`shortest/3` over a cyclic graph)
+// terminate with the true minimal cost per reachable pair, where plain
+// tabling would enumerate unboundedly many dominated cost tuples.
+//
 // A Space is the table store shared by every query against one database.
 // Variant call patterns are canonicalized over interned term.Syms, answer
 // lists are deduplicated by the same canonical form, and concurrent
@@ -87,10 +99,12 @@ type Space struct {
 	tables   map[string]*Table
 
 	// Cumulative, monotonic counters (survive Invalidate) for /metrics.
-	created atomic.Uint64
-	answers atomic.Uint64
-	hits    atomic.Uint64
-	reuse   atomic.Uint64
+	created  atomic.Uint64
+	answers  atomic.Uint64
+	hits     atomic.Uint64
+	reuse    atomic.Uint64
+	subsumed atomic.Uint64
+	improved atomic.Uint64
 }
 
 // NewSpace returns an empty table space over db.
@@ -140,9 +154,23 @@ type Table struct {
 	pattern term.Term // canonical call with fresh variables
 	pred    string    // predicate indicator, for listings
 
+	// min is the 1-based cost-argument position of an answer-subsumption
+	// (`min(N)`) table, 0 for plain variant tabling. A min table keeps at
+	// most one answer per projection of the remaining arguments — the
+	// least-cost derivation seen so far — so answers may be *replaced* by
+	// the producer before completion; after the completion flag is set the
+	// slice is immutable like any other table's.
+	min int
+
 	complete  atomic.Bool
 	answers   []term.Term
-	answerSet map[string]struct{} // producer-only dedup index
+	answerSet map[string]struct{} // producer-only dedup index (plain tables)
+	// projIdx and costs are the subsumption index of a min table
+	// (producer-only, like answerSet): projIdx maps the canonical form of
+	// an answer's non-cost arguments to its slot in answers, and costs
+	// holds the current cost at each slot.
+	projIdx map[string]int
+	costs   []int64
 	// truncated records that a generator derivation hit the depth bound,
 	// so answers past it may be missing; depth is the generator bound the
 	// table was produced under. An untruncated table is depth-independent
@@ -167,6 +195,9 @@ type Info struct {
 	Call string
 	// Answers is the number of distinct memoized answers.
 	Answers int
+	// Min is the 1-based cost-argument position of an answer-subsumption
+	// (`min(N)`) table, 0 for plain variant tabling.
+	Min int
 	// Complete reports whether the fixpoint finished (an incomplete
 	// table was interrupted and will be recomputed on next use).
 	Complete bool
@@ -203,7 +234,7 @@ func (s *Space) Tables() []Info {
 	s.mu.RUnlock()
 	out := make([]Info, 0, len(list))
 	for _, t := range list {
-		info := Info{Pred: t.pred, Call: t.pattern.String()}
+		info := Info{Pred: t.pred, Call: t.pattern.String(), Min: t.min}
 		if t.complete.Load() {
 			info.Answers = len(t.answers)
 			info.Complete = true
@@ -220,11 +251,31 @@ func (s *Space) Tables() []Info {
 	return out
 }
 
-// Totals returns the cumulative (monotonic) space counters: tables
-// created, answers memoized, complete-table hits, and answers replayed
-// from complete tables (each a re-derivation avoided).
-func (s *Space) Totals() (created, answers, hits, rederivationsAvoided uint64) {
-	return s.created.Load(), s.answers.Load(), s.hits.Load(), s.reuse.Load()
+// Totals are the cumulative (monotonic, surviving Invalidate) counters of
+// a Space: tables created, distinct answers memoized, complete-table hits,
+// answers replayed from complete tables (each a re-derivation avoided),
+// and the answer-subsumption pair — derived answers dominated by a
+// cheaper memoized one (Subsumed) and memoized answers replaced by a
+// strictly cheaper derivation (Improved).
+type Totals struct {
+	Created              uint64
+	Answers              uint64
+	Hits                 uint64
+	RederivationsAvoided uint64
+	Subsumed             uint64
+	Improved             uint64
+}
+
+// Totals returns the space's cumulative counters.
+func (s *Space) Totals() Totals {
+	return Totals{
+		Created:              s.created.Load(),
+		Answers:              s.answers.Load(),
+		Hits:                 s.hits.Load(),
+		RederivationsAvoided: s.reuse.Load(),
+		Subsumed:             s.subsumed.Load(),
+		Improved:             s.improved.Load(),
+	}
 }
 
 // lookup returns the table for key if it is complete and serves queries
@@ -253,7 +304,15 @@ func (s *Space) getOrCreate(key string, pattern term.Term, h *Handle, depth int)
 	}
 	if t == nil {
 		pred, _ := term.Indicator(pattern)
-		t = &Table{key: key, pattern: pattern, pred: pred, answerSet: make(map[string]struct{})}
+		t = &Table{key: key, pattern: pattern, pred: pred}
+		if fn, arity, ok := term.PredOf(pattern); ok {
+			t.min = s.db.TabledMin(fn, arity)
+		}
+		if t.min > 0 {
+			t.projIdx = make(map[string]int)
+		} else {
+			t.answerSet = make(map[string]struct{})
+		}
 		s.tables[key] = t
 		s.created.Add(1)
 		if h != nil {
@@ -304,6 +363,14 @@ type Stats struct {
 	// served answer set was cut by the depth bound (the tabled analogue
 	// of the untabled engine's DepthCutoffs counter).
 	TablesTruncated uint64
+	// AnswersSubsumed counts derivations into min(N) tables dominated by
+	// an already-memoized answer of equal or lower cost — dominated tuples
+	// a plain table would have memoized and replayed.
+	AnswersSubsumed uint64
+	// AnswersImproved counts memoized min(N) answers replaced by a
+	// strictly cheaper derivation. An improvement is a value change: it
+	// keeps the fixpoint's dependency group open like a new answer does.
+	AnswersImproved uint64
 }
 
 // Handle is one query run's view of a Space: it implements engine.Tabler
@@ -321,6 +388,8 @@ type Handle struct {
 	hits      atomic.Uint64
 	reuse     atomic.Uint64
 	truncated atomic.Uint64
+	subsumed  atomic.Uint64
+	improved  atomic.Uint64
 }
 
 // NewHandle returns a per-query handle on the space.
@@ -338,6 +407,8 @@ func (h *Handle) Stats() Stats {
 		Hits:                 h.hits.Load(),
 		RederivationsAvoided: h.reuse.Load(),
 		TablesTruncated:      h.truncated.Load(),
+		AnswersSubsumed:      h.subsumed.Load(),
+		AnswersImproved:      h.improved.Load(),
 	}
 }
 

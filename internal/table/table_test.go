@@ -185,9 +185,9 @@ func TestInvalidateRebuilds(t *testing.T) {
 	if s := h.Stats(); s.Created != 1 || s.Answers != 4 {
 		t.Fatalf("post-invalidate stats = %+v, want recomputation", s)
 	}
-	created, answers, _, _ := sp.Totals()
-	if created != 2 || answers != 8 {
-		t.Fatalf("cumulative totals = (%d created, %d answers), want (2, 8): totals are monotonic", created, answers)
+	tot := sp.Totals()
+	if tot.Created != 2 || tot.Answers != 8 {
+		t.Fatalf("cumulative totals = (%d created, %d answers), want (2, 8): totals are monotonic", tot.Created, tot.Answers)
 	}
 }
 
@@ -386,6 +386,135 @@ func TestReconfigureRaisesDepth(t *testing.T) {
 	}
 	if res := runTabled(t, db, sp, "top(R)", search.DFS); len(res.Solutions) != 1 {
 		t.Fatalf("reconfigured run found %d answers, want 1", len(res.Solutions))
+	}
+}
+
+const weightedCycle = `
+:- table shortest/3 min(3).
+shortest(X,Z,C) :- shortest(X,Y,A), edge(Y,Z,B), C is A + B.
+shortest(X,Y,C) :- edge(X,Y,C).
+edge(a,b,4).
+edge(a,c,1).
+edge(c,b,1).
+edge(b,a,1).
+`
+
+// TestMinSubsumptionKeepsMinima is the tentpole property in miniature: a
+// left-recursive weighted reachability over a cyclic graph — which plain
+// tabling floods with unboundedly many dominated cost tuples — terminates
+// with exactly one answer per reachable pair, carrying the true minimum.
+func TestMinSubsumptionKeepsMinima(t *testing.T) {
+	db := load(t, weightedCycle)
+	sp := NewSpace(db, Config{})
+	h := sp.NewHandle()
+	res, err := search.Run(context.Background(), db, weights.NewUniform(weights.DefaultConfig()), q(t, "shortest(a, Y, C)"), search.Options{Strategy: search.DFS, Tabler: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatal("weighted tabled search not exhausted")
+	}
+	got := answers(t, res)
+	want := []string{"Y = a, C = 3", "Y = b, C = 2", "Y = c, C = 1"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("minima = %v, want %v", got, want)
+	}
+	st := h.Stats()
+	if st.AnswersSubsumed == 0 {
+		t.Fatalf("stats = %+v, want AnswersSubsumed > 0 (the direct a->b edge is dominated)", st)
+	}
+	if st.AnswersImproved == 0 {
+		t.Fatalf("stats = %+v, want AnswersImproved > 0 (a->b improves from 4 to 2)", st)
+	}
+	// The table listing shows the subsumption slot.
+	infos := sp.Tables()
+	if len(infos) != 1 || infos[0].Min != 3 || infos[0].Answers != 3 {
+		t.Fatalf("infos = %+v, want one min(3) table with 3 answers", infos)
+	}
+}
+
+// TestImprovementKeepsGroupOpen is the fixpoint regression test: a
+// generator round that adds no new answer but *improves* an existing cost
+// must keep the dependency group open, because the improved answer can
+// lower costs derived through it in the next round. The graph is built so
+// the last discovery round is long past before the cheap long chain
+// catches up: a->x directly costs 100 and x->y costs 100 more, while a
+// six-hop chain reaches x for 6. The round that improves x from 100 to 6
+// adds nothing new — a count-based stability check would stop there and
+// freeze y at 200 instead of re-deriving it at 106.
+func TestImprovementKeepsGroupOpen(t *testing.T) {
+	db := load(t, `
+:- table shortest/3 min(3).
+shortest(X,Z,C) :- shortest(X,Y,A), edge(Y,Z,B), C is A + B.
+shortest(X,Y,C) :- edge(X,Y,C).
+edge(a,x,100).
+edge(x,y,100).
+edge(a,c1,1).
+edge(c1,c2,1).
+edge(c2,c3,1).
+edge(c3,c4,1).
+edge(c4,c5,1).
+edge(c5,x,1).
+`)
+	sp := NewSpace(db, Config{})
+	h := sp.NewHandle()
+	res, err := search.Run(context.Background(), db, weights.NewUniform(weights.DefaultConfig()), q(t, "shortest(a, Y, C)"), search.Options{Strategy: search.DFS, Tabler: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := answers(t, res)
+	want := []string{
+		"Y = c1, C = 1", "Y = c2, C = 2", "Y = c3, C = 3", "Y = c4, C = 4",
+		"Y = c5, C = 5", "Y = x, C = 6", "Y = y, C = 106",
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("answers = %v, want %v (y = 106 requires the improvement-only round to keep the group open)", got, want)
+	}
+	if st := h.Stats(); st.AnswersImproved < 2 {
+		t.Fatalf("stats = %+v, want at least the x and y improvements counted", st)
+	}
+}
+
+// TestMinCostMustBeInteger: a derivation into a min table whose cost
+// argument is not an integer has no place in the cost lattice and must be
+// rejected, not silently memoized.
+func TestMinCostMustBeInteger(t *testing.T) {
+	db := load(t, `
+:- table w/2 min(2).
+w(a, oops).
+`)
+	sp := NewSpace(db, Config{})
+	_, err := search.Run(context.Background(), db, weights.NewUniform(weights.DefaultConfig()), q(t, "w(a, C)"), search.Options{Strategy: search.DFS, Tabler: sp.NewHandle()})
+	if !errors.Is(err, ErrCost) {
+		t.Fatalf("err = %v, want ErrCost", err)
+	}
+	for _, ti := range sp.Tables() {
+		if ti.Complete {
+			t.Fatalf("refused production left complete table %+v", ti)
+		}
+	}
+}
+
+// TestMinVariantsAreIndependent: a call with the cost argument bound and
+// a differently-projected variant each get their own lattice.
+func TestMinVariantsAreIndependent(t *testing.T) {
+	db := load(t, weightedCycle)
+	sp := NewSpace(db, Config{})
+	// Fully projected: one pair, one minimal answer.
+	res := runTabled(t, db, sp, "shortest(a, b, C)", search.DFS)
+	if got := answers(t, res); fmt.Sprint(got) != "[C = 2]" {
+		t.Fatalf("shortest(a,b,C) = %v, want the minimum 2", got)
+	}
+	// A later wider call builds its own variant table and still minimizes.
+	res = runTabled(t, db, sp, "shortest(b, Y, C)", search.DFS)
+	want := []string{"Y = a, C = 1", "Y = b, C = 3", "Y = c, C = 2"}
+	if got := answers(t, res); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("shortest(b,Y,C) = %v, want %v", got, want)
+	}
+	// Three variants: shortest(a,b,_), the open shortest(a,_,_) its
+	// generator recursed through, and shortest(b,_,_).
+	if n := sp.Len(); n != 3 {
+		t.Fatalf("space has %d tables, want 3 independent variants", n)
 	}
 }
 

@@ -132,6 +132,152 @@ func Cyclic(nodes, chords int, seed int64) string {
 	return b.String()
 }
 
+// WEdge is one arc of a generated weighted directed graph. Costs are
+// non-negative (the answer-subsumption workloads are negative-free).
+type WEdge struct {
+	From, To string
+	Cost     int64
+}
+
+// ShortestProgram renders a weighted edge list as the left-recursive
+// weighted-reachability program over edge/3 facts:
+//
+//	:- table shortest/3 min(3).
+//	shortest(X,Z,C) :- shortest(X,Y,A), edge(Y,Z,B), C is A + B.
+//	shortest(X,Y,C) :- edge(X,Y,C).
+//
+// With min true the cost argument is declared a subsumption slot, so each
+// table keeps only the least-cost answer per node pair and the program
+// terminates even over cyclic graphs. With min false the predicate is
+// plain-tabled: over an acyclic graph it enumerates one answer per
+// distinct path cost (the O(paths) table the subsumption mode collapses
+// to O(node pairs)); over a cyclic graph it diverges.
+func ShortestProgram(edges []WEdge, min bool) string {
+	var b strings.Builder
+	if min {
+		b.WriteString(":- table shortest/3 min(3).\n")
+	} else {
+		b.WriteString(":- table shortest/3.\n")
+	}
+	b.WriteString("shortest(X,Z,C) :- shortest(X,Y,A), edge(Y,Z,B), C is A + B.\n")
+	b.WriteString("shortest(X,Y,C) :- edge(X,Y,C).\n")
+	for _, e := range edges {
+		fmt.Fprintf(&b, "edge(%s,%s,%d).\n", e.From, e.To, e.Cost)
+	}
+	return b.String()
+}
+
+// WeightedFamilyTreeEdges reuses the FamilyTree shape (a complete tree of
+// persons, breadth-first names p0, p1, ...) as a weighted parent graph:
+// father links cost 1, mother links cost 2, so two derivations of the
+// same descendant pair can carry different costs and subsumption has
+// dominated tuples to drop.
+func WeightedFamilyTreeEdges(depth, branch int) []WEdge {
+	var out []WEdge
+	id := 0
+	frontier := []int{0}
+	for d := 0; d < depth; d++ {
+		var next []int
+		for _, p := range frontier {
+			for c := 0; c < branch; c++ {
+				id++
+				from, to := fmt.Sprintf("p%d", p), fmt.Sprintf("p%d", id)
+				if c%2 == 0 {
+					out = append(out, WEdge{from, to, 1})
+				} else {
+					// Like FamilyTree's mother-and-father pairs: two
+					// parallel arcs with different costs.
+					out = append(out, WEdge{from, to, 2}, WEdge{from, to, 1})
+				}
+				next = append(next, id)
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// WeightedDAGEdges generates the layered random DAG of DAG with a
+// deterministic random cost in 1..9 per edge. Node names are nL_I.
+func WeightedDAGEdges(layers, width, outDeg int, seed int64) []WEdge {
+	rng := rand.New(rand.NewSource(seed))
+	var out []WEdge
+	for l := 0; l+1 < layers; l++ {
+		for i := 0; i < width; i++ {
+			seen := map[int]bool{}
+			for k := 0; k < outDeg; k++ {
+				j := rng.Intn(width)
+				if seen[j] {
+					continue
+				}
+				seen[j] = true
+				out = append(out, WEdge{
+					From: fmt.Sprintf("n%d_%d", l, i),
+					To:   fmt.Sprintf("n%d_%d", l+1, j),
+					Cost: int64(1 + rng.Intn(9)),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// WeightedCyclicEdges generates the strongly cyclic graph of Cyclic — a
+// ring over all nodes plus random chord shortcuts — with costs in 1..9.
+// Left-recursive weighted reachability over it is the workload class the
+// untabled engine diverges on and plain tabling floods with unboundedly
+// many dominated cost tuples; only the min(3) subsumption mode terminates
+// with the true minima. Node names are v0..vN-1.
+func WeightedCyclicEdges(nodes, chords int, seed int64) []WEdge {
+	rng := rand.New(rand.NewSource(seed))
+	var out []WEdge
+	for i := 0; i < nodes; i++ {
+		out = append(out, WEdge{
+			From: fmt.Sprintf("v%d", i),
+			To:   fmt.Sprintf("v%d", (i+1)%nodes),
+			Cost: int64(1 + rng.Intn(9)),
+		})
+	}
+	seen := map[[2]int]bool{}
+	for k := 0; k < chords; k++ {
+		i, j := rng.Intn(nodes), rng.Intn(nodes)
+		if i == j || j == (i+1)%nodes || seen[[2]int{i, j}] {
+			continue
+		}
+		seen[[2]int{i, j}] = true
+		out = append(out, WEdge{
+			From: fmt.Sprintf("v%d", i),
+			To:   fmt.Sprintf("v%d", j),
+			Cost: int64(1 + rng.Intn(9)),
+		})
+	}
+	return out
+}
+
+// WeightedRandomEdges generates a uniformly random (generally cyclic)
+// directed graph: n nodes named r0..rN-1, m random edges with costs in
+// 1..maxCost, self-loops included (a self-loop is a cycle subsumption
+// must cope with). Parallel edges may repeat with different costs.
+func WeightedRandomEdges(nodes, m int, maxCost int64, seed int64) []WEdge {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]WEdge, 0, m)
+	for k := 0; k < m; k++ {
+		out = append(out, WEdge{
+			From: fmt.Sprintf("r%d", rng.Intn(nodes)),
+			To:   fmt.Sprintf("r%d", rng.Intn(nodes)),
+			Cost: 1 + rng.Int63n(maxCost),
+		})
+	}
+	return out
+}
+
+// WeightedCyclic is ShortestProgram(WeightedCyclicEdges(...), true): the
+// full min-tabled weighted-reachability program over a cyclic graph, for
+// benchmarks and smoke tests that only need the source text.
+func WeightedCyclic(nodes, chords int, seed int64) string {
+	return ShortestProgram(WeightedCyclicEdges(nodes, chords, seed), true)
+}
+
 // NQueens is the classic pure-logic N-queens program: queens(N, Qs) holds
 // when Qs is a safe permutation of 1..N. It exercises arithmetic builtins
 // and produces a deep OR-tree with heavy failure — the non-deterministic
