@@ -53,6 +53,7 @@ import (
 	"blog/internal/solve"
 	"blog/internal/table"
 	"blog/internal/term"
+	"blog/internal/vm"
 	"blog/internal/weights"
 )
 
@@ -138,6 +139,11 @@ func LoadString(src string, cfg ...Config) (*Program, error) {
 	db, qs, err := kb.LoadString(src)
 	if err != nil {
 		return nil, err
+	}
+	// Compile the bytecode program eagerly: loading is the expensive step
+	// by contract, so the first query should not pay for compilation.
+	if vm.Enabled {
+		vm.For(db)
 	}
 	return &Program{
 		db:      db,
@@ -231,6 +237,7 @@ type queryOpts struct {
 	recordTrace   bool
 	andParallel   bool
 	tabled        bool
+	noVM          bool
 }
 
 // MaxSolutions stops the search after n solutions (0 = all).
@@ -298,6 +305,12 @@ func Tabled() Option { return func(o *queryOpts) { o.tabled = true } }
 // given to Query; incompatible with Parallel, sessions are fine.
 func AndParallel() Option { return func(o *queryOpts) { o.andParallel = true } }
 
+// Compiled selects the resolution engine: on (the default) runs clause
+// resolution on the compiled bytecode VM with switch-on-term dispatch
+// (internal/vm); Compiled(false) forces the tree-walking engine, kept as
+// the differential oracle and the -compiled=off escape hatch.
+func Compiled(on bool) Option { return func(o *queryOpts) { o.noVM = !on } }
+
 // RecordTree records the search tree (Result.Tree); sequential only.
 func RecordTree() Option { return func(o *queryOpts) { o.recordTree = true } }
 
@@ -344,6 +357,9 @@ type Result struct {
 	Trace []string
 	// Migrations counts network chain acquisitions (Parallel two-level).
 	Migrations uint64
+	// VMDispatched counts goals resolved on the compiled bytecode engine
+	// (zero under Compiled(false) or BLOG_COMPILED=off).
+	VMDispatched uint64
 	// Groups is the independent-group count of an AndParallel run.
 	Groups int
 	// Tabled-resolution counters (Tabled() runs only): tables this query
@@ -440,6 +456,7 @@ func (p *Program) request(goals []term.Term, strat Strategy, o queryOpts, store 
 		Prune:         o.prune,
 		PruneSlack:    o.pruneSlack,
 		OccursCheck:   o.occursCheck,
+		NoVM:          o.noVM,
 		Workers:       o.workers,
 		TwoLevel:      o.twoLevel,
 		D:             o.d,
@@ -458,6 +475,7 @@ func resultFrom(resp *solve.Response) *Result {
 		Exhausted:            resp.Exhausted,
 		Trace:                resp.Trace,
 		Migrations:           resp.Stats.Migrations,
+		VMDispatched:         resp.Stats.VMDispatched,
 		Groups:               resp.Stats.Groups,
 		TablesCreated:        resp.Stats.TablesCreated,
 		TableAnswers:         resp.Stats.TableAnswers,
@@ -551,6 +569,8 @@ type IterStats struct {
 	Generated uint64
 	Failures  uint64
 	Pruned    uint64
+	// VMDispatched counts goals resolved on the compiled bytecode engine.
+	VMDispatched uint64
 	// Tabled-resolution counters (Tabled() streams only); see Result.
 	TablesCreated        uint64
 	TableAnswers         uint64
@@ -564,7 +584,7 @@ type IterStats struct {
 // Stats returns the counters accumulated by the iterator so far.
 func (s *SolutionIter) Stats() IterStats {
 	st := s.inner.Stats()
-	out := IterStats{Expanded: st.Expanded, Generated: st.Generated, Failures: st.Failures, Pruned: st.Pruned}
+	out := IterStats{Expanded: st.Expanded, Generated: st.Generated, Failures: st.Failures, Pruned: st.Pruned, VMDispatched: st.VMDispatched}
 	if s.tables != nil {
 		ts := s.tables.Stats()
 		out.TablesCreated = ts.Created

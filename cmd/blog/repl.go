@@ -20,6 +20,7 @@ type replState struct {
 	strategy blog.Strategy
 	learn    bool
 	tabled   bool
+	noVM     bool
 	maxSol   int
 	maxDepth int
 	workers  int
@@ -40,6 +41,7 @@ const replHelp = `commands:
   :stats                  database and weight-table statistics
   :tables                 tabled predicates and memoized answer tables
   :tabled on|off          honor :- table declarations (default on)
+  :compiled on|off        bytecode VM vs tree-walking oracle (default on)
   :help                   this text
   :quit                   leave
 
@@ -50,8 +52,8 @@ cost slot and each table keeps only the least-cost answer per binding
 of the remaining arguments (weighted shortest-path workloads).`
 
 // runREPL drives an interactive loop until :quit or EOF.
-func runREPL(prog *blog.Program, in io.Reader, out io.Writer) {
-	st := &replState{prog: prog, strategy: blog.BestFirst, workers: 4, tabled: true}
+func runREPL(prog *blog.Program, in io.Reader, out io.Writer, noVM bool) {
+	st := &replState{prog: prog, strategy: blog.BestFirst, workers: 4, tabled: true, noVM: noVM}
 	sc := bufio.NewScanner(in)
 	fmt.Fprintln(out, "B-LOG interactive. :help for commands.")
 	for {
@@ -108,6 +110,13 @@ func (st *replState) command(line string, out io.Writer) bool {
 		}
 		st.tabled = fields[1] == "on"
 		fmt.Fprintf(out, "tabled: %v\n", st.tabled)
+	case ":compiled":
+		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+			fmt.Fprintln(out, "usage: :compiled on|off")
+			break
+		}
+		st.noVM = fields[1] == "off"
+		fmt.Fprintf(out, "compiled: %v\n", !st.noVM)
 	case ":n", ":depth", ":workers":
 		if len(fields) != 2 {
 			fmt.Fprintf(out, "usage: %s <int>\n", fields[0])
@@ -246,6 +255,9 @@ func (st *replState) persist(save bool, path string) error {
 func (st *replState) query(line string, out io.Writer) {
 	line = strings.TrimSuffix(line, ".")
 	opts := []blog.Option{blog.MaxSolutions(st.maxSol), blog.MaxDepth(st.maxDepth)}
+	if st.noVM {
+		opts = append(opts, blog.Compiled(false))
+	}
 	if st.tabled {
 		// A no-op for programs with no `:- table` declarations.
 		opts = append(opts, blog.Tabled())

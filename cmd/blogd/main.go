@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,8 +55,14 @@ func main() {
 		usePrelude = flag.Bool("prelude", false, "prepend the list/pair standard library")
 		weightsIn  = flag.String("weights", "", "load a saved global weight table at startup")
 		weightsOut = flag.String("weights-out", "", "save the global weight table on shutdown")
+		compiled   = flag.String("compiled", "on", "resolution engine: on = bytecode VM, off = tree-walking oracle")
+		pprofOn    = flag.Bool("pprof", false, "expose /debug/pprof endpoints for profiling the hot path")
 	)
 	flag.Parse()
+	if *compiled != "on" && *compiled != "off" {
+		fmt.Fprintf(os.Stderr, "blogd: -compiled must be on or off, got %q\n", *compiled)
+		os.Exit(2)
+	}
 	if *file == "" {
 		fmt.Fprintln(os.Stderr, "blogd: -f program file is required")
 		flag.Usage()
@@ -102,15 +109,31 @@ func main() {
 		MaxSessions:     *sessions,
 		SessionTTL:      *sessionTTL,
 		DefaultStrategy: *strategy,
+		NoVM:            *compiled == "off",
 	})
 	workers, queueLen := srv.Pool().Capacity()
+
+	// The query service owns every route; profiling endpoints mount on an
+	// outer mux only when asked for, so production surfaces nothing extra
+	// by default.
+	handler := http.Handler(srv)
+	if *pprofOn {
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", srv)
+		handler = outer
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
 	httpSrv := &http.Server{
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		// A response (including a full NDJSON stream, which is bounded by
 		// the query deadline) must finish within the query cap plus write

@@ -1,0 +1,174 @@
+package blog
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"blog/internal/parse"
+	"blog/internal/vm"
+)
+
+func solutionSet(res *Result) []string {
+	out := make([]string, len(res.Solutions))
+	for i, s := range res.Solutions {
+		out[i] = fmt.Sprintf("%s |%.9g", s, s.Bound)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestCompiledMatchesOracle: the default compiled path and the
+// Compiled(false) tree-walking oracle return the same answers, and the
+// dispatch counter proves which engine ran.
+func TestCompiledMatchesOracle(t *testing.T) {
+	if !vm.Enabled {
+		t.Skip("BLOG_COMPILED=off disables the engine under test")
+	}
+	p := loadFig1(t)
+	for _, s := range []Strategy{DFS, BFS, BestFirst, Parallel} {
+		compiled, err := p.Query("gf(sam,G)", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := p.Query("gf(sam,G)", s, Compiled(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if compiled.VMDispatched == 0 {
+			t.Errorf("%v: compiled run never dispatched to the VM", s)
+		}
+		if oracle.VMDispatched != 0 {
+			t.Errorf("%v: oracle run dispatched %d goals to the VM", s, oracle.VMDispatched)
+		}
+		a, b := solutionSet(compiled), solutionSet(oracle)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Errorf("%v: compiled %v != oracle %v", s, a, b)
+		}
+	}
+}
+
+// TestCompiledSeesAssertedClause: asserting a clause after load bumps the
+// database generation, so the next compiled query recompiles its dispatch
+// tables and finds solutions through the new clause.
+func TestCompiledSeesAssertedClause(t *testing.T) {
+	if !vm.Enabled {
+		t.Skip("BLOG_COMPILED=off disables the engine under test")
+	}
+	p := loadFig1(t)
+	before, err := p.Query("gf(dan,G)", DFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Solutions) != 1 || before.Solutions[0].String() != "G = john" {
+		t.Fatalf("baseline solutions = %v", solutionSet(before))
+	}
+
+	// dan gains a second child; gf(dan,G) must now also reach the new
+	// grandchild through the recompiled f/2 dispatch bucket for dan.
+	head, err := parse.Query("f(dan, sue)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.db.Assert(head[0], nil)
+	grand, err := parse.Query("f(sue, tim)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.db.Assert(grand[0], nil)
+
+	after, err := p.Query("gf(dan,G)", DFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.VMDispatched == 0 {
+		t.Error("post-assert query must still run compiled")
+	}
+	got := solutionSet(after)
+	if len(after.Solutions) != 2 {
+		t.Fatalf("post-assert solutions = %v, want john and tim", got)
+	}
+	oracle, err := p.Query("gf(dan,G)", DFS, Compiled(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(solutionSet(oracle)) {
+		t.Errorf("compiled %v != oracle %v after assert", got, solutionSet(oracle))
+	}
+}
+
+// TestCompiledAfterLoadWeights: replacing the weight table must not leave
+// stale state on the compiled path — bounds reflect the loaded weights
+// while resolution still dispatches to the VM.
+func TestCompiledAfterLoadWeights(t *testing.T) {
+	if !vm.Enabled {
+		t.Skip("BLOG_COMPILED=off disables the engine under test")
+	}
+	trained := loadFig1(t)
+	if _, err := trained.Query("gf(sam,G)", BestFirst, Learn()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trained.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	p := loadFig1(t)
+	baseline, err := p.Query("gf(sam,G)", BestFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LoadWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Query("gf(sam,G)", BestFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VMDispatched == 0 {
+		t.Error("post-LoadWeights query must still run compiled")
+	}
+	if len(res.Solutions) != 2 {
+		t.Fatalf("solutions = %v", solutionSet(res))
+	}
+	if fmt.Sprint(solutionSet(res)) == fmt.Sprint(solutionSet(baseline)) {
+		t.Error("loaded weights should change solution bounds")
+	}
+	oracle, err := p.Query("gf(sam,G)", BestFirst, Compiled(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(solutionSet(res)) != fmt.Sprint(solutionSet(oracle)) {
+		t.Errorf("compiled %v != oracle %v under loaded weights", solutionSet(res), solutionSet(oracle))
+	}
+}
+
+// TestCompiledAfterSessionMerge: ending a learning session merges its
+// weights into the global table; subsequent queries run compiled and
+// agree with the oracle under the merged weights.
+func TestCompiledAfterSessionMerge(t *testing.T) {
+	if !vm.Enabled {
+		t.Skip("BLOG_COMPILED=off disables the engine under test")
+	}
+	p := loadFig1(t)
+	s := p.NewSession(0.5)
+	if _, err := p.Query("gf(sam,G)", BestFirst, Learn(), InSession(s)); err != nil {
+		t.Fatal(err)
+	}
+	s.End()
+	res, err := p.Query("gf(sam,G)", BestFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VMDispatched == 0 {
+		t.Error("post-merge query must still run compiled")
+	}
+	oracle, err := p.Query("gf(sam,G)", BestFirst, Compiled(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(solutionSet(res)) != fmt.Sprint(solutionSet(oracle)) {
+		t.Errorf("compiled %v != oracle %v after session merge", solutionSet(res), solutionSet(oracle))
+	}
+}

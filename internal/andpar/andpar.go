@@ -170,6 +170,7 @@ func Solve(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term, 
 		res.Stats.Failures += r.Stats.Failures
 		res.Stats.DepthCutoffs += r.Stats.DepthCutoffs
 		res.Stats.Pruned += r.Stats.Pruned
+		res.Stats.VMDispatched += r.Stats.VMDispatched
 		if r.Stats.MaxFrontier > res.Stats.MaxFrontier {
 			res.Stats.MaxFrontier = r.Stats.MaxFrontier
 		}

@@ -29,6 +29,20 @@ func IsBuiltin(name string, arity int) bool {
 
 var builtins map[biKey]builtin
 
+// biArities is a dense arity bitmap indexed by builtin Sym. Builtins are
+// interned at process init, before any program text, so their Syms are
+// small and the table stays a few dozen entries. Expand probes it on
+// every goal; the map above is only consulted after a bitmap hit, so the
+// overwhelmingly common miss costs one bounds check and one load instead
+// of hashing a struct key.
+var biArities []uint8
+
+// isBuiltin is the hot-path probe: it answers "not a builtin" without
+// touching the builtins map.
+func isBuiltin(fn term.Sym, arity int) bool {
+	return int(fn) < len(biArities) && arity < 8 && biArities[fn]&(1<<arity) != 0
+}
+
 func init() {
 	entries := []struct {
 		name  string
@@ -70,8 +84,17 @@ func init() {
 		{"succ", 2, biSucc},
 	}
 	builtins = make(map[biKey]builtin, len(entries))
+	maxSym := term.Sym(0)
 	for _, e := range entries {
-		builtins[biKey{term.Intern(e.name), e.arity}] = e.fn
+		s := term.Intern(e.name)
+		builtins[biKey{s, e.arity}] = e.fn
+		if s > maxSym {
+			maxSym = s
+		}
+	}
+	biArities = make([]uint8, maxSym+1)
+	for k := range builtins {
+		biArities[k.fn] |= 1 << k.arity
 	}
 }
 

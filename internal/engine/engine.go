@@ -18,6 +18,7 @@ import (
 	"blog/internal/kb"
 	"blog/internal/term"
 	"blog/internal/unify"
+	"blog/internal/vm"
 	"blog/internal/weights"
 )
 
@@ -167,8 +168,8 @@ type NegationTabler interface {
 }
 
 // Expander expands OR-tree nodes against a database and weight store.
-// It is stateless apart from counters and safe for concurrent use when
-// Stats is nil (parallel workers keep per-worker counters instead).
+// It carries counters and the bytecode machine's scratch space, so each
+// goroutine must own its Expander (parallel workers allocate one each).
 type Expander struct {
 	DB *kb.DB
 	// Weights supplies arc weights for child bounds.
@@ -189,8 +190,15 @@ type Expander struct {
 	// search drivers check the context themselves between Expand calls;
 	// nil means no cancellation.
 	Ctx context.Context
+	// NoVM forces the tree-walking resolution path (the differential
+	// oracle), as blog.Compiled(false) and the -compiled=off flags do.
+	NoVM bool
+	// VMDispatched counts goals resolved on the compiled bytecode path.
+	VMDispatched uint64
 
-	seq uint64
+	seq  uint64
+	prog *vm.Program
+	mach vm.Machine
 }
 
 // NewExpander returns an expander with MaxDepth defaulted from the store.
@@ -235,11 +243,18 @@ func (e *Expander) Expand(n *Node) ([]*Node, error) {
 		if fn == term.SymNeg && arity == 1 {
 			return e.expandNegation(n, goal)
 		}
-		if bi, isBI := builtins[biKey{fn, arity}]; isBI {
-			return e.expandBuiltin(n, entry, goal, bi)
+		if isBuiltin(fn, arity) {
+			return e.expandBuiltin(n, entry, goal, builtins[biKey{fn, arity}])
 		}
 		if e.Tabler != nil && e.Tabler.IsTabled(fn, arity) {
 			return e.expandTabled(n, goal)
+		}
+		// Compiled path: everything the VM models was filtered out above;
+		// tree recording keeps the walker so figure labels are unchanged.
+		if !e.NoVM && !e.RecordTree && vm.Enabled {
+			if pc := e.program().Pred(fn, arity); pc != nil {
+				return e.expandCompiled(n, entry, goal, pc)
+			}
 		}
 	}
 
@@ -279,6 +294,73 @@ func (e *Expander) Expand(n *Node) ([]*Node, error) {
 		children = append(children, child)
 	}
 	return children, nil
+}
+
+// program returns the compiled program for the database, recompiling
+// when the database generation moved (a clause was asserted since).
+// Lazy attachment here, rather than in a constructor, covers every
+// Expander construction site, including struct literals.
+func (e *Expander) program() *vm.Program {
+	if e.prog == nil || e.prog.Gen() != e.DB.Generation() {
+		e.prog = vm.For(e.DB)
+	}
+	return e.prog
+}
+
+// expandCompiled is Expand's clause-resolution loop on the bytecode
+// machine: switch-on-term candidate selection, head unification on the
+// register machine, and body goals built from the registers. Candidate
+// order is clause-ID order, identical to the tree-walking path, so the
+// two engines produce the same children in the same order.
+func (e *Expander) expandCompiled(n *Node, entry GoalEntry, goal term.Term, pc *vm.PredCode) ([]*Node, error) {
+	e.VMDispatched++
+	cands := pc.Select(n.Env, goal)
+	children := make([]*Node, 0, len(cands))
+	for _, cc := range cands {
+		env, ok := e.mach.Resolve(n.Env, goal, cc, e.OccursCheck)
+		if !ok {
+			continue
+		}
+		c := cc.Clause()
+		arc := kb.Arc{Caller: entry.Caller, Pos: entry.Pos, Callee: c.ID}
+		e.seq++
+		children = append(children, &Node{
+			Goals: e.pushBody(n.Goals.Pop(), c),
+			Env:   env,
+			Chain: n.Chain.Extend(arc),
+			Bound: n.Bound + e.arcWeight(n, arc),
+			Depth: n.Depth + 1,
+			Seq:   e.seq,
+		})
+	}
+	return children, nil
+}
+
+// pushBody prepends the instantiated body of a just-resolved compiled
+// clause onto tail. It is PushGoals specialized to the machine's body
+// skeletons: the stack nodes for the whole body come from one block, so
+// a clause with k body goals costs one allocation instead of k+1. Each
+// node is a distinct addressable struct, so the persistent-list sharing
+// contract is unchanged.
+func (e *Expander) pushBody(tail *GoalStack, c *kb.Clause) *GoalStack {
+	nb := len(c.Body)
+	if nb == 0 {
+		return tail
+	}
+	base := 0
+	if tail != nil {
+		base = tail.size
+	}
+	block := make([]GoalStack, nb)
+	for i := nb - 1; i >= 0; i-- {
+		block[i] = GoalStack{
+			entry: GoalEntry{Goal: e.mach.BodyGoal(i), Caller: c.ID, Pos: i},
+			tail:  tail,
+			size:  base + nb - i,
+		}
+		tail = &block[i]
+	}
+	return tail
 }
 
 func (e *Expander) unify(env *term.Env, a, b term.Term) (*term.Env, bool) {
@@ -324,10 +406,12 @@ func (e *Expander) expandNegation(n *Node, goal term.Term) ([]*Node, error) {
 		MaxDepth:    e.MaxDepth,
 		Tabler:      e.Tabler,
 		Ctx:         e.Ctx,
+		NoVM:        e.NoVM,
 	}
 	if nt, ok := e.Tabler.(NegationTabler); ok {
 		sub.Tabler = nt.ForNegation()
 	}
+	defer func() { e.VMDispatched += sub.VMDispatched }()
 	stack := []*Node{{
 		Goals: PushGoals(nil, []GoalEntry{{Goal: inner, Caller: kb.Query, Pos: 0}}),
 		Env:   n.Env,

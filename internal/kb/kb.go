@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"blog/internal/parse"
 	"blog/internal/term"
@@ -194,7 +195,27 @@ type DB struct {
 	// is the 1-based cost-argument position of a `min(N)` answer-subsumption
 	// declaration, or 0 for plain variant tabling.
 	tabled map[predKey]int
+
+	// gen counts clause assertions. Compiled-form caches (internal/vm)
+	// pin the generation they were built from and recompile when it
+	// moves, which is how session-merged clauses reach the compiled path.
+	gen atomic.Uint64
+	// compiled holds the cached compiled program as an opaque value, so
+	// kb does not import its compiler.
+	compiled atomic.Value
 }
+
+// Generation returns the clause-assertion generation. It changes exactly
+// when Assert (or load) adds a clause.
+func (db *DB) Generation() uint64 { return db.gen.Load() }
+
+// CompiledCache returns the cached compiled program, or nil. The cache is
+// owned by internal/vm; kb only stores it so the compiled form lives and
+// dies with the database.
+func (db *DB) CompiledCache() any { return db.compiled.Load() }
+
+// SetCompiledCache stores the compiled program for this database.
+func (db *DB) SetCompiledCache(p any) { db.compiled.Store(p) }
 
 // New returns an empty database.
 func New() *DB {
@@ -343,6 +364,7 @@ func (db *DB) assert(head term.Term, body []term.Term, line int) *Clause {
 	} else {
 		db.varFirst[key] = append(db.varFirst[key], c)
 	}
+	db.gen.Add(1)
 	return c
 }
 

@@ -263,6 +263,11 @@ type proc struct {
 func newRun(m *Machine, goals []term.Term) *run {
 	r := &run{m: m, cfg: m.cfg, rep: &Report{}}
 	r.exp = engine.NewExpander(m.db, m.ws)
+	// The cycle model charges per-binding copy costs calibrated against
+	// the tree-walking engine; the bytecode VM elides bindings and would
+	// skew the simulated transfer sizes, so the simulator stays on the
+	// walker.
+	r.exp.NoVM = true
 	if m.cfg.MaxDepth > 0 {
 		r.exp.MaxDepth = m.cfg.MaxDepth
 	}

@@ -85,6 +85,8 @@ type Options struct {
 	// (internal/table) serializes production and lets workers consume
 	// completed tables lock-free.
 	Tabler engine.Tabler
+	// NoVM forces the tree-walking resolution path in every worker.
+	NoVM bool
 }
 
 // Stats aggregates counters across workers.
@@ -106,6 +108,9 @@ type Stats struct {
 	// PerWorkerExpanded records each worker's expansion count, the
 	// utilization-balance signal for experiment E5.
 	PerWorkerExpanded []uint64
+	// VMDispatched counts goals resolved on the compiled bytecode path
+	// across all workers.
+	VMDispatched uint64
 }
 
 // Result is the outcome of a parallel run.
@@ -157,6 +162,7 @@ func Run(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term, op
 		e.Ctx = ctx
 		e.OccursCheck = opt.OccursCheck
 		e.Tabler = opt.Tabler
+		e.NoVM = opt.NoVM
 		if opt.MaxDepth > 0 {
 			e.MaxDepth = opt.MaxDepth
 		}
@@ -215,6 +221,7 @@ func Run(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term, op
 		res.Stats.NetworkAcquires += w.netAcquires
 		res.Stats.LocalPops += w.localPops
 		res.Stats.Spills += w.spills
+		res.Stats.VMDispatched += w.exp.VMDispatched
 	}
 	res.Stats.Solutions = uint64(len(res.Solutions))
 	res.Exhausted = st.exhausted.Load()

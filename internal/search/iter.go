@@ -52,6 +52,7 @@ func NewIter(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term
 	exp.OccursCheck = opt.OccursCheck
 	exp.Ctx = ctx
 	exp.Tabler = opt.Tabler
+	exp.NoVM = opt.NoVM
 	if opt.MaxDepth > 0 {
 		exp.MaxDepth = opt.MaxDepth
 	}
@@ -79,7 +80,11 @@ func NewIter(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term
 func (it *Iter) QueryVars() []*term.Var { return it.queryVars }
 
 // Stats returns the work counters accumulated so far.
-func (it *Iter) Stats() Stats { return it.stats }
+func (it *Iter) Stats() Stats {
+	s := it.stats
+	s.VMDispatched = it.exp.VMDispatched
+	return s
+}
 
 // Next produces the next solution. ok is false when the search is over:
 // either exhausted (err nil) or aborted (err non-nil, e.g. ErrBudget).

@@ -75,6 +75,9 @@ type Options struct {
 	// memoized answer tables (see internal/table) instead of program
 	// clauses.
 	Tabler engine.Tabler
+	// NoVM forces the tree-walking resolution path (the differential
+	// oracle) instead of the compiled bytecode engine.
+	NoVM bool
 }
 
 // DefaultMaxExpansions stops runaway searches on cyclic programs.
@@ -89,6 +92,7 @@ type Stats struct {
 	Pruned       uint64 // chains cut by the bound
 	MaxFrontier  int    // peak open-list size
 	MaxDepth     int    // deepest chain expanded
+	VMDispatched uint64 // goals resolved on the compiled bytecode path
 }
 
 // Result is the outcome of a search run.
@@ -125,6 +129,7 @@ func Run(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term, op
 	exp.Ctx = ctx
 	exp.Tabler = opt.Tabler
 	exp.RecordTree = opt.RecordTree || opt.RecordTrace
+	exp.NoVM = opt.NoVM
 	if opt.MaxDepth > 0 {
 		exp.MaxDepth = opt.MaxDepth
 	}
@@ -135,6 +140,7 @@ func Run(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term, op
 	}
 
 	res := &Result{QueryVars: queryVars}
+	defer func() { res.Stats.VMDispatched = exp.VMDispatched }()
 	var tb *treeBuilder
 	if opt.RecordTree {
 		tb = newTreeBuilder(goals)

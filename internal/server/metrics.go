@@ -31,6 +31,11 @@ type serverMetrics struct {
 	// session queries are covered without duplicating counter state.
 	tabledQueries metrics.Counter
 
+	// vmDispatch sums goals resolved on the compiled bytecode engine
+	// across all queries, so compiled-path coverage is visible in
+	// production (zero means every query ran the tree-walking oracle).
+	vmDispatch metrics.Counter
+
 	mu      sync.Mutex
 	summary metrics.Summary
 	ring    []float64 // last ringCap latencies, ms
@@ -94,6 +99,7 @@ func (m *serverMetrics) expose(inFlight, queued, workers, queueLen, sessions int
 	line("sessions_ended_total", m.sessionsEnded.Load())
 	line("sessions_active", sessions)
 	line("tabled_queries_total", m.tabledQueries.Load())
+	line("vm_dispatch_total", m.vmDispatch.Load())
 	line("tables_created_total", tt.created)
 	line("table_answers_total", tt.answers)
 	line("table_hits_total", tt.hits)

@@ -45,6 +45,10 @@ type Config struct {
 	// DefaultStrategy names the discipline used when a request leaves
 	// strategy empty (default "best").
 	DefaultStrategy string
+	// NoVM forces the tree-walking resolution engine for every query (the
+	// daemon's -compiled=off escape hatch); per-request "compiled":false
+	// does the same for one query.
+	NoVM bool
 }
 
 func (c *Config) fill() {
@@ -261,6 +265,9 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, entry *session
 	}
 
 	opts := q.options(maxSol)
+	if s.cfg.NoVM {
+		opts = append(opts, blog.Compiled(false))
+	}
 	sessionID := ""
 	if entry != nil {
 		opts = append(opts, blog.InSession(entry.s))
@@ -286,6 +293,7 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, entry *session
 		Failures:             res.Failures,
 		Strategy:             strat.String(),
 		ElapsedMs:            elapsedMs(start),
+		VMDispatched:         res.VMDispatched,
 		Session:              sessionID,
 		TablesCreated:        res.TablesCreated,
 		TableAnswers:         res.TableAnswers,
@@ -298,6 +306,7 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, entry *session
 	for _, sol := range res.Solutions {
 		resp.Solutions = append(resp.Solutions, wireSolution(sol))
 	}
+	s.metrics.vmDispatch.Add(res.VMDispatched)
 	s.metrics.solutions.Add(uint64(len(resp.Solutions)))
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -322,7 +331,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	start := time.Now()
-	it, err := s.program.IterContext(ctx, q.Goal, strat, q.options(maxSol)...)
+	opts := q.options(maxSol)
+	if s.cfg.NoVM {
+		opts = append(opts, blog.Compiled(false))
+	}
+	it, err := s.program.IterContext(ctx, q.Goal, strat, opts...)
 	if err != nil {
 		// Everything rejected here is a request shape problem (parallel
 		// strategy, AND-parallel, recording) — the goal already parsed.
@@ -350,11 +363,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		sol, more, err := it.Next()
 		if !more {
 			st := it.Stats()
+			s.metrics.vmDispatch.Add(st.VMDispatched)
 			final := StreamEvent{
 				Done:                 true,
 				Exhausted:            it.Exhausted(),
 				Solutions:            served,
 				Expanded:             st.Expanded,
+				VMDispatched:         st.VMDispatched,
 				TablesCreated:        st.TablesCreated,
 				TableAnswers:         st.TableAnswers,
 				TableHits:            st.TableHits,

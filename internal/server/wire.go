@@ -55,6 +55,10 @@ type QueryRequest struct {
 	// terminate with the true minimum). Programs without table
 	// declarations run unchanged.
 	Tabled bool `json:"tabled,omitempty"`
+	// Compiled selects the resolution engine: absent or true runs the
+	// compiled bytecode VM (unless the server forces the tree-walker);
+	// false forces the tree-walking oracle engine for this query.
+	Compiled *bool `json:"compiled,omitempty"`
 }
 
 // options translates the request into blog query options.
@@ -87,6 +91,9 @@ func (q *QueryRequest) options(maxSolutions int) []blog.Option {
 	if q.Tabled {
 		opts = append(opts, blog.Tabled())
 	}
+	if q.Compiled != nil && !*q.Compiled {
+		opts = append(opts, blog.Compiled(false))
+	}
 	return opts
 }
 
@@ -114,6 +121,9 @@ type QueryResponse struct {
 	Failures  uint64  `json:"failures"`
 	Strategy  string  `json:"strategy"`
 	ElapsedMs float64 `json:"elapsed_ms"`
+	// VMDispatched counts goals this query resolved on the compiled
+	// bytecode engine (absent when the tree-walking oracle ran).
+	VMDispatched uint64 `json:"vm_dispatched,omitempty"`
 	// Session echoes the session id on session-scoped queries.
 	Session string `json:"session,omitempty"`
 	// Tabled-resolution counters, present on tabled:true queries: tables
@@ -141,7 +151,9 @@ type StreamEvent struct {
 	Exhausted bool      `json:"exhausted,omitempty"`
 	Solutions int       `json:"solutions,omitempty"`
 	Expanded  uint64    `json:"expanded,omitempty"`
-	Error     string    `json:"error,omitempty"`
+	// VMDispatched counts compiled-path goal resolutions (terminal line).
+	VMDispatched uint64 `json:"vm_dispatched,omitempty"`
+	Error        string `json:"error,omitempty"`
 	// Tabled-resolution counters on the terminal line of tabled:true
 	// streams; see QueryResponse.
 	TablesCreated        uint64 `json:"tables_created,omitempty"`

@@ -116,6 +116,10 @@ type Request struct {
 	PruneSlack  float64
 	OccursCheck bool
 
+	// NoVM forces the tree-walking resolution path (the differential
+	// oracle) instead of the compiled bytecode engine.
+	NoVM bool
+
 	// Tables switches on tabled resolution: predicates declared
 	// `:- table name/arity` resolve against this answer-table space
 	// (memoized, deduplicated, complete answer sets) instead of program
@@ -146,6 +150,9 @@ type Stats struct {
 	Pruned       uint64
 	MaxFrontier  int
 	MaxDepth     int
+	// VMDispatched counts goals resolved on the compiled bytecode path
+	// (zero when the run forced the tree-walking oracle).
+	VMDispatched uint64
 
 	// OR-parallel network counters.
 	Migrations        uint64
@@ -284,6 +291,7 @@ func NewIter(ctx context.Context, req *Request) (*search.Iter, *table.Handle, er
 		PruneSlack:    req.PruneSlack,
 		OccursCheck:   req.OccursCheck,
 		Tabler:        tb,
+		NoVM:          req.NoVM,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -302,6 +310,9 @@ func tabler(req *Request) (*table.Handle, engine.Tabler) {
 	// Production honors the query's depth bound when it exceeds the
 	// space default, so MaxDepth means the same thing tabled or not.
 	h.SetMaxDepth(req.MaxDepth)
+	// An oracle run must be oracle all the way down: table generators
+	// follow the query's engine choice.
+	h.SetNoVM(req.NoVM)
 	return h, h
 }
 
@@ -342,6 +353,7 @@ func (Sequential) Solve(ctx context.Context, req *Request) (*Response, error) {
 		PruneSlack:    req.PruneSlack,
 		OccursCheck:   req.OccursCheck,
 		Tabler:        tb,
+		NoVM:          req.NoVM,
 		RecordTree:    req.RecordTree,
 		RecordTrace:   req.RecordTrace,
 	})
@@ -359,6 +371,7 @@ func (Sequential) Solve(ctx context.Context, req *Request) (*Response, error) {
 			Pruned:       sres.Stats.Pruned,
 			MaxFrontier:  sres.Stats.MaxFrontier,
 			MaxDepth:     sres.Stats.MaxDepth,
+			VMDispatched: sres.Stats.VMDispatched,
 		},
 		Exhausted: sres.Exhausted,
 		Tree:      sres.Tree,
@@ -390,6 +403,7 @@ func (ORParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 		MaxDepth:      req.MaxDepth,
 		OccursCheck:   req.OccursCheck,
 		Tabler:        tb,
+		NoVM:          req.NoVM,
 	})
 	if err != nil {
 		return nil, err
@@ -410,6 +424,7 @@ func (ORParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 			LocalPops:         pres.Stats.LocalPops,
 			Spills:            pres.Stats.Spills,
 			PerWorkerExpanded: pres.Stats.PerWorkerExpanded,
+			VMDispatched:      pres.Stats.VMDispatched,
 		},
 		Exhausted: pres.Exhausted,
 	}
@@ -439,6 +454,7 @@ func (ANDParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 			PruneSlack:    req.PruneSlack,
 			OccursCheck:   req.OccursCheck,
 			Tabler:        tb,
+			NoVM:          req.NoVM,
 		},
 		Parallel:     true,
 		MaxSolutions: req.MaxSolutions,
@@ -457,6 +473,7 @@ func (ANDParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 			Pruned:         ares.Stats.Pruned,
 			MaxFrontier:    ares.Stats.MaxFrontier,
 			MaxDepth:       ares.Stats.MaxDepth,
+			VMDispatched:   ares.Stats.VMDispatched,
 			Groups:         ares.GroupCount,
 			GroupSolutions: ares.GroupSolutions,
 		},

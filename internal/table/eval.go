@@ -82,6 +82,9 @@ type eval struct {
 	ws       weights.Store
 	maxDepth int
 	budget   uint64
+	// noVM pins generator expansion to the tree-walking engine (the
+	// handle's SetNoVM), keeping NoVM query runs oracle end to end.
+	noVM bool
 }
 
 // maxFrame means "reached no in-progress production".
@@ -107,6 +110,9 @@ func newEval(s *Space, h *Handle, ctx context.Context) *eval {
 	// way the untabled engine does.
 	if h != nil && h.maxDepth > ev.maxDepth {
 		ev.maxDepth = h.maxDepth
+	}
+	if h != nil {
+		ev.noVM = h.noVM
 	}
 	return ev
 }
@@ -232,12 +238,14 @@ func (ev *eval) runGenerator(t *Table) error {
 		MaxDepth: ev.maxDepth,
 		Tabler:   ev,
 		Ctx:      ev.ctx,
+		NoVM:     ev.noVM,
 	}
 	progExp := &engine.Expander{
 		DB:       ev.space.db,
 		Weights:  ev.ws,
 		MaxDepth: ev.maxDepth,
 		Ctx:      ev.ctx,
+		NoVM:     ev.noVM,
 	}
 	if ev.steps++; ev.steps > ev.budget {
 		return ErrBudget

@@ -1,0 +1,171 @@
+package vm
+
+import (
+	"blog/internal/term"
+	"blog/internal/unify"
+)
+
+// cursor walks one compound's argument list during head matching.
+type cursor struct {
+	args []term.Term
+	i    int
+}
+
+// Machine is the per-engine emulator scratch: a register file over the
+// current clause's variable slots plus the argument cursor stack. It is
+// owned by exactly one Expander (parallel workers each own one), so a
+// Machine is never shared between goroutines.
+type Machine struct {
+	regs  []term.Term
+	frame *term.Frame
+	cc    *CClause
+	stack []cursor
+}
+
+// Resolve runs the clause's head code against a resolved goal under env.
+// On success it returns the extended environment; the register file then
+// holds the activation (captured goal subterms and any fresh variables)
+// for BodyGoal to build body goals from. Each Resolve call resets the
+// machine, so candidates must have their body goals built before the
+// next candidate is tried.
+func (m *Machine) Resolve(env *term.Env, goal term.Term, cc *CClause, oc bool) (*term.Env, bool) {
+	m.cc = cc
+	m.frame = nil
+	if cap(m.regs) < cc.nslots {
+		m.regs = make([]term.Term, cc.nslots)
+	} else {
+		m.regs = m.regs[:cc.nslots]
+		for i := range m.regs {
+			m.regs[i] = nil
+		}
+	}
+	m.stack = m.stack[:0]
+	if gc, ok := goal.(*term.Compound); ok {
+		m.stack = append(m.stack, cursor{args: gc.Args})
+	}
+	code := cc.code
+	for pc := 0; pc < len(code); pc++ {
+		ins := &code[pc]
+		arg := m.next(env)
+		switch ins.op {
+		case opConst:
+			c := cc.pool[ins.idx]
+			switch a := arg.(type) {
+			case *term.Var:
+				// The constant is ground, so the bind passes any
+				// occurs check trivially.
+				env = env.Bind(a, c)
+			case term.Atom:
+				if ca, ok := c.(term.Atom); !ok || ca != a {
+					return env, false
+				}
+			case term.Int:
+				if ci, ok := c.(term.Int); !ok || ci != a {
+					return env, false
+				}
+			default:
+				// Ground compound constant vs a (possibly partially
+				// bound) compound argument: full unify decides. The
+				// constant side is ground, so no occurs check applies.
+				var ok bool
+				if env, ok = unify.Unify(env, arg, c); !ok {
+					return env, false
+				}
+			}
+		case opVarF:
+			m.regs[ins.idx] = arg
+		case opVarR:
+			var ok bool
+			if oc {
+				env, ok = unify.UnifyOC(env, arg, m.regs[ins.idx])
+			} else {
+				env, ok = unify.Unify(env, arg, m.regs[ins.idx])
+			}
+			if !ok {
+				return env, false
+			}
+		case opStruct:
+			switch a := arg.(type) {
+			case *term.Compound:
+				if a.Functor != ins.fn || len(a.Args) != int(ins.n) {
+					return env, false
+				}
+				m.stack = append(m.stack, cursor{args: a.Args})
+			case *term.Var:
+				// Write mode: instantiate the whole sub-skeleton (which
+				// fills first-occurrence registers with fresh variables),
+				// bind the goal variable to it, and skip the subtree's
+				// instructions.
+				inst := m.inst(&cc.skels[ins.idx])
+				if oc {
+					// A captured register inside inst may embed the
+					// goal variable itself; route through the checked
+					// unifier.
+					var ok bool
+					if env, ok = unify.UnifyOC(env, a, inst); !ok {
+						return env, false
+					}
+				} else {
+					env = env.Bind(a, inst)
+				}
+				pc += int(ins.skip)
+			default:
+				return env, false
+			}
+		}
+	}
+	return env, true
+}
+
+// next consumes the next argument position in cursor order, resolved
+// under env. The compiler guarantees one consuming instruction per
+// argument position, so the stack never underflows.
+func (m *Machine) next(env *term.Env) term.Term {
+	top := &m.stack[len(m.stack)-1]
+	for top.i >= len(top.args) {
+		m.stack = m.stack[:len(m.stack)-1]
+		top = &m.stack[len(m.stack)-1]
+	}
+	a := top.args[top.i]
+	top.i++
+	return env.Resolve(a)
+}
+
+// reg returns the term held by a slot, minting the activation's fresh
+// variable for a slot never captured from the goal. The frame is minted
+// lazily, at most once per activation, and covers every slot so print
+// names and slot indexes line up with the tree-walking activation.
+func (m *Machine) reg(slot int32) term.Term {
+	if t := m.regs[slot]; t != nil {
+		return t
+	}
+	if m.frame == nil {
+		m.frame = term.NewFrame(m.cc.names)
+	}
+	v := m.frame.Var(int(slot))
+	m.regs[slot] = v
+	return v
+}
+
+// inst builds a term from a compiled skeleton over the register file:
+// ground nodes are shared verbatim, slots resolve through reg.
+func (m *Machine) inst(s *snode) term.Term {
+	switch s.kind {
+	case sGround:
+		return s.ground
+	case sSlot:
+		return m.reg(s.slot)
+	default:
+		args := make([]term.Term, len(s.args))
+		for i := range s.args {
+			args[i] = m.inst(&s.args[i])
+		}
+		return &term.Compound{Functor: s.fn, Args: args}
+	}
+}
+
+// BodyGoal builds the i-th body goal of the clause most recently resolved
+// by this machine, over its register file.
+func (m *Machine) BodyGoal(i int) term.Term {
+	return m.inst(&m.cc.body[i])
+}

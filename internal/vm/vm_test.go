@@ -1,0 +1,197 @@
+package vm
+
+import (
+	"testing"
+
+	"blog/internal/kb"
+	"blog/internal/parse"
+	"blog/internal/term"
+)
+
+// emptyEnv is the nil empty environment.
+var emptyEnv *term.Env
+
+func load(t *testing.T, src string) *kb.DB {
+	t.Helper()
+	db, _, err := kb.LoadString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func goal(t *testing.T, src string) term.Term {
+	t.Helper()
+	gs, err := parse.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gs[0]
+}
+
+func TestDispatchBuckets(t *testing.T) {
+	db := load(t, `
+		f(a, 1). f(b, 2). f(X, 0). f(b, 3).
+	`)
+	p := Compile(db)
+	pc := p.Pred(term.Intern("f"), 2)
+	if pc == nil {
+		t.Fatal("no code for f/2")
+	}
+	if len(pc.all) != 4 {
+		t.Fatalf("all = %d clauses, want 4", len(pc.all))
+	}
+	env := emptyEnv
+
+	// Bound first argument with a key: premerged bucket in clause order.
+	sel := pc.Select(env, goal(t, "f(b, N)"))
+	if len(sel) != 3 { // f(b,2), f(X,0), f(b,3)
+		t.Fatalf("Select(f(b,N)) = %d clauses, want 3", len(sel))
+	}
+	for i := 1; i < len(sel); i++ {
+		if sel[i].c.ID < sel[i-1].c.ID {
+			t.Fatal("bucket not in clause-ID order")
+		}
+	}
+
+	// Bound argument with no matching key: only the variable-first clause.
+	sel = pc.Select(env, goal(t, "f(zzz, N)"))
+	if len(sel) != 1 {
+		t.Fatalf("Select(f(zzz,N)) = %d clauses, want 1", len(sel))
+	}
+
+	// Unbound first argument: the full list.
+	sel = pc.Select(env, goal(t, "f(X, N)"))
+	if len(sel) != 4 {
+		t.Fatalf("Select(f(X,N)) = %d clauses, want 4", len(sel))
+	}
+}
+
+func TestDispatchAllVariableHeads(t *testing.T) {
+	db := load(t, `eq(X, X).`)
+	pc := Compile(db).Pred(term.Intern("eq"), 2)
+	if pc.buckets != nil {
+		t.Error("all-variable heads must not build a dispatch table")
+	}
+	if got := pc.Select(emptyEnv, goal(t, "eq(a, B)")); len(got) != 1 {
+		t.Fatalf("Select = %d clauses, want 1", len(got))
+	}
+}
+
+// TestChainRuleCapturesRegister: p(X) :- q(X) activates by capturing the
+// goal argument into a register — the environment is untouched and the
+// body goal carries the caller's argument directly.
+func TestChainRuleCapturesRegister(t *testing.T) {
+	db := load(t, `p(X) :- q(X).`)
+	pc := Compile(db).Pred(term.Intern("p"), 1)
+	env := emptyEnv
+	var m Machine
+	env2, ok := m.Resolve(env, goal(t, "p(sam)"), pc.all[0], false)
+	if !ok {
+		t.Fatal("head must match")
+	}
+	if env2 != env {
+		t.Error("register capture must not extend the environment")
+	}
+	if got := m.BodyGoal(0).String(); got != "q(sam)" {
+		t.Errorf("body goal = %s, want q(sam)", got)
+	}
+}
+
+// TestWriteModeInstantiates: head f(g(X), X) against goal f(V, a) takes
+// write mode on the first argument (V unbound), minting g(_) and binding
+// V; the second argument then grounds the fresh variable to a.
+func TestWriteModeInstantiates(t *testing.T) {
+	db := load(t, `f(g(X), X).`)
+	pc := Compile(db).Pred(term.Intern("f"), 2)
+	g := goal(t, "f(V, a)").(*term.Compound)
+	v := g.Args[0].(*term.Var)
+	var m Machine
+	env, ok := m.Resolve(emptyEnv, g, pc.all[0], false)
+	if !ok {
+		t.Fatal("head must match")
+	}
+	if got := env.ResolveDeep(v).String(); got != "g(a)" {
+		t.Errorf("V = %s, want g(a)", got)
+	}
+}
+
+// TestWriteModeOccursCheck: head p(X, f(X)) against goal p(V, V) embeds
+// the goal variable in its own write-mode image; the checked unifier must
+// reject it while the rational-tree default accepts.
+func TestWriteModeOccursCheck(t *testing.T) {
+	db := load(t, `p(X, f(X)).`)
+	pc := Compile(db).Pred(term.Intern("p"), 2)
+	var m Machine
+	if _, ok := m.Resolve(emptyEnv, goal(t, "p(V, V)"), pc.all[0], true); ok {
+		t.Error("occurs check must reject V = f(V)")
+	}
+	if _, ok := m.Resolve(emptyEnv, goal(t, "p(V, V)"), pc.all[0], false); !ok {
+		t.Error("rational-tree unification must accept V = f(V)")
+	}
+}
+
+// TestGroundCompoundPool: a ground compound argument compiles to one
+// pooled constant, binds an unbound goal variable directly, and unifies
+// against partially bound compounds.
+func TestGroundCompoundPool(t *testing.T) {
+	db := load(t, `wants(point(1, 2)).`)
+	pc := Compile(db).Pred(term.Intern("wants"), 1)
+	if cc := pc.all[0]; len(cc.code) != 1 || cc.code[0].op != opConst {
+		t.Fatalf("ground compound must compile to a single opConst, got %d instrs", len(cc.code))
+	}
+	g := goal(t, "wants(P)").(*term.Compound)
+	var m Machine
+	env, ok := m.Resolve(emptyEnv, g, pc.all[0], false)
+	if !ok {
+		t.Fatal("head must match")
+	}
+	if got := env.ResolveDeep(g.Args[0]).String(); got != "point(1,2)" {
+		t.Errorf("P = %s, want point(1,2)", got)
+	}
+	if _, ok := m.Resolve(emptyEnv, goal(t, "wants(point(1, 3))"), pc.all[0], false); ok {
+		t.Error("mismatched ground compound must fail")
+	}
+}
+
+// TestRepeatVarUnifies: head same(X, X) must unify its two goal
+// arguments with each other.
+func TestRepeatVarUnifies(t *testing.T) {
+	db := load(t, `same(X, X).`)
+	pc := Compile(db).Pred(term.Intern("same"), 2)
+	g := goal(t, "same(a, B)").(*term.Compound)
+	var m Machine
+	env, ok := m.Resolve(emptyEnv, g, pc.all[0], false)
+	if !ok {
+		t.Fatal("head must match")
+	}
+	if got := env.ResolveDeep(g.Args[1]).String(); got != "a" {
+		t.Errorf("B = %s, want a", got)
+	}
+	if _, ok := m.Resolve(emptyEnv, goal(t, "same(a, b)"), pc.all[0], false); ok {
+		t.Error("same(a, b) must fail")
+	}
+}
+
+// TestForRecompilesOnAssert: the cached program is pinned to the database
+// generation; asserting a clause must make the next For call recompile
+// with the new clause visible (the dispatch-invalidation contract).
+func TestForRecompilesOnAssert(t *testing.T) {
+	db := load(t, `f(a, 1).`)
+	p1 := For(db)
+	if p2 := For(db); p2 != p1 {
+		t.Fatal("unchanged database must reuse the cached program")
+	}
+	db.Assert(goal(t, "f(b, 2)"), nil)
+	p3 := For(db)
+	if p3 == p1 {
+		t.Fatal("assert must invalidate the compiled program")
+	}
+	pc := p3.Pred(term.Intern("f"), 2)
+	if len(pc.all) != 2 {
+		t.Fatalf("recompiled f/2 has %d clauses, want 2", len(pc.all))
+	}
+	if got := pc.Select(emptyEnv, goal(t, "f(b, N)")); len(got) != 1 {
+		t.Fatalf("Select(f(b,N)) = %d clauses after assert, want 1", len(got))
+	}
+}
