@@ -238,6 +238,7 @@ type queryOpts struct {
 	andParallel   bool
 	tabled        bool
 	noVM          bool
+	noTrail       bool
 }
 
 // MaxSolutions stops the search after n solutions (0 = all).
@@ -311,6 +312,14 @@ func AndParallel() Option { return func(o *queryOpts) { o.andParallel = true } }
 // the differential oracle and the -compiled=off escape hatch.
 func Compiled(on bool) Option { return func(o *queryOpts) { o.noVM = !on } }
 
+// TrailStore selects the sequential-DFS binding representation: on (the
+// default) runs one destructive trail-disciplined store with undo on
+// backtrack; TrailStore(false) forces the persistent immutable Env
+// chains, kept as the differential oracle. Strategies other than DFS
+// always use Env — their frontiers need persistence — so the option only
+// affects DFS runs; Result.Representation reports which one ran.
+func TrailStore(on bool) Option { return func(o *queryOpts) { o.noTrail = !on } }
+
 // RecordTree records the search tree (Result.Tree); sequential only.
 func RecordTree() Option { return func(o *queryOpts) { o.recordTree = true } }
 
@@ -360,6 +369,11 @@ type Result struct {
 	// VMDispatched counts goals resolved on the compiled bytecode engine
 	// (zero under Compiled(false) or BLOG_COMPILED=off).
 	VMDispatched uint64
+	// Representation names the binding representation that ran:
+	// "trail-store" (destructive store with undo; the sequential DFS
+	// default) or "persistent-env" (immutable environment chains; every
+	// other strategy, and DFS under TrailStore(false)).
+	Representation string
 	// Groups is the independent-group count of an AndParallel run.
 	Groups int
 	// Tabled-resolution counters (Tabled() runs only): tables this query
@@ -457,6 +471,7 @@ func (p *Program) request(goals []term.Term, strat Strategy, o queryOpts, store 
 		PruneSlack:    o.pruneSlack,
 		OccursCheck:   o.occursCheck,
 		NoVM:          o.noVM,
+		NoTrail:       o.noTrail,
 		Workers:       o.workers,
 		TwoLevel:      o.twoLevel,
 		D:             o.d,
@@ -476,6 +491,7 @@ func resultFrom(resp *solve.Response) *Result {
 		Trace:                resp.Trace,
 		Migrations:           resp.Stats.Migrations,
 		VMDispatched:         resp.Stats.VMDispatched,
+		Representation:       resp.Stats.Representation,
 		Groups:               resp.Stats.Groups,
 		TablesCreated:        resp.Stats.TablesCreated,
 		TableAnswers:         resp.Stats.TableAnswers,
@@ -571,6 +587,9 @@ type IterStats struct {
 	Pruned    uint64
 	// VMDispatched counts goals resolved on the compiled bytecode engine.
 	VMDispatched uint64
+	// Representation names the binding representation running the stream;
+	// see Result.Representation.
+	Representation string
 	// Tabled-resolution counters (Tabled() streams only); see Result.
 	TablesCreated        uint64
 	TableAnswers         uint64
@@ -584,7 +603,7 @@ type IterStats struct {
 // Stats returns the counters accumulated by the iterator so far.
 func (s *SolutionIter) Stats() IterStats {
 	st := s.inner.Stats()
-	out := IterStats{Expanded: st.Expanded, Generated: st.Generated, Failures: st.Failures, Pruned: st.Pruned, VMDispatched: st.VMDispatched}
+	out := IterStats{Expanded: st.Expanded, Generated: st.Generated, Failures: st.Failures, Pruned: st.Pruned, VMDispatched: st.VMDispatched, Representation: st.Representation}
 	if s.tables != nil {
 		ts := s.tables.Stats()
 		out.TablesCreated = ts.Created

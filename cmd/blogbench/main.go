@@ -9,6 +9,7 @@
 //	blogbench -exp E1,E4         # run selected experiments
 //	blogbench -list              # list experiment ids
 //	blogbench -bench-json FILE   # run exhibit benchmarks, write FILE (e.g. BENCH.json)
+//	blogbench -exp E1 -cpuprofile cpu.out   # profile a run (go tool pprof cpu.out)
 package main
 
 import (
@@ -17,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"blog/internal/experiments"
@@ -28,34 +31,71 @@ func main() {
 		list       = flag.Bool("list", false, "list experiments and exit")
 		benchJSON  = flag.String("bench-json", "", "run the exhibit benchmarks and write machine-readable results to this file")
 		benchLabel = flag.String("bench-label", "working tree", "label recorded with -bench-json results")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	os.Exit(run(*exp, *list, *benchJSON, *benchLabel, *cpuProfile, *memProfile))
+}
 
-	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *benchLabel); err != nil {
-			fmt.Fprintf(os.Stderr, "blogbench: bench-json failed: %v\n", err)
-			os.Exit(1)
+// run holds the whole tool body so the profile-flushing defers execute on
+// every exit path (os.Exit in main would skip them).
+func run(exp string, list bool, benchJSON, benchLabel, cpuProfile, memProfile string) int {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blogbench: %v\n", err)
+			return 1
 		}
-		return
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "blogbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if memProfile != "" {
+		defer func() {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "blogbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not garbage awaiting collection
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "blogbench: memprofile: %v\n", err)
+			}
+		}()
 	}
 
-	if *list {
+	if benchJSON != "" {
+		if err := runBenchJSON(benchJSON, benchLabel); err != nil {
+			fmt.Fprintf(os.Stderr, "blogbench: bench-json failed: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	if list {
 		for _, r := range experiments.All() {
 			fmt.Printf("%-3s %s\n", r.ID, r.Desc)
 		}
-		return
+		return 0
 	}
 
 	var runners []experiments.Runner
-	if *exp == "all" {
+	if exp == "all" {
 		runners = experiments.All()
 	} else {
-		for _, id := range strings.Split(*exp, ",") {
+		for _, id := range strings.Split(exp, ",") {
 			id = strings.TrimSpace(id)
 			r, ok := experiments.ByID(id)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "blogbench: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			runners = append(runners, r)
 		}
@@ -74,7 +114,7 @@ func main() {
 	for i, r := range runners {
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "blogbench: interrupted")
-			os.Exit(130)
+			return 130
 		}
 		if i > 0 {
 			fmt.Println()
@@ -82,7 +122,8 @@ func main() {
 		fmt.Printf("=== %s: %s ===\n", r.ID, r.Desc)
 		if err := r.Run(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "blogbench: %s failed: %v\n", r.ID, err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }

@@ -1,0 +1,858 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+
+	"blog/internal/kb"
+	"blog/internal/term"
+	"blog/internal/unify"
+	"blog/internal/vm"
+	"blog/internal/weights"
+)
+
+// This file is the destructive-binding twin of the Expander/search.Run
+// pair: a resumable depth-first machine over one term.Store with a trail
+// mark per choice point, instead of a frontier of persistent Nodes. It
+// visits nodes in exactly the order sequential DFS visits them and keeps
+// the same work counters at every arrival, so the persistent-Env DFS
+// remains its differential oracle (search.Options.NoTrail selects it).
+//
+// The machine is "arrival"-driven: arriving at a node runs the same
+// sequence search.Run runs on a popped node — context, prune, solution,
+// budget, depth, dispatch — then either descends into the first matching
+// alternative (pushing a choice point) or backtracks: undo the trail to
+// the innermost choice point's mark, recycle its activation frame and
+// goal-stack block, and try its next alternative.
+
+// TrailConfig configures one TrailRun. DB, Weights and Ctx follow the
+// Expander fields of the same names.
+type TrailConfig struct {
+	DB          *kb.DB
+	Weights     weights.Store
+	OccursCheck bool
+	// MaxDepth bounds chain length in arcs; <=0 means the weight store's
+	// A constant.
+	MaxDepth int
+	Tabler   Tabler
+	Ctx      context.Context
+	NoVM     bool
+	// Learn applies the weight update rules as chains complete. It also
+	// switches per-candidate arc weights to eager capture at choice-point
+	// creation, because lazily computed weights would see the updates made
+	// while earlier siblings ran — the persistent engine fixes child
+	// bounds at generation time.
+	Learn      bool
+	Prune      bool
+	PruneSlack float64
+	// MaxExpansions bounds arrivals at non-solution nodes; 0 means no
+	// bound. BudgetErr is returned when it is hit.
+	MaxExpansions uint64
+	BudgetErr     error
+	// RootBypassTabler makes the first dispatched goal resolve against
+	// program clauses even when its predicate is tabled — how a table
+	// generator derives answers for its own pattern instead of consuming
+	// itself.
+	RootBypassTabler bool
+	// StepHook, when set, runs once per non-solution arrival, before the
+	// expansion is counted; a non-nil return aborts the run with that
+	// error. Table generators meter their derivation budget through it.
+	StepHook func() error
+}
+
+// TrailStats mirrors the search-level work counters for a trail run.
+// MaxChoicePoints is the peak choice-point stack depth — the trail
+// analogue of the open-list high-water mark.
+type TrailStats struct {
+	Expanded        uint64
+	Generated       uint64
+	Failures        uint64
+	DepthCutoffs    uint64
+	Pruned          uint64
+	MaxDepth        int
+	MaxChoicePoints int
+	VMDispatched    uint64
+}
+
+// errTrailBudget is the fallback when MaxExpansions is hit without a
+// configured BudgetErr.
+var errTrailBudget = errors.New("engine: trail run expansion budget exhausted")
+
+// trailShared is the state a run shares with its nested negation runs:
+// one store, one frame pool, one goal-block pool, one bytecode machine
+// and one compiled program. Negation sub-searches run on the same store
+// under a mark, exactly as the persistent engine's nested search runs on
+// the same Env.
+type trailShared struct {
+	st     *term.Store
+	pool   term.FramePool
+	cpool  term.CompoundPool
+	blocks goalBlockPool
+	mach   vm.Machine
+	prog   *vm.Program
+
+	// Direct-mapped predicate-code cache in front of prog's map lookup;
+	// see predCode.
+	pcCache   [pcCacheSize]pcCacheEntry
+	cacheProg *vm.Program
+
+	// progDB is the database prog was compiled from. Recycled scratch can
+	// carry a program whose generation number coincides with a different
+	// database's; getShared compares the database identity, not just the
+	// generation, before trusting it.
+	progDB *kb.DB
+
+	// spareCPs and spareChain hold the previous run's stack capacities
+	// (contents dead, not zeroed — pushCP and takeAlt overwrite every
+	// field they read) so the next run starts at steady-state capacity.
+	spareCPs   []choicePoint
+	spareChain []kb.Arc
+}
+
+// sharedPool recycles trailShared scratch across runs. A recycled scratch
+// arrives with warm frame/compound/goal-block free lists and — when the
+// run is over the same database — a warm predicate-code cache, so repeated
+// queries skip both the pool ramp-up and the per-dispatch map lookups of a
+// cold cache.
+var sharedPool = sync.Pool{New: func() any { return new(trailShared) }}
+
+func getShared(db *kb.DB) *trailShared {
+	sh := sharedPool.Get().(*trailShared)
+	if sh.st == nil {
+		sh.st = term.NewStore()
+	} else {
+		sh.st.Reset()
+	}
+	sh.mach.Pool = &sh.pool
+	sh.mach.CPool = &sh.cpool
+	if sh.progDB != db {
+		sh.prog = nil
+		sh.cacheProg = nil
+		sh.progDB = db
+	}
+	return sh
+}
+
+// Release returns the run's pooled scratch — store discarded, frame,
+// compound and goal-block free lists plus the predicate-code cache kept —
+// for reuse by later runs. Call it once the run is over and every needed
+// solution has been extracted (solutions and table answers are detached
+// copies, so they survive). After Release the run is dead: Next reports
+// the terminal state, Stats and Exhausted stay valid, but extract paths
+// must not be used. Skipping Release is safe — the scratch is then simply
+// garbage collected with the run.
+func (r *TrailRun) Release() {
+	sh := r.sh
+	if sh == nil {
+		return
+	}
+	r.sh = nil
+	r.env = nil
+	r.mode = trailDone
+	// Every compound still logged belongs to a branch of the dead run;
+	// recycling the lot seeds the free lists for the next run.
+	sh.cpool.Release(0)
+	sh.spareCPs = r.cps[:0]
+	sh.spareChain = r.chain[:0]
+	r.cps = nil
+	r.chain = nil
+	sharedPool.Put(sh)
+}
+
+// pcCacheSize is the predicate-code cache size; a power of two so the
+// index mask is one AND. Sized to hold a few hundred predicates — the
+// cache lives in the recycled scratch, so the footprint is paid once per
+// pooled scratch, not per run.
+const pcCacheSize = 256
+
+type pcCacheEntry struct {
+	fn    term.Sym
+	arity int32
+	valid bool
+	pc    *vm.PredCode
+}
+
+// goalBlockPool recycles the single-block []GoalStack allocations that
+// back clause-body pushes (see Expander.pushBody), keyed by body length.
+// Blocks die at backtrack, with the frames of the same activation.
+type goalBlockPool struct {
+	bySize [][][]GoalStack
+}
+
+func (p *goalBlockPool) get(n int) []GoalStack {
+	if n < len(p.bySize) {
+		if l := p.bySize[n]; len(l) > 0 {
+			b := l[len(l)-1]
+			l[len(l)-1] = nil
+			p.bySize[n] = l[:len(l)-1]
+			return b
+		}
+	}
+	return make([]GoalStack, n)
+}
+
+func (p *goalBlockPool) put(b []GoalStack) {
+	n := len(b)
+	if n == 0 {
+		return
+	}
+	for n >= len(p.bySize) {
+		p.bySize = append(p.bySize, nil)
+	}
+	p.bySize[n] = append(p.bySize[n], b)
+}
+
+type cpKind uint8
+
+const (
+	cpVM cpKind = iota
+	cpKB
+	cpDeltas
+)
+
+// choicePoint is one open OR-branch: the goal being resolved, the state
+// to restore before trying the next alternative, the untried candidate
+// list, and the pooled resources of the alternative currently taken.
+type choicePoint struct {
+	kind     cpKind
+	entry    GoalEntry
+	goal     term.Term  // resolved goal; stable across alternatives
+	tail     *GoalStack // pending goals minus the one being resolved
+	mark     int        // trail mark to undo to
+	compMark int        // compound-pool mark to release to
+	chainLen int
+	depth    int
+	bound    float64
+
+	vmCands []*vm.CClause
+	kbCands []*kb.Clause
+	alts    [][]term.Binding
+	// weights holds per-candidate arc weights captured eagerly under
+	// Learn (see TrailConfig.Learn); nil means compute lazily.
+	weights []float64
+	next    int
+
+	// Pooled resources of the currently taken alternative, released when
+	// backtracking revisits this choice point.
+	frame *term.Frame
+	block []GoalStack
+}
+
+const (
+	trailArrive uint8 = iota
+	trailBacktrack
+	trailDone
+)
+
+// TrailRun is a resumable sequential DFS over a destructive binding
+// store. Next yields solutions one at a time; the caller owns solution
+// caps and stops calling when satisfied.
+type TrailRun struct {
+	cfg TrailConfig
+	sh  *trailShared
+	ctx context.Context
+	env *term.Env // the store's distinguished node
+
+	maxDepth int
+	maxExp   uint64
+
+	goals *GoalStack
+	depth int
+	bound float64
+	chain []kb.Arc
+	cps   []choicePoint
+
+	queryVars []*term.Var
+	fresh     map[*term.Var]*term.Var // original -> refreshed query var
+
+	stats     TrailStats
+	bestBound float64
+	haveBest  bool
+	mode      uint8
+	err       error
+	exhausted bool
+	// rootBypass is TrailConfig.RootBypassTabler, consumed by the first
+	// dispatch.
+	rootBypass bool
+}
+
+// NewTrailRun prepares a trail-store DFS for goals. The goals are renamed
+// apart on entry (shared variables stay shared): the run binds
+// destructively into the frames its goal terms reach, and the caller's
+// terms — often parse-time structures reused across queries — must never
+// be written. Solutions report bindings under the original variables.
+func NewTrailRun(cfg TrailConfig, goals []term.Term) *TrailRun {
+	if cfg.Ctx == nil {
+		cfg.Ctx = context.Background()
+	}
+	maxDepth := cfg.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = cfg.Weights.Config().A
+	}
+	maxExp := cfg.MaxExpansions
+	if maxExp == 0 {
+		maxExp = math.MaxUint64
+	}
+	var queryVars []*term.Var
+	for _, g := range goals {
+		queryVars = term.Vars(g, queryVars)
+	}
+	freshGoals, m := term.RefreshAll(goals)
+	entries := make([]GoalEntry, len(freshGoals))
+	for i, g := range freshGoals {
+		entries[i] = GoalEntry{Goal: g, Caller: kb.Query, Pos: i}
+	}
+	sh := getShared(cfg.DB)
+	// The choice-point and chain stacks grow with search depth; recycled
+	// capacity (or a realistic starting size on a cold scratch) replaces
+	// the doubling ramp — which costs more total bytes than the final
+	// capacity — with at most one allocation per scratch lifetime.
+	cps, chain := sh.spareCPs, sh.spareChain
+	sh.spareCPs, sh.spareChain = nil, nil
+	if cps == nil {
+		cps = make([]choicePoint, 0, 32)
+	}
+	if chain == nil {
+		chain = make([]kb.Arc, 0, 32)
+	}
+	return &TrailRun{
+		cfg:        cfg,
+		sh:         sh,
+		ctx:        cfg.Ctx,
+		env:        sh.st.Env(),
+		maxDepth:   maxDepth,
+		maxExp:     maxExp,
+		goals:      PushGoals(nil, entries),
+		chain:      chain,
+		cps:        cps,
+		queryVars:  queryVars,
+		fresh:      m,
+		rootBypass: cfg.RootBypassTabler,
+	}
+}
+
+// QueryVars returns the original query variables in first-occurrence
+// order.
+func (r *TrailRun) QueryVars() []*term.Var { return r.queryVars }
+
+// Stats returns the work counters accumulated so far.
+func (r *TrailRun) Stats() TrailStats { return r.stats }
+
+// Exhausted reports that every chain was followed to a solution or
+// failure (meaningful after Next returned ok=false with a nil error).
+func (r *TrailRun) Exhausted() bool { return r.exhausted }
+
+// Next resumes the search until the next solution. ok is false when the
+// search is over: exhausted (err nil) or aborted (err non-nil). After
+// ok=false, further calls return the same result.
+func (r *TrailRun) Next() (Solution, bool, error) {
+	for {
+		switch r.mode {
+		case trailArrive:
+			sol, yielded, err := r.arrive()
+			if err != nil {
+				r.mode = trailDone
+				r.err = err
+				return Solution{}, false, err
+			}
+			if yielded {
+				r.mode = trailBacktrack
+				return sol, true, nil
+			}
+		case trailBacktrack:
+			if !r.backtrack() {
+				r.mode = trailDone
+				r.exhausted = true
+				return Solution{}, false, nil
+			}
+			r.mode = trailArrive
+		default:
+			return Solution{}, false, r.err
+		}
+	}
+}
+
+// arrive runs the per-node sequence of search.Run on the machine's
+// current (goals, depth, bound) state, in the same order: context, prune,
+// solution, budget, step hook, depth, dispatch.
+func (r *TrailRun) arrive() (Solution, bool, error) {
+	if err := r.ctx.Err(); err != nil {
+		return Solution{}, false, err
+	}
+	if r.cfg.Prune && r.haveBest && r.bound > r.bestBound+r.cfg.PruneSlack {
+		r.stats.Pruned++
+		r.mode = trailBacktrack
+		return Solution{}, false, nil
+	}
+	if r.goals.Len() == 0 {
+		sol := r.extract()
+		if r.cfg.Learn {
+			r.cfg.Weights.RecordSuccess(sol.Chain)
+		}
+		if !r.haveBest || r.bound < r.bestBound {
+			r.bestBound, r.haveBest = r.bound, true
+		}
+		return sol, true, nil
+	}
+	if r.stats.Expanded >= r.maxExp {
+		err := r.cfg.BudgetErr
+		if err == nil {
+			err = errTrailBudget
+		}
+		return Solution{}, false, err
+	}
+	if h := r.cfg.StepHook; h != nil {
+		if err := h(); err != nil {
+			return Solution{}, false, err
+		}
+	}
+	r.stats.Expanded++
+	if r.depth > r.stats.MaxDepth {
+		r.stats.MaxDepth = r.depth
+	}
+	if r.depth >= r.maxDepth {
+		r.stats.DepthCutoffs++
+		r.failChain()
+		return Solution{}, false, nil
+	}
+	return Solution{}, false, r.dispatch()
+}
+
+// failChain records the current node as a dead chain and switches to
+// backtracking, mirroring the Failures accounting of search.Run.
+func (r *TrailRun) failChain() {
+	r.stats.Failures++
+	if r.cfg.Learn {
+		chain := make([]kb.Arc, len(r.chain))
+		copy(chain, r.chain)
+		r.cfg.Weights.RecordFailure(chain)
+	}
+	r.mode = trailBacktrack
+}
+
+// dispatch resolves the first pending goal, in the same precedence order
+// as Expander.Expand: negation, builtin, tabled, compiled, tree-walk.
+func (r *TrailRun) dispatch() error {
+	entry, _ := r.goals.Top()
+	goal := r.env.Resolve(entry.Goal)
+	bypass := r.rootBypass
+	r.rootBypass = false
+	fn, arity, ok := term.PredOf(goal)
+	if !ok {
+		// Unbound variable or integer goal: nothing resolves it.
+		r.failChain()
+		return nil
+	}
+	if fn == term.SymNeg && arity == 1 {
+		return r.dispatchNegation(goal)
+	}
+	if isBuiltin(fn, arity) {
+		base := r.sh.st.Overlay()
+		envs, err := builtins[biKey{fn, arity}](base, goal)
+		if err != nil {
+			return err
+		}
+		r.applyEnvs(base, envs, goal)
+		return nil
+	}
+	if r.cfg.Tabler != nil && !bypass && r.cfg.Tabler.IsTabled(fn, arity) {
+		base := r.sh.st.Overlay()
+		envs, err := r.cfg.Tabler.Resolve(r.ctx, base, goal)
+		if err != nil {
+			return err
+		}
+		r.applyEnvs(base, envs, goal)
+		return nil
+	}
+	if !r.cfg.NoVM && vm.Enabled {
+		if pc, ok := r.predCode(fn, arity); ok {
+			return r.dispatchVM(entry, goal, pc)
+		}
+	}
+	return r.dispatchClauses(entry, goal)
+}
+
+func (r *TrailRun) program() *vm.Program {
+	if r.sh.prog == nil || r.sh.prog.Gen() != r.cfg.DB.Generation() {
+		r.sh.prog = vm.For(r.cfg.DB)
+	}
+	return r.sh.prog
+}
+
+// predCode resolves the compiled code for a predicate through a small
+// direct-mapped cache in front of the program's map — the lookup runs
+// once per dispatched goal, which makes it one of the hottest loads in
+// the machine. Negative results ("the compiler skipped this predicate")
+// are cached too; asserting a clause bumps the database generation,
+// which swaps the program and flushes the cache.
+func (r *TrailRun) predCode(fn term.Sym, arity int) (*vm.PredCode, bool) {
+	prog := r.program()
+	sh := r.sh
+	if sh.cacheProg != prog {
+		sh.pcCache = [pcCacheSize]pcCacheEntry{}
+		sh.cacheProg = prog
+	}
+	i := (uint32(fn)*31 + uint32(arity)) & (pcCacheSize - 1)
+	e := &sh.pcCache[i]
+	if e.valid && e.fn == fn && e.arity == int32(arity) {
+		return e.pc, e.pc != nil
+	}
+	pc := prog.Pred(fn, arity)
+	*e = pcCacheEntry{fn: fn, arity: int32(arity), pc: pc, valid: true}
+	return pc, pc != nil
+}
+
+// applyEnvs commits the outcome of a builtin or tabled resolution, which
+// was staged as overlay environments above the store. One alternative is
+// a deterministic step (its deltas replay destructively under the
+// enclosing choice point's mark); several become a deltas choice point.
+// Like their Expander counterparts, these children add no arc, weight or
+// depth.
+func (r *TrailRun) applyEnvs(base *term.Env, envs []*term.Env, goal term.Term) {
+	switch len(envs) {
+	case 0:
+		r.failChain()
+	case 1:
+		for _, b := range envs[0].Deltas(base) {
+			r.env.Bind(b.Var, b.Val)
+		}
+		r.goals = r.goals.Pop()
+		r.stats.Generated++
+	default:
+		cp := r.pushCP(cpDeltas, GoalEntry{}, goal)
+		cp.alts = make([][]term.Binding, len(envs))
+		for i, e := range envs {
+			cp.alts[i] = e.Deltas(base)
+		}
+		r.tryNext(cp) // at least two alternatives: cannot fail
+	}
+}
+
+// dispatchVM resolves a goal against compiled clauses, creating a choice
+// point over the switch-on-term candidate list.
+func (r *TrailRun) dispatchVM(entry GoalEntry, goal term.Term, pc *vm.PredCode) error {
+	r.stats.VMDispatched++
+	cands := pc.Select(r.env, goal)
+	if len(cands) == 0 {
+		r.failChain()
+		return nil
+	}
+	cp := r.pushCP(cpVM, entry, goal)
+	cp.vmCands = cands
+	if r.cfg.Learn {
+		ws := make([]float64, len(cands))
+		for i, cc := range cands {
+			ws[i] = r.arcWeight(kb.Arc{Caller: entry.Caller, Pos: entry.Pos, Callee: cc.Clause().ID})
+		}
+		cp.weights = ws
+	}
+	if !r.tryNext(cp) {
+		r.popFailedCP()
+	}
+	return nil
+}
+
+// dispatchClauses is the tree-walking resolution path (the oracle), used
+// under NoVM or for predicates the compiler skipped.
+func (r *TrailRun) dispatchClauses(entry GoalEntry, goal term.Term) error {
+	cands := r.cfg.DB.Candidates(r.env, goal)
+	if len(cands) == 0 {
+		r.failChain()
+		return nil
+	}
+	cp := r.pushCP(cpKB, entry, goal)
+	cp.kbCands = cands
+	if r.cfg.Learn {
+		ws := make([]float64, len(cands))
+		for i, c := range cands {
+			ws[i] = r.arcWeight(kb.Arc{Caller: entry.Caller, Pos: entry.Pos, Callee: c.ID})
+		}
+		cp.weights = ws
+	}
+	if !r.tryNext(cp) {
+		r.popFailedCP()
+	}
+	return nil
+}
+
+// dispatchNegation runs negation as failure as a nested trail run on the
+// same store (under a mark), budgeted like the Expander's nested search.
+func (r *TrailRun) dispatchNegation(goal term.Term) error {
+	inner := goal.(*term.Compound).Args[0]
+	cfg := r.cfg
+	if nt, ok := cfg.Tabler.(NegationTabler); ok {
+		cfg.Tabler = nt.ForNegation()
+	}
+	cfg.MaxDepth = r.maxDepth
+	cfg.MaxExpansions = math.MaxUint64
+	cfg.Learn = false
+	cfg.Prune = false
+	cfg.RootBypassTabler = false
+	var steps int
+	cfg.StepHook = func() error {
+		if steps++; steps > negationBudget {
+			return ErrNegationBudget
+		}
+		return nil
+	}
+	sub := &TrailRun{
+		cfg:      cfg,
+		sh:       r.sh,
+		ctx:      cfg.Ctx,
+		env:      r.env,
+		maxDepth: r.maxDepth,
+		maxExp:   math.MaxUint64,
+		goals:    PushGoals(nil, []GoalEntry{{Goal: inner, Caller: kb.Query, Pos: 0}}),
+	}
+	mark := r.sh.st.Mark()
+	_, proved, err := sub.Next()
+	r.sh.st.Undo(mark)
+	r.stats.VMDispatched += sub.stats.VMDispatched
+	if err != nil {
+		return err
+	}
+	if proved {
+		r.failChain()
+		return nil
+	}
+	// No proof of the inner goal: \+ succeeds like a zero-weight builtin.
+	r.goals = r.goals.Pop()
+	r.stats.Generated++
+	return nil
+}
+
+// pushCP opens a choice point capturing the state to restore before each
+// alternative: trail mark, chain length, depth, bound and the goal tail.
+// Fields are written in place (popped slots are recycled by the append,
+// and every field is reassigned here), which keeps the large struct off
+// the stack-copy path on this per-dispatch call.
+func (r *TrailRun) pushCP(kind cpKind, entry GoalEntry, goal term.Term) *choicePoint {
+	n := len(r.cps)
+	if n < cap(r.cps) {
+		r.cps = r.cps[:n+1]
+	} else {
+		r.cps = append(r.cps, choicePoint{})
+	}
+	cp := &r.cps[n]
+	cp.kind = kind
+	cp.entry = entry
+	cp.goal = goal
+	cp.tail = r.goals.Pop()
+	cp.mark = r.sh.st.Mark()
+	cp.compMark = r.sh.cpool.Mark()
+	cp.chainLen = len(r.chain)
+	cp.depth = r.depth
+	cp.bound = r.bound
+	cp.vmCands = nil
+	cp.kbCands = nil
+	cp.alts = nil
+	cp.weights = nil
+	cp.next = 0
+	cp.frame = nil
+	cp.block = nil
+	if len(r.cps) > r.stats.MaxChoicePoints {
+		r.stats.MaxChoicePoints = len(r.cps)
+	}
+	return cp
+}
+
+// popFailedCP discards a choice point none of whose alternatives resolved
+// — the node produced zero children, so the chain fails with the node's
+// own (already restored) context. Popped slots are not zeroed: pushCP
+// reinitializes every field on reuse, and what the stale references pin
+// (candidate lists, the goal spine of a sibling branch) is bounded by the
+// peak stack and dies with the run.
+func (r *TrailRun) popFailedCP() {
+	r.cps = r.cps[:len(r.cps)-1]
+	r.failChain()
+}
+
+// tryNext commits the choice point's next succeeding alternative: state
+// is already restored to the choice point (by pushCP at creation, by
+// backtrack on revisit), each failed attempt undoes its own partial
+// bindings, and a success installs the child as the machine's current
+// node. Children are counted into Generated as they are taken — visit
+// order equals generation order for DFS, so the counters agree with the
+// persistent engine at every arrival.
+func (r *TrailRun) tryNext(cp *choicePoint) bool {
+	switch cp.kind {
+	case cpVM:
+		for cp.next < len(cp.vmCands) {
+			i := cp.next
+			cp.next++
+			cc := cp.vmCands[i]
+			if _, ok := r.sh.mach.Resolve(r.env, cp.goal, cc, r.cfg.OccursCheck); !ok {
+				r.sh.st.Undo(cp.mark)
+				r.sh.cpool.Release(cp.compMark)
+				r.sh.pool.Put(r.sh.mach.TakeFrame())
+				continue
+			}
+			c := cc.Clause()
+			tail := cp.tail
+			var block []GoalStack
+			if nb := len(c.Body); nb > 0 {
+				block = r.sh.blocks.get(nb)
+				base := 0
+				if tail != nil {
+					base = tail.size
+				}
+				for j := nb - 1; j >= 0; j-- {
+					block[j] = GoalStack{
+						entry: GoalEntry{Goal: r.sh.mach.BodyGoal(j), Caller: c.ID, Pos: j},
+						tail:  tail,
+						size:  base + nb - j,
+					}
+					tail = &block[j]
+				}
+			}
+			// Body goals can mint frame slots the head never touched, so
+			// the frame is taken only after the body is built.
+			cp.frame = r.sh.mach.TakeFrame()
+			cp.block = block
+			r.takeAlt(cp, i, c.ID)
+			r.goals = tail
+			return true
+		}
+		return false
+	case cpKB:
+		for cp.next < len(cp.kbCands) {
+			i := cp.next
+			cp.next++
+			c := cp.kbCands[i]
+			head, frame := c.HeadForUnify()
+			if _, ok := r.unify(cp.goal, head); !ok {
+				r.sh.st.Undo(cp.mark)
+				continue
+			}
+			tail := cp.tail
+			var block []GoalStack
+			if nb := len(c.Body); nb > 0 {
+				frame = c.EnsureFrame(frame)
+				block = r.sh.blocks.get(nb)
+				base := 0
+				if tail != nil {
+					base = tail.size
+				}
+				for j := nb - 1; j >= 0; j-- {
+					block[j] = GoalStack{
+						entry: GoalEntry{Goal: c.InstantiateGoal(j, frame), Caller: c.ID, Pos: j},
+						tail:  tail,
+						size:  base + nb - j,
+					}
+					tail = &block[j]
+				}
+			}
+			cp.frame = nil // kb activation frames are not pool-minted
+			cp.block = block
+			r.takeAlt(cp, i, c.ID)
+			r.goals = tail
+			return true
+		}
+		return false
+	default: // cpDeltas
+		if cp.next < len(cp.alts) {
+			alt := cp.alts[cp.next]
+			cp.next++
+			for _, b := range alt {
+				r.env.Bind(b.Var, b.Val)
+			}
+			r.goals = cp.tail
+			r.stats.Generated++
+			return true
+		}
+		return false
+	}
+}
+
+// takeAlt records taking a clause alternative: extend the chain, price
+// the arc, descend one level.
+func (r *TrailRun) takeAlt(cp *choicePoint, i int, callee kb.ClauseID) {
+	arc := kb.Arc{Caller: cp.entry.Caller, Pos: cp.entry.Pos, Callee: callee}
+	var w float64
+	if cp.weights != nil {
+		w = cp.weights[i]
+	} else {
+		w = r.arcWeight(arc)
+	}
+	r.chain = append(r.chain, arc)
+	r.bound = cp.bound + w
+	r.depth = cp.depth + 1
+	r.stats.Generated++
+}
+
+// arcWeight prices arc in the current chain context; the chain is at the
+// parent's length whenever this runs, so the context arc is the parent's
+// last decision, matching Expander.arcWeight.
+func (r *TrailRun) arcWeight(arc kb.Arc) float64 {
+	if cs, ok := r.cfg.Weights.(weights.ContextualStore); ok {
+		if n := len(r.chain); n > 0 {
+			return cs.WeightIn(r.chain[n-1], arc)
+		}
+		return cs.WeightIn(weights.RootContext, arc)
+	}
+	return r.cfg.Weights.Weight(arc)
+}
+
+func (r *TrailRun) unify(a, b term.Term) (*term.Env, bool) {
+	if r.cfg.OccursCheck {
+		return unify.UnifyOC(r.env, a, b)
+	}
+	return unify.Unify(r.env, a, b)
+}
+
+// backtrack rewinds to the innermost choice point with an untried
+// alternative: undo its trail segment, recycle the taken alternative's
+// frame and goal block, restore chain/depth/bound, and try the next
+// candidate. Exhausted choice points pop silently — their node produced
+// children, so it was no failure.
+func (r *TrailRun) backtrack() bool {
+	for len(r.cps) > 0 {
+		cp := &r.cps[len(r.cps)-1]
+		r.sh.st.Undo(cp.mark)
+		r.sh.cpool.Release(cp.compMark)
+		if cp.frame != nil {
+			r.sh.pool.Put(cp.frame)
+			cp.frame = nil
+		}
+		if cp.block != nil {
+			r.sh.blocks.put(cp.block)
+			cp.block = nil
+		}
+		r.chain = r.chain[:cp.chainLen]
+		r.depth = cp.depth
+		r.bound = cp.bound
+		if r.tryNext(cp) {
+			return true
+		}
+		r.cps = r.cps[:len(r.cps)-1]
+	}
+	return false
+}
+
+// extract materializes the current solution. Bindings are detached from
+// the store (pool-recycled variables replaced by standalone ones) and
+// keyed by the original query variables; the chain is copied out of the
+// machine's mutable buffer.
+func (r *TrailRun) extract() Solution {
+	b := make(map[string]term.Term, len(r.queryVars))
+	if len(r.queryVars) > 0 {
+		d := term.Detacher{Env: r.env, Subst: r.fresh}
+		for _, v := range r.queryVars {
+			b[v.String()] = d.Detach(v)
+		}
+	}
+	chain := make([]kb.Arc, len(r.chain))
+	copy(chain, r.chain)
+	return Solution{Bindings: b, Bound: r.bound, Chain: chain, Depth: r.depth}
+}
+
+// ResolveAnswer deep-resolves t — a term over the original (pre-run)
+// query variables — against the store at the current solution, detached
+// from pooled frames. Meaningful only immediately after Next yielded a
+// solution; table generators snapshot surviving answers out with it.
+func (r *TrailRun) ResolveAnswer(t term.Term) term.Term {
+	d := term.Detacher{Env: r.env, Subst: r.fresh}
+	return d.Detach(t)
+}

@@ -370,6 +370,71 @@ func BenchCases() []BenchCase {
 				}
 			}
 		}},
+		{"E13BindingStore/trail-deepfail", func(b *testing.B) {
+			// Sequential DFS on the destructive trail store: bindings
+			// written in place, undone on backtrack, scratch recycled
+			// across runs. Pair with env-deepfail for the representation
+			// speedup in one report.
+			db := benchLoad(workload.DeepFailure(16, 12))
+			goals := benchGoals("top(W)")
+			ws := weights.NewUniform(weights.DefaultConfig())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := search.Run(context.Background(), db, ws, goals, search.Options{
+					Strategy: search.DFS, MaxSolutions: 1, MaxDepth: 64,
+				})
+				if err != nil || len(res.Solutions) != 1 {
+					b.Fatal("trail dfs failed")
+				}
+			}
+		}},
+		{"E13BindingStore/env-deepfail", func(b *testing.B) {
+			// The identical workload on the persistent-Env frontier
+			// (Options.NoTrail), the differential oracle's representation.
+			db := benchLoad(workload.DeepFailure(16, 12))
+			goals := benchGoals("top(W)")
+			ws := weights.NewUniform(weights.DefaultConfig())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := search.Run(context.Background(), db, ws, goals, search.Options{
+					Strategy: search.DFS, MaxSolutions: 1, MaxDepth: 64, NoTrail: true,
+				})
+				if err != nil || len(res.Solutions) != 1 {
+					b.Fatal("env dfs failed")
+				}
+			}
+		}},
+		{"E13BindingStore/trail-enumerate", func(b *testing.B) {
+			// Exhaustive enumeration (every solution, full backtrack over
+			// the whole tree): the regime where trail undo and scratch
+			// pooling pay on every branch, not just the failing ones.
+			db := benchLoad(workload.FamilyTree(4, 3))
+			goals := benchGoals("anc(p0, X)")
+			ws := weights.NewUniform(weights.DefaultConfig())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := search.Run(context.Background(), db, ws, goals, search.Options{
+					Strategy: search.DFS, MaxDepth: 32,
+				})
+				if err != nil || !res.Exhausted || len(res.Solutions) == 0 {
+					b.Fatal("trail enumeration failed")
+				}
+			}
+		}},
+		{"E13BindingStore/env-enumerate", func(b *testing.B) {
+			db := benchLoad(workload.FamilyTree(4, 3))
+			goals := benchGoals("anc(p0, X)")
+			ws := weights.NewUniform(weights.DefaultConfig())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := search.Run(context.Background(), db, ws, goals, search.Options{
+					Strategy: search.DFS, MaxDepth: 32, NoTrail: true,
+				})
+				if err != nil || !res.Exhausted || len(res.Solutions) == 0 {
+					b.Fatal("env enumeration failed")
+				}
+			}
+		}},
 		{"ServerThroughput", func(b *testing.B) {
 			// End-to-end query service: concurrent HTTP clients against one
 			// shared Program through blogd's handler, pool and wire types.

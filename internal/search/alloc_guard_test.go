@@ -1,0 +1,47 @@
+package search
+
+import (
+	"context"
+	"testing"
+
+	"blog/internal/vm"
+	"blog/internal/workload"
+)
+
+// TestDFSAllocationBudget is the allocation-regression guard for the
+// sequential hot path: one trail-store DFS query over a deep-failure
+// program must stay within a small fixed allocation budget. The trail
+// machine recycles its scratch (store, frames, compounds, goal blocks,
+// choice points) across runs, so the steady-state cost per query is a
+// handful of allocations — the run header, the refreshed root goal and
+// the extracted solution — regardless of the ~200 expansions underneath.
+// If this fails after an engine change, something on the per-expansion
+// path started allocating again; profile before raising the budget.
+func TestDFSAllocationBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation behavior")
+	}
+	if !vm.Enabled {
+		t.Skip("BLOG_COMPILED=off runs the tree-walking path, which has its own costs")
+	}
+	db := load(t, workload.DeepFailure(16, 12))
+	goals := q(t, "top(W)")
+	ws := uniform()
+	opt := Options{Strategy: DFS, MaxSolutions: 1, MaxDepth: 64}
+	run := func() {
+		res, err := Run(context.Background(), db, ws, goals, opt)
+		if err != nil || len(res.Solutions) != 1 {
+			t.Fatalf("run: %d solutions, err %v", len(res.Solutions), err)
+		}
+	}
+	run() // warm the program cache and the scratch pool
+	// Measured steady state is ~30 allocations per query; the budget
+	// leaves slack for pool refills after a GC cycle empties the
+	// sync.Pool mid-measurement, not for per-expansion regressions
+	// (each of the ~200 expansions allocating once would blow straight
+	// past it).
+	const budget = 90
+	if got := testing.AllocsPerRun(50, run); got > budget {
+		t.Errorf("DFS query allocated %.1f times, budget %d", got, budget)
+	}
+}

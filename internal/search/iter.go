@@ -30,6 +30,11 @@ type Iter struct {
 	done      bool
 	err       error
 
+	// trail, when non-nil, is the destructive-store DFS machine the Iter
+	// delegates to (DFS without Options.NoTrail); the frontier fields
+	// above are unused then.
+	trail *engine.TrailRun
+
 	// Branch-and-bound state when Options.Prune is set: open nodes whose
 	// bound exceeds bestBound+PruneSlack are cut, exactly as in Run.
 	bestBound float64
@@ -47,6 +52,27 @@ func NewIter(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term
 	}
 	if opt.RecordTree || opt.RecordTrace {
 		return nil, errors.New("search: Iter does not record trees or traces")
+	}
+	if opt.Strategy == DFS && !opt.NoTrail {
+		maxExp := opt.MaxExpansions
+		if maxExp == 0 {
+			maxExp = DefaultMaxExpansions
+		}
+		tr := engine.NewTrailRun(engine.TrailConfig{
+			DB:            db,
+			Weights:       ws,
+			OccursCheck:   opt.OccursCheck,
+			MaxDepth:      opt.MaxDepth,
+			Tabler:        opt.Tabler,
+			Ctx:           ctx,
+			NoVM:          opt.NoVM,
+			Learn:         opt.Learn,
+			Prune:         opt.Prune,
+			PruneSlack:    opt.PruneSlack,
+			MaxExpansions: maxExp,
+			BudgetErr:     ErrBudget,
+		}, goals)
+		return &Iter{ctx: ctx, opt: opt, queryVars: tr.QueryVars(), trail: tr}, nil
 	}
 	exp := engine.NewExpander(db, ws)
 	exp.OccursCheck = opt.OccursCheck
@@ -81,8 +107,12 @@ func (it *Iter) QueryVars() []*term.Var { return it.queryVars }
 
 // Stats returns the work counters accumulated so far.
 func (it *Iter) Stats() Stats {
+	if it.trail != nil {
+		return trailStats(it.trail.Stats())
+	}
 	s := it.stats
 	s.VMDispatched = it.exp.VMDispatched
+	s.Representation = RepPersistentEnv
 	return s
 }
 
@@ -95,7 +125,13 @@ func (it *Iter) Next() (engine.Solution, bool, error) {
 	}
 	if it.opt.MaxSolutions > 0 && it.served >= it.opt.MaxSolutions {
 		it.done = true
+		if it.trail != nil {
+			it.trail.Release()
+		}
 		return engine.Solution{}, false, nil
+	}
+	if it.trail != nil {
+		return it.nextTrail()
 	}
 	for it.frontier.len() > 0 {
 		if err := it.ctx.Err(); err != nil {
@@ -112,6 +148,16 @@ func (it *Iter) Next() (engine.Solution, bool, error) {
 			continue
 		}
 		if n.IsSolution() {
+			// Guard the yield itself: a solution generated before an earlier
+			// Next call served a better bound must never reach the caller.
+			// The pop-time prune above covers this today; this check is the
+			// invariant stated where it matters, so a future reordering of
+			// the pop path cannot silently start yielding stale bounds
+			// (TestIterPruneStaleSolution pins the behavior).
+			if it.opt.Prune && it.haveBest && n.Bound > it.bestBound+it.opt.PruneSlack {
+				it.stats.Pruned++
+				continue
+			}
 			sol := engine.Extract(n, it.queryVars)
 			if it.opt.Learn {
 				it.ws.RecordSuccess(sol.Chain)
@@ -162,8 +208,33 @@ func (it *Iter) Next() (engine.Solution, bool, error) {
 	return engine.Solution{}, false, nil
 }
 
+// nextTrail delegates one Next step to the trail-store machine. The
+// machine checks context, budget and prune bounds itself, in the same
+// order as the loop above.
+func (it *Iter) nextTrail() (engine.Solution, bool, error) {
+	sol, ok, err := it.trail.Next()
+	if err != nil {
+		it.done = true
+		it.err = err
+		it.trail.Release()
+		return engine.Solution{}, false, err
+	}
+	if !ok {
+		it.done = true
+		it.trail.Release()
+		return engine.Solution{}, false, nil
+	}
+	it.served++
+	return sol, true, nil
+}
+
 // Exhausted reports whether the whole tree was searched (meaningful after
 // Next returned ok=false with a nil error). A stream stopped by the
 // MaxSolutions cap with open chains left is not exhausted, matching
 // Run's Result.Exhausted.
-func (it *Iter) Exhausted() bool { return it.done && it.err == nil && it.frontier.len() == 0 }
+func (it *Iter) Exhausted() bool {
+	if it.trail != nil {
+		return it.done && it.err == nil && it.trail.Exhausted()
+	}
+	return it.done && it.err == nil && it.frontier.len() == 0
+}

@@ -258,3 +258,40 @@ func TestIterCappedStreamNotExhausted(t *testing.T) {
 		t.Error("fully drained stream should report Exhausted")
 	}
 }
+
+// TestIterPruneStaleSolution pins the yield-time prune invariant: a
+// solution node that was already sitting in the frontier when an earlier
+// Next call served a better bound must be pruned when reached, never
+// yielded. BFS makes the window deterministic: the cheap fact's solution
+// is served first, and the longer clause's solution node — generated with
+// a bound that was acceptable at generation time — goes stale in between.
+func TestIterPruneStaleSolution(t *testing.T) {
+	db := load(t, `
+		q(1).
+		q(2) :- t.
+		t.
+	`)
+	it, err := NewIter(context.Background(), db, uniform(), q(t, "q(X)"),
+		Options{Strategy: BFS, Prune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, ok, err := it.Next()
+	if err != nil || !ok {
+		t.Fatalf("first Next: ok=%v err=%v", ok, err)
+	}
+	if got := sol.Format(it.QueryVars()); got != "X = 1" {
+		t.Fatalf("first solution = %q, want X = 1", got)
+	}
+	// The q(2) derivation reaches its solution at a worse bound than the
+	// one already served; it must be cut, ending the stream.
+	if _, ok, err := it.Next(); ok || err != nil {
+		t.Fatalf("stale-bound solution leaked: ok=%v err=%v", ok, err)
+	}
+	if got := it.Stats().Pruned; got == 0 {
+		t.Errorf("Pruned = %d, want at least one cut", got)
+	}
+	if !it.Exhausted() {
+		t.Error("stream should report Exhausted after the cut")
+	}
+}

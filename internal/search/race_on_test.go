@@ -1,0 +1,8 @@
+//go:build race
+
+package search
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation changes allocation behavior; the
+// allocation-regression guard skips itself then.
+const raceEnabled = true

@@ -78,10 +78,24 @@ type Options struct {
 	// NoVM forces the tree-walking resolution path (the differential
 	// oracle) instead of the compiled bytecode engine.
 	NoVM bool
+	// NoTrail forces DFS onto the persistent-Env frontier (the
+	// differential oracle for the trail-store machine) instead of the
+	// destructive binding store. Non-DFS strategies always use Env —
+	// their frontiers hold many open nodes at once and genuinely need
+	// persistent environments.
+	NoTrail bool
 }
 
 // DefaultMaxExpansions stops runaway searches on cyclic programs.
 const DefaultMaxExpansions = 5_000_000
+
+// Binding-store representations reported in Stats.Representation.
+const (
+	// RepTrailStore is the mutable trail-disciplined store (engine.TrailRun).
+	RepTrailStore = "trail-store"
+	// RepPersistentEnv is the immutable Env chain representation.
+	RepPersistentEnv = "persistent-env"
+)
 
 // Stats counts the work a search performed.
 type Stats struct {
@@ -90,9 +104,12 @@ type Stats struct {
 	Failures     uint64 // chains that died (no children)
 	DepthCutoffs uint64 // chains cut by MaxDepth
 	Pruned       uint64 // chains cut by the bound
-	MaxFrontier  int    // peak open-list size
+	MaxFrontier  int    // peak open-list size (choice-point stack for trail runs)
 	MaxDepth     int    // deepest chain expanded
 	VMDispatched uint64 // goals resolved on the compiled bytecode path
+	// Representation names the binding representation that ran:
+	// RepTrailStore or RepPersistentEnv.
+	Representation string
 }
 
 // Result is the outcome of a search run.
@@ -124,6 +141,9 @@ func Run(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term, op
 	if len(goals) == 0 {
 		return nil, errors.New("search: empty query")
 	}
+	if opt.Strategy == DFS && !opt.NoTrail && !opt.RecordTree && !opt.RecordTrace {
+		return runTrail(ctx, db, ws, goals, opt)
+	}
 	exp := engine.NewExpander(db, ws)
 	exp.OccursCheck = opt.OccursCheck
 	exp.Ctx = ctx
@@ -140,6 +160,7 @@ func Run(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term, op
 	}
 
 	res := &Result{QueryVars: queryVars}
+	res.Stats.Representation = RepPersistentEnv
 	defer func() { res.Stats.VMDispatched = exp.VMDispatched }()
 	var tb *treeBuilder
 	if opt.RecordTree {
@@ -238,6 +259,64 @@ func Run(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term, op
 	}
 	res.Exhausted = true
 	return res, nil
+}
+
+// runTrail is Run's sequential DFS on the destructive trail-store
+// machine (engine.TrailRun). It visits nodes in the same order and keeps
+// the same counters as the persistent-Env DFS at every step, so results
+// are interchangeable; only the binding representation differs.
+func runTrail(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term, opt Options) (*Result, error) {
+	maxExp := opt.MaxExpansions
+	if maxExp == 0 {
+		maxExp = DefaultMaxExpansions
+	}
+	tr := engine.NewTrailRun(engine.TrailConfig{
+		DB:            db,
+		Weights:       ws,
+		OccursCheck:   opt.OccursCheck,
+		MaxDepth:      opt.MaxDepth,
+		Tabler:        opt.Tabler,
+		Ctx:           ctx,
+		NoVM:          opt.NoVM,
+		Learn:         opt.Learn,
+		Prune:         opt.Prune,
+		PruneSlack:    opt.PruneSlack,
+		MaxExpansions: maxExp,
+		BudgetErr:     ErrBudget,
+	}, goals)
+	res := &Result{QueryVars: tr.QueryVars()}
+	defer tr.Release() // solutions are detached; recycle the run's scratch
+	defer func() { res.Stats = trailStats(tr.Stats()) }()
+	for {
+		sol, ok, err := tr.Next()
+		if err != nil {
+			return res, err
+		}
+		if !ok {
+			res.Exhausted = tr.Exhausted()
+			return res, nil
+		}
+		res.Solutions = append(res.Solutions, sol)
+		if opt.MaxSolutions > 0 && len(res.Solutions) >= opt.MaxSolutions {
+			return res, nil
+		}
+	}
+}
+
+// trailStats maps the trail machine's counters onto the search Stats
+// shape; the choice-point stack peak stands in for the open-list peak.
+func trailStats(ts engine.TrailStats) Stats {
+	return Stats{
+		Expanded:       ts.Expanded,
+		Generated:      ts.Generated,
+		Failures:       ts.Failures,
+		DepthCutoffs:   ts.DepthCutoffs,
+		Pruned:         ts.Pruned,
+		MaxFrontier:    ts.MaxChoicePoints,
+		MaxDepth:       ts.MaxDepth,
+		VMDispatched:   ts.VMDispatched,
+		Representation: RepTrailStore,
+	}
 }
 
 // traceLine renders one resolution step in the style of figure 1:

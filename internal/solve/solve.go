@@ -120,6 +120,11 @@ type Request struct {
 	// oracle) instead of the compiled bytecode engine.
 	NoVM bool
 
+	// NoTrail forces sequential DFS onto the persistent-Env frontier (the
+	// differential oracle) instead of the destructive trail-store machine.
+	// Only DFS is affected: the other strategies always run on Env.
+	NoTrail bool
+
 	// Tables switches on tabled resolution: predicates declared
 	// `:- table name/arity` resolve against this answer-table space
 	// (memoized, deduplicated, complete answer sets) instead of program
@@ -153,6 +158,10 @@ type Stats struct {
 	// VMDispatched counts goals resolved on the compiled bytecode path
 	// (zero when the run forced the tree-walking oracle).
 	VMDispatched uint64
+	// Representation names the binding representation the run used:
+	// search.RepTrailStore (destructive store; sequential DFS default) or
+	// search.RepPersistentEnv (immutable Env chains; everything else).
+	Representation string
 
 	// OR-parallel network counters.
 	Migrations        uint64
@@ -292,6 +301,7 @@ func NewIter(ctx context.Context, req *Request) (*search.Iter, *table.Handle, er
 		OccursCheck:   req.OccursCheck,
 		Tabler:        tb,
 		NoVM:          req.NoVM,
+		NoTrail:       req.NoTrail,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -354,6 +364,7 @@ func (Sequential) Solve(ctx context.Context, req *Request) (*Response, error) {
 		OccursCheck:   req.OccursCheck,
 		Tabler:        tb,
 		NoVM:          req.NoVM,
+		NoTrail:       req.NoTrail,
 		RecordTree:    req.RecordTree,
 		RecordTrace:   req.RecordTrace,
 	})
@@ -364,14 +375,15 @@ func (Sequential) Solve(ctx context.Context, req *Request) (*Response, error) {
 		Solutions: sres.Solutions,
 		QueryVars: sres.QueryVars,
 		Stats: Stats{
-			Expanded:     sres.Stats.Expanded,
-			Generated:    sres.Stats.Generated,
-			Failures:     sres.Stats.Failures,
-			DepthCutoffs: sres.Stats.DepthCutoffs,
-			Pruned:       sres.Stats.Pruned,
-			MaxFrontier:  sres.Stats.MaxFrontier,
-			MaxDepth:     sres.Stats.MaxDepth,
-			VMDispatched: sres.Stats.VMDispatched,
+			Expanded:       sres.Stats.Expanded,
+			Generated:      sres.Stats.Generated,
+			Failures:       sres.Stats.Failures,
+			DepthCutoffs:   sres.Stats.DepthCutoffs,
+			Pruned:         sres.Stats.Pruned,
+			MaxFrontier:    sres.Stats.MaxFrontier,
+			MaxDepth:       sres.Stats.MaxDepth,
+			VMDispatched:   sres.Stats.VMDispatched,
+			Representation: sres.Stats.Representation,
 		},
 		Exhausted: sres.Exhausted,
 		Tree:      sres.Tree,
@@ -425,6 +437,7 @@ func (ORParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 			Spills:            pres.Stats.Spills,
 			PerWorkerExpanded: pres.Stats.PerWorkerExpanded,
 			VMDispatched:      pres.Stats.VMDispatched,
+			Representation:    search.RepPersistentEnv,
 		},
 		Exhausted: pres.Exhausted,
 	}
@@ -455,6 +468,7 @@ func (ANDParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 			OccursCheck:   req.OccursCheck,
 			Tabler:        tb,
 			NoVM:          req.NoVM,
+			NoTrail:       req.NoTrail,
 		},
 		Parallel:     true,
 		MaxSolutions: req.MaxSolutions,
@@ -476,11 +490,25 @@ func (ANDParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 			VMDispatched:   ares.Stats.VMDispatched,
 			Groups:         ares.GroupCount,
 			GroupSolutions: ares.GroupSolutions,
+			// Group aggregation drops per-group search stats fields that are
+			// not counters; every group ran the same configuration, so the
+			// representation is a function of it.
+			Representation: andparRepresentation(sstrat, req.NoTrail),
 		},
 		Exhausted: ares.Exhausted,
 	}
 	resp.Stats.addTable(th)
 	return resp, nil
+}
+
+// andparRepresentation names the binding representation AND-parallel
+// groups ran under: the trail store exactly when each group's sequential
+// search would pick it.
+func andparRepresentation(s search.Strategy, noTrail bool) string {
+	if s == search.DFS && !noTrail {
+		return search.RepTrailStore
+	}
+	return search.RepPersistentEnv
 }
 
 // sortSolutions orders solutions by rendered bindings, then bound, giving

@@ -1,0 +1,106 @@
+package solve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"blog/internal/kb"
+	"blog/internal/parse"
+	"blog/internal/search"
+	"blog/internal/table"
+	"blog/internal/weights"
+)
+
+// runDFSRep executes one query under sequential DFS on the representation
+// selected by noTrail: the destructive trail store (false) or the
+// persistent-Env frontier (true), everything else held equal.
+func runDFSRep(t *testing.T, src, query string, noTrail, tabled, prune bool, maxSol int) *Response {
+	t.Helper()
+	db, _, err := kb.LoadString(src)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	goals, err := parse.Query(query)
+	if err != nil {
+		t.Fatalf("parse %q: %v", query, err)
+	}
+	req := &Request{
+		DB:            db,
+		Store:         weights.NewUniform(weights.DefaultConfig()),
+		Goals:         goals,
+		Strategy:      DFS,
+		MaxSolutions:  maxSol,
+		MaxExpansions: 20000,
+		MaxDepth:      48,
+		Prune:         prune,
+		NoTrail:       noTrail,
+	}
+	if tabled {
+		req.Tables = table.NewSpace(db, table.Config{})
+	}
+	resp, err := Do(context.Background(), req)
+	if err != nil {
+		t.Fatalf("solve (noTrail=%v): %v", noTrail, err)
+	}
+	return resp
+}
+
+// FuzzTrailStore is the differential oracle for the trail-store machine:
+// on random programs and queries, sequential DFS must produce the same
+// solutions in the same order, with the same bounds, completion status and
+// work counters, whether bindings live in the destructive trail store or
+// the persistent-Env frontier. Two variants run per case: exhaustive
+// enumeration, and branch-and-bound pruning capped at the first solution —
+// the mode where choice-point bookkeeping (bounds restored on backtrack,
+// prune checks at arrival) is easiest to get subtly wrong.
+func FuzzTrailStore(f *testing.F) {
+	for g := uint8(0); g < 7; g++ {
+		f.Add(g, int64(1), uint8(0))
+		f.Add(g, int64(42), uint8(1))
+		f.Add(g, int64(-7), uint8(2))
+	}
+	f.Fuzz(func(t *testing.T, gen uint8, seed int64, qsel uint8) {
+		src, queries, tabled := fuzzCase(gen, seed)
+		query := queries[int(qsel)%len(queries)]
+		for _, v := range []struct {
+			name   string
+			prune  bool
+			maxSol int
+		}{
+			{"exhaustive", false, 0},
+			{"prune-first", true, 1},
+		} {
+			env := runDFSRep(t, src, query, true, tabled, v.prune, v.maxSol)
+			trail := runDFSRep(t, src, query, false, tabled, v.prune, v.maxSol)
+			if env.Stats.Representation != search.RepPersistentEnv {
+				t.Fatalf("%s: NoTrail run reports representation %q", v.name, env.Stats.Representation)
+			}
+			if trail.Stats.Representation != search.RepTrailStore {
+				t.Fatalf("%s: trail run reports representation %q", v.name, trail.Stats.Representation)
+			}
+			if env.Exhausted != trail.Exhausted {
+				t.Fatalf("%s: Exhausted %v (env) vs %v (trail)", v.name, env.Exhausted, trail.Exhausted)
+			}
+			// Sequential DFS is deterministic: solution order and bounds
+			// must match exactly, not just as sets.
+			a, b := canonAll(env), canonAll(trail)
+			if fmt.Sprint(a) != fmt.Sprint(b) {
+				t.Fatalf("%s: solutions diverge\nenv:   %v\ntrail: %v", v.name, a, b)
+			}
+			es, ts := env.Stats, trail.Stats
+			if es.Expanded != ts.Expanded || es.Failures != ts.Failures ||
+				es.DepthCutoffs != ts.DepthCutoffs || es.Pruned != ts.Pruned ||
+				es.MaxDepth != ts.MaxDepth {
+				t.Fatalf("%s: stats diverge\nenv:   %+v\ntrail: %+v", v.name, es, ts)
+			}
+			// The trail machine generates children lazily (one per taken
+			// alternative), the frontier engine eagerly (all per expansion),
+			// so Generated only agrees once every alternative was taken —
+			// i.e. on exhausted runs.
+			if env.Exhausted && trail.Exhausted && es.Generated != ts.Generated {
+				t.Fatalf("%s: Generated %d (env) vs %d (trail)", v.name, es.Generated, ts.Generated)
+			}
+		}
+	})
+}

@@ -231,66 +231,58 @@ func (ev *eval) noteConsumption(t *Table) {
 // would otherwise loop) dispatch through ev (Resolve below) and consume
 // tables instead.
 func (ev *eval) runGenerator(t *Table) error {
+	// Generators are sequential inside the producer slot, so they run on
+	// the destructive trail-store machine. RootBypassTabler makes the
+	// root pattern resolve against program clauses (that is what derives
+	// answers) while every call inside those derivations dispatches
+	// through ev and consumes tables. The derivation budget is metered
+	// through the step hook — one tick per non-solution node, exactly the
+	// counting the persistent-Env generator used — because ev.steps is
+	// shared across the whole fixpoint, not per run.
 	goal := term.Refresh(t.pattern)
-	exp := &engine.Expander{
-		DB:       ev.space.db,
-		Weights:  ev.ws,
-		MaxDepth: ev.maxDepth,
-		Tabler:   ev,
-		Ctx:      ev.ctx,
-		NoVM:     ev.noVM,
-	}
-	progExp := &engine.Expander{
-		DB:       ev.space.db,
-		Weights:  ev.ws,
-		MaxDepth: ev.maxDepth,
-		Ctx:      ev.ctx,
-		NoVM:     ev.noVM,
-	}
-	if ev.steps++; ev.steps > ev.budget {
-		return ErrBudget
-	}
-	roots, err := progExp.Expand(progExp.Root([]term.Term{goal}))
-	if err != nil && err != engine.ErrDepthLimit {
-		return err
-	}
-	stack := make([]*engine.Node, 0, len(roots))
-	for i := len(roots) - 1; i >= 0; i-- {
-		stack = append(stack, roots[i])
-	}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if n.IsSolution() {
-			if err := ev.addAnswer(t, n.Env.ResolveDeep(goal)); err != nil {
-				return err
+	tr := engine.NewTrailRun(engine.TrailConfig{
+		DB:               ev.space.db,
+		Weights:          ev.ws,
+		MaxDepth:         ev.maxDepth,
+		Tabler:           ev,
+		Ctx:              ev.ctx,
+		NoVM:             ev.noVM,
+		MaxExpansions:    math.MaxUint64,
+		RootBypassTabler: true,
+		StepHook: func() error {
+			if ev.steps++; ev.steps > ev.budget {
+				return ErrBudget
 			}
-			continue
+			return nil
+		},
+	}, []term.Term{goal})
+	// Answers are detached as they are added, so the run's scratch can be
+	// recycled as soon as the derivation is over.
+	defer tr.Release()
+	var err error
+	for {
+		_, ok, nerr := tr.Next()
+		if nerr != nil {
+			err = nerr
+			break
 		}
-		if ev.steps++; ev.steps > ev.budget {
-			return ErrBudget
+		if !ok {
+			break
 		}
-		if ev.steps%256 == 0 {
-			if err := ev.ctx.Err(); err != nil {
-				return err
-			}
-		}
-		children, err := exp.Expand(n)
-		if err == engine.ErrDepthLimit {
-			// A derivation inside the generator (a non-tabled chain in a
-			// clause body) hit the depth bound; answers past it are not
-			// derived. Flag the table so the truncation is visible
-			// (Info.Truncated) instead of silently memoized — exactly the
-			// honesty the untabled engine's DepthCutoffs counter gives.
-			t.truncated = true
-		} else if err != nil {
-			return err
-		}
-		for i := len(children) - 1; i >= 0; i-- {
-			stack = append(stack, children[i])
+		if aerr := ev.addAnswer(t, tr.ResolveAnswer(goal)); aerr != nil {
+			err = aerr
+			break
 		}
 	}
-	return nil
+	if tr.Stats().DepthCutoffs > 0 {
+		// A derivation inside the generator (a non-tabled chain in a
+		// clause body) hit the depth bound; answers past it are not
+		// derived. Flag the table so the truncation is visible
+		// (Info.Truncated) instead of silently memoized — exactly the
+		// honesty the untabled engine's DepthCutoffs counter gives.
+		t.truncated = true
+	}
+	return err
 }
 
 // ErrCost reports a derivation into a min(N) table whose cost argument

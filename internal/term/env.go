@@ -16,6 +16,14 @@ var varCounter atomic.Uint64
 // instead of copying a flat map of every binding.
 type Frame struct {
 	vars []Var
+	// b, when non-nil, holds the frame's destructive bindings in a trail
+	// run's Store (slot i binds vars[i]); nil outside trail runs. It is
+	// written only by the single goroutine driving the owning Store.
+	b []Term
+	// pooled marks frames minted by a FramePool: their variables are
+	// recycled at backtrack, so anything escaping the activation must be
+	// detached first (see Detacher).
+	pooled bool
 }
 
 // Size returns the number of variable slots in the frame.
@@ -81,6 +89,10 @@ type Env struct {
 	// answer fresh-variable misses without walking the spine.
 	born uint64
 	snap *snapshot
+	// st, when non-nil, ties the node to a destructive Store (store.go).
+	// The store's distinguished node binds in place; other st-carrying
+	// nodes are overlays staging alternatives above the store.
+	st *Store
 }
 
 // Depth returns the number of bindings in the environment.
@@ -95,6 +107,25 @@ func (e *Env) Depth() int {
 // for unbound v (the unifier guarantees this); rebinding would shadow
 // rather than overwrite, breaking Depth-based accounting.
 func (e *Env) Bind(v *Var, t Term) *Env {
+	if e != nil && e.st != nil {
+		if e == e.st.env {
+			// Destructive path: write the frame slot in place and log the
+			// write on the trail. The same node is returned, so callers
+			// threading environments through unification work unchanged.
+			f := v.frame
+			if f.b == nil {
+				f.b = make([]Term, len(f.vars))
+			}
+			f.b[v.idx] = t
+			e.st.trail = append(e.st.trail, trailEntry{frame: f, slot: v.idx})
+			e.depth++
+			return e
+		}
+		// Overlay node: an immutable extension staged above the store (see
+		// Store.Overlay). No snapshots and no birth cutoff — overlay spines
+		// are short and Lookup walks them explicitly.
+		return &Env{parent: e, v: v, t: t, depth: e.depth + 1, st: e.st}
+	}
 	n := &Env{parent: e, v: v, t: t, depth: e.Depth() + 1, born: varCounter.Load()}
 	if n.depth%snapshotEvery == 0 {
 		n.snap = n.buildSnapshot()
@@ -161,7 +192,29 @@ func (n *Env) buildSnapshot() *snapshot {
 // walk at most snapshotEvery-1 spine links, then answer from the nearest
 // snapshot's per-frame binding array.
 func (e *Env) Lookup(v *Var) (Term, bool) {
-	if e == nil || v.ID > e.born {
+	if e == nil {
+		return nil, false
+	}
+	if e.st != nil {
+		// Store mode: walk the (short) overlay spine, then answer from the
+		// frame binding array at the distinguished node. The birth cutoff
+		// does not apply — destructive binds do not advance node identity.
+		for c := e; c != nil; c = c.parent {
+			if c == c.st.env {
+				f := v.frame
+				if f == nil || f.b == nil {
+					return nil, false
+				}
+				t := f.b[v.idx]
+				return t, t != nil
+			}
+			if c.v == v {
+				return c.t, true
+			}
+		}
+		return nil, false
+	}
+	if v.ID > e.born {
 		return nil, false
 	}
 	for c := e; c != nil; c = c.parent {

@@ -1,0 +1,320 @@
+package term
+
+// This file implements the mutable half of the package's two binding
+// representations. The immutable Env (env.go) gives persistent
+// environments — what BFS, best-first and the OR-parallel frontier need,
+// where many open nodes extend a shared ancestor. Sequential depth-first
+// resolution needs none of that persistence: exactly one branch is alive
+// at a time, and classic WAM-family engines exploit it with a destructive
+// binding store plus a trail that undoes bindings on backtrack. Store is
+// that representation; engine.TrailRun drives it.
+
+// trailEntry records one destructive binding so Undo can erase it: the
+// frame written and the slot within it.
+type trailEntry struct {
+	frame *Frame
+	slot  int32
+}
+
+// Store is a mutable, trail-disciplined binding store. Bindings are
+// written in place into per-frame binding arrays (Frame.b); every write is
+// logged on the trail, and Undo rewinds to a Mark in time proportional to
+// the bindings made since — the O(bindings-since-mark) backtracking step.
+//
+// The store is driven through its distinguished Env (Env method): Bind on
+// that node writes destructively and returns the same node, so the unifier
+// and the bytecode machine run unchanged over either representation. A
+// Store is single-goroutine; concurrent queries each own one.
+type Store struct {
+	trail []trailEntry
+	env   *Env
+}
+
+// NewStore returns an empty store with its distinguished environment.
+func NewStore() *Store {
+	s := &Store{}
+	s.env = &Env{st: s}
+	return s
+}
+
+// Env returns the distinguished environment backed by the store. Bind on
+// it mutates the store; Lookup reads the frame binding arrays.
+func (s *Store) Env() *Env { return s.env }
+
+// Reset empties the store for reuse by a new run, keeping the trail's
+// capacity. The caller owns the consequences: any frame the old trail
+// still pointed to must be dead (a finished run's frames are — the pool's
+// free list only holds undone frames, and the rest die with the run).
+func (s *Store) Reset() {
+	tr := s.trail
+	for i := range tr {
+		tr[i] = trailEntry{}
+	}
+	s.trail = tr[:0]
+	s.env.depth = 0
+}
+
+// Mark returns the current trail position, to pass to Undo.
+func (s *Store) Mark() int { return len(s.trail) }
+
+// Undo unbinds everything recorded since mark, most recent first, and
+// truncates the trail back to it.
+func (s *Store) Undo(mark int) {
+	tr := s.trail
+	for i := len(tr) - 1; i >= mark; i-- {
+		e := tr[i]
+		e.frame.b[e.slot] = nil
+	}
+	s.env.depth -= len(tr) - mark
+	s.trail = tr[:mark]
+}
+
+// Overlay returns a fresh immutable extension point over the store's
+// current state. Code that stages alternative binding sets before the
+// machine commits to one (builtin evaluation, tabled answer resolution)
+// binds against the overlay — producing ordinary immutable Env nodes that
+// never touch the store — and the machine later replays the chosen
+// alternative's Deltas destructively under a trail mark.
+func (s *Store) Overlay() *Env {
+	return &Env{parent: s.env, depth: s.env.depth, st: s}
+}
+
+// Binding is one (variable, value) pair staged in an overlay.
+type Binding struct {
+	Var *Var
+	Val Term
+}
+
+// Deltas returns the bindings added to e above base, oldest first (bind
+// order), so replaying them in sequence reproduces the overlay's state.
+func (e *Env) Deltas(base *Env) []Binding {
+	n := 0
+	for c := e; c != base && c != nil; c = c.parent {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Binding, n)
+	for c := e; c != base && c != nil; c = c.parent {
+		n--
+		out[n] = Binding{Var: c.v, Val: c.t}
+	}
+	return out
+}
+
+// FramePool recycles activation frames whose lifetime ends at backtrack.
+// Frames are keyed by slot count; Get re-mints the variable identities
+// (fresh serials, the caller's print names) so a recycled frame is
+// indistinguishable from a newly allocated one. A pool belongs to a single
+// trail run — frames never migrate between queries, so pooling cannot leak
+// terms across them.
+//
+// Pooled frames impose one contract, enforced by Detacher: no *Var pointer
+// into a pooled frame may outlive the activation (solution bindings and
+// table answers detach them into fresh standalone variables first).
+type FramePool struct {
+	bySize [][]*Frame
+}
+
+// Get returns a frame with len(names) freshly minted variables, reusing a
+// recycled frame of that size when one is available. Nil for no names,
+// matching NewFrame.
+func (p *FramePool) Get(names []string) *Frame {
+	n := len(names)
+	if n == 0 {
+		return nil
+	}
+	if n < len(p.bySize) {
+		if l := p.bySize[n]; len(l) > 0 {
+			f := l[len(l)-1]
+			l[len(l)-1] = nil
+			p.bySize[n] = l[:len(l)-1]
+			// All bindings into a released frame were undone before Put
+			// (they postdate the owning choice point's mark), so f.b is
+			// already all-nil and can be kept.
+			base := varCounter.Add(uint64(n)) - uint64(n)
+			for i := range f.vars {
+				f.vars[i] = Var{Name: names[i], ID: base + uint64(i) + 1, frame: f, idx: int32(i)}
+			}
+			return f
+		}
+	}
+	f := NewFrame(names)
+	f.pooled = true
+	return f
+}
+
+// Put releases a frame back to the pool. Frames not minted by a pool
+// (including nil ground activations) are ignored.
+func (p *FramePool) Put(f *Frame) {
+	if f == nil || !f.pooled {
+		return
+	}
+	n := len(f.vars)
+	for n >= len(p.bySize) {
+		p.bySize = append(p.bySize, nil)
+	}
+	p.bySize[n] = append(p.bySize[n], f)
+}
+
+// RefreshAll renames the variables of ts apart with one shared map, so
+// variables shared across the slice stay shared. It returns the renamed
+// terms and the original-to-fresh mapping. Trail runs refresh their root
+// goals this way: the run binds destructively into the frames its goal
+// terms reference, and the caller's terms (often parse-time structures
+// reused across queries) must never be written.
+func RefreshAll(ts []Term) ([]Term, map[*Var]*Var) {
+	m := make(map[*Var]*Var, 8)
+	out := make([]Term, len(ts))
+	for i, t := range ts {
+		out[i] = refresh(t, m)
+	}
+	return out, m
+}
+
+// Detacher resolves terms out of a trail run's store into standalone
+// terms. Variables are first translated through Subst (a trail run's
+// original-to-refreshed query variable map; nil is fine), then resolved
+// against Env; any variable still unbound whose frame is pool-recycled is
+// replaced by a fresh detached variable with the same print name,
+// consistently across one Detacher's lifetime. The result survives
+// backtracking and frame recycling.
+type Detacher struct {
+	Env   *Env
+	Subst map[*Var]*Var
+	fresh map[*Var]*Var
+}
+
+// Detach resolves t as described on the type.
+func (d *Detacher) Detach(t Term) Term {
+	if v, ok := t.(*Var); ok && d.Subst != nil {
+		if nv, ok := d.Subst[v]; ok {
+			t = nv
+		}
+	}
+	t = d.Env.Resolve(t)
+	switch t := t.(type) {
+	case *Var:
+		if t.frame == nil || !t.frame.pooled {
+			return t
+		}
+		if nv, ok := d.fresh[t]; ok {
+			return nv
+		}
+		nv := NewVar(t.Name)
+		if d.fresh == nil {
+			d.fresh = make(map[*Var]*Var, 4)
+		}
+		d.fresh[t] = nv
+		return nv
+	case *Compound:
+		args := make([]Term, len(t.Args))
+		// Pool-minted compounds are recycled on backtrack, so they are
+		// copied unconditionally; others are shared when unchanged.
+		changed := t.pooled
+		for i, a := range t.Args {
+			args[i] = d.Detach(a)
+			if args[i] != a {
+				changed = true
+			}
+		}
+		if !changed {
+			return t
+		}
+		return &Compound{Functor: t.Functor, Args: args}
+	default:
+		return t
+	}
+}
+
+// CompoundPool recycles the short-lived compounds of clause-body
+// instantiation, the dominant allocation of the resolution hot path. It
+// works like the trail: every Get is logged, a caller takes a Mark before
+// an activation, and Release returns everything minted since the mark to
+// the per-arity free lists — which is sound exactly because a body goal's
+// structure dies with its activation's choice point, and everything that
+// outlives backtracking (solution bindings, table answers) leaves through
+// Detacher, which copies pool-minted compounds unconditionally.
+type CompoundPool struct {
+	free [][]*Compound // indexed by arity
+	log  []*Compound
+}
+
+// Mark returns the current log position, to pass to Release.
+func (p *CompoundPool) Mark() int { return len(p.log) }
+
+// Get returns a pooled compound with the given functor and arity. Args
+// are not cleared: callers fill every slot, as with MakeCompound.
+func (p *CompoundPool) Get(fn Sym, arity int) *Compound {
+	var c *Compound
+	if arity < len(p.free) {
+		if l := p.free[arity]; len(l) > 0 {
+			c = l[len(l)-1]
+			l[len(l)-1] = nil
+			p.free[arity] = l[:len(l)-1]
+			c.Functor = fn
+		}
+	}
+	if c == nil {
+		c = MakeCompound(fn, arity)
+		c.pooled = true
+	}
+	p.log = append(p.log, c)
+	return c
+}
+
+// Release recycles every compound minted since mark and truncates the
+// log back to it.
+func (p *CompoundPool) Release(mark int) {
+	lg := p.log
+	for i := len(lg) - 1; i >= mark; i-- {
+		c := lg[i]
+		lg[i] = nil
+		n := len(c.Args)
+		for n >= len(p.free) {
+			p.free = append(p.free, nil)
+		}
+		p.free[n] = append(p.free[n], c)
+	}
+	p.log = lg[:mark]
+}
+
+// MakeCompound allocates a compound of the given arity with its argument
+// slice in the same allocation, for hot paths (body-goal instantiation)
+// that build many short-lived compounds. Arguments start nil; the caller
+// fills them.
+func MakeCompound(fn Sym, arity int) *Compound {
+	switch arity {
+	case 1:
+		s := &struct {
+			c Compound
+			a [1]Term
+		}{}
+		s.c = Compound{Functor: fn, Args: s.a[:]}
+		return &s.c
+	case 2:
+		s := &struct {
+			c Compound
+			a [2]Term
+		}{}
+		s.c = Compound{Functor: fn, Args: s.a[:]}
+		return &s.c
+	case 3:
+		s := &struct {
+			c Compound
+			a [3]Term
+		}{}
+		s.c = Compound{Functor: fn, Args: s.a[:]}
+		return &s.c
+	case 4:
+		s := &struct {
+			c Compound
+			a [4]Term
+		}{}
+		s.c = Compound{Functor: fn, Args: s.a[:]}
+		return &s.c
+	default:
+		return &Compound{Functor: fn, Args: make([]Term, arity)}
+	}
+}

@@ -78,7 +78,11 @@ type Var struct {
 // `f(sam, Y)` or `.(H, T)` (a list cell). The functor is interned.
 type Compound struct {
 	Functor Sym
-	Args    []Term
+	// pooled marks compounds minted by a CompoundPool (store.go): they are
+	// recycled on backtrack, so Detacher always copies them on the way out.
+	// The flag packs into Functor's alignment padding — no size cost.
+	pooled bool
+	Args   []Term
 }
 
 // FunctorName returns the functor's text.

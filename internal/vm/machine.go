@@ -20,6 +20,14 @@ type Machine struct {
 	frame *term.Frame
 	cc    *CClause
 	stack []cursor
+	// Pool, when set, supplies activation frames (reclaimed by the owner
+	// at backtrack via TakeFrame). Trail-store runs set it; persistent-Env
+	// runs leave it nil and let frames be garbage collected.
+	Pool *term.FramePool
+	// CPool, when set, supplies the compounds of body-goal and write-mode
+	// instantiation (reclaimed by the owner at backtrack via the pool's
+	// mark/release protocol). Trail-store runs set it.
+	CPool *term.CompoundPool
 }
 
 // Resolve runs the clause's head code against a resolved goal under env.
@@ -140,7 +148,11 @@ func (m *Machine) reg(slot int32) term.Term {
 		return t
 	}
 	if m.frame == nil {
-		m.frame = term.NewFrame(m.cc.names)
+		if m.Pool != nil {
+			m.frame = m.Pool.Get(m.cc.names)
+		} else {
+			m.frame = term.NewFrame(m.cc.names)
+		}
 	}
 	v := m.frame.Var(int(slot))
 	m.regs[slot] = v
@@ -156,12 +168,27 @@ func (m *Machine) inst(s *snode) term.Term {
 	case sSlot:
 		return m.reg(s.slot)
 	default:
-		args := make([]term.Term, len(s.args))
-		for i := range s.args {
-			args[i] = m.inst(&s.args[i])
+		var c *term.Compound
+		if m.CPool != nil {
+			c = m.CPool.Get(s.fn, len(s.args))
+		} else {
+			c = term.MakeCompound(s.fn, len(s.args))
 		}
-		return &term.Compound{Functor: s.fn, Args: args}
+		for i := range s.args {
+			c.Args[i] = m.inst(&s.args[i])
+		}
+		return c
 	}
+}
+
+// TakeFrame detaches and returns the frame minted by the last Resolve
+// (nil for a ground activation), transferring ownership to the caller —
+// who returns it to the pool once the activation's bindings are undone
+// and its body goals are dead.
+func (m *Machine) TakeFrame() *term.Frame {
+	f := m.frame
+	m.frame = nil
+	return f
 }
 
 // BodyGoal builds the i-th body goal of the clause most recently resolved
