@@ -46,6 +46,7 @@ import (
 	"blog/internal/engine"
 	"blog/internal/kb"
 	"blog/internal/machine"
+	"blog/internal/obs"
 	"blog/internal/parse"
 	"blog/internal/prelude"
 	"blog/internal/search"
@@ -239,6 +240,17 @@ type queryOpts struct {
 	tabled        bool
 	noVM          bool
 	noTrail       bool
+	traced        bool
+	prof          *obs.Profiler
+	live          *obs.Live
+}
+
+// newTrace starts the query's span trace when Traced() was given.
+func (o *queryOpts) newTrace() *obs.Trace {
+	if !o.traced {
+		return nil
+	}
+	return obs.NewTrace("query")
 }
 
 // MaxSolutions stops the search after n solutions (0 = all).
@@ -326,6 +338,41 @@ func RecordTree() Option { return func(o *queryOpts) { o.recordTree = true } }
 // RecordTrace records figure-1 style resolution lines; sequential only.
 func RecordTrace() Option { return func(o *queryOpts) { o.recordTrace = true } }
 
+// Profiler accumulates per-predicate work counters and attributed wall
+// time across the queries that carry it (Profiled option). All counters
+// are atomic, so one Profiler may be shared by concurrent queries; see
+// internal/obs.
+type Profiler = obs.Profiler
+
+// NewProfiler returns an empty per-predicate profiler.
+func NewProfiler() *Profiler { return obs.NewProfiler() }
+
+// PredProfile is one predicate's row in a profiler snapshot.
+type PredProfile = obs.PredProfile
+
+// Span is one timed node of a traced query's span tree (Result.Spans).
+type Span = obs.Span
+
+// Live is an in-flight query's inspector entry; see the blogd
+// /debug/queries endpoint and internal/obs.
+type Live = obs.Live
+
+// Traced collects a span tree for the query — parse, compile, search,
+// and table-fixpoint rounds — returned as Result.Spans (or
+// SolutionIter.Spans for streams). Works under every strategy and both
+// binding representations.
+func Traced() Option { return func(o *queryOpts) { o.traced = true } }
+
+// Profiled attributes the query's per-predicate work (expansions, VM
+// dispatches, trail binds/undos, table hits/misses, wall nanos) into p.
+// The same p may be given to many queries, including concurrent ones.
+func Profiled(p *Profiler) Option { return func(o *queryOpts) { o.prof = p } }
+
+// Monitor registers the query's live inspector entry: the engines sync
+// their expansion counter into l as the search runs. Servers use this to
+// power their in-flight query listing.
+func Monitor(l *Live) Option { return func(o *queryOpts) { o.live = l } }
+
 // Solution is one answer to a query.
 type Solution struct {
 	// Bindings maps query variable names to rendered value terms.
@@ -364,6 +411,9 @@ type Result struct {
 	Tree string
 	// Trace holds figure-1 style lines when RecordTrace was set.
 	Trace []string
+	// Spans is the query's span tree when Traced was set: parse, compile
+	// and search phases with table fixpoints and rounds beneath.
+	Spans *Span
 	// Migrations counts network chain acquisitions (Parallel two-level).
 	Migrations uint64
 	// VMDispatched counts goals resolved on the compiled bytecode engine
@@ -405,11 +455,18 @@ func (p *Program) Query(query string, strat Strategy, opts ...Option) (*Result, 
 // aborts the search promptly — under every strategy — and returns the
 // context's error.
 func (p *Program) QueryContext(ctx context.Context, query string, strat Strategy, opts ...Option) (*Result, error) {
-	goals, err := parse.Query(query)
+	o, store, err := p.applyOpts(opts)
 	if err != nil {
 		return nil, err
 	}
-	return p.QueryGoalsContext(ctx, goals, strat, opts...)
+	tr := o.newTrace()
+	psp := tr.Phase("parse")
+	goals, err := parse.Query(query)
+	psp.End()
+	if err != nil {
+		return nil, err
+	}
+	return p.runGoals(ctx, goals, strat, o, store, tr)
 }
 
 // QueryGoals runs pre-parsed goals (shared-variable structure preserved).
@@ -419,17 +476,28 @@ func (p *Program) QueryGoals(goals []term.Term, strat Strategy, opts ...Option) 
 
 // QueryGoalsContext runs pre-parsed goals under ctx. All strategies go
 // through the same solver runtime: the facade only assembles the Request
-// and converts the unified Response.
+// and converts the unified Response. A Traced run's span tree has no
+// parse phase here — the goals arrived parsed.
 func (p *Program) QueryGoalsContext(ctx context.Context, goals []term.Term, strat Strategy, opts ...Option) (*Result, error) {
 	o, store, err := p.applyOpts(opts)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := solve.Do(ctx, p.request(goals, strat, o, store))
+	return p.runGoals(ctx, goals, strat, o, store, o.newTrace())
+}
+
+// runGoals is the shared back half of every batch query: assemble the
+// solver request, run it, convert the response, finish the trace.
+func (p *Program) runGoals(ctx context.Context, goals []term.Term, strat Strategy, o queryOpts, store weights.Store, tr *obs.Trace) (*Result, error) {
+	req := p.request(goals, strat, o, store)
+	req.Trace = tr
+	resp, err := solve.Do(ctx, req)
 	if err != nil {
 		return nil, err
 	}
-	return resultFrom(resp), nil
+	res := resultFrom(resp)
+	res.Spans = tr.Finish()
+	return res, nil
 }
 
 // applyOpts folds the options and resolves the weight store (session-local
@@ -477,6 +545,8 @@ func (p *Program) request(goals []term.Term, strat Strategy, o queryOpts, store 
 		D:             o.d,
 		RecordTree:    o.recordTree,
 		RecordTrace:   o.recordTrace,
+		Prof:          o.prof,
+		Live:          o.live,
 	}
 }
 
@@ -531,11 +601,14 @@ type SolutionIter struct {
 	inner  *search.Iter
 	tables *table.Handle // nil for untabled streams
 	names  []string
+	trace  *obs.Trace // nil for untraced streams
 }
 
 // Iter prepares a lazy query under a sequential strategy (DFS, BFS or
-// BestFirst); the Parallel strategy and tree/trace recording are not
-// supported in streaming mode.
+// BestFirst); the Parallel strategy is not supported in streaming mode.
+// Tree/trace recording (RecordTree, RecordTrace) and span tracing
+// (Traced) stream too: the recorded tree, lines and spans grow as
+// solutions are pulled, readable through Tree, Trace and Spans.
 func (p *Program) Iter(query string, strat Strategy, opts ...Option) (*SolutionIter, error) {
 	return p.IterContext(context.Background(), query, strat, opts...)
 }
@@ -543,15 +616,20 @@ func (p *Program) Iter(query string, strat Strategy, opts ...Option) (*SolutionI
 // IterContext is Iter with cancellation: once ctx is done, Next returns
 // the context's error.
 func (p *Program) IterContext(ctx context.Context, query string, strat Strategy, opts ...Option) (*SolutionIter, error) {
-	goals, err := parse.Query(query)
-	if err != nil {
-		return nil, err
-	}
 	o, store, err := p.applyOpts(opts)
 	if err != nil {
 		return nil, err
 	}
-	it, th, err := solve.NewIter(ctx, p.request(goals, strat, o, store))
+	tr := o.newTrace()
+	psp := tr.Phase("parse")
+	goals, err := parse.Query(query)
+	psp.End()
+	if err != nil {
+		return nil, err
+	}
+	req := p.request(goals, strat, o, store)
+	req.Trace = tr
+	it, th, err := solve.NewIter(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -559,7 +637,7 @@ func (p *Program) IterContext(ctx context.Context, query string, strat Strategy,
 	for _, v := range it.QueryVars() {
 		names = append(names, v.String())
 	}
-	return &SolutionIter{inner: it, tables: th, names: names}, nil
+	return &SolutionIter{inner: it, tables: th, names: names, trace: tr}, nil
 }
 
 // Next returns the next solution; ok is false when the stream ends
@@ -567,6 +645,9 @@ func (p *Program) IterContext(ctx context.Context, query string, strat Strategy,
 func (s *SolutionIter) Next() (Solution, bool, error) {
 	sol, ok, err := s.inner.Next()
 	if !ok {
+		// The stream is over one way or another; close any open spans so
+		// the trace is complete whenever the caller reads it.
+		s.trace.Finish()
 		return Solution{}, false, err
 	}
 	b := make(map[string]string, len(sol.Bindings))
@@ -620,6 +701,25 @@ func (s *SolutionIter) Stats() IterStats {
 // Exhausted reports whether the stream ended because the whole tree was
 // searched (meaningful after Next returned ok=false with a nil error).
 func (s *SolutionIter) Exhausted() bool { return s.inner.Exhausted() }
+
+// Spans returns the stream's span tree when Traced was set, nil
+// otherwise. It finishes the trace — closing the still-open search phase
+// — so it is meant to be read once the caller is done pulling.
+func (s *SolutionIter) Spans() *Span { return s.trace.Finish() }
+
+// Tree returns the search tree rendered so far when RecordTree was set
+// ("" otherwise); it grows as solutions are pulled.
+func (s *SolutionIter) Tree() string {
+	t := s.inner.Tree()
+	if t == nil {
+		return ""
+	}
+	return t.Render()
+}
+
+// Trace returns the figure-1 style lines recorded so far when
+// RecordTrace was set.
+func (s *SolutionIter) Trace() []string { return s.inner.Trace() }
 
 // Session scopes weight learning per section 5: strong updates go to a
 // local store; End merges them conservatively into the program's global

@@ -21,6 +21,7 @@ type replState struct {
 	learn    bool
 	tabled   bool
 	noVM     bool
+	profile  bool
 	maxSol   int
 	maxDepth int
 	workers  int
@@ -42,6 +43,7 @@ const replHelp = `commands:
   :tables                 tabled predicates and memoized answer tables
   :tabled on|off          honor :- table declarations (default on)
   :compiled on|off        bytecode VM vs tree-walking oracle (default on)
+  :profile on|off         print span trace and hottest predicates per query
   :help                   this text
   :quit                   leave
 
@@ -117,6 +119,13 @@ func (st *replState) command(line string, out io.Writer) bool {
 		}
 		st.noVM = fields[1] == "off"
 		fmt.Fprintf(out, "compiled: %v\n", !st.noVM)
+	case ":profile":
+		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+			fmt.Fprintln(out, "usage: :profile on|off")
+			break
+		}
+		st.profile = fields[1] == "on"
+		fmt.Fprintf(out, "profile: %v\n", st.profile)
 	case ":n", ":depth", ":workers":
 		if len(fields) != 2 {
 			fmt.Fprintf(out, "usage: %s <int>\n", fields[0])
@@ -271,6 +280,11 @@ func (st *replState) query(line string, out io.Writer) {
 	if st.strategy == blog.Parallel {
 		opts = append(opts, blog.Workers(st.workers))
 	}
+	var prof *blog.Profiler
+	if st.profile {
+		prof = blog.NewProfiler()
+		opts = append(opts, blog.Traced(), blog.Profiled(prof))
+	}
 	// Ctrl-C interrupts the running query (every strategy honors the
 	// context) instead of killing the REPL.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -286,10 +300,32 @@ func (st *replState) query(line string, out io.Writer) {
 	}
 	if len(res.Solutions) == 0 {
 		fmt.Fprintln(out, "no.")
+		st.printProfile(res, prof, out)
 		return
 	}
 	for _, s := range res.Solutions {
 		fmt.Fprintf(out, "%s ;\n", s)
 	}
 	fmt.Fprintf(out, "%d solution(s), %d expansions\n", len(res.Solutions), res.Expanded)
+	st.printProfile(res, prof, out)
+}
+
+// printProfile renders the span trace and hottest-predicate table after a
+// query when :profile is on.
+func (st *replState) printProfile(res *blog.Result, prof *blog.Profiler, out io.Writer) {
+	if prof == nil {
+		return
+	}
+	if res.Spans != nil {
+		fmt.Fprint(out, res.Spans.Render())
+	}
+	top := prof.Top(8)
+	if len(top) == 0 {
+		return
+	}
+	fmt.Fprintf(out, "%-20s %10s %10s %10s %10s\n", "pred", "expansions", "vm", "binds", "µs")
+	for _, p := range top {
+		fmt.Fprintf(out, "%-20s %10d %10d %10d %10.1f\n",
+			p.Pred, p.Expansions, p.VMDispatches, p.TrailBinds, float64(p.Nanos)/1e3)
+	}
 }

@@ -18,8 +18,15 @@
 //	POST   /sessions/{id}/query  query with session-scoped learning
 //	DELETE /sessions/{id}        end the session (conservative merge)
 //	GET    /healthz              liveness + pool gauges
-//	GET    /metrics              Prometheus-style counters and latency
+//	GET    /metrics              Prometheus-style counters and latency histogram
 //	GET    /stats                loaded program shape
+//	GET    /profile              process-wide per-predicate profile (hottest first)
+//	GET    /debug/queries        in-flight queries (live inspector)
+//	DELETE /debug/queries/{id}   cancel an in-flight query (victim gets 410)
+//
+// Logs are structured (log/slog text format) on stdout; -slow-query
+// turns on the sampled slow-query log, which records each offender's
+// span tree and hottest predicates under its request ID.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -57,8 +65,11 @@ func main() {
 		weightsOut = flag.String("weights-out", "", "save the global weight table on shutdown")
 		compiled   = flag.String("compiled", "on", "resolution engine: on = bytecode VM, off = tree-walking oracle")
 		pprofOn    = flag.Bool("pprof", false, "expose /debug/pprof endpoints for profiling the hot path")
+		slowQuery  = flag.Duration("slow-query", 0, "log queries slower than this with span tree and hot predicates (0 = off)")
 	)
 	flag.Parse()
+	logger := slog.New(slog.NewTextHandler(os.Stdout, nil))
+	slog.SetDefault(logger)
 	if *compiled != "on" && *compiled != "off" {
 		fmt.Fprintf(os.Stderr, "blogd: -compiled must be on or off, got %q\n", *compiled)
 		os.Exit(2)
@@ -91,8 +102,8 @@ func main() {
 		fatal(err)
 	}
 	clauses, facts, rules, preds, arcs := prog.Stats()
-	fmt.Printf("blogd: loaded %s: %d clauses (%d facts, %d rules), %d predicates, %d arcs\n",
-		*file, clauses, facts, rules, preds, arcs)
+	logger.Info("loaded program", "file", *file, "clauses", clauses, "facts", facts,
+		"rules", rules, "predicates", preds, "arcs", arcs)
 
 	queueLen := *queue
 	if queueLen == 0 {
@@ -110,6 +121,8 @@ func main() {
 		SessionTTL:      *sessionTTL,
 		DefaultStrategy: *strategy,
 		NoVM:            *compiled == "off",
+		Logger:          logger,
+		SlowQuery:       *slowQuery,
 	})
 	workers, queueLen := srv.Pool().Capacity()
 
@@ -140,7 +153,7 @@ func main() {
 		// slack, so a client that never reads cannot pin a worker slot.
 		WriteTimeout: *maxTimeout + time.Minute,
 	}
-	fmt.Printf("blogd: listening on %s (pool %d, queue %d)\n", ln.Addr(), workers, queueLen)
+	logger.Info("listening", "addr", ln.Addr().String(), "pool", workers, "queue", queueLen)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
@@ -149,11 +162,11 @@ func main() {
 	defer stop()
 	select {
 	case <-ctx.Done():
-		fmt.Println("blogd: shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			fmt.Fprintf(os.Stderr, "blogd: shutdown: %v\n", err)
+			logger.Error("shutdown", "err", err)
 		}
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -164,7 +177,7 @@ func main() {
 	// Merge every live session before persisting, so learning from
 	// clients that never sent DELETE survives the restart.
 	if n := srv.EndAllSessions(); n > 0 {
-		fmt.Printf("blogd: merged %d live session(s)\n", n)
+		logger.Info("merged live sessions", "n", n)
 	}
 	if *weightsOut != "" {
 		f, err := os.Create(*weightsOut)
@@ -178,7 +191,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("blogd: saved weights to %s (%d learned arcs)\n", *weightsOut, prog.LearnedArcs())
+		logger.Info("saved weights", "file", *weightsOut, "learned_arcs", prog.LearnedArcs())
 	}
 }
 

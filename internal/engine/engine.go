@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"blog/internal/kb"
+	"blog/internal/obs"
 	"blog/internal/term"
 	"blog/internal/unify"
 	"blog/internal/vm"
@@ -195,10 +196,17 @@ type Expander struct {
 	NoVM bool
 	// VMDispatched counts goals resolved on the compiled bytecode path.
 	VMDispatched uint64
+	// Prof, when non-nil, accumulates per-predicate profile counters with
+	// interval attribution: each Expand charges the time since the previous
+	// Expand to the previously expanded predicate. Callers that pause
+	// between Expand calls (pull iterators) flush via ProfFlush so idle
+	// time is not attributed.
+	Prof *obs.Profiler
 
-	seq  uint64
-	prog *vm.Program
-	mach vm.Machine
+	seq   uint64
+	prog  *vm.Program
+	mach  vm.Machine
+	meter *obs.Meter
 }
 
 // NewExpander returns an expander with MaxDepth defaulted from the store.
@@ -240,6 +248,12 @@ func (e *Expander) Expand(n *Node) ([]*Node, error) {
 	goal := n.Env.Resolve(entry.Goal)
 
 	if fn, arity, ok := term.PredOf(goal); ok {
+		if e.Prof != nil {
+			if e.meter == nil {
+				e.meter = obs.NewMeter(e.Prof)
+			}
+			e.meter.Note(fn, arity, 0, 0)
+		}
 		if fn == term.SymNeg && arity == 1 {
 			return e.expandNegation(n, goal)
 		}
@@ -296,6 +310,13 @@ func (e *Expander) Expand(n *Node) ([]*Node, error) {
 	return children, nil
 }
 
+// ProfFlush charges the profiler's pending attribution interval and
+// clears it. Search drivers call it at solution yields and terminal
+// states so time spent outside the engine is not charged to a predicate.
+func (e *Expander) ProfFlush() {
+	e.meter.Flush(0, 0)
+}
+
 // program returns the compiled program for the database, recompiling
 // when the database generation moved (a clause was asserted since).
 // Lazy attachment here, rather than in a constructor, covers every
@@ -314,6 +335,9 @@ func (e *Expander) program() *vm.Program {
 // two engines produce the same children in the same order.
 func (e *Expander) expandCompiled(n *Node, entry GoalEntry, goal term.Term, pc *vm.PredCode) ([]*Node, error) {
 	e.VMDispatched++
+	if c := e.meter.Current(); c != nil {
+		c.VMDispatches.Add(1)
+	}
 	cands := pc.Select(n.Env, goal)
 	children := make([]*Node, 0, len(cands))
 	for _, cc := range cands {
@@ -473,6 +497,10 @@ func (e *Expander) expandTabled(n *Node, goal term.Term) ([]*Node, error) {
 		ctx = context.Background()
 	}
 	envs, err := e.Tabler.Resolve(ctx, n.Env, goal)
+	// Table production charges its own time inside the generator runs
+	// (which share the profiler); restarting the interval clock here keeps
+	// that wall time from also being charged to the consumer's predicate.
+	e.meter.Skip()
 	if err != nil {
 		return nil, err
 	}

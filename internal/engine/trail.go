@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"blog/internal/kb"
+	"blog/internal/obs"
 	"blog/internal/term"
 	"blog/internal/unify"
 	"blog/internal/vm"
@@ -60,6 +61,14 @@ type TrailConfig struct {
 	// expansion is counted; a non-nil return aborts the run with that
 	// error. Table generators meter their derivation budget through it.
 	StepHook func() error
+	// Prof, when non-nil, accumulates per-predicate profile counters via
+	// interval attribution: each dispatch charges the time and trail
+	// binds/undos since the previous dispatch to the previously dispatched
+	// predicate. Disabled (nil) costs one nil check per dispatch.
+	Prof *obs.Profiler
+	// Live, when non-nil, receives the expansion counter every 1024
+	// arrivals, for the server's live query inspector.
+	Live *obs.Live
 }
 
 // TrailStats mirrors the search-level work counters for a trail run.
@@ -276,6 +285,8 @@ type TrailRun struct {
 	// rootBypass is TrailConfig.RootBypassTabler, consumed by the first
 	// dispatch.
 	rootBypass bool
+	// meter charges the profiler; nil when profiling is disabled.
+	meter *obs.Meter
 }
 
 // NewTrailRun prepares a trail-store DFS for goals. The goals are renamed
@@ -330,6 +341,7 @@ func NewTrailRun(cfg TrailConfig, goals []term.Term) *TrailRun {
 		queryVars:  queryVars,
 		fresh:      m,
 		rootBypass: cfg.RootBypassTabler,
+		meter:      obs.NewMeter(cfg.Prof),
 	}
 }
 
@@ -355,16 +367,21 @@ func (r *TrailRun) Next() (Solution, bool, error) {
 			if err != nil {
 				r.mode = trailDone
 				r.err = err
+				r.profFlush()
 				return Solution{}, false, err
 			}
 			if yielded {
 				r.mode = trailBacktrack
+				// Flush pending profiler attribution at the yield so time
+				// the caller spends between pulls is not charged.
+				r.profFlush()
 				return sol, true, nil
 			}
 		case trailBacktrack:
 			if !r.backtrack() {
 				r.mode = trailDone
 				r.exhausted = true
+				r.profFlush()
 				return Solution{}, false, nil
 			}
 			r.mode = trailArrive
@@ -409,6 +426,9 @@ func (r *TrailRun) arrive() (Solution, bool, error) {
 		}
 	}
 	r.stats.Expanded++
+	if l := r.cfg.Live; l != nil && r.stats.Expanded&1023 == 0 {
+		l.Expanded.Store(r.stats.Expanded)
+	}
 	if r.depth > r.stats.MaxDepth {
 		r.stats.MaxDepth = r.depth
 	}
@@ -418,6 +438,15 @@ func (r *TrailRun) arrive() (Solution, bool, error) {
 		return Solution{}, false, nil
 	}
 	return Solution{}, false, r.dispatch()
+}
+
+// profFlush charges the profiler's pending attribution interval. Runs at
+// solution yields and terminal states.
+func (r *TrailRun) profFlush() {
+	if r.meter != nil && r.sh != nil {
+		b, u := r.sh.st.Counters()
+		r.meter.Flush(b, u)
+	}
 }
 
 // failChain records the current node as a dead chain and switches to
@@ -445,6 +474,10 @@ func (r *TrailRun) dispatch() error {
 		r.failChain()
 		return nil
 	}
+	if m := r.meter; m != nil {
+		b, u := r.sh.st.Counters()
+		m.Note(fn, arity, b, u)
+	}
 	if fn == term.SymNeg && arity == 1 {
 		return r.dispatchNegation(goal)
 	}
@@ -460,6 +493,9 @@ func (r *TrailRun) dispatch() error {
 	if r.cfg.Tabler != nil && !bypass && r.cfg.Tabler.IsTabled(fn, arity) {
 		base := r.sh.st.Overlay()
 		envs, err := r.cfg.Tabler.Resolve(r.ctx, base, goal)
+		// Production time is charged inside the generator runs, which share
+		// the profiler; skip the interval so it is not double-counted here.
+		r.meter.Skip()
 		if err != nil {
 			return err
 		}
@@ -534,6 +570,9 @@ func (r *TrailRun) applyEnvs(base *term.Env, envs []*term.Env, goal term.Term) {
 // point over the switch-on-term candidate list.
 func (r *TrailRun) dispatchVM(entry GoalEntry, goal term.Term, pc *vm.PredCode) error {
 	r.stats.VMDispatched++
+	if c := r.meter.Current(); c != nil {
+		c.VMDispatches.Add(1)
+	}
 	cands := pc.Select(r.env, goal)
 	if len(cands) == 0 {
 		r.failChain()
@@ -590,6 +629,10 @@ func (r *TrailRun) dispatchNegation(goal term.Term) error {
 	cfg.Learn = false
 	cfg.Prune = false
 	cfg.RootBypassTabler = false
+	// The nested run is not separately profiled: its whole wall time lands
+	// in the enclosing interval, charged to the \+ predicate.
+	cfg.Prof = nil
+	cfg.Live = nil
 	var steps int
 	cfg.StepHook = func() error {
 		if steps++; steps > negationBudget {

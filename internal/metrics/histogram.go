@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// latencyBounds are the upper bucket bounds, in seconds, of the query
+// latency histogram: a 1-2.5-5 log ladder from 100µs to 60s. The implicit
+// final bucket is +Inf.
+var latencyBounds = []float64{
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5,
+	10, 30, 60,
+}
+
+// Histogram is a fixed-boundary log-bucketed histogram with atomic
+// counters: Observe is lock-free and allocation-free, and quantiles are
+// interpolated from the bucket counts — replacing the bounded sample ring
+// the server previously kept, which forgot all but the last N
+// observations. Bucket semantics match Prometheus: counts[i] observations
+// fell at or below bounds[i], with one overflow bucket (+Inf) at the end.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// NewLatencyHistogram returns a histogram bucketed for query latencies in
+// seconds (100µs–60s log ladder).
+func NewLatencyHistogram() *Histogram { return NewHistogram(latencyBounds) }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Buckets returns the upper bounds and the cumulative count at or below
+// each bound, Prometheus-style (the caller appends the +Inf bucket via
+// Count). The two slices are freshly allocated.
+func (h *Histogram) Buckets() (bounds []float64, cumulative []uint64) {
+	bounds = append([]float64(nil), h.bounds...)
+	cumulative = make([]uint64, len(h.bounds))
+	var c uint64
+	for i := range h.bounds {
+		c += h.counts[i].Load()
+		cumulative[i] = c
+	}
+	return bounds, cumulative
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) estimated by linear
+// interpolation within the bucket containing it, the same estimate
+// Prometheus's histogram_quantile computes. Returns 0 with no
+// observations; values in the overflow bucket clamp to the top bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.bounds {
+		n := h.counts[i].Load()
+		if float64(cum)+float64(n) >= rank && n > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + (h.bounds[i]-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}

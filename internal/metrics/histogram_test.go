@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-106) > 1e-9 {
+		t.Errorf("sum = %g, want 106", got)
+	}
+	bounds, cum := h.Buckets()
+	if len(bounds) != 3 || len(cum) != 3 {
+		t.Fatalf("buckets = %v %v", bounds, cum)
+	}
+	// Cumulative, le-semantics: {≤1: 0.5 and 1}, {≤2: +1.5}, {≤4: +3};
+	// the 100 lands only in the implicit +Inf bucket (Count).
+	want := []uint64{2, 3, 4}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Errorf("cum[%d] = %d, want %d", i, cum[i], want[i])
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all in (1,2]
+	}
+	for _, q := range []float64{0.1, 0.5, 0.95} {
+		got := h.Quantile(q)
+		if got < 1 || got > 2 {
+			t.Errorf("Quantile(%g) = %g, want within (1,2]", q, got)
+		}
+	}
+	// Out-of-range q clamps instead of panicking.
+	if got := h.Quantile(-1); got < 1 || got > 2 {
+		t.Errorf("Quantile(-1) = %g", got)
+	}
+	if got := h.Quantile(2); got < 1 || got > 2 {
+		t.Errorf("Quantile(2) = %g", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewLatencyHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.003)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d, want 8000", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-24) > 1e-6 {
+		t.Errorf("sum = %g, want 24", got)
+	}
+	bounds, cum := h.Buckets()
+	// 3ms falls in the first bucket with bound >= 0.003.
+	for i, ub := range bounds {
+		want := uint64(0)
+		if ub >= 0.003 {
+			want = 8000
+		}
+		if cum[i] != want {
+			t.Errorf("cum[le=%g] = %d, want %d", ub, cum[i], want)
+		}
+	}
+}

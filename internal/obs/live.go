@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrKilled is the cancellation cause set when a query is cancelled
+// through the live inspector (DELETE /debug/queries/{id}), so the server
+// can answer the victim's request distinctly from a client disconnect.
+var ErrKilled = errors.New("query cancelled via inspector")
+
+// Live is one in-flight query as the inspector sees it. The engines store
+// into Expanded periodically (every 1024 expansions) behind a nil check,
+// so an unwatched query pays nothing and a watched one pays one atomic
+// store per ~1024 dispatches.
+type Live struct {
+	ID       string
+	Goal     string
+	Strategy string
+	Start    time.Time
+	Expanded atomic.Uint64
+
+	cancel context.CancelCauseFunc
+}
+
+// Cancel cancels the query's context with the given cause.
+func (l *Live) Cancel(cause error) {
+	if l.cancel != nil {
+		l.cancel(cause)
+	}
+}
+
+// Registry tracks in-flight queries for the live inspector and mints the
+// request IDs the structured logs share with it.
+type Registry struct {
+	mu   sync.Mutex
+	next uint64
+	m    map[string]*Live
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]*Live, 16)}
+}
+
+// Add registers an in-flight query and returns its entry, with a freshly
+// minted ID. cancel may be nil for queries that cannot be killed.
+func (r *Registry) Add(goal, strategy string, cancel context.CancelCauseFunc) *Live {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next++
+	l := &Live{
+		ID:       fmt.Sprintf("q-%06d", r.next),
+		Goal:     goal,
+		Strategy: strategy,
+		Start:    time.Now(),
+		cancel:   cancel,
+	}
+	r.m[l.ID] = l
+	return l
+}
+
+// Remove unregisters a finished query.
+func (r *Registry) Remove(l *Live) {
+	if l == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.m, l.ID)
+}
+
+// Get returns the in-flight query with the given ID, or nil.
+func (r *Registry) Get(id string) *Live {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m[id]
+}
+
+// List returns the in-flight queries, oldest first.
+func (r *Registry) List() []*Live {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Live, 0, len(r.m))
+	for _, l := range r.m {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+type ctxKey struct{}
+
+// WithRequestID stamps a request ID into ctx for structured logging.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// RequestID returns the request ID stamped by WithRequestID, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}

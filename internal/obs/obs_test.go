@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"blog/internal/term"
+)
+
+func TestTracePhaseRegistryAndFinish(t *testing.T) {
+	tr := NewTrace("query")
+	p := tr.Phase("parse")
+	p.End()
+	s := tr.Phase("search")
+	// A span addressed to an open phase nests under it; table fixpoints
+	// use exactly this to parent under "search" without plumbing the span.
+	fix := tr.Span("search", "fixpoint p/2")
+	r1 := fix.Child("round 1")
+	r1.SetCount("answers", 3)
+	r1.End()
+	fix.SetCount("rounds", 1)
+	fix.End()
+	// An unknown parent falls back to the root rather than vanishing.
+	stray := tr.Span("no-such-phase", "stray")
+	stray.End()
+	_ = s // left open: Finish must close it
+
+	root := tr.Finish()
+	if root.Name != "query" || len(root.Children) != 3 {
+		t.Fatalf("root = %q with %d children, want query with 3", root.Name, len(root.Children))
+	}
+	search := root.Children[1]
+	if search.Name != "search" || len(search.Children) != 1 || search.Children[0].Name != "fixpoint p/2" {
+		t.Fatalf("search subtree wrong: %+v", search)
+	}
+	if !strings.Contains(root.Render(), "rounds=1") {
+		t.Errorf("Render lacks counts:\n%s", root.Render())
+	}
+	if search.DurUs <= 0 {
+		t.Error("Finish did not close the open search phase")
+	}
+	// Idempotent: a second Finish returns the same closed tree.
+	if again := tr.Finish(); again != root {
+		t.Error("Finish not idempotent")
+	}
+	// Nil-safety of the disabled path.
+	var none *Trace
+	if none.Finish() != nil || none.Phase("x") != nil {
+		t.Error("nil trace not inert")
+	}
+	none.Phase("x").End()
+	none.Span("a", "b").Child("c").SetCount("k", 1)
+}
+
+func TestProfilerCellsAndMerge(t *testing.T) {
+	a, b := term.Intern("obs_test_pred_a"), term.Intern("obs_test_pred_b")
+	p := NewProfiler()
+	c := p.Cell(a, 2)
+	c.Expansions.Add(5)
+	c.Nanos.Add(100)
+	if p.Cell(a, 2) != c {
+		t.Fatal("second Cell lookup returned a different cell")
+	}
+	p.TableHit(b, 1)
+	p.TableMiss(b, 1)
+
+	q := NewProfiler()
+	q.Cell(a, 2).Nanos.Add(50)
+	p.Merge(q)
+	if got := p.Cell(a, 2).Nanos.Load(); got != 150 {
+		t.Errorf("merged nanos = %d, want 150", got)
+	}
+	snap := p.Snapshot()
+	if len(snap) != 2 || snap[0].Pred != "obs_test_pred_a/2" {
+		t.Fatalf("snapshot = %+v, want a/2 hottest of 2", snap)
+	}
+	if snap[1].TableHits != 1 || snap[1].TableMisses != 1 {
+		t.Errorf("table counters lost: %+v", snap[1])
+	}
+	if got := p.TotalNanos(); got != 150 {
+		t.Errorf("TotalNanos = %d, want 150", got)
+	}
+	if top := p.Top(1); len(top) != 1 || top[0].Expansions != 5 {
+		t.Errorf("Top(1) = %+v", top)
+	}
+	// Nil receiver: every entry point is inert.
+	var none *Profiler
+	if none.Cell(a, 2) != nil || none.Snapshot() != nil || none.TotalNanos() != 0 {
+		t.Error("nil profiler not inert")
+	}
+	none.TableHit(a, 2)
+	none.Merge(p)
+	p.Merge(nil)
+}
+
+func TestMeterAttribution(t *testing.T) {
+	p := NewProfiler()
+	a, b := term.Intern("obs_test_meter_a"), term.Intern("obs_test_meter_b")
+	m := NewMeter(p)
+	m.Note(a, 1, 0, 0)
+	time.Sleep(2 * time.Millisecond) // charged to a
+	m.Note(b, 1, 7, 3)               // a gets the interval and the deltas
+	time.Sleep(time.Millisecond)     // charged to b
+	m.Flush(9, 4)
+	ca, cb := p.Cell(a, 1), p.Cell(b, 1)
+	if ca.Nanos.Load() < uint64(time.Millisecond) {
+		t.Errorf("a charged %dns, want >= 1ms", ca.Nanos.Load())
+	}
+	if ca.TrailBinds.Load() != 7 || ca.TrailUndos.Load() != 3 {
+		t.Errorf("a deltas = %d/%d, want 7/3", ca.TrailBinds.Load(), ca.TrailUndos.Load())
+	}
+	if cb.TrailBinds.Load() != 2 || cb.TrailUndos.Load() != 1 {
+		t.Errorf("b deltas = %d/%d, want 2/1", cb.TrailBinds.Load(), cb.TrailUndos.Load())
+	}
+	// Skip restarts the clock without charging anyone.
+	m.Note(a, 1, 9, 4)
+	before := ca.Nanos.Load()
+	time.Sleep(time.Millisecond)
+	m.Skip()
+	m.Flush(9, 4)
+	if got := ca.Nanos.Load() - before; got > uint64(500*time.Microsecond) {
+		t.Errorf("Skip still charged %dns", got)
+	}
+	// A nil meter (profiling off) is inert.
+	var none *Meter
+	none.Flush(0, 0)
+	none.Skip()
+	if none.Current() != nil {
+		t.Error("nil meter has a current cell")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	l1 := r.Add("g1", "dfs", cancel)
+	l2 := r.Add("g2", "bfs", cancel)
+	if l1.ID == l2.ID || !strings.HasPrefix(l1.ID, "q-") {
+		t.Fatalf("ids %q %q", l1.ID, l2.ID)
+	}
+	if r.Get(l1.ID) != l1 || r.Get("q-999999") != nil {
+		t.Error("Get broken")
+	}
+	if list := r.List(); len(list) != 2 || list[0] != l1 {
+		t.Fatalf("List = %+v, want [l1 l2] oldest first", list)
+	}
+	l1.Cancel(ErrKilled)
+	if cause := context.Cause(ctx); cause != ErrKilled {
+		t.Errorf("cause = %v, want ErrKilled", cause)
+	}
+	r.Remove(l1)
+	r.Remove(l1) // idempotent
+	if list := r.List(); len(list) != 1 || list[0] != l2 {
+		t.Fatalf("List after remove = %+v", list)
+	}
+	// Request-ID context plumbing.
+	idCtx := WithRequestID(context.Background(), l2.ID)
+	if RequestID(idCtx) != l2.ID || RequestID(context.Background()) != "" {
+		t.Error("request-id context plumbing broken")
+	}
+}

@@ -1,0 +1,284 @@
+// Package obs is the engine-wide observability layer: a per-predicate
+// profiler keyed on interned Syms (profiler.go), per-query span tracing
+// (trace.go), and a live-query registry for the server's inspector
+// (live.go). Everything is nil-receiver-safe so the disabled path costs
+// one nil check and zero allocations.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blog/internal/term"
+)
+
+// Cell accumulates the counters for one predicate. Cells are reached
+// through a dense Sym-indexed array, so the hot path is one pointer load
+// and an atomic add; a cell, once created, is never moved or freed while
+// its profiler lives.
+type Cell struct {
+	Expansions   atomic.Uint64
+	VMDispatches atomic.Uint64
+	TrailBinds   atomic.Uint64
+	TrailUndos   atomic.Uint64
+	TableHits    atomic.Uint64
+	TableMisses  atomic.Uint64
+	Nanos        atomic.Uint64
+
+	sym   term.Sym
+	arity int32 // first observed arity, for display
+}
+
+// Profiler accumulates per-predicate counters. Safe for concurrent use:
+// counters are atomic, cells publish into their Sym-indexed slot with an
+// atomic store, and the array itself grows geometrically under a mutex
+// while readers load it through an atomic pointer.
+type Profiler struct {
+	mu    sync.Mutex
+	cells atomic.Pointer[[]atomic.Pointer[Cell]]
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler { return &Profiler{} }
+
+// Cell returns the counter cell for the predicate fn/arity, creating it on
+// first touch. Nil receiver returns nil, so call sites guard with a single
+// nil check.
+func (p *Profiler) Cell(fn term.Sym, arity int) *Cell {
+	if p == nil {
+		return nil
+	}
+	if cs := p.cells.Load(); cs != nil && int(fn) < len(*cs) {
+		if c := (*cs)[fn].Load(); c != nil {
+			return c
+		}
+	}
+	return p.grow(fn, arity)
+}
+
+func (p *Profiler) grow(fn term.Sym, arity int) *Cell {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cur := p.cells.Load()
+	if cur == nil || int(fn) >= len(*cur) {
+		// Grow geometrically: programs intern predicates in source order,
+		// so sizing to exactly fn+1 would recopy the array once per new
+		// predicate — quadratic on wide programs.
+		n := 0
+		if cur != nil {
+			n = len(*cur)
+		}
+		n = max(2*n, int(fn)+16)
+		next := make([]atomic.Pointer[Cell], n)
+		if cur != nil {
+			for i := range *cur {
+				next[i].Store((*cur)[i].Load())
+			}
+		}
+		p.cells.Store(&next)
+		cur = &next
+	}
+	// A cell within bounds publishes into its slot without copying the
+	// array — first touch of a predicate is O(1), not O(predicates).
+	if c := (*cur)[fn].Load(); c != nil {
+		return c
+	}
+	c := &Cell{sym: fn, arity: int32(arity)}
+	(*cur)[fn].Store(c)
+	return c
+}
+
+// TableHit counts a memoized-answer replay for fn/arity.
+func (p *Profiler) TableHit(fn term.Sym, arity int) {
+	if p == nil {
+		return
+	}
+	p.Cell(fn, arity).TableHits.Add(1)
+}
+
+// TableMiss counts a table production (fixpoint entry) for fn/arity.
+func (p *Profiler) TableMiss(fn term.Sym, arity int) {
+	if p == nil {
+		return
+	}
+	p.Cell(fn, arity).TableMisses.Add(1)
+}
+
+// PredProfile is one predicate's counters, snapshotted.
+type PredProfile struct {
+	Pred         string `json:"pred"`
+	Expansions   uint64 `json:"expansions"`
+	VMDispatches uint64 `json:"vm_dispatches,omitempty"`
+	TrailBinds   uint64 `json:"trail_binds,omitempty"`
+	TrailUndos   uint64 `json:"trail_undos,omitempty"`
+	TableHits    uint64 `json:"table_hits,omitempty"`
+	TableMisses  uint64 `json:"table_misses,omitempty"`
+	Nanos        uint64 `json:"nanos"`
+}
+
+// Snapshot returns every touched predicate's counters, hottest (most
+// cumulative nanos) first. Nil receiver returns nil.
+func (p *Profiler) Snapshot() []PredProfile {
+	if p == nil {
+		return nil
+	}
+	cs := p.cells.Load()
+	if cs == nil {
+		return nil
+	}
+	out := make([]PredProfile, 0, 16)
+	for i := range *cs {
+		c := (*cs)[i].Load()
+		if c == nil {
+			continue
+		}
+		pp := PredProfile{
+			Pred:         fmt.Sprintf("%s/%d", c.sym.Name(), c.arity),
+			Expansions:   c.Expansions.Load(),
+			VMDispatches: c.VMDispatches.Load(),
+			TrailBinds:   c.TrailBinds.Load(),
+			TrailUndos:   c.TrailUndos.Load(),
+			TableHits:    c.TableHits.Load(),
+			TableMisses:  c.TableMisses.Load(),
+			Nanos:        c.Nanos.Load(),
+		}
+		if pp.Expansions == 0 && pp.Nanos == 0 && pp.TableHits == 0 && pp.TableMisses == 0 {
+			continue
+		}
+		out = append(out, pp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Nanos != out[j].Nanos {
+			return out[i].Nanos > out[j].Nanos
+		}
+		return out[i].Pred < out[j].Pred
+	})
+	return out
+}
+
+// Top returns the n hottest predicates by cumulative nanos.
+func (p *Profiler) Top(n int) []PredProfile {
+	s := p.Snapshot()
+	if n > 0 && len(s) > n {
+		s = s[:n]
+	}
+	return s
+}
+
+// TotalNanos sums cumulative nanos over every predicate.
+func (p *Profiler) TotalNanos() uint64 {
+	var total uint64
+	for _, pp := range p.Snapshot() {
+		total += pp.Nanos
+	}
+	return total
+}
+
+// Merge adds q's counters into p. The server uses this to fold a
+// per-query profile into the process-wide one: each query profiles into
+// its own Profiler (exact per-query attribution for the slow-query log),
+// then merges — O(predicates touched), off the hot path.
+func (p *Profiler) Merge(q *Profiler) {
+	if p == nil || q == nil {
+		return
+	}
+	cs := q.cells.Load()
+	if cs == nil {
+		return
+	}
+	for i := range *cs {
+		c := (*cs)[i].Load()
+		if c == nil {
+			continue
+		}
+		d := p.Cell(c.sym, int(c.arity))
+		d.Expansions.Add(c.Expansions.Load())
+		d.VMDispatches.Add(c.VMDispatches.Load())
+		d.TrailBinds.Add(c.TrailBinds.Load())
+		d.TrailUndos.Add(c.TrailUndos.Load())
+		d.TableHits.Add(c.TableHits.Load())
+		d.TableMisses.Add(c.TableMisses.Load())
+		d.Nanos.Add(c.Nanos.Load())
+	}
+}
+
+// Meter charges wall-time intervals and trail-counter deltas to the
+// predicate currently being resolved. The engines drive it with
+// interval attribution: each dispatch charges the time (and binds/undos)
+// since the previous dispatch to the previously dispatched predicate, so
+// the sum of per-predicate nanos tracks search wall time closely. A Meter
+// belongs to one engine run (single goroutine).
+type Meter struct {
+	p     *Profiler
+	cell  *Cell
+	last  time.Time
+	binds uint64
+	undos uint64
+}
+
+// NewMeter returns a meter charging into p, or nil if p is nil — so the
+// engine's per-dispatch guard stays a single nil check.
+func NewMeter(p *Profiler) *Meter {
+	if p == nil {
+		return nil
+	}
+	return &Meter{p: p}
+}
+
+// Note starts a new attribution interval for fn/arity: it flushes the
+// pending interval to the previous predicate, counts one expansion for
+// fn, and records the new baseline. binds/undos are cumulative counters
+// (term.Store's); deltas between notes are charged alongside time.
+func (m *Meter) Note(fn term.Sym, arity int, binds, undos uint64) *Cell {
+	now := time.Now()
+	if c := m.cell; c != nil {
+		c.Nanos.Add(uint64(now.Sub(m.last)))
+		c.TrailBinds.Add(binds - m.binds)
+		c.TrailUndos.Add(undos - m.undos)
+	}
+	c := m.p.Cell(fn, arity)
+	c.Expansions.Add(1)
+	m.cell = c
+	m.last = now
+	m.binds, m.undos = binds, undos
+	return c
+}
+
+// Flush charges the pending interval and clears the current predicate, so
+// time spent outside the engine (between pulls of a suspended run, after
+// a terminal state) is not attributed to anyone.
+func (m *Meter) Flush(binds, undos uint64) {
+	if m == nil || m.cell == nil {
+		return
+	}
+	now := time.Now()
+	m.cell.Nanos.Add(uint64(now.Sub(m.last)))
+	m.cell.TrailBinds.Add(binds - m.binds)
+	m.cell.TrailUndos.Add(undos - m.undos)
+	m.cell = nil
+	m.binds, m.undos = binds, undos
+}
+
+// Skip restarts the interval clock without charging, excluding the time
+// since the last Note/Skip from attribution. The trail engine calls it
+// after a tabled Resolve returns: production time is charged inside the
+// generator run (which shares the profiler), so charging the same wall
+// time to the consumer's predicate would double-count it.
+func (m *Meter) Skip() {
+	if m == nil || m.cell == nil {
+		return
+	}
+	m.last = time.Now()
+}
+
+// Current returns the cell of the predicate currently being charged, or
+// nil. The VM dispatch counter increments through it.
+func (m *Meter) Current() *Cell {
+	if m == nil {
+		return nil
+	}
+	return m.cell
+}

@@ -35,6 +35,7 @@ import (
 
 	"blog/internal/engine"
 	"blog/internal/kb"
+	"blog/internal/obs"
 	"blog/internal/search"
 	"blog/internal/term"
 	"blog/internal/weights"
@@ -87,6 +88,13 @@ type Options struct {
 	Tabler engine.Tabler
 	// NoVM forces the tree-walking resolution path in every worker.
 	NoVM bool
+	// Prof, when non-nil, accumulates per-predicate profile counters from
+	// every worker; its counters are atomic, so the workers share it
+	// directly.
+	Prof *obs.Profiler
+	// Live, when non-nil, is the run's in-flight inspector entry; the
+	// shared expansion counter is synced into it periodically.
+	Live *obs.Live
 }
 
 // Stats aggregates counters across workers.
@@ -163,6 +171,7 @@ func Run(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term, op
 		e.OccursCheck = opt.OccursCheck
 		e.Tabler = opt.Tabler
 		e.NoVM = opt.NoVM
+		e.Prof = opt.Prof
 		if opt.MaxDepth > 0 {
 			e.MaxDepth = opt.MaxDepth
 		}
@@ -212,6 +221,9 @@ func Run(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term, op
 	res := &Result{QueryVars: queryVars, Solutions: st.solutions}
 	res.Stats.PerWorkerExpanded = make([]uint64, opt.Workers)
 	for i, w := range workers {
+		// Charge each worker's trailing profile interval before reading
+		// its counters; the workers have all exited by now.
+		w.exp.ProfFlush()
 		res.Stats.PerWorkerExpanded[i] = w.expanded
 		res.Stats.Expanded += w.expanded
 		res.Stats.Generated += w.generated
@@ -414,9 +426,13 @@ func (s *state) process(w *workerState, n *engine.Node) {
 		return
 	}
 
-	if s.expandedTotal.Add(1) > s.maxExp {
+	total := s.expandedTotal.Add(1)
+	if total > s.maxExp {
 		s.fail(search.ErrBudget)
 		return
+	}
+	if l := s.opt.Live; l != nil && total&1023 == 0 {
+		l.Expanded.Store(total)
 	}
 	w.expanded++
 

@@ -2,8 +2,11 @@ package search
 
 import (
 	"context"
+	"sort"
 	"testing"
+	"time"
 
+	"blog/internal/obs"
 	"blog/internal/vm"
 	"blog/internal/workload"
 )
@@ -43,5 +46,79 @@ func TestDFSAllocationBudget(t *testing.T) {
 	const budget = 90
 	if got := testing.AllocsPerRun(50, run); got > budget {
 		t.Errorf("DFS query allocated %.1f times, budget %d", got, budget)
+	}
+}
+
+// TestDFSProfilerAllocationBudget pins the profiler's hot-path cost: with
+// a warm profiler (every predicate's cell already published), a profiled
+// query may allocate only the per-run Meter on top of the unprofiled
+// budget. A failure here means Note/Flush started allocating per
+// dispatch.
+func TestDFSProfilerAllocationBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation behavior")
+	}
+	if !vm.Enabled {
+		t.Skip("BLOG_COMPILED=off runs the tree-walking path, which has its own costs")
+	}
+	db := load(t, workload.DeepFailure(16, 12))
+	goals := q(t, "top(W)")
+	ws := uniform()
+	prof := obs.NewProfiler()
+	opt := Options{Strategy: DFS, MaxSolutions: 1, MaxDepth: 64, Prof: prof}
+	run := func() {
+		res, err := Run(context.Background(), db, ws, goals, opt)
+		if err != nil || len(res.Solutions) != 1 {
+			t.Fatalf("run: %d solutions, err %v", len(res.Solutions), err)
+		}
+	}
+	run() // warm the scratch pool and publish every predicate's cell
+	// The unprofiled budget plus a handful for the Meter; per-dispatch
+	// allocations (~200 expansions) would blow straight past it.
+	const budget = 100
+	if got := testing.AllocsPerRun(50, run); got > budget {
+		t.Errorf("profiled DFS query allocated %.1f times, budget %d", got, budget)
+	}
+	if prof.TotalNanos() == 0 {
+		t.Error("profiler attributed no time")
+	}
+}
+
+// TestDFSObservabilityOffOverhead is a gross-inversion tripwire for the
+// disabled path: with no profiler, no trace and no live registry, the
+// query must not run slower than the fully instrumented one. It cannot
+// measure the real disabled-path overhead (that is what the E1 benchmarks
+// against the recorded baseline are for) — it catches the disabled path
+// accidentally doing instrumented-path work.
+func TestDFSObservabilityOffOverhead(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("timing test")
+	}
+	db := load(t, workload.DeepFailure(16, 12))
+	goals := q(t, "top(W)")
+	ws := uniform()
+	median := func(opt Options) time.Duration {
+		times := make([]time.Duration, 7)
+		for i := range times {
+			start := time.Now()
+			if _, err := Run(context.Background(), db, ws, goals, opt); err != nil {
+				t.Fatal(err)
+			}
+			times[i] = time.Since(start)
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		return times[3]
+	}
+	base := Options{Strategy: DFS, MaxSolutions: 1, MaxDepth: 64}
+	on := base
+	on.Prof = obs.NewProfiler()
+	median(base) // warm
+	off := median(base)
+	instrumented := median(on)
+	// 25% headroom plus an absolute floor absorbs scheduler noise on a
+	// ~30µs query; a real inversion (off paying per-dispatch timer costs)
+	// is far larger.
+	if off > instrumented*5/4+50*time.Microsecond {
+		t.Errorf("observability-off run (%v) slower than instrumented run (%v)", off, instrumented)
 	}
 }

@@ -39,10 +39,18 @@ type Iter struct {
 	// bound exceeds bestBound+PruneSlack are cut, exactly as in Run.
 	bestBound float64
 	haveBest  bool
+
+	// Figure-1/figure-3 recording state when Options.RecordTree or
+	// RecordTrace is set; like Run, recording routes DFS off the trail
+	// machine onto the persistent-Env frontier.
+	tb    *treeBuilder
+	trace []string
 }
 
 // NewIter prepares a lazy search; ctx cancels future Next calls. Tree and
-// trace recording are not supported here; use Run for those.
+// trace recording route DFS onto the persistent-Env frontier, exactly as
+// Run does (the trail machine keeps no per-node history); results arrive
+// through Tree and Trace as the iteration progresses.
 func NewIter(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term, opt Options) (*Iter, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -50,10 +58,7 @@ func NewIter(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term
 	if len(goals) == 0 {
 		return nil, errors.New("search: empty query")
 	}
-	if opt.RecordTree || opt.RecordTrace {
-		return nil, errors.New("search: Iter does not record trees or traces")
-	}
-	if opt.Strategy == DFS && !opt.NoTrail {
+	if opt.Strategy == DFS && !opt.NoTrail && !opt.RecordTree && !opt.RecordTrace {
 		maxExp := opt.MaxExpansions
 		if maxExp == 0 {
 			maxExp = DefaultMaxExpansions
@@ -71,6 +76,8 @@ func NewIter(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term
 			PruneSlack:    opt.PruneSlack,
 			MaxExpansions: maxExp,
 			BudgetErr:     ErrBudget,
+			Prof:          opt.Prof,
+			Live:          opt.Live,
 		}, goals)
 		return &Iter{ctx: ctx, opt: opt, queryVars: tr.QueryVars(), trail: tr}, nil
 	}
@@ -79,6 +86,8 @@ func NewIter(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term
 	exp.Ctx = ctx
 	exp.Tabler = opt.Tabler
 	exp.NoVM = opt.NoVM
+	exp.Prof = opt.Prof
+	exp.RecordTree = opt.RecordTree || opt.RecordTrace
 	if opt.MaxDepth > 0 {
 		exp.MaxDepth = opt.MaxDepth
 	}
@@ -95,12 +104,28 @@ func NewIter(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term
 		queryVars: queryVars,
 		maxExp:    opt.MaxExpansions,
 	}
+	if opt.RecordTree {
+		it.tb = newTreeBuilder(goals)
+	}
 	if it.maxExp == 0 {
 		it.maxExp = DefaultMaxExpansions
 	}
 	it.frontier.push(exp.Root(goals))
 	return it, nil
 }
+
+// Tree returns the search tree recorded so far when Options.RecordTree
+// was set, nil otherwise. The tree grows as Next is called.
+func (it *Iter) Tree() *Tree {
+	if it.tb == nil {
+		return nil
+	}
+	return it.tb.tree
+}
+
+// Trace returns the figure-1 style lines recorded so far when
+// Options.RecordTrace was set.
+func (it *Iter) Trace() []string { return it.trace }
 
 // QueryVars returns the query's variables in first-occurrence order.
 func (it *Iter) QueryVars() []*term.Var { return it.queryVars }
@@ -145,6 +170,9 @@ func (it *Iter) Next() (engine.Solution, bool, error) {
 		n := it.frontier.pop()
 		if it.opt.Prune && it.haveBest && n.Bound > it.bestBound+it.opt.PruneSlack {
 			it.stats.Pruned++
+			if it.tb != nil {
+				it.tb.status(n, "pruned")
+			}
 			continue
 		}
 		if n.IsSolution() {
@@ -162,18 +190,26 @@ func (it *Iter) Next() (engine.Solution, bool, error) {
 			if it.opt.Learn {
 				it.ws.RecordSuccess(sol.Chain)
 			}
+			if it.tb != nil {
+				it.tb.status(n, "solution")
+			}
 			if !it.haveBest || n.Bound < it.bestBound {
 				it.bestBound, it.haveBest = n.Bound, true
 			}
 			it.served++
+			it.exp.ProfFlush()
 			return sol, true, nil
 		}
 		if it.stats.Expanded >= it.maxExp {
 			it.done = true
 			it.err = ErrBudget
+			it.exp.ProfFlush()
 			return engine.Solution{}, false, it.err
 		}
 		it.stats.Expanded++
+		if it.opt.Live != nil && it.stats.Expanded&1023 == 0 {
+			it.opt.Live.Expanded.Store(it.stats.Expanded)
+		}
 		if n.Depth > it.stats.MaxDepth {
 			it.stats.MaxDepth = n.Depth
 		}
@@ -181,6 +217,7 @@ func (it *Iter) Next() (engine.Solution, bool, error) {
 		if err != nil && err != engine.ErrDepthLimit {
 			it.done = true
 			it.err = err
+			it.exp.ProfFlush()
 			return engine.Solution{}, false, err
 		}
 		if err == engine.ErrDepthLimit {
@@ -191,9 +228,18 @@ func (it *Iter) Next() (engine.Solution, bool, error) {
 			if it.opt.Learn {
 				it.ws.RecordFailure(n.Chain.Slice())
 			}
+			if it.tb != nil {
+				it.tb.status(n, "fail")
+			}
 			continue
 		}
 		it.stats.Generated += uint64(len(children))
+		if it.opt.RecordTrace {
+			it.trace = append(it.trace, traceLine(n, children))
+		}
+		if it.tb != nil {
+			it.tb.addChildren(n, children)
+		}
 		if it.opt.Strategy == DFS {
 			for i := len(children) - 1; i >= 0; i-- {
 				it.frontier.push(children[i])
@@ -205,6 +251,7 @@ func (it *Iter) Next() (engine.Solution, bool, error) {
 		}
 	}
 	it.done = true
+	it.exp.ProfFlush()
 	return engine.Solution{}, false, nil
 }
 

@@ -2,6 +2,7 @@ package search
 
 import (
 	"context"
+	"strings"
 	"testing"
 
 	"blog/internal/kb"
@@ -133,11 +134,45 @@ func TestIterLearnsFromAbandonedSearch(t *testing.T) {
 	}
 }
 
-func TestIterRejectsRecording(t *testing.T) {
+// TestIterRecordingParity: a recording Iter drained to exhaustion
+// produces the same tree and trace as the batch Run with the same
+// options (both route DFS onto the persistent-Env frontier).
+func TestIterRecordingParity(t *testing.T) {
 	db := load(t, fig1)
-	if _, err := NewIter(context.Background(), db, uniform(), q(t, "gf(sam,G)"), Options{RecordTree: true}); err == nil {
-		t.Error("tree recording unsupported in Iter")
+	opt := Options{Strategy: DFS, RecordTree: true, RecordTrace: true}
+	it, err := NewIter(context.Background(), db, uniform(), q(t, "gf(sam,G)"), opt)
+	if err != nil {
+		t.Fatal(err)
 	}
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	res, err := Run(context.Background(), db, uniform(), q(t, "gf(sam,G)"), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Tree() == nil {
+		t.Fatal("recording Iter returned no tree")
+	}
+	if got, want := it.Tree().Render(), res.Tree.Render(); got != want {
+		t.Errorf("streamed tree differs from batch tree:\n--- iter ---\n%s\n--- run ---\n%s", got, want)
+	}
+	if got, want := strings.Join(it.Trace(), "\n"), strings.Join(res.Trace, "\n"); got != want {
+		t.Errorf("streamed trace differs from batch trace:\n--- iter ---\n%s\n--- run ---\n%s", got, want)
+	}
+	if st := it.Stats(); st.Representation != RepPersistentEnv {
+		t.Errorf("recording stream ran on %q, want %q", st.Representation, RepPersistentEnv)
+	}
+}
+
+func TestIterRejectsEmptyQuery(t *testing.T) {
+	db := load(t, fig1)
 	if _, err := NewIter(context.Background(), db, uniform(), nil, Options{}); err == nil {
 		t.Error("empty query must fail")
 	}

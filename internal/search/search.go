@@ -13,6 +13,7 @@ import (
 
 	"blog/internal/engine"
 	"blog/internal/kb"
+	"blog/internal/obs"
 	"blog/internal/term"
 	"blog/internal/weights"
 )
@@ -84,6 +85,13 @@ type Options struct {
 	// their frontiers hold many open nodes at once and genuinely need
 	// persistent environments.
 	NoTrail bool
+	// Prof, when non-nil, accumulates per-predicate profile counters on
+	// either binding representation. Nil (the default) costs one nil
+	// check on the hot path.
+	Prof *obs.Profiler
+	// Live, when non-nil, receives periodic expansion-count updates for
+	// the live query inspector.
+	Live *obs.Live
 }
 
 // DefaultMaxExpansions stops runaway searches on cyclic programs.
@@ -150,6 +158,8 @@ func Run(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term, op
 	exp.Tabler = opt.Tabler
 	exp.RecordTree = opt.RecordTree || opt.RecordTrace
 	exp.NoVM = opt.NoVM
+	exp.Prof = opt.Prof
+	defer exp.ProfFlush()
 	if opt.MaxDepth > 0 {
 		exp.MaxDepth = opt.MaxDepth
 	}
@@ -218,6 +228,9 @@ func Run(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Term, op
 			return res, ErrBudget
 		}
 		res.Stats.Expanded++
+		if opt.Live != nil && res.Stats.Expanded&1023 == 0 {
+			opt.Live.Expanded.Store(res.Stats.Expanded)
+		}
 		if n.Depth > res.Stats.MaxDepth {
 			res.Stats.MaxDepth = n.Depth
 		}
@@ -283,6 +296,8 @@ func runTrail(ctx context.Context, db *kb.DB, ws weights.Store, goals []term.Ter
 		PruneSlack:    opt.PruneSlack,
 		MaxExpansions: maxExp,
 		BudgetErr:     ErrBudget,
+		Prof:          opt.Prof,
+		Live:          opt.Live,
 	}, goals)
 	res := &Result{QueryVars: tr.QueryVars()}
 	defer tr.Release() // solutions are detached; recycle the run's scratch

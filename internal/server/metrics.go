@@ -9,9 +9,10 @@ import (
 )
 
 // serverMetrics aggregates the service's operational counters. Counters
-// are atomic (internal/metrics.Counter); the latency distribution keeps a
-// bounded ring of recent query latencies plus a running Summary, from
-// which /metrics derives mean and p50/p95.
+// are atomic (internal/metrics.Counter); the latency distribution is a
+// log-bucketed histogram (internal/metrics.Histogram) covering 100µs to
+// 60s, from which /metrics derives p50/p95 by interpolation and exposes
+// the full Prometheus bucket series.
 type serverMetrics struct {
 	queries       metrics.Counter // queries admitted to a worker slot
 	solutions     metrics.Counter // solutions returned (one-shot bodies)
@@ -22,6 +23,8 @@ type serverMetrics struct {
 	cancelled     metrics.Counter // queries ended by client disconnect
 	budgetStops   metrics.Counter // queries ended by their expansion budget
 	errors        metrics.Counter // engine/internal failures (5xx)
+	killed        metrics.Counter // queries cancelled via the live inspector
+	slowQueries   metrics.Counter // queries over the slow-query threshold
 	sessionsOpen  metrics.Counter // sessions created
 	sessionsEnded metrics.Counter // sessions merged and closed
 
@@ -36,41 +39,34 @@ type serverMetrics struct {
 	// production (zero means every query ran the tree-walking oracle).
 	vmDispatch metrics.Counter
 
+	// latency buckets every completed query's wall time. Observation is
+	// lock-free; the summary (for the mean) keeps the mutex.
+	latency *metrics.Histogram
+
 	mu      sync.Mutex
 	summary metrics.Summary
-	ring    []float64 // last ringCap latencies, ms
-	next    int
-	full    bool
 }
 
-const ringCap = 2048
-
 func newServerMetrics() *serverMetrics {
-	return &serverMetrics{ring: make([]float64, ringCap)}
+	return &serverMetrics{latency: metrics.NewLatencyHistogram()}
 }
 
 // observeLatency records one completed query's wall time in ms.
 func (m *serverMetrics) observeLatency(ms float64) {
+	m.latency.Observe(ms / 1e3)
 	m.mu.Lock()
 	m.summary.Observe(ms)
-	m.ring[m.next] = ms
-	m.next++
-	if m.next == len(m.ring) {
-		m.next, m.full = 0, true
-	}
 	m.mu.Unlock()
 }
 
-// latencySnapshot returns (mean, p50, p95, n) over the retained window.
+// latencySnapshot returns (mean, p50, p95, n); the quantiles are
+// interpolated from the histogram over all observations since start (the
+// old implementation kept only a 2048-sample ring).
 func (m *serverMetrics) latencySnapshot() (mean, p50, p95 float64, n int) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	window := m.ring[:m.next]
-	if m.full {
-		window = m.ring
-	}
-	xs := append([]float64(nil), window...)
-	return m.summary.Mean(), metrics.Percentile(xs, 50), metrics.Percentile(xs, 95), m.summary.N()
+	mean, n = m.summary.Mean(), m.summary.N()
+	m.mu.Unlock()
+	return mean, m.latency.Quantile(0.5) * 1e3, m.latency.Quantile(0.95) * 1e3, n
 }
 
 // tableTotals carries the program table space's cumulative counters into
@@ -95,6 +91,8 @@ func (m *serverMetrics) expose(inFlight, queued, workers, queueLen, sessions int
 	line("cancelled_total", m.cancelled.Load())
 	line("budget_stops_total", m.budgetStops.Load())
 	line("errors_total", m.errors.Load())
+	line("killed_total", m.killed.Load())
+	line("slow_queries_total", m.slowQueries.Load())
 	line("sessions_created_total", m.sessionsOpen.Load())
 	line("sessions_ended_total", m.sessionsEnded.Load())
 	line("sessions_active", sessions)
@@ -111,6 +109,16 @@ func (m *serverMetrics) expose(inFlight, queued, workers, queueLen, sessions int
 	line("queue_depth", queued)
 	line("pool_workers", workers)
 	line("pool_queue_capacity", queueLen)
+	// The full latency distribution, Prometheus histogram conventions:
+	// cumulative buckets, le="+Inf" equal to _count, _sum in seconds.
+	bounds, counts := m.latency.Buckets()
+	for i, ub := range bounds {
+		fmt.Fprintf(&b, "blogd_query_duration_seconds_bucket{le=\"%g\"} %d\n", ub, counts[i])
+	}
+	fmt.Fprintf(&b, "blogd_query_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.latency.Count())
+	fmt.Fprintf(&b, "blogd_query_duration_seconds_sum %.6f\n", m.latency.Sum())
+	fmt.Fprintf(&b, "blogd_query_duration_seconds_count %d\n", m.latency.Count())
+	// The legacy ms summary lines, kept for existing dashboards.
 	line("latency_ms_count", n)
 	fmt.Fprintf(&b, "blogd_latency_ms_mean %.3f\n", mean)
 	fmt.Fprintf(&b, "blogd_latency_ms{quantile=\"0.5\"} %.3f\n", p50)

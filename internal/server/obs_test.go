@@ -1,0 +1,262 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"blog/internal/workload"
+)
+
+// spanNames flattens a span tree's names depth-first.
+func spanNames(s map[string]any, out *[]string) {
+	if s == nil {
+		return
+	}
+	if n, ok := s["name"].(string); ok {
+		*out = append(*out, n)
+	}
+	if kids, ok := s["children"].([]any); ok {
+		for _, k := range kids {
+			if m, ok := k.(map[string]any); ok {
+				spanNames(m, out)
+			}
+		}
+	}
+}
+
+func TestQueryTraceFlag(t *testing.T) {
+	_, ts := newTestServer(t, workload.FamilyTree(3, 2), Config{})
+	// Without the flag the trace field stays absent.
+	got := queryResp(t, ts.Client(), ts.URL+"/query", QueryRequest{Goal: "gf(p0,G)", Strategy: "dfs"})
+	if got.Trace != nil {
+		t.Fatalf("untraced response carries trace: %+v", got.Trace)
+	}
+	// With it the span tree comes back: query > parse/compile/search.
+	resp, data := postJSON(t, ts.Client(), ts.URL+"/query",
+		QueryRequest{Goal: "gf(p0,G)", Strategy: "dfs", Trace: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := raw["trace"].(map[string]any)
+	if !ok {
+		t.Fatalf("no trace in %s", data)
+	}
+	var names []string
+	spanNames(tr, &names)
+	for _, want := range []string{"query", "parse", "search"} {
+		found := false
+		for _, n := range names {
+			found = found || n == want
+		}
+		if !found {
+			t.Errorf("trace lacks %q span; got %v", want, names)
+		}
+	}
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, workload.FamilyTree(3, 2), Config{})
+	// Empty before any query.
+	resp, data := get(t, ts.Client(), ts.URL+"/profile")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var prof ProfileResponse
+	if err := json.Unmarshal(data, &prof); err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Preds) != 0 {
+		t.Fatalf("profile before any query: %+v", prof.Preds)
+	}
+	queryResp(t, ts.Client(), ts.URL+"/query", QueryRequest{Goal: "gf(p0,G)", Strategy: "dfs"})
+	queryResp(t, ts.Client(), ts.URL+"/query", QueryRequest{Goal: "anc(p0,X)", Strategy: "dfs"})
+	resp, data = get(t, ts.Client(), ts.URL+"/profile?n=3")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	prof = ProfileResponse{}
+	if err := json.Unmarshal(data, &prof); err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Preds) == 0 || len(prof.Preds) > 3 {
+		t.Fatalf("profile rows = %d, want 1..3: %s", len(prof.Preds), data)
+	}
+	if prof.TotalNanos == 0 {
+		t.Error("profile attributed no time")
+	}
+	seen := map[string]bool{}
+	for _, p := range prof.Preds {
+		seen[p.Pred] = p.Expansions > 0
+	}
+	if !seen["gf/2"] && !seen["anc/2"] && !seen["f/2"] {
+		t.Errorf("no familiar predicate in profile: %s", data)
+	}
+}
+
+func TestMetricsHistogram(t *testing.T) {
+	_, ts := newTestServer(t, workload.FamilyTree(2, 2), Config{})
+	queryResp(t, ts.Client(), ts.URL+"/query", QueryRequest{Goal: "gf(p0,G)"})
+	_, data := get(t, ts.Client(), ts.URL+"/metrics")
+	body := string(data)
+	for _, want := range []string{
+		`blogd_query_duration_seconds_bucket{le="0.1"} `,
+		"blogd_query_duration_seconds_bucket{le=\"+Inf\"} 1\n",
+		"blogd_query_duration_seconds_sum ",
+		"blogd_query_duration_seconds_count 1\n",
+		"blogd_killed_total 0\n",
+		"blogd_slow_queries_total 0\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics lack %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestDebugQueriesAndKill drives the live inspector end to end: a stuck
+// query shows up in GET /debug/queries, DELETE cancels it, the victim's
+// own request answers 410 Gone and the kill is counted.
+func TestDebugQueriesAndKill(t *testing.T) {
+	// A DFS for an absent node in a dense DAG: exponentially many paths
+	// within the depth bound, so the search runs until killed.
+	_, ts := newTestServer(t, workload.DAG(18, 8, 4, 1), Config{DefaultTimeout: time.Minute})
+	type result struct {
+		status int
+		body   string
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, data := postJSON(t, ts.Client(), ts.URL+"/query",
+			QueryRequest{Goal: "path(n0_0, missing)", Strategy: "dfs", MaxExpansions: 1 << 40})
+		done <- result{resp.StatusCode, string(data)}
+	}()
+
+	// Wait for the query to appear in the inspector.
+	var victim LiveQuery
+	deadline := time.Now().Add(10 * time.Second)
+	for victim.ID == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("query never appeared in /debug/queries")
+		}
+		_, data := get(t, ts.Client(), ts.URL+"/debug/queries")
+		var list []LiveQuery
+		if err := json.Unmarshal(data, &list); err != nil {
+			t.Fatalf("bad listing %q: %v", data, err)
+		}
+		if len(list) > 0 {
+			victim = list[0]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if victim.Goal != "path(n0_0, missing)" || victim.Strategy != "dfs" {
+		t.Errorf("listing = %+v, want the path goal under dfs", victim)
+	}
+
+	// Killing an unknown id is a 404 and leaves the victim running.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/debug/queries/q-999999", nil)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE unknown id: status %d", resp.StatusCode)
+	}
+
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/debug/queries/"+victim.ID, nil)
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE %s: status %d: %s", victim.ID, resp.StatusCode, data)
+	}
+	var kr KillResponse
+	if err := json.Unmarshal(data, &kr); err != nil {
+		t.Fatal(err)
+	}
+	if kr.ID != victim.ID || !kr.Killed {
+		t.Errorf("kill response = %+v", kr)
+	}
+
+	got := <-done
+	if got.status != http.StatusGone {
+		t.Fatalf("victim got %d (%s), want 410 Gone", got.status, got.body)
+	}
+	if !strings.Contains(got.body, "cancelled via inspector") {
+		t.Errorf("victim body %q lacks the kill cause", got.body)
+	}
+
+	// The registry is empty again and the kill was counted.
+	_, data = get(t, ts.Client(), ts.URL+"/debug/queries")
+	if string(data) != "[]\n" && string(data) != "[]" {
+		t.Errorf("inspector still lists queries: %s", data)
+	}
+	_, data = get(t, ts.Client(), ts.URL+"/metrics")
+	if !strings.Contains(string(data), "blogd_killed_total 1\n") {
+		t.Errorf("killed_total not incremented:\n%s", data)
+	}
+}
+
+// syncWriter serializes writes from the server's slog handler.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	var buf syncWriter
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	_, ts := newTestServer(t, workload.FamilyTree(3, 2),
+		Config{Logger: logger, SlowQuery: time.Nanosecond})
+	queryResp(t, ts.Client(), ts.URL+"/query", QueryRequest{Goal: "gf(p0,G)", Strategy: "dfs"})
+	out := buf.String()
+	for _, want := range []string{"slow query", "request_id=q-", "goal=", "spans=", "hot_preds="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slow-query log lacks %q:\n%s", want, out)
+		}
+	}
+	_, data := get(t, ts.Client(), ts.URL+"/metrics")
+	if !strings.Contains(string(data), "blogd_slow_queries_total 1\n") {
+		t.Errorf("slow_queries_total not incremented:\n%s", data)
+	}
+}
+
+func get(t testing.TB, client *http.Client, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}

@@ -5,13 +5,19 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blog"
+	"blog/internal/obs"
 )
 
 // Config sizes the service around one shared Program.
@@ -49,6 +55,16 @@ type Config struct {
 	// daemon's -compiled=off escape hatch); per-request "compiled":false
 	// does the same for one query.
 	NoVM bool
+
+	// Logger receives the server's structured logs (slow queries,
+	// inspector kills), each carrying the query's request ID. nil means
+	// slog.Default().
+	Logger *slog.Logger
+	// SlowQuery is the slow-query log threshold: a query whose wall time
+	// reaches it is logged with its span tree and hottest predicates
+	// (sampled — at most one log per second under sustained slowness).
+	// 0 disables the slow-query log.
+	SlowQuery time.Duration
 }
 
 func (c *Config) fill() {
@@ -91,6 +107,16 @@ type Server struct {
 	metrics  *serverMetrics
 	mux      *http.ServeMux
 	start    time.Time
+	logger   *slog.Logger
+
+	// prof is the process-wide per-predicate profile served by
+	// GET /profile; each query runs with its own profiler, merged in at
+	// completion so slow-query logs see exact per-query attribution.
+	prof *obs.Profiler
+	// live is the in-flight query registry behind GET /debug/queries.
+	live *obs.Registry
+	// slowLogged is the last slow-query log's unixnano, the sampling gate.
+	slowLogged atomic.Int64
 
 	// evictions tracks background idle-eviction merges so EndAllSessions
 	// can join them before the caller persists the global table.
@@ -111,6 +137,12 @@ func New(cfg Config) *Server {
 		metrics:  newServerMetrics(),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
+		logger:   cfg.Logger,
+		prof:     obs.NewProfiler(),
+		live:     obs.NewRegistry(),
+	}
+	if s.logger == nil {
+		s.logger = slog.Default()
 	}
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /query/stream", s.handleStream)
@@ -121,6 +153,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
+	s.mux.HandleFunc("DELETE /debug/queries/{id}", s.handleDebugKill)
+	s.mux.HandleFunc("GET /profile", s.handleProfile)
 	return s
 }
 
@@ -224,12 +259,19 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 	return false
 }
 
-// finishQueryError maps a query error onto a response and counters.
-func (s *Server) finishQueryError(w http.ResponseWriter, err error) {
+// finishQueryError maps a query error onto a response and counters. ctx
+// is the query's (possibly kill-cancelled) context: a context.Canceled
+// whose cause is obs.ErrKilled was cancelled through the live inspector,
+// which the victim learns as 410 Gone — distinct from its own client
+// disconnecting, where nobody is left to read a response.
+func (s *Server) finishQueryError(w http.ResponseWriter, ctx context.Context, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		s.metrics.timeouts.Inc()
 		s.writeError(w, http.StatusGatewayTimeout, "query timed out")
+	case errors.Is(err, context.Canceled) && errors.Is(context.Cause(ctx), obs.ErrKilled):
+		s.metrics.killed.Inc()
+		s.writeError(w, http.StatusGone, obs.ErrKilled.Error())
 	case errors.Is(err, context.Canceled):
 		s.metrics.cancelled.Inc() // client gone; response is moot
 	case errors.Is(err, blog.ErrBudget):
@@ -273,15 +315,34 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, entry *session
 		opts = append(opts, blog.InSession(entry.s))
 		sessionID = entry.id
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	tctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	// The kill layer sits inside the timeout: DELETE /debug/queries/{id}
+	// cancels with cause obs.ErrKilled, which finishQueryError reads back
+	// through context.Cause to answer this request with 410.
+	ctx, kill := context.WithCancelCause(tctx)
+	defer kill(nil)
+	lv := s.live.Add(q.Goal, strat.String(), kill)
+	defer s.live.Remove(lv)
+	ctx = obs.WithRequestID(ctx, lv.ID)
+	// Every query runs with its own profiler, merged into the process-wide
+	// profile at completion; the per-query view feeds the slow-query log.
+	qprof := blog.NewProfiler()
+	traced := q.Trace || s.cfg.SlowQuery > 0
+	opts = append(opts, blog.Profiled(qprof), blog.Monitor(lv))
+	if traced {
+		opts = append(opts, blog.Traced())
+	}
 	start := time.Now()
 	res, err := s.program.QueryContext(ctx, q.Goal, strat, opts...)
+	elapsed := time.Since(start)
 	s.metrics.observeLatency(elapsedMs(start))
+	s.prof.Merge(qprof)
 	if err != nil {
-		s.finishQueryError(w, err)
+		s.finishQueryError(w, ctx, err)
 		return
 	}
+	s.logSlowQuery(ctx, q.Goal, strat.String(), elapsed, res.Spans, qprof)
 	if entry != nil {
 		entry.s.NoteQuery(len(res.Solutions) > 0)
 	}
@@ -302,6 +363,9 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, entry *session
 		TablesTruncated:      res.TablesTruncated,
 		AnswersSubsumed:      res.AnswersSubsumed,
 		AnswersImproved:      res.AnswersImproved,
+	}
+	if q.Trace {
+		resp.Trace = res.Spans
 	}
 	for _, sol := range res.Solutions {
 		resp.Solutions = append(resp.Solutions, wireSolution(sol))
@@ -328,17 +392,28 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		s.metrics.tabledQueries.Inc()
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	tctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	ctx, kill := context.WithCancelCause(tctx)
+	defer kill(nil)
+	lv := s.live.Add(q.Goal, strat.String(), kill)
+	defer s.live.Remove(lv)
+	ctx = obs.WithRequestID(ctx, lv.ID)
 	start := time.Now()
 	opts := q.options(maxSol)
 	if s.cfg.NoVM {
 		opts = append(opts, blog.Compiled(false))
 	}
+	qprof := blog.NewProfiler()
+	traced := q.Trace || s.cfg.SlowQuery > 0
+	opts = append(opts, blog.Profiled(qprof), blog.Monitor(lv))
+	if traced {
+		opts = append(opts, blog.Traced())
+	}
 	it, err := s.program.IterContext(ctx, q.Goal, strat, opts...)
 	if err != nil {
 		// Everything rejected here is a request shape problem (parallel
-		// strategy, AND-parallel, recording) — the goal already parsed.
+		// strategy, AND-parallel) — the goal already parsed.
 		s.metrics.observeLatency(elapsedMs(start))
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -378,11 +453,17 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				AnswersSubsumed:      st.AnswersSubsumed,
 				AnswersImproved:      st.AnswersImproved,
 			}
+			if q.Trace {
+				final.Trace = it.Spans()
+			}
 			if err != nil {
 				final.Error = err.Error()
 				switch {
 				case errors.Is(err, context.DeadlineExceeded):
 					s.metrics.timeouts.Inc()
+				case errors.Is(err, context.Canceled) && errors.Is(context.Cause(ctx), obs.ErrKilled):
+					s.metrics.killed.Inc()
+					final.Error = obs.ErrKilled.Error()
 				case errors.Is(err, context.Canceled):
 					s.metrics.cancelled.Inc()
 				case errors.Is(err, blog.ErrBudget):
@@ -396,7 +477,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			if flusher != nil {
 				flusher.Flush()
 			}
+			elapsed := time.Since(start)
 			s.metrics.observeLatency(elapsedMs(start))
+			s.prof.Merge(qprof)
+			if err == nil {
+				s.logSlowQuery(ctx, q.Goal, strat.String(), elapsed, it.Spans(), qprof)
+			}
 			return
 		}
 		ws := wireSolution(sol)
@@ -406,6 +492,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			// slot and ctx cancellation stops the engine on the next pull.
 			s.metrics.cancelled.Inc()
 			s.metrics.observeLatency(elapsedMs(start))
+			s.prof.Merge(qprof)
 			return
 		}
 		if flusher != nil {
@@ -548,6 +635,89 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	tt.subsumed, tt.improved = tot.Subsumed, tot.Improved
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = w.Write([]byte(s.metrics.expose(s.pool.InFlight(), s.pool.Queued(), workers, queueLen, s.sessions.len(), tt)))
+}
+
+// logSlowQuery emits the structured slow-query record when the query's
+// wall time reached the threshold: request ID, goal, strategy, elapsed,
+// the rendered span tree, and the query's hottest predicates. Sampled to
+// at most one record per second so a saturating slow workload cannot turn
+// the log into the bottleneck (the slow_queries_total counter still
+// counts every one).
+func (s *Server) logSlowQuery(ctx context.Context, goal, strategy string, elapsed time.Duration, spans *blog.Span, prof *blog.Profiler) {
+	if s.cfg.SlowQuery <= 0 || elapsed < s.cfg.SlowQuery {
+		return
+	}
+	s.metrics.slowQueries.Inc()
+	now := time.Now().UnixNano()
+	last := s.slowLogged.Load()
+	if now-last < int64(time.Second) || !s.slowLogged.CompareAndSwap(last, now) {
+		return
+	}
+	attrs := []any{
+		"request_id", obs.RequestID(ctx),
+		"goal", goal,
+		"strategy", strategy,
+		"elapsed_ms", float64(elapsed) / float64(time.Millisecond),
+	}
+	if spans != nil {
+		attrs = append(attrs, "spans", spans.Render())
+	}
+	if top := prof.Top(5); len(top) > 0 {
+		hot := make([]string, 0, len(top))
+		for _, p := range top {
+			hot = append(hot, fmt.Sprintf("%s exp=%d nanos=%d", p.Pred, p.Expansions, p.Nanos))
+		}
+		attrs = append(attrs, "hot_preds", strings.Join(hot, "; "))
+	}
+	s.logger.Warn("slow query", attrs...)
+}
+
+// handleDebugQueries serves GET /debug/queries: the in-flight queries,
+// oldest first, with goal, strategy, elapsed time and the engine-synced
+// expansion counter.
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	live := s.live.List()
+	out := make([]LiveQuery, 0, len(live))
+	for _, l := range live {
+		out = append(out, LiveQuery{
+			ID:        l.ID,
+			Goal:      l.Goal,
+			Strategy:  l.Strategy,
+			ElapsedMs: elapsedMs(l.Start),
+			Expanded:  l.Expanded.Load(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleDebugKill serves DELETE /debug/queries/{id}: cancel an in-flight
+// query through the inspector. The victim's own request answers 410; this
+// request answers 200 with the kill acknowledged.
+func (s *Server) handleDebugKill(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	l := s.live.Get(id)
+	if l == nil {
+		s.writeError(w, http.StatusNotFound, "no in-flight query "+id)
+		return
+	}
+	l.Cancel(obs.ErrKilled)
+	s.logger.Info("query killed via inspector", "request_id", id, "goal", l.Goal)
+	writeJSON(w, http.StatusOK, KillResponse{ID: id, Killed: true})
+}
+
+// handleProfile serves GET /profile: the process-wide per-predicate
+// profile, hottest first. ?n= bounds the row count (default 20).
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	n := 20
+	if v := r.URL.Query().Get("n"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+			n = parsed
+		}
+	}
+	writeJSON(w, http.StatusOK, ProfileResponse{
+		TotalNanos: s.prof.TotalNanos(),
+		Preds:      s.prof.Top(n),
+	})
 }
 
 // handleStats serves GET /stats: the loaded program's shape.

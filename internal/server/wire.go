@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"blog"
+	"blog/internal/obs"
 )
 
 // QueryRequest is the JSON body of POST /query, POST /query/stream and
@@ -59,6 +60,10 @@ type QueryRequest struct {
 	// compiled bytecode VM (unless the server forces the tree-walker);
 	// false forces the tree-walking oracle engine for this query.
 	Compiled *bool `json:"compiled,omitempty"`
+	// Trace returns the query's span tree (parse, compile, search, table
+	// fixpoints) in the response's trace field — one-shot responses and
+	// the terminal line of streams.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // options translates the request into blog query options.
@@ -140,6 +145,8 @@ type QueryResponse struct {
 	TablesTruncated      uint64 `json:"tables_truncated,omitempty"`
 	AnswersSubsumed      uint64 `json:"answers_subsumed,omitempty"`
 	AnswersImproved      uint64 `json:"answers_improved,omitempty"`
+	// Trace is the query's span tree, present on "trace":true requests.
+	Trace *obs.Span `json:"trace,omitempty"`
 }
 
 // StreamEvent is one NDJSON line of POST /query/stream: solution lines
@@ -163,6 +170,36 @@ type StreamEvent struct {
 	TablesTruncated      uint64 `json:"tables_truncated,omitempty"`
 	AnswersSubsumed      uint64 `json:"answers_subsumed,omitempty"`
 	AnswersImproved      uint64 `json:"answers_improved,omitempty"`
+	// Trace is the stream's span tree on the terminal line of
+	// "trace":true requests.
+	Trace *obs.Span `json:"trace,omitempty"`
+}
+
+// LiveQuery is one in-flight query in the GET /debug/queries listing.
+type LiveQuery struct {
+	ID        string  `json:"id"`
+	Goal      string  `json:"goal"`
+	Strategy  string  `json:"strategy"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// Expanded is the query's expansion counter, synced by the engine
+	// every 1024 expansions (0 for a query still starting up).
+	Expanded uint64 `json:"expanded"`
+}
+
+// KillResponse is the body of DELETE /debug/queries/{id}: the victim's
+// own request answers with 410 Gone.
+type KillResponse struct {
+	ID     string `json:"id"`
+	Killed bool   `json:"killed"`
+}
+
+// ProfileResponse is the GET /profile body: the process-wide per-predicate
+// profile, hottest (most attributed wall time) first.
+type ProfileResponse struct {
+	// TotalNanos is the wall time attributed across all predicates.
+	TotalNanos uint64 `json:"total_nanos"`
+	// Preds is the top-N rows (the n query parameter, default 20).
+	Preds []obs.PredProfile `json:"preds"`
 }
 
 // SessionInfo describes one live session (POST /sessions response and

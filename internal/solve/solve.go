@@ -21,10 +21,12 @@ import (
 	"blog/internal/andpar"
 	"blog/internal/engine"
 	"blog/internal/kb"
+	"blog/internal/obs"
 	"blog/internal/par"
 	"blog/internal/search"
 	"blog/internal/table"
 	"blog/internal/term"
+	"blog/internal/vm"
 	"blog/internal/weights"
 )
 
@@ -142,6 +144,17 @@ type Request struct {
 	// Recording (sequential, non-AND-parallel runs only).
 	RecordTree  bool
 	RecordTrace bool
+
+	// Observability. Trace, when non-nil, collects a span tree for this
+	// run (compile, search, table fixpoint rounds). Prof, when non-nil,
+	// accumulates per-predicate counters and attributed nanos; it may be
+	// shared across concurrent runs (all counters are atomic). Live, when
+	// non-nil, is this run's in-flight inspector entry; the engines sync
+	// their expansion counter into it periodically. All three work on
+	// every strategy and both binding representations.
+	Trace *obs.Trace
+	Prof  *obs.Profiler
+	Live  *obs.Live
 }
 
 // Stats is the unified work accounting across every engine. Counters not
@@ -270,11 +283,15 @@ func Do(ctx context.Context, req *Request) (*Response, error) {
 
 // NewIter prepares a lazy, pull-based run for req — the interactive
 // top-level's "; for more" model. Streaming runs on the sequential engine
-// only; Parallel, AndParallel, and tree/trace recording are rejected.
+// only; Parallel and AndParallel are rejected. Tree and trace recording
+// work exactly as in Do: recording routes DFS onto the persistent-Env
+// frontier, and the recorded tree/trace grow as solutions are pulled.
 // Prune/PruneSlack are honored: the iterator cuts open nodes against the
 // best solution bound served so far, exactly as the batch engine does.
 // The returned table.Handle carries the stream's tabled-resolution
-// counters (nil for untabled requests).
+// counters (nil for untabled requests). A traced stream's "search" phase
+// stays open across pulls; obs.Trace.Finish closes it when the caller is
+// done.
 func NewIter(ctx context.Context, req *Request) (*search.Iter, *table.Handle, error) {
 	if err := validate(req); err != nil {
 		return nil, nil, err
@@ -286,10 +303,9 @@ func NewIter(ctx context.Context, req *Request) (*search.Iter, *table.Handle, er
 	if req.AndParallel {
 		return nil, nil, errors.New("solve: streaming does not support AndParallel")
 	}
-	if req.RecordTree || req.RecordTrace {
-		return nil, nil, errors.New("solve: streaming does not record trees or traces; use Do for recorded runs")
-	}
 	th, tb := tabler(req)
+	compilePhase(req)
+	searchPhase(req) // left open; table fixpoints nest beneath it across pulls
 	it, err := search.NewIter(ctx, req.DB, req.Store, req.Goals, search.Options{
 		Strategy:      sstrat,
 		MaxSolutions:  req.MaxSolutions,
@@ -302,6 +318,10 @@ func NewIter(ctx context.Context, req *Request) (*search.Iter, *table.Handle, er
 		Tabler:        tb,
 		NoVM:          req.NoVM,
 		NoTrail:       req.NoTrail,
+		RecordTree:    req.RecordTree,
+		RecordTrace:   req.RecordTrace,
+		Prof:          req.Prof,
+		Live:          req.Live,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -323,7 +343,45 @@ func tabler(req *Request) (*table.Handle, engine.Tabler) {
 	// An oracle run must be oracle all the way down: table generators
 	// follow the query's engine choice.
 	h.SetNoVM(req.NoVM)
+	// Table hit/miss counters and fixpoint spans flow through the handle
+	// into the generator runs.
+	h.SetProfiler(req.Prof)
+	h.SetTrace(req.Trace)
 	return h, h
+}
+
+// compilePhase records the clause-compilation span for a traced run. The
+// bytecode cache is per-DB and warm after the first query, so the span
+// shows real compile cost exactly once per database; later runs record
+// the (cheap) cache probe. No-op when the run is untraced.
+func compilePhase(req *Request) {
+	if req.Trace == nil {
+		return
+	}
+	sp := req.Trace.Phase("compile")
+	if vm.Enabled && !req.NoVM {
+		vm.For(req.DB)
+	}
+	sp.End()
+}
+
+// searchPhase opens the span the engine runs under; table fixpoints
+// attach beneath it by name while it is open. closeSearch stamps the
+// unified counters and ends it; both are no-ops for untraced runs.
+func searchPhase(req *Request) *obs.Span {
+	if req.Trace == nil {
+		return nil
+	}
+	return req.Trace.Phase("search")
+}
+
+func closeSearch(sp *obs.Span, resp *Response) {
+	if sp == nil {
+		return
+	}
+	sp.SetCount("expanded", int64(resp.Stats.Expanded))
+	sp.SetCount("solutions", int64(len(resp.Solutions)))
+	sp.End()
 }
 
 func validate(req *Request) error {
@@ -353,6 +411,8 @@ func (Sequential) Solve(ctx context.Context, req *Request) (*Response, error) {
 		return nil, fmt.Errorf("solve: strategy %v is not sequential", req.Strategy)
 	}
 	th, tb := tabler(req)
+	compilePhase(req)
+	ssp := searchPhase(req)
 	sres, err := search.Run(ctx, req.DB, req.Store, req.Goals, search.Options{
 		Strategy:      sstrat,
 		MaxSolutions:  req.MaxSolutions,
@@ -367,6 +427,8 @@ func (Sequential) Solve(ctx context.Context, req *Request) (*Response, error) {
 		NoTrail:       req.NoTrail,
 		RecordTree:    req.RecordTree,
 		RecordTrace:   req.RecordTrace,
+		Prof:          req.Prof,
+		Live:          req.Live,
 	})
 	if err != nil {
 		return nil, err
@@ -390,6 +452,7 @@ func (Sequential) Solve(ctx context.Context, req *Request) (*Response, error) {
 		Trace:     sres.Trace,
 	}
 	resp.Stats.addTable(th)
+	closeSearch(ssp, resp)
 	return resp, nil
 }
 
@@ -404,6 +467,8 @@ func (ORParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 		mode = par.TwoLevel
 	}
 	th, tb := tabler(req)
+	compilePhase(req)
+	ssp := searchPhase(req)
 	pres, err := par.Run(ctx, req.DB, req.Store, req.Goals, par.Options{
 		Workers:       req.Workers,
 		Mode:          mode,
@@ -416,6 +481,8 @@ func (ORParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 		OccursCheck:   req.OccursCheck,
 		Tabler:        tb,
 		NoVM:          req.NoVM,
+		Prof:          req.Prof,
+		Live:          req.Live,
 	})
 	if err != nil {
 		return nil, err
@@ -442,6 +509,7 @@ func (ORParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 		Exhausted: pres.Exhausted,
 	}
 	resp.Stats.addTable(th)
+	closeSearch(ssp, resp)
 	return resp, nil
 }
 
@@ -457,6 +525,8 @@ func (ANDParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 		return nil, fmt.Errorf("solve: strategy %v is not sequential", req.Strategy)
 	}
 	th, tb := tabler(req)
+	compilePhase(req)
+	ssp := searchPhase(req)
 	ares, err := andpar.Solve(ctx, req.DB, req.Store, req.Goals, andpar.Options{
 		Search: search.Options{
 			Strategy:      sstrat,
@@ -469,6 +539,8 @@ func (ANDParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 			Tabler:        tb,
 			NoVM:          req.NoVM,
 			NoTrail:       req.NoTrail,
+			Prof:          req.Prof,
+			Live:          req.Live,
 		},
 		Parallel:     true,
 		MaxSolutions: req.MaxSolutions,
@@ -498,6 +570,7 @@ func (ANDParallel) Solve(ctx context.Context, req *Request) (*Response, error) {
 		Exhausted: ares.Exhausted,
 	}
 	resp.Stats.addTable(th)
+	closeSearch(ssp, resp)
 	return resp, nil
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"blog/internal/kb"
 	"blog/internal/parse"
+	"blog/internal/search"
 	"blog/internal/term"
 	"blog/internal/weights"
 )
@@ -352,19 +353,37 @@ d3(b).
 	}
 }
 
-// TestNewIterRejectsRecording: tree/trace recording on a streaming request
-// is a clear error, not a silent drop (ROADMAP item from PR 2 review).
-func TestNewIterRejectsRecording(t *testing.T) {
+// TestNewIterRecords: tree/trace recording works on streaming requests
+// exactly as on batch ones — recording routes DFS onto the
+// persistent-Env frontier and the records grow as the stream is pulled.
+// (Replaces the PR 2 rejection, which made Iter the one API recording
+// didn't reach.)
+func TestNewIterRecords(t *testing.T) {
 	db := load(t, familySrc)
 	r := req(t, db, "gf(sam,G)", DFS)
 	r.RecordTree = true
-	if _, _, err := NewIter(context.Background(), r); err == nil {
-		t.Error("RecordTree on a streaming request must error")
-	}
-	r = req(t, db, "gf(sam,G)", BFS)
 	r.RecordTrace = true
-	if _, _, err := NewIter(context.Background(), r); err == nil {
-		t.Error("RecordTrace on a streaming request must error")
+	it, _, err := NewIter(context.Background(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if it.Tree() == nil {
+		t.Error("RecordTree on a streaming request produced no tree")
+	}
+	if len(it.Trace()) == 0 {
+		t.Error("RecordTrace on a streaming request produced no lines")
+	}
+	if st := it.Stats(); st.Representation != search.RepPersistentEnv {
+		t.Errorf("recording stream ran on %q, want %q", st.Representation, search.RepPersistentEnv)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"blog/internal/engine"
+	"blog/internal/obs"
 	"blog/internal/term"
 	"blog/internal/weights"
 )
@@ -85,6 +86,10 @@ type eval struct {
 	// noVM pins generator expansion to the tree-walking engine (the
 	// handle's SetNoVM), keeping NoVM query runs oracle end to end.
 	noVM bool
+	// prof and trace come from the handle: generator runs charge the
+	// profiler, and leader fixpoints record spans on the trace.
+	prof  *obs.Profiler
+	trace *obs.Trace
 }
 
 // maxFrame means "reached no in-progress production".
@@ -113,6 +118,8 @@ func newEval(s *Space, h *Handle, ctx context.Context) *eval {
 	}
 	if h != nil {
 		ev.noVM = h.noVM
+		ev.prof = h.prof
+		ev.trace = h.trace
 	}
 	return ev
 }
@@ -145,12 +152,24 @@ func (ev *eval) require(t *Table) error {
 	parentFrame := ev.curFrame
 	ev.curFrame = myFrame
 	prodLow := maxFrame
+	// Fixpoint span under the query's open "search" phase; nested
+	// productions of the dependency group appear as sibling spans, each
+	// with per-round children carrying the answer-set delta.
+	var fsp *obs.Span
+	if ev.trace != nil {
+		fsp = ev.trace.Span("search", "fixpoint "+t.pred)
+	}
+	round := 0
 	var err error
 	for {
 		before := ev.added
 		outerLow := ev.lowFrame
 		ev.lowFrame = maxFrame
+		round++
+		rsp := fsp.Child(fmt.Sprintf("round %d", round))
 		err = ev.runGenerator(t)
+		rsp.SetCount("answers", int64(ev.added-before))
+		rsp.End()
 		roundLow := ev.lowFrame
 		// Propagate conservatively to the enclosing round: it treats
 		// nested reach as its own (extra rounds are safe; a wrong early
@@ -172,6 +191,8 @@ func (ev *eval) require(t *Table) error {
 		}
 	}
 	ev.curFrame = parentFrame
+	fsp.SetCount("rounds", int64(round))
+	fsp.End()
 	if leader {
 		// The final leader round re-ran every reachable incomplete
 		// generator and derived nothing new: the group is at fixpoint.
@@ -249,6 +270,7 @@ func (ev *eval) runGenerator(t *Table) error {
 		NoVM:             ev.noVM,
 		MaxExpansions:    math.MaxUint64,
 		RootBypassTabler: true,
+		Prof:             ev.prof,
 		StepHook: func() error {
 			if ev.steps++; ev.steps > ev.budget {
 				return ErrBudget
@@ -398,6 +420,9 @@ func (ev *eval) serveComplete(env *term.Env, goal term.Term, t *Table) ([]*term.
 	if t.truncated {
 		ev.truncConsumed = true
 	}
+	if fn, arity, ok := term.PredOf(t.pattern); ok {
+		ev.prof.TableHit(fn, arity)
+	}
 	if ev.h != nil {
 		ev.h.hits.Add(1)
 		ev.h.noteTruncated(t)
@@ -432,6 +457,9 @@ func (ev *eval) Resolve(_ context.Context, env *term.Env, goal term.Term) ([]*te
 		return ev.serveComplete(env, goal, t)
 	}
 	t := ev.space.getOrCreate(key, pattern, ev.h, ev.maxDepth)
+	if fn, arity, ok := term.PredOf(pattern); ok {
+		ev.prof.TableMiss(fn, arity)
+	}
 	if err := ev.require(t); err != nil {
 		return nil, err
 	}

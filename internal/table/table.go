@@ -54,6 +54,7 @@ import (
 
 	"blog/internal/engine"
 	"blog/internal/kb"
+	"blog/internal/obs"
 	"blog/internal/search"
 	"blog/internal/term"
 	"blog/internal/unify"
@@ -385,6 +386,12 @@ type Handle struct {
 	// noVM forces table generators onto the tree-walking engine, so a
 	// NoVM query run is oracle end to end (SetNoVM).
 	noVM bool
+	// prof, when non-nil, profiles generator runs and counts table
+	// hits/misses per predicate (SetProfiler).
+	prof *obs.Profiler
+	// trace, when non-nil, receives fixpoint spans under the query's open
+	// "search" phase (SetTrace).
+	trace *obs.Trace
 
 	created   atomic.Uint64
 	answers   atomic.Uint64
@@ -405,6 +412,16 @@ func (h *Handle) SetMaxDepth(d int) { h.maxDepth = d }
 // SetNoVM forces this handle's table production onto the tree-walking
 // engine. It must be called before the handle's first Resolve.
 func (h *Handle) SetNoVM(on bool) { h.noVM = on }
+
+// SetProfiler attaches a per-predicate profiler to the handle's table
+// resolution: generator runs charge into it, and hits/misses are counted
+// per predicate. It must be called before the handle's first Resolve.
+func (h *Handle) SetProfiler(p *obs.Profiler) { h.prof = p }
+
+// SetTrace attaches a query trace: each leader fixpoint records a span
+// (with per-round child spans) under the query's open "search" phase. It
+// must be called before the handle's first Resolve.
+func (h *Handle) SetTrace(tr *obs.Trace) { h.trace = tr }
 
 // Stats returns the counters this handle accumulated.
 func (h *Handle) Stats() Stats {
@@ -451,6 +468,9 @@ func (h *Handle) Resolve(ctx context.Context, env *term.Env, goal term.Term) ([]
 		return h.serveHit(env, goal, t), nil
 	}
 	t := h.space.getOrCreate(key, pattern, h, h.maxDepth)
+	if fn, arity, ok := term.PredOf(pattern); ok {
+		h.prof.TableMiss(fn, arity)
+	}
 	ev := newEval(h.space, h, ctx)
 	if err := ev.require(t); err != nil {
 		return nil, err
@@ -463,6 +483,9 @@ func (h *Handle) Resolve(ctx context.Context, env *term.Env, goal term.Term) ([]
 func (h *Handle) serveHit(env *term.Env, goal term.Term, t *Table) []*term.Env {
 	h.hits.Add(1)
 	h.space.hits.Add(1)
+	if fn, arity, ok := term.PredOf(t.pattern); ok {
+		h.prof.TableHit(fn, arity)
+	}
 	h.noteTruncated(t)
 	envs := bindAnswers(env, goal, t.answers)
 	h.reuse.Add(uint64(len(envs)))

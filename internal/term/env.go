@@ -118,6 +118,7 @@ func (e *Env) Bind(v *Var, t Term) *Env {
 			}
 			f.b[v.idx] = t
 			e.st.trail = append(e.st.trail, trailEntry{frame: f, slot: v.idx})
+			e.st.binds++
 			e.depth++
 			return e
 		}

@@ -28,6 +28,13 @@ type trailEntry struct {
 type Store struct {
 	trail []trailEntry
 	env   *Env
+
+	// binds and undos count destructive writes and trail rewinds over the
+	// store's whole lifetime (Reset does not clear them). The profiler
+	// samples them as deltas; an unconditional increment is cheaper on the
+	// hot path than a branch on whether anyone is watching.
+	binds uint64
+	undos uint64
 }
 
 // NewStore returns an empty store with its distinguished environment.
@@ -66,8 +73,13 @@ func (s *Store) Undo(mark int) {
 		e.frame.b[e.slot] = nil
 	}
 	s.env.depth -= len(tr) - mark
+	s.undos += uint64(len(tr) - mark)
 	s.trail = tr[:mark]
 }
+
+// Counters returns the lifetime destructive-bind and undo counts, for
+// profiler delta sampling.
+func (s *Store) Counters() (binds, undos uint64) { return s.binds, s.undos }
 
 // Overlay returns a fresh immutable extension point over the store's
 // current state. Code that stages alternative binding sets before the

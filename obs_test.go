@@ -1,0 +1,215 @@
+package blog
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"blog/internal/workload"
+)
+
+// findSpan walks the span tree depth-first for the first span whose name
+// has the given prefix.
+func findSpan(s *Span, prefix string) *Span {
+	if s == nil {
+		return nil
+	}
+	if strings.HasPrefix(s.Name, prefix) {
+		return s
+	}
+	for _, c := range s.Children {
+		if hit := findSpan(c, prefix); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// TestProfilerSpanAccounting is the acceptance check for the profiler's
+// interval attribution: on a search heavy enough to dwarf timer
+// granularity, the per-predicate nanosecond sum must land within 20% of
+// the search span's wall time, because the meter charges every interval
+// between dispatches to some predicate — time can neither vanish nor be
+// double-counted.
+func TestProfilerSpanAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a multi-millisecond search")
+	}
+	p, err := LoadString(workload.DeepFailure(800, 56))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := NewProfiler()
+	res, err := p.Query("top(X)", DFS, Traced(), Profiled(prof), MaxDepth(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 {
+		t.Fatalf("solutions = %d, want 1", len(res.Solutions))
+	}
+	if res.Representation != "trail-store" {
+		t.Fatalf("representation = %q, want trail-store (profiled hot path)", res.Representation)
+	}
+	if res.Spans == nil || res.Spans.Name != "query" {
+		t.Fatalf("Spans = %+v, want root span named query", res.Spans)
+	}
+	for _, phase := range []string{"parse", "compile", "search"} {
+		if findSpan(res.Spans, phase) == nil {
+			t.Errorf("span tree missing %q phase:\n%s", phase, res.Spans.Render())
+		}
+	}
+	search := findSpan(res.Spans, "search")
+	if search == nil {
+		t.Fatal("no search span")
+	}
+	if got := search.Counts["expanded"]; uint64(got) != res.Expanded {
+		t.Errorf("search span expanded = %d, result says %d", got, res.Expanded)
+	}
+	wallNanos := search.DurUs * 1e3
+	if wallNanos < 2e6 {
+		t.Fatalf("search took %.0fns; workload too small for a meaningful accounting check", wallNanos)
+	}
+	sum := float64(prof.TotalNanos())
+	if ratio := sum / wallNanos; ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("profiler accounts for %.0fns of a %.0fns search (ratio %.3f), want within 20%%",
+			sum, wallNanos, ratio)
+	}
+	if top := prof.Top(3); len(top) == 0 || top[0].Expansions == 0 {
+		t.Errorf("Top(3) = %+v, want hot predicates with expansion counts", top)
+	}
+}
+
+// TestTracedTabledFixpoint checks that tabled resolution nests its
+// fixpoint spans (with per-round children and answer deltas) under the
+// query's search phase.
+func TestTracedTabledFixpoint(t *testing.T) {
+	p, err := LoadString(workload.Cyclic(12, 3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Query("path(v0, X)", DFS, Tabled(), Traced())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 12 {
+		t.Fatalf("solutions = %d, want 12 (every node reachable on the ring)", len(res.Solutions))
+	}
+	search := findSpan(res.Spans, "search")
+	if search == nil {
+		t.Fatalf("no search span:\n%s", res.Spans.Render())
+	}
+	fix := findSpan(search, "fixpoint path/2")
+	if fix == nil {
+		t.Fatalf("no fixpoint span under search:\n%s", res.Spans.Render())
+	}
+	if fix.Counts["rounds"] < 1 {
+		t.Errorf("fixpoint rounds = %d, want >= 1", fix.Counts["rounds"])
+	}
+	round := findSpan(fix, "round 1")
+	if round == nil {
+		t.Fatalf("fixpoint has no round children:\n%s", fix.Render())
+	}
+	if round.Counts["answers"] == 0 {
+		t.Errorf("round 1 derived no answers:\n%s", fix.Render())
+	}
+}
+
+// TestTracedStreamSpans checks the streaming path: an Iter pulled to
+// exhaustion yields a finished span tree with the search phase closed.
+func TestTracedStreamSpans(t *testing.T) {
+	p, err := LoadString(workload.FamilyTree(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := p.Iter("anc(p0, X)", DFS, Traced())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("stream yielded no solutions")
+	}
+	spans := it.Spans()
+	if spans == nil || spans.Name != "query" {
+		t.Fatalf("Spans = %+v, want root span named query", spans)
+	}
+	search := findSpan(spans, "search")
+	if search == nil {
+		t.Fatalf("no search span:\n%s", spans.Render())
+	}
+	if search.DurUs <= 0 {
+		t.Errorf("search span not closed at stream end: dur %.1fµs", search.DurUs)
+	}
+}
+
+// TestSharedProfilerConcurrentQueries hammers one profiler from
+// concurrent queries across both binding representations, tabled
+// resolution and the OR-parallel strategy — the satellite's -race check
+// that the dense-cell array's copy-on-write growth and atomic counters
+// hold up under contention.
+func TestSharedProfilerConcurrentQueries(t *testing.T) {
+	deep, err := LoadString(workload.DeepFailure(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyclic, err := LoadString(workload.Cyclic(8, 2, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := NewProfiler()
+	runs := []struct {
+		name  string
+		prog  *Program
+		goal  string
+		strat Strategy
+		opts  []Option
+	}{
+		{"trail-dfs", deep, "top(X)", DFS, []Option{Traced()}},
+		{"env-dfs", deep, "top(X)", DFS, []Option{TrailStore(false)}},
+		{"bfs", deep, "top(X)", BFS, nil},
+		{"tabled", cyclic, "path(v0, X)", DFS, []Option{Tabled(), Traced()}},
+		{"parallel", deep, "top(X)", Parallel, []Option{Workers(4)}},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(runs)*4)
+	for _, r := range runs {
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(r struct {
+				name  string
+				prog  *Program
+				goal  string
+				strat Strategy
+				opts  []Option
+			}) {
+				defer wg.Done()
+				opts := append([]Option{Profiled(shared), MaxDepth(64)}, r.opts...)
+				if _, err := r.prog.Query(r.goal, r.strat, opts...); err != nil {
+					errs <- err
+				}
+			}(r)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	snap := shared.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("shared profiler saw nothing")
+	}
+	if shared.TotalNanos() == 0 {
+		t.Error("shared profiler attributed no time")
+	}
+}
