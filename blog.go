@@ -42,6 +42,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"blog/internal/engine"
 	"blog/internal/kb"
@@ -104,6 +105,10 @@ type Program struct {
 	mu     sync.RWMutex // guards global and cfg
 	global *weights.Table
 	cfg    weights.Config
+
+	// journal, once enabled, receives structured engine events (table
+	// lifecycle, VM recompiles, ...); see EnableJournal.
+	journal atomic.Pointer[obs.Journal]
 }
 
 // Config tunes the weight coding; see weights.Config in DESIGN.md.
@@ -198,6 +203,52 @@ func (p *Program) TableStats() (tables int, totals TableTotals) {
 	return p.tables.Len(), p.tables.Totals()
 }
 
+// TableAccounting aggregates the live resource gauges of the answer-table
+// space: table counts by state and the total retained bytes and answers.
+// Unlike TableTotals these drop to zero on invalidation.
+type TableAccounting = table.Accounting
+
+// TableAccounting returns the answer-table space's live resource gauges.
+func (p *Program) TableAccounting() TableAccounting { return p.tables.Accounting() }
+
+// TableInventory lists the live answer tables ranked by retained bytes,
+// largest first — the operator's what-is-holding-memory view.
+func (p *Program) TableInventory() []TableInfo { return p.tables.Inventory() }
+
+// Journal is the program's structured engine-event journal: a lock-free
+// bounded ring of typed events (table lifecycle with causes, VM
+// recompiles, session churn, admission rejects, kills, slow queries).
+// See internal/obs.
+type Journal = obs.Journal
+
+// Event is one journal entry.
+type Event = obs.Event
+
+// EnableJournal attaches an event journal retaining at least capacity
+// events and returns it. Idempotent: the first call wins and later calls
+// return the existing journal. A program without a journal pays one nil
+// check per lifecycle transition and nothing on the resolution hot path.
+func (p *Program) EnableJournal(capacity int) *Journal {
+	if j := p.journal.Load(); j != nil {
+		return j
+	}
+	j := obs.NewJournal(capacity)
+	if !p.journal.CompareAndSwap(nil, j) {
+		return p.journal.Load()
+	}
+	p.tables.SetJournal(j)
+	p.db.SetEventJournal(j)
+	return j
+}
+
+// Journal returns the enabled event journal, or nil.
+func (p *Program) Journal() *Journal { return p.journal.Load() }
+
+// PoolHighWater reports the process-wide trail-run pool high-water marks:
+// the peak simultaneous activation-frame and pooled-compound counts any
+// single sequential run reached since process start.
+func PoolHighWater() (frames, compounds int64) { return term.PoolHighWater() }
+
 // ResetWeights discards all learned global weights. Memoized answer
 // tables are invalidated with them: the tables were produced under the
 // old weight coding, and the next tabled query rebuilds them.
@@ -205,7 +256,7 @@ func (p *Program) ResetWeights() {
 	p.mu.Lock()
 	p.global = weights.NewTable(p.cfg)
 	p.mu.Unlock()
-	p.tables.Invalidate()
+	p.tables.Invalidate("reset_weights")
 }
 
 // LearnedArcs returns the number of arcs with learned global state.
@@ -750,7 +801,7 @@ func (p *Program) NewSession(alpha float64) *Session {
 func (s *Session) End() (adopted, averaged, kept, vetoed int) {
 	st := s.inner.End()
 	if st.Adopted+st.Averaged+st.InfinitiesKept > 0 {
-		s.program.tables.Invalidate()
+		s.program.tables.Invalidate("session_merge")
 	}
 	return st.Adopted, st.Averaged, st.InfinitiesKept, st.InfinitiesVetoed
 }
@@ -813,7 +864,7 @@ func (p *Program) LoadWeights(r io.Reader) error {
 	// The loaded table's A becomes the program's depth coding, so the
 	// answer-table space must rebuild under the same bound — not just
 	// drop its tables.
-	p.tables.Reconfigure(table.Config{MaxDepth: t.Config().A})
+	p.tables.ReconfigureCause(table.Config{MaxDepth: t.Config().A}, "load_weights")
 	return nil
 }
 

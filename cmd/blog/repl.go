@@ -10,6 +10,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"blog"
 )
@@ -223,25 +224,36 @@ func (st *replState) tablesCmd(out io.Writer) {
 		fmt.Fprintln(out, "no answer tables yet (tables materialize as tabled goals are queried)")
 		return
 	}
+	now := time.Now()
 	for _, ti := range infos {
-		state := "complete"
-		if !ti.Complete {
-			state = "incomplete"
-		}
-		if ti.Truncated {
-			state += " (depth-truncated)"
-		}
+		state := ti.State
 		if ti.Min > 0 {
 			state += fmt.Sprintf("  min(%d)", ti.Min)
 		}
-		fmt.Fprintf(out, "  %-24s %4d answers  %s\n", ti.Call, ti.Answers, state)
+		fmt.Fprintf(out, "  %-24s %4d answers  %8s  %4d hits  age %-8s %s\n",
+			ti.Call, ti.Answers, humanBytes(ti.Bytes), ti.Hits,
+			now.Sub(ti.CreatedAt).Round(time.Second), state)
 	}
 	_, tot := st.prog.TableStats()
-	fmt.Fprintf(out, "%d tables; %d hits, %d re-derivations avoided", len(infos), tot.Hits, tot.RederivationsAvoided)
+	acct := st.prog.TableAccounting()
+	fmt.Fprintf(out, "%d tables retaining %s; %d hits, %d re-derivations avoided",
+		len(infos), humanBytes(acct.RetainedBytes), tot.Hits, tot.RederivationsAvoided)
 	if tot.Subsumed+tot.Improved > 0 {
 		fmt.Fprintf(out, "; %d answers subsumed, %d improved", tot.Subsumed, tot.Improved)
 	}
 	fmt.Fprintln(out)
+}
+
+// humanBytes renders an approximate byte count for table listings.
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 func (st *replState) persist(save bool, path string) error {

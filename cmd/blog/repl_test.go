@@ -156,8 +156,14 @@ func TestREPLTabled(t *testing.T) {
 			t.Errorf("missing %q in query output:\n%s", want, s)
 		}
 	}
-	if !strings.Contains(s, "4 answers  complete") {
-		t.Errorf("missing table listing after query:\n%s", s)
+	// The listing row carries answers, retained size, hits and age columns.
+	for _, want := range []string{"4 answers", "complete", "hits", "age ", "retaining"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in table listing after query:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, "B ") && !strings.Contains(s, "KiB") {
+		t.Errorf("missing human-readable size in table listing:\n%s", s)
 	}
 }
 

@@ -23,10 +23,14 @@
 //	GET    /profile              process-wide per-predicate profile (hottest first)
 //	GET    /debug/queries        in-flight queries (live inspector)
 //	DELETE /debug/queries/{id}   cancel an in-flight query (victim gets 410)
+//	GET    /tables               memoized tables ranked by retained bytes
+//	GET    /events               engine event journal (drain, or ?follow=1 NDJSON)
 //
 // Logs are structured (log/slog text format) on stdout; -slow-query
 // turns on the sampled slow-query log, which records each offender's
-// span tree and hottest predicates under its request ID.
+// span tree and hottest predicates under its request ID. -v drops the
+// log level to debug and tails the engine event journal into the log,
+// one line per table/session/VM lifecycle event.
 package main
 
 import (
@@ -66,9 +70,14 @@ func main() {
 		compiled   = flag.String("compiled", "on", "resolution engine: on = bytecode VM, off = tree-walking oracle")
 		pprofOn    = flag.Bool("pprof", false, "expose /debug/pprof endpoints for profiling the hot path")
 		slowQuery  = flag.Duration("slow-query", 0, "log queries slower than this with span tree and hot predicates (0 = off)")
+		verbose    = flag.Bool("v", false, "debug logging; tails the engine event journal into the log")
 	)
 	flag.Parse()
-	logger := slog.New(slog.NewTextHandler(os.Stdout, nil))
+	logLevel := slog.LevelInfo
+	if *verbose {
+		logLevel = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stdout, &slog.HandlerOptions{Level: logLevel}))
 	slog.SetDefault(logger)
 	if *compiled != "on" && *compiled != "off" {
 		fmt.Fprintf(os.Stderr, "blogd: -compiled must be on or off, got %q\n", *compiled)
@@ -160,6 +169,9 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *verbose {
+		go tailJournal(ctx, prog.Journal(), logger)
+	}
 	select {
 	case <-ctx.Done():
 		logger.Info("shutting down")
@@ -192,6 +204,58 @@ func main() {
 			fatal(err)
 		}
 		logger.Info("saved weights", "file", *weightsOut, "learned_arcs", prog.LearnedArcs())
+	}
+}
+
+// tailJournal follows the engine event journal into the debug log, one
+// line per table/session/VM lifecycle event — the -v operator's running
+// commentary. Zero-valued fields are elided so each line carries only the
+// shape its kind was emitted with.
+func tailJournal(ctx context.Context, j *blog.Journal, logger *slog.Logger) {
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	var cursor uint64
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		for _, ev := range j.Events(cursor) {
+			cursor = ev.Seq
+			attrs := []any{"seq", ev.Seq, "kind", ev.Kind}
+			if ev.RequestID != "" {
+				attrs = append(attrs, "request_id", ev.RequestID)
+			}
+			if ev.Pred != "" {
+				attrs = append(attrs, "pred", ev.Pred)
+			}
+			if ev.Call != "" {
+				attrs = append(attrs, "call", ev.Call)
+			}
+			if ev.Cause != "" {
+				attrs = append(attrs, "cause", ev.Cause)
+			}
+			if ev.Count != 0 {
+				attrs = append(attrs, "count", ev.Count)
+			}
+			if ev.Bytes != 0 {
+				attrs = append(attrs, "bytes", ev.Bytes)
+			}
+			if ev.Rounds != 0 {
+				attrs = append(attrs, "rounds", ev.Rounds)
+			}
+			if ev.Generation != 0 {
+				attrs = append(attrs, "generation", ev.Generation)
+			}
+			if ev.Millis != 0 {
+				attrs = append(attrs, "ms", ev.Millis)
+			}
+			if ev.Detail != "" {
+				attrs = append(attrs, "detail", ev.Detail)
+			}
+			logger.Debug("engine event", attrs...)
+		}
 	}
 }
 

@@ -163,6 +163,10 @@ func (r *TrailRun) Release() {
 	// Every compound still logged belongs to a branch of the dead run;
 	// recycling the lot seeds the free lists for the next run.
 	sh.cpool.Release(0)
+	// Fold the run's pool peaks into the process-wide high-water marks —
+	// once per run, off the hot path — and zero the per-run counters so a
+	// recycled scratch starts the next run's accounting clean.
+	term.RecordPoolHighWater(sh.pool.RunReset(), sh.cpool.RunReset())
 	sh.spareCPs = r.cps[:0]
 	sh.spareChain = r.chain[:0]
 	r.cps = nil

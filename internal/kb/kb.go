@@ -203,6 +203,10 @@ type DB struct {
 	// compiled holds the cached compiled program as an opaque value, so
 	// kb does not import its compiler.
 	compiled atomic.Value
+	// journal holds the engine event journal (*obs.Journal) as an opaque
+	// value for the same reason: kb sits below obs, and only internal/vm
+	// reads it back to stamp recompile events.
+	journal atomic.Value
 }
 
 // Generation returns the clause-assertion generation. It changes exactly
@@ -216,6 +220,14 @@ func (db *DB) CompiledCache() any { return db.compiled.Load() }
 
 // SetCompiledCache stores the compiled program for this database.
 func (db *DB) SetCompiledCache(p any) { db.compiled.Store(p) }
+
+// EventJournal returns the attached engine event journal (a *obs.Journal
+// stored opaquely), or nil.
+func (db *DB) EventJournal() any { return db.journal.Load() }
+
+// SetEventJournal attaches the engine event journal. The value must be
+// non-nil (atomic.Value rejects nil stores).
+func (db *DB) SetEventJournal(j any) { db.journal.Store(j) }
 
 // New returns an empty database.
 func New() *DB {

@@ -39,8 +39,16 @@ func NewHistogram(bounds []float64) *Histogram {
 // seconds (100µs–60s log ladder).
 func NewLatencyHistogram() *Histogram { return NewHistogram(latencyBounds) }
 
-// Observe records one value.
+// Observe records one value. Out-of-range observations clamp instead of
+// vanishing: anything at or below the lowest bound counts in the first
+// bucket, anything above the highest bound counts in the overflow (+Inf)
+// bucket and Quantile clamps it to the top bound. NaN and negative values
+// are recorded as 0 — NaN especially must never reach the CAS-accumulated
+// Sum, where one observation would poison every later read.
 func (h *Histogram) Observe(v float64) {
+	if v != v || v < 0 {
+		v = 0
+	}
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++

@@ -54,6 +54,62 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramBoundary pins the clamp semantics at both ends of the
+// bucket ladder: observations below the lowest bound count in the first
+// bucket, observations above the highest bound are fully accounted (count,
+// sum, the +Inf bucket) and quantiles over them clamp to the top bound —
+// nothing is ever silently dropped.
+func TestHistogramBoundary(t *testing.T) {
+	h := NewLatencyHistogram()
+
+	// Below the 100µs first bound: lands in the first bucket.
+	h.Observe(0.00001)
+	_, cum := h.Buckets()
+	if cum[0] != 1 {
+		t.Errorf("sub-minimum observation not in first bucket: cum[0] = %d", cum[0])
+	}
+	// Exactly on a bound: le-semantics, same bucket.
+	h.Observe(0.0001)
+	if _, cum = h.Buckets(); cum[0] != 2 {
+		t.Errorf("on-bound observation not in first bucket: cum[0] = %d", cum[0])
+	}
+
+	// Above the 60s top bound: counted (count, sum, +Inf bucket), not
+	// dropped — the finite cumulative series just ends below it.
+	h.Observe(120)
+	if h.Count() != 3 {
+		t.Errorf("count = %d, want 3", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-120.00011) > 1e-9 {
+		t.Errorf("sum = %g, want 120.00011", got)
+	}
+	bounds, cum := h.Buckets()
+	if top := cum[len(cum)-1]; top != 2 {
+		t.Errorf("finite buckets hold %d, want 2 (overflow is +Inf only)", top)
+	}
+	if inf := h.Count() - cum[len(cum)-1]; inf != 1 {
+		t.Errorf("+Inf bucket holds %d, want 1", inf)
+	}
+	// A quantile that falls in the overflow clamps to the top bound.
+	if got, topBound := h.Quantile(1), bounds[len(bounds)-1]; got != topBound {
+		t.Errorf("Quantile(1) = %g, want top bound %g", got, topBound)
+	}
+
+	// NaN and negative observations are recorded as 0 — in particular NaN
+	// must not poison the CAS-accumulated sum for every later reader.
+	h.Observe(math.NaN())
+	h.Observe(-5)
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); math.IsNaN(got) || math.Abs(got-120.00011) > 1e-9 {
+		t.Errorf("sum after NaN/negative = %g, want unchanged 120.00011", got)
+	}
+	if _, cum = h.Buckets(); cum[0] != 4 {
+		t.Errorf("NaN/negative not clamped into first bucket: cum[0] = %d", cum[0])
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
 	h := NewLatencyHistogram()
 	var wg sync.WaitGroup

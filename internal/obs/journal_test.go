@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJournalNil(t *testing.T) {
+	var j *Journal
+	if seq := j.Emit(Event{Kind: KindSlowQuery}); seq != 0 {
+		t.Errorf("nil Emit = %d, want 0", seq)
+	}
+	if j.LastSeq() != 0 || j.Cap() != 0 || j.Overwritten() != 0 || j.Events(0) != nil {
+		t.Error("nil journal not empty")
+	}
+}
+
+func TestJournalEmitDrain(t *testing.T) {
+	j := NewJournal(128)
+	if j.Cap() != 128 {
+		t.Fatalf("cap = %d, want 128", j.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		seq := j.Emit(Event{Kind: KindTableCreated, Pred: "p/1"})
+		if seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	evs := j.Events(0)
+	if len(evs) != 10 {
+		t.Fatalf("drained %d events, want 10", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) || ev.Kind != KindTableCreated || ev.Time.IsZero() {
+			t.Errorf("event %d = %+v", i, ev)
+		}
+	}
+	// Cursor semantics: strictly-after, then empty at the end.
+	if tail := j.Events(7); len(tail) != 3 || tail[0].Seq != 8 {
+		t.Errorf("Events(7) = %+v, want seqs 8..10", tail)
+	}
+	if tail := j.Events(10); len(tail) != 0 {
+		t.Errorf("Events(10) = %+v, want empty", tail)
+	}
+	if j.Overwritten() != 0 {
+		t.Errorf("overwritten = %d before lap", j.Overwritten())
+	}
+}
+
+func TestJournalCapacityRounding(t *testing.T) {
+	for _, c := range []struct{ ask, want int }{{0, 64}, {1, 64}, {64, 64}, {65, 128}, {4096, 4096}, {5000, 8192}} {
+		if got := NewJournal(c.ask).Cap(); got != c.want {
+			t.Errorf("NewJournal(%d).Cap() = %d, want %d", c.ask, got, c.want)
+		}
+	}
+}
+
+func TestJournalOverwrite(t *testing.T) {
+	j := NewJournal(64)
+	for i := 0; i < 200; i++ {
+		j.Emit(Event{Kind: KindSlowQuery, Count: int64(i)})
+	}
+	if j.LastSeq() != 200 {
+		t.Fatalf("last = %d, want 200", j.LastSeq())
+	}
+	if j.Overwritten() != 200-64 {
+		t.Errorf("overwritten = %d, want %d", j.Overwritten(), 200-64)
+	}
+	evs := j.Events(0)
+	if len(evs) != 64 {
+		t.Fatalf("retained %d events, want 64", len(evs))
+	}
+	// Oldest retained is 137 (200-64+1), newest 200, contiguous.
+	for i, ev := range evs {
+		if want := uint64(137 + i); ev.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+// TestJournalHammer drives one journal from parallel emitters, a
+// table-lifecycle generator and an invalidation loop while readers drain
+// concurrently — the -race proof that Emit and Events never tear. Each
+// producer's returned sequence numbers must be strictly increasing
+// (gapless allocation is journal-wide: the union of all producers is
+// 1..N), and every event a reader observes must be internally consistent
+// (the Kind always matches the payload shape it was emitted with).
+func TestJournalHammer(t *testing.T) {
+	j := NewJournal(256) // small ring: force heavy lap-around
+	const producers = 8
+	const perProducer = 2000
+
+	var wg sync.WaitGroup
+	seqs := make([][]uint64, producers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			mine := make([]uint64, 0, perProducer)
+			for i := 0; i < perProducer; i++ {
+				var ev Event
+				switch i % 3 {
+				case 0: // table lifecycle generator
+					ev = Event{Kind: KindTableCompleted, Pred: "p/2", Call: "p(_,_)", Count: 4, Bytes: 512, Rounds: 2}
+				case 1: // invalidation loop
+					ev = Event{Kind: KindTableInvalidated, Cause: "assert", Count: 1, Bytes: 512}
+				default: // query workers
+					ev = Event{Kind: KindSlowQuery, RequestID: "q-000001", Millis: 12.5}
+				}
+				mine = append(mine, j.Emit(ev))
+			}
+			seqs[p] = mine
+		}(p)
+	}
+	// Concurrent readers drain while producers emit; every observed event
+	// must be whole.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var cursor uint64
+			for {
+				for _, ev := range j.Events(cursor) {
+					if ev.Seq <= cursor {
+						t.Errorf("reader went backwards: %d after %d", ev.Seq, cursor)
+					}
+					cursor = ev.Seq
+					checkWhole(t, ev)
+				}
+				select {
+				case <-stop:
+					return
+				default:
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	// Per-producer sequences strictly increase; the union is gapless 1..N.
+	total := producers * perProducer
+	seen := make([]bool, total+1)
+	for p, mine := range seqs {
+		last := uint64(0)
+		for _, s := range mine {
+			if s <= last {
+				t.Fatalf("producer %d seq %d after %d", p, s, last)
+			}
+			last = s
+			if s == 0 || s > uint64(total) || seen[s] {
+				t.Fatalf("producer %d got duplicate or out-of-range seq %d", p, s)
+			}
+			seen[s] = true
+		}
+	}
+	for s := 1; s <= total; s++ {
+		if !seen[s] {
+			t.Fatalf("sequence %d never allocated: gap", s)
+		}
+	}
+	if j.LastSeq() != uint64(total) {
+		t.Errorf("last = %d, want %d", j.LastSeq(), total)
+	}
+	// A final drain of the lapped ring yields the newest Cap() events,
+	// contiguous and whole.
+	evs := j.Events(0)
+	if len(evs) != j.Cap() {
+		t.Fatalf("final drain %d events, want %d", len(evs), j.Cap())
+	}
+	for i, ev := range evs {
+		if want := uint64(total - j.Cap() + 1 + i); ev.Seq != want {
+			t.Fatalf("final drain event %d seq = %d, want %d", i, ev.Seq, want)
+		}
+		checkWhole(t, ev)
+	}
+}
+
+// checkWhole asserts one event's fields are the exact set its kind was
+// emitted with in TestJournalHammer — a torn read would mix shapes.
+func checkWhole(t *testing.T, ev Event) {
+	t.Helper()
+	switch ev.Kind {
+	case KindTableCompleted:
+		if ev.Pred != "p/2" || ev.Call != "p(_,_)" || ev.Count != 4 || ev.Bytes != 512 || ev.Rounds != 2 || ev.Cause != "" || ev.Millis != 0 {
+			t.Errorf("torn completed event: %+v", ev)
+		}
+	case KindTableInvalidated:
+		if ev.Cause != "assert" || ev.Count != 1 || ev.Bytes != 512 || ev.Pred != "" || ev.Millis != 0 {
+			t.Errorf("torn invalidated event: %+v", ev)
+		}
+	case KindSlowQuery:
+		if ev.RequestID != "q-000001" || ev.Millis != 12.5 || ev.Pred != "" || ev.Count != 0 {
+			t.Errorf("torn slow-query event: %+v", ev)
+		}
+	default:
+		t.Errorf("unknown kind %q: %+v", ev.Kind, ev)
+	}
+	if ev.Time.IsZero() {
+		t.Errorf("event %d missing timestamp", ev.Seq)
+	}
+}

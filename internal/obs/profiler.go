@@ -1,8 +1,9 @@
 // Package obs is the engine-wide observability layer: a per-predicate
 // profiler keyed on interned Syms (profiler.go), per-query span tracing
-// (trace.go), and a live-query registry for the server's inspector
-// (live.go). Everything is nil-receiver-safe so the disabled path costs
-// one nil check and zero allocations.
+// (trace.go), a live-query registry for the server's inspector
+// (live.go), and a lock-free bounded ring of structured engine events
+// (journal.go). Everything is nil-receiver-safe so the disabled path
+// costs one nil check and zero allocations.
 package obs
 
 import (

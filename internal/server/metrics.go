@@ -69,12 +69,20 @@ func (m *serverMetrics) latencySnapshot() (mean, p50, p95 float64, n int) {
 	return mean, m.latency.Quantile(0.5) * 1e3, m.latency.Quantile(0.95) * 1e3, n
 }
 
-// tableTotals carries the program table space's cumulative counters into
-// the exposition.
+// tableTotals carries the program table space's cumulative counters and
+// live resource gauges into the exposition.
 type tableTotals struct {
 	active                        int
 	created, answers, hits, reuse uint64
 	subsumed, improved            uint64
+
+	// Live gauges (point-in-time; drop on invalidation): tables by
+	// lifecycle state and the retained answer bytes.
+	producing, complete, truncated int
+	retainedBytes                  int64
+	// Process pool high-water marks and journal counters.
+	poolFrames, poolCompounds    int64
+	journalEvents, journalUnseen uint64
 }
 
 // expose renders the Prometheus-style text exposition of GET /metrics.
@@ -105,6 +113,14 @@ func (m *serverMetrics) expose(inFlight, queued, workers, queueLen, sessions int
 	line("table_answers_subsumed_total", tt.subsumed)
 	line("table_answers_improved_total", tt.improved)
 	line("tables_active", tt.active)
+	line("table_retained_bytes", tt.retainedBytes)
+	fmt.Fprintf(&b, "blogd_tables_by_state{state=\"producing\"} %d\n", tt.producing)
+	fmt.Fprintf(&b, "blogd_tables_by_state{state=\"complete\"} %d\n", tt.complete)
+	fmt.Fprintf(&b, "blogd_tables_by_state{state=\"truncated\"} %d\n", tt.truncated)
+	line("pool_frames_highwater", tt.poolFrames)
+	line("pool_compounds_highwater", tt.poolCompounds)
+	line("journal_events_total", tt.journalEvents)
+	line("journal_events_overwritten_total", tt.journalUnseen)
 	line("in_flight", inFlight)
 	line("queue_depth", queued)
 	line("pool_workers", workers)

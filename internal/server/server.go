@@ -56,6 +56,11 @@ type Config struct {
 	// does the same for one query.
 	NoVM bool
 
+	// JournalCapacity sizes the program's structured event journal (table
+	// lifecycle, VM recompiles, session churn, rejections, kills, slow
+	// queries) served by GET /events. 0 means the default (4096).
+	JournalCapacity int
+
 	// Logger receives the server's structured logs (slow queries,
 	// inspector kills), each carrying the query's request ID. nil means
 	// slog.Default().
@@ -92,6 +97,9 @@ func (c *Config) fill() {
 	if c.DefaultStrategy == "" {
 		c.DefaultStrategy = "best"
 	}
+	if c.JournalCapacity <= 0 {
+		c.JournalCapacity = 4096
+	}
 }
 
 // streamWriteGrace bounds how long one NDJSON line may sit in a stalled
@@ -115,6 +123,9 @@ type Server struct {
 	prof *obs.Profiler
 	// live is the in-flight query registry behind GET /debug/queries.
 	live *obs.Registry
+	// journal is the program's structured event journal behind GET /events
+	// (enabled on the program at construction).
+	journal *blog.Journal
 	// slowLogged is the last slow-query log's unixnano, the sampling gate.
 	slowLogged atomic.Int64
 
@@ -144,6 +155,7 @@ func New(cfg Config) *Server {
 	if s.logger == nil {
 		s.logger = slog.Default()
 	}
+	s.journal = cfg.Program.EnableJournal(cfg.JournalCapacity)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /query/stream", s.handleStream)
 	s.mux.HandleFunc("POST /sessions", s.handleSessionCreate)
@@ -156,6 +168,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
 	s.mux.HandleFunc("DELETE /debug/queries/{id}", s.handleDebugKill)
 	s.mux.HandleFunc("GET /profile", s.handleProfile)
+	s.mux.HandleFunc("GET /tables", s.handleTables)
+	s.mux.HandleFunc("GET /events", s.handleEvents)
 	return s
 }
 
@@ -250,6 +264,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 		return true
 	case errors.Is(err, ErrSaturated):
 		s.metrics.rejected.Inc()
+		s.journal.Emit(blog.Event{Kind: obs.KindAdmissionReject, Detail: r.URL.Path})
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: err.Error()})
 	default:
@@ -265,21 +280,27 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 // which the victim learns as 410 Gone — distinct from its own client
 // disconnecting, where nobody is left to read a response.
 func (s *Server) finishQueryError(w http.ResponseWriter, ctx context.Context, err error) {
+	// Every body carries the query's request ID, so a client can correlate
+	// its failure with the inspector, the slow-query log and /events.
+	reqID := obs.RequestID(ctx)
+	fail := func(status int, msg string) {
+		writeJSON(w, status, ErrorResponse{Error: msg, RequestID: reqID})
+	}
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		s.metrics.timeouts.Inc()
-		s.writeError(w, http.StatusGatewayTimeout, "query timed out")
+		fail(http.StatusGatewayTimeout, "query timed out")
 	case errors.Is(err, context.Canceled) && errors.Is(context.Cause(ctx), obs.ErrKilled):
 		s.metrics.killed.Inc()
-		s.writeError(w, http.StatusGone, obs.ErrKilled.Error())
+		fail(http.StatusGone, obs.ErrKilled.Error())
 	case errors.Is(err, context.Canceled):
 		s.metrics.cancelled.Inc() // client gone; response is moot
 	case errors.Is(err, blog.ErrBudget):
 		s.metrics.budgetStops.Inc()
-		s.writeError(w, http.StatusUnprocessableEntity, "expansion budget exhausted before completion")
+		fail(http.StatusUnprocessableEntity, "expansion budget exhausted before completion")
 	default:
 		s.metrics.errors.Inc()
-		s.writeError(w, http.StatusInternalServerError, err.Error())
+		fail(http.StatusInternalServerError, err.Error())
 	}
 }
 
@@ -354,6 +375,7 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, entry *session
 		Failures:             res.Failures,
 		Strategy:             strat.String(),
 		ElapsedMs:            elapsedMs(start),
+		RequestID:            lv.ID,
 		VMDispatched:         res.VMDispatched,
 		Session:              sessionID,
 		TablesCreated:        res.TablesCreated,
@@ -444,6 +466,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				Exhausted:            it.Exhausted(),
 				Solutions:            served,
 				Expanded:             st.Expanded,
+				RequestID:            lv.ID,
 				VMDispatched:         st.VMDispatched,
 				TablesCreated:        st.TablesCreated,
 				TableAnswers:         st.TableAnswers,
@@ -532,6 +555,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.sessionsOpen.Inc()
+	s.journal.Emit(blog.Event{Kind: obs.KindSessionCreated, Detail: e.id})
 	writeJSON(w, http.StatusCreated, e.info())
 }
 
@@ -545,6 +569,7 @@ func (s *Server) mergeEvicted(evicted []*sessionEntry) {
 			s.sessions.waitIdle(old)
 			old.s.End()
 			s.metrics.sessionsEnded.Inc()
+			s.journal.Emit(blog.Event{Kind: obs.KindSessionEvicted, Detail: old.id})
 		}(old)
 	}
 }
@@ -603,6 +628,11 @@ func (s *Server) handleSessionEnd(w http.ResponseWriter, r *http.Request) {
 	adopted, averaged, kept, vetoed := e.s.End()
 	qn, succ, fail := e.s.Counts()
 	s.metrics.sessionsEnded.Inc()
+	s.journal.Emit(blog.Event{
+		Kind:   obs.KindSessionMerged,
+		Detail: e.id,
+		Count:  int64(adopted + averaged + kept),
+	})
 	writeJSON(w, http.StatusOK, SessionEndResponse{
 		ID:               e.id,
 		Adopted:          adopted,
@@ -633,6 +663,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	tt.active, tot = s.program.TableStats()
 	tt.created, tt.answers, tt.hits, tt.reuse = tot.Created, tot.Answers, tot.Hits, tot.RederivationsAvoided
 	tt.subsumed, tt.improved = tot.Subsumed, tot.Improved
+	acct := s.program.TableAccounting()
+	tt.producing, tt.complete, tt.truncated = acct.Producing, acct.Complete, acct.Truncated
+	tt.retainedBytes = acct.RetainedBytes
+	tt.poolFrames, tt.poolCompounds = blog.PoolHighWater()
+	tt.journalEvents, tt.journalUnseen = s.journal.LastSeq(), s.journal.Overwritten()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = w.Write([]byte(s.metrics.expose(s.pool.InFlight(), s.pool.Queued(), workers, queueLen, s.sessions.len(), tt)))
 }
@@ -648,6 +683,14 @@ func (s *Server) logSlowQuery(ctx context.Context, goal, strategy string, elapse
 		return
 	}
 	s.metrics.slowQueries.Inc()
+	// Every slow query reaches the journal (cheap, bounded ring); only the
+	// expensive structured log line below is sampled.
+	s.journal.Emit(blog.Event{
+		Kind:      obs.KindSlowQuery,
+		RequestID: obs.RequestID(ctx),
+		Millis:    float64(elapsed) / float64(time.Millisecond),
+		Detail:    goal,
+	})
 	now := time.Now().UnixNano()
 	last := s.slowLogged.Load()
 	if now-last < int64(time.Second) || !s.slowLogged.CompareAndSwap(last, now) {
@@ -701,6 +744,7 @@ func (s *Server) handleDebugKill(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	l.Cancel(obs.ErrKilled)
+	s.journal.Emit(blog.Event{Kind: obs.KindQueryKilled, RequestID: id, Detail: l.Goal})
 	s.logger.Info("query killed via inspector", "request_id", id, "goal", l.Goal)
 	writeJSON(w, http.StatusOK, KillResponse{ID: id, Killed: true})
 }
@@ -718,6 +762,131 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		TotalNanos: s.prof.TotalNanos(),
 		Preds:      s.prof.Top(n),
 	})
+}
+
+// handleTables serves GET /tables: the live answer-table inventory ranked
+// by retained bytes (largest first), with the space-wide gauges — the
+// operator's what-is-holding-memory view of the table space.
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	inv := s.program.TableInventory()
+	acct := s.program.TableAccounting()
+	resp := TablesResponse{
+		Tables:        make([]TableEntry, 0, len(inv)),
+		Producing:     acct.Producing,
+		Complete:      acct.Complete,
+		Truncated:     acct.Truncated,
+		RetainedBytes: acct.RetainedBytes,
+		Answers:       acct.Answers,
+	}
+	for _, ti := range inv {
+		e := TableEntry{
+			Pred:    ti.Pred,
+			Call:    ti.Call,
+			State:   ti.State,
+			Answers: ti.Answers,
+			Bytes:   ti.Bytes,
+			Min:     ti.Min,
+			Hits:    ti.Hits,
+			Rounds:  ti.Rounds,
+		}
+		if !ti.CreatedAt.IsZero() {
+			e.AgeMs = float64(now.Sub(ti.CreatedAt)) / float64(time.Millisecond)
+		}
+		if !ti.LastHit.IsZero() {
+			e.IdleMs = float64(now.Sub(ti.LastHit)) / float64(time.Millisecond)
+		}
+		resp.Tables = append(resp.Tables, e)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// eventsFollowPoll is the journal poll cadence of GET /events?follow=1.
+const eventsFollowPoll = 250 * time.Millisecond
+
+// handleEvents serves GET /events: the structured engine-event journal.
+// The default is a drain — retained events after the ?after= cursor, as
+// one JSON body with the cursor to pass back. ?follow=1 switches to an
+// NDJSON stream that polls the journal and writes events as they arrive
+// until the client disconnects. ?kind=a,b filters either mode to the
+// named event kinds.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var after uint64
+	if v := q.Get("after"); v != "" {
+		parsed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad after cursor: "+err.Error())
+			return
+		}
+		after = parsed
+	}
+	var kinds map[string]bool
+	if v := q.Get("kind"); v != "" {
+		kinds = make(map[string]bool)
+		for _, k := range strings.Split(v, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				kinds[k] = true
+			}
+		}
+	}
+	keep := func(evs []blog.Event) []blog.Event {
+		if kinds == nil {
+			return evs
+		}
+		out := evs[:0]
+		for _, ev := range evs {
+			if kinds[ev.Kind] {
+				out = append(out, ev)
+			}
+		}
+		return out
+	}
+	if q.Get("follow") == "" {
+		events := keep(s.journal.Events(after))
+		if events == nil {
+			events = []blog.Event{}
+		}
+		writeJSON(w, http.StatusOK, EventsResponse{
+			Events:      events,
+			LastSeq:     s.journal.LastSeq(),
+			Overwritten: s.journal.Overwritten(),
+		})
+		return
+	}
+	// Follow mode: NDJSON, one event per line, with the same write-deadline
+	// discipline as the query stream so a stalled reader cannot pin the
+	// connection goroutine forever.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	defer func() { _ = rc.SetWriteDeadline(time.Time{}) }()
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	cursor := after
+	ticker := time.NewTicker(eventsFollowPoll)
+	defer ticker.Stop()
+	for {
+		events := s.journal.Events(cursor)
+		if last := s.journal.LastSeq(); last > cursor {
+			cursor = last
+		}
+		for _, ev := range keep(events) {
+			_ = rc.SetWriteDeadline(time.Now().Add(streamWriteGrace))
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
 }
 
 // handleStats serves GET /stats: the loaded program's shape.

@@ -126,6 +126,9 @@ type QueryResponse struct {
 	Failures  uint64  `json:"failures"`
 	Strategy  string  `json:"strategy"`
 	ElapsedMs float64 `json:"elapsed_ms"`
+	// RequestID is the query's q-%06d inspector ID, the correlation key
+	// across the slow-query log, /debug/queries and /events.
+	RequestID string `json:"request_id,omitempty"`
 	// VMDispatched counts goals this query resolved on the compiled
 	// bytecode engine (absent when the tree-walking oracle ran).
 	VMDispatched uint64 `json:"vm_dispatched,omitempty"`
@@ -158,6 +161,8 @@ type StreamEvent struct {
 	Exhausted bool      `json:"exhausted,omitempty"`
 	Solutions int       `json:"solutions,omitempty"`
 	Expanded  uint64    `json:"expanded,omitempty"`
+	// RequestID is the query's q-%06d inspector ID (terminal line).
+	RequestID string `json:"request_id,omitempty"`
 	// VMDispatched counts compiled-path goal resolutions (terminal line).
 	VMDispatched uint64 `json:"vm_dispatched,omitempty"`
 	Error        string `json:"error,omitempty"`
@@ -227,9 +232,56 @@ type SessionEndResponse struct {
 	Failures         int    `json:"failures"`
 }
 
-// ErrorResponse is the JSON body of every non-2xx response.
+// ErrorResponse is the JSON body of every non-2xx response. RequestID is
+// set when the failing query had an inspector ID — in particular the 410
+// a killed query answers with, so the victim can correlate its death with
+// the DELETE /debug/queries/{id} that caused it.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// TableEntry is one live answer table in the GET /tables inventory.
+type TableEntry struct {
+	Pred string `json:"pred"`
+	Call string `json:"call"`
+	// State is producing, complete or truncated (complete but depth-capped).
+	State string `json:"state"`
+	// Answers and Bytes size the memoized answer set (bytes approximate).
+	Answers int   `json:"answers"`
+	Bytes   int64 `json:"bytes"`
+	// Min is the cost-argument position of a min(N) table, 0 otherwise.
+	Min int `json:"min,omitempty"`
+	// Hits counts calls served from the complete table.
+	Hits uint64 `json:"hits"`
+	// Rounds is the fixpoint round count of the table's productions.
+	Rounds int `json:"rounds"`
+	// AgeMs is the time since creation; IdleMs since the last hit (absent
+	// when never hit).
+	AgeMs  float64 `json:"age_ms"`
+	IdleMs float64 `json:"idle_ms,omitempty"`
+}
+
+// TablesResponse is the GET /tables body: the live tables ranked by
+// retained bytes (largest first) plus the space-wide gauges.
+type TablesResponse struct {
+	Tables        []TableEntry `json:"tables"`
+	Producing     int          `json:"producing"`
+	Complete      int          `json:"complete"`
+	Truncated     int          `json:"truncated"`
+	RetainedBytes int64        `json:"retained_bytes"`
+	Answers       int64        `json:"answers"`
+}
+
+// EventsResponse is the GET /events drain body: the retained journal
+// events after the requested cursor, oldest first.
+type EventsResponse struct {
+	Events []blog.Event `json:"events"`
+	// LastSeq is the newest sequence number assigned; pass it back as
+	// ?after= to poll incrementally.
+	LastSeq uint64 `json:"last_seq"`
+	// Overwritten counts events lost to ring lap-around since start.
+	Overwritten uint64 `json:"overwritten,omitempty"`
 }
 
 // Healthz is the GET /healthz body.

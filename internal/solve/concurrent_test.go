@@ -83,7 +83,7 @@ func TestConcurrentRepresentations(t *testing.T) {
 			case <-stop:
 				return
 			default:
-				sp.Invalidate()
+				sp.Invalidate("test")
 				time.Sleep(50 * time.Microsecond)
 			}
 		}

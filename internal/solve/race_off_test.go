@@ -1,0 +1,5 @@
+//go:build !race
+
+package solve
+
+const raceEnabled = false

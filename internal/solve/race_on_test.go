@@ -1,0 +1,8 @@
+//go:build race
+
+package solve
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation changes allocation behavior; the
+// allocation-regression guards skip themselves then.
+const raceEnabled = true

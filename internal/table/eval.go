@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"blog/internal/engine"
 	"blog/internal/obs"
@@ -90,6 +91,9 @@ type eval struct {
 	// profiler, and leader fixpoints record spans on the trace.
 	prof  *obs.Profiler
 	trace *obs.Trace
+	// reqID is the producing query's request ID (obs.WithRequestID),
+	// stamped on the lifecycle events this production emits.
+	reqID string
 }
 
 // maxFrame means "reached no in-progress production".
@@ -108,6 +112,7 @@ func newEval(s *Space, h *Handle, ctx context.Context) *eval {
 		group:    make(map[string]*Table),
 		stable:   make(map[string]uint64),
 		lowFrame: maxFrame,
+		reqID:    obs.RequestID(ctx),
 	}
 	ev.ws, ev.maxDepth, ev.budget = s.limits()
 	// A query with a deeper bound than the space default raises the
@@ -193,6 +198,7 @@ func (ev *eval) require(t *Table) error {
 	ev.curFrame = parentFrame
 	fsp.SetCount("rounds", int64(round))
 	fsp.End()
+	t.rounds.Add(int64(round))
 	if leader {
 		// The final leader round re-ran every reachable incomplete
 		// generator and derived nothing new: the group is at fixpoint.
@@ -211,6 +217,30 @@ func (ev *eval) require(t *Table) error {
 				g.depth = ev.maxDepth
 			}
 			ev.space.markComplete(ev.group)
+			if j := ev.space.journal.Load(); j != nil {
+				for _, g := range ev.group {
+					j.Emit(obs.Event{
+						Kind:      obs.KindTableCompleted,
+						RequestID: ev.reqID,
+						Pred:      g.pred,
+						Call:      g.pattern.String(),
+						Count:     g.nAnswers.Load(),
+						Bytes:     g.bytes.Load(),
+						Rounds:    int(g.rounds.Load()),
+					})
+					if trunc {
+						j.Emit(obs.Event{
+							Kind:      obs.KindTableTruncated,
+							RequestID: ev.reqID,
+							Pred:      g.pred,
+							Call:      g.pattern.String(),
+							Count:     g.nAnswers.Load(),
+							Cause:     "depth_bound",
+							Detail:    fmt.Sprintf("depth %d", ev.maxDepth),
+						})
+					}
+				}
+			}
 		}
 		ev.active = false
 	} else {
@@ -324,6 +354,8 @@ func (ev *eval) addAnswer(t *Table, ans term.Term) error {
 	}
 	t.answerSet[key] = struct{}{}
 	t.answers = append(t.answers, canon)
+	t.nAnswers.Add(1)
+	t.bytes.Add(term.ApproxBytes(canon))
 	ev.noteAdded()
 	return nil
 }
@@ -368,6 +400,8 @@ func (ev *eval) addMinAnswer(t *Table, ans term.Term) error {
 		t.projIdx[key] = len(t.answers)
 		t.answers = append(t.answers, canon)
 		t.costs = append(t.costs, cost)
+		t.nAnswers.Add(1)
+		t.bytes.Add(term.ApproxBytes(canon))
 		ev.noteAdded()
 		return nil
 	}
@@ -375,7 +409,9 @@ func (ev *eval) addMinAnswer(t *Table, ans term.Term) error {
 	// change, so it counts toward ev.added — a generator round that only
 	// improves costs must keep the dependency group open (the improved
 	// answer can lower costs derived through it in the next round), even
-	// though the answer *count* did not move.
+	// though the answer *count* did not move. Retained bytes track the
+	// swap (a cheaper answer can be structurally larger or smaller).
+	t.bytes.Add(term.ApproxBytes(canon) - term.ApproxBytes(t.answers[idx]))
 	t.answers[idx] = canon
 	t.costs[idx] = cost
 	ev.added++
@@ -420,6 +456,8 @@ func (ev *eval) serveComplete(env *term.Env, goal term.Term, t *Table) ([]*term.
 	if t.truncated {
 		ev.truncConsumed = true
 	}
+	t.hits.Add(1)
+	t.lastHit.Store(time.Now().UnixNano())
 	if fn, arity, ok := term.PredOf(t.pattern); ok {
 		ev.prof.TableHit(fn, arity)
 	}
@@ -456,7 +494,7 @@ func (ev *eval) Resolve(_ context.Context, env *term.Env, goal term.Term) ([]*te
 	if t, ok := ev.space.lookup(key, ev.maxDepth); ok {
 		return ev.serveComplete(env, goal, t)
 	}
-	t := ev.space.getOrCreate(key, pattern, ev.h, ev.maxDepth)
+	t := ev.space.getOrCreate(key, pattern, ev.h, ev.maxDepth, ev.reqID)
 	if fn, arity, ok := term.PredOf(pattern); ok {
 		ev.prof.TableMiss(fn, arity)
 	}
@@ -501,7 +539,7 @@ func (n negEval) Resolve(_ context.Context, env *term.Env, goal term.Term) ([]*t
 		if ct, ok := ev.space.lookup(key, ev.maxDepth); ok {
 			return ev.serveComplete(env, goal, ct)
 		}
-		t = ev.space.getOrCreate(key, pattern, ev.h, ev.maxDepth)
+		t = ev.space.getOrCreate(key, pattern, ev.h, ev.maxDepth, ev.reqID)
 	}
 	if ev.inProg[t.key] != nil {
 		return nil, ErrNonStratified

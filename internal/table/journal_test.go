@@ -1,0 +1,119 @@
+package table
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"blog/internal/obs"
+	"blog/internal/search"
+	"blog/internal/weights"
+)
+
+// TestJournaledSpaceUnderRace hammers a journaled space (run under -race):
+// parallel tabled queries generate tables while an invalidation loop tears
+// them down with a cause. The journal must come out with strictly
+// increasing, gapless coverage of the lifecycle — created and completed
+// events for the queries, invalidated events carrying the loop's cause —
+// and the space itself must stay consistent (every query still gets the
+// full answer set).
+func TestJournaledSpaceUnderRace(t *testing.T) {
+	db := load(t, leftRecPath)
+	sp := NewSpace(db, Config{})
+	j := obs.NewJournal(1 << 14)
+	sp.SetJournal(j)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 8; i++ {
+		for _, query := range []string{"path(a, R)", "path(b, R)", "path(c, R)"} {
+			wg.Add(1)
+			go func(query string) {
+				defer wg.Done()
+				res, err := search.Run(context.Background(), db, weights.NewUniform(weights.DefaultConfig()), mustQ(query), search.Options{Strategy: search.DFS, Tabler: sp.NewHandle()})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Solutions) != 4 {
+					errs <- fmt.Errorf("%s: %d solutions, want 4", query, len(res.Solutions))
+				}
+			}(query)
+		}
+	}
+	stop := make(chan struct{})
+	var inval sync.WaitGroup
+	inval.Add(1)
+	go func() {
+		defer inval.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sp.Invalidate("race_loop")
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	inval.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The loop may never have caught the space populated (uninstrumented
+	// runs finish queries in microseconds); materialize one more table and
+	// invalidate it so the lifecycle always includes a journaled wipe.
+	if res, err := search.Run(context.Background(), db, weights.NewUniform(weights.DefaultConfig()), mustQ("path(a, R)"), search.Options{Strategy: search.DFS, Tabler: sp.NewHandle()}); err != nil || len(res.Solutions) != 4 {
+		t.Fatalf("final run: %v", err)
+	}
+	sp.Invalidate("race_loop")
+
+	evs := j.Events(0)
+	if len(evs) == 0 {
+		t.Fatal("journal empty after journaled run")
+	}
+	counts := map[string]int{}
+	last := uint64(0)
+	for _, ev := range evs {
+		if ev.Seq <= last {
+			t.Fatalf("journal seq %d after %d: not increasing", ev.Seq, last)
+		}
+		if last != 0 && ev.Seq != last+1 {
+			t.Fatalf("journal gap: %d after %d", ev.Seq, last)
+		}
+		last = ev.Seq
+		counts[ev.Kind]++
+		switch ev.Kind {
+		case obs.KindTableCreated:
+			if ev.Pred != "path/2" {
+				t.Errorf("created event pred = %q, want path/2", ev.Pred)
+			}
+		case obs.KindTableCompleted:
+			if ev.Count <= 0 || ev.Bytes <= 0 {
+				t.Errorf("completed event lacks accounting: %+v", ev)
+			}
+		case obs.KindTableInvalidated:
+			if ev.Cause != "race_loop" {
+				t.Errorf("invalidated cause = %q, want race_loop", ev.Cause)
+			}
+			if ev.Count <= 0 {
+				t.Errorf("invalidated event dropped %d tables, want > 0", ev.Count)
+			}
+		default:
+			t.Errorf("unexpected event kind %q: %+v", ev.Kind, ev)
+		}
+	}
+	if counts[obs.KindTableCreated] == 0 || counts[obs.KindTableCompleted] == 0 {
+		t.Errorf("lifecycle coverage: %v, want created and completed events", counts)
+	}
+	// The invalidation loop always fires at least once with tables present
+	// (each query creates fresh ones after every wipe).
+	if counts[obs.KindTableInvalidated] == 0 {
+		t.Errorf("no invalidation events despite invalidation loop: %v", counts)
+	}
+}

@@ -25,7 +25,7 @@ func fuzzSpace(tb testing.TB) *Space {
 func feedStream(tb testing.TB, sp *Space, stream []byte) map[string]int64 {
 	ev := newEval(sp, sp.NewHandle(), context.Background())
 	_, pattern := Canonicalize(nil, term.NewCompound("p", term.NewVar("K"), term.NewVar("C")))
-	t := sp.getOrCreate(fmt.Sprintf("fuzz-%p", &stream), pattern, nil, 0)
+	t := sp.getOrCreate(fmt.Sprintf("fuzz-%p", &stream), pattern, nil, 0, "")
 	for i := 0; i+1 < len(stream); i += 2 {
 		ans := term.NewCompound("p",
 			term.NewAtom(fmt.Sprintf("k%d", stream[i])),

@@ -51,6 +51,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blog/internal/engine"
 	"blog/internal/kb"
@@ -106,7 +107,18 @@ type Space struct {
 	reuse    atomic.Uint64
 	subsumed atomic.Uint64
 	improved atomic.Uint64
+
+	// journal, when set, receives table lifecycle events (created,
+	// completed, truncated, invalidated with cause). Nil by default, so
+	// a space without an attached journal pays one nil check per
+	// lifecycle transition — never per answer or per hit.
+	journal atomic.Pointer[obs.Journal]
 }
+
+// SetJournal attaches the structured event journal; table lifecycle
+// events (creation, completion, truncation, invalidation) are emitted
+// into it from then on. Safe to call concurrently with queries.
+func (s *Space) SetJournal(j *obs.Journal) { s.journal.Store(j) }
 
 // NewSpace returns an empty table space over db.
 func NewSpace(db *kb.DB, cfg Config) *Space {
@@ -124,7 +136,11 @@ func NewSpace(db *kb.DB, cfg Config) *Space {
 // were produced under the old limits. In-flight productions finish
 // against their orphaned tables (their answers stay sound) with the
 // limits they started under.
-func (s *Space) Reconfigure(cfg Config) {
+func (s *Space) Reconfigure(cfg Config) { s.ReconfigureCause(cfg, "reconfigure") }
+
+// ReconfigureCause is Reconfigure with an explicit invalidation cause for
+// the journal event ("load_weights", "reconfigure", ...).
+func (s *Space) ReconfigureCause(cfg Config, cause string) {
 	if cfg.MaxDepth <= 0 {
 		cfg.MaxDepth = weights.DefaultConfig().A
 	}
@@ -135,8 +151,23 @@ func (s *Space) Reconfigure(cfg Config) {
 	s.ws = weights.NewUniform(weights.Config{N: weights.DefaultConfig().N, A: cfg.MaxDepth})
 	s.maxDepth = cfg.MaxDepth
 	s.budget = cfg.Budget
-	s.tables = make(map[string]*Table)
+	dropped := len(s.tables)
+	var bytes int64
+	if dropped > 0 {
+		for _, t := range s.tables {
+			bytes += t.bytes.Load()
+		}
+		s.tables = make(map[string]*Table)
+	}
 	s.mu.Unlock()
+	if dropped > 0 {
+		s.journal.Load().Emit(obs.Event{
+			Kind:  obs.KindTableInvalidated,
+			Cause: cause,
+			Count: int64(dropped),
+			Bytes: bytes,
+		})
+	}
 }
 
 // limits snapshots the generator limits for one production run.
@@ -186,15 +217,35 @@ type Table struct {
 	// own frame: its answer set is final, which is what negation inside a
 	// production may rely on. Producer-goroutine only; see eval.require.
 	independent bool
+
+	// Resource accounting. Written by the producer (nAnswers/bytes/rounds)
+	// and by consumers (hits/lastHit); read at any time by the inventory,
+	// so everything is atomic even where a single writer exists.
+	createdAt   time.Time    // set under the space mutex at creation
+	completedAt atomic.Int64 // unixnano of the completion publish, 0 while producing
+	nAnswers    atomic.Int64 // memoized answers so far (replacements do not count)
+	bytes       atomic.Int64 // approximate retained bytes of the answer list
+	rounds      atomic.Int64 // fixpoint rounds across this table's productions
+	hits        atomic.Uint64
+	lastHit     atomic.Int64 // unixnano of the last complete-table serve
 }
 
-// Info describes one table for listings (REPL :tables, server /stats).
+// Table states reported by Info.State and counted by Accounting.
+const (
+	StateProducing = "producing"
+	StateComplete  = "complete"
+	StateTruncated = "truncated"
+)
+
+// Info describes one table for listings (REPL :tables, server /stats and
+// /tables).
 type Info struct {
 	// Pred is the predicate indicator, e.g. "path/2".
 	Pred string
 	// Call renders the canonical call pattern, e.g. "path(v0,_T1)".
 	Call string
-	// Answers is the number of distinct memoized answers.
+	// Answers is the number of distinct memoized answers so far (partial
+	// while the table is still producing).
 	Answers int
 	// Min is the 1-based cost-argument position of an answer-subsumption
 	// (`min(N)`) table, 0 for plain variant tabling.
@@ -206,16 +257,79 @@ type Info struct {
 	// while this table was produced: the memoized set is the depth-capped
 	// one, the tabled analogue of the untabled engine's DepthCutoffs.
 	Truncated bool
+	// State is the coarse lifecycle state: StateProducing (not yet
+	// complete), StateComplete, or StateTruncated (complete but
+	// depth-capped).
+	State string
+	// Bytes is the approximate retained heap bytes of the memoized
+	// answers (term.ApproxBytes summed over the answer list).
+	Bytes int64
+	// Hits counts calls served from this table once complete.
+	Hits uint64
+	// Rounds is the fixpoint round count across this table's productions.
+	Rounds int
+	// CreatedAt is when the table was materialized; CompletedAt when its
+	// group reached fixpoint (zero while producing); LastHit when a
+	// consumer was last served from it (zero if never).
+	CreatedAt   time.Time
+	CompletedAt time.Time
+	LastHit     time.Time
+}
+
+// infoOf snapshots one table's listing row.
+func infoOf(t *Table) Info {
+	info := Info{
+		Pred:      t.pred,
+		Call:      t.pattern.String(),
+		Min:       t.min,
+		Answers:   int(t.nAnswers.Load()),
+		Bytes:     t.bytes.Load(),
+		Hits:      t.hits.Load(),
+		Rounds:    int(t.rounds.Load()),
+		CreatedAt: t.createdAt,
+		State:     StateProducing,
+	}
+	if t.complete.Load() {
+		info.Complete = true
+		info.Truncated = t.truncated
+		info.State = StateComplete
+		if t.truncated {
+			info.State = StateTruncated
+		}
+	}
+	if ns := t.completedAt.Load(); ns != 0 {
+		info.CompletedAt = time.Unix(0, ns)
+	}
+	if ns := t.lastHit.Load(); ns != 0 {
+		info.LastHit = time.Unix(0, ns)
+	}
+	return info
 }
 
 // Invalidate drops every table. Called when the weight database changes
 // (reset, load, session merge); in-flight productions finish against the
 // orphaned tables — their answers remain sound — and the next tabled call
-// rebuilds from the current program state.
-func (s *Space) Invalidate() {
+// rebuilds from the current program state. The cause ("reset_weights",
+// "session_merge", "assert", ...) is carried on the journal event.
+func (s *Space) Invalidate(cause string) {
 	s.mu.Lock()
-	s.tables = make(map[string]*Table)
+	dropped := len(s.tables)
+	var bytes int64
+	if dropped > 0 {
+		for _, t := range s.tables {
+			bytes += t.bytes.Load()
+		}
+		s.tables = make(map[string]*Table)
+	}
 	s.mu.Unlock()
+	if dropped > 0 {
+		s.journal.Load().Emit(obs.Event{
+			Kind:  obs.KindTableInvalidated,
+			Cause: cause,
+			Count: int64(dropped),
+			Bytes: bytes,
+		})
+	}
 }
 
 // Len returns the number of live tables.
@@ -225,23 +339,23 @@ func (s *Space) Len() int {
 	return len(s.tables)
 }
 
-// Tables lists the live tables sorted by call pattern.
-func (s *Space) Tables() []Info {
+// snapshot copies the live table pointers out from under the lock.
+func (s *Space) snapshot() []*Table {
 	s.mu.RLock()
 	list := make([]*Table, 0, len(s.tables))
 	for _, t := range s.tables {
 		list = append(list, t)
 	}
 	s.mu.RUnlock()
+	return list
+}
+
+// Tables lists the live tables sorted by call pattern.
+func (s *Space) Tables() []Info {
+	list := s.snapshot()
 	out := make([]Info, 0, len(list))
 	for _, t := range list {
-		info := Info{Pred: t.pred, Call: t.pattern.String(), Min: t.min}
-		if t.complete.Load() {
-			info.Answers = len(t.answers)
-			info.Complete = true
-			info.Truncated = t.truncated
-		}
-		out = append(out, info)
+		out = append(out, infoOf(t))
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pred != out[j].Pred {
@@ -250,6 +364,57 @@ func (s *Space) Tables() []Info {
 		return out[i].Call < out[j].Call
 	})
 	return out
+}
+
+// Inventory lists the live tables ranked by retained bytes (largest
+// first, ties by pred then call) — the /tables endpoint's order, so the
+// biggest memory consumers lead.
+func (s *Space) Inventory() []Info {
+	list := s.snapshot()
+	out := make([]Info, 0, len(list))
+	for _, t := range list {
+		out = append(out, infoOf(t))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		if out[i].Pred != out[j].Pred {
+			return out[i].Pred < out[j].Pred
+		}
+		return out[i].Call < out[j].Call
+	})
+	return out
+}
+
+// Accounting aggregates the live gauges of a Space: table counts by
+// lifecycle state and the total approximate bytes and answers retained.
+// Unlike Totals these are point-in-time values that drop to zero on
+// Invalidate.
+type Accounting struct {
+	Producing     int
+	Complete      int
+	Truncated     int
+	RetainedBytes int64
+	Answers       int64
+}
+
+// Accounting returns the space's live resource gauges.
+func (s *Space) Accounting() Accounting {
+	var a Accounting
+	for _, t := range s.snapshot() {
+		switch {
+		case !t.complete.Load():
+			a.Producing++
+		case t.truncated:
+			a.Truncated++
+		default:
+			a.Complete++
+		}
+		a.RetainedBytes += t.bytes.Load()
+		a.Answers += t.nAnswers.Load()
+	}
+	return a
 }
 
 // Totals are the cumulative (monotonic, surviving Invalidate) counters of
@@ -297,15 +462,16 @@ func (s *Space) lookup(key string, depth int) (*Table, bool) {
 // complete table that lookup rejected for the caller's depth (truncated,
 // produced under a shallower bound) is replaced by a fresh one — the old
 // object stays valid for consumers already holding it.
-func (s *Space) getOrCreate(key string, pattern term.Term, h *Handle, depth int) *Table {
+func (s *Space) getOrCreate(key string, pattern term.Term, h *Handle, depth int, reqID string) *Table {
 	s.mu.Lock()
 	t := s.tables[key]
 	if t != nil && t.complete.Load() && t.truncated && t.depth < depth {
 		t = nil
 	}
+	created := false
 	if t == nil {
 		pred, _ := term.Indicator(pattern)
-		t = &Table{key: key, pattern: pattern, pred: pred}
+		t = &Table{key: key, pattern: pattern, pred: pred, createdAt: time.Now()}
 		if fn, arity, ok := term.PredOf(pattern); ok {
 			t.min = s.db.TabledMin(fn, arity)
 		}
@@ -319,8 +485,17 @@ func (s *Space) getOrCreate(key string, pattern term.Term, h *Handle, depth int)
 		if h != nil {
 			h.created.Add(1)
 		}
+		created = true
 	}
 	s.mu.Unlock()
+	if created {
+		s.journal.Load().Emit(obs.Event{
+			Kind:      obs.KindTableCreated,
+			RequestID: reqID,
+			Pred:      t.pred,
+			Call:      pattern.String(),
+		})
+	}
 	return t
 }
 
@@ -344,7 +519,9 @@ func (s *Space) releaseProducer() { <-s.prod }
 // markComplete publishes a produced group: answers appended before the
 // flag store are visible to any consumer that loads the flag.
 func (s *Space) markComplete(group map[string]*Table) {
+	now := time.Now().UnixNano()
 	for _, t := range group {
+		t.completedAt.Store(now)
 		t.complete.Store(true)
 	}
 }
@@ -467,7 +644,7 @@ func (h *Handle) Resolve(ctx context.Context, env *term.Env, goal term.Term) ([]
 	if t, ok := h.space.lookup(key, h.maxDepth); ok {
 		return h.serveHit(env, goal, t), nil
 	}
-	t := h.space.getOrCreate(key, pattern, h, h.maxDepth)
+	t := h.space.getOrCreate(key, pattern, h, h.maxDepth, obs.RequestID(ctx))
 	if fn, arity, ok := term.PredOf(pattern); ok {
 		h.prof.TableMiss(fn, arity)
 	}
@@ -483,6 +660,8 @@ func (h *Handle) Resolve(ctx context.Context, env *term.Env, goal term.Term) ([]
 func (h *Handle) serveHit(env *term.Env, goal term.Term, t *Table) []*term.Env {
 	h.hits.Add(1)
 	h.space.hits.Add(1)
+	t.hits.Add(1)
+	t.lastHit.Store(time.Now().UnixNano())
 	if fn, arity, ok := term.PredOf(t.pattern); ok {
 		h.prof.TableHit(fn, arity)
 	}

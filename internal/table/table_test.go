@@ -174,7 +174,7 @@ func TestInvalidateRebuilds(t *testing.T) {
 	if sp.Len() != 1 {
 		t.Fatalf("tables = %d, want 1", sp.Len())
 	}
-	sp.Invalidate()
+	sp.Invalidate("test")
 	if sp.Len() != 0 {
 		t.Fatalf("tables after invalidate = %d, want 0", sp.Len())
 	}

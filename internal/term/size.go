@@ -1,0 +1,62 @@
+package term
+
+import "sync/atomic"
+
+// ApproxBytes estimates the retained heap bytes of a stored term. Table
+// accounting sums it over memoized answers, so the model is deliberately
+// cheap and stable rather than an exact heap census: interned atoms and
+// small integers cost only their interface words (the symbol table is
+// shared process-wide and not attributed here), a variable its struct,
+// and a compound its header plus argument slice plus arguments.
+func ApproxBytes(t Term) int64 {
+	switch t := t.(type) {
+	case *Var:
+		// Interface words + the Var struct (name header, serial, frame
+		// back-pointer, slot index).
+		return 64
+	case *Compound:
+		// Interface words + the Compound struct + the Args backing array
+		// (one interface pair per slot), then the arguments themselves.
+		b := int64(48 + 16*len(t.Args))
+		for _, a := range t.Args {
+			b += ApproxBytes(a)
+		}
+		return b
+	default:
+		// Atom and Int fit in the interface words.
+		_ = t
+		return 16
+	}
+}
+
+// Process-wide pool high-water marks: the deepest simultaneous frame
+// activation and pooled-compound population any trail run reached. Each
+// run's pools count locally (plain ints, single-goroutine by the trail
+// contract) and fold their peaks in here at Release, off the hot path.
+var (
+	framesHighWater    atomic.Int64
+	compoundsHighWater atomic.Int64
+)
+
+// RecordPoolHighWater folds one run's pool peaks into the process-wide
+// high-water marks (CAS-max).
+func RecordPoolHighWater(frames, compounds int) {
+	casMax(&framesHighWater, int64(frames))
+	casMax(&compoundsHighWater, int64(compounds))
+}
+
+// PoolHighWater returns the process-wide pool high-water marks: the peak
+// simultaneous activation-frame count and pooled-compound count of any
+// single trail run since process start.
+func PoolHighWater() (frames, compounds int64) {
+	return framesHighWater.Load(), compoundsHighWater.Load()
+}
+
+func casMax(a *atomic.Int64, v int64) {
+	for {
+		old := a.Load()
+		if v <= old || a.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}

@@ -127,6 +127,14 @@ func (e *Env) Deltas(base *Env) []Binding {
 // table answers detach them into fresh standalone variables first).
 type FramePool struct {
 	bySize [][]*Frame
+
+	// out and peak track the frames currently handed out and the deepest
+	// that count has reached — the activation high-water mark of the run.
+	// Plain ints: a pool is single-goroutine by the trail-run contract.
+	// Frames that die with the run without a Put are folded away by
+	// RunReset at the run boundary.
+	out  int
+	peak int
 }
 
 // Get returns a frame with len(names) freshly minted variables, reusing a
@@ -136,6 +144,9 @@ func (p *FramePool) Get(names []string) *Frame {
 	n := len(names)
 	if n == 0 {
 		return nil
+	}
+	if p.out++; p.out > p.peak {
+		p.peak = p.out
 	}
 	if n < len(p.bySize) {
 		if l := p.bySize[n]; len(l) > 0 {
@@ -163,11 +174,22 @@ func (p *FramePool) Put(f *Frame) {
 	if f == nil || !f.pooled {
 		return
 	}
+	p.out--
 	n := len(f.vars)
 	for n >= len(p.bySize) {
 		p.bySize = append(p.bySize, nil)
 	}
 	p.bySize[n] = append(p.bySize[n], f)
+}
+
+// RunReset ends one run's accounting: it returns the run's activation
+// high-water mark and zeroes both counters, so frames that died with the
+// run without a Put do not inflate the next run's baseline. Callers fold
+// the returned peak into the process-wide marks (RecordPoolHighWater).
+func (p *FramePool) RunReset() int {
+	peak := p.peak
+	p.out, p.peak = 0, 0
+	return peak
 }
 
 // RefreshAll renames the variables of ts apart with one shared map, so
@@ -251,6 +273,11 @@ func (d *Detacher) Detach(t Term) Term {
 type CompoundPool struct {
 	free [][]*Compound // indexed by arity
 	log  []*Compound
+
+	// peak is the deepest the log has grown this run — the high-water mark
+	// of simultaneously live pooled compounds. Single-goroutine, like the
+	// pool itself.
+	peak int
 }
 
 // Mark returns the current log position, to pass to Release.
@@ -273,6 +300,9 @@ func (p *CompoundPool) Get(fn Sym, arity int) *Compound {
 		c.pooled = true
 	}
 	p.log = append(p.log, c)
+	if len(p.log) > p.peak {
+		p.peak = len(p.log)
+	}
 	return c
 }
 
@@ -290,6 +320,14 @@ func (p *CompoundPool) Release(mark int) {
 		p.free[n] = append(p.free[n], c)
 	}
 	p.log = lg[:mark]
+}
+
+// RunReset returns the run's pooled-compound high-water mark and zeroes
+// it; see FramePool.RunReset.
+func (p *CompoundPool) RunReset() int {
+	peak := p.peak
+	p.peak = 0
+	return peak
 }
 
 // MakeCompound allocates a compound of the given arity with its argument

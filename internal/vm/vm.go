@@ -78,6 +78,7 @@ import (
 	"os"
 
 	"blog/internal/kb"
+	"blog/internal/obs"
 	"blog/internal/term"
 )
 
@@ -229,6 +230,13 @@ func For(db *kb.DB) *Program {
 	}
 	p := Compile(db)
 	db.SetCompiledCache(p)
+	if j, ok := db.EventJournal().(*obs.Journal); ok {
+		j.Emit(obs.Event{
+			Kind:       obs.KindVMRecompile,
+			Generation: p.gen,
+			Count:      int64(len(p.preds)),
+		})
+	}
 	return p
 }
 
