@@ -39,6 +39,7 @@ package blog
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"strings"
 	"sync"
@@ -250,13 +251,13 @@ func (p *Program) Journal() *Journal { return p.journal.Load() }
 func PoolHighWater() (frames, compounds int64) { return term.PoolHighWater() }
 
 // ResetWeights discards all learned global weights. Memoized answer
-// tables are invalidated with them: the tables were produced under the
-// old weight coding, and the next tabled query rebuilds them.
+// tables survive: table fixpoints derive on a uniform store bounded only
+// by the depth coding A, so learned-weight state never reaches a
+// memoized answer set and discarding it cannot stale one.
 func (p *Program) ResetWeights() {
 	p.mu.Lock()
 	p.global = weights.NewTable(p.cfg)
 	p.mu.Unlock()
-	p.tables.Invalidate("reset_weights")
 }
 
 // LearnedArcs returns the number of arcs with learned global state.
@@ -792,17 +793,15 @@ func (p *Program) NewSession(alpha float64) *Session {
 }
 
 // End closes the session and merges into the global table, returning
-// counts of (adopted, averaged, infinitiesKept, infinitiesVetoed). A
-// merge that actually changed the global weight database invalidates the
-// program's memoized answer tables with it; a no-op merge (nothing
-// learned, or every infinity vetoed) leaves them standing, so routine
-// session churn — server idle evictions, shutdown — does not throw away
-// expensive fixpoints for nothing.
+// counts of (adopted, averaged, infinitiesKept, infinitiesVetoed).
+// Memoized answer tables survive the merge — even one that changed the
+// global weight database — because table fixpoints derive on a uniform
+// store bounded only by the depth coding A: learned weights steer search
+// order and pruning of untabled queries, never the membership of a
+// memoized answer set. (Earlier versions wiped the whole table space
+// here, which made routine session churn a re-derivation stampede.)
 func (s *Session) End() (adopted, averaged, kept, vetoed int) {
 	st := s.inner.End()
-	if st.Adopted+st.Averaged+st.InfinitiesKept > 0 {
-		s.program.tables.Invalidate("session_merge")
-	}
 	return st.Adopted, st.Averaged, st.InfinitiesKept, st.InfinitiesVetoed
 }
 
@@ -862,10 +861,56 @@ func (p *Program) LoadWeights(r io.Reader) error {
 	p.cfg = t.Config()
 	p.mu.Unlock()
 	// The loaded table's A becomes the program's depth coding, so the
-	// answer-table space must rebuild under the same bound — not just
-	// drop its tables.
+	// answer-table space must rebuild under the same bound. Reconfigure
+	// compares limits first: loading a weight file with the same A (the
+	// common deploy cycle — save on shutdown, load at boot) keeps every
+	// memoized table standing.
 	p.tables.ReconfigureCause(table.Config{MaxDepth: t.Config().A}, "load_weights")
 	return nil
+}
+
+// Assert parses src as clauses (facts or rules, no directives or
+// queries) and appends them to the program's database. The incremental
+// table maintenance reacts through kb's assert hook: memoized tables
+// whose fixpoints were derived from an asserted predicate are
+// dirty-marked and re-derive on next touch, while unrelated tables keep
+// serving; the compiled-dispatch cache recompiles via the database
+// generation counter as before. Asserts serialize against each other and
+// against weight maintenance on the program mutex.
+func (p *Program) Assert(src string) error {
+	prog, err := parse.Source(src)
+	if err != nil {
+		return err
+	}
+	if len(prog.Tabled) > 0 || len(prog.Queries) > 0 {
+		return fmt.Errorf("blog: Assert accepts only clauses; directives and queries must load with the program")
+	}
+	if len(prog.Clauses) == 0 {
+		return fmt.Errorf("blog: no clause to assert in %q", src)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range prog.Clauses {
+		p.db.Assert(c.Head, c.Body)
+	}
+	return nil
+}
+
+// SaveTables serializes the complete, untruncated answer tables to w
+// (the persistent table snapshot blogd writes on shutdown and on its
+// periodic timer) and returns how many were written. Safe to call
+// concurrently with queries.
+func (p *Program) SaveTables(w io.Writer) (int, error) {
+	return p.tables.WriteSnapshot(w)
+}
+
+// LoadTables restores a snapshot written by SaveTables, validating every
+// table against the current program: a table whose predicate is no
+// longer tabled in the same mode, or whose recorded dependency
+// fingerprints no longer match the clause store, is skipped and simply
+// re-derives on first touch. Returns (loaded, skipped).
+func (p *Program) LoadTables(r io.Reader) (loaded, skipped int, err error) {
+	return p.tables.ReadSnapshot(r)
 }
 
 // GraphText renders the database in the figure-2 network style.

@@ -3,6 +3,8 @@ package blog
 import (
 	"strings"
 	"testing"
+
+	"blog/internal/weights"
 )
 
 const fig1 = `
@@ -420,6 +422,13 @@ func TestUntabledLeftRecursionIsIncomplete(t *testing.T) {
 	}
 }
 
+// TestTabledInvalidation pins the incremental-maintenance contract:
+// weight maintenance — reset, session merges (learning or not), loading
+// an identical weight file — leaves memoized tables standing (fixpoints
+// derive on a uniform store, so learned weights cannot stale an answer
+// set), while an assert on a dependency dirty-marks downstream tables
+// and the next query re-derives with the new answers; a weight load that
+// actually changes the depth coding A still rebuilds the space.
 func TestTabledInvalidation(t *testing.T) {
 	p, err := LoadString(leftRecSrc)
 	if err != nil {
@@ -436,40 +445,70 @@ func TestTabledInvalidation(t *testing.T) {
 	}
 	mustTables(1)
 	p.ResetWeights()
-	mustTables(0)
+	mustTables(1) // weight reset no longer wipes the hot cache
 
-	if _, err := p.Query("path(a, R)", DFS, Tabled()); err != nil {
-		t.Fatal(err)
-	}
-	mustTables(1)
-	// A session that learned nothing merges as a no-op and leaves the
-	// memoized tables standing.
+	// A session that learned nothing merges as a no-op.
 	noop := p.NewSession(0)
 	if _, err := p.Query("path(a, R)", DFS, Tabled(), InSession(noop)); err != nil {
 		t.Fatal(err)
 	}
 	noop.End()
 	mustTables(1)
-	// A session whose merge changed the weight database invalidates them.
-	// The learning query runs untabled so chains actually carry arcs.
+	// A merge that changed the weight database leaves them standing too:
+	// learned weights steer untabled search, not table membership.
 	sess := p.NewSession(0)
 	if _, err := p.Query("path(b, R)", BestFirst, Learn(), InSession(sess), MaxDepth(6)); err != nil {
 		t.Fatal(err)
 	}
 	if sess.LocalLearned() == 0 {
-		t.Fatal("learning query recorded no arcs; invalidation test is vacuous")
+		t.Fatal("learning query recorded no arcs; survival test is vacuous")
 	}
 	sess.End()
-	mustTables(0) // the session merge changed the weight database
+	mustTables(1)
 
-	if _, err := p.Query("path(a, R)", DFS, Tabled()); err != nil {
-		t.Fatal(err)
-	}
+	// Reloading an identical weight file (same N and A) is the routine
+	// deploy cycle and must not wipe.
 	var buf strings.Builder
 	if err := p.SaveWeights(&buf); err != nil {
 		t.Fatal(err)
 	}
 	if err := p.LoadWeights(strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+	mustTables(1)
+
+	// An assert on edge/2 — a recorded dependency of the path/2 table —
+	// dirty-marks it; the re-query re-derives and sees the new edge.
+	res, err := p.Query("path(a, R)", DFS, Tabled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(res.Solutions)
+	if err := p.Assert("edge(d, e)."); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Tables()[0]; !got.Dirty {
+		t.Fatalf("table after assert = %+v, want dirty", got)
+	}
+	res, err = p.Query("path(a, R)", DFS, Tabled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != before+1 {
+		t.Fatalf("post-assert solutions = %d, want %d (the new edge's target)", len(res.Solutions), before+1)
+	}
+	if got := p.Tables()[0]; got.Dirty || got.Revalidations != 1 {
+		t.Fatalf("re-derived table = %+v, want clean with one revalidation", got)
+	}
+
+	// A weight file with a different depth coding A genuinely changes the
+	// generator limits: the space rebuilds.
+	other := weights.NewTable(weights.Config{N: 16, A: 32})
+	var obuf strings.Builder
+	if _, err := other.WriteTo(&obuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LoadWeights(strings.NewReader(obuf.String())); err != nil {
 		t.Fatal(err)
 	}
 	mustTables(0)

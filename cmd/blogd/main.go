@@ -67,6 +67,8 @@ func main() {
 		usePrelude = flag.Bool("prelude", false, "prepend the list/pair standard library")
 		weightsIn  = flag.String("weights", "", "load a saved global weight table at startup")
 		weightsOut = flag.String("weights-out", "", "save the global weight table on shutdown")
+		tableSnap  = flag.String("table-snapshot", "", "persistent table snapshot file: loaded and validated at boot, rewritten on graceful shutdown (and periodically; see -snapshot-interval)")
+		snapEvery  = flag.Duration("snapshot-interval", 5*time.Minute, "rewrite -table-snapshot at this cadence while serving (0 = only on shutdown)")
 		compiled   = flag.String("compiled", "on", "resolution engine: on = bytecode VM, off = tree-walking oracle")
 		pprofOn    = flag.Bool("pprof", false, "expose /debug/pprof endpoints for profiling the hot path")
 		slowQuery  = flag.Duration("slow-query", 0, "log queries slower than this with span tree and hot predicates (0 = off)")
@@ -135,6 +137,23 @@ func main() {
 	})
 	workers, queueLen := srv.Pool().Capacity()
 
+	// The snapshot loads after server.New so the journal (enabled there)
+	// records the snapshot_loaded event for /events. A missing file is a
+	// cold boot, not an error; a table that fails validation (changed
+	// clauses, changed tabling mode) is skipped and re-derives on touch.
+	if *tableSnap != "" {
+		if f, err := os.Open(*tableSnap); err == nil {
+			loaded, skipped, lerr := prog.LoadTables(f)
+			f.Close()
+			if lerr != nil {
+				fatal(fmt.Errorf("load table snapshot %s: %w", *tableSnap, lerr))
+			}
+			logger.Info("loaded table snapshot", "file", *tableSnap, "tables", loaded, "skipped", skipped)
+		} else if !os.IsNotExist(err) {
+			fatal(err)
+		}
+	}
+
 	// The query service owns every route; profiling endpoints mount on an
 	// outer mux only when asked for, so production surfaces nothing extra
 	// by default.
@@ -172,6 +191,24 @@ func main() {
 	if *verbose {
 		go tailJournal(ctx, prog.Journal(), logger)
 	}
+	if *tableSnap != "" && *snapEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*snapEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if n, err := writeSnapshot(prog, *tableSnap); err != nil {
+						logger.Error("periodic table snapshot", "err", err)
+					} else {
+						logger.Debug("wrote table snapshot", "file", *tableSnap, "tables", n)
+					}
+				}
+			}
+		}()
+	}
 	select {
 	case <-ctx.Done():
 		logger.Info("shutting down")
@@ -190,6 +227,13 @@ func main() {
 	// clients that never sent DELETE survives the restart.
 	if n := srv.EndAllSessions(); n > 0 {
 		logger.Info("merged live sessions", "n", n)
+	}
+	if *tableSnap != "" {
+		n, err := writeSnapshot(prog, *tableSnap)
+		if err != nil {
+			fatal(err)
+		}
+		logger.Info("saved table snapshot", "file", *tableSnap, "tables", n)
 	}
 	if *weightsOut != "" {
 		f, err := os.Create(*weightsOut)
@@ -257,6 +301,25 @@ func tailJournal(ctx context.Context, j *blog.Journal, logger *slog.Logger) {
 			logger.Debug("engine event", attrs...)
 		}
 	}
+}
+
+// writeSnapshot serializes the table space to path via a temp file and
+// rename, so a crash mid-write never truncates the previous snapshot.
+func writeSnapshot(prog *blog.Program, path string) (int, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	n, err := prog.SaveTables(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return n, os.Rename(tmp, path)
 }
 
 func fatal(err error) {

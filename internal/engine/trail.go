@@ -61,6 +61,13 @@ type TrailConfig struct {
 	// expansion is counted; a non-nil return aborts the run with that
 	// error. Table generators meter their derivation budget through it.
 	StepHook func() error
+	// DepHook, when set, observes every predicate the run resolves
+	// against program clauses (compiled or tree-walk, including goals
+	// inside negation sub-runs). Table generators record their fixpoint's
+	// clause-dependency set through it; goals answered by builtins or by
+	// memoized tables are not reported — the tabler tracks consumed
+	// tables itself and folds their stored dependency sets in.
+	DepHook func(fn term.Sym, arity int)
 	// Prof, when non-nil, accumulates per-predicate profile counters via
 	// interval attribution: each dispatch charges the time and trail
 	// binds/undos since the previous dispatch to the previously dispatched
@@ -505,6 +512,9 @@ func (r *TrailRun) dispatch() error {
 		}
 		r.applyEnvs(base, envs, goal)
 		return nil
+	}
+	if h := r.cfg.DepHook; h != nil {
+		h(fn, arity)
 	}
 	if !r.cfg.NoVM && vm.Enabled {
 		if pc, ok := r.predCode(fn, arity); ok {

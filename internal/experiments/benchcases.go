@@ -435,6 +435,61 @@ func BenchCases() []BenchCase {
 				}
 			}
 		}},
+		{"E14Snapshot/cold-fixpoint", func(b *testing.B) {
+			// Cold boot without a snapshot: every iteration is a fresh
+			// space that must run the full transitive-closure fixpoint
+			// before the first answer — the restart cost persistence
+			// removes. Pair with snapshot-warm for the boot speedup.
+			db := benchLoad(workload.Cyclic(24, 12, 7))
+			uni := weights.NewUniform(weights.DefaultConfig())
+			goals := benchGoals("path(v0,Z)")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sp := table.NewSpace(db, table.Config{})
+				res, err := search.Run(context.Background(), db, uni, goals, search.Options{
+					Strategy: search.DFS, Tabler: sp.NewHandle(),
+				})
+				if err != nil || len(res.Solutions) != 24 || !res.Exhausted {
+					b.Fatal("cold run incomplete")
+				}
+			}
+		}},
+		{"E14Snapshot/snapshot-warm", func(b *testing.B) {
+			// Snapshot-warm boot: each iteration loads the persisted
+			// tables into a fresh space and answers the same query by
+			// replay — deserialization plus a table hit, zero fixpoint
+			// rounds.
+			db := benchLoad(workload.Cyclic(24, 12, 7))
+			uni := weights.NewUniform(weights.DefaultConfig())
+			goals := benchGoals("path(v0,Z)")
+			seed := table.NewSpace(db, table.Config{})
+			if _, err := search.Run(context.Background(), db, uni, goals, search.Options{
+				Strategy: search.DFS, Tabler: seed.NewHandle(),
+			}); err != nil {
+				b.Fatal(err)
+			}
+			var snap bytes.Buffer
+			if n, err := seed.WriteSnapshot(&snap); err != nil || n == 0 {
+				b.Fatalf("snapshot write: %d tables, %v", n, err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp := table.NewSpace(db, table.Config{})
+				if _, skipped, err := sp.ReadSnapshot(bytes.NewReader(snap.Bytes())); err != nil || skipped != 0 {
+					b.Fatalf("snapshot load: skipped %d, %v", skipped, err)
+				}
+				res, err := search.Run(context.Background(), db, uni, goals, search.Options{
+					Strategy: search.DFS, Tabler: sp.NewHandle(),
+				})
+				if err != nil || len(res.Solutions) != 24 || !res.Exhausted {
+					b.Fatal("warm run incomplete")
+				}
+				if sp.Totals().Created != 1 || sp.Totals().Hits != 1 {
+					b.Fatal("warm run produced instead of replaying")
+				}
+			}
+		}},
 		{"ServerThroughput", func(b *testing.B) {
 			// End-to-end query service: concurrent HTTP clients against one
 			// shared Program through blogd's handler, pool and wire types.

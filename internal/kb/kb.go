@@ -21,6 +21,8 @@ package kb
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
@@ -207,6 +209,19 @@ type DB struct {
 	// value for the same reason: kb sits below obs, and only internal/vm
 	// reads it back to stamp recompile events.
 	journal atomic.Value
+	// onAssert is the single assert-notification slot (a func(fn, arity)
+	// stored opaquely). The table space registers here so a clause assert
+	// can dirty-mark downstream answer tables; last registration wins,
+	// which keeps short-lived spaces over a shared DB (benchmarks, tests)
+	// from accumulating dead hooks.
+	onAssert atomic.Value
+}
+
+// SetAssertHook registers fn to be called after every clause assertion
+// with the asserted head's predicate. One slot: a new registration
+// replaces the previous hook.
+func (db *DB) SetAssertHook(fn func(name term.Sym, arity int)) {
+	db.onAssert.Store(fn)
 }
 
 // Generation returns the clause-assertion generation. It changes exactly
@@ -377,7 +392,25 @@ func (db *DB) assert(head term.Term, body []term.Term, line int) *Clause {
 		db.varFirst[key] = append(db.varFirst[key], c)
 	}
 	db.gen.Add(1)
+	if hook, ok := db.onAssert.Load().(func(term.Sym, int)); ok && hook != nil {
+		hook(fn, arity)
+	}
 	return c
+}
+
+// PredFingerprint hashes a predicate's clause list (each clause's source
+// rendering, in load order) to a 64-bit value. Equal fingerprints mean
+// the predicate's definition is textually unchanged — the per-predicate
+// generation that a persisted table snapshot validates against at load,
+// so one changed predicate re-derives its downstream tables instead of
+// discarding the whole snapshot.
+func (db *DB) PredFingerprint(fn term.Sym, arity int) uint64 {
+	h := fnv.New64a()
+	for _, c := range db.byPred[predKey{fn, arity}] {
+		io.WriteString(h, c.String())
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
 }
 
 // firstArgKey returns an index key for the first head argument if it is an

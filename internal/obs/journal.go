@@ -28,6 +28,9 @@ const (
 	KindTableCompleted   = "table_completed"
 	KindTableTruncated   = "table_truncated"
 	KindTableInvalidated = "table_invalidated"
+	KindTableRevalidated = "table_revalidated"
+	KindSnapshotLoaded   = "snapshot_loaded"
+	KindSnapshotSaved    = "snapshot_saved"
 	KindVMRecompile      = "vm_recompile"
 	KindSessionCreated   = "session_created"
 	KindSessionMerged    = "session_merged"
@@ -55,8 +58,8 @@ type Event struct {
 	// pattern on table lifecycle events.
 	Pred string `json:"pred,omitempty"`
 	Call string `json:"call,omitempty"`
-	// Cause names what triggered an invalidation (reset_weights,
-	// session_merge, load_weights, reconfigure) or rejection.
+	// Cause names what triggered an invalidation (assert, load_weights,
+	// reconfigure) or rejection.
 	Cause string `json:"cause,omitempty"`
 	// Count is the kind's cardinality: answers memoized on completion,
 	// tables dropped on invalidation, predicates compiled on a recompile.

@@ -34,9 +34,11 @@ func getJSON(t testing.TB, client *http.Client, url string, out any) {
 
 // TestTablesAndEventsEndpoints drives the table-space observability end to
 // end: a tabled query materializes a table that GET /tables ranks with
-// state, size and hits; a weight load invalidates the space; and GET
-// /events replays the whole lifecycle — created, completed, invalidated
-// with its cause — stamped with the producing query's request ID.
+// state, size and hits; an identical weight reload leaves it standing (no
+// wipe stampede); a clause assert dirty-marks it and the re-query
+// re-derives; and GET /events replays the whole lifecycle — created,
+// completed, invalidated with its cause, revalidated — stamped with the
+// producing query's request ID.
 func TestTablesAndEventsEndpoints(t *testing.T) {
 	s, ts := newTestServer(t, tabledSrc, Config{})
 	client := ts.Client()
@@ -66,9 +68,13 @@ func TestTablesAndEventsEndpoints(t *testing.T) {
 	if entry.Answers != 4 || entry.Hits == 0 || entry.AgeMs < 0 {
 		t.Errorf("entry = %+v, want 4 answers and at least one hit", entry)
 	}
+	if len(entry.Deps) == 0 {
+		t.Errorf("entry = %+v, want recorded dependency set", entry)
+	}
 
-	// Save/load the weight table: the load reconfigures the table space and
-	// must invalidate the memoized tables with cause load_weights.
+	// Reloading an identical weight table (same N and A) must leave the
+	// memoized table standing — the old whole-space wipe on every weight
+	// load was the stampede this subsystem exists to prevent.
 	var buf bytes.Buffer
 	if err := s.program.SaveWeights(&buf); err != nil {
 		t.Fatal(err)
@@ -77,8 +83,27 @@ func TestTablesAndEventsEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	getJSON(t, client, ts.URL+"/tables", &tables)
-	if len(tables.Tables) != 0 || tables.RetainedBytes != 0 {
-		t.Fatalf("tables after LoadWeights = %+v, want empty", tables)
+	if tables.Complete != 1 || len(tables.Tables) != 1 {
+		t.Fatalf("tables after identical LoadWeights = %+v, want the table standing", tables)
+	}
+
+	// Asserting a clause for edge/2 — a dependency of the path/2 fixpoint
+	// — dirty-marks the table; the next query re-derives it with the new
+	// fact and journals the completion as a revalidation.
+	if err := s.program.Assert("edge(d, e)."); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, client, ts.URL+"/tables", &tables)
+	if tables.Dirty != 1 || len(tables.Tables) != 1 || tables.Tables[0].State != "dirty" {
+		t.Fatalf("tables after assert = %+v, want one dirty table", tables)
+	}
+	requery := queryResp(t, client, ts.URL+"/query", QueryRequest{Goal: "path(a,X)", Strategy: "dfs", Tabled: true})
+	if len(requery.Solutions) != len(got.Solutions)+1 {
+		t.Fatalf("post-assert solutions = %d, want %d", len(requery.Solutions), len(got.Solutions)+1)
+	}
+	getJSON(t, client, ts.URL+"/tables", &tables)
+	if tables.Complete != 1 || tables.Dirty != 0 || tables.Tables[0].Revalidations != 1 {
+		t.Fatalf("tables after re-derivation = %+v, want one clean revalidated table", tables)
 	}
 
 	var events EventsResponse
@@ -90,10 +115,13 @@ func TestTablesAndEventsEndpoints(t *testing.T) {
 	for _, ev := range events.Events {
 		byKind[ev.Kind] = append(byKind[ev.Kind], ev)
 	}
-	created, completed, invalidated := byKind["table_created"], byKind["table_completed"], byKind["table_invalidated"]
-	if len(created) != 1 || len(completed) != 1 || len(invalidated) != 1 {
-		t.Fatalf("lifecycle events = created %d completed %d invalidated %d, want 1 each (events: %+v)",
-			len(created), len(completed), len(invalidated), events.Events)
+	created := byKind["table_created"]
+	completed := byKind["table_completed"]
+	invalidated := byKind["table_invalidated"]
+	revalidated := byKind["table_revalidated"]
+	if len(created) != 1 || len(completed) != 1 || len(invalidated) != 1 || len(revalidated) != 1 {
+		t.Fatalf("lifecycle events = created %d completed %d invalidated %d revalidated %d, want 1 each (events: %+v)",
+			len(created), len(completed), len(invalidated), len(revalidated), events.Events)
 	}
 	if created[0].Pred != "path/2" || created[0].RequestID != got.RequestID {
 		t.Errorf("created = %+v, want path/2 from %s", created[0], got.RequestID)
@@ -101,12 +129,15 @@ func TestTablesAndEventsEndpoints(t *testing.T) {
 	if completed[0].Count != 4 || completed[0].Bytes <= 0 || completed[0].Rounds == 0 {
 		t.Errorf("completed = %+v, want 4 answers, bytes and rounds", completed[0])
 	}
-	if invalidated[0].Cause != "load_weights" || invalidated[0].Count != 1 {
-		t.Errorf("invalidated = %+v, want cause load_weights dropping 1 table", invalidated[0])
+	if invalidated[0].Cause != "assert" || invalidated[0].Count != 1 || invalidated[0].Pred != "edge/2" {
+		t.Errorf("invalidated = %+v, want cause assert dirty-marking 1 table downstream of edge/2", invalidated[0])
 	}
-	if created[0].Seq >= completed[0].Seq || completed[0].Seq >= invalidated[0].Seq {
-		t.Errorf("event order created %d completed %d invalidated %d not increasing",
-			created[0].Seq, completed[0].Seq, invalidated[0].Seq)
+	if revalidated[0].Count != 5 || revalidated[0].RequestID != requery.RequestID {
+		t.Errorf("revalidated = %+v, want 5 answers from %s", revalidated[0], requery.RequestID)
+	}
+	if created[0].Seq >= completed[0].Seq || completed[0].Seq >= invalidated[0].Seq || invalidated[0].Seq >= revalidated[0].Seq {
+		t.Errorf("event order %d %d %d %d not increasing",
+			created[0].Seq, completed[0].Seq, invalidated[0].Seq, revalidated[0].Seq)
 	}
 
 	// Kind filter and cursor.

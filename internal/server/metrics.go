@@ -76,10 +76,15 @@ type tableTotals struct {
 	created, answers, hits, reuse uint64
 	subsumed, improved            uint64
 
+	// dirtied/revalidated are the incremental-maintenance counters:
+	// dirty marks placed by dependency invalidation and dirty tables
+	// re-derived to completion.
+	dirtied, revalidated uint64
+
 	// Live gauges (point-in-time; drop on invalidation): tables by
 	// lifecycle state and the retained answer bytes.
-	producing, complete, truncated int
-	retainedBytes                  int64
+	producing, complete, truncated, dirty int
+	retainedBytes                         int64
 	// Process pool high-water marks and journal counters.
 	poolFrames, poolCompounds    int64
 	journalEvents, journalUnseen uint64
@@ -112,11 +117,14 @@ func (m *serverMetrics) expose(inFlight, queued, workers, queueLen, sessions int
 	line("rederivations_avoided_total", tt.reuse)
 	line("table_answers_subsumed_total", tt.subsumed)
 	line("table_answers_improved_total", tt.improved)
+	line("tables_dirtied_total", tt.dirtied)
+	line("tables_revalidated_total", tt.revalidated)
 	line("tables_active", tt.active)
 	line("table_retained_bytes", tt.retainedBytes)
 	fmt.Fprintf(&b, "blogd_tables_by_state{state=\"producing\"} %d\n", tt.producing)
 	fmt.Fprintf(&b, "blogd_tables_by_state{state=\"complete\"} %d\n", tt.complete)
 	fmt.Fprintf(&b, "blogd_tables_by_state{state=\"truncated\"} %d\n", tt.truncated)
+	fmt.Fprintf(&b, "blogd_tables_by_state{state=\"dirty\"} %d\n", tt.dirty)
 	line("pool_frames_highwater", tt.poolFrames)
 	line("pool_compounds_highwater", tt.poolCompounds)
 	line("journal_events_total", tt.journalEvents)

@@ -663,8 +663,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	tt.active, tot = s.program.TableStats()
 	tt.created, tt.answers, tt.hits, tt.reuse = tot.Created, tot.Answers, tot.Hits, tot.RederivationsAvoided
 	tt.subsumed, tt.improved = tot.Subsumed, tot.Improved
+	tt.dirtied, tt.revalidated = tot.Dirtied, tot.Revalidated
 	acct := s.program.TableAccounting()
-	tt.producing, tt.complete, tt.truncated = acct.Producing, acct.Complete, acct.Truncated
+	tt.producing, tt.complete, tt.truncated, tt.dirty = acct.Producing, acct.Complete, acct.Truncated, acct.Dirty
 	tt.retainedBytes = acct.RetainedBytes
 	tt.poolFrames, tt.poolCompounds = blog.PoolHighWater()
 	tt.journalEvents, tt.journalUnseen = s.journal.LastSeq(), s.journal.Overwritten()
@@ -776,6 +777,7 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 		Producing:     acct.Producing,
 		Complete:      acct.Complete,
 		Truncated:     acct.Truncated,
+		Dirty:         acct.Dirty,
 		RetainedBytes: acct.RetainedBytes,
 		Answers:       acct.Answers,
 	}
@@ -789,6 +791,9 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 			Min:     ti.Min,
 			Hits:    ti.Hits,
 			Rounds:  ti.Rounds,
+
+			Revalidations: ti.Revalidations,
+			Deps:          ti.Deps,
 		}
 		if !ti.CreatedAt.IsZero() {
 			e.AgeMs = float64(now.Sub(ti.CreatedAt)) / float64(time.Millisecond)

@@ -245,7 +245,9 @@ type ErrorResponse struct {
 type TableEntry struct {
 	Pred string `json:"pred"`
 	Call string `json:"call"`
-	// State is producing, complete or truncated (complete but depth-capped).
+	// State is producing, complete, truncated (complete but depth-capped)
+	// or dirty (complete but a dependency was invalidated; re-derives on
+	// next touch).
 	State string `json:"state"`
 	// Answers and Bytes size the memoized answer set (bytes approximate).
 	Answers int   `json:"answers"`
@@ -256,6 +258,12 @@ type TableEntry struct {
 	Hits uint64 `json:"hits"`
 	// Rounds is the fixpoint round count of the table's productions.
 	Rounds int `json:"rounds"`
+	// Revalidations counts re-derivations of this call pattern after
+	// dependency invalidations (asserts on predicates it was derived from).
+	Revalidations int `json:"revalidations,omitempty"`
+	// Deps lists the predicate indicators the table's fixpoint consumed —
+	// the dependency edges incremental maintenance tracks.
+	Deps []string `json:"deps,omitempty"`
 	// AgeMs is the time since creation; IdleMs since the last hit (absent
 	// when never hit).
 	AgeMs  float64 `json:"age_ms"`
@@ -269,6 +277,7 @@ type TablesResponse struct {
 	Producing     int          `json:"producing"`
 	Complete      int          `json:"complete"`
 	Truncated     int          `json:"truncated"`
+	Dirty         int          `json:"dirty"`
 	RetainedBytes int64        `json:"retained_bytes"`
 	Answers       int64        `json:"answers"`
 }

@@ -78,6 +78,14 @@ type eval struct {
 	// steps counts generator expansions and answer consumptions against
 	// the budget.
 	steps uint64
+	// deps accumulates the production's predicate dependency set: every
+	// predicate a generator resolved against program clauses (via the
+	// engine's DepHook), plus the stored dependency sets of complete
+	// tables it consumed — which makes the recorded set transitive.
+	deps map[predKey]struct{}
+	// startEpoch is the space's invalidation epoch when this production
+	// began; markComplete re-checks the dep set against it.
+	startEpoch uint64
 
 	// Limits snapshotted from the space at creation, so a concurrent
 	// Reconfigure cannot change them mid-production.
@@ -111,10 +119,11 @@ func newEval(s *Space, h *Handle, ctx context.Context) *eval {
 		frames:   make(map[string]int),
 		group:    make(map[string]*Table),
 		stable:   make(map[string]uint64),
+		deps:     make(map[predKey]struct{}),
 		lowFrame: maxFrame,
 		reqID:    obs.RequestID(ctx),
 	}
-	ev.ws, ev.maxDepth, ev.budget = s.limits()
+	ev.ws, ev.maxDepth, ev.budget, ev.startEpoch = s.limits()
 	// A query with a deeper bound than the space default raises the
 	// generator bound with it, so tabled evaluation honors MaxDepth the
 	// way the untabled engine does.
@@ -216,11 +225,20 @@ func (ev *eval) require(t *Table) error {
 				g.truncated = trunc
 				g.depth = ev.maxDepth
 			}
-			ev.space.markComplete(ev.group)
+			ev.space.markComplete(ev.group, ev.deps, ev.startEpoch)
+			for _, g := range ev.group {
+				if g.revalidating {
+					ev.space.revalidated.Add(1)
+				}
+			}
 			if j := ev.space.journal.Load(); j != nil {
 				for _, g := range ev.group {
+					kind := obs.KindTableCompleted
+					if g.revalidating {
+						kind = obs.KindTableRevalidated
+					}
 					j.Emit(obs.Event{
-						Kind:      obs.KindTableCompleted,
+						Kind:      kind,
 						RequestID: ev.reqID,
 						Pred:      g.pred,
 						Call:      g.pattern.String(),
@@ -306,6 +324,9 @@ func (ev *eval) runGenerator(t *Table) error {
 				return ErrBudget
 			}
 			return nil
+		},
+		DepHook: func(fn term.Sym, arity int) {
+			ev.deps[predKey{fn, arity}] = struct{}{}
 		},
 	}, []term.Term{goal})
 	// Answers are detached as they are added, so the run's scratch can be
@@ -455,6 +476,12 @@ func (ev *eval) ForNegation() engine.Tabler { return negEval{ev} }
 func (ev *eval) serveComplete(env *term.Env, goal term.Term, t *Table) ([]*term.Env, error) {
 	if t.truncated {
 		ev.truncConsumed = true
+	}
+	// The consumed table's answers flow into this production, so its
+	// dependency set (already transitive) and its own predicate join ours.
+	ev.deps[predKey{t.fn, t.arity}] = struct{}{}
+	for _, d := range t.deps {
+		ev.deps[d] = struct{}{}
 	}
 	t.hits.Add(1)
 	t.lastHit.Store(time.Now().UnixNano())

@@ -37,10 +37,20 @@
 // concurrently and consumers of a table being produced wait for completion
 // rather than observing partial answer sets.
 //
-// Weight maintenance invalidates the space (Invalidate): learned weights
-// feed the depth coding A that bounds generator derivations, so a weight
-// reset, load, or session merge drops the memoized tables and lets the
-// next tabled query rebuild them under the current store.
+// Maintenance is dependency-tracked and incremental. Every production
+// records the predicates its fixpoint resolved against program clauses
+// (plus, transitively, the recorded dependencies of every complete table
+// it consumed), and the space indexes complete tables by those
+// predicates. A clause assert then dirty-marks only the tables downstream
+// of the asserted predicate (Space.InvalidatePred, wired to kb's assert
+// hook); a dirty table stops serving, is replaced by a fresh object on
+// next touch, and re-derives through the normal production path —
+// untouched tables keep serving throughout. Whole-space Invalidate
+// remains only for genuine limit changes (a new depth coding A), and
+// ReconfigureCause with unchanged limits is a no-op. Complete untruncated
+// tables additionally serialize to a persistent snapshot (snapshot.go)
+// that validates per-table dependency fingerprints at load, so a blogd
+// restart replays its hot tables instead of rebuilding every fixpoint.
 package table
 
 import (
@@ -100,13 +110,27 @@ type Space struct {
 	budget   uint64        // guarded by mu
 	tables   map[string]*Table
 
+	// depIndex maps a predicate to the complete tables whose answer sets
+	// were derived (transitively) from its clauses, so InvalidatePred
+	// dirty-marks exactly the downstream tables. Guarded by mu.
+	depIndex map[predKey]map[*Table]struct{}
+	// epoch counts predicate invalidations; predEpoch records each
+	// predicate's last invalidation epoch. A production snapshots epoch at
+	// start and re-checks its dependency set at completion, so an assert
+	// that races a fixpoint dirty-marks the freshly completed group
+	// instead of letting part-old, part-new answers serve. Guarded by mu.
+	epoch     uint64
+	predEpoch map[predKey]uint64
+
 	// Cumulative, monotonic counters (survive Invalidate) for /metrics.
-	created  atomic.Uint64
-	answers  atomic.Uint64
-	hits     atomic.Uint64
-	reuse    atomic.Uint64
-	subsumed atomic.Uint64
-	improved atomic.Uint64
+	created     atomic.Uint64
+	answers     atomic.Uint64
+	hits        atomic.Uint64
+	reuse       atomic.Uint64
+	subsumed    atomic.Uint64
+	improved    atomic.Uint64
+	dirtied     atomic.Uint64
+	revalidated atomic.Uint64
 
 	// journal, when set, receives table lifecycle events (created,
 	// completed, truncated, invalidated with cause). Nil by default, so
@@ -120,22 +144,51 @@ type Space struct {
 // into it from then on. Safe to call concurrently with queries.
 func (s *Space) SetJournal(j *obs.Journal) { s.journal.Store(j) }
 
-// NewSpace returns an empty table space over db.
+// predKey identifies a predicate by interned functor symbol and arity —
+// the dependency-graph node type of the maintenance index.
+type predKey struct {
+	fn    term.Sym
+	arity int
+}
+
+func (k predKey) String() string { return k.fn.Name() + "/" + strconv.Itoa(k.arity) }
+
+// parsePredKey parses a "name/arity" indicator back to a key.
+func parsePredKey(ind string) (predKey, bool) {
+	i := strings.LastIndexByte(ind, '/')
+	if i <= 0 {
+		return predKey{}, false
+	}
+	arity, err := strconv.Atoi(ind[i+1:])
+	if err != nil || arity < 0 {
+		return predKey{}, false
+	}
+	return predKey{term.Intern(ind[:i]), arity}, true
+}
+
+// NewSpace returns an empty table space over db. The space registers as
+// db's assert hook, so clause asserts dirty-mark downstream tables; the
+// hook is a single slot, so the newest space over a shared database wins
+// (short-lived spaces in tests and benchmarks leave no dead hooks).
 func NewSpace(db *kb.DB, cfg Config) *Space {
 	s := &Space{
-		db:     db,
-		prod:   make(chan struct{}, 1),
-		tables: make(map[string]*Table),
+		db:        db,
+		prod:      make(chan struct{}, 1),
+		tables:    make(map[string]*Table),
+		depIndex:  make(map[predKey]map[*Table]struct{}),
+		predEpoch: make(map[predKey]uint64),
 	}
 	s.Reconfigure(cfg)
+	db.SetAssertHook(func(fn term.Sym, arity int) { s.InvalidatePred(fn, arity, "assert") })
 	return s
 }
 
 // Reconfigure applies new limits — in particular a new depth coding A
-// after a weight-table load — and drops every memoized table, since they
-// were produced under the old limits. In-flight productions finish
-// against their orphaned tables (their answers stay sound) with the
-// limits they started under.
+// after a weight-table load. Changed limits drop every memoized table,
+// since they were produced under the old bounds; unchanged limits (for
+// example reloading an identical weight file) are a no-op, so the hot
+// cache survives. In-flight productions finish against their orphaned
+// tables (their answers stay sound) with the limits they started under.
 func (s *Space) Reconfigure(cfg Config) { s.ReconfigureCause(cfg, "reconfigure") }
 
 // ReconfigureCause is Reconfigure with an explicit invalidation cause for
@@ -148,6 +201,13 @@ func (s *Space) ReconfigureCause(cfg Config, cause string) {
 		cfg.Budget = DefaultBudget
 	}
 	s.mu.Lock()
+	if s.ws != nil && cfg.MaxDepth == s.maxDepth && cfg.Budget == s.budget {
+		// Same limits as the tables were produced under: nothing they
+		// depend on changed, so wiping them would be a pure re-derivation
+		// stampede. Keep serving.
+		s.mu.Unlock()
+		return
+	}
 	s.ws = weights.NewUniform(weights.Config{N: weights.DefaultConfig().N, A: cfg.MaxDepth})
 	s.maxDepth = cfg.MaxDepth
 	s.budget = cfg.Budget
@@ -158,6 +218,7 @@ func (s *Space) ReconfigureCause(cfg Config, cause string) {
 			bytes += t.bytes.Load()
 		}
 		s.tables = make(map[string]*Table)
+		s.depIndex = make(map[predKey]map[*Table]struct{})
 	}
 	s.mu.Unlock()
 	if dropped > 0 {
@@ -170,11 +231,12 @@ func (s *Space) ReconfigureCause(cfg Config, cause string) {
 	}
 }
 
-// limits snapshots the generator limits for one production run.
-func (s *Space) limits() (ws weights.Store, maxDepth int, budget uint64) {
+// limits snapshots the generator limits and the invalidation epoch for
+// one production run.
+func (s *Space) limits() (ws weights.Store, maxDepth int, budget uint64, epoch uint64) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.ws, s.maxDepth, s.budget
+	return s.ws, s.maxDepth, s.budget, s.epoch
 }
 
 // Table is the memoized answer set of one call-pattern variant. Answers
@@ -185,6 +247,8 @@ type Table struct {
 	key     string
 	pattern term.Term // canonical call with fresh variables
 	pred    string    // predicate indicator, for listings
+	fn      term.Sym  // interned functor of the pattern
+	arity   int
 
 	// min is the 1-based cost-argument position of an answer-subsumption
 	// (`min(N)`) table, 0 for plain variant tabling. A min table keeps at
@@ -218,6 +282,26 @@ type Table struct {
 	// production may rely on. Producer-goroutine only; see eval.require.
 	independent bool
 
+	// deps is the sorted predicate dependency set recorded at completion:
+	// every predicate the fixpoint resolved against program clauses, plus
+	// the stored dependencies of every complete table it consumed
+	// (transitive closure by construction). Written once under the space
+	// mutex at completion, immutable after.
+	deps []predKey
+	// dirty marks a complete table whose dependency set was invalidated
+	// (assert on a predicate it was derived from). A dirty table stops
+	// serving — lookup rejects it — and is replaced by a fresh object on
+	// next touch; it re-derives through the normal production path.
+	dirty atomic.Bool
+	// revalidating marks a fresh table that replaced a dirty one, so its
+	// completion journals as table_revalidated. Written at creation under
+	// the space mutex, read by the single producer.
+	revalidating bool
+	// revalidations counts how many times this logical table (the call
+	// pattern, across object replacements) has been re-derived after a
+	// dirty mark. Carried over on replacement.
+	revalidations atomic.Int64
+
 	// Resource accounting. Written by the producer (nAnswers/bytes/rounds)
 	// and by consumers (hits/lastHit); read at any time by the inventory,
 	// so everything is atomic even where a single writer exists.
@@ -235,6 +319,7 @@ const (
 	StateProducing = "producing"
 	StateComplete  = "complete"
 	StateTruncated = "truncated"
+	StateDirty     = "dirty"
 )
 
 // Info describes one table for listings (REPL :tables, server /stats and
@@ -268,6 +353,16 @@ type Info struct {
 	Hits uint64
 	// Rounds is the fixpoint round count across this table's productions.
 	Rounds int
+	// Dirty reports that a dependency of this complete table was
+	// invalidated (clause assert); the table no longer serves and will
+	// re-derive on next touch.
+	Dirty bool
+	// Revalidations counts re-derivations of this call pattern after
+	// dirty marks (carried across the object replacement each one does).
+	Revalidations int
+	// Deps lists the predicate indicators this table's fixpoint was
+	// derived from (set at completion; empty while producing).
+	Deps []string
 	// CreatedAt is when the table was materialized; CompletedAt when its
 	// group reached fixpoint (zero while producing); LastHit when a
 	// consumer was last served from it (zero if never).
@@ -289,12 +384,23 @@ func infoOf(t *Table) Info {
 		CreatedAt: t.createdAt,
 		State:     StateProducing,
 	}
+	info.Revalidations = int(t.revalidations.Load())
 	if t.complete.Load() {
 		info.Complete = true
 		info.Truncated = t.truncated
 		info.State = StateComplete
 		if t.truncated {
 			info.State = StateTruncated
+		}
+		if t.dirty.Load() {
+			info.Dirty = true
+			info.State = StateDirty
+		}
+		if len(t.deps) > 0 {
+			info.Deps = make([]string, len(t.deps))
+			for i, d := range t.deps {
+				info.Deps[i] = d.String()
+			}
 		}
 	}
 	if ns := t.completedAt.Load(); ns != 0 {
@@ -306,11 +412,12 @@ func infoOf(t *Table) Info {
 	return info
 }
 
-// Invalidate drops every table. Called when the weight database changes
-// (reset, load, session merge); in-flight productions finish against the
-// orphaned tables — their answers remain sound — and the next tabled call
-// rebuilds from the current program state. The cause ("reset_weights",
-// "session_merge", "assert", ...) is carried on the journal event.
+// Invalidate drops every table — the blunt instrument, kept for genuine
+// whole-space causes (operator reset, limit changes). In-flight
+// productions finish against the orphaned tables — their answers remain
+// sound — and the next tabled call rebuilds from the current program
+// state. The cause is carried on the journal event. Clause asserts do NOT
+// route here: they dirty-mark only downstream tables via InvalidatePred.
 func (s *Space) Invalidate(cause string) {
 	s.mu.Lock()
 	dropped := len(s.tables)
@@ -320,6 +427,7 @@ func (s *Space) Invalidate(cause string) {
 			bytes += t.bytes.Load()
 		}
 		s.tables = make(map[string]*Table)
+		s.depIndex = make(map[predKey]map[*Table]struct{})
 	}
 	s.mu.Unlock()
 	if dropped > 0 {
@@ -328,6 +436,49 @@ func (s *Space) Invalidate(cause string) {
 			Cause: cause,
 			Count: int64(dropped),
 			Bytes: bytes,
+		})
+	}
+}
+
+// InvalidatePred dirty-marks the complete tables whose dependency sets
+// include the given predicate — the incremental-maintenance entry point,
+// called from kb's assert hook when a clause lands. Dirty tables stop
+// serving and re-derive on next touch; everything else keeps serving
+// untouched. Incomplete tables (aborted or in-flight productions) are
+// orphaned from the map: their answer sets were derived against the old
+// clause store and, under negation, could hold answers the new store no
+// longer supports, so the next call starts a fresh production (an
+// in-flight producer still completes its orphaned group by identity — a
+// racing fixpoint is additionally caught by the epoch check at
+// completion).
+func (s *Space) InvalidatePred(fn term.Sym, arity int, cause string) {
+	key := predKey{fn, arity}
+	s.mu.Lock()
+	s.epoch++
+	s.predEpoch[key] = s.epoch
+	var marked, bytes int64
+	for t := range s.depIndex[key] {
+		if t.complete.Load() && !t.dirty.Load() {
+			t.dirty.Store(true)
+			marked++
+			bytes += t.bytes.Load()
+		}
+	}
+	for k, t := range s.tables {
+		if !t.complete.Load() {
+			delete(s.tables, k)
+		}
+	}
+	s.mu.Unlock()
+	if marked > 0 {
+		s.dirtied.Add(uint64(marked))
+		s.journal.Load().Emit(obs.Event{
+			Kind:   obs.KindTableInvalidated,
+			Cause:  cause,
+			Pred:   key.String(),
+			Count:  marked,
+			Bytes:  bytes,
+			Detail: "dirty-marked for re-derivation",
 		})
 	}
 }
@@ -395,6 +546,7 @@ type Accounting struct {
 	Producing     int
 	Complete      int
 	Truncated     int
+	Dirty         int
 	RetainedBytes int64
 	Answers       int64
 }
@@ -406,6 +558,8 @@ func (s *Space) Accounting() Accounting {
 		switch {
 		case !t.complete.Load():
 			a.Producing++
+		case t.dirty.Load():
+			a.Dirty++
 		case t.truncated:
 			a.Truncated++
 		default:
@@ -430,6 +584,10 @@ type Totals struct {
 	RederivationsAvoided uint64
 	Subsumed             uint64
 	Improved             uint64
+	// Dirtied counts dirty marks placed by InvalidatePred; Revalidated
+	// counts dirty tables that have since re-derived to completion.
+	Dirtied     uint64
+	Revalidated uint64
 }
 
 // Totals returns the space's cumulative counters.
@@ -441,38 +599,51 @@ func (s *Space) Totals() Totals {
 		RederivationsAvoided: s.reuse.Load(),
 		Subsumed:             s.subsumed.Load(),
 		Improved:             s.improved.Load(),
+		Dirtied:              s.dirtied.Load(),
+		Revalidated:          s.revalidated.Load(),
 	}
 }
 
-// lookup returns the table for key if it is complete and serves queries
-// with the given depth bound: untruncated tables serve any depth, while a
-// depth-truncated table only covers bounds up to the one it was produced
-// under.
+// lookup returns the table for key if it is complete, not dirty, and
+// serves queries with the given depth bound: untruncated tables serve any
+// depth, while a depth-truncated table only covers bounds up to the one
+// it was produced under.
 func (s *Space) lookup(key string, depth int) (*Table, bool) {
 	s.mu.RLock()
 	t := s.tables[key]
 	s.mu.RUnlock()
-	if t != nil && t.complete.Load() && (!t.truncated || t.depth >= depth) {
+	if t != nil && t.complete.Load() && !t.dirty.Load() && (!t.truncated || t.depth >= depth) {
 		return t, true
 	}
 	return nil, false
 }
 
 // getOrCreate returns the table for key, materializing it if needed. A
-// complete table that lookup rejected for the caller's depth (truncated,
-// produced under a shallower bound) is replaced by a fresh one — the old
-// object stays valid for consumers already holding it.
+// complete table that lookup rejected — dirty after a dependency
+// invalidation, or truncated under a shallower bound than the caller's —
+// is replaced by a fresh object under the same key; the old object stays
+// valid for consumers already holding it. A dirty replacement carries the
+// logical table's identity (creation time, hit counters, revalidation
+// count) so the inventory shows one long-lived table being maintained,
+// not a new one per assert.
 func (s *Space) getOrCreate(key string, pattern term.Term, h *Handle, depth int, reqID string) *Table {
 	s.mu.Lock()
 	t := s.tables[key]
-	if t != nil && t.complete.Load() && t.truncated && t.depth < depth {
-		t = nil
+	var replaced *Table
+	if t != nil && t.complete.Load() {
+		if t.dirty.Load() {
+			replaced = t
+			t = nil
+		} else if t.truncated && t.depth < depth {
+			t = nil
+		}
 	}
 	created := false
 	if t == nil {
 		pred, _ := term.Indicator(pattern)
 		t = &Table{key: key, pattern: pattern, pred: pred, createdAt: time.Now()}
 		if fn, arity, ok := term.PredOf(pattern); ok {
+			t.fn, t.arity = fn, arity
 			t.min = s.db.TabledMin(fn, arity)
 		}
 		if t.min > 0 {
@@ -480,12 +651,20 @@ func (s *Space) getOrCreate(key string, pattern term.Term, h *Handle, depth int,
 		} else {
 			t.answerSet = make(map[string]struct{})
 		}
+		if replaced != nil {
+			t.createdAt = replaced.createdAt
+			t.hits.Store(replaced.hits.Load())
+			t.lastHit.Store(replaced.lastHit.Load())
+			t.revalidations.Store(replaced.revalidations.Load() + 1)
+			t.revalidating = true
+			s.unindexLocked(replaced)
+		}
 		s.tables[key] = t
 		s.created.Add(1)
 		if h != nil {
 			h.created.Add(1)
 		}
-		created = true
+		created = replaced == nil
 	}
 	s.mu.Unlock()
 	if created {
@@ -497,6 +676,19 @@ func (s *Space) getOrCreate(key string, pattern term.Term, h *Handle, depth int,
 		})
 	}
 	return t
+}
+
+// unindexLocked removes a replaced table object from the dependency
+// index. Caller holds s.mu.
+func (s *Space) unindexLocked(t *Table) {
+	for _, d := range t.deps {
+		if m := s.depIndex[d]; m != nil {
+			delete(m, t)
+			if len(m) == 0 {
+				delete(s.depIndex, d)
+			}
+		}
+	}
 }
 
 // acquireProducer claims the producer slot, or fails with ctx's error.
@@ -517,13 +709,58 @@ func (s *Space) acquireProducer(ctx context.Context) error {
 func (s *Space) releaseProducer() { <-s.prod }
 
 // markComplete publishes a produced group: answers appended before the
-// flag store are visible to any consumer that loads the flag.
-func (s *Space) markComplete(group map[string]*Table) {
+// flag store are visible to any consumer that loads the flag. It also
+// records the production's dependency set on every member and registers
+// the members in the dependency index, and it re-checks the set against
+// the predicate invalidation epochs: a dependency invalidated after the
+// production snapshotted its epoch (an assert racing the fixpoint) means
+// part of the rounds may have run against the old clause store, so the
+// whole group completes already dirty — the current caller is served (the
+// assert raced it either way), the next one re-derives. Returns whether
+// the group was marked stale.
+func (s *Space) markComplete(group map[string]*Table, deps map[predKey]struct{}, startEpoch uint64) (stale bool) {
 	now := time.Now().UnixNano()
+	s.mu.Lock()
 	for _, t := range group {
+		deps[predKey{t.fn, t.arity}] = struct{}{}
+	}
+	depList := make([]predKey, 0, len(deps))
+	for d := range deps {
+		if s.predEpoch[d] > startEpoch {
+			stale = true
+		}
+		depList = append(depList, d)
+	}
+	sort.Slice(depList, func(i, j int) bool {
+		if depList[i].fn != depList[j].fn {
+			return depList[i].fn < depList[j].fn
+		}
+		return depList[i].arity < depList[j].arity
+	})
+	for _, t := range group {
+		t.deps = depList
+		// Orphaned members (InvalidatePred dropped them from the map
+		// mid-production) are unreachable to future lookups; indexing them
+		// would only leak.
+		if s.tables[t.key] == t {
+			for _, d := range depList {
+				m := s.depIndex[d]
+				if m == nil {
+					m = make(map[*Table]struct{})
+					s.depIndex[d] = m
+				}
+				m[t] = struct{}{}
+			}
+		}
+		if stale {
+			t.dirty.Store(true)
+			s.dirtied.Add(1)
+		}
 		t.completedAt.Store(now)
 		t.complete.Store(true)
 	}
+	s.mu.Unlock()
+	return stale
 }
 
 // Stats are the per-query tabled-resolution counters of one Handle.
