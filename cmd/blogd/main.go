@@ -44,6 +44,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sync"
 	"syscall"
 	"time"
 
@@ -141,16 +143,20 @@ func main() {
 	// records the snapshot_loaded event for /events. A missing file is a
 	// cold boot, not an error; a table that fails validation (changed
 	// clauses, changed tabling mode) is skipped and re-derives on touch.
+	// And because the snapshot is a cache, not state, an unreadable or torn
+	// file must never keep the daemon down: log it and boot cold — tables
+	// loaded before the error are individually validated and stay.
 	if *tableSnap != "" {
 		if f, err := os.Open(*tableSnap); err == nil {
 			loaded, skipped, lerr := prog.LoadTables(f)
 			f.Close()
 			if lerr != nil {
-				fatal(fmt.Errorf("load table snapshot %s: %w", *tableSnap, lerr))
+				logger.Error("table snapshot unreadable; starting cold", "file", *tableSnap, "err", lerr, "loaded", loaded, "skipped", skipped)
+			} else {
+				logger.Info("loaded table snapshot", "file", *tableSnap, "tables", loaded, "skipped", skipped)
 			}
-			logger.Info("loaded table snapshot", "file", *tableSnap, "tables", loaded, "skipped", skipped)
 		} else if !os.IsNotExist(err) {
-			fatal(err)
+			logger.Error("table snapshot unreadable; starting cold", "file", *tableSnap, "err", err)
 		}
 	}
 
@@ -191,8 +197,15 @@ func main() {
 	if *verbose {
 		go tailJournal(ctx, prog.Journal(), logger)
 	}
+	// snapDone joins the periodic-snapshot goroutine before the shutdown
+	// snapshot write, so the two never run writeSnapshot concurrently (the
+	// write mutex already prevents interleaved file writes; the join also
+	// keeps the shutdown from renaming an older periodic write over the
+	// final one).
+	snapDone := make(chan struct{})
 	if *tableSnap != "" && *snapEvery > 0 {
 		go func() {
+			defer close(snapDone)
 			tick := time.NewTicker(*snapEvery)
 			defer tick.Stop()
 			for {
@@ -208,6 +221,8 @@ func main() {
 				}
 			}
 		}()
+	} else {
+		close(snapDone)
 	}
 	select {
 	case <-ctx.Done():
@@ -222,6 +237,8 @@ func main() {
 			fatal(err)
 		}
 	}
+	stop() // release the periodic-snapshot goroutine even on the serve-error path
+	<-snapDone
 
 	// Merge every live session before persisting, so learning from
 	// clients that never sent DELETE survives the restart.
@@ -303,23 +320,36 @@ func tailJournal(ctx context.Context, j *blog.Journal, logger *slog.Logger) {
 	}
 }
 
-// writeSnapshot serializes the table space to path via a temp file and
-// rename, so a crash mid-write never truncates the previous snapshot.
+// snapMu serializes snapshot writes. The periodic ticker and the shutdown
+// path are already kept apart by the snapDone join, but the mutex makes
+// writeSnapshot safe on its own terms: two concurrent calls would each
+// write a distinct temp file (os.CreateTemp) and rename a complete one
+// into place, never a torn interleave.
+var snapMu sync.Mutex
+
+// writeSnapshot serializes the table space to path via a uniquely named
+// temp file in the same directory and an atomic rename, so a crash
+// mid-write never truncates the previous snapshot.
 func writeSnapshot(prog *blog.Program, path string) (int, error) {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	snapMu.Lock()
+	defer snapMu.Unlock()
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return 0, err
 	}
+	tmp := f.Name()
 	n, err := prog.SaveTables(f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
 	}
 	if err != nil {
 		os.Remove(tmp)
 		return 0, err
 	}
-	return n, os.Rename(tmp, path)
+	return n, nil
 }
 
 func fatal(err error) {

@@ -8,6 +8,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
@@ -338,5 +339,95 @@ func TestConcurrentSubsumptionConverges(t *testing.T) {
 	close(errCh)
 	for err := range errCh {
 		t.Error(err)
+	}
+}
+
+// TestConcurrentAssertDuringQueriesAndSnapshots is the assert-while-serving
+// regression for the clause store (run with -race): Program.Assert mutates
+// kb.DB's predicate and first-argument indexes while tabled queries resolve
+// against them and snapshot writes fingerprint them, which used to be
+// completely unsynchronized. Asserts grow a chain edge by edge while every
+// strategy queries its transitive closure and a snapshot writer serializes
+// the table space; afterwards each strategy must serve the full post-assert
+// closure.
+func TestConcurrentAssertDuringQueriesAndSnapshots(t *testing.T) {
+	p, err := LoadString(`:- table path/2.
+path(X, Z) :- path(X, Y), edge(Y, Z).
+path(X, Y) :- edge(X, Y).
+edge(n0, n1).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lastNode = 16
+	strategies := []Strategy{DFS, BFS, BestFirst, Parallel}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() { // asserter: extends the chain one edge at a time
+		defer wg.Done()
+		defer close(done)
+		for i := 1; i < lastNode; i++ {
+			if err := p.Assert(fmt.Sprintf("edge(n%d, n%d).", i, i+1)); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	for _, strat := range strategies {
+		wg.Add(1)
+		go func(strat Strategy) { // queriers race the asserts and each other
+			defer wg.Done()
+			for {
+				opts := []Option{Tabled()}
+				if strat == Parallel {
+					opts = append(opts, Workers(4))
+				}
+				if _, err := p.Query("path(n0, Z)", strat, opts...); err != nil {
+					errCh <- fmt.Errorf("%v: %w", strat, err)
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}(strat)
+	}
+	wg.Add(1)
+	go func() { // snapshotter: fingerprints predicates while clauses land
+		defer wg.Done()
+		for {
+			if _, err := p.SaveTables(io.Discard); err != nil {
+				errCh <- fmt.Errorf("snapshot: %w", err)
+				return
+			}
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	want := make([]string, 0, lastNode)
+	for i := 1; i <= lastNode; i++ {
+		want = append(want, fmt.Sprintf("Z = n%d", i))
+	}
+	sort.Strings(want)
+	for _, strat := range strategies {
+		res, err := p.Query("path(n0, Z)", strat, Tabled())
+		if err != nil {
+			t.Fatalf("settled %v: %v", strat, err)
+		}
+		if got := sortedSolutionStrings(res); fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("settled %v closure diverged\n got: %v\nwant: %v", strat, got, want)
+		}
 	}
 }

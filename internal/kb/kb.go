@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"blog/internal/parse"
@@ -180,10 +181,19 @@ type argKey struct {
 	num  int64 // integer value, or compound arity
 }
 
-// DB is the clause database. Loading is single-threaded; after loading,
-// all methods used during search are read-only and safe for concurrent use
-// by parallel workers.
+// DB is the clause database. It is safe for concurrent use: queries read
+// the clause store under mu's read lock while Assert mutates it under the
+// write lock, so clauses may land while searches are in flight (the table
+// layer's dirty-marking and epoch checks exist precisely to keep memoized
+// answers sound under that interleaving). Individual clauses are immutable
+// once asserted, so a slice snapshot taken under the lock stays valid
+// after it is released. The tabled set is the one load-time-only structure:
+// `:- table` directives are rejected by Assert, so it is never written
+// concurrently with reads.
 type DB struct {
+	// mu guards the clause store (clauses, byPred, firstArg, varFirst) and
+	// the assert-hook list.
+	mu      sync.RWMutex
 	clauses []*Clause
 	// byPred maps a predicate key to its clauses in source order.
 	byPred map[predKey][]*Clause
@@ -209,19 +219,39 @@ type DB struct {
 	// value for the same reason: kb sits below obs, and only internal/vm
 	// reads it back to stamp recompile events.
 	journal atomic.Value
-	// onAssert is the single assert-notification slot (a func(fn, arity)
-	// stored opaquely). The table space registers here so a clause assert
-	// can dirty-mark downstream answer tables; last registration wins,
-	// which keeps short-lived spaces over a shared DB (benchmarks, tests)
-	// from accumulating dead hooks.
-	onAssert atomic.Value
+	// hooks are the assert-notification callbacks (guarded by mu; nil slots
+	// are unregistered entries). Each table space registers one so a clause
+	// assert can dirty-mark its downstream answer tables; every live space
+	// over a shared DB receives the notification.
+	hooks []func(name term.Sym, arity int)
 }
 
-// SetAssertHook registers fn to be called after every clause assertion
-// with the asserted head's predicate. One slot: a new registration
-// replaces the previous hook.
-func (db *DB) SetAssertHook(fn func(name term.Sym, arity int)) {
-	db.onAssert.Store(fn)
+// AddAssertHook registers fn to be called after every clause assertion
+// with the asserted head's predicate, and returns a function that
+// unregisters it. Hooks run while the assertion still holds the database
+// write lock, so a hook's effects (dirty-marking dependent tables) become
+// visible atomically with the clause change: a reader that observes the
+// new clause store is guaranteed to also observe the hook's marks. Hooks
+// must therefore not call back into locking DB methods.
+func (db *DB) AddAssertHook(fn func(name term.Sym, arity int)) (remove func()) {
+	db.mu.Lock()
+	db.hooks = append(db.hooks, fn)
+	i := len(db.hooks) - 1
+	db.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			db.mu.Lock()
+			db.hooks[i] = nil
+			// Trim trailing dead slots so churning short-lived registrants
+			// (per-test table spaces over a shared DB) do not grow the list
+			// without bound.
+			for len(db.hooks) > 0 && db.hooks[len(db.hooks)-1] == nil {
+				db.hooks = db.hooks[:len(db.hooks)-1]
+			}
+			db.mu.Unlock()
+		})
+	}
 }
 
 // Generation returns the clause-assertion generation. It changes exactly
@@ -371,14 +401,17 @@ func (db *DB) assert(head term.Term, body []term.Term, line int) *Clause {
 	}
 	fn, arity, _ := term.PredOf(head)
 	key := predKey{fn, arity}
-	c := &Clause{ID: ClauseID(len(db.clauses)), Head: head, Body: body, Pred: pred, Line: line}
-	// Compile once: head and body share one slot numbering.
+	c := &Clause{Head: head, Body: body, Pred: pred, Line: line}
+	// Compile once (outside the lock — compilation touches only the new
+	// clause): head and body share one slot numbering.
 	terms := make([]term.Term, 0, len(body)+1)
 	terms = append(terms, head)
 	terms = append(terms, body...)
 	sks, names := term.CompileTerms(terms)
 	c.headSkel, c.bodySkel, c.varNames = sks[0], sks[1:], names
 
+	db.mu.Lock()
+	c.ID = ClauseID(len(db.clauses))
 	db.clauses = append(db.clauses, c)
 	db.byPred[key] = append(db.byPred[key], c)
 	if ak, keyed := firstArgKey(head); keyed {
@@ -392,9 +425,16 @@ func (db *DB) assert(head term.Term, body []term.Term, line int) *Clause {
 		db.varFirst[key] = append(db.varFirst[key], c)
 	}
 	db.gen.Add(1)
-	if hook, ok := db.onAssert.Load().(func(term.Sym, int)); ok && hook != nil {
-		hook(fn, arity)
+	// Hooks fire inside the critical section so their effects (table dirty
+	// marks) publish atomically with the clause change: any reader that can
+	// see the new clause — in particular a snapshot writer fingerprinting
+	// this predicate — is guaranteed to also see the marks.
+	for _, hook := range db.hooks {
+		if hook != nil {
+			hook(fn, arity)
+		}
 	}
+	db.mu.Unlock()
 	return c
 }
 
@@ -405,8 +445,11 @@ func (db *DB) assert(head term.Term, body []term.Term, line int) *Clause {
 // so one changed predicate re-derives its downstream tables instead of
 // discarding the whole snapshot.
 func (db *DB) PredFingerprint(fn term.Sym, arity int) uint64 {
+	db.mu.RLock()
+	clauses := db.byPred[predKey{fn, arity}]
+	db.mu.RUnlock()
 	h := fnv.New64a()
-	for _, c := range db.byPred[predKey{fn, arity}] {
+	for _, c := range clauses {
 		io.WriteString(h, c.String())
 		h.Write([]byte{0})
 	}
@@ -439,27 +482,44 @@ func constKey(arg term.Term) (argKey, bool) {
 }
 
 // Len returns the number of clauses.
-func (db *DB) Len() int { return len(db.clauses) }
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.clauses)
+}
 
 // Clause returns the clause with the given ID, or nil for kb.Query or an
 // out-of-range ID.
 func (db *DB) Clause(id ClauseID) *Clause {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.clauseLocked(id)
+}
+
+func (db *DB) clauseLocked(id ClauseID) *Clause {
 	if id < 0 || int(id) >= len(db.clauses) {
 		return nil
 	}
 	return db.clauses[id]
 }
 
-// Clauses returns all clauses in load order. The returned slice is shared;
-// callers must not modify it.
-func (db *DB) Clauses() []*Clause { return db.clauses }
+// Clauses returns all clauses in load order. The returned slice is a
+// point-in-time snapshot (clauses asserted later extend the store, never
+// this view); callers must not modify it.
+func (db *DB) Clauses() []*Clause {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.clauses
+}
 
 // Preds returns the sorted list of predicate indicators present.
 func (db *DB) Preds() []string {
+	db.mu.RLock()
 	out := make([]string, 0, len(db.byPred))
 	for k := range db.byPred {
 		out = append(out, k.fn.Name()+"/"+strconv.Itoa(k.arity))
 	}
+	db.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -475,6 +535,8 @@ func (db *DB) ClausesFor(pred string) []*Clause {
 	if err != nil {
 		return nil
 	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.byPred[predKey{term.Intern(pred[:i]), arity}]
 }
 
@@ -485,6 +547,16 @@ func (db *DB) ClausesFor(pred string) []*Clause {
 // The probe is allocation-free: predicate and argument keys are interned
 // symbols, not formatted strings.
 func (db *DB) Candidates(env *term.Env, goal term.Term) []*Clause {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.candidatesLocked(env, goal)
+}
+
+// candidatesLocked is Candidates' body; the caller holds mu (read or
+// write). Split out so whole-database walks (Arcs, LinkedListText) probe
+// under one lock acquisition instead of recursively read-locking, which
+// could deadlock against a waiting writer.
+func (db *DB) candidatesLocked(env *term.Env, goal term.Term) []*Clause {
 	goal = env.Resolve(goal)
 	fn, arity, ok := term.PredOf(goal)
 	if !ok {
@@ -533,10 +605,12 @@ func (db *DB) Candidates(env *term.Env, goal term.Term) []*Clause {
 // that can resolve the goal at that position. This materializes the
 // figure-4 pointer structure.
 func (db *DB) Arcs() []Arc {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var out []Arc
 	for _, c := range db.clauses {
 		for pos, g := range c.Body {
-			for _, callee := range db.Candidates(nil, g) {
+			for _, callee := range db.candidatesLocked(nil, g) {
 				out = append(out, Arc{Caller: c.ID, Pos: pos, Callee: callee.ID})
 			}
 		}
@@ -546,9 +620,11 @@ func (db *DB) Arcs() []Arc {
 
 // ArcsForGoals enumerates the arcs leaving a query with the given goals.
 func (db *DB) ArcsForGoals(goals []term.Term) []Arc {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var out []Arc
 	for pos, g := range goals {
-		for _, callee := range db.Candidates(nil, g) {
+		for _, callee := range db.candidatesLocked(nil, g) {
 			out = append(out, Arc{Caller: Query, Pos: pos, Callee: callee.ID})
 		}
 	}
@@ -559,8 +635,10 @@ func (db *DB) ArcsForGoals(goals []term.Term) []Arc {
 // goal at body position pos of clause caller (renamed apart). It validates
 // arcs produced by Arcs.
 func (db *DB) ResolvableBy(caller ClauseID, pos int, callee ClauseID) bool {
-	c := db.Clause(caller)
-	k := db.Clause(callee)
+	db.mu.RLock()
+	c := db.clauseLocked(caller)
+	k := db.clauseLocked(callee)
+	db.mu.RUnlock()
 	if c == nil || k == nil || pos < 0 || pos >= len(c.Body) {
 		return false
 	}

@@ -13,7 +13,7 @@ import (
 // are listed as-is, and rules are shown as graph equivalences.
 func (db *DB) GraphText() string {
 	var rules, facts []string
-	for _, c := range db.clauses {
+	for _, c := range db.Clauses() {
 		if c.IsFact() {
 			if s, ok := binaryArc(c.Head); ok {
 				facts = append(facts, s)
@@ -66,11 +66,13 @@ func binaryArc(t term.Term) (string, bool) {
 // weights, mirroring the paper's separation of structure and bounds).
 func (db *DB) LinkedListText(weightOf func(Arc) float64) string {
 	var b strings.Builder
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	for _, c := range db.clauses {
 		fmt.Fprintf(&b, "block %d: %s\n", c.ID, c.String())
 		for pos, g := range c.Body {
 			name, _ := term.Indicator(g)
-			cands := db.Candidates(nil, g)
+			cands := db.candidatesLocked(nil, g)
 			if len(cands) == 0 {
 				fmt.Fprintf(&b, "  goal %d %-12s (no resolvers)\n", pos, name)
 				continue
@@ -101,7 +103,7 @@ func (db *DB) GraphDOT() string {
 			fmt.Fprintf(&b, "  %s;\n", quote(name))
 		}
 	}
-	for _, c := range db.clauses {
+	for _, c := range db.Clauses() {
 		if !c.IsFact() {
 			continue
 		}
@@ -130,6 +132,7 @@ type Stats struct {
 
 // Stats computes summary statistics.
 func (db *DB) ComputeStats() Stats {
+	db.mu.RLock()
 	s := Stats{Clauses: len(db.clauses), Preds: len(db.byPred)}
 	for _, c := range db.clauses {
 		if c.IsFact() {
@@ -138,6 +141,7 @@ func (db *DB) ComputeStats() Stats {
 			s.Rules++
 		}
 	}
+	db.mu.RUnlock()
 	s.Arcs = len(db.Arcs())
 	return s
 }

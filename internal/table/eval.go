@@ -225,16 +225,25 @@ func (ev *eval) require(t *Table) error {
 				g.truncated = trunc
 				g.depth = ev.maxDepth
 			}
-			ev.space.markComplete(ev.group, ev.deps, ev.startEpoch)
-			for _, g := range ev.group {
-				if g.revalidating {
-					ev.space.revalidated.Add(1)
+			stale := ev.space.markComplete(ev.group, ev.deps, ev.startEpoch)
+			// A group that completed already dirty (an assert raced the
+			// fixpoint) is not a successful revalidation: the next touch
+			// re-derives it, and that pass claims the counter and the
+			// table_revalidated event instead.
+			if !stale {
+				for _, g := range ev.group {
+					if g.revalidating {
+						ev.space.revalidated.Add(1)
+					}
 				}
 			}
 			if j := ev.space.journal.Load(); j != nil {
 				for _, g := range ev.group {
 					kind := obs.KindTableCompleted
-					if g.revalidating {
+					detail := ""
+					if stale {
+						detail = "completed stale: assert raced the fixpoint; dirty-marked for re-derivation"
+					} else if g.revalidating {
 						kind = obs.KindTableRevalidated
 					}
 					j.Emit(obs.Event{
@@ -245,6 +254,7 @@ func (ev *eval) require(t *Table) error {
 						Count:     g.nAnswers.Load(),
 						Bytes:     g.bytes.Load(),
 						Rounds:    int(g.rounds.Load()),
+						Detail:    detail,
 					})
 					if trunc {
 						j.Emit(obs.Event{

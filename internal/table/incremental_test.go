@@ -266,3 +266,51 @@ edge(a, b).
 		t.Fatalf("post-assert answers = %v, want both edges", got)
 	}
 }
+
+// TestAssertHookReachesAllSpaces pins the multi-hook contract: every live
+// space over a shared database receives assert invalidations (the hook
+// registry used to be a single last-wins slot, so an older space silently
+// went stale), and Close drops exactly the closed space's registration.
+func TestAssertHookReachesAllSpaces(t *testing.T) {
+	db, _, err := kb.LoadString(`
+:- table path/2.
+path(X, Z) :- path(X, Y), edge(Y, Z).
+path(X, Y) :- edge(X, Y).
+edge(a, b).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp1 := table.NewSpace(db, table.Config{})
+	defer sp1.Close()
+	sp2 := table.NewSpace(db, table.Config{})
+	for _, sp := range []*table.Space{sp1, sp2} {
+		if got := tabledAnswers(t, db, sp, "path(a, Z)", solve.DFS, false); fmt.Sprint(got) != "[Z = b]" {
+			t.Fatalf("baseline answers = %v", got)
+		}
+	}
+
+	assertFact(t, db, "edge(b, c)")
+	// Both spaces — not just the newest — must have dirty-marked their
+	// tables and re-derive the extended closure.
+	for i, sp := range []*table.Space{sp1, sp2} {
+		if tot := sp.Totals(); tot.Dirtied != 1 {
+			t.Fatalf("space %d dirtied = %d, want 1", i+1, tot.Dirtied)
+		}
+		if got := tabledAnswers(t, db, sp, "path(a, Z)", solve.DFS, false); fmt.Sprint(got) != "[Z = b Z = c]" {
+			t.Fatalf("space %d post-assert answers = %v, want the new edge", i+1, got)
+		}
+	}
+
+	// Closing sp2 unregisters only its hook: later asserts keep reaching
+	// sp1, while the closed space takes no further dirty marks.
+	sp2.Close()
+	sp2.Close() // idempotent
+	assertFact(t, db, "edge(c, d)")
+	if got := tabledAnswers(t, db, sp1, "path(a, Z)", solve.DFS, false); fmt.Sprint(got) != "[Z = b Z = c Z = d]" {
+		t.Fatalf("open space post-close answers = %v, want all three edges", got)
+	}
+	if tot := sp2.Totals(); tot.Dirtied != 1 {
+		t.Fatalf("closed space dirtied = %d, want 1 (no marks after Close)", tot.Dirtied)
+	}
+}

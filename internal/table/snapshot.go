@@ -68,8 +68,11 @@ type snapRecord struct {
 
 // WriteSnapshot serializes every complete, clean, untruncated table to w
 // and returns how many were written. Safe to call concurrently with
-// queries: the table set is snapshotted under the read lock, and a
-// complete table's answer list is immutable.
+// queries and asserts: the table set is snapshotted under the read lock, a
+// complete table's answer list is immutable, and each table's dirty mark
+// is re-checked after its dependency fingerprints are computed, so an
+// assert racing the writer can only drop a record, never produce one whose
+// fingerprints postdate its answers.
 func (s *Space) WriteSnapshot(w io.Writer) (int, error) {
 	s.mu.RLock()
 	maxDepth := s.maxDepth
@@ -82,16 +85,7 @@ func (s *Space) WriteSnapshot(w io.Writer) (int, error) {
 	s.mu.RUnlock()
 	sort.Slice(list, func(i, j int) bool { return list[i].key < list[j].key })
 
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	if err := enc.Encode(snapHeader{
-		V:        snapshotVersion,
-		MaxDepth: maxDepth,
-		Tables:   len(list),
-		SavedAt:  time.Now().UnixNano(),
-	}); err != nil {
-		return 0, err
-	}
+	recs := make([]snapRecord, 0, len(list))
 	var totalBytes int64
 	for _, t := range list {
 		rec := snapRecord{
@@ -112,20 +106,45 @@ func (s *Space) WriteSnapshot(w io.Writer) (int, error) {
 		for i, a := range t.answers {
 			rec.Answers[i] = a.String()
 		}
-		if err := enc.Encode(rec); err != nil {
+		// Re-check the dirty mark only now, *after* the fingerprints above:
+		// an assert publishes its dirty marks inside the same database
+		// write-lock critical section that changes the fingerprints, so if
+		// any fingerprint read observed the post-assert clause store, this
+		// load observes the mark and the record is dropped. Checking before
+		// fingerprinting (or relying on the selection alone) could pair
+		// post-assert fingerprints with pre-assert answers — a record that
+		// would validate as fresh at the next boot and serve stale answers.
+		if t.dirty.Load() {
+			continue
+		}
+		recs = append(recs, rec)
+		totalBytes += t.bytes.Load()
+	}
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(snapHeader{
+		V:        snapshotVersion,
+		MaxDepth: maxDepth,
+		Tables:   len(recs),
+		SavedAt:  time.Now().UnixNano(),
+	}); err != nil {
+		return 0, err
+	}
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
 			return 0, err
 		}
-		totalBytes += t.bytes.Load()
 	}
 	if err := bw.Flush(); err != nil {
 		return 0, err
 	}
 	s.journal.Load().Emit(obs.Event{
 		Kind:  obs.KindSnapshotSaved,
-		Count: int64(len(list)),
+		Count: int64(len(recs)),
 		Bytes: totalBytes,
 	})
-	return len(list), nil
+	return len(recs), nil
 }
 
 // ReadSnapshot loads a snapshot written by WriteSnapshot into the space,

@@ -137,6 +137,11 @@ type Space struct {
 	// a space without an attached journal pays one nil check per
 	// lifecycle transition — never per answer or per hit.
 	journal atomic.Pointer[obs.Journal]
+
+	// unhook unregisters this space's assert hook from the database
+	// (Close); closeOnce makes Close idempotent.
+	unhook    func()
+	closeOnce sync.Once
 }
 
 // SetJournal attaches the structured event journal; table lifecycle
@@ -166,10 +171,10 @@ func parsePredKey(ind string) (predKey, bool) {
 	return predKey{term.Intern(ind[:i]), arity}, true
 }
 
-// NewSpace returns an empty table space over db. The space registers as
-// db's assert hook, so clause asserts dirty-mark downstream tables; the
-// hook is a single slot, so the newest space over a shared database wins
-// (short-lived spaces in tests and benchmarks leave no dead hooks).
+// NewSpace returns an empty table space over db. The space registers an
+// assert hook, so clause asserts dirty-mark downstream tables; every live
+// space over a shared database receives the notification (short-lived
+// spaces in tests and benchmarks should Close when done to drop theirs).
 func NewSpace(db *kb.DB, cfg Config) *Space {
 	s := &Space{
 		db:        db,
@@ -179,9 +184,15 @@ func NewSpace(db *kb.DB, cfg Config) *Space {
 		predEpoch: make(map[predKey]uint64),
 	}
 	s.Reconfigure(cfg)
-	db.SetAssertHook(func(fn term.Sym, arity int) { s.InvalidatePred(fn, arity, "assert") })
+	s.unhook = db.AddAssertHook(func(fn term.Sym, arity int) { s.InvalidatePred(fn, arity, "assert") })
 	return s
 }
+
+// Close unregisters the space's assert hook from the database. A closed
+// space keeps serving whatever it holds but no longer receives
+// invalidations, so it must not be queried after further asserts.
+// Idempotent and safe for concurrent use.
+func (s *Space) Close() { s.closeOnce.Do(s.unhook) }
 
 // Reconfigure applies new limits — in particular a new depth coding A
 // after a weight-table load. Changed limits drop every memoized table,
